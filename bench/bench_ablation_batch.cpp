@@ -1,0 +1,54 @@
+// Ablation: C-Abcast batch size. The paper's Algorithm 3 proposes the whole
+// pending estimate per round (unbounded batches); this bench caps the batch
+// and shows what batching buys at high throughput — capped batches force
+// more consensus rounds per message and the latency climbs, while unbounded
+// batching amortizes the n² round cost over every queued message.
+#include <cstdio>
+#include <vector>
+
+#include "abcast/c_abcast.h"
+#include "sim/abcast_world.h"
+
+int main() {
+  using namespace zdc;
+
+  const std::vector<std::size_t> batch_caps = {1, 2, 4, 8, 0};  // 0 = paper
+  const std::vector<double> throughputs = {100.0, 300.0, 500.0};
+
+  std::printf("=== Ablation: C-Abcast batch cap (L-Consensus, n=4) ===\n");
+  std::printf("mean latency [ms] / consensus instances consumed\n\n");
+  std::printf("%-10s", "cap");
+  for (double tput : throughputs) std::printf("   %8.0f msg/s   ", tput);
+  std::printf("\n");
+
+  for (std::size_t cap : batch_caps) {
+    std::printf("%-10s", cap == 0 ? "unbounded" : std::to_string(cap).c_str());
+    for (double tput : throughputs) {
+      sim::AbcastRunConfig cfg;
+      cfg.group = GroupParams{4, 1};
+      cfg.net = sim::calibrated_lan_2006();
+      cfg.seed = 17;
+      cfg.throughput_per_s = tput;
+      cfg.message_count = 400;
+      auto factory = [cap](ProcessId self, GroupParams group,
+                           abcast::AbcastHost& host, const fd::OmegaView& omega,
+                           const fd::SuspectView&) {
+        auto proto = abcast::make_c_abcast_l(self, group, host, omega);
+        proto->set_max_batch(cap);
+        return proto;
+      };
+      auto r = sim::run_abcast(cfg, factory);
+      std::printf("  %7.2fms %5llu i ", r.latency_ms.mean(),
+                  static_cast<unsigned long long>(
+                      r.totals.consensus_instances / cfg.group.n));
+      if (!(r.agreement_ok && r.undelivered == 0)) std::printf("!");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n# expected: tight caps multiply rounds per message and "
+              "latency grows with throughput;\n"
+              "# the unbounded (paper) setting absorbs load into batch size "
+              "at near-flat round counts.\n");
+  return 0;
+}

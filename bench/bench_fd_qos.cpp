@@ -1,0 +1,78 @@
+// Failure-detector quality of service (Chen-style), on the threaded runtime:
+// the timeout trade-off behind every ◇P deployment — short timeouts detect
+// crashes fast but misfire on slow links; long ones are accurate but slow.
+// The adaptive increment bounds the misfires either way (the ◇P accuracy
+// argument); this bench puts numbers on the triangle.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "runtime/heartbeat_fd.h"
+#include "runtime/inproc_net.h"
+#include "runtime/runtime_node.h"
+
+int main() {
+  using namespace zdc;
+  using namespace zdc::runtime;
+  using Clock = std::chrono::steady_clock;
+
+  std::printf("=== Heartbeat ◇P quality of service (threaded runtime) ===\n");
+  std::printf("heartbeat interval 5 ms, network delay 0.1-2.0 ms, n=3\n\n");
+  std::printf("%14s  %18s  %20s\n", "timeout [ms]", "false suspicions",
+              "crash detection [ms]");
+
+  for (double timeout_ms : {3.0, 6.0, 15.0, 30.0, 60.0, 120.0}) {
+    InprocNetwork::Config net_cfg;
+    net_cfg.n = 3;
+    net_cfg.seed = 11;
+    net_cfg.min_delay_ms = 0.1;
+    net_cfg.max_delay_ms = 2.0;
+    InprocNetwork net(net_cfg);
+
+    HeartbeatFd::Config fd_cfg;
+    fd_cfg.interval_ms = 5.0;
+    fd_cfg.initial_timeout_ms = timeout_ms;
+    fd_cfg.timeout_increment_ms = timeout_ms;
+
+    std::vector<std::unique_ptr<HeartbeatFd>> fds;
+    for (ProcessId p = 0; p < 3; ++p) {
+      fds.push_back(std::make_unique<HeartbeatFd>(p, net, fd_cfg, nullptr));
+    }
+    for (ProcessId p = 0; p < 3; ++p) {
+      HeartbeatFd* fd = fds[p].get();
+      net.set_handler(p, [fd](const Delivery& d) {
+        if (d.channel == Channel::kHeartbeat) fd->on_heartbeat(d.from);
+      });
+    }
+    net.start();
+    for (auto& fd : fds) fd->start();
+
+    // Accuracy window: 400 ms of steady state.
+    RuntimeCluster::wait_until([] { return false; }, 400.0);
+    std::uint64_t false_suspicions = 0;
+    for (const auto& fd : fds) false_suspicions += fd->false_suspicions();
+
+    // Completeness: crash p0, measure until both survivors suspect it.
+    const auto crash_at = Clock::now();
+    net.crash(0);
+    RuntimeCluster::wait_until(
+        [&] { return fds[1]->suspects(0) && fds[2]->suspects(0); }, 10'000.0);
+    const double detect_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - crash_at)
+            .count();
+    net.shutdown();
+
+    std::printf("%14.0f  %18llu  %20.1f\n", timeout_ms,
+                static_cast<unsigned long long>(false_suspicions), detect_ms);
+  }
+
+  std::printf("\n# expected: aggressive timeouts misfire (then self-correct "
+              "via the adaptive increment)\n"
+              "# but detect crashes within ~timeout; generous timeouts never "
+              "misfire and pay proportionally\n"
+              "# slower detection — the stable-run assumption the paper's "
+              "protocols lean on is exactly\n"
+              "# the regime right of the misfire knee.\n");
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Microbenchmarks (google-benchmark): the per-message costs that the LAN
+// model's cpu_send/cpu_recv constants abstract — codec throughput, batch
+// serialization, protocol handler cost, and simulator event dispatch.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abcast/abcast.h"
+#include "common/codec.h"
+#include "common/rng.h"
+#include "consensus/l_consensus.h"
+#include "consensus/p_consensus.h"
+#include "fd/failure_detector.h"
+#include "sim/event_queue.h"
+
+namespace {
+
+using namespace zdc;
+
+void BM_CodecEncodeMessage(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    common::Encoder enc;
+    enc.put_u8(1);
+    enc.put_u64(42);
+    enc.put_string(payload);
+    enc.put_u32(7);
+    benchmark::DoNotOptimize(enc.bytes().data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload.size() + 17));
+}
+BENCHMARK(BM_CodecEncodeMessage)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_CodecDecodeMessage(benchmark::State& state) {
+  common::Encoder enc;
+  enc.put_u8(1);
+  enc.put_u64(42);
+  enc.put_string(std::string(static_cast<std::size_t>(state.range(0)), 'x'));
+  enc.put_u32(7);
+  const std::string bytes = enc.bytes();
+  for (auto _ : state) {
+    common::Decoder dec(bytes);
+    benchmark::DoNotOptimize(dec.get_u8());
+    benchmark::DoNotOptimize(dec.get_u64());
+    benchmark::DoNotOptimize(dec.get_string());
+    benchmark::DoNotOptimize(dec.get_u32());
+    benchmark::DoNotOptimize(dec.done());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_CodecDecodeMessage)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_MsgSetRoundTrip(benchmark::State& state) {
+  abcast::MsgSet set;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    set.emplace(abcast::MsgId{static_cast<ProcessId>(i % 4),
+                              static_cast<std::uint64_t>(i)},
+                std::string(64, 'm'));
+  }
+  for (auto _ : state) {
+    const std::string bytes = abcast::encode_msg_set(set);
+    abcast::MsgSet out;
+    const bool ok = abcast::decode_msg_set(bytes, out);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MsgSetRoundTrip)->Arg(1)->Arg(16)->Arg(256);
+
+/// Captures outbound traffic so a protocol instance can be driven directly.
+struct NullHost final : consensus::ConsensusHost {
+  void send(ProcessId, std::string) override {}
+  void broadcast(std::string bytes) override { last = std::move(bytes); }
+  void deliver_decision(const Value&) override {}
+  std::string last;
+};
+
+struct FixedOmega final : fd::OmegaView {
+  [[nodiscard]] ProcessId leader() const override { return 0; }
+};
+
+struct NoSuspects final : fd::SuspectView {
+  [[nodiscard]] bool suspects(ProcessId) const override { return false; }
+};
+
+/// Cost of one full L-Consensus instance: propose + the three PROP messages
+/// that drive it to a one-step decision (the protocol-side work behind every
+/// fast-path a-broadcast).
+void BM_LConsensusOneStepInstance(benchmark::State& state) {
+  FixedOmega omega;
+  const GroupParams group{4, 1};
+  // Pre-encode the peers' round-1 PROPs once.
+  std::vector<std::string> peer_msgs;
+  {
+    NullHost host;
+    for (ProcessId p = 1; p < 4; ++p) {
+      consensus::LConsensus peer(p, group, host, omega);
+      peer.propose("value");
+      peer_msgs.push_back(host.last);
+    }
+  }
+  for (auto _ : state) {
+    NullHost host;
+    consensus::LConsensus cons(0, group, host, omega);
+    cons.propose("value");
+    for (ProcessId p = 1; p < 4; ++p) {
+      cons.on_message(p, peer_msgs[p - 1]);
+    }
+    benchmark::DoNotOptimize(cons.decided());
+  }
+  state.SetItemsProcessed(state.iterations() * 4);  // messages handled
+}
+BENCHMARK(BM_LConsensusOneStepInstance);
+
+void BM_PConsensusOneStepInstance(benchmark::State& state) {
+  NoSuspects suspects;
+  const GroupParams group{4, 1};
+  std::vector<std::string> peer_msgs;
+  {
+    NullHost host;
+    for (ProcessId p = 1; p < 4; ++p) {
+      consensus::PConsensus peer(p, group, host, suspects);
+      peer.propose("value");
+      peer_msgs.push_back(host.last);
+    }
+  }
+  for (auto _ : state) {
+    NullHost host;
+    consensus::PConsensus cons(0, group, host, suspects);
+    cons.propose("value");
+    for (ProcessId p = 1; p < 4; ++p) {
+      cons.on_message(p, peer_msgs[p - 1]);
+    }
+    benchmark::DoNotOptimize(cons.decided());
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_PConsensusOneStepInstance);
+
+void BM_EventQueueDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 1000; ++i) {
+      q.at(static_cast<double>(i % 97), [&acc] { ++acc; });
+    }
+    while (q.run_next()) {
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueDispatch);
+
+void BM_RngFill(benchmark::State& state) {
+  common::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.exponential(0.5));
+  }
+}
+BENCHMARK(BM_RngFill);
+
+}  // namespace
+
+BENCHMARK_MAIN();

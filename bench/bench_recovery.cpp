@@ -1,0 +1,76 @@
+// Recovery-run experiment (the paper's Sec. 1 motivation, after Dutta et
+// al.'s "The Overhead of Consensus Recovery"): consensus is executed as a
+// back-to-back sequence of instances; a crash during instance k propagates
+// as an *initial* failure into every later instance. The per-instance
+// latency series shows which protocols pay a one-time recovery blip and
+// which are degraded forever.
+//
+// Expected series (divergent proposals, crash of p0 before instance 6,
+// crash-tracking FD with a short detection delay):
+//   L-/P-Consensus : 2 steps before, a blip while the FD converges, 2 steps
+//                    after — zero-degradation (Def. 3).
+//   CT             : 3 steps always (never better; the wasted p0 round after
+//                    the crash costs ~no time once ◇S is stable).
+//   single Paxos   : 2 steps before, 4 steps *forever after* — ballot 0 is
+//                    owned by the dead p0, so every instance pays phase 1;
+//                    this is exactly the permanent degradation repeated
+//                    consensus suffers without zero-degradation (Multi-Paxos
+//                    amortizes it, which is what Table 1 assumes).
+//   Brasileiro     : 3 steps always on divergent proposals.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/sequence_world.h"
+
+int main() {
+  using namespace zdc;
+
+  constexpr std::uint32_t kInstances = 12;
+  constexpr std::uint32_t kCrashBefore = 6;
+
+  const std::vector<std::string> protocols = {"l", "p", "ct", "paxos",
+                                              "brasileiro-l"};
+
+  std::printf("=== Recovery runs: repeated consensus with a mid-sequence "
+              "crash ===\n");
+  std::printf("n=4, f=1, divergent proposals; p0 crashes before instance %u\n"
+              "cells: mean decision steps (first-decision latency, ms)\n\n",
+              kCrashBefore);
+
+  std::printf("%-14s", "instance");
+  for (std::uint32_t i = 0; i < kInstances; ++i) {
+    std::printf("  %10u%s", i, i == kCrashBefore ? "*" : " ");
+  }
+  std::printf("\n");
+
+  for (const auto& proto : protocols) {
+    sim::SequenceConfig cfg;
+    cfg.group = GroupParams{4, 1};
+    cfg.net = sim::calibrated_lan_2006();
+    cfg.fd.mode = sim::FdMode::kCrashTracking;
+    cfg.fd.detection_delay_ms = 3.0;
+    cfg.seed = 31;
+    cfg.instances = kInstances;
+    cfg.crash_process = 0;
+    cfg.crash_before_instance = kCrashBefore;
+    cfg.divergent_proposals = true;
+
+    auto r = sim::run_consensus_sequence(
+        cfg, sim::consensus_factory_by_name(proto));
+    std::printf("%-14s", proto.c_str());
+    for (const auto& inst : r.instances) {
+      std::printf("  %4.1f (%4.2f)%s", inst.mean_steps, inst.first_decision,
+                  inst.safe ? "" : "!");
+    }
+    if (!r.all_complete) std::printf("  INCOMPLETE");
+    std::printf("\n");
+  }
+
+  std::printf("\n# '*' marks the crash boundary. Zero-degradation = the step "
+              "count returns to 2 after the\n"
+              "# blip; single-decree Paxos staying at 4 forever is the "
+              "permanent degradation the paper's\n"
+              "# introduction warns about.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Table 1 reproduction: analytical vs measured comparison of the atomic
+// broadcast protocols — latency (in communication delays δ) and message
+// complexity per a-broadcast, in the no-collision and collision regimes,
+// plus resilience and oracle columns.
+//
+//   Protocol   | no collisions      | collisions        | resilience | oracle
+//   Paxos      | 3δ, n²+n+1         | 3δ, n²+n+1        | f < n/2    | Ω
+//   WABCast    | 2δ, n²+n           | ∞                 | f < n/3    | WAB
+//   L-/P-Cons. | 2δ, n²+n           | 3δ, 2n²+n         | f < n/3    | Ω/◇P + WAB
+//
+// Measured message counts additionally include the DECIDE-flood of task T2
+// (n² per instance), which the paper's analytical accounting leaves out;
+// the bench prints both so the comparison stays honest.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/abcast_world.h"
+
+namespace {
+
+using namespace zdc;
+
+struct Row {
+  std::string name;
+  std::string protocol;
+  GroupParams group;
+  std::string analytic_lat_nc;
+  std::string analytic_msg_nc;
+  std::string analytic_lat_c;
+  std::string analytic_msg_c;
+  std::string resilience;
+  std::string oracle;
+};
+
+struct Measured {
+  double latency_delta = 0;
+  double msgs = 0;
+  bool live = true;
+};
+
+Measured measure(const Row& row, double throughput, std::uint64_t seed) {
+  sim::AbcastRunConfig cfg;
+  cfg.group = row.group;
+  cfg.net = sim::calibrated_lan_2006();
+  cfg.seed = seed;
+  cfg.throughput_per_s = throughput;
+  cfg.message_count = throughput < 50 ? 120 : 600;
+  if (row.protocol == "paxos") {
+    for (ProcessId p = 1; p < row.group.n; ++p) {
+      cfg.workload_senders.push_back(p);
+    }
+  }
+  auto r = sim::run_abcast(cfg, sim::abcast_factory_by_name(row.protocol));
+  // One communication delay on the calibrated testbed: propagation + mean
+  // jitter + the two per-message CPU touches of a hop.
+  const double delta = cfg.net.base_delay_ms + cfg.net.jitter_mean_ms +
+                       cfg.net.cpu_send_ms + cfg.net.cpu_recv_ms;
+  Measured m;
+  m.latency_delta = r.latency_ms.mean() / delta;
+  m.msgs = r.messages_per_abcast();
+  m.live = r.agreement_ok && r.undelivered == 0;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Row> rows = {
+      {"Paxos", "paxos", GroupParams{3, 1}, "3d", "n^2+n+1=13", "3d",
+       "n^2+n+1=13", "f<n/2", "Omega"},
+      {"WABCast", "wabcast", GroupParams{4, 1}, "2d", "n^2+n=20", "inf",
+       "inf", "f<n/3", "WAB"},
+      {"L-Cons.", "c-l", GroupParams{4, 1}, "2d", "n^2+n=20", "3d",
+       "2n^2+n=36", "f<n/3", "Omega+WAB"},
+      {"P-Cons.", "c-p", GroupParams{4, 1}, "2d", "n^2+n=20", "3d",
+       "2n^2+n=36", "f<n/3", "EvP+WAB"},
+  };
+
+  std::printf("=== Table 1: atomic broadcast protocol comparison ===\n");
+  std::printf("analytical (paper) vs measured; latency in communication "
+              "delays d, messages per a-broadcast\n");
+  std::printf("no-collision regime: 20 msg/s; collision regime: 500 msg/s "
+              "(measured msgs include the DECIDE flood the paper's "
+              "accounting omits)\n\n");
+  std::printf("%-9s | %-22s | %-22s | %-22s | %-22s | %-6s | %s\n", "proto",
+              "lat nc (anl : meas)", "msgs nc (anl : meas)",
+              "lat coll (anl : meas)", "msgs coll (anl : meas)", "resil",
+              "oracle");
+
+  for (const Row& row : rows) {
+    Measured nc = measure(row, 20.0, 7);
+    Measured coll = measure(row, 500.0, 7);
+    char lat_nc[64], msg_nc[64], lat_c[64], msg_c[64];
+    std::snprintf(lat_nc, sizeof lat_nc, "%s : %.1fd%s",
+                  row.analytic_lat_nc.c_str(), nc.latency_delta,
+                  nc.live ? "" : "!");
+    std::snprintf(msg_nc, sizeof msg_nc, "%s : %.1f",
+                  row.analytic_msg_nc.c_str(), nc.msgs);
+    std::snprintf(lat_c, sizeof lat_c, "%s : %.1fd%s",
+                  row.analytic_lat_c.c_str(), coll.latency_delta,
+                  coll.live ? "" : "!");
+    std::snprintf(msg_c, sizeof msg_c, "%s : %.1f",
+                  row.analytic_msg_c.c_str(), coll.msgs);
+    std::printf("%-9s | %-22s | %-22s | %-22s | %-22s | %-6s | %s\n",
+                row.name.c_str(), lat_nc, msg_nc, lat_c, msg_c,
+                row.resilience.c_str(), row.oracle.c_str());
+  }
+
+  std::printf("\n# reading guide: measured latency exceeds the analytical "
+              "step count by the oracle's\n"
+              "# disorder jitter and queueing; the orderings (2d stacks < "
+              "Paxos's 3d without collisions,\n"
+              "# WABCast worst under collisions, Paxos's message economy) "
+              "are the paper's claims.\n");
+  return 0;
+}

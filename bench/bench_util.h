@@ -1,0 +1,67 @@
+// Shared plumbing for the paper-reproduction benches: throughput sweeps,
+// repeated-seed averaging and table printing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/abcast_world.h"
+
+namespace zdc::bench {
+
+/// The throughput grid of Figures 2 and 3 (20–500 msg/s).
+inline std::vector<double> figure_throughputs() {
+  return {20, 50, 80, 100, 150, 200, 250, 300, 350, 400, 450, 500};
+}
+
+struct SweepPoint {
+  double throughput = 0;
+  double mean_latency_ms = 0;
+  double p95_latency_ms = 0;
+  double messages_per_abcast = 0;
+  bool safe = true;
+  bool complete = true;  ///< everything delivered everywhere
+};
+
+/// Runs `protocol` at one throughput, averaging `repeats` seeds. The Paxos
+/// baseline keeps clients off the leader (the paper's deployment: the n=3
+/// group orders a workload originating elsewhere), so every message pays the
+/// client→leader hop of Table 1.
+inline SweepPoint run_point(const std::string& protocol, GroupParams group,
+                            double throughput, std::uint32_t message_count,
+                            std::uint32_t repeats, std::uint64_t seed_base) {
+  SweepPoint point;
+  point.throughput = throughput;
+  common::Sampler latency;
+  double msgs_acc = 0;
+  for (std::uint32_t rep = 0; rep < repeats; ++rep) {
+    sim::AbcastRunConfig cfg;
+    cfg.group = group;
+    cfg.net = sim::calibrated_lan_2006();
+    cfg.seed = seed_base + rep * 1000003;
+    cfg.throughput_per_s = throughput;
+    cfg.message_count = message_count;
+    if (protocol == "paxos") {
+      for (ProcessId p = 1; p < group.n; ++p) cfg.workload_senders.push_back(p);
+    }
+    auto r = sim::run_abcast(cfg, sim::abcast_factory_by_name(protocol));
+    point.safe = point.safe && r.safe();
+    point.complete = point.complete && r.agreement_ok && r.undelivered == 0;
+    // Equal-weight merge of per-run means (runs use the same message count).
+    latency.add(r.latency_ms.mean());
+    msgs_acc += r.messages_per_abcast();
+    if (rep == 0) point.p95_latency_ms = r.latency_ms.percentile(95);
+  }
+  point.mean_latency_ms = latency.mean();
+  point.messages_per_abcast = msgs_acc / repeats;
+  return point;
+}
+
+inline void print_header(const std::vector<std::string>& protocols) {
+  std::printf("%10s", "msg/s");
+  for (const auto& p : protocols) std::printf("  %16s", p.c_str());
+  std::printf("\n");
+}
+
+}  // namespace zdc::bench

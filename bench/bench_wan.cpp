@@ -1,0 +1,63 @@
+// Extension experiment (not in the paper): the protocols on a synthetic WAN.
+//
+// On a wide-area network propagation dominates everything, so latency is
+// essentially (communication steps) × 20 ms. The measured outcome is the
+// *reverse* of the LAN figures, and instructive:
+//
+//   * spontaneous order is a LAN phenomenon — with milliseconds of path
+//     disorder the oracle's firsts disagree as soon as two messages are in
+//     flight, so the one-step stacks lose their fast path and slide toward
+//     (and past) 3δ while WABCast burns retry stage after retry stage;
+//   * Paxos never consults the oracle, and with a fast local stack the
+//     leader's self-acceptance pipelines its 2b with the 2a hop: an
+//     effectively ~2δ, dead-flat line that wins everywhere;
+//   * conclusion, matching the paper's own framing of WAB: the one-step
+//     protocols are LAN protocols — their edge exists exactly where
+//     spontaneous order does.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace zdc;
+  using namespace zdc::bench;
+
+  const std::vector<std::string> protocols = {"c-l", "c-p", "wabcast",
+                                              "paxos"};
+  const std::vector<std::string> labels = {"L-Cons(n=4)", "P-Cons(n=4)",
+                                           "WABCast(n=4)", "Paxos(n=3)"};
+  const std::vector<GroupParams> groups = {{4, 1}, {4, 1}, {4, 1}, {3, 1}};
+  const std::vector<double> throughputs = {2, 5, 10, 25, 50, 100};
+
+  std::printf("=== Extension: synthetic WAN (20 ms propagation) ===\n");
+  std::printf("mean a-broadcast latency [ms] per throughput [msg/s]\n\n");
+  print_header(labels);
+
+  for (double tput : throughputs) {
+    std::printf("%10.0f", tput);
+    for (std::size_t i = 0; i < protocols.size(); ++i) {
+      sim::AbcastRunConfig cfg;
+      cfg.group = groups[i];
+      cfg.net = sim::synthetic_wan();
+      cfg.seed = 9;
+      cfg.throughput_per_s = tput;
+      cfg.message_count = 150;
+      cfg.time_limit_ms = 3'600'000.0;
+      if (protocols[i] == "paxos") cfg.workload_senders = {1, 2};
+      auto r = sim::run_abcast(cfg, sim::abcast_factory_by_name(protocols[i]));
+      std::printf("  %13.1f%s%s", r.latency_ms.mean(), r.safe() ? " " : "!",
+                  (r.agreement_ok && r.undelivered == 0) ? " " : "~");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n# reading: the oracle-dependent stacks degrade as soon as "
+              "messages overlap in flight\n"
+              "# (WAN disorder kills spontaneous order); oracle-free Paxos "
+              "pipelines to ~2 hops and is flat.\n"
+              "# The one-step fast path is a LAN technique — the flip side "
+              "of Figures 2/3.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Zero-degradation experiment (Definition 3, Dutta & Guerraoui): decision
+// steps and latency in *stable runs with initial crashes* — the scenario that
+// separates zero-degrading protocols from ones that merely do well in
+// failure-free runs.
+//
+// For every protocol and every number of initial crashes c <= f we run
+// divergent-proposal consensus on the calibrated LAN with a stable failure
+// detector (it suspects exactly the crashed processes from t=0, Def. 2) and
+// report the mean steps and latency of round-deciding processes.
+//
+// Expected: L-/P-Consensus and Paxos stay at 2 steps for every c (they are
+// zero-degrading — crashes of *other* processes cost nothing once the FD is
+// stable); Brasileiro pays its 3-step penalty in every such run; repeated
+// consensus (the paper's motivation: initial failures propagate into all
+// subsequent instances) would pay that penalty forever.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/consensus_world.h"
+
+namespace {
+
+using namespace zdc;
+
+struct Cell {
+  double mean_steps = 0;
+  double mean_latency_ms = 0;
+  bool ok = true;
+};
+
+Cell run_cell(const std::string& protocol, GroupParams group,
+              std::uint32_t crashes, std::uint32_t runs) {
+  Cell cell;
+  common::OnlineStats steps;
+  common::OnlineStats latency;
+  for (std::uint32_t i = 0; i < runs; ++i) {
+    sim::ConsensusRunConfig cfg;
+    cfg.group = group;
+    cfg.net = sim::calibrated_lan_2006();
+    cfg.seed = 9000 + i;
+    cfg.fd.mode = sim::FdMode::kStable;
+    for (std::uint32_t c = 0; c < crashes; ++c) {
+      sim::CrashSpec spec;
+      spec.p = c;  // kill the lowest ids: the natural Ω leader is among them
+      spec.initial = true;
+      cfg.crashes.push_back(spec);
+    }
+    for (ProcessId p = 0; p < group.n; ++p) {
+      cfg.proposals.push_back("v" + std::to_string(p));  // divergent
+    }
+    auto r = sim::run_consensus(cfg, sim::consensus_factory_by_name(protocol));
+    cell.ok = cell.ok && r.safe() && r.all_correct_decided;
+    for (const auto& o : r.outcomes) {
+      if (!o.decided || o.path != consensus::DecisionPath::kRound) continue;
+      steps.add(o.steps);
+      latency.add(o.decide_time);
+    }
+  }
+  cell.mean_steps = steps.mean();
+  cell.mean_latency_ms = latency.mean();
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint32_t kRuns = 40;
+  struct Entry {
+    std::string label;
+    std::string protocol;
+    GroupParams group;
+  };
+  const std::vector<Entry> entries = {
+      {"L-Consensus", "l", GroupParams{4, 1}},
+      {"P-Consensus", "p", GroupParams{4, 1}},
+      {"Brasileiro", "brasileiro-l", GroupParams{4, 1}},
+      {"Fast Paxos", "fast-paxos", GroupParams{4, 1}},
+      {"CT", "ct", GroupParams{4, 1}},
+      {"Paxos", "paxos", GroupParams{3, 1}},
+  };
+
+  std::printf("=== Zero-degradation: stable runs with initial crashes ===\n");
+  std::printf("divergent proposals; mean decision steps / latency [ms]\n\n");
+  std::printf("%-14s  %20s  %20s\n", "protocol", "0 crashes", "1 crash");
+
+  for (const Entry& e : entries) {
+    std::printf("%-14s", e.label.c_str());
+    for (std::uint32_t crashes : {0u, 1u}) {
+      Cell cell = run_cell(e.protocol, e.group, crashes, kRuns);
+      std::printf("  %8.2f steps %5.2fms%s", cell.mean_steps,
+                  cell.mean_latency_ms, cell.ok ? "" : "!");
+    }
+    std::printf("\n");
+  }
+
+  // Larger group at the resilience boundary.
+  std::printf("\n%-14s  %20s  %20s  (n=7, f=2)\n", "protocol", "0 crashes",
+              "2 crashes");
+  for (const Entry& e : entries) {
+    if (e.protocol == "paxos") continue;
+    std::printf("%-14s", e.label.c_str());
+    for (std::uint32_t crashes : {0u, 2u}) {
+      Cell cell = run_cell(e.protocol, GroupParams{7, 2}, crashes, kRuns);
+      std::printf("  %8.2f steps %5.2fms%s", cell.mean_steps,
+                  cell.mean_latency_ms, cell.ok ? "" : "!");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n# expected: L/P hold 2 steps with and without initial "
+              "crashes (zero-degradation);\n"
+              "# Brasileiro needs 3 steps from divergent proposals in every "
+              "stable run. Single-decree\n"
+              "# Paxos pays a phase-1 round trip (4 steps) when the ballot-0 "
+              "owner is among the dead —\n"
+              "# the sequencer (Multi-Paxos) amortizes that across instances, "
+              "which is why Table 1 still\n"
+              "# lists Paxos at 3 message delays end to end.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Quickstart: reach consensus among four simulated processes with
+// L-Consensus (Algorithm 1 of the paper), first from unanimous proposals
+// (one communication step), then from divergent ones (two steps — the
+// zero-degradation guarantee), then with the leader crashed from the start.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "sim/consensus_world.h"
+
+using namespace zdc;
+
+namespace {
+
+void report(const char* title, const sim::ConsensusRunResult& r) {
+  std::printf("%s\n", title);
+  for (ProcessId p = 0; p < r.outcomes.size(); ++p) {
+    const auto& o = r.outcomes[p];
+    if (!o.correct && !o.decided) {
+      std::printf("  p%u: crashed\n", p);
+    } else if (o.decided) {
+      std::printf("  p%u: decided \"%s\" after %u step%s (%.2f ms, %s)\n", p,
+                  o.decision.c_str(), o.steps, o.steps == 1 ? "" : "s",
+                  o.decide_time,
+                  o.path == consensus::DecisionPath::kRound
+                      ? "own round logic"
+                      : "forwarded DECIDE");
+    } else {
+      std::printf("  p%u: undecided\n", p);
+    }
+  }
+  std::printf("  agreement=%s validity=%s\n\n", r.agreement_ok ? "ok" : "VIOLATED",
+              r.validity_ok ? "ok" : "VIOLATED");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("zdc quickstart: L-Consensus, n=4, f=1, calibrated LAN\n\n");
+
+  // 1. All processes propose the same value: one-step decision.
+  {
+    sim::ConsensusRunConfig cfg;
+    cfg.group = GroupParams{4, 1};
+    cfg.net = sim::calibrated_lan_2006();
+    cfg.seed = 1;
+    cfg.proposals.assign(4, "commit-tx-1042");
+    auto r = sim::run_consensus(cfg, sim::l_consensus_factory());
+    report("[1] unanimous proposals (expect 1 step):", r);
+  }
+
+  // 2. Divergent proposals: two steps in a stable run (zero-degradation).
+  {
+    sim::ConsensusRunConfig cfg;
+    cfg.group = GroupParams{4, 1};
+    cfg.net = sim::calibrated_lan_2006();
+    cfg.seed = 2;
+    cfg.proposals = {"apply-a", "apply-b", "apply-c", "apply-d"};
+    auto r = sim::run_consensus(cfg, sim::l_consensus_factory());
+    report("[2] divergent proposals (expect 2 steps):", r);
+  }
+
+  // 3. The Ω leader is dead from the start; the failure detector is stable
+  //    (suspects exactly the dead process), so the survivors still decide in
+  //    two steps — this is what zero-degradation buys.
+  {
+    sim::ConsensusRunConfig cfg;
+    cfg.group = GroupParams{4, 1};
+    cfg.net = sim::calibrated_lan_2006();
+    cfg.seed = 3;
+    cfg.fd.mode = sim::FdMode::kStable;
+    cfg.proposals = {"apply-a", "apply-b", "apply-c", "apply-d"};
+    sim::CrashSpec crash;
+    crash.p = 0;
+    crash.initial = true;
+    cfg.crashes.push_back(crash);
+    auto r = sim::run_consensus(cfg, sim::l_consensus_factory());
+    report("[3] initial leader crash, stable run (still 2 steps):", r);
+  }
+  return 0;
+}

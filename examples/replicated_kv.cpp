@@ -1,0 +1,102 @@
+// Replicated key-value store on the threaded runtime.
+//
+// Four replicas run C-Abcast over P-Consensus (the paper's ◇P stack) above a
+// heartbeat failure detector and an in-process network with injected delays.
+// Concurrent writers hit different replicas; atomic broadcast gives every
+// replica the same command order, so all four KV state machines converge to
+// byte-identical state — demonstrated by comparing snapshots at the end.
+//
+//   ./build/examples/replicated_kv
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/kv_store.h"
+#include "core/rsm.h"
+#include "runtime/runtime_node.h"
+
+using namespace zdc;
+
+int main() {
+  constexpr std::uint32_t kReplicas = 4;
+  constexpr int kWritesPerReplica = 25;
+
+  // One ReplicatedStateMachine + KvStateMachine per replica.
+  std::vector<std::unique_ptr<core::ReplicatedStateMachine>> rsms;
+  for (std::uint32_t i = 0; i < kReplicas; ++i) {
+    rsms.push_back(std::make_unique<core::ReplicatedStateMachine>(
+        std::make_unique<core::KvStateMachine>()));
+  }
+
+  runtime::RuntimeCluster::Config cfg;
+  cfg.group = GroupParams{kReplicas, 1};
+  cfg.kind = runtime::ProtocolKind::kCAbcastP;
+  cfg.net.seed = 2024;
+  cfg.net.min_delay_ms = 0.05;
+  cfg.net.max_delay_ms = 0.5;
+
+  runtime::RuntimeCluster cluster(
+      cfg, [&rsms](ProcessId p, const abcast::AppMessage& m) {
+        rsms[p]->on_delivered(m);
+      });
+  for (ProcessId p = 0; p < kReplicas; ++p) {
+    rsms[p]->bind_submit([&cluster, p](std::string cmd) {
+      cluster.node(p).a_broadcast(std::move(cmd));
+    });
+  }
+  cluster.start();
+  std::printf("started %u replicas (C-Abcast over P-Consensus, heartbeat ◇P)\n",
+              kReplicas);
+
+  // Concurrent writers: every replica issues PUTs against shared keys, so the
+  // final value of each key is decided purely by the broadcast total order.
+  for (int i = 0; i < kWritesPerReplica; ++i) {
+    for (ProcessId p = 0; p < kReplicas; ++p) {
+      rsms[p]->submit(core::kv_put("shared-" + std::to_string(i),
+                                   "written-by-p" + std::to_string(p)));
+      rsms[p]->submit(core::kv_put(
+          "own-p" + std::to_string(p) + "-" + std::to_string(i), "v"));
+    }
+  }
+
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kWritesPerReplica) * kReplicas * 2;
+  const bool done = runtime::RuntimeCluster::wait_until(
+      [&] {
+        for (const auto& rsm : rsms) {
+          if (rsm->applied_count() < expected) return false;
+        }
+        return true;
+      },
+      30'000.0);
+  cluster.shutdown();
+
+  if (!done) {
+    std::printf("ERROR: replicas did not converge in time\n");
+    return 1;
+  }
+
+  const std::string reference = rsms[0]->machine().snapshot();
+  bool identical = true;
+  for (ProcessId p = 0; p < kReplicas; ++p) {
+    const auto& kv = static_cast<const core::KvStateMachine&>(rsms[p]->machine());
+    const bool same = rsms[p]->machine().snapshot() == reference;
+    identical = identical && same;
+    std::printf("replica %u: applied=%llu keys=%zu snapshot %s\n", p,
+                static_cast<unsigned long long>(rsms[p]->applied_count()),
+                kv.size(), same ? "== reference" : "!= reference (DIVERGED)");
+  }
+
+  // The shared keys show the total order in action: every replica resolved
+  // the write races identically.
+  const auto& kv0 = static_cast<const core::KvStateMachine&>(rsms[0]->machine());
+  std::printf("\nrace winners (identical on every replica):\n");
+  for (int i = 0; i < 3; ++i) {
+    const std::string key = "shared-" + std::to_string(i);
+    std::printf("  %s = %s\n", key.c_str(), kv0.lookup(key)->c_str());
+  }
+  std::printf("\n%s\n", identical ? "SUCCESS: all replicas converged"
+                                  : "FAILURE: divergence detected");
+  return identical ? 0 : 1;
+}

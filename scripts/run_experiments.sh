@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerates every paper experiment: runs each bench binary, tees the output
+# to results/, and exports the figure sweeps as CSV for plotting.
+set -u
+cd "$(dirname "$0")/.."
+BUILD=${1:-build}
+OUT=results
+mkdir -p "$OUT"
+
+for bench in "$BUILD"/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  echo "== $name"
+  case "$name" in
+    bench_fig2|bench_fig3)
+      "$bench" --csv "$OUT/$name.csv" | tee "$OUT/$name.txt" ;;
+    bench_micro)
+      "$bench" --benchmark_min_time=0.1 | tee "$OUT/$name.txt" ;;
+    *)
+      "$bench" | tee "$OUT/$name.txt" ;;
+  esac
+done
+echo "all experiment outputs in $OUT/"

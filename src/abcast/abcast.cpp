@@ -1,0 +1,51 @@
+#include "abcast/abcast.h"
+
+namespace zdc::abcast {
+
+std::string encode_msg_set(const MsgSet& set) {
+  common::Encoder enc;
+  enc.put_u32(static_cast<std::uint32_t>(set.size()));
+  for (const auto& [id, payload] : set) {  // std::map iterates in MsgId order
+    enc.put_u32(id.sender);
+    enc.put_u64(id.seq);
+    enc.put_string(payload);
+  }
+  return enc.take();
+}
+
+bool decode_msg_set(std::string_view bytes, MsgSet& out) {
+  out.clear();
+  common::Decoder dec(bytes);
+  const std::uint32_t count = dec.get_u32();
+  for (std::uint32_t i = 0; i < count && dec.ok(); ++i) {
+    MsgId id;
+    id.sender = dec.get_u32();
+    id.seq = dec.get_u64();
+    std::string payload = dec.get_string();
+    if (dec.ok()) out.emplace(id, std::move(payload));
+  }
+  if (!dec.done()) {
+    out.clear();
+    return false;
+  }
+  return true;
+}
+
+MsgId AtomicBroadcast::a_broadcast(std::string payload) {
+  AppMessage m;
+  m.id = MsgId{self_, next_seq_++};
+  m.payload = std::move(payload);
+  ++metrics_.a_broadcasts;
+  const MsgId id = m.id;
+  submit(std::move(m));
+  return id;
+}
+
+void AtomicBroadcast::on_w_deliver(InstanceId k, ProcessId origin,
+                                   const std::string& payload) {
+  (void)k;
+  (void)origin;
+  (void)payload;  // protocols that do not use the oracle ignore deliveries
+}
+
+}  // namespace zdc::abcast

@@ -1,0 +1,264 @@
+#include "abcast/c_abcast.h"
+
+#include <utility>
+
+#include "common/assert.h"
+#include "common/log.h"
+#include "consensus/l_consensus.h"
+#include "consensus/p_consensus.h"
+#include "consensus/wab_consensus.h"
+
+namespace zdc::abcast {
+
+class CAbcast::InstanceHost final : public consensus::ConsensusHost {
+ public:
+  InstanceHost(CAbcast& outer, InstanceId k) : outer_(outer), k_(k) {}
+
+  void send(ProcessId to, std::string bytes) override {
+    outer_.host_.send(to, wrap(std::move(bytes)));
+  }
+  void broadcast(std::string bytes) override {
+    outer_.host_.broadcast(wrap(std::move(bytes)));
+  }
+  void deliver_decision(const Value& v) override {
+    outer_.on_instance_decided(k_, v);
+  }
+
+  void w_broadcast(std::uint64_t stage, std::string payload) override {
+    // Consensus-internal oracle stages share the round's id space (stage 0 is
+    // the round's own w-broadcast, so sub-stages start at 1).
+    ZDC_ASSERT(stage > 0 && stage <= kStageMask);
+    ++outer_.metrics_.w_broadcasts;
+    outer_.host_.w_broadcast((k_ << kStageBits) | stage, std::move(payload));
+  }
+
+ private:
+  [[nodiscard]] std::string wrap(std::string bytes) const {
+    common::Encoder enc;
+    enc.put_u8(kConsTag);
+    enc.put_u64(k_);
+    enc.put_raw(bytes);
+    return enc.take();
+  }
+
+  CAbcast& outer_;
+  InstanceId k_;
+};
+
+struct CAbcast::Instance {
+  explicit Instance(CAbcast& outer, InstanceId k) : host(outer, k) {}
+  InstanceHost host;
+  std::unique_ptr<consensus::Consensus> cons;
+  std::optional<Value> decision;
+  common::ProtocolMetrics final_metrics;  ///< captured at prune time
+};
+
+CAbcast::CAbcast(ProcessId self, GroupParams group, AbcastHost& host,
+                 consensus::ConsensusFactory factory, std::string display_name)
+    : AtomicBroadcast(self, group, host),
+      factory_(std::move(factory)),
+      display_name_(std::move(display_name)) {}
+
+CAbcast::~CAbcast() = default;
+
+CAbcast::Instance& CAbcast::instance(InstanceId k) {
+  auto it = instances_.find(k);
+  if (it == instances_.end()) {
+    auto inst = std::make_unique<Instance>(*this, k);
+    inst->cons = factory_(self_, group_, inst->host);
+    ++metrics_.consensus_instances;
+    it = instances_.emplace(k, std::move(inst)).first;
+  }
+  return *it->second;
+}
+
+void CAbcast::submit(AppMessage m) {
+  if (adelivered_.count(m.id) != 0) return;
+  estimate_.emplace(m.id, std::move(m.payload));
+  step();
+}
+
+void CAbcast::on_message(ProcessId from, std::string_view bytes) {
+  common::Decoder dec(bytes);
+  const std::uint8_t tag = dec.get_u8();
+  const InstanceId k = dec.get_u64();
+  if (!dec.ok() || tag != kConsTag || k == 0) return;  // malformed
+  if (k + kPruneWindow < round_) return;  // instance pruned, decision flooded
+  Instance& inst = instance(k);
+  if (inst.cons != nullptr) inst.cons->on_message(from, dec.get_rest());
+  step();
+}
+
+void CAbcast::on_w_deliver(InstanceId raw, ProcessId origin,
+                           const std::string& payload) {
+  const InstanceId k = raw >> kStageBits;
+  const InstanceId stage = raw & kStageMask;
+  if (k == 0) return;  // malformed id
+  if (stage != 0) {
+    // Consensus-internal oracle traffic: route to the instance.
+    if (k + kPruneWindow < round_) return;
+    Instance& inst = instance(k);
+    if (inst.cons != nullptr) inst.cons->on_w_deliver(stage, origin, payload);
+    step();
+    return;
+  }
+
+  MsgSet batch;
+  if (!decode_msg_set(payload, batch)) return;
+
+  // Record the round's first oracle output — the consensus proposal (line 7).
+  if (k >= round_) firsts_.emplace(k, payload);
+
+  // Line 16 (strengthened, see header): merge every w-delivered message that
+  // has not been a-delivered into the estimate.
+  for (auto& [id, body] : batch) {
+    if (adelivered_.count(id) == 0) estimate_.emplace(id, std::move(body));
+  }
+  step();
+}
+
+void CAbcast::on_fd_change() {
+  for (auto& [k, inst] : instances_) {
+    if (inst->cons != nullptr) inst->cons->on_fd_change();
+  }
+  step();
+}
+
+void CAbcast::on_instance_decided(InstanceId k, const Value& v) {
+  instance(k).decision = v;
+  step();
+}
+
+MsgSet CAbcast::pending_estimate() const {
+  MsgSet pending;
+  for (const auto& [id, body] : estimate_) {
+    if (adelivered_.count(id) == 0) {
+      pending.emplace(id, body);
+      if (max_batch_ != 0 && pending.size() >= max_batch_) break;
+    }
+  }
+  return pending;
+}
+
+void CAbcast::step() {
+  if (driving_) return;  // re-entrancy from nested upcalls; outer loop resumes
+  driving_ = true;
+  for (;;) {
+    // A stored decision for the current round completes it regardless of
+    // phase — this is both the normal completion and the catch-up path.
+    const auto inst_it = instances_.find(round_);
+    if (inst_it != instances_.end() && inst_it->second->decision.has_value()) {
+      complete_round(*inst_it->second->decision);
+      continue;
+    }
+
+    if (phase_ == Phase::kIdle) {
+      // Lines 14-15: only start a round when there is something to order or
+      // somebody else already started it.
+      const MsgSet pending = pending_estimate();
+      if (pending.empty() && firsts_.find(round_) == firsts_.end()) break;
+      // Line 6: w-broadcast the estimate (possibly empty, if we were woken by
+      // another process's round-k broadcast). Sub-stage 0 = the round itself.
+      ++metrics_.w_broadcasts;
+      host_.w_broadcast(round_ << kStageBits, encode_msg_set(pending));
+      phase_ = Phase::kWaitFirst;
+      continue;
+    }
+
+    if (phase_ == Phase::kWaitFirst) {
+      const auto first_it = firsts_.find(round_);
+      if (first_it == firsts_.end()) break;  // line 7: still waiting
+      // Line 8: propose the first oracle output of this round.
+      Instance& inst = instance(round_);
+      phase_ = Phase::kDeciding;
+      inst.cons->propose(first_it->second);
+      continue;  // propose may have decided synchronously via buffered DECIDE
+    }
+
+    // Phase::kDeciding — waiting for the instance decision upcall.
+    break;
+  }
+  driving_ = false;
+}
+
+void CAbcast::complete_round(const Value& decision) {
+  MsgSet batch;
+  const bool ok = decode_msg_set(decision, batch);
+  ZDC_ASSERT_MSG(ok, "consensus decided a malformed batch");
+
+  // Lines 9-12: deliver the new messages atomically in canonical order.
+  for (auto& [id, body] : batch) {
+    if (adelivered_.count(id) != 0) continue;
+    adelivered_.insert(id);
+    estimate_.erase(id);
+    AppMessage m;
+    m.id = id;
+    m.payload = std::move(body);
+    deliver(m);
+  }
+
+  firsts_.erase(round_);
+  ++round_;
+  phase_ = Phase::kIdle;
+  prune();
+}
+
+void CAbcast::prune() {
+  while (!instances_.empty()) {
+    auto it = instances_.begin();
+    if (it->first + kPruneWindow >= round_) break;
+    // Keep the transport accounting of pruned instances.
+    metrics_.transport += it->second->cons != nullptr
+                              ? it->second->cons->metrics()
+                              : it->second->final_metrics;
+    instances_.erase(it);
+  }
+  while (!firsts_.empty() && firsts_.begin()->first < round_) {
+    firsts_.erase(firsts_.begin());
+  }
+}
+
+void CAbcast::finalize_metrics() {
+  for (auto& [k, inst] : instances_) {
+    if (inst->cons == nullptr) continue;
+    metrics_.transport += inst->cons->metrics();
+    inst->final_metrics = inst->cons->metrics();
+    inst->cons.reset();  // flush only at end of run; instances become inert
+  }
+}
+
+std::unique_ptr<CAbcast> make_c_abcast_l(ProcessId self, GroupParams group,
+                                         AbcastHost& host,
+                                         const fd::OmegaView& omega) {
+  const fd::OmegaView* omega_ptr = &omega;
+  consensus::ConsensusFactory factory =
+      [omega_ptr](ProcessId s, GroupParams g, consensus::ConsensusHost& h) {
+        return std::make_unique<consensus::LConsensus>(s, g, h, *omega_ptr);
+      };
+  return std::make_unique<CAbcast>(self, group, host, std::move(factory),
+                                   "C-Abcast/L-Consensus");
+}
+
+std::unique_ptr<CAbcast> make_c_abcast_p(ProcessId self, GroupParams group,
+                                         AbcastHost& host,
+                                         const fd::SuspectView& suspects) {
+  const fd::SuspectView* suspects_ptr = &suspects;
+  consensus::ConsensusFactory factory =
+      [suspects_ptr](ProcessId s, GroupParams g, consensus::ConsensusHost& h) {
+        return std::make_unique<consensus::PConsensus>(s, g, h, *suspects_ptr);
+      };
+  return std::make_unique<CAbcast>(self, group, host, std::move(factory),
+                                   "C-Abcast/P-Consensus");
+}
+
+std::unique_ptr<CAbcast> make_wabcast(ProcessId self, GroupParams group,
+                                      AbcastHost& host) {
+  consensus::ConsensusFactory factory = [](ProcessId s, GroupParams g,
+                                           consensus::ConsensusHost& h) {
+    return std::make_unique<consensus::WabConsensus>(s, g, h);
+  };
+  return std::make_unique<CAbcast>(self, group, host, std::move(factory),
+                                   "WABCast");
+}
+
+}  // namespace zdc::abcast

@@ -1,0 +1,322 @@
+#include "abcast/paxos_abcast.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace zdc::abcast {
+
+PaxosAbcast::PaxosAbcast(ProcessId self, GroupParams group, AbcastHost& host,
+                         const fd::OmegaView& omega)
+    : AtomicBroadcast(self, group, host), omega_(omega) {
+  ZDC_ASSERT_MSG(group.majority_resilient(), "Paxos requires f < n/2");
+  leading_ = omega_.leader() == self_;
+  if (leading_) become_leader();
+}
+
+PaxosAbcast::Ballot PaxosAbcast::next_owned_ballot(Ballot floor) const {
+  const Ballot n = group_.n;
+  const Ballot base = (floor / n) * n + self_;
+  return base >= floor ? base : base + n;
+}
+
+void PaxosAbcast::submit(AppMessage m) {
+  unacked_.emplace(m.id, m.payload);
+
+  common::Encoder enc;
+  enc.put_u8(kClientTag);
+  enc.put_u32(m.id.sender);
+  enc.put_u64(m.id.seq);
+  enc.put_string(m.payload);
+
+  const ProcessId leader = omega_.leader();
+  if (leader == self_) {
+    common::Decoder dec(enc.bytes());
+    dec.get_u8();
+    handle_client(self_, dec);
+  } else if (leader != kNoProcess) {
+    ++metrics_.transport.messages_sent;
+    metrics_.transport.bytes_sent += enc.size();
+    host_.send(leader, enc.take());
+  }
+  // leader == kNoProcess: the message stays in unacked_ and is sent on the
+  // next failure-detector change.
+}
+
+void PaxosAbcast::on_message(ProcessId from, std::string_view bytes) {
+  common::Decoder dec(bytes);
+  const std::uint8_t tag = dec.get_u8();
+  if (!dec.ok()) return;
+  switch (tag) {
+    case kClientTag: handle_client(from, dec); break;
+    case kP1aTag: handle_p1a(from, dec); break;
+    case kP1bTag: handle_p1b(from, dec); break;
+    case kP2aTag: handle_p2a(from, dec); break;
+    case kP2bTag: handle_p2b(from, dec); break;
+    case kNackTag: handle_nack(from, dec); break;
+    default: break;  // unknown tag: drop
+  }
+}
+
+void PaxosAbcast::on_fd_change() {
+  const ProcessId leader = omega_.leader();
+  const bool now_leading = leader == self_;
+  if (now_leading && !leading_) {
+    leading_ = true;
+    become_leader();
+  } else if (!now_leading) {
+    leading_ = false;
+    established_ = false;
+  }
+  // Client side: whatever the change was, re-route undelivered messages to
+  // the (possibly new) leader. Duplicates are filtered at delivery.
+  resend_unacked();
+}
+
+void PaxosAbcast::resend_unacked() {
+  const ProcessId leader = omega_.leader();
+  if (leader == kNoProcess) return;
+  for (const auto& [id, payload] : unacked_) {
+    common::Encoder enc;
+    enc.put_u8(kClientTag);
+    enc.put_u32(id.sender);
+    enc.put_u64(id.seq);
+    enc.put_string(payload);
+    if (leader == self_) {
+      common::Decoder dec(enc.bytes());
+      dec.get_u8();
+      handle_client(self_, dec);
+    } else {
+      ++metrics_.transport.messages_sent;
+      metrics_.transport.bytes_sent += enc.size();
+      host_.send(leader, enc.take());
+    }
+  }
+}
+
+void PaxosAbcast::become_leader() {
+  establish_ballot(next_owned_ballot(std::max(max_ballot_seen_, promised_)));
+}
+
+void PaxosAbcast::establish_ballot(Ballot b) {
+  ZDC_ASSERT(ballot_owner(b) == self_);
+  current_ballot_ = b;
+  established_ = false;
+  p1b_replies_.clear();
+  if (b > max_ballot_seen_) max_ballot_seen_ = b;
+  if (b == 0) {
+    // Globally lowest ballot: phase 1 is a no-op (nothing can have been
+    // accepted below it). The initial leader p0 starts sequencing instantly.
+    on_established();
+    return;
+  }
+  common::Encoder enc;
+  enc.put_u8(kP1aTag);
+  enc.put_u64(b);
+  enc.put_u64(next_deliver_);  // low slot: everything below is delivered here
+  metrics_.transport.messages_sent += group_.n;
+  metrics_.transport.bytes_sent += enc.size() * group_.n;
+  host_.broadcast(enc.take());
+}
+
+void PaxosAbcast::on_established() {
+  established_ = true;
+  flush_pending();
+}
+
+void PaxosAbcast::flush_pending() {
+  if (!leading_ || !established_) return;
+  MsgSet batch;
+  for (const auto& [id, payload] : pending_) {
+    if (adelivered_.count(id) == 0) batch.emplace(id, payload);
+  }
+  pending_.clear();
+  if (batch.empty()) return;
+  propose_slot(next_slot_++, encode_msg_set(batch));
+}
+
+void PaxosAbcast::propose_slot(Slot slot, const Value& batch) {
+  common::Encoder enc;
+  enc.put_u8(kP2aTag);
+  enc.put_u64(current_ballot_);
+  enc.put_u64(slot);
+  enc.put_string(batch);
+  metrics_.transport.messages_sent += group_.n;
+  metrics_.transport.bytes_sent += enc.size() * group_.n;
+  host_.broadcast(enc.take());
+}
+
+void PaxosAbcast::handle_client(ProcessId from, common::Decoder& dec) {
+  (void)from;
+  MsgId id;
+  id.sender = dec.get_u32();
+  id.seq = dec.get_u64();
+  std::string payload = dec.get_string();
+  if (!dec.done()) return;
+  if (adelivered_.count(id) != 0) return;  // already ordered
+  pending_.emplace(id, std::move(payload));
+  flush_pending();
+}
+
+void PaxosAbcast::handle_p1a(ProcessId from, common::Decoder& dec) {
+  const Ballot b = dec.get_u64();
+  const Slot low = dec.get_u64();
+  if (!dec.done()) return;
+  if (b > max_ballot_seen_) max_ballot_seen_ = b;
+  if (b >= promised_) {
+    promised_ = b;
+    common::Encoder enc;
+    enc.put_u8(kP1bTag);
+    enc.put_u64(b);
+    std::uint32_t count = 0;
+    for (const auto& [slot, acc] : accepted_) {
+      if (slot >= low) ++count;
+    }
+    enc.put_u32(count);
+    for (const auto& [slot, acc] : accepted_) {
+      if (slot < low) continue;
+      enc.put_u64(slot);
+      enc.put_u64(acc.ballot);
+      enc.put_string(acc.value);
+    }
+    ++metrics_.transport.messages_sent;
+    metrics_.transport.bytes_sent += enc.size();
+    host_.send(from, enc.take());
+  } else {
+    common::Encoder enc;
+    enc.put_u8(kNackTag);
+    enc.put_u64(b);
+    enc.put_u64(promised_);
+    ++metrics_.transport.messages_sent;
+    metrics_.transport.bytes_sent += enc.size();
+    host_.send(from, enc.take());
+  }
+}
+
+void PaxosAbcast::handle_p1b(ProcessId from, common::Decoder& dec) {
+  const Ballot b = dec.get_u64();
+  const std::uint32_t count = dec.get_u32();
+  P1bInfo info;
+  for (std::uint32_t i = 0; i < count && dec.ok(); ++i) {
+    const Slot slot = dec.get_u64();
+    Accepted acc;
+    acc.ballot = dec.get_u64();
+    acc.value = dec.get_string();
+    if (dec.ok()) info.accepted.emplace(slot, std::move(acc));
+  }
+  if (!dec.done()) return;
+  if (!leading_ || established_ || b != current_ballot_) return;
+  p1b_replies_.emplace(from, std::move(info));
+  if (p1b_replies_.size() < quorum()) return;
+
+  // Re-propose, per slot, the value accepted under the highest ballot; fill
+  // gaps below the highest seen slot with no-op batches so delivery can
+  // advance past them.
+  std::map<Slot, Accepted> best;
+  for (const auto& [p, reply] : p1b_replies_) {
+    for (const auto& [slot, acc] : reply.accepted) {
+      auto it = best.find(slot);
+      if (it == best.end() || acc.ballot > it->second.ballot) {
+        best[slot] = acc;
+      }
+    }
+  }
+  Slot max_slot = next_deliver_ == 0 ? 0 : next_deliver_ - 1;
+  for (const auto& [slot, acc] : best) max_slot = std::max(max_slot, slot);
+  next_slot_ = std::max(next_slot_, max_slot + 1);
+
+  const std::string noop = encode_msg_set({});
+  for (Slot slot = next_deliver_; slot <= max_slot; ++slot) {
+    if (decided_.count(slot) != 0) continue;
+    const auto it = best.find(slot);
+    propose_slot(slot, it != best.end() ? it->second.value : noop);
+  }
+  on_established();
+}
+
+void PaxosAbcast::handle_p2a(ProcessId from, common::Decoder& dec) {
+  const Ballot b = dec.get_u64();
+  const Slot slot = dec.get_u64();
+  Value v = dec.get_string();
+  if (!dec.done() || slot == 0) return;
+  if (b > max_ballot_seen_) max_ballot_seen_ = b;
+  if (b >= promised_) {
+    promised_ = b;
+    auto& acc = accepted_[slot];
+    acc.ballot = b;
+    acc.value = std::move(v);
+    common::Encoder enc;
+    enc.put_u8(kP2bTag);
+    enc.put_u64(b);
+    enc.put_u64(slot);
+    enc.put_string(acc.value);
+    metrics_.transport.messages_sent += group_.n;
+    metrics_.transport.bytes_sent += enc.size() * group_.n;
+    host_.broadcast(enc.take());
+  } else {
+    common::Encoder enc;
+    enc.put_u8(kNackTag);
+    enc.put_u64(b);
+    enc.put_u64(promised_);
+    ++metrics_.transport.messages_sent;
+    metrics_.transport.bytes_sent += enc.size();
+    host_.send(from, enc.take());
+  }
+}
+
+void PaxosAbcast::handle_p2b(ProcessId from, common::Decoder& dec) {
+  const Ballot b = dec.get_u64();
+  const Slot slot = dec.get_u64();
+  Value v = dec.get_string();
+  if (!dec.done() || slot == 0) return;
+  if (b > max_ballot_seen_) max_ballot_seen_ = b;
+  // Slots below next_deliver_ are already delivered (their decided_ entry is
+  // gone); late 2b traffic for them must not resurrect the slot.
+  if (slot < next_deliver_ || decided_.count(slot) != 0) return;
+  auto& votes = p2b_votes_[slot][b];
+  votes.insert(from);
+  if (votes.size() >= quorum()) learn(slot, v);
+}
+
+void PaxosAbcast::learn(Slot slot, const Value& batch) {
+  const auto [it, inserted] = decided_.emplace(slot, batch);
+  if (!inserted) return;
+  p2b_votes_.erase(slot);
+  if (leading_ && slot >= next_slot_) next_slot_ = slot + 1;
+  try_deliver();
+}
+
+void PaxosAbcast::try_deliver() {
+  for (auto it = decided_.find(next_deliver_); it != decided_.end();
+       it = decided_.find(next_deliver_)) {
+    MsgSet batch;
+    const bool ok = decode_msg_set(it->second, batch);
+    ZDC_ASSERT_MSG(ok, "decided slot holds a malformed batch");
+    for (auto& [id, payload] : batch) {
+      if (!adelivered_.insert(id).second) continue;  // duplicate: Integrity
+      unacked_.erase(id);
+      pending_.erase(id);
+      AppMessage m;
+      m.id = id;
+      m.payload = std::move(payload);
+      deliver(m);
+    }
+    decided_.erase(it);
+    ++next_deliver_;
+  }
+}
+
+void PaxosAbcast::handle_nack(ProcessId from, common::Decoder& dec) {
+  (void)from;
+  const Ballot b = dec.get_u64();
+  const Ballot promised = dec.get_u64();
+  if (!dec.done()) return;
+  if (promised > max_ballot_seen_) max_ballot_seen_ = promised;
+  if (leading_ && b == current_ballot_) {
+    establish_ballot(next_owned_ballot(promised + 1));
+  }
+}
+
+}  // namespace zdc::abcast

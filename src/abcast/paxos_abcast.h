@@ -1,0 +1,120 @@
+// Paxos atomic broadcast — the Multi-Paxos sequencer baseline of Table 1 and
+// Figure 3.
+//
+// Every process forwards its a-broadcast messages to the Ω leader (1δ); the
+// leader batches pending messages into numbered slots and runs phase 2 for
+// each (2a: leader → acceptors, 1δ; 2b: acceptors → all learners, 1δ), giving
+// the 3δ end-to-end latency and n² + n + 1 messages per a-broadcast of
+// Table 1. Ballot 0 (owned by p0) needs no phase 1, so a stable run led by p0
+// has zero establishment cost; any other leader first establishes its ballot
+// with a slot-range phase 1, re-proposes the values it learned, fills gaps
+// with no-op batches and only then appends new batches.
+//
+// Resilience f < n/2 (majority quorums) — the trade against the f < n/3 of
+// the one-step protocols the paper highlights.
+//
+// Liveness plumbing without timers (channels are reliable): explicit NACKs
+// carry the promised ballot so a live leader retries with a higher owned
+// ballot, and clients re-send their undelivered messages whenever Ω changes.
+// Delivery dedupes by message id, so retransmission duplicates are harmless
+// (Integrity).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "abcast/abcast.h"
+#include "fd/failure_detector.h"
+
+namespace zdc::abcast {
+
+class PaxosAbcast final : public AtomicBroadcast {
+ public:
+  PaxosAbcast(ProcessId self, GroupParams group, AbcastHost& host,
+              const fd::OmegaView& omega);
+
+  void on_message(ProcessId from, std::string_view bytes) override;
+  void on_fd_change() override;
+
+  [[nodiscard]] std::string name() const override { return "Paxos-Abcast"; }
+
+  /// Next slot to a-deliver (for tests).
+  [[nodiscard]] std::uint64_t next_deliver_slot() const { return next_deliver_; }
+
+ protected:
+  void submit(AppMessage m) override;
+
+ private:
+  using Ballot = std::uint64_t;
+  using Slot = std::uint64_t;
+  static constexpr Ballot kNoBallot = ~Ballot{0};
+
+  static constexpr std::uint8_t kClientTag = 1;
+  static constexpr std::uint8_t kP1aTag = 2;
+  static constexpr std::uint8_t kP1bTag = 3;
+  static constexpr std::uint8_t kP2aTag = 4;
+  static constexpr std::uint8_t kP2bTag = 5;
+  static constexpr std::uint8_t kNackTag = 6;
+
+  [[nodiscard]] ProcessId ballot_owner(Ballot b) const {
+    return static_cast<ProcessId>(b % group_.n);
+  }
+  [[nodiscard]] Ballot next_owned_ballot(Ballot floor) const;
+  [[nodiscard]] std::uint32_t quorum() const { return group_.majority(); }
+
+  // --- leader side ---
+  void become_leader();
+  void establish_ballot(Ballot b);
+  void on_established();
+  void flush_pending();
+  void propose_slot(Slot slot, const Value& batch);
+
+  // --- message handlers ---
+  void handle_client(ProcessId from, common::Decoder& dec);
+  void handle_p1a(ProcessId from, common::Decoder& dec);
+  void handle_p1b(ProcessId from, common::Decoder& dec);
+  void handle_p2a(ProcessId from, common::Decoder& dec);
+  void handle_p2b(ProcessId from, common::Decoder& dec);
+  void handle_nack(ProcessId from, common::Decoder& dec);
+
+  void learn(Slot slot, const Value& batch);
+  void try_deliver();
+  void resend_unacked();
+
+  const fd::OmegaView& omega_;
+
+  // Client state: own messages not yet a-delivered (resent on leader change).
+  std::map<MsgId, std::string> unacked_;
+
+  // Acceptor state: one promised ballot for all slots (Multi-Paxos).
+  Ballot promised_ = 0;
+  struct Accepted {
+    Ballot ballot = 0;
+    Value value;
+  };
+  std::map<Slot, Accepted> accepted_;
+
+  // Leader state.
+  bool leading_ = false;
+  bool established_ = false;
+  Ballot current_ballot_ = kNoBallot;
+  Slot next_slot_ = 1;
+  MsgSet pending_;  ///< client messages awaiting a slot
+  struct P1bInfo {
+    std::map<Slot, Accepted> accepted;
+  };
+  std::map<ProcessId, P1bInfo> p1b_replies_;
+
+  // Learner state.
+  std::map<Slot, std::map<Ballot, std::set<ProcessId>>> p2b_votes_;
+  std::map<Slot, Value> decided_;
+  Slot next_deliver_ = 1;
+  std::set<MsgId> adelivered_;
+
+  Ballot max_ballot_seen_ = 0;
+};
+
+}  // namespace zdc::abcast

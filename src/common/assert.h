@@ -1,0 +1,34 @@
+// Always-on invariant checking.
+//
+// Protocol invariants (agreement, quorum intersection, round monotonicity) are
+// cheap to check relative to message handling, so we keep them enabled in
+// every build type instead of relying on NDEBUG-stripped assert().
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace zdc::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "zdc assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg == nullptr ? "" : msg);
+  std::abort();
+}
+
+}  // namespace zdc::detail
+
+#define ZDC_ASSERT(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::zdc::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr);   \
+    }                                                                   \
+  } while (false)
+
+#define ZDC_ASSERT_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::zdc::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));     \
+    }                                                                   \
+  } while (false)

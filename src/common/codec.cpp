@@ -1,0 +1,27 @@
+#include "common/codec.h"
+
+namespace zdc::common {
+
+void encode_string_list(Encoder& enc, const std::vector<std::string>& items) {
+  enc.put_u32(static_cast<std::uint32_t>(items.size()));
+  for (const auto& s : items) {
+    enc.put_string(s);
+  }
+}
+
+std::vector<std::string> decode_string_list(Decoder& dec) {
+  std::uint32_t count = dec.get_u32();
+  std::vector<std::string> out;
+  // Guard against hostile counts: never reserve more entries than bytes left.
+  if (count > dec.remaining() + 1) {
+    count = static_cast<std::uint32_t>(dec.remaining() + 1);
+  }
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count && dec.ok(); ++i) {
+    out.push_back(dec.get_string());
+  }
+  if (!dec.ok()) out.clear();
+  return out;
+}
+
+}  // namespace zdc::common

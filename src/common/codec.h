@@ -1,0 +1,142 @@
+// Bounds-checked binary encoding of protocol messages.
+//
+// All wire messages in zdc are encoded with Encoder and parsed with Decoder.
+// Decoder never reads out of bounds: every getter checks the remaining length
+// and, on underflow, latches an error flag and returns a zero value. Callers
+// check ok() once after reading a whole message; a failed decode is reported to
+// the caller, never undefined behaviour. Integers are little-endian fixed
+// width (the simulator and runtime are same-host, but we still commit to a
+// byte order so the format is well defined).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zdc::common {
+
+/// Serializes integers and strings into a byte buffer.
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void put_u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void put_u16(std::uint16_t v) { put_fixed(v); }
+  void put_u32(std::uint32_t v) { put_fixed(v); }
+  void put_u64(std::uint64_t v) { put_fixed(v); }
+
+  void put_f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(bits);
+  }
+
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+
+  /// Length-prefixed byte string (u32 length).
+  void put_string(std::string_view s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+
+  /// Raw bytes without a length prefix (for nested pre-encoded payloads whose
+  /// length is implied by the enclosing frame).
+  void put_raw(std::string_view s) { buf_.append(s.data(), s.size()); }
+
+  [[nodiscard]] const std::string& bytes() const { return buf_; }
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void put_fixed(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  std::string buf_;
+};
+
+/// Parses a byte buffer produced by Encoder. All reads are bounds checked.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view bytes) : data_(bytes) {}
+
+  std::uint8_t get_u8() {
+    if (!check(1)) return 0;
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint16_t get_u16() { return get_fixed<std::uint16_t>(); }
+  std::uint32_t get_u32() { return get_fixed<std::uint32_t>(); }
+  std::uint64_t get_u64() { return get_fixed<std::uint64_t>(); }
+
+  double get_f64() {
+    std::uint64_t bits = get_u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  bool get_bool() { return get_u8() != 0; }
+
+  std::string get_string() {
+    std::uint32_t len = get_u32();
+    if (!check(len)) return {};
+    std::string out(data_.substr(pos_, len));
+    pos_ += len;
+    return out;
+  }
+
+  /// All bytes not yet consumed (consumes them).
+  std::string get_rest() {
+    std::string out(data_.substr(pos_));
+    pos_ = data_.size();
+    return out;
+  }
+
+  /// True iff no read so far has run past the end of the buffer.
+  [[nodiscard]] bool ok() const { return ok_; }
+  /// True iff ok() and the whole buffer was consumed — use to reject messages
+  /// with trailing garbage.
+  [[nodiscard]] bool done() const { return ok_ && pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool check(std::size_t need) {
+    if (!ok_ || data_.size() - pos_ < need) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  template <typename T>
+  T get_fixed() {
+    if (!check(sizeof(T))) return 0;
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<std::uint8_t>(data_[pos_ + i])) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Encodes a list of strings with a count prefix.
+void encode_string_list(Encoder& enc, const std::vector<std::string>& items);
+
+/// Decodes a list written by encode_string_list. Returns an empty list and
+/// poisons `dec` on malformed input.
+std::vector<std::string> decode_string_list(Decoder& dec);
+
+}  // namespace zdc::common

@@ -1,0 +1,57 @@
+// Minimal leveled logger.
+//
+// Protocol implementations log at Debug/Trace; harnesses at Info. The global
+// level defaults to Warn so tests and benches stay quiet unless a failing seed
+// is being replayed (set_level(Level::kTrace) or ZDC_LOG_LEVEL=trace).
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace zdc::common {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Sets the process-wide log threshold.
+void set_log_level(LogLevel level);
+/// Reads the threshold (initialized from the ZDC_LOG_LEVEL environment
+/// variable on first use: trace|debug|info|warn|error|off).
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const char* component, const std::string& message);
+}
+
+/// Streams one log line tagged with a component name, e.g.
+///   ZDC_LOG(kDebug, "l-consensus") << "p" << id << " round " << r;
+#define ZDC_LOG(level, component)                                           \
+  for (bool zdc_log_once =                                                  \
+           (::zdc::common::LogLevel::level >= ::zdc::common::log_level());  \
+       zdc_log_once; zdc_log_once = false)                                  \
+  ::zdc::common::detail::LogStream(::zdc::common::LogLevel::level, component)
+
+namespace detail {
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* component)
+      : level_(level), component_(component) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace zdc::common

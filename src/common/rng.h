@@ -1,0 +1,87 @@
+// Deterministic random number generation for the simulator and workloads.
+//
+// Every random decision in a simulation run flows from one seeded Rng so that
+// a (seed, config) pair reproduces a run bit-for-bit — the property the
+// randomized protocol safety tests rely on to report failing seeds.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace zdc::common {
+
+/// xoshiro256** by Blackman & Vigna — fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    ZDC_ASSERT(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// True with probability p.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Exponentially distributed with the given mean (inter-arrival times,
+  /// network jitter).
+  double exponential(double mean) {
+    double u = next_double();
+    // Avoid log(0).
+    if (u >= 1.0) u = 0.9999999999999999;
+    return -mean * std::log(1.0 - u);
+  }
+
+  /// Derives an independent stream (per process, per channel, ...) so that
+  /// adding randomness consumers does not perturb unrelated streams.
+  Rng fork(std::uint64_t stream_id) {
+    return Rng(next_u64() ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1)));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace zdc::common

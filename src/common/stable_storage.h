@@ -1,0 +1,52 @@
+// Stable storage for the crash-recovery model (paper Sec. 2, citing
+// Aguilera et al.: "Paxos-like protocols allow for the recovery of crashed
+// processes"). A recovering process keeps its promises only if it wrote them
+// down before acting on them — this interface is the write-ahead contract,
+// and the sync counter is what the recovery tests and benches use to price
+// it.
+//
+// The in-memory implementation survives *simulated* process restarts (the
+// object outlives the protocol instance); a disk-backed implementation would
+// fsync in sync() — the counting is what matters for evaluation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace zdc::common {
+
+class StableStorage {
+ public:
+  virtual ~StableStorage() = default;
+
+  /// Durably records key := bytes. Counts one synchronous write.
+  virtual void put(const std::string& key, std::string bytes) = 0;
+  virtual std::optional<std::string> get(const std::string& key) const = 0;
+
+  /// Number of synchronous writes performed (the cost of recovery safety).
+  [[nodiscard]] virtual std::uint64_t sync_count() const = 0;
+};
+
+/// Storage that survives simulated crashes (the harness owns it; protocol
+/// instances come and go).
+class InMemoryStableStorage final : public StableStorage {
+ public:
+  void put(const std::string& key, std::string bytes) override {
+    data_[key] = std::move(bytes);
+    ++syncs_;
+  }
+  std::optional<std::string> get(const std::string& key) const override {
+    const auto it = data_.find(key);
+    if (it == data_.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] std::uint64_t sync_count() const override { return syncs_; }
+
+ private:
+  std::map<std::string, std::string> data_;
+  std::uint64_t syncs_ = 0;
+};
+
+}  // namespace zdc::common

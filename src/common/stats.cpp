@@ -1,0 +1,88 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace zdc::common {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void Sampler::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Sampler::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Sampler::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Sampler::min() const {
+  if (samples_.empty()) return 0.0;
+  sort_if_needed();
+  return samples_.front();
+}
+
+double Sampler::max() const {
+  if (samples_.empty()) return 0.0;
+  sort_if_needed();
+  return samples_.back();
+}
+
+double Sampler::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  ZDC_ASSERT(p >= 0.0 && p <= 100.0);
+  sort_if_needed();
+  if (p <= 0.0) return samples_.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  return samples_[std::min(samples_.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+std::string format_row(const std::vector<std::string>& cells,
+                       const std::vector<int>& widths) {
+  std::string out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int width = i < widths.size() ? widths[i] : 12;
+    std::string cell = cells[i];
+    if (cell.size() < static_cast<std::size_t>(width)) {
+      cell.append(static_cast<std::size_t>(width) - cell.size(), ' ');
+    }
+    out += cell;
+    if (i + 1 != cells.size()) out += "  ";
+  }
+  return out;
+}
+
+}  // namespace zdc::common

@@ -1,0 +1,77 @@
+// Online statistics and latency histograms for the evaluation harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zdc::common {
+
+/// Welford online mean/variance plus min/max. O(1) memory.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores all samples; supports exact percentiles. Used for per-experiment
+/// latency distributions where sample counts are modest (<= millions).
+class Sampler {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void clear() { samples_.clear(); sorted_ = false; }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Exact percentile by nearest-rank, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  void sort_if_needed() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed set of named monotonic counters used by protocols to account for
+/// messages/bytes/rounds. Kept as a plain struct: the set is small and closed.
+struct ProtocolMetrics {
+  std::uint64_t messages_sent = 0;      ///< unicast count (a broadcast to n counts n)
+  std::uint64_t bytes_sent = 0;         ///< payload bytes, excluding transport framing
+  std::uint64_t rounds_started = 0;     ///< asynchronous rounds entered
+  std::uint64_t decisions = 0;          ///< decide events (first decision only)
+  std::uint64_t wasted_rounds = 0;      ///< rounds that ended without progress
+
+  ProtocolMetrics& operator+=(const ProtocolMetrics& o) {
+    messages_sent += o.messages_sent;
+    bytes_sent += o.bytes_sent;
+    rounds_started += o.rounds_started;
+    decisions += o.decisions;
+    wasted_rounds += o.wasted_rounds;
+    return *this;
+  }
+};
+
+/// Formats a row of fixed-width columns for the bench tables.
+std::string format_row(const std::vector<std::string>& cells,
+                       const std::vector<int>& widths);
+
+}  // namespace zdc::common

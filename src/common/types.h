@@ -1,0 +1,56 @@
+// Core identifier and value types shared by every zdc module.
+//
+// The paper's system model (Sec. 3): a set Pi = {p1..pn} of n processes, up to
+// f < n of which may crash. Processes are identified here by dense 0-based
+// indices so that containers indexed by ProcessId are natural.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace zdc {
+
+/// Dense 0-based process index within a group of size n.
+using ProcessId = std::uint32_t;
+
+/// Sentinel meaning "no process" (the paper's bottom, e.g. ld = ⊥ before the
+/// first query of Omega).
+inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
+
+/// Asynchronous round number. Rounds are per consensus instance and start at 1.
+using Round = std::uint64_t;
+
+/// Identifier of a consensus instance (C-Abcast runs one instance per batch
+/// round k; standalone consensus uses instance 0).
+using InstanceId = std::uint64_t;
+
+/// Consensus values are opaque byte strings. One-step decision hinges on value
+/// *equality*, which byte strings give us directly; higher layers (C-Abcast,
+/// the replicated state machine) serialize their batches into a Value.
+using Value = std::string;
+
+/// Milliseconds of simulated or real time, as a double so the discrete-event
+/// simulator can model sub-millisecond network behaviour.
+using TimePoint = double;
+using Duration = double;
+
+/// Group-membership arithmetic used throughout the protocols.
+struct GroupParams {
+  std::uint32_t n = 0;  ///< total number of processes
+  std::uint32_t f = 0;  ///< maximum number of crash failures tolerated
+
+  /// Quorum of n-f processes (the wait threshold in every round).
+  [[nodiscard]] std::uint32_t quorum() const { return n - f; }
+  /// The n-2f "echo" threshold used by the one-step agreement arguments.
+  [[nodiscard]] std::uint32_t echo_threshold() const { return n - 2 * f; }
+  /// Strict majority.
+  [[nodiscard]] std::uint32_t majority() const { return n / 2 + 1; }
+
+  /// One-step protocols (L-/P-/Brasileiro/WABCast) require f < n/3.
+  [[nodiscard]] bool one_step_resilient() const { return n > 3 * f; }
+  /// Paxos requires only f < n/2.
+  [[nodiscard]] bool majority_resilient() const { return n > 2 * f; }
+};
+
+}  // namespace zdc

@@ -1,0 +1,128 @@
+#include "consensus/brasileiro.h"
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace zdc::consensus {
+
+/// Frames every inner-module message as [kInnerTag][bytes] on the outer
+/// channel and maps the inner decision to the outer one.
+class BrasileiroConsensus::InnerHost final : public ConsensusHost {
+ public:
+  explicit InnerHost(BrasileiroConsensus& outer) : outer_(outer) {}
+
+  void send(ProcessId to, std::string bytes) override {
+    outer_.send_counted(to, wrap(std::move(bytes)));
+  }
+
+  void broadcast(std::string bytes) override {
+    outer_.broadcast_counted(wrap(std::move(bytes)));
+  }
+
+  void deliver_decision(const Value& v) override {
+    // One preliminary step plus whatever the underlying module needed. The
+    // DECIDE flood lets processes that decided in step one unblock laggards,
+    // and vice versa.
+    const std::uint32_t inner_steps =
+        outer_.inner_ != nullptr ? outer_.inner_->decision_steps() : 2;
+    outer_.decide_from_round(v, 1 + inner_steps);
+  }
+
+ private:
+  static std::string wrap(std::string bytes) {
+    common::Encoder enc;
+    enc.put_u8(kInnerTag);
+    enc.put_raw(bytes);
+    return enc.take();
+  }
+
+  BrasileiroConsensus& outer_;
+};
+
+BrasileiroConsensus::BrasileiroConsensus(ProcessId self, GroupParams group,
+                                         ConsensusHost& host,
+                                         ConsensusFactory underlying)
+    : Consensus(self, group, host), underlying_factory_(std::move(underlying)) {
+  ZDC_ASSERT_MSG(group.one_step_resilient(),
+                 "one-step voting requires f < n/3");
+}
+
+BrasileiroConsensus::~BrasileiroConsensus() = default;
+
+void BrasileiroConsensus::start(Value proposal) {
+  proposal_ = std::move(proposal);
+  note_round_started();
+  common::Encoder enc;
+  enc.put_u8(kVoteTag);
+  enc.put_string(proposal_);
+  broadcast_counted(enc.take());
+}
+
+void BrasileiroConsensus::on_fd_change() {
+  if (inner_ != nullptr && !decided()) inner_->on_fd_change();
+}
+
+void BrasileiroConsensus::handle_message(ProcessId from, std::uint8_t tag,
+                                         common::Decoder& dec) {
+  if (tag == kVoteTag) {
+    Value v = dec.get_string();
+    if (!dec.done()) return note_malformed();
+    if (first_round_closed_) return;  // stale vote, round already evaluated
+    votes_.emplace(from, std::move(v));
+    if (votes_.size() >= group_.quorum()) evaluate_first_round();
+    return;
+  }
+  if (tag == kInnerTag) {
+    std::string inner_bytes = dec.get_rest();
+    if (inner_ != nullptr) {
+      inner_->on_message(from, inner_bytes);
+    } else {
+      // The sender already fell through to its underlying module; keep the
+      // message until our own first round closes.
+      inner_buffer_.emplace_back(from, std::move(inner_bytes));
+    }
+    return;
+  }
+  note_malformed();
+}
+
+void BrasileiroConsensus::evaluate_first_round() {
+  // Evaluated exactly once, at the first moment n−f votes are present — the
+  // same commit point as the pseudo-code's single wait statement.
+  first_round_closed_ = true;
+  std::map<Value, std::uint32_t> counts;
+  for (const auto& [from, v] : votes_) ++counts[v];
+
+  for (const auto& [v, c] : counts) {
+    if (c >= group_.quorum()) {
+      decide_from_round(v, 1);
+      return;
+    }
+  }
+  // No decision: propose the n−2f-frequent value if one exists (unique when
+  // some process decided, which is what transfers agreement to the underlying
+  // module), else the own proposal.
+  Value inner_proposal = proposal_;
+  for (const auto& [v, c] : counts) {
+    if (c >= group_.echo_threshold()) {
+      inner_proposal = v;
+      break;
+    }
+  }
+  start_inner(std::move(inner_proposal));
+}
+
+void BrasileiroConsensus::start_inner(Value proposal) {
+  ZDC_ASSERT(inner_ == nullptr);
+  inner_host_ = std::make_unique<InnerHost>(*this);
+  inner_ = underlying_factory_(self_, group_, *inner_host_);
+  inner_->propose(std::move(proposal));
+  auto buffered = std::move(inner_buffer_);
+  inner_buffer_.clear();
+  for (auto& [from, bytes] : buffered) {
+    if (decided()) break;
+    inner_->on_message(from, bytes);
+  }
+}
+
+}  // namespace zdc::consensus

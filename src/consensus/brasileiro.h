@@ -1,0 +1,60 @@
+// Brasileiro et al. one-step consensus (PACT 2001) — the baseline whose
+// three-round "normal case" motivates the paper (Sec. 2 and the zero-
+// degradation benches).
+//
+// Preliminary voting round: broadcast the proposal, wait for n−f first-round
+// values; n−f equal values decide in one communication step. Otherwise a value
+// seen at least n−2f times (unique if anyone decided, since n−2f > f) — or the
+// own proposal when no such value exists — is proposed to an *underlying*
+// consensus module, whose agreement/termination properties complete the run.
+// With a zero-degrading underlying module the divergent-proposal case costs
+// 1 + 2 = 3 communication steps, exactly the overhead L-/P-Consensus remove.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "consensus/consensus.h"
+
+namespace zdc::consensus {
+
+class BrasileiroConsensus final : public Consensus {
+ public:
+  /// `underlying` builds the module consulted when the first round fails; it
+  /// is created lazily so that runs deciding in one step never pay for it.
+  BrasileiroConsensus(ProcessId self, GroupParams group, ConsensusHost& host,
+                      ConsensusFactory underlying);
+  ~BrasileiroConsensus() override;
+
+  void on_fd_change() override;
+
+  [[nodiscard]] std::string name() const override { return "Brasileiro-OS"; }
+
+ protected:
+  void start(Value proposal) override;
+  void handle_message(ProcessId from, std::uint8_t tag,
+                      common::Decoder& dec) override;
+
+ private:
+  static constexpr std::uint8_t kVoteTag = 1;
+  static constexpr std::uint8_t kInnerTag = 2;
+
+  /// Host adapter that wraps the inner module's traffic in kInnerTag frames.
+  class InnerHost;
+
+  void evaluate_first_round();
+  void start_inner(Value proposal);
+
+  ConsensusFactory underlying_factory_;
+  Value proposal_;
+  bool first_round_closed_ = false;
+  std::map<ProcessId, Value> votes_;
+  std::unique_ptr<InnerHost> inner_host_;
+  std::unique_ptr<Consensus> inner_;
+  /// Inner-module messages that arrived before the first round closed here.
+  std::vector<std::pair<ProcessId, std::string>> inner_buffer_;
+};
+
+}  // namespace zdc::consensus

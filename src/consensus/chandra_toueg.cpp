@@ -1,0 +1,153 @@
+#include "consensus/chandra_toueg.h"
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace zdc::consensus {
+
+CtConsensus::CtConsensus(ProcessId self, GroupParams group, ConsensusHost& host,
+                         const fd::SuspectView& suspects)
+    : Consensus(self, group, host), suspects_(suspects) {
+  ZDC_ASSERT_MSG(group.majority_resilient(), "CT consensus requires f < n/2");
+}
+
+void CtConsensus::start(Value proposal) {
+  est_ = std::move(proposal);
+  ts_ = 0;
+  round_ = 1;
+  enter_round();
+  drive();
+}
+
+void CtConsensus::enter_round() {
+  note_round_started();
+  sent_est_ = false;
+  sent_vote_ = false;
+}
+
+void CtConsensus::handle_message(ProcessId from, std::uint8_t tag,
+                                 common::Decoder& dec) {
+  const Round r = dec.get_u64();
+  switch (tag) {
+    case kEstTag: {
+      Estimate e;
+      e.est = dec.get_string();
+      e.ts = dec.get_u64();
+      if (!dec.done() || r == 0) return note_malformed();
+      estimates_[r].emplace(from, std::move(e));
+      break;
+    }
+    case kProposeTag: {
+      Value v = dec.get_string();
+      if (!dec.done() || r == 0) return note_malformed();
+      // One proposal per round: only the round's coordinator is believed.
+      if (from == coordinator(r)) proposals_.emplace(r, std::move(v));
+      break;
+    }
+    case kAckTag: {
+      if (!dec.done() || r == 0) return note_malformed();
+      ++votes_[r].acks;
+      break;
+    }
+    case kNackTag: {
+      if (!dec.done() || r == 0) return note_malformed();
+      ++votes_[r].nacks;
+      break;
+    }
+    default:
+      return note_malformed();
+  }
+  drive();
+}
+
+void CtConsensus::on_fd_change() {
+  if (!proposed() || decided()) return;
+  drive();
+}
+
+void CtConsensus::drive() {
+  while (!decided() && step_round()) {
+  }
+}
+
+bool CtConsensus::step_round() {
+  const Round r = round_;
+  const ProcessId c = coordinator(r);
+
+  // Phase 1: ship the current estimate to the round's coordinator.
+  if (!sent_est_) {
+    common::Encoder enc;
+    enc.put_u8(kEstTag);
+    enc.put_u64(r);
+    enc.put_string(est_);
+    enc.put_u64(ts_);
+    send_counted(c, enc.take());
+    sent_est_ = true;
+  }
+
+  // Phase 2 (coordinator): propose the highest-timestamp estimate from the
+  // first majority collected.
+  if (self_ == c && !proposed_round_[r]) {
+    const auto& received = estimates_[r];
+    if (received.size() < group_.majority()) return false;
+    const Estimate* best = nullptr;
+    for (const auto& [p, e] : received) {
+      if (best == nullptr || e.ts > best->ts) best = &e;
+    }
+    proposed_round_[r] = true;
+    proposal_sent_[r] = best->est;
+    common::Encoder enc;
+    enc.put_u8(kProposeTag);
+    enc.put_u64(r);
+    enc.put_string(best->est);
+    broadcast_counted(enc.take());
+  }
+
+  // Phase 3: adopt-and-ack the proposal, or nack once the coordinator is
+  // suspected (the ◇S escape hatch).
+  if (!sent_vote_) {
+    const auto prop_it = proposals_.find(r);
+    if (prop_it != proposals_.end()) {
+      est_ = prop_it->second;
+      ts_ = r;
+      common::Encoder enc;
+      enc.put_u8(kAckTag);
+      enc.put_u64(r);
+      send_counted(c, enc.take());
+      sent_vote_ = true;
+    } else if (suspects_.suspects(c)) {
+      common::Encoder enc;
+      enc.put_u8(kNackTag);
+      enc.put_u64(r);
+      send_counted(c, enc.take());
+      sent_vote_ = true;
+    } else {
+      return false;  // wait for the proposal or a suspicion
+    }
+  }
+
+  // Phase 4 (coordinator): majority of ACKs decides; a majority of replies
+  // containing a NACK aborts the round.
+  if (self_ == c && !round_resolved_[r]) {
+    const Votes& v = votes_[r];
+    if (v.acks >= group_.majority()) {
+      round_resolved_[r] = true;
+      // 3 communication steps: est -> propose -> ack.
+      decide_from_round(proposal_sent_[r], 3);
+      return true;
+    }
+    if (v.acks + v.nacks >= group_.majority() && v.nacks > 0) {
+      round_resolved_[r] = true;
+    } else {
+      return false;
+    }
+  }
+
+  // Advance. Old-round coordinator state stays: late ACKs may still arrive
+  // and decide the old round, which is safe (the value was locked).
+  ++round_;
+  enter_round();
+  return true;
+}
+
+}  // namespace zdc::consensus

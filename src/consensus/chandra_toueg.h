@@ -1,0 +1,94 @@
+// Chandra & Toueg's ◇S rotating-coordinator consensus (JACM 1996) — the
+// classic algorithm behind the CT atomic broadcast the paper's C-Abcast
+// modifies ("Like the Chandra & Toueg Atomic Broadcast, C-Abcast reduces
+// atomic broadcast to consensus", Sec. 7). Included as the canonical
+// non-zero-degrading, never-one-step baseline for the recovery bench.
+//
+// Round r, coordinator c = (r-1) mod n:
+//   phase 1: everyone sends (est, ts) to c
+//   phase 2: c collects a majority, picks the estimate with the highest ts,
+//            broadcasts PROPOSE(r, v)
+//   phase 3: on PROPOSE: adopt (v, r), ACK to c; on suspecting c: NACK to c
+//   phase 4: c decides v on a majority of ACKs and floods DECIDE (task T2);
+//            a NACK among the first majority of replies aborts the round
+//
+// Latency: 3 communication steps at the coordinator in every stable run —
+// one more than the zero-degrading protocols' 2, and never 1 (the protocol
+// has no fast path). Resilience f < n/2.
+//
+// Safety sketch: a decision at round r requires a majority that adopted
+// (v, r); any later coordinator reads a majority, which intersects that set,
+// and ts = r entries can only carry v (one proposal per round), so the
+// highest-ts pick re-proposes v — the classic locking argument.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "consensus/consensus.h"
+#include "fd/failure_detector.h"
+
+namespace zdc::consensus {
+
+class CtConsensus final : public Consensus {
+ public:
+  CtConsensus(ProcessId self, GroupParams group, ConsensusHost& host,
+              const fd::SuspectView& suspects);
+
+  void on_fd_change() override;
+
+  [[nodiscard]] std::string name() const override { return "CT-Consensus"; }
+  [[nodiscard]] Round current_round() const { return round_; }
+
+ protected:
+  void start(Value proposal) override;
+  void handle_message(ProcessId from, std::uint8_t tag,
+                      common::Decoder& dec) override;
+
+ private:
+  static constexpr std::uint8_t kEstTag = 1;
+  static constexpr std::uint8_t kProposeTag = 2;
+  static constexpr std::uint8_t kAckTag = 3;
+  static constexpr std::uint8_t kNackTag = 4;
+
+  [[nodiscard]] ProcessId coordinator(Round r) const {
+    return static_cast<ProcessId>((r - 1) % group_.n);
+  }
+
+  void drive();
+  /// True if round `round_` finished (advanced or decided).
+  bool step_round();
+  void enter_round();
+
+  const fd::SuspectView& suspects_;
+
+  Round round_ = 0;
+  Value est_;
+  Round ts_ = 0;  ///< round in which est_ was last adopted (0 = initial)
+
+  // Per-round progress flags for this process.
+  bool sent_est_ = false;
+  bool sent_vote_ = false;
+
+  struct Estimate {
+    Value est;
+    Round ts = 0;
+  };
+  // Coordinator-side state, keyed by round (messages may arrive early).
+  std::map<Round, std::map<ProcessId, Estimate>> estimates_;
+  std::map<Round, bool> proposed_round_;
+  std::map<Round, Value> proposal_sent_;
+  struct Votes {
+    std::uint32_t acks = 0;
+    std::uint32_t nacks = 0;
+  };
+  std::map<Round, Votes> votes_;
+  std::map<Round, bool> round_resolved_;  ///< coordinator finished phase 4
+
+  // Participant-side: proposal received per round.
+  std::map<Round, Value> proposals_;
+};
+
+}  // namespace zdc::consensus

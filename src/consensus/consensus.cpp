@@ -1,0 +1,124 @@
+#include "consensus/consensus.h"
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace zdc::consensus {
+
+void ConsensusHost::w_broadcast(std::uint64_t stage, std::string payload) {
+  (void)stage;
+  (void)payload;
+  ZDC_ASSERT_MSG(false,
+                 "this host provides no ordering oracle; oracle-based "
+                 "protocols need a C-Abcast-style host");
+}
+
+Consensus::Consensus(ProcessId self, GroupParams group, ConsensusHost& host)
+    : self_(self), group_(group), host_(host) {
+  ZDC_ASSERT_MSG(group.n > 0 && group.f < group.n, "invalid group parameters");
+  ZDC_ASSERT(self < group.n);
+}
+
+void Consensus::propose(Value v) {
+  if (proposed_) return;
+  proposed_ = true;
+  started_ = true;
+  start(std::move(v));
+  // Replay messages that arrived before this process invoked consensus. The
+  // replay happens after start() so round-1 state exists; start() itself may
+  // already have decided (e.g. a buffered DECIDE), so re-check each step.
+  auto buffered = std::move(pre_propose_buffer_);
+  pre_propose_buffer_.clear();
+  for (auto& [from, bytes] : buffered) {
+    if (decided()) break;
+    on_message(from, bytes);
+  }
+}
+
+void Consensus::on_message(ProcessId from, std::string_view bytes) {
+  if (decided()) return;
+  if (from >= group_.n) {
+    note_malformed();
+    return;
+  }
+  common::Decoder dec(bytes);
+  const std::uint8_t tag = dec.get_u8();
+  if (!dec.ok()) {
+    note_malformed();
+    return;
+  }
+  if (tag == kDecideTag) {
+    handle_decide(dec);  // acted on even pre-propose, see header
+    return;
+  }
+  if (!proposed_) {
+    pre_propose_buffer_.emplace_back(from, std::string(bytes));
+    return;
+  }
+  handle_message(from, tag, dec);
+}
+
+void Consensus::decide_quietly(const Value& v, std::uint32_t steps) {
+  finish(v, DecisionPath::kRound, steps);
+}
+
+std::string Consensus::encode_decide(const Value& v, std::uint32_t steps) const {
+  common::Encoder enc;
+  enc.put_u8(kDecideTag);
+  enc.put_string(v);
+  enc.put_u32(steps);
+  return enc.take();
+}
+
+void Consensus::handle_decide(common::Decoder& dec) {
+  const Value v = dec.get_string();
+  const std::uint32_t origin_steps = dec.get_u32();
+  if (!dec.done()) {
+    note_malformed();
+    return;
+  }
+  // Task T2: forward the decision to everybody else, then decide. Forwarding
+  // guarantees no correct process blocks once some process decided, even if
+  // the original decider crashed mid-broadcast.
+  for (ProcessId j = 0; j < group_.n; ++j) {
+    if (j != self_) send_counted(j, encode_decide(v, origin_steps));
+  }
+  finish(v, DecisionPath::kForwarded, origin_steps + 1);
+}
+
+void Consensus::decide_from_round(const Value& v, std::uint32_t steps) {
+  if (decided()) return;
+  broadcast_counted(encode_decide(v, steps));
+  finish(v, DecisionPath::kRound, steps);
+}
+
+void Consensus::finish(const Value& v, DecisionPath path, std::uint32_t steps) {
+  if (decided()) return;
+  decision_ = v;
+  path_ = path;
+  decision_steps_ = steps;
+  ++metrics_.decisions;
+  ZDC_LOG(kDebug, "consensus") << name() << " p" << self_ << " decided after "
+                               << steps << " steps";
+  host_.deliver_decision(decision_);
+}
+
+void Consensus::send_counted(ProcessId to, std::string bytes) {
+  ++metrics_.messages_sent;
+  metrics_.bytes_sent += bytes.size();
+  host_.send(to, std::move(bytes));
+}
+
+void Consensus::broadcast_counted(std::string bytes) {
+  metrics_.messages_sent += group_.n;
+  metrics_.bytes_sent += bytes.size() * group_.n;
+  host_.broadcast(std::move(bytes));
+}
+
+void Consensus::host_w_broadcast(std::uint64_t stage, std::string payload) {
+  ++metrics_.messages_sent;
+  metrics_.bytes_sent += payload.size();
+  host_.w_broadcast(stage, std::move(payload));
+}
+
+}  // namespace zdc::consensus

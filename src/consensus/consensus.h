@@ -1,0 +1,163 @@
+// Common interface of all consensus protocol implementations.
+//
+// Protocols are *sans-io* deterministic state machines: inputs arrive via
+// propose() / on_message() / on_fd_change(), outputs leave through a
+// ConsensusHost. The same protocol object runs unchanged on the discrete-event
+// simulator (src/sim) and the threaded runtime (src/runtime).
+//
+// Every `wait until ...` in the paper's pseudo-code becomes a predicate that is
+// re-evaluated on every input event. All such predicates quantify over
+// "received at least ..." message sets, so evaluating them over supersets of
+// the minimal quorum preserves the paper's safety arguments (see the per-
+// protocol headers for the argument where it is subtle).
+//
+// The DECIDE flooding task T2 (identical in Algorithms 1 and 2) lives here in
+// the base class: upon the first DECIDE(v) received, forward DECIDE(v) to all
+// other processes and decide v.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace zdc::consensus {
+
+/// Outbound channel handed to a protocol instance by its execution
+/// environment. broadcast() must deliver to every process *including the
+/// sender* (the paper's "∀j do send to pj"); self-delivery must be
+/// asynchronous (enqueued, not a reentrant call).
+class ConsensusHost {
+ public:
+  virtual ~ConsensusHost() = default;
+  virtual void send(ProcessId to, std::string bytes) = 0;
+  virtual void broadcast(std::string bytes) = 0;
+  /// Called exactly once, when this process decides.
+  virtual void deliver_decision(const Value& v) = 0;
+
+  /// Ordering-oracle hook used only by oracle-based protocols (WabConsensus):
+  /// w-broadcasts `payload` in the per-instance sub-stage `stage`; deliveries
+  /// come back through Consensus::on_w_deliver. Hosts that never run such a
+  /// protocol keep the default, which loudly rejects the call.
+  virtual void w_broadcast(std::uint64_t stage, std::string payload);
+};
+
+/// How this process learned the decision, for step accounting in the benches.
+enum class DecisionPath : std::uint8_t {
+  kNone = 0,
+  kRound,      ///< decided by the protocol's own round logic (task T1)
+  kForwarded,  ///< decided upon receiving a DECIDE message (task T2)
+};
+
+class Consensus {
+ public:
+  Consensus(ProcessId self, GroupParams group, ConsensusHost& host);
+  virtual ~Consensus() = default;
+
+  Consensus(const Consensus&) = delete;
+  Consensus& operator=(const Consensus&) = delete;
+
+  /// Invokes the Consensus function with proposal v. Messages received before
+  /// propose() are buffered and replayed, matching the paper's model where a
+  /// process only participates after it invokes consensus.
+  void propose(Value v);
+
+  /// Feeds one protocol message. Malformed messages are counted and dropped.
+  ///
+  /// Divergence from the pseudo-code, for robustness: DECIDE messages are
+  /// acted upon even before this process invoked propose(). In the paper a
+  /// process only runs task T2 after calling Consensus(), but a composed
+  /// system (C-Abcast catching up on old instances) is strictly more live if
+  /// a decision that already exists is adopted immediately — agreement and
+  /// validity are unaffected since the value was already decided elsewhere.
+  void on_message(ProcessId from, std::string_view bytes);
+
+  /// Re-evaluates failure-detector-dependent wait conditions (the pseudo-code
+  /// disjuncts of the form "∨ ld != Ω.leader").
+  virtual void on_fd_change() {}
+
+  /// Ordering-oracle delivery for sub-stage `stage` (see
+  /// ConsensusHost::w_broadcast). Ignored by non-oracle protocols.
+  virtual void on_w_deliver(std::uint64_t stage, ProcessId origin,
+                            const std::string& payload) {
+    (void)stage;
+    (void)origin;
+    (void)payload;
+  }
+
+  [[nodiscard]] bool decided() const { return path_ != DecisionPath::kNone; }
+  [[nodiscard]] const Value& decision() const { return decision_; }
+  [[nodiscard]] DecisionPath decision_path() const { return path_; }
+  /// Number of communication steps from propose to decide as experienced by
+  /// this process (a DECIDE hop counts as one step).
+  [[nodiscard]] std::uint32_t decision_steps() const { return decision_steps_; }
+  [[nodiscard]] bool proposed() const { return proposed_; }
+
+  [[nodiscard]] const common::ProtocolMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] std::uint64_t malformed_messages() const { return malformed_; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  /// Message type tag reserved across all protocols for the T2 DECIDE flood.
+  static constexpr std::uint8_t kDecideTag = 0;
+
+  /// Starts task T1 with the buffered pre-propose messages already replayed.
+  virtual void start(Value proposal) = 0;
+
+  /// Handles one protocol-specific message (tag != kDecideTag). `dec` is
+  /// positioned after the tag byte.
+  virtual void handle_message(ProcessId from, std::uint8_t tag,
+                              common::Decoder& dec) = 0;
+
+  /// Task-T1 decision (pseudo-code line "∀j do send DECIDE(v); return v"):
+  /// floods DECIDE and records the local decision. `steps` is the number of
+  /// communication steps this process needed.
+  void decide_from_round(const Value& v, std::uint32_t steps);
+
+  /// Decision without the DECIDE flood, for protocols whose final message
+  /// exchange already reaches every process (Paxos learns from the 2b
+  /// broadcast; flooding would double the message complexity of Table 1).
+  void decide_quietly(const Value& v, std::uint32_t steps);
+
+  /// Counted send/broadcast wrappers used by subclasses.
+  void send_counted(ProcessId to, std::string bytes);
+  void broadcast_counted(std::string bytes);
+  /// Oracle w-broadcast (counted as one message: a single datagram).
+  void host_w_broadcast(std::uint64_t stage, std::string payload);
+  void note_round_started() { ++metrics_.rounds_started; }
+  void note_wasted_round() { ++metrics_.wasted_rounds; }
+  void note_malformed() { ++malformed_; }
+
+  [[nodiscard]] std::string encode_decide(const Value& v, std::uint32_t steps) const;
+
+  const ProcessId self_;
+  const GroupParams group_;
+
+ private:
+  void handle_decide(common::Decoder& dec);
+  void finish(const Value& v, DecisionPath path, std::uint32_t steps);
+
+  ConsensusHost& host_;
+  bool proposed_ = false;
+  bool started_ = false;
+  std::vector<std::pair<ProcessId, std::string>> pre_propose_buffer_;
+  Value decision_;
+  DecisionPath path_ = DecisionPath::kNone;
+  std::uint32_t decision_steps_ = 0;
+  common::ProtocolMetrics metrics_;
+  std::uint64_t malformed_ = 0;
+};
+
+/// Factory used by C-Abcast to stamp out one consensus instance per round.
+using ConsensusFactory = std::function<std::unique_ptr<Consensus>(
+    ProcessId self, GroupParams group, ConsensusHost& host)>;
+
+}  // namespace zdc::consensus

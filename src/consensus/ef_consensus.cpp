@@ -1,0 +1,129 @@
+#include "consensus/ef_consensus.h"
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace zdc::consensus {
+
+class EfConsensus::InnerHost final : public ConsensusHost {
+ public:
+  explicit InnerHost(EfConsensus& outer) : outer_(outer) {}
+
+  void send(ProcessId to, std::string bytes) override {
+    outer_.send_counted(to, wrap(std::move(bytes)));
+  }
+  void broadcast(std::string bytes) override {
+    outer_.broadcast_counted(wrap(std::move(bytes)));
+  }
+  void deliver_decision(const Value& v) override {
+    const std::uint32_t inner_steps =
+        outer_.inner_ != nullptr ? outer_.inner_->decision_steps() : 2;
+    outer_.decide_from_round(v, 1 + inner_steps);
+  }
+
+ private:
+  static std::string wrap(std::string bytes) {
+    common::Encoder enc;
+    enc.put_u8(kInnerTag);
+    enc.put_raw(bytes);
+    return enc.take();
+  }
+
+  EfConsensus& outer_;
+};
+
+EfConsensus::EfConsensus(ProcessId self, GroupParams group, std::uint32_t e,
+                         ConsensusHost& host, ConsensusFactory underlying)
+    : Consensus(self, group, host),
+      e_(e),
+      underlying_factory_(std::move(underlying)) {
+  ZDC_ASSERT_MSG(group.n > 2 * e + group.f && group.n > 2 * group.f,
+                 "(e,f) fast consensus requires n > max(2f, 2e+f)");
+}
+
+EfConsensus::~EfConsensus() = default;
+
+std::string EfConsensus::name() const {
+  return "EF-Consensus(e=" + std::to_string(e_) +
+         ",f=" + std::to_string(group_.f) + ")";
+}
+
+void EfConsensus::start(Value proposal) {
+  proposal_ = std::move(proposal);
+  note_round_started();
+  common::Encoder enc;
+  enc.put_u8(kVoteTag);
+  enc.put_string(proposal_);
+  broadcast_counted(enc.take());
+}
+
+void EfConsensus::on_fd_change() {
+  if (inner_ != nullptr && !decided()) inner_->on_fd_change();
+}
+
+void EfConsensus::handle_message(ProcessId from, std::uint8_t tag,
+                                 common::Decoder& dec) {
+  if (tag == kVoteTag) {
+    Value v = dec.get_string();
+    if (!dec.done()) return note_malformed();
+    auto [it, inserted] = votes_.emplace(from, std::move(v));
+    if (!inserted) return;
+    ++counts_[it->second];
+    // The fast path stays armed forever: a late n−e-th equal value still
+    // decides safely (see header).
+    check_fast_decision();
+    if (!decided()) maybe_commit_fallback();
+    return;
+  }
+  if (tag == kInnerTag) {
+    std::string inner_bytes = dec.get_rest();
+    if (inner_ != nullptr) {
+      inner_->on_message(from, inner_bytes);
+    } else {
+      inner_buffer_.emplace_back(from, std::move(inner_bytes));
+    }
+    return;
+  }
+  note_malformed();
+}
+
+void EfConsensus::check_fast_decision() {
+  for (const auto& [v, c] : counts_) {
+    if (c >= fast_threshold()) {
+      decide_from_round(v, 1);
+      return;
+    }
+  }
+}
+
+void EfConsensus::maybe_commit_fallback() {
+  // Committed exactly once, at the n−f-th first-round value (the guaranteed
+  // quorum). Over exactly n−f votes the n−e−f threshold admits at most one
+  // value (2(n−e−f) > n−f follows from n > 2e+f).
+  if (fallback_committed_ || votes_.size() != group_.quorum()) return;
+  fallback_committed_ = true;
+  const std::uint32_t echo = group_.n - e_ - group_.f;
+  Value inner_proposal = proposal_;
+  for (const auto& [v, c] : counts_) {
+    if (c >= echo) {
+      inner_proposal = v;
+      break;
+    }
+  }
+  start_inner(std::move(inner_proposal));
+}
+
+void EfConsensus::start_inner(Value proposal) {
+  ZDC_ASSERT(inner_ == nullptr);
+  inner_host_ = std::make_unique<InnerHost>(*this);
+  inner_ = underlying_factory_(self_, group_, *inner_host_);
+  inner_->propose(std::move(proposal));
+  auto buffered = std::move(inner_buffer_);
+  inner_buffer_.clear();
+  for (auto& [from, bytes] : buffered) {
+    if (decided()) break;
+    inner_->on_message(from, bytes);
+  }
+}
+
+}  // namespace zdc::consensus

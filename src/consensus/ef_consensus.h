@@ -1,0 +1,71 @@
+// Generalized (e, f) one-step consensus — Lamport's refinement of Brasileiro
+// discussed in the paper's Sec. 2 ("Lower bounds for asynchronous
+// consensus"): distinguish the number of failures the *fast path* rides out
+// (e) from the number progress tolerates (f).
+//
+//   fast decision:  n − e equal first-round values decide in one step
+//   fallback:       a value seen >= n − e − f times among the first n − f
+//                   first-round values is proposed to the underlying
+//                   consensus module (unique: n > 2e + f), else the own value
+//   resilience:     n > max(2f, 2e + f)
+//
+// e = f recovers Brasileiro's f < n/3; maximizing f gives f < n/2 with
+// e <= n/4 — a fast path that survives fewer failures but a protocol that
+// tolerates a minority crash like Paxos.
+//
+// Engineering note: when e < f the fast path needs n − e > n − f messages, so
+// the protocol commits its fallback proposal at the n−f-th message and keeps
+// watching; a *late* fast decision stays safe because n − e equal values
+// force every fallback proposal to that same value (n − e − f > e), hence
+// the underlying module can only decide it too.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consensus/consensus.h"
+
+namespace zdc::consensus {
+
+class EfConsensus final : public Consensus {
+ public:
+  /// `group.f` is the progress bound f; `e` is the fast-path bound.
+  EfConsensus(ProcessId self, GroupParams group, std::uint32_t e,
+              ConsensusHost& host, ConsensusFactory underlying);
+  ~EfConsensus() override;
+
+  void on_fd_change() override;
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint32_t fast_threshold() const { return group_.n - e_; }
+
+ protected:
+  void start(Value proposal) override;
+  void handle_message(ProcessId from, std::uint8_t tag,
+                      common::Decoder& dec) override;
+
+ private:
+  static constexpr std::uint8_t kVoteTag = 1;
+  static constexpr std::uint8_t kInnerTag = 2;
+
+  class InnerHost;
+
+  void check_fast_decision();
+  void maybe_commit_fallback();
+  void start_inner(Value proposal);
+
+  const std::uint32_t e_;
+  ConsensusFactory underlying_factory_;
+  Value proposal_;
+  std::map<ProcessId, Value> votes_;
+  std::map<Value, std::uint32_t> counts_;
+  bool fallback_committed_ = false;
+  std::unique_ptr<InnerHost> inner_host_;
+  std::unique_ptr<Consensus> inner_;
+  std::vector<std::pair<ProcessId, std::string>> inner_buffer_;
+};
+
+}  // namespace zdc::consensus

@@ -1,0 +1,235 @@
+#include "consensus/fast_paxos.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace zdc::consensus {
+
+FastPaxosConsensus::FastPaxosConsensus(ProcessId self, GroupParams group,
+                                       ConsensusHost& host,
+                                       const fd::OmegaView& omega)
+    : Consensus(self, group, host), omega_(omega) {
+  // All quorums are n−f; two fast quorums and a classic quorum share an
+  // acceptor iff 3(n−f) − 2n > 0, i.e. n > 3f.
+  ZDC_ASSERT_MSG(group.one_step_resilient(),
+                 "Fast Paxos with uniform n-f quorums requires f < n/3");
+}
+
+void FastPaxosConsensus::start(Value proposal) {
+  my_value_ = std::move(proposal);
+  note_round_started();
+  was_leader_ = omega_.leader() == self_;
+  // Fast round 0: vote the own proposal immediately, no coordinator needed.
+  if (promised_ == 0 && voted_round_ == kNoRound) {
+    cast_vote(0, *my_value_);
+  }
+}
+
+void FastPaxosConsensus::cast_vote(RoundNo round, const Value& v) {
+  voted_round_ = round;
+  voted_value_ = v;
+  common::Encoder enc;
+  enc.put_u8(kVoteTag);
+  enc.put_u64(round);
+  enc.put_string(v);
+  broadcast_counted(enc.take());
+}
+
+void FastPaxosConsensus::note_round_seen(RoundNo r) {
+  if (r != kNoRound && r > max_round_seen_) max_round_seen_ = r;
+}
+
+void FastPaxosConsensus::handle_message(ProcessId from, std::uint8_t tag,
+                                        common::Decoder& dec) {
+  switch (tag) {
+    case kVoteTag: handle_vote(from, dec); break;
+    case kP1aTag: handle_p1a(from, dec); break;
+    case kP1bTag: handle_p1b(from, dec); break;
+    case kP2aTag: handle_p2a(from, dec); break;
+    case kNackTag: handle_nack(from, dec); break;
+    default: note_malformed(); break;
+  }
+}
+
+void FastPaxosConsensus::handle_vote(ProcessId from, common::Decoder& dec) {
+  const RoundNo round = dec.get_u64();
+  Value v = dec.get_string();
+  if (!dec.done()) return note_malformed();
+  note_round_seen(round);
+  votes_[round].emplace(from, std::move(v));
+  check_decision(round);
+  if (!decided()) maybe_coordinate();
+}
+
+void FastPaxosConsensus::check_decision(RoundNo round) {
+  const auto& round_votes = votes_[round];
+  if (round_votes.size() < group_.quorum()) return;
+  std::map<Value, std::uint32_t> counts;
+  for (const auto& [a, v] : round_votes) ++counts[v];
+  for (const auto& [v, c] : counts) {
+    if (c >= group_.quorum()) {
+      // 1 step on the fast path, 3 via coordinated recovery, 2 more per
+      // further classic round (1a/1b + 2a/vote).
+      //
+      // The decision is flooded (task-T2 style) rather than silent: a fast
+      // quorum may include a vote that a crashed acceptor delivered to only
+      // a subset mid-broadcast, in which case the correct votes alone are
+      // one short of n−f at the excluded learners — without the flood they
+      // would wait forever (and the coordinator, having decided, would never
+      // recover them).
+      const std::uint32_t steps =
+          round == 0 ? 1 : static_cast<std::uint32_t>(1 + 2 * round);
+      decide_from_round(v, steps);
+      return;
+    }
+  }
+}
+
+void FastPaxosConsensus::maybe_coordinate() {
+  if (!my_value_.has_value() || decided()) return;
+  if (omega_.leader() != self_) return;
+  if (coordinating_) return;
+
+  // Coordinated recovery: n−f round-0 votes with no value still able to win
+  // fast... conservatively, with no unanimity yet. The broadcast votes stand
+  // in for 1b replies of round 1.
+  const auto it = votes_.find(0);
+  if (it == votes_.end() || it->second.size() < group_.quorum()) return;
+  std::map<Value, std::uint32_t> counts;
+  for (const auto& [a, v] : it->second) ++counts[v];
+  for (const auto& [v, c] : counts) {
+    if (c >= group_.quorum()) return;  // the fast path is deciding by itself
+  }
+  if (max_round_seen_ == 0) {
+    // First recovery: round 1 needs no explicit phase 1.
+    coordinating_ = true;
+    active_round_ = 1;
+    std::map<ProcessId, std::pair<RoundNo, Value>> quorum;
+    for (const auto& [a, v] : it->second) quorum.emplace(a, std::make_pair(0, v));
+    send_p2a(1, pick_value(quorum));
+  } else {
+    start_classic_round(max_round_seen_ + 1);
+  }
+}
+
+void FastPaxosConsensus::start_classic_round(RoundNo round) {
+  coordinating_ = true;
+  active_round_ = round;
+  p1b_replies_.clear();
+  p2a_sent_ = false;
+  note_round_seen(round);
+  common::Encoder enc;
+  enc.put_u8(kP1aTag);
+  enc.put_u64(round);
+  broadcast_counted(enc.take());
+}
+
+Value FastPaxosConsensus::pick_value(
+    const std::map<ProcessId, std::pair<RoundNo, Value>>& quorum) const {
+  // O4: look at the highest round k voted within the quorum; a value voted
+  // >= n−2f times in k is forced (it may have been or may yet be decided in
+  // k; uniqueness from n−2f > f); otherwise any value is safe.
+  RoundNo k = kNoRound;
+  for (const auto& [a, rv] : quorum) {
+    if (rv.first != kNoRound && (k == kNoRound || rv.first > k)) k = rv.first;
+  }
+  if (k == kNoRound) return *my_value_;
+  std::map<Value, std::uint32_t> counts;
+  for (const auto& [a, rv] : quorum) {
+    if (rv.first == k) ++counts[rv.second];
+  }
+  for (const auto& [v, c] : counts) {
+    if (c >= group_.echo_threshold()) return v;
+  }
+  return *my_value_;
+}
+
+void FastPaxosConsensus::send_p2a(RoundNo round, const Value& v) {
+  common::Encoder enc;
+  enc.put_u8(kP2aTag);
+  enc.put_u64(round);
+  enc.put_string(v);
+  broadcast_counted(enc.take());
+}
+
+void FastPaxosConsensus::handle_p1a(ProcessId from, common::Decoder& dec) {
+  const RoundNo round = dec.get_u64();
+  if (!dec.done()) return note_malformed();
+  note_round_seen(round);
+  if (round > promised_) {
+    promised_ = round;
+    common::Encoder enc;
+    enc.put_u8(kP1bTag);
+    enc.put_u64(round);
+    enc.put_u64(voted_round_);
+    enc.put_string(voted_value_);
+    send_counted(from, enc.take());
+  } else {
+    common::Encoder enc;
+    enc.put_u8(kNackTag);
+    enc.put_u64(round);
+    enc.put_u64(promised_);
+    send_counted(from, enc.take());
+  }
+}
+
+void FastPaxosConsensus::handle_p1b(ProcessId from, common::Decoder& dec) {
+  const RoundNo round = dec.get_u64();
+  const RoundNo vrnd = dec.get_u64();
+  Value vval = dec.get_string();
+  if (!dec.done()) return note_malformed();
+  note_round_seen(vrnd);
+  if (!coordinating_ || round != active_round_ || p2a_sent_) return;
+  p1b_replies_.emplace(from, std::make_pair(vrnd, std::move(vval)));
+  if (p1b_replies_.size() < group_.quorum()) return;
+  p2a_sent_ = true;
+  send_p2a(active_round_, pick_value(p1b_replies_));
+}
+
+void FastPaxosConsensus::handle_p2a(ProcessId from, common::Decoder& dec) {
+  const RoundNo round = dec.get_u64();
+  Value v = dec.get_string();
+  if (!dec.done()) return note_malformed();
+  note_round_seen(round);
+  if (round >= promised_ && (voted_round_ == kNoRound || voted_round_ < round)) {
+    promised_ = round;
+    cast_vote(round, v);
+  } else {
+    common::Encoder enc;
+    enc.put_u8(kNackTag);
+    enc.put_u64(round);
+    enc.put_u64(promised_);
+    send_counted(from, enc.take());
+  }
+}
+
+void FastPaxosConsensus::handle_nack(ProcessId from, common::Decoder& dec) {
+  (void)from;
+  const RoundNo round = dec.get_u64();
+  const RoundNo promised = dec.get_u64();
+  if (!dec.done()) return note_malformed();
+  note_round_seen(promised);
+  if (coordinating_ && round == active_round_ && omega_.leader() == self_ &&
+      !decided()) {
+    start_classic_round(std::max(max_round_seen_, promised) + 1);
+  }
+}
+
+void FastPaxosConsensus::on_fd_change() {
+  if (!proposed() || decided()) return;
+  const bool leading = omega_.leader() == self_;
+  if (leading && !was_leader_) {
+    // Becoming-leader edge: take over coordination with a fresh round.
+    coordinating_ = false;
+    if (max_round_seen_ == 0) {
+      maybe_coordinate();
+    } else {
+      start_classic_round(max_round_seen_ + 1);
+    }
+  }
+  was_leader_ = leading;
+}
+
+}  // namespace zdc::consensus

@@ -1,0 +1,131 @@
+#include "consensus/l_consensus.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace zdc::consensus {
+
+LConsensus::LConsensus(ProcessId self, GroupParams group, ConsensusHost& host,
+                       const fd::OmegaView& omega)
+    : Consensus(self, group, host), omega_(omega) {
+  ZDC_ASSERT_MSG(group.one_step_resilient(), "L-Consensus requires f < n/3");
+}
+
+void LConsensus::start(Value proposal) {
+  est_ = std::move(proposal);
+  round_ = 1;
+  enter_round();
+  drive();
+}
+
+void LConsensus::enter_round() {
+  note_round_started();
+  ld_ = omega_.leader();
+  common::Encoder enc;
+  enc.put_u8(kPropTag);
+  enc.put_u64(round_);
+  enc.put_string(est_);
+  enc.put_u32(ld_);
+  broadcast_counted(enc.take());
+}
+
+void LConsensus::handle_message(ProcessId from, std::uint8_t tag,
+                                common::Decoder& dec) {
+  if (tag != kPropTag) {
+    note_malformed();
+    return;
+  }
+  const Round r = dec.get_u64();
+  Prop prop;
+  prop.est = dec.get_string();
+  prop.ld = dec.get_u32();
+  if (!dec.done() || r == 0) {
+    note_malformed();
+    return;
+  }
+  if (r < round_) return;  // stale round, already completed locally
+  // First message from `from` in round r wins; a correct process sends at most
+  // one PROP per round, so duplicates can only come from the network layer.
+  props_[r].emplace(from, std::move(prop));
+  drive();
+}
+
+void LConsensus::on_fd_change() {
+  if (!proposed() || decided()) return;
+  drive();
+}
+
+void LConsensus::drive() {
+  while (!decided() && try_complete_round()) {
+  }
+}
+
+bool LConsensus::try_complete_round() {
+  const auto it = props_.find(round_);
+  if (it == props_.end()) return false;
+  const auto& received = it->second;
+
+  // Line 2: wait for round messages from n−f processes.
+  if (received.size() < group_.quorum()) return false;
+
+  // Line 3: wait for the leader's message, unless Ω moved on.
+  const auto leader_it =
+      ld_ == kNoProcess ? received.end() : received.find(ld_);
+  const bool have_leader_msg = leader_it != received.end();
+  if (!have_leader_msg && ld_ == omega_.leader()) return false;
+
+  // Line 4: n−f PROP(r, v, ld) plus PROP(r, v, *) from ld itself → decide v.
+  if (have_leader_msg) {
+    const Value& lv = leader_it->second.est;
+    std::uint32_t named_with_value = 0;
+    for (const auto& [from, prop] : received) {
+      if (prop.ld == ld_ && prop.est == lv) ++named_with_value;
+    }
+    if (named_with_value >= group_.quorum()) {
+      decide_from_round(lv, static_cast<std::uint32_t>(round_));
+      return true;
+    }
+  }
+
+  // Line 7: majority of senders name ld as leader and ld's value is known →
+  // adopt the leader value.
+  bool updated = false;
+  if (have_leader_msg) {
+    std::uint32_t named = 0;
+    for (const auto& [from, prop] : received) {
+      if (prop.ld == ld_) ++named;
+    }
+    if (named > group_.n / 2) {
+      est_ = leader_it->second.est;
+      updated = true;
+    }
+  }
+
+  // Line 9: a value proposed by n−2f senders is adopted. If some process
+  // decided v this round, v is the unique such value (at most f senders hold
+  // a different estimate and f < n−2f); otherwise ties are broken towards the
+  // smallest value for determinism.
+  if (!updated) {
+    std::map<Value, std::uint32_t> counts;
+    for (const auto& [from, prop] : received) ++counts[prop.est];
+    for (const auto& [v, c] : counts) {
+      if (c >= group_.echo_threshold()) {
+        est_ = v;
+        updated = true;
+        break;
+      }
+    }
+  }
+
+  if (!updated) note_wasted_round();
+
+  // Move to the next round; drop the completed round's buffer.
+  props_.erase(it);
+  ++round_;
+  enter_round();
+  return true;
+}
+
+}  // namespace zdc::consensus

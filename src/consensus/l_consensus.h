@@ -1,0 +1,78 @@
+// L-Consensus — Algorithm 1 of the paper (Sec. 5).
+//
+// Ω-based, zero-degrading; one-step only in stable runs (the paper's Theorem 1
+// forbids unconditional one-step for leader-based protocols). Per round:
+//
+//   ld ← Ω.leader
+//   1: broadcast PROP(r, est, ld)
+//   2: wait for PROP(r,*,*) from n−f processes
+//   3: wait for PROP(r,*,*) from ld  ∨  ld != Ω.leader
+//   4: if PROP(r,v,ld) from n−f processes ∧ PROP(r,v,*) from ld → DECIDE v
+//   7: elif PROP(r,*,ld) from >n/2 ∧ PROP(r,v,*) from ld        → est ← v
+//   9: elif PROP(r,v,*) from n−2f processes                      → est ← v
+//
+// Event-driven adaptation: the three conditions are evaluated whenever a
+// message arrives or the failure detector output changes, over the full set of
+// round-r messages received so far (possibly more than n−f).
+//
+// Safety over supersets: if some process decides v in round r then at most f
+// round-r senders have est != v, and f < n−2f (from f < n/3), so v is the
+// *unique* value that can reach the n−2f threshold of line 9 no matter how
+// many messages a process has collected — the agreement proof (Lemma 2)
+// carries over verbatim. When no decision happened in a round, two values can
+// both reach n−2f over a superset; we break the tie deterministically
+// (smallest value), which is harmless since agreement only constrains rounds
+// in which someone decided.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "consensus/consensus.h"
+#include "fd/failure_detector.h"
+
+namespace zdc::consensus {
+
+class LConsensus final : public Consensus {
+ public:
+  /// `omega` must outlive the protocol instance.
+  LConsensus(ProcessId self, GroupParams group, ConsensusHost& host,
+             const fd::OmegaView& omega);
+
+  void on_fd_change() override;
+
+  [[nodiscard]] std::string name() const override { return "L-Consensus"; }
+
+  /// Round this process is currently executing (1-based); for tests.
+  [[nodiscard]] Round current_round() const { return round_; }
+
+ protected:
+  void start(Value proposal) override;
+  void handle_message(ProcessId from, std::uint8_t tag,
+                      common::Decoder& dec) override;
+
+ private:
+  static constexpr std::uint8_t kPropTag = 1;
+
+  struct Prop {
+    Value est;
+    ProcessId ld = kNoProcess;
+  };
+
+  void enter_round();
+  /// Runs rounds to completion while their wait conditions hold; stops when
+  /// blocked or decided.
+  void drive();
+  /// Returns true if round `round_` completed (decision or round advance).
+  bool try_complete_round();
+
+  const fd::OmegaView& omega_;
+  Round round_ = 0;
+  Value est_;
+  ProcessId ld_ = kNoProcess;  ///< leader recorded when the round started
+  /// Round → sender → first PROP received from that sender in that round.
+  std::map<Round, std::map<ProcessId, Prop>> props_;
+};
+
+}  // namespace zdc::consensus

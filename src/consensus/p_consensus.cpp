@@ -1,0 +1,153 @@
+#include "consensus/p_consensus.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace zdc::consensus {
+
+PConsensus::PConsensus(ProcessId self, GroupParams group, ConsensusHost& host,
+                       const fd::SuspectView& suspects)
+    : Consensus(self, group, host), suspects_(suspects) {
+  ZDC_ASSERT_MSG(group.one_step_resilient(), "P-Consensus requires f < n/3");
+}
+
+void PConsensus::start(Value proposal) {
+  est_ = std::move(proposal);
+  round_ = 1;
+  enter_round();
+  drive();
+}
+
+void PConsensus::enter_round() {
+  note_round_started();
+  quorum_q_.reset();
+  common::Encoder enc;
+  enc.put_u8(kPropTag);
+  enc.put_u64(round_);
+  enc.put_string(est_);
+  broadcast_counted(enc.take());
+}
+
+void PConsensus::handle_message(ProcessId from, std::uint8_t tag,
+                                common::Decoder& dec) {
+  if (tag != kPropTag) {
+    note_malformed();
+    return;
+  }
+  const Round r = dec.get_u64();
+  Value est = dec.get_string();
+  if (!dec.done() || r == 0) {
+    note_malformed();
+    return;
+  }
+  if (r < round_) return;
+  props_[r].emplace(from, std::move(est));
+  drive();
+}
+
+void PConsensus::on_fd_change() {
+  if (!proposed() || decided()) return;
+  drive();
+}
+
+void PConsensus::drive() {
+  while (!decided() && try_complete_round()) {
+  }
+}
+
+bool PConsensus::try_complete_round() {
+  const auto it = props_.find(round_);
+  if (it == props_.end()) return false;
+  const auto& received = it->second;
+
+  // Line 2: wait for n−f round-r messages.
+  if (received.size() < group_.quorum()) return false;
+
+  // Lines 3-4: n−f identical values decide immediately — this is the one-step
+  // path, taken regardless of the failure detector output.
+  {
+    std::map<Value, std::uint32_t> counts;
+    for (const auto& [from, v] : received) ++counts[v];
+    for (const auto& [v, c] : counts) {
+      if (c >= group_.quorum()) {
+        decide_from_round(v, static_cast<std::uint32_t>(round_));
+        return true;
+      }
+    }
+  }
+
+  // Line 5: freeze Q = the first n−f non-suspected processes, computed once
+  // per round at the first evaluation that reaches this point.
+  if (!quorum_q_.has_value()) {
+    std::vector<ProcessId> q;
+    for (ProcessId p = 0; p < group_.n && q.size() < group_.quorum(); ++p) {
+      if (!suspects_.suspects(p)) q.push_back(p);
+    }
+    quorum_q_ = std::move(q);
+  }
+
+  // Line 6: wait for a message from every Q member not currently suspected
+  // (the suspected set is re-read on every evaluation, so a member crashing
+  // mid-round cannot block us once ◇P completeness kicks in).
+  for (ProcessId p : *quorum_q_) {
+    if (!suspects_.suspects(p) && received.find(p) == received.end()) {
+      return false;
+    }
+  }
+
+  // Line 7: Qlist = values received from Q members (suspected or not).
+  std::vector<const Value*> qlist;
+  ProcessId min_member = kNoProcess;
+  for (ProcessId p : *quorum_q_) {
+    auto mit = received.find(p);
+    if (mit != received.end()) {
+      qlist.push_back(&mit->second);
+      if (min_member == kNoProcess) min_member = p;  // Q is ascending
+    }
+  }
+
+  bool updated = false;
+  if (qlist.size() == group_.quorum()) {
+    // Lines 8-12: complete quorum. A value occurring n−2f times in Qlist is
+    // unique (2(n−2f) > n−f for f < n/3).
+    std::map<Value, std::uint32_t> counts;
+    for (const Value* v : qlist) ++counts[*v];
+    for (const auto& [v, c] : counts) {
+      if (c >= group_.echo_threshold()) {
+        est_ = v;
+        updated = true;
+        break;
+      }
+    }
+    if (!updated) {
+      // Line 12: adopt the estimate of the smallest-index quorum member (the
+      // deterministic "leader of Q" pick). Q complete → its message arrived.
+      est_ = received.at(min_member);
+      updated = true;
+    }
+  } else {
+    // Lines 13-15: incomplete quorum; only a strict majority among *all*
+    // received values may be adopted (this is what preserves agreement when
+    // ◇P output still differs across processes).
+    std::map<Value, std::uint32_t> counts;
+    for (const auto& [from, v] : received) ++counts[v];
+    for (const auto& [v, c] : counts) {
+      if (c > received.size() / 2) {
+        est_ = v;
+        updated = true;
+        break;
+      }
+    }
+  }
+
+  if (!updated) note_wasted_round();
+
+  props_.erase(it);
+  ++round_;
+  enter_round();
+  return true;
+}
+
+}  // namespace zdc::consensus

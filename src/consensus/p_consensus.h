@@ -1,0 +1,75 @@
+// P-Consensus — Algorithm 2 of the paper (Sec. 6).
+//
+// ◇P-based, one-step AND zero-degrading. It escapes the Theorem-1 lower bound
+// by using a failure detector strictly stronger than Ω: when a process cannot
+// decide in the first communication step it falls back to a *consistent
+// quorum* Q — the first n−f non-suspected processes — and in a stable run
+// every process computes the same Q, receives the same messages from it, and
+// applies the same deterministic pick, so round 2 starts with equal estimates
+// and decides (the Fast-Paxos-style coordinated recovery the paper credits to
+// Lamport).
+//
+// Per round r:
+//    1: broadcast PROP(r, est)
+//    2: wait for PROP(r,*) from n−f processes
+//    3: if PROP(r,v) from n−f processes → DECIDE v
+//    5: Q ← the first n−f processes not in ◇P.suspected  (frozen per round)
+//    6: wait for PROP(r,*) from every p ∈ Q \ ◇P.suspected  (suspected re-read)
+//    7: Qlist ← values received from members of Q
+//    8: if |Qlist| = n−f:                        (complete quorum)
+//    9:    if some v occurs ≥ n−2f times in Qlist → est ← v
+//   12:    else est ← estimate of the smallest-index member of Q
+//   13: else                                      (incomplete quorum)
+//   14:    if some v is a strict majority of all values received → est ← v
+//
+// Eager-evaluation safety: the decide predicate (n−f equal values) and the
+// n−2f/majority picks are all monotone or unique under the f < n/3 bound:
+// 2(n−2f) > n−f, so at most one value reaches n−2f within a complete Qlist,
+// and if some process decided v this round at most f senders hold a different
+// estimate, forcing every pick to v exactly as in the paper's Lemma 4.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "consensus/consensus.h"
+#include "fd/failure_detector.h"
+
+namespace zdc::consensus {
+
+class PConsensus final : public Consensus {
+ public:
+  /// `suspects` must outlive the protocol instance.
+  PConsensus(ProcessId self, GroupParams group, ConsensusHost& host,
+             const fd::SuspectView& suspects);
+
+  void on_fd_change() override;
+
+  [[nodiscard]] std::string name() const override { return "P-Consensus"; }
+  [[nodiscard]] Round current_round() const { return round_; }
+
+ protected:
+  void start(Value proposal) override;
+  void handle_message(ProcessId from, std::uint8_t tag,
+                      common::Decoder& dec) override;
+
+ private:
+  static constexpr std::uint8_t kPropTag = 1;
+
+  void enter_round();
+  void drive();
+  bool try_complete_round();
+
+  const fd::SuspectView& suspects_;
+  Round round_ = 0;
+  Value est_;
+  /// Q of the current round, frozen at the first evaluation after the n−f
+  /// wait was satisfied without a decision (pseudo-code line 5).
+  std::optional<std::vector<ProcessId>> quorum_q_;
+  std::map<Round, std::map<ProcessId, Value>> props_;
+};
+
+}  // namespace zdc::consensus

@@ -1,0 +1,188 @@
+#include "consensus/paxos.h"
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace zdc::consensus {
+
+PaxosConsensus::PaxosConsensus(ProcessId self, GroupParams group,
+                               ConsensusHost& host, const fd::OmegaView& omega)
+    : Consensus(self, group, host), omega_(omega) {
+  ZDC_ASSERT_MSG(group.majority_resilient(), "Paxos requires f < n/2");
+}
+
+PaxosConsensus::Ballot PaxosConsensus::next_owned_ballot(Ballot floor) const {
+  // Smallest b >= floor with b mod n == self.
+  const Ballot n = group_.n;
+  const Ballot base = (floor / n) * n + self_;
+  return base >= floor ? base : base + n;
+}
+
+void PaxosConsensus::start(Value proposal) {
+  my_value_ = std::move(proposal);
+  note_round_started();
+  was_leader_ = omega_.leader() == self_;
+  if (was_leader_) maybe_lead();
+}
+
+void PaxosConsensus::on_fd_change() {
+  if (!proposed() || decided()) return;
+  const bool leading = omega_.leader() == self_;
+  if (leading && !was_leader_) {
+    // Becoming-leader edge: drive a fresh ballot. Abandoning a still-running
+    // own ballot is safe — the higher ballot supersedes it.
+    if (active_ballot_ != kNoBallot) note_ballot_seen(active_ballot_ + 1);
+    maybe_lead();
+  }
+  was_leader_ = leading;
+}
+
+void PaxosConsensus::maybe_lead() {
+  if (!my_value_.has_value() || decided()) return;
+  start_ballot(next_owned_ballot(max_ballot_seen_));
+}
+
+void PaxosConsensus::start_ballot(Ballot b) {
+  ZDC_ASSERT(ballot_owner(b) == self_);
+  active_ballot_ = b;
+  p2a_sent_ = false;
+  promises_.clear();
+  note_ballot_seen(b);
+  if (b == 0) {
+    // Ballot 0 is the globally lowest ballot: no acceptor can have accepted
+    // anything in a lower one, so any value is safe and phase 1 is skipped.
+    // This is what makes Paxos zero-degrading (2 steps in stable runs).
+    send_p2a(*my_value_);
+    return;
+  }
+  common::Encoder enc;
+  enc.put_u8(kP1aTag);
+  enc.put_u64(b);
+  broadcast_counted(enc.take());
+}
+
+void PaxosConsensus::send_p2a(const Value& v) {
+  if (p2a_sent_) return;
+  p2a_sent_ = true;
+  common::Encoder enc;
+  enc.put_u8(kP2aTag);
+  enc.put_u64(active_ballot_);
+  enc.put_string(v);
+  broadcast_counted(enc.take());
+}
+
+void PaxosConsensus::note_ballot_seen(Ballot b) {
+  if (b != kNoBallot && b > max_ballot_seen_) max_ballot_seen_ = b;
+}
+
+void PaxosConsensus::handle_message(ProcessId from, std::uint8_t tag,
+                                    common::Decoder& dec) {
+  switch (tag) {
+    case kP1aTag: handle_p1a(from, dec); break;
+    case kP1bTag: handle_p1b(from, dec); break;
+    case kP2aTag: handle_p2a(from, dec); break;
+    case kP2bTag: handle_p2b(from, dec); break;
+    case kNackTag: handle_nack(from, dec); break;
+    default: note_malformed(); break;
+  }
+}
+
+void PaxosConsensus::handle_p1a(ProcessId from, common::Decoder& dec) {
+  const Ballot b = dec.get_u64();
+  if (!dec.done()) return note_malformed();
+  note_ballot_seen(b);
+  if (b >= promised_) {
+    promised_ = b;
+    common::Encoder enc;
+    enc.put_u8(kP1bTag);
+    enc.put_u64(b);
+    enc.put_bool(accepted_ballot_ != kNoBallot);
+    enc.put_u64(accepted_ballot_);
+    enc.put_string(accepted_value_);
+    send_counted(from, enc.take());
+  } else {
+    common::Encoder enc;
+    enc.put_u8(kNackTag);
+    enc.put_u64(b);
+    enc.put_u64(promised_);
+    send_counted(from, enc.take());
+  }
+}
+
+void PaxosConsensus::handle_p1b(ProcessId from, common::Decoder& dec) {
+  const Ballot b = dec.get_u64();
+  const bool has_accepted = dec.get_bool();
+  const Ballot ab = dec.get_u64();
+  Value av = dec.get_string();
+  if (!dec.done()) return note_malformed();
+  if (b != active_ballot_ || p2a_sent_) return;
+  Promise promise;
+  if (has_accepted) {
+    promise.accepted_ballot = ab;
+    promise.accepted_value = std::move(av);
+    note_ballot_seen(ab);
+  }
+  promises_.emplace(from, std::move(promise));
+  if (promises_.size() < group_.majority()) return;
+  // Choose the value accepted under the highest ballot, else free choice.
+  const Promise* best = nullptr;
+  for (const auto& [p, pr] : promises_) {
+    if (pr.accepted_ballot == kNoBallot) continue;
+    if (best == nullptr || pr.accepted_ballot > best->accepted_ballot ||
+        (pr.accepted_ballot == best->accepted_ballot &&
+         pr.accepted_value < best->accepted_value)) {
+      best = &pr;
+    }
+  }
+  send_p2a(best != nullptr ? best->accepted_value : *my_value_);
+}
+
+void PaxosConsensus::handle_p2a(ProcessId from, common::Decoder& dec) {
+  const Ballot b = dec.get_u64();
+  Value v = dec.get_string();
+  if (!dec.done()) return note_malformed();
+  note_ballot_seen(b);
+  if (b >= promised_) {
+    promised_ = b;
+    accepted_ballot_ = b;
+    accepted_value_ = std::move(v);
+    common::Encoder enc;
+    enc.put_u8(kP2bTag);
+    enc.put_u64(b);
+    enc.put_string(accepted_value_);
+    broadcast_counted(enc.take());
+  } else {
+    common::Encoder enc;
+    enc.put_u8(kNackTag);
+    enc.put_u64(b);
+    enc.put_u64(promised_);
+    send_counted(from, enc.take());
+  }
+}
+
+void PaxosConsensus::handle_p2b(ProcessId from, common::Decoder& dec) {
+  const Ballot b = dec.get_u64();
+  Value v = dec.get_string();
+  if (!dec.done()) return note_malformed();
+  note_ballot_seen(b);
+  auto [it, inserted] = p2b_values_.emplace(b, v);
+  ZDC_ASSERT_MSG(it->second == v, "two values accepted under one ballot");
+  p2b_votes_[b].insert(from);
+  if (p2b_votes_[b].size() >= group_.majority()) {
+    // 2 steps on the phase-1-free ballot 0, 4 when a full phase 1 ran.
+    decide_quietly(it->second, b == 0 ? 2 : 4);
+  }
+}
+
+void PaxosConsensus::handle_nack(ProcessId from, common::Decoder& dec) {
+  (void)from;
+  const Ballot b = dec.get_u64();
+  const Ballot promised = dec.get_u64();
+  if (!dec.done()) return note_malformed();
+  note_ballot_seen(promised);
+  if (b == active_ballot_ && omega_.leader() == self_ && !decided()) {
+    start_ballot(next_owned_ballot(promised + 1));
+  }
+}
+
+}  // namespace zdc::consensus

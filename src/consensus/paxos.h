@@ -1,0 +1,96 @@
+// Single-decree Paxos (the Synod protocol, Lamport 1998) — the classic
+// baseline the paper compares against (Table 1, Figure 3).
+//
+// All three roles live in every process. Ballot b is owned by process b mod n;
+// the leader output by Ω drives who proposes. Ballot 0 needs no phase 1 (no
+// lower ballot can exist), which gives the 2-communication-step stable-run
+// decision the paper attributes to Paxos — the protocol is zero-degrading but
+// not one-step.
+//
+// Liveness without timers: channels are reliable, so the only way a ballot
+// stalls is a crashed proposer (Ω then elects a new leader, which starts a
+// higher ballot on its becoming-leader edge) or a higher promised ballot
+// (acceptors answer with explicit NACKs carrying the promised ballot, and a
+// still-leading proposer restarts with a higher owned ballot).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "consensus/consensus.h"
+#include "fd/failure_detector.h"
+
+namespace zdc::consensus {
+
+class PaxosConsensus final : public Consensus {
+ public:
+  /// Paxos only needs f < n/2; `group.f` expresses the tolerated crash count
+  /// but quorums are always strict majorities.
+  PaxosConsensus(ProcessId self, GroupParams group, ConsensusHost& host,
+                 const fd::OmegaView& omega);
+
+  void on_fd_change() override;
+
+  [[nodiscard]] std::string name() const override { return "Paxos"; }
+
+ protected:
+  void start(Value proposal) override;
+  void handle_message(ProcessId from, std::uint8_t tag,
+                      common::Decoder& dec) override;
+
+ private:
+  using Ballot = std::uint64_t;
+  static constexpr Ballot kNoBallot = ~Ballot{0};
+
+  static constexpr std::uint8_t kP1aTag = 1;
+  static constexpr std::uint8_t kP1bTag = 2;
+  static constexpr std::uint8_t kP2aTag = 3;
+  static constexpr std::uint8_t kP2bTag = 4;
+  static constexpr std::uint8_t kNackTag = 5;
+
+  [[nodiscard]] ProcessId ballot_owner(Ballot b) const {
+    return static_cast<ProcessId>(b % group_.n);
+  }
+  /// Smallest ballot owned by this process that is strictly above `floor`.
+  [[nodiscard]] Ballot next_owned_ballot(Ballot floor) const;
+
+  void maybe_lead();
+  void start_ballot(Ballot b);
+  void send_p2a(const Value& v);
+  void note_ballot_seen(Ballot b);
+
+  void handle_p1a(ProcessId from, common::Decoder& dec);
+  void handle_p1b(ProcessId from, common::Decoder& dec);
+  void handle_p2a(ProcessId from, common::Decoder& dec);
+  void handle_p2b(ProcessId from, common::Decoder& dec);
+  void handle_nack(ProcessId from, common::Decoder& dec);
+
+  const fd::OmegaView& omega_;
+
+  // --- proposer state ---
+  std::optional<Value> my_value_;
+  Ballot active_ballot_ = kNoBallot;  ///< ballot this proposer is driving
+  bool p2a_sent_ = false;
+  struct Promise {
+    Ballot accepted_ballot = kNoBallot;
+    Value accepted_value;
+  };
+  std::map<ProcessId, Promise> promises_;  ///< 1b replies for active_ballot_
+
+  // --- acceptor state ---
+  Ballot promised_ = 0;  ///< will accept any ballot >= promised_
+  Ballot accepted_ballot_ = kNoBallot;
+  Value accepted_value_;
+
+  // --- learner state ---
+  std::map<Ballot, std::set<ProcessId>> p2b_votes_;
+  std::map<Ballot, Value> p2b_values_;
+
+  Ballot max_ballot_seen_ = 0;
+  bool was_leader_ = false;
+};
+
+}  // namespace zdc::consensus

@@ -1,0 +1,220 @@
+#include "consensus/recovering_paxos.h"
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace zdc::consensus {
+
+namespace {
+constexpr char kStateKey[] = "paxos_acceptor_state";
+}
+
+RecoveringPaxosConsensus::RecoveringPaxosConsensus(
+    ProcessId self, GroupParams group, ConsensusHost& host,
+    const fd::OmegaView& omega, common::StableStorage& storage)
+    : Consensus(self, group, host), omega_(omega), storage_(storage) {
+  ZDC_ASSERT_MSG(group.majority_resilient(), "Paxos requires f < n/2");
+  recover_from_storage();
+}
+
+void RecoveringPaxosConsensus::recover_from_storage() {
+  const auto bytes = storage_.get(kStateKey);
+  if (!bytes.has_value()) return;
+  common::Decoder dec(*bytes);
+  const Ballot promised = dec.get_u64();
+  const Ballot accepted_ballot = dec.get_u64();
+  Value accepted_value = dec.get_string();
+  if (!dec.done()) {
+    ZDC_LOG(kError, "rec-paxos") << "corrupt acceptor state, starting fresh";
+    return;
+  }
+  promised_ = promised;
+  accepted_ballot_ = accepted_ballot;
+  accepted_value_ = std::move(accepted_value);
+  note_ballot_seen(promised_);
+  if (accepted_ballot_ != kNoBallot) note_ballot_seen(accepted_ballot_);
+  ZDC_LOG(kDebug, "rec-paxos")
+      << "p" << self_ << " recovered promised=" << promised_;
+}
+
+void RecoveringPaxosConsensus::persist_acceptor_state() {
+  common::Encoder enc;
+  enc.put_u64(promised_);
+  enc.put_u64(accepted_ballot_);
+  enc.put_string(accepted_value_);
+  storage_.put(kStateKey, enc.take());
+}
+
+RecoveringPaxosConsensus::Ballot RecoveringPaxosConsensus::next_owned_ballot(
+    Ballot floor) const {
+  const Ballot n = group_.n;
+  const Ballot base = (floor / n) * n + self_;
+  return base >= floor ? base : base + n;
+}
+
+void RecoveringPaxosConsensus::start(Value proposal) {
+  my_value_ = std::move(proposal);
+  note_round_started();
+  was_leader_ = omega_.leader() == self_;
+  if (was_leader_) maybe_lead();
+}
+
+void RecoveringPaxosConsensus::on_fd_change() {
+  if (!proposed() || decided()) return;
+  const bool leading = omega_.leader() == self_;
+  if (leading && !was_leader_) {
+    if (active_ballot_ != kNoBallot) note_ballot_seen(active_ballot_ + 1);
+    maybe_lead();
+  }
+  was_leader_ = leading;
+}
+
+void RecoveringPaxosConsensus::maybe_lead() {
+  if (!my_value_.has_value() || decided()) return;
+  start_ballot(next_owned_ballot(std::max(max_ballot_seen_, promised_)));
+}
+
+void RecoveringPaxosConsensus::start_ballot(Ballot b) {
+  ZDC_ASSERT(ballot_owner(b) == self_);
+  active_ballot_ = b;
+  p2a_sent_ = false;
+  promises_.clear();
+  note_ballot_seen(b);
+  if (b == 0) {
+    send_p2a(*my_value_);
+    return;
+  }
+  common::Encoder enc;
+  enc.put_u8(kP1aTag);
+  enc.put_u64(b);
+  broadcast_counted(enc.take());
+}
+
+void RecoveringPaxosConsensus::send_p2a(const Value& v) {
+  if (p2a_sent_) return;
+  p2a_sent_ = true;
+  common::Encoder enc;
+  enc.put_u8(kP2aTag);
+  enc.put_u64(active_ballot_);
+  enc.put_string(v);
+  broadcast_counted(enc.take());
+}
+
+void RecoveringPaxosConsensus::note_ballot_seen(Ballot b) {
+  if (b != kNoBallot && b > max_ballot_seen_) max_ballot_seen_ = b;
+}
+
+void RecoveringPaxosConsensus::handle_message(ProcessId from, std::uint8_t tag,
+                                              common::Decoder& dec) {
+  switch (tag) {
+    case kP1aTag: handle_p1a(from, dec); break;
+    case kP1bTag: handle_p1b(from, dec); break;
+    case kP2aTag: handle_p2a(from, dec); break;
+    case kP2bTag: handle_p2b(from, dec); break;
+    case kNackTag: handle_nack(from, dec); break;
+    default: note_malformed(); break;
+  }
+}
+
+void RecoveringPaxosConsensus::handle_p1a(ProcessId from,
+                                          common::Decoder& dec) {
+  const Ballot b = dec.get_u64();
+  if (!dec.done()) return note_malformed();
+  note_ballot_seen(b);
+  if (b >= promised_) {
+    promised_ = b;
+    persist_acceptor_state();  // write-ahead: promise hits disk before wire
+    common::Encoder enc;
+    enc.put_u8(kP1bTag);
+    enc.put_u64(b);
+    enc.put_bool(accepted_ballot_ != kNoBallot);
+    enc.put_u64(accepted_ballot_);
+    enc.put_string(accepted_value_);
+    send_counted(from, enc.take());
+  } else {
+    common::Encoder enc;
+    enc.put_u8(kNackTag);
+    enc.put_u64(b);
+    enc.put_u64(promised_);
+    send_counted(from, enc.take());
+  }
+}
+
+void RecoveringPaxosConsensus::handle_p1b(ProcessId from,
+                                          common::Decoder& dec) {
+  const Ballot b = dec.get_u64();
+  const bool has_accepted = dec.get_bool();
+  const Ballot ab = dec.get_u64();
+  Value av = dec.get_string();
+  if (!dec.done()) return note_malformed();
+  if (b != active_ballot_ || p2a_sent_) return;
+  Promise promise;
+  if (has_accepted) {
+    promise.accepted_ballot = ab;
+    promise.accepted_value = std::move(av);
+    note_ballot_seen(ab);
+  }
+  promises_.emplace(from, std::move(promise));
+  if (promises_.size() < group_.majority()) return;
+  const Promise* best = nullptr;
+  for (const auto& [p, pr] : promises_) {
+    if (pr.accepted_ballot == kNoBallot) continue;
+    if (best == nullptr || pr.accepted_ballot > best->accepted_ballot) {
+      best = &pr;
+    }
+  }
+  send_p2a(best != nullptr ? best->accepted_value : *my_value_);
+}
+
+void RecoveringPaxosConsensus::handle_p2a(ProcessId from,
+                                          common::Decoder& dec) {
+  const Ballot b = dec.get_u64();
+  Value v = dec.get_string();
+  if (!dec.done()) return note_malformed();
+  note_ballot_seen(b);
+  if (b >= promised_) {
+    promised_ = b;
+    accepted_ballot_ = b;
+    accepted_value_ = std::move(v);
+    persist_acceptor_state();  // write-ahead: the vote hits disk before 2b
+    common::Encoder enc;
+    enc.put_u8(kP2bTag);
+    enc.put_u64(b);
+    enc.put_string(accepted_value_);
+    broadcast_counted(enc.take());
+  } else {
+    common::Encoder enc;
+    enc.put_u8(kNackTag);
+    enc.put_u64(b);
+    enc.put_u64(promised_);
+    send_counted(from, enc.take());
+  }
+}
+
+void RecoveringPaxosConsensus::handle_p2b(ProcessId from,
+                                          common::Decoder& dec) {
+  const Ballot b = dec.get_u64();
+  Value v = dec.get_string();
+  if (!dec.done()) return note_malformed();
+  note_ballot_seen(b);
+  auto [it, inserted] = p2b_values_.emplace(b, v);
+  ZDC_ASSERT_MSG(it->second == v, "two values accepted under one ballot");
+  p2b_votes_[b].insert(from);
+  if (p2b_votes_[b].size() >= group_.majority()) {
+    decide_quietly(it->second, b == 0 ? 2 : 4);
+  }
+}
+
+void RecoveringPaxosConsensus::handle_nack(ProcessId from,
+                                           common::Decoder& dec) {
+  (void)from;
+  const Ballot b = dec.get_u64();
+  const Ballot promised = dec.get_u64();
+  if (!dec.done()) return note_malformed();
+  note_ballot_seen(promised);
+  if (b == active_ballot_ && omega_.leader() == self_ && !decided()) {
+    start_ballot(next_owned_ballot(promised + 1));
+  }
+}
+
+}  // namespace zdc::consensus

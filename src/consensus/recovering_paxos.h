@@ -1,0 +1,106 @@
+// Crash-recovery Paxos: single-decree Paxos whose acceptor state survives
+// process restarts — the crash-recovery direction the paper's related work
+// points at (Sec. 2: Paxos-like protocols "allow for the recovery of crashed
+// processes", citing Aguilera et al.).
+//
+// The acceptor's promise and its accepted (ballot, value) are written to
+// stable storage *before* the corresponding 1b/2b leaves the process
+// (write-ahead); a restarting instance reloads them in its constructor. This
+// is exactly the discipline that makes restart safe: a recovered acceptor
+// can never un-promise or forget a vote, so the quorum-intersection
+// arguments hold across incarnations. The companion test suite also
+// demonstrates the converse — an "amnesiac" restart (plain Paxos with fresh
+// state) reneges on its promise and can be driven into an agreement
+// violation.
+//
+// Scope: acceptor durability (the safety-critical part). Proposer state is
+// not persisted: a recovered proposer simply starts a fresh ballot, which is
+// always safe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/stable_storage.h"
+#include "consensus/consensus.h"
+#include "fd/failure_detector.h"
+
+namespace zdc::consensus {
+
+class RecoveringPaxosConsensus final : public Consensus {
+ public:
+  /// `storage` must outlive the instance and persist across the process's
+  /// simulated incarnations (the same object is handed to the replacement
+  /// instance on restart).
+  RecoveringPaxosConsensus(ProcessId self, GroupParams group,
+                           ConsensusHost& host, const fd::OmegaView& omega,
+                           common::StableStorage& storage);
+
+  void on_fd_change() override;
+
+  [[nodiscard]] std::string name() const override { return "Rec-Paxos"; }
+
+ protected:
+  void start(Value proposal) override;
+  void handle_message(ProcessId from, std::uint8_t tag,
+                      common::Decoder& dec) override;
+
+ private:
+  using Ballot = std::uint64_t;
+  static constexpr Ballot kNoBallot = ~Ballot{0};
+
+  static constexpr std::uint8_t kP1aTag = 1;
+  static constexpr std::uint8_t kP1bTag = 2;
+  static constexpr std::uint8_t kP2aTag = 3;
+  static constexpr std::uint8_t kP2bTag = 4;
+  static constexpr std::uint8_t kNackTag = 5;
+
+  [[nodiscard]] ProcessId ballot_owner(Ballot b) const {
+    return static_cast<ProcessId>(b % group_.n);
+  }
+  [[nodiscard]] Ballot next_owned_ballot(Ballot floor) const;
+
+  void recover_from_storage();
+  void persist_acceptor_state();
+
+  void maybe_lead();
+  void start_ballot(Ballot b);
+  void send_p2a(const Value& v);
+  void note_ballot_seen(Ballot b);
+
+  void handle_p1a(ProcessId from, common::Decoder& dec);
+  void handle_p1b(ProcessId from, common::Decoder& dec);
+  void handle_p2a(ProcessId from, common::Decoder& dec);
+  void handle_p2b(ProcessId from, common::Decoder& dec);
+  void handle_nack(ProcessId from, common::Decoder& dec);
+
+  const fd::OmegaView& omega_;
+  common::StableStorage& storage_;
+
+  // Proposer state (volatile: a fresh ballot after restart is always safe).
+  std::optional<Value> my_value_;
+  Ballot active_ballot_ = kNoBallot;
+  bool p2a_sent_ = false;
+  struct Promise {
+    Ballot accepted_ballot = kNoBallot;
+    Value accepted_value;
+  };
+  std::map<ProcessId, Promise> promises_;
+
+  // Acceptor state (durable, write-ahead).
+  Ballot promised_ = 0;
+  Ballot accepted_ballot_ = kNoBallot;
+  Value accepted_value_;
+
+  // Learner state (volatile; the decision is re-learnable from acceptors).
+  std::map<Ballot, std::set<ProcessId>> p2b_votes_;
+  std::map<Ballot, Value> p2b_values_;
+
+  Ballot max_ballot_seen_ = 0;
+  bool was_leader_ = false;
+};
+
+}  // namespace zdc::consensus

@@ -1,0 +1,109 @@
+#include "consensus/wab_consensus.h"
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace zdc::consensus {
+
+WabConsensus::WabConsensus(ProcessId self, GroupParams group,
+                           ConsensusHost& host)
+    : Consensus(self, group, host) {
+  ZDC_ASSERT_MSG(group.one_step_resilient(), "WAB consensus requires f < n/3");
+}
+
+void WabConsensus::start(Value proposal) {
+  est_ = std::move(proposal);
+  stage_ = 1;
+  note_round_started();
+  // Stage 1 votes directly on the proposal: the enclosing layer (C-Abcast)
+  // already consulted the ordering oracle to produce it.
+  vote(est_);
+  drive();
+}
+
+void WabConsensus::vote(const Value& candidate) {
+  common::Encoder enc;
+  enc.put_u8(kVoteTag);
+  enc.put_u64(stage_);
+  enc.put_string(candidate);
+  broadcast_counted(enc.take());
+  voted_this_stage_ = true;
+}
+
+void WabConsensus::on_w_deliver(std::uint64_t stage, ProcessId origin,
+                                const std::string& payload) {
+  (void)origin;
+  if (decided() || stage == 0) return;
+  first_estimate_.emplace(stage, payload);
+  if (proposed() && stage == stage_ && !voted_this_stage_) {
+    vote(first_estimate_.at(stage_));
+    drive();
+  }
+}
+
+void WabConsensus::handle_message(ProcessId from, std::uint8_t tag,
+                                  common::Decoder& dec) {
+  if (tag != kVoteTag) {
+    note_malformed();
+    return;
+  }
+  const Round s = dec.get_u64();
+  Value v = dec.get_string();
+  if (!dec.done() || s == 0) {
+    note_malformed();
+    return;
+  }
+  if (s < stage_) return;
+  votes_[s].emplace(from, std::move(v));
+  drive();
+}
+
+void WabConsensus::drive() {
+  while (!decided() && try_complete_stage()) {
+  }
+}
+
+bool WabConsensus::try_complete_stage() {
+  const auto it = votes_.find(stage_);
+  if (it == votes_.end()) return false;
+  const auto& stage_votes = it->second;
+  if (stage_votes.size() < group_.quorum()) return false;
+
+  std::map<Value, std::uint32_t> counts;
+  for (const auto& [from, v] : stage_votes) ++counts[v];
+
+  // n−f identical votes decide.
+  for (const auto& [v, c] : counts) {
+    if (c >= group_.quorum()) {
+      decide_from_round(v, steps_for_stage(stage_));
+      return true;
+    }
+  }
+  // Strict majority among the received votes updates the estimate; this is
+  // the adoption rule the agreement argument in the header rests on.
+  bool updated = false;
+  for (const auto& [v, c] : counts) {
+    if (c > stage_votes.size() / 2) {
+      est_ = v;
+      updated = true;
+      break;
+    }
+  }
+  if (!updated) note_wasted_round();
+
+  // Advance: consult the oracle for the next stage's candidate. Everyone
+  // w-broadcasts its estimate; the first w-delivery of the new sub-stage is
+  // the vote candidate (it may already have arrived from a faster process).
+  votes_.erase(it);
+  ++stage_;
+  voted_this_stage_ = false;
+  note_round_started();
+  host_w_broadcast(stage_, est_);
+  const auto fit = first_estimate_.find(stage_);
+  if (fit != first_estimate_.end()) {
+    vote(fit->second);
+  }
+  return true;
+}
+
+}  // namespace zdc::consensus

@@ -1,0 +1,72 @@
+// WAB-based consensus (reconstruction of the voting core of Pedone, Schiper,
+// Urbán & Cavin, "Solving agreement problems with weak ordering oracles",
+// EDCC 2002) — used to build the WABCast baseline of Figure 2 and Table 1.
+//
+// The protocol has no failure detector; termination relies exclusively on the
+// ordering oracle's Spontaneous Order property. Stage 1 votes directly on the
+// proposal (which C-Abcast seeds from the oracle, so absent collisions all
+// proposals are equal and one vote step of n² messages decides — 2δ
+// end-to-end). When a stage fails, every process w-broadcasts its estimate in
+// a fresh oracle sub-stage, takes the *first* w-delivered estimate of that
+// sub-stage as the next vote candidate, and votes again (2δ per extra stage).
+// Under persistent collisions (the oracle keeps showing different firsts to
+// different processes) stages repeat without bound — the ∞ entries of
+// Table 1.
+//
+// Agreement (Brasileiro-style argument): a decision v at stage s means
+// >= n−f processes voted v, so at most f voters voted anything else; in any
+// vote set of size x >= n−f, v occurs >= x−f > x/2 times (f < n/3), hence
+// every process finishing stage s adopts est = v by the strict-majority rule,
+// every stage-(s+1) estimate w-broadcast carries v, every candidate equals v
+// and stage s+1 decides v. Validity holds because candidates are always some
+// process's estimate and estimates start as proposals.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "consensus/consensus.h"
+
+namespace zdc::consensus {
+
+class WabConsensus final : public Consensus {
+ public:
+  /// The host must provide the ordering oracle (ConsensusHost::w_broadcast).
+  WabConsensus(ProcessId self, GroupParams group, ConsensusHost& host);
+
+  void on_w_deliver(std::uint64_t stage, ProcessId origin,
+                    const std::string& payload) override;
+
+  [[nodiscard]] std::string name() const override { return "WAB-Consensus"; }
+  [[nodiscard]] Round current_stage() const { return stage_; }
+
+ protected:
+  void start(Value proposal) override;
+  void handle_message(ProcessId from, std::uint8_t tag,
+                      common::Decoder& dec) override;
+
+ private:
+  static constexpr std::uint8_t kVoteTag = 1;
+
+  void vote(const Value& candidate);
+  void drive();
+  /// True if the current stage finished (decision or stage advance).
+  bool try_complete_stage();
+
+  Round stage_ = 0;
+  Value est_;
+  bool voted_this_stage_ = false;
+  /// First estimate w-delivered per oracle sub-stage — the vote candidate.
+  std::map<Round, Value> first_estimate_;
+  std::map<Round, std::map<ProcessId, Value>> votes_;
+
+  /// Latency accounting: stage 1 costs one step (vote only); every further
+  /// stage costs two (oracle w-broadcast + vote).
+  [[nodiscard]] std::uint32_t steps_for_stage(Round s) const {
+    return static_cast<std::uint32_t>(1 + 2 * (s - 1));
+  }
+};
+
+}  // namespace zdc::consensus

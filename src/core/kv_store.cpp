@@ -1,0 +1,95 @@
+#include "core/kv_store.h"
+
+#include "common/codec.h"
+
+namespace zdc::core {
+
+namespace {
+
+std::string make_command(KvOp op, const std::string& key,
+                         const std::string& a = "", const std::string& b = "") {
+  common::Encoder enc;
+  enc.put_u8(static_cast<std::uint8_t>(op));
+  enc.put_string(key);
+  enc.put_string(a);
+  enc.put_string(b);
+  return enc.take();
+}
+
+}  // namespace
+
+std::string kv_put(const std::string& key, const std::string& value) {
+  return make_command(KvOp::kPut, key, value);
+}
+
+std::string kv_get(const std::string& key) {
+  return make_command(KvOp::kGet, key);
+}
+
+std::string kv_del(const std::string& key) {
+  return make_command(KvOp::kDel, key);
+}
+
+std::string kv_cas(const std::string& key, const std::string& expect,
+                   const std::string& value) {
+  return make_command(KvOp::kCas, key, expect, value);
+}
+
+std::string KvStateMachine::apply(const std::string& command) {
+  common::Decoder dec(command);
+  const auto op = static_cast<KvOp>(dec.get_u8());
+  const std::string key = dec.get_string();
+  const std::string a = dec.get_string();
+  const std::string b = dec.get_string();
+  if (!dec.done()) return "error:malformed";
+
+  switch (op) {
+    case KvOp::kPut:
+      data_[key] = a;
+      return "ok";
+    case KvOp::kGet: {
+      const auto it = data_.find(key);
+      return it == data_.end() ? "not_found" : "value:" + it->second;
+    }
+    case KvOp::kDel:
+      return data_.erase(key) > 0 ? "ok" : "not_found";
+    case KvOp::kCas: {
+      const auto it = data_.find(key);
+      if (it == data_.end()) return "not_found";
+      if (it->second != a) return "mismatch";
+      it->second = b;
+      return "ok";
+    }
+  }
+  return "error:unknown_op";
+}
+
+std::string KvStateMachine::snapshot() const {
+  // FNV-1a over the sorted entries plus the size: replicas with equal state
+  // produce equal digests, and (for these test-scale maps) vice versa.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 1099511628211ULL;
+    }
+    h ^= 0xff;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& [k, v] : data_) {
+    mix(k);
+    mix(v);
+  }
+  common::Encoder enc;
+  enc.put_u64(h);
+  enc.put_u64(data_.size());
+  return enc.take();
+}
+
+std::optional<std::string> KvStateMachine::lookup(const std::string& key) const {
+  const auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace zdc::core

@@ -1,0 +1,44 @@
+// Replicated key-value store: the canonical StateMachine shipped with the
+// library (used by the replicated_kv example and the integration tests).
+//
+// Commands are binary-encoded (key/value bytes are arbitrary, including NUL):
+//   PUT key value        -> "ok"
+//   GET key              -> value, or "" with found=false
+//   DEL key              -> "ok" / "not_found"
+//   CAS key expect value -> "ok" / "mismatch" / "not_found"
+// GET going through the log gives linearizable reads (it is ordered against
+// every write); lookup() reads the local replica without ordering.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/rsm.h"
+
+namespace zdc::core {
+
+enum class KvOp : std::uint8_t { kPut = 1, kGet = 2, kDel = 3, kCas = 4 };
+
+/// Command constructors.
+std::string kv_put(const std::string& key, const std::string& value);
+std::string kv_get(const std::string& key);
+std::string kv_del(const std::string& key);
+std::string kv_cas(const std::string& key, const std::string& expect,
+                   const std::string& value);
+
+class KvStateMachine final : public StateMachine {
+ public:
+  std::string apply(const std::string& command) override;
+  [[nodiscard]] std::string snapshot() const override;
+
+  /// Local (not linearizable) read.
+  [[nodiscard]] std::optional<std::string> lookup(const std::string& key) const;
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+ private:
+  std::map<std::string, std::string> data_;
+};
+
+}  // namespace zdc::core

@@ -1,0 +1,45 @@
+// Append-only replicated log: the second state machine shipped with the
+// library (the KV store shows last-writer-wins maps; the log shows
+// result-bearing commands whose outcome depends on the total order —
+// append returns the index the entry landed at, identical on every replica).
+//
+// Commands:
+//   APPEND data          -> "idx:<n>"
+//   READ   index         -> "data:<bytes>" or "out_of_range"
+//   LEN                  -> "len:<n>"
+//   TRIM   up_to_index   -> "ok" (drops entries below; indices stay stable)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "core/rsm.h"
+
+namespace zdc::core {
+
+enum class LogOp : std::uint8_t { kAppend = 1, kRead = 2, kLen = 3, kTrim = 4 };
+
+std::string log_append(const std::string& data);
+std::string log_read(std::uint64_t index);
+std::string log_len();
+std::string log_trim(std::uint64_t up_to_index);
+
+class ReplicatedLogStateMachine final : public StateMachine {
+ public:
+  std::string apply(const std::string& command) override;
+  [[nodiscard]] std::string snapshot() const override;
+
+  /// Local (not linearizable) accessors.
+  [[nodiscard]] std::uint64_t size() const { return next_index_; }
+  [[nodiscard]] std::uint64_t first_index() const { return first_index_; }
+  [[nodiscard]] std::optional<std::string> entry(std::uint64_t index) const;
+
+ private:
+  std::deque<std::string> entries_;
+  std::uint64_t first_index_ = 0;  ///< index of entries_.front()
+  std::uint64_t next_index_ = 0;   ///< index the next append receives
+};
+
+}  // namespace zdc::core

@@ -1,0 +1,24 @@
+#include "core/rsm.h"
+
+#include "common/assert.h"
+
+namespace zdc::core {
+
+ReplicatedStateMachine::ReplicatedStateMachine(
+    std::unique_ptr<StateMachine> machine)
+    : machine_(std::move(machine)) {
+  ZDC_ASSERT(machine_ != nullptr);
+}
+
+void ReplicatedStateMachine::submit(std::string command) {
+  ZDC_ASSERT_MSG(submit_ != nullptr, "bind_submit() before submit()");
+  submit_(std::move(command));
+}
+
+void ReplicatedStateMachine::on_delivered(const abcast::AppMessage& m) {
+  const std::string result = machine_->apply(m.payload);
+  applied_.fetch_add(1, std::memory_order_release);
+  if (on_applied_) on_applied_(m.id, m.payload, result);
+}
+
+}  // namespace zdc::core

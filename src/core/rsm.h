@@ -1,0 +1,70 @@
+// State machine replication over atomic broadcast (Schneider's approach, the
+// paper's motivating application: "Atomic broadcast, which is at the core of
+// state machine replication, can be implemented as a sequence of consensus
+// instances").
+//
+// A deterministic StateMachine is applied to the a-delivered command stream;
+// because every replica applies the same commands in the same total order,
+// replicas converge. The glue is transport-agnostic: bind it to a
+// RuntimeNode, a simulator hook, or anything that can a-broadcast bytes and
+// call back on delivery.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "abcast/abcast.h"
+
+namespace zdc::core {
+
+/// A deterministic application state machine. apply() must depend only on the
+/// current state and the command (no clocks, no randomness), which is what
+/// makes replica convergence a theorem instead of a hope.
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+  /// Executes one command; returns the command's result.
+  virtual std::string apply(const std::string& command) = 0;
+  /// Canonical digest of the full state; equal digests <=> equal state.
+  [[nodiscard]] virtual std::string snapshot() const = 0;
+};
+
+class ReplicatedStateMachine {
+ public:
+  /// How to hand a command to the atomic broadcast layer.
+  using SubmitFn = std::function<void(std::string command)>;
+  /// Observation hook, fired after each apply (id, command, result).
+  using AppliedFn = std::function<void(const abcast::MsgId&, const std::string&,
+                                       const std::string&)>;
+
+  explicit ReplicatedStateMachine(std::unique_ptr<StateMachine> machine);
+
+  void bind_submit(SubmitFn submit) { submit_ = std::move(submit); }
+  void set_on_applied(AppliedFn fn) { on_applied_ = std::move(fn); }
+
+  /// Replicates one command (any thread the bound submit function allows).
+  void submit(std::string command);
+
+  /// Wire this to the a-deliver callback; must be invoked in the delivery
+  /// total order (single-threaded per replica).
+  void on_delivered(const abcast::AppMessage& m);
+
+  /// Safe to poll from any thread (progress monitoring); the machine state
+  /// itself must only be read once the delivering thread has quiesced.
+  [[nodiscard]] std::uint64_t applied_count() const {
+    return applied_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] const StateMachine& machine() const { return *machine_; }
+  [[nodiscard]] StateMachine& machine() { return *machine_; }
+
+ private:
+  std::unique_ptr<StateMachine> machine_;
+  SubmitFn submit_;
+  AppliedFn on_applied_;
+  std::atomic<std::uint64_t> applied_{0};
+};
+
+}  // namespace zdc::core

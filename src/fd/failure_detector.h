@@ -1,0 +1,57 @@
+// Failure-detector abstractions (paper Sec. 3.2).
+//
+// The protocols only ever *query* a detector (Omega's leader, EventuallyPerfect's
+// suspect list) and need to be *re-driven* when the detector's output changes —
+// the pseudo-code's `wait until ... ∨ ld != Ω.leader` statements. We therefore
+// split the API into read-only views handed to protocols and a listener hook the
+// host uses to re-evaluate blocked wait conditions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace zdc::fd {
+
+/// Read-only view of an Omega (eventual leader) failure detector module.
+/// Eventual Leader property: eventually leader() returns the same correct
+/// process forever at every correct process.
+class OmegaView {
+ public:
+  virtual ~OmegaView() = default;
+  /// Current leader estimate; kNoProcess if the module has no estimate yet.
+  [[nodiscard]] virtual ProcessId leader() const = 0;
+};
+
+/// Read-only view of an eventually-perfect (◇P) failure detector module.
+/// Strong Completeness: eventually every crashed process is suspected.
+/// Eventual Strong Accuracy: eventually no correct process is suspected.
+class SuspectView {
+ public:
+  virtual ~SuspectView() = default;
+  [[nodiscard]] virtual bool suspects(ProcessId p) const = 0;
+};
+
+/// Classic reduction Ω := lowest non-suspected process id. Once the underlying
+/// ◇P output stabilizes to exactly the crashed set, leader() converges to the
+/// same correct process everywhere.
+class OmegaFromSuspects final : public OmegaView {
+ public:
+  OmegaFromSuspects(const SuspectView& suspects, std::uint32_t n)
+      : suspects_(suspects), n_(n) {}
+
+  [[nodiscard]] ProcessId leader() const override {
+    for (ProcessId p = 0; p < n_; ++p) {
+      if (!suspects_.suspects(p)) return p;
+    }
+    return kNoProcess;
+  }
+
+ private:
+  const SuspectView& suspects_;
+  std::uint32_t n_;
+};
+
+}  // namespace zdc::fd

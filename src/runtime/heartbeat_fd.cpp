@@ -1,0 +1,72 @@
+#include "runtime/heartbeat_fd.h"
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace zdc::runtime {
+
+HeartbeatFd::HeartbeatFd(ProcessId self, Transport& net, Config cfg,
+                         std::function<void()> on_change)
+    : self_(self),
+      net_(net),
+      cfg_(cfg),
+      on_change_(std::move(on_change)),
+      last_seen_(net.size(), Clock::now()),
+      timeout_ms_(net.size(), cfg.initial_timeout_ms),
+      suspected_(std::make_unique<std::atomic<bool>[]>(net.size())),
+      n_(net.size()),
+      omega_(*this, net.size()) {
+  for (std::uint32_t p = 0; p < n_; ++p) {
+    suspected_[p].store(false, std::memory_order_relaxed);
+  }
+}
+
+void HeartbeatFd::start() {
+  ZDC_ASSERT(!started_);
+  started_ = true;
+  net_.schedule(self_, 0.0, [this] { tick(); });
+}
+
+void HeartbeatFd::on_heartbeat(ProcessId from) {
+  if (from >= n_) return;
+  last_seen_[from] = Clock::now();
+  if (suspected_[from].load(std::memory_order_relaxed)) {
+    // False suspicion: revoke and back off this peer's timeout so that, once
+    // delays stabilize, it is never falsely suspected again.
+    suspected_[from].store(false, std::memory_order_release);
+    timeout_ms_[from] += cfg_.timeout_increment_ms;
+    false_suspicions_.fetch_add(1, std::memory_order_relaxed);
+    ZDC_LOG(kDebug, "heartbeat-fd")
+        << "p" << self_ << " unsuspects p" << from << ", timeout now "
+        << timeout_ms_[from] << "ms";
+    if (on_change_) on_change_();
+  }
+}
+
+bool HeartbeatFd::suspects(ProcessId p) const {
+  return p < n_ && suspected_[p].load(std::memory_order_acquire);
+}
+
+void HeartbeatFd::tick() {
+  net_.broadcast(Channel::kHeartbeat, self_, "");
+  last_seen_[self_] = Clock::now();  // never suspect yourself
+
+  bool changed = false;
+  const Clock::time_point now = Clock::now();
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (p == self_ || suspected_[p].load(std::memory_order_relaxed)) continue;
+    const double silent_ms =
+        std::chrono::duration<double, std::milli>(now - last_seen_[p]).count();
+    if (silent_ms > timeout_ms_[p]) {
+      suspected_[p].store(true, std::memory_order_release);
+      changed = true;
+      ZDC_LOG(kDebug, "heartbeat-fd")
+          << "p" << self_ << " suspects p" << p << " after " << silent_ms
+          << "ms of silence";
+    }
+  }
+  if (changed && on_change_) on_change_();
+  net_.schedule(self_, cfg_.interval_ms, [this] { tick(); });
+}
+
+}  // namespace zdc::runtime

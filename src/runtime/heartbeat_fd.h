@@ -1,0 +1,79 @@
+// Heartbeat-based ◇P failure detector with adaptive timeouts, plus the
+// classic Ω reduction (leader := lowest non-suspected process).
+//
+// Every `interval_ms` the module broadcasts a heartbeat on the kHeartbeat
+// channel and checks each peer's age. A peer silent for longer than its
+// (per-peer) timeout is suspected; a heartbeat from a suspected peer revokes
+// the suspicion and *grows that peer's timeout*, which bounds the number of
+// false suspicions in any run with eventually-bounded delays — the standard
+// argument that the implementation satisfies ◇P's Eventual Strong Accuracy in
+// partially-synchronous executions, while Strong Completeness follows from
+// crashed processes staying silent forever.
+//
+// Threading: all calls (ticks, on_heartbeat, view reads) happen on the owning
+// process's worker thread; the module needs no internal locking.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fd/failure_detector.h"
+#include "runtime/transport.h"
+
+namespace zdc::runtime {
+
+class HeartbeatFd final : public fd::SuspectView {
+ public:
+  struct Config {
+    double interval_ms = 10.0;
+    double initial_timeout_ms = 60.0;
+    /// Added to a peer's timeout on every false suspicion.
+    double timeout_increment_ms = 60.0;
+  };
+
+  /// `on_change` fires (on the worker thread) whenever the suspect set — and
+  /// hence possibly the derived leader — changed.
+  HeartbeatFd(ProcessId self, Transport& net, Config cfg,
+              std::function<void()> on_change);
+
+  /// Schedules the periodic tick. Call once, before traffic starts.
+  void start();
+
+  /// Wire-in from the node's kHeartbeat demux.
+  void on_heartbeat(ProcessId from);
+
+  // SuspectView (the ◇P output). Readable from any thread (atomic flags);
+  // protocols read it on the worker, tests poll it from outside.
+  [[nodiscard]] bool suspects(ProcessId p) const override;
+
+  /// Derived Ω view (lowest non-suspected process).
+  [[nodiscard]] const fd::OmegaView& omega() const { return omega_; }
+
+  [[nodiscard]] std::uint64_t false_suspicions() const {
+    return false_suspicions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void tick();
+
+  const ProcessId self_;
+  Transport& net_;
+  const Config cfg_;
+  std::function<void()> on_change_;
+
+  std::vector<Clock::time_point> last_seen_;  ///< worker thread only
+  std::vector<double> timeout_ms_;            ///< worker thread only
+  std::unique_ptr<std::atomic<bool>[]> suspected_;
+  std::uint32_t n_;
+  fd::OmegaFromSuspects omega_;
+  std::atomic<std::uint64_t> false_suspicions_{0};
+  bool started_ = false;
+};
+
+}  // namespace zdc::runtime

@@ -1,0 +1,193 @@
+#include "runtime/inproc_net.h"
+
+#include <chrono>
+
+#include "common/assert.h"
+
+namespace zdc::runtime {
+
+using Clock = std::chrono::steady_clock;
+
+struct InprocNetwork::Item {
+  Clock::time_point due;
+  std::uint64_t seq = 0;
+  bool is_timer = false;
+  Delivery delivery;
+  std::function<void()> timer_fn;
+};
+
+struct InprocNetwork::Mailbox {
+  explicit Mailbox(std::uint64_t seed) : rng(seed) {}
+
+  struct Later {
+    bool operator()(const std::shared_ptr<Item>& a,
+                    const std::shared_ptr<Item>& b) const {
+      if (a->due != b->due) return a->due > b->due;
+      return a->seq > b->seq;
+    }
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::priority_queue<std::shared_ptr<Item>, std::vector<std::shared_ptr<Item>>,
+                      Later>
+      queue;
+  common::Rng rng;  // guarded by mu
+  std::uint64_t next_seq = 0;
+  bool busy = false;  // worker is executing a handler
+};
+
+InprocNetwork::InprocNetwork(Config cfg) : cfg_(cfg) {
+  ZDC_ASSERT(cfg.n > 0);
+  common::Rng seeder(cfg.seed);
+  mailboxes_.reserve(cfg.n);
+  crashed_.reserve(cfg.n);
+  for (std::uint32_t p = 0; p < cfg.n; ++p) {
+    mailboxes_.push_back(std::make_unique<Mailbox>(seeder.next_u64()));
+    crashed_.push_back(std::make_unique<std::atomic<bool>>(false));
+  }
+  handlers_.resize(cfg.n);
+}
+
+InprocNetwork::~InprocNetwork() { shutdown(); }
+
+void InprocNetwork::set_handler(ProcessId p, Handler handler) {
+  ZDC_ASSERT(p < cfg_.n);
+  ZDC_ASSERT_MSG(!running_.load(), "handlers must be set before start()");
+  handlers_[p] = std::move(handler);
+}
+
+void InprocNetwork::start() {
+  ZDC_ASSERT(!running_.exchange(true));
+  workers_.reserve(cfg_.n);
+  for (std::uint32_t p = 0; p < cfg_.n; ++p) {
+    workers_.emplace_back([this, p] { worker_loop(p); });
+  }
+}
+
+void InprocNetwork::shutdown() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  running_.store(false);
+}
+
+double InprocNetwork::sample_delay(Channel channel, Mailbox& to_box) {
+  // Caller holds to_box.mu.
+  double delay = to_box.rng.uniform(cfg_.min_delay_ms, cfg_.max_delay_ms);
+  if (channel == Channel::kWab) {
+    delay += to_box.rng.exponential(cfg_.wab_jitter_mean_ms);
+  }
+  return delay;
+}
+
+void InprocNetwork::push(ProcessId to, Item item) {
+  Mailbox& box = *mailboxes_[to];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    item.seq = box.next_seq++;
+    if (!item.is_timer) {
+      // Sample injected delay with the receiver's RNG (deterministic given
+      // arrival order is not required here — this is the concurrent runtime).
+      if (item.delivery.channel == Channel::kWab &&
+          cfg_.wab_loss_prob > 0.0 && box.rng.chance(cfg_.wab_loss_prob)) {
+        return;  // best-effort datagram lost
+      }
+      const double delay = sample_delay(item.delivery.channel, box);
+      item.due = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double, std::milli>(
+                                        delay));
+    }
+    box.queue.push(std::make_shared<Item>(std::move(item)));
+  }
+  box.cv.notify_one();
+}
+
+void InprocNetwork::send(Channel channel, ProcessId from, ProcessId to,
+                         std::string bytes, InstanceId wab_instance) {
+  ZDC_ASSERT(from < cfg_.n && to < cfg_.n);
+  if (crashed(from) || crashed(to)) return;
+  Item item;
+  item.delivery = Delivery{channel, from, std::move(bytes), wab_instance};
+  push(to, std::move(item));
+}
+
+void InprocNetwork::broadcast(Channel channel, ProcessId from,
+                              std::string bytes, InstanceId wab_instance) {
+  ZDC_ASSERT(from < cfg_.n);
+  if (crashed(from)) return;
+  for (ProcessId to = 0; to < cfg_.n; ++to) {
+    if (crashed(to)) continue;
+    Item item;
+    item.delivery = Delivery{channel, from, bytes, wab_instance};
+    push(to, std::move(item));
+  }
+}
+
+void InprocNetwork::schedule(ProcessId p, double delay_ms,
+                             std::function<void()> fn) {
+  ZDC_ASSERT(p < cfg_.n);
+  if (crashed(p)) return;
+  Item item;
+  item.is_timer = true;
+  item.timer_fn = std::move(fn);
+  item.due = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double, std::milli>(
+                                    delay_ms));
+  push(p, std::move(item));
+}
+
+void InprocNetwork::crash(ProcessId p) {
+  ZDC_ASSERT(p < cfg_.n);
+  crashed_[p]->store(true);
+  mailboxes_[p]->cv.notify_all();
+}
+
+bool InprocNetwork::crashed(ProcessId p) const {
+  return crashed_[p]->load();
+}
+
+void InprocNetwork::worker_loop(ProcessId p) {
+  Mailbox& box = *mailboxes_[p];
+  for (;;) {
+    std::shared_ptr<Item> item;
+    {
+      std::unique_lock<std::mutex> lock(box.mu);
+      for (;;) {
+        if (stopping_.load()) return;
+        if (!box.queue.empty()) {
+          const auto due = box.queue.top()->due;
+          if (due <= Clock::now()) {
+            item = box.queue.top();
+            box.queue.pop();
+            box.busy = true;
+            break;
+          }
+          box.cv.wait_until(lock, due);
+        } else {
+          box.cv.wait(lock);
+        }
+      }
+    }
+    if (!crashed(p)) {
+      if (item->is_timer) {
+        item->timer_fn();
+      } else if (handlers_[p]) {
+        handlers_[p](item->delivery);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.busy = false;
+    }
+  }
+}
+
+}  // namespace zdc::runtime

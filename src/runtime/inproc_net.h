@@ -1,0 +1,86 @@
+// Threaded in-process message bus — the real-concurrency counterpart of the
+// discrete-event simulator (testbed substitution, DESIGN.md §2).
+//
+// Each process owns a mailbox and a dedicated worker thread; all protocol
+// handlers, failure-detector ticks and timer callbacks of a process run on
+// its worker, so protocol objects need no internal locking (the same
+// single-writer discipline a Neko-style middleware provides). Senders may run
+// on any thread: they sample an injected network delay and push into the
+// destination mailbox, which delivers in due-time order.
+//
+// Three traffic classes share the bus:
+//   kProtocol  — reliable, per-link FIFO-by-due-time unicast/broadcast (TCP)
+//   kHeartbeat — failure-detector heartbeats
+//   kWab       — the ordering oracle's best-effort datagrams: per-receiver
+//                jitter plus optional loss, so receivers can observe
+//                different firsts (collisions) exactly as on a real LAN
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "runtime/transport.h"
+
+namespace zdc::runtime {
+
+class InprocNetwork final : public Transport {
+ public:
+  struct Config {
+    std::uint32_t n = 0;
+    std::uint64_t seed = 1;
+    /// Uniform per-message delay injected on reliable channels.
+    double min_delay_ms = 0.05;
+    double max_delay_ms = 0.40;
+    /// Extra exponential jitter on oracle datagrams (collision source).
+    double wab_jitter_mean_ms = 0.15;
+    /// Per-receiver loss probability of oracle datagrams.
+    double wab_loss_prob = 0.0;
+  };
+
+  explicit InprocNetwork(Config cfg);
+  ~InprocNetwork() override;
+
+  InprocNetwork(const InprocNetwork&) = delete;
+  InprocNetwork& operator=(const InprocNetwork&) = delete;
+
+  // Transport:
+  void set_handler(ProcessId p, Handler handler) override;
+  void start() override;
+  void shutdown() override;
+  void send(Channel channel, ProcessId from, ProcessId to, std::string bytes,
+            InstanceId wab_instance = 0) override;
+  void broadcast(Channel channel, ProcessId from, std::string bytes,
+                 InstanceId wab_instance = 0) override;
+  void schedule(ProcessId p, double delay_ms, std::function<void()> fn) override;
+  void crash(ProcessId p) override;
+  [[nodiscard]] bool crashed(ProcessId p) const override;
+  [[nodiscard]] std::uint32_t size() const override { return cfg_.n; }
+
+ private:
+  struct Item;
+  struct Mailbox;
+
+  void worker_loop(ProcessId p);
+  void push(ProcessId to, Item item);
+  double sample_delay(Channel channel, Mailbox& to_box);
+
+  Config cfg_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<Handler> handlers_;
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> crashed_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace zdc::runtime

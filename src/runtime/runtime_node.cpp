@@ -1,0 +1,133 @@
+#include "runtime/runtime_node.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "abcast/c_abcast.h"
+#include "abcast/paxos_abcast.h"
+#include "common/assert.h"
+
+namespace zdc::runtime {
+
+class RuntimeNode::Host final : public abcast::AbcastHost {
+ public:
+  Host(RuntimeNode& node) : node_(node) {}
+
+  void send(ProcessId to, std::string bytes) override {
+    node_.net_.send(Channel::kProtocol, node_.self_, to, std::move(bytes));
+  }
+  void broadcast(std::string bytes) override {
+    node_.net_.broadcast(Channel::kProtocol, node_.self_, std::move(bytes));
+  }
+  void w_broadcast(InstanceId k, std::string payload) override {
+    node_.net_.broadcast(Channel::kWab, node_.self_, std::move(payload), k);
+  }
+  void a_deliver(const abcast::AppMessage& m) override {
+    if (node_.on_deliver_) node_.on_deliver_(m);
+  }
+
+ private:
+  RuntimeNode& node_;
+};
+
+RuntimeNode::RuntimeNode(ProcessId self, GroupParams group, Transport& net,
+                         ProtocolKind kind, HeartbeatFd::Config fd_cfg,
+                         DeliverFn on_deliver)
+    : self_(self), net_(net), on_deliver_(std::move(on_deliver)) {
+  host_ = std::make_unique<Host>(*this);
+  fd_ = std::make_unique<HeartbeatFd>(self, net, fd_cfg, [this] {
+    if (protocol_ != nullptr) protocol_->on_fd_change();
+  });
+
+  switch (kind) {
+    case ProtocolKind::kCAbcastL:
+      protocol_ = abcast::make_c_abcast_l(self, group, *host_, fd_->omega());
+      break;
+    case ProtocolKind::kCAbcastP:
+      protocol_ = abcast::make_c_abcast_p(self, group, *host_, *fd_);
+      break;
+    case ProtocolKind::kWabcast:
+      protocol_ = abcast::make_wabcast(self, group, *host_);
+      break;
+    case ProtocolKind::kPaxos:
+      protocol_ = std::make_unique<abcast::PaxosAbcast>(self, group, *host_,
+                                                        fd_->omega());
+      break;
+  }
+
+  net_.set_handler(self, [this](const Delivery& d) { handle(d); });
+}
+
+RuntimeNode::~RuntimeNode() = default;
+
+void RuntimeNode::start() { fd_->start(); }
+
+void RuntimeNode::a_broadcast(std::string payload) {
+  // Marshal onto the worker thread: protocol objects are single-threaded.
+  net_.schedule(self_, 0.0, [this, payload = std::move(payload)]() mutable {
+    protocol_->a_broadcast(std::move(payload));
+  });
+}
+
+void RuntimeNode::handle(const Delivery& d) {
+  switch (d.channel) {
+    case Channel::kProtocol:
+      protocol_->on_message(d.from, d.bytes);
+      break;
+    case Channel::kHeartbeat:
+      fd_->on_heartbeat(d.from);
+      break;
+    case Channel::kWab:
+      protocol_->on_w_deliver(d.wab_instance, d.from, d.bytes);
+      break;
+  }
+}
+
+RuntimeCluster::RuntimeCluster(
+    Config cfg,
+    std::function<void(ProcessId, const abcast::AppMessage&)> on_deliver) {
+  if (cfg.transport == TransportKind::kUdp) {
+    UdpNetwork::Config udp_cfg = cfg.udp;
+    udp_cfg.n = cfg.group.n;
+    net_ = std::make_unique<UdpNetwork>(udp_cfg);
+  } else {
+    InprocNetwork::Config net_cfg = cfg.net;
+    net_cfg.n = cfg.group.n;
+    net_ = std::make_unique<InprocNetwork>(net_cfg);
+  }
+  nodes_.reserve(cfg.group.n);
+  for (ProcessId p = 0; p < cfg.group.n; ++p) {
+    nodes_.push_back(std::make_unique<RuntimeNode>(
+        p, cfg.group, *net_, cfg.kind, cfg.fd,
+        [on_deliver, p](const abcast::AppMessage& m) {
+          if (on_deliver) on_deliver(p, m);
+        }));
+  }
+}
+
+RuntimeCluster::~RuntimeCluster() { shutdown(); }
+
+void RuntimeCluster::start() {
+  net_->start();
+  for (auto& node : nodes_) node->start();
+}
+
+void RuntimeCluster::shutdown() {
+  if (net_ != nullptr) net_->shutdown();
+}
+
+bool RuntimeCluster::wait_until(const std::function<bool()>& done,
+                                double timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(timeout_ms));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return done();
+}
+
+}  // namespace zdc::runtime

@@ -1,0 +1,110 @@
+// Assembly of a full replica on the threaded runtime: transport demux +
+// heartbeat failure detector + a pluggable atomic-broadcast protocol.
+//
+// RuntimeCluster builds n such replicas over one InprocNetwork — the
+// in-process stand-in for the paper's 4-workstation cluster — and is what the
+// examples and the integration tests run against.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abcast/abcast.h"
+#include "runtime/heartbeat_fd.h"
+#include "runtime/inproc_net.h"
+#include "runtime/udp_net.h"
+
+namespace zdc::runtime {
+
+enum class ProtocolKind : std::uint8_t {
+  kCAbcastL,  ///< C-Abcast over L-Consensus (the paper's Ω stack)
+  kCAbcastP,  ///< C-Abcast over P-Consensus (the paper's ◇P stack)
+  kWabcast,   ///< WABCast baseline
+  kPaxos,     ///< Multi-Paxos sequencer baseline
+};
+
+class RuntimeNode {
+ public:
+  /// Invoked on the node's worker thread for every a-delivered message, in
+  /// the total order.
+  using DeliverFn = std::function<void(const abcast::AppMessage&)>;
+
+  RuntimeNode(ProcessId self, GroupParams group, Transport& net,
+              ProtocolKind kind, HeartbeatFd::Config fd_cfg,
+              DeliverFn on_deliver);
+  ~RuntimeNode();
+
+  RuntimeNode(const RuntimeNode&) = delete;
+  RuntimeNode& operator=(const RuntimeNode&) = delete;
+
+  /// Arms the failure detector. Call after InprocNetwork::start().
+  void start();
+
+  /// Thread-safe: marshals the a-broadcast onto the node's worker thread.
+  void a_broadcast(std::string payload);
+
+  [[nodiscard]] ProcessId id() const { return self_; }
+  [[nodiscard]] const HeartbeatFd& failure_detector() const { return *fd_; }
+  /// Only read after the cluster quiesced (worker-thread data).
+  [[nodiscard]] const abcast::AbcastMetrics& metrics() const {
+    return protocol_->metrics();
+  }
+
+ private:
+  class Host;
+
+  void handle(const Delivery& d);
+
+  const ProcessId self_;
+  Transport& net_;
+  DeliverFn on_deliver_;
+  std::unique_ptr<Host> host_;
+  std::unique_ptr<HeartbeatFd> fd_;
+  std::unique_ptr<abcast::AtomicBroadcast> protocol_;
+};
+
+/// n replicas over one transport (in-process mailboxes by default, real
+/// loopback UDP sockets with kTransportUdp).
+class RuntimeCluster {
+ public:
+  enum class TransportKind : std::uint8_t { kInproc, kUdp };
+
+  struct Config {
+    GroupParams group{4, 1};
+    TransportKind transport = TransportKind::kInproc;
+    InprocNetwork::Config net;  ///< kInproc; .n is overwritten with group.n
+    UdpNetwork::Config udp;     ///< kUdp; .n is overwritten with group.n
+    ProtocolKind kind = ProtocolKind::kCAbcastL;
+    HeartbeatFd::Config fd;
+  };
+
+  /// `on_deliver(p, m)` runs on replica p's worker thread.
+  RuntimeCluster(Config cfg,
+                 std::function<void(ProcessId, const abcast::AppMessage&)>
+                     on_deliver);
+  ~RuntimeCluster();
+
+  void start();
+  void shutdown();
+
+  RuntimeNode& node(ProcessId p) { return *nodes_[p]; }
+  Transport& network() { return *net_; }
+  void crash(ProcessId p) { net_->crash(p); }
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+
+  /// Polls `done` every millisecond until it returns true or `timeout_ms`
+  /// elapses (periodic heartbeats keep mailboxes busy forever, so completion
+  /// has to be an application-level condition). Returns whether `done` held.
+  static bool wait_until(const std::function<bool()>& done, double timeout_ms);
+
+ private:
+  std::unique_ptr<Transport> net_;
+  std::vector<std::unique_ptr<RuntimeNode>> nodes_;
+};
+
+}  // namespace zdc::runtime

@@ -1,0 +1,64 @@
+// Abstract transport of the threaded runtime.
+//
+// Two implementations ship:
+//   * InprocNetwork — mailbox threads with injected delays (fast, hermetic);
+//   * UdpNetwork    — real loopback UDP sockets with a go-back-style ARQ for
+//                     the reliable channel (the paper's TCP) and raw
+//                     datagrams for heartbeats and the ordering oracle.
+//
+// Contract (both implementations):
+//   * handlers and scheduled callbacks of process p run on p's dedicated
+//     thread — protocol objects need no locking;
+//   * kProtocol is reliable between correct processes (no loss, no
+//     duplication); kHeartbeat and kWab are best-effort;
+//   * broadcast() delivers to every process including the sender;
+//   * after crash(p), p neither sends nor receives.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.h"
+
+namespace zdc::runtime {
+
+enum class Channel : std::uint8_t { kProtocol = 0, kHeartbeat = 1, kWab = 2 };
+
+struct Delivery {
+  Channel channel = Channel::kProtocol;
+  ProcessId from = 0;
+  std::string bytes;
+  InstanceId wab_instance = 0;  ///< meaningful on kWab only
+};
+
+class Transport {
+ public:
+  using Handler = std::function<void(const Delivery&)>;
+
+  virtual ~Transport() = default;
+
+  /// Must be called for every process before start().
+  virtual void set_handler(ProcessId p, Handler handler) = 0;
+  virtual void start() = 0;
+  /// Stops all workers and discards undelivered traffic. Idempotent.
+  virtual void shutdown() = 0;
+
+  virtual void send(Channel channel, ProcessId from, ProcessId to,
+                    std::string bytes, InstanceId wab_instance = 0) = 0;
+  /// Delivers to all n processes including the sender.
+  virtual void broadcast(Channel channel, ProcessId from, std::string bytes,
+                         InstanceId wab_instance = 0) = 0;
+
+  /// Runs `fn` on process p's worker thread after `delay_ms`.
+  virtual void schedule(ProcessId p, double delay_ms,
+                        std::function<void()> fn) = 0;
+
+  /// Simulates a crash: p stops sending and receiving permanently.
+  virtual void crash(ProcessId p) = 0;
+  [[nodiscard]] virtual bool crashed(ProcessId p) const = 0;
+
+  [[nodiscard]] virtual std::uint32_t size() const = 0;
+};
+
+}  // namespace zdc::runtime

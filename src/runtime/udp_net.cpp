@@ -1,0 +1,335 @@
+#include "runtime/udp_net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <queue>
+
+#include "common/assert.h"
+#include "common/codec.h"
+#include "common/log.h"
+
+namespace zdc::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint8_t kTypeData = 0;
+constexpr std::uint8_t kTypeAck = 1;
+constexpr std::size_t kMaxDatagram = 60000;
+
+Clock::time_point after_ms(double ms) {
+  return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+/// Everything one process owns: socket, timers, ARQ state.
+struct UdpNetwork::Endpoint {
+  int fd = -1;
+  std::uint16_t port = 0;
+  Handler handler;
+  std::atomic<bool> crashed{false};
+
+  std::mutex mu;  // guards everything below (senders push from other threads)
+
+  // Outbound reliable state: seq -> (destination, encoded datagram, due).
+  struct Pending {
+    ProcessId to = 0;
+    std::string datagram;
+    Clock::time_point next_retransmit;
+  };
+  std::map<std::uint64_t, Pending> unacked;
+  std::uint64_t next_seq = 1;
+
+  // Inbound dedupe per sender: everything <= watermark seen, plus stragglers.
+  struct SeenFrom {
+    std::uint64_t watermark = 0;
+    std::set<std::uint64_t> above;
+  };
+  std::map<ProcessId, SeenFrom> seen;
+
+  // Timers.
+  struct Timer {
+    Clock::time_point due;
+    std::uint64_t ticket;
+    std::function<void()> fn;
+    bool operator>(const Timer& other) const {
+      return due != other.due ? due > other.due : ticket > other.ticket;
+    }
+  };
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers;
+  std::uint64_t next_ticket = 0;
+
+  common::Rng rng{0};
+
+  ~Endpoint() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+UdpNetwork::UdpNetwork(Config cfg) : cfg_(cfg) {
+  ZDC_ASSERT(cfg.n > 0);
+  common::Rng seeder(cfg.seed);
+  endpoints_.reserve(cfg.n);
+  for (std::uint32_t p = 0; p < cfg.n; ++p) {
+    auto ep = std::make_unique<Endpoint>();
+    ep->rng = common::Rng(seeder.next_u64());
+    ep->fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    ZDC_ASSERT_MSG(ep->fd >= 0, "socket() failed");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // kernel-assigned port: no collisions, no config
+    ZDC_ASSERT_MSG(::bind(ep->fd, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof addr) == 0,
+                   "bind() failed");
+    socklen_t len = sizeof addr;
+    ZDC_ASSERT(::getsockname(ep->fd, reinterpret_cast<sockaddr*>(&addr),
+                             &len) == 0);
+    ep->port = ntohs(addr.sin_port);
+    endpoints_.push_back(std::move(ep));
+  }
+}
+
+UdpNetwork::~UdpNetwork() { shutdown(); }
+
+std::uint16_t UdpNetwork::port(ProcessId p) const {
+  ZDC_ASSERT(p < cfg_.n);
+  return endpoints_[p]->port;
+}
+
+void UdpNetwork::set_handler(ProcessId p, Handler handler) {
+  ZDC_ASSERT(p < cfg_.n);
+  ZDC_ASSERT_MSG(!running_.load(), "handlers must be set before start()");
+  endpoints_[p]->handler = std::move(handler);
+}
+
+void UdpNetwork::start() {
+  ZDC_ASSERT(!running_.exchange(true));
+  threads_.reserve(cfg_.n);
+  for (std::uint32_t p = 0; p < cfg_.n; ++p) {
+    threads_.emplace_back([this, p] { recv_loop(p); });
+  }
+}
+
+void UdpNetwork::shutdown() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+  running_.store(false);
+}
+
+void UdpNetwork::raw_send(ProcessId from, ProcessId to,
+                          const std::string& datagram) {
+  ZDC_ASSERT_MSG(datagram.size() <= kMaxDatagram, "datagram too large");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(endpoints_[to]->port);
+  // sendto on the sender's fd is thread-safe; failures (e.g. ENOBUFS) are
+  // treated as loss — the ARQ covers the reliable channel.
+  (void)::sendto(endpoints_[from]->fd, datagram.data(), datagram.size(), 0,
+                 reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+}
+
+void UdpNetwork::send(Channel channel, ProcessId from, ProcessId to,
+                      std::string bytes, InstanceId wab_instance) {
+  ZDC_ASSERT(from < cfg_.n && to < cfg_.n);
+  if (crashed(from) || crashed(to)) return;
+
+  common::Encoder enc;
+  enc.put_u8(kTypeData);
+  enc.put_u8(static_cast<std::uint8_t>(channel));
+  enc.put_u32(from);
+  std::uint64_t seq = 0;
+  if (channel == Channel::kProtocol) {
+    Endpoint& ep = *endpoints_[from];
+    std::lock_guard<std::mutex> lock(ep.mu);
+    // Sequence space is shared across destinations at the sender (simpler
+    // and correct: the receiver dedupes per sender).
+    seq = ep.next_seq++;
+  }
+  enc.put_u64(seq);
+  enc.put_u64(wab_instance);
+  enc.put_raw(bytes);
+  std::string datagram = enc.take();
+
+  if (channel == Channel::kProtocol) {
+    Endpoint& ep = *endpoints_[from];
+    std::lock_guard<std::mutex> lock(ep.mu);
+    Endpoint::Pending pending;
+    pending.to = to;
+    pending.datagram = datagram;
+    pending.next_retransmit = after_ms(cfg_.retransmit_interval_ms);
+    ep.unacked.emplace(seq, std::move(pending));
+  }
+  raw_send(from, to, datagram);
+}
+
+void UdpNetwork::broadcast(Channel channel, ProcessId from, std::string bytes,
+                           InstanceId wab_instance) {
+  for (ProcessId to = 0; to < cfg_.n; ++to) {
+    send(channel, from, to, bytes, wab_instance);
+  }
+}
+
+void UdpNetwork::schedule(ProcessId p, double delay_ms,
+                          std::function<void()> fn) {
+  ZDC_ASSERT(p < cfg_.n);
+  if (crashed(p)) return;
+  Endpoint& ep = *endpoints_[p];
+  std::lock_guard<std::mutex> lock(ep.mu);
+  Endpoint::Timer timer;
+  timer.due = after_ms(delay_ms);
+  timer.ticket = ep.next_ticket++;
+  timer.fn = std::move(fn);
+  ep.timers.push(std::move(timer));
+}
+
+void UdpNetwork::crash(ProcessId p) {
+  ZDC_ASSERT(p < cfg_.n);
+  endpoints_[p]->crashed.store(true);
+  // Peers stop retransmitting towards p.
+  for (std::uint32_t q = 0; q < cfg_.n; ++q) {
+    Endpoint& ep = *endpoints_[q];
+    std::lock_guard<std::mutex> lock(ep.mu);
+    for (auto it = ep.unacked.begin(); it != ep.unacked.end();) {
+      it = it->second.to == p ? ep.unacked.erase(it) : std::next(it);
+    }
+  }
+}
+
+bool UdpNetwork::crashed(ProcessId p) const {
+  return endpoints_[p]->crashed.load();
+}
+
+void UdpNetwork::handle_datagram(ProcessId p, const char* data,
+                                 std::size_t len) {
+  Endpoint& ep = *endpoints_[p];
+  common::Decoder dec(std::string_view(data, len));
+  const std::uint8_t type = dec.get_u8();
+  if (!dec.ok()) return;
+
+  if (type == kTypeAck) {
+    const ProcessId acker = dec.get_u32();
+    const std::uint64_t seq = dec.get_u64();
+    if (!dec.done() || acker >= cfg_.n) return;
+    std::lock_guard<std::mutex> lock(ep.mu);
+    ep.unacked.erase(seq);
+    return;
+  }
+  if (type != kTypeData) return;
+
+  const auto channel = static_cast<Channel>(dec.get_u8());
+  const ProcessId from = dec.get_u32();
+  const std::uint64_t seq = dec.get_u64();
+  const InstanceId wab_instance = dec.get_u64();
+  std::string payload = dec.get_rest();
+  if (from >= cfg_.n) return;
+
+  if (channel == Channel::kProtocol) {
+    // Ack unconditionally (duplicates included: the ack may have been lost).
+    common::Encoder ack;
+    ack.put_u8(kTypeAck);
+    ack.put_u32(p);
+    ack.put_u64(seq);
+    raw_send(p, from, ack.take());
+
+    // Dedupe per sender. Scoped: the handler below may send to self, which
+    // re-locks this same mutex.
+    {
+      std::lock_guard<std::mutex> lock(ep.mu);
+      auto& seen = ep.seen[from];
+      if (seq <= seen.watermark || seen.above.count(seq) != 0) return;
+      seen.above.insert(seq);
+      while (seen.above.count(seen.watermark + 1) != 0) {
+        seen.above.erase(seen.watermark + 1);
+        ++seen.watermark;
+      }
+    }
+  }
+
+  if (ep.handler) {
+    Delivery d;
+    d.channel = channel;
+    d.from = from;
+    d.bytes = std::move(payload);
+    d.wab_instance = wab_instance;
+    ep.handler(d);
+  }
+}
+
+void UdpNetwork::run_due_work(ProcessId p) {
+  Endpoint& ep = *endpoints_[p];
+  const Clock::time_point now = Clock::now();
+
+  // Timers (run outside the lock; they may send).
+  std::vector<std::function<void()>> due;
+  {
+    std::lock_guard<std::mutex> lock(ep.mu);
+    while (!ep.timers.empty() && ep.timers.top().due <= now) {
+      due.push_back(ep.timers.top().fn);
+      ep.timers.pop();
+    }
+  }
+  for (auto& fn : due) fn();
+
+  // ARQ retransmissions.
+  std::vector<std::pair<ProcessId, std::string>> resend;
+  {
+    std::lock_guard<std::mutex> lock(ep.mu);
+    for (auto& [seq, pending] : ep.unacked) {
+      if (pending.next_retransmit <= now) {
+        resend.emplace_back(pending.to, pending.datagram);
+        pending.next_retransmit = after_ms(cfg_.retransmit_interval_ms);
+      }
+    }
+  }
+  for (const auto& [to, datagram] : resend) {
+    if (!crashed(to)) {
+      retransmissions_.fetch_add(1, std::memory_order_relaxed);
+      raw_send(p, to, datagram);
+    }
+  }
+}
+
+void UdpNetwork::recv_loop(ProcessId p) {
+  Endpoint& ep = *endpoints_[p];
+  std::vector<char> buffer(kMaxDatagram + 1);
+  while (!stopping_.load()) {
+    pollfd pfd{};
+    pfd.fd = ep.fd;
+    pfd.events = POLLIN;
+    const int poll_ms =
+        std::max(1, static_cast<int>(cfg_.retransmit_interval_ms / 2));
+    const int ready = ::poll(&pfd, 1, poll_ms);
+    if (ready > 0 && (pfd.revents & POLLIN) != 0) {
+      const ssize_t got =
+          ::recvfrom(ep.fd, buffer.data(), buffer.size(), 0, nullptr, nullptr);
+      if (got > 0 && !ep.crashed.load()) {
+        bool drop = false;
+        if (cfg_.drop_prob > 0.0) {
+          std::lock_guard<std::mutex> lock(ep.mu);
+          drop = ep.rng.chance(cfg_.drop_prob);
+        }
+        if (!drop) {
+          handle_datagram(p, buffer.data(), static_cast<std::size_t>(got));
+        }
+      }
+    }
+    if (!ep.crashed.load()) run_due_work(p);
+  }
+}
+
+}  // namespace zdc::runtime

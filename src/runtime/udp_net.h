@@ -1,0 +1,92 @@
+// Real-socket transport: every process owns a loopback UDP socket and a
+// receive thread. The reliable kProtocol channel is built from raw datagrams
+// with a sequence/ack/retransmit ARQ (this is the hand-rolled equivalent of
+// the asio/TCP boilerplate the paper's middleware used); kHeartbeat and kWab
+// ride raw datagrams — genuinely best-effort, just like the paper's UDP
+// oracle.
+//
+// Design:
+//   * one socket + one thread per process; handlers, timers and ARQ
+//     retransmissions all run on that thread (single-writer protocols);
+//   * wire format: [type u8] then
+//       data: [channel u8][from u32][seq u64][wab u64][payload...]
+//       ack:  [from u32][seq u64]
+//   * reliable sends carry a per-(sender, receiver) sequence number, are
+//     acked by the receiver and retransmitted until acked; receivers dedupe
+//     with a watermark + out-of-order set, delivering in arrival order
+//     (reliable ≠ FIFO — matching the system model's channels);
+//   * an optional artificial drop probability exercises the ARQ in tests;
+//   * crash(p) closes the loop: p stops sending/receiving and peers purge
+//     their retransmission state towards p.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/transport.h"
+
+namespace zdc::runtime {
+
+class UdpNetwork final : public Transport {
+ public:
+  struct Config {
+    std::uint32_t n = 0;
+    std::uint64_t seed = 1;
+    /// ARQ retransmission period for unacked reliable datagrams.
+    double retransmit_interval_ms = 15.0;
+    /// Artificial inbound drop probability on every datagram (ARQ stress).
+    double drop_prob = 0.0;
+  };
+
+  explicit UdpNetwork(Config cfg);
+  ~UdpNetwork() override;
+
+  UdpNetwork(const UdpNetwork&) = delete;
+  UdpNetwork& operator=(const UdpNetwork&) = delete;
+
+  // Transport:
+  void set_handler(ProcessId p, Handler handler) override;
+  void start() override;
+  void shutdown() override;
+  void send(Channel channel, ProcessId from, ProcessId to, std::string bytes,
+            InstanceId wab_instance = 0) override;
+  void broadcast(Channel channel, ProcessId from, std::string bytes,
+                 InstanceId wab_instance = 0) override;
+  void schedule(ProcessId p, double delay_ms, std::function<void()> fn) override;
+  void crash(ProcessId p) override;
+  [[nodiscard]] bool crashed(ProcessId p) const override;
+  [[nodiscard]] std::uint32_t size() const override { return cfg_.n; }
+
+  /// The UDP port process p is bound to (tests / diagnostics).
+  [[nodiscard]] std::uint16_t port(ProcessId p) const;
+  /// Total reliable-channel retransmissions (diagnostics).
+  [[nodiscard]] std::uint64_t retransmissions() const {
+    return retransmissions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Endpoint;
+
+  void recv_loop(ProcessId p);
+  void raw_send(ProcessId from, ProcessId to, const std::string& datagram);
+  void handle_datagram(ProcessId p, const char* data, std::size_t len);
+  void run_due_work(ProcessId p);
+
+  Config cfg_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> retransmissions_{0};
+};
+
+}  // namespace zdc::runtime

@@ -1,0 +1,119 @@
+#include "runtime/workload.h"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace zdc::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+RuntimeWorkloadResult run_runtime_workload(const RuntimeWorkloadConfig& cfg) {
+  const std::uint32_t n = cfg.cluster.group.n;
+
+  struct Shared {
+    std::mutex mu;
+    std::map<std::string, Clock::time_point> sent;        // key -> submit time
+    std::map<std::string, Clock::time_point> first_seen;  // key -> delivery
+    std::vector<std::vector<std::string>> histories;
+    std::vector<std::uint32_t> counts;
+  };
+  Shared shared;
+  shared.histories.resize(n);
+  shared.counts.assign(n, 0);
+
+  RuntimeCluster cluster(
+      cfg.cluster, [&shared](ProcessId p, const abcast::AppMessage& m) {
+        const auto now = Clock::now();
+        std::lock_guard<std::mutex> lock(shared.mu);
+        shared.first_seen.emplace(m.payload, now);  // first delivery wins
+        shared.histories[p].push_back(m.payload);
+        ++shared.counts[p];
+      });
+  cluster.start();
+  const auto start = Clock::now();
+
+  // Poisson arrivals from a driver thread; sender chosen uniformly.
+  common::Rng rng(cfg.seed);
+  const double mean_gap_ms = 1000.0 / cfg.throughput_per_s;
+  const std::string filler(cfg.payload_bytes, 'x');
+  for (std::uint32_t i = 0; i < cfg.message_count; ++i) {
+    const double gap = rng.exponential(mean_gap_ms);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(gap));
+    const auto sender = static_cast<ProcessId>(rng.next_below(n));
+    const std::string key =
+        "w:" + std::to_string(sender) + ":" + std::to_string(i) + ":" + filler;
+    {
+      std::lock_guard<std::mutex> lock(shared.mu);
+      shared.sent.emplace(key, Clock::now());
+    }
+    cluster.node(sender).a_broadcast(key);
+  }
+
+  // Wait until every replica delivered everything (or timeout).
+  const bool complete = RuntimeCluster::wait_until(
+      [&] {
+        std::lock_guard<std::mutex> lock(shared.mu);
+        for (std::uint32_t p = 0; p < n; ++p) {
+          if (shared.counts[p] < cfg.message_count) return false;
+        }
+        return true;
+      },
+      cfg.timeout_ms);
+  const auto end = Clock::now();
+  cluster.shutdown();  // joins workers: shared is safe to read plainly now
+
+  RuntimeWorkloadResult result;
+  result.complete = complete;
+  result.duration_ms = ms_between(start, end);
+  for (const auto& history : shared.histories) {
+    result.delivered_total += history.size();
+  }
+
+  const auto warmup_cutoff = static_cast<std::uint32_t>(
+      cfg.warmup_fraction * static_cast<double>(cfg.message_count));
+  std::uint32_t index = 0;
+  for (const auto& [key, sent_at] : shared.sent) {
+    (void)index;
+    const auto it = shared.first_seen.find(key);
+    if (it == shared.first_seen.end()) continue;
+    // Parse the submission index back out of the key for warmup filtering.
+    const auto first_colon = key.find(':', 2);
+    const auto second_colon = key.find(':', first_colon + 1);
+    const auto msg_index = static_cast<std::uint32_t>(std::atoi(
+        key.substr(first_colon + 1, second_colon - first_colon - 1).c_str()));
+    if (msg_index < warmup_cutoff) continue;
+    result.latency_ms.add(ms_between(sent_at, it->second));
+  }
+
+  // Total order: pairwise prefix consistency.
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = a + 1; b < n; ++b) {
+      const auto& ha = shared.histories[a];
+      const auto& hb = shared.histories[b];
+      const std::size_t len = std::min(ha.size(), hb.size());
+      for (std::size_t i = 0; i < len; ++i) {
+        if (ha[i] != hb[i]) {
+          result.total_order_ok = false;
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace zdc::runtime

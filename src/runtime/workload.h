@@ -1,0 +1,40 @@
+// Workload driver for the threaded runtime: the real-concurrency counterpart
+// of sim::run_abcast. A Poisson arrival thread a-broadcasts keyed payloads
+// through a RuntimeCluster (in-process mailboxes or real UDP sockets);
+// deliveries are timestamped and checked for total order — used by
+// bench_runtime_validation to confirm that the protocol ordering the
+// simulator predicts also holds under genuine thread/socket timing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "runtime/runtime_node.h"
+
+namespace zdc::runtime {
+
+struct RuntimeWorkloadConfig {
+  RuntimeCluster::Config cluster;
+  double throughput_per_s = 500.0;
+  std::uint32_t message_count = 200;
+  std::uint32_t payload_bytes = 32;
+  /// Fraction of earliest messages excluded from latency statistics.
+  double warmup_fraction = 0.1;
+  double timeout_ms = 60'000.0;
+  std::uint64_t seed = 1;
+};
+
+struct RuntimeWorkloadResult {
+  /// Wall-clock latency from submission to the first a-delivery anywhere.
+  common::Sampler latency_ms;
+  bool total_order_ok = true;
+  bool complete = false;  ///< every replica delivered every message
+  std::uint64_t delivered_total = 0;
+  double duration_ms = 0.0;
+};
+
+RuntimeWorkloadResult run_runtime_workload(const RuntimeWorkloadConfig& cfg);
+
+}  // namespace zdc::runtime

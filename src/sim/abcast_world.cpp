@@ -1,0 +1,413 @@
+#include "sim/abcast_world.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "abcast/c_abcast.h"
+#include "abcast/paxos_abcast.h"
+#include "common/assert.h"
+#include "common/log.h"
+#include "sim/event_queue.h"
+
+namespace zdc::sim {
+
+namespace {
+
+class AbcastWorld {
+ public:
+  AbcastWorld(const AbcastRunConfig& cfg, const SimAbcastFactory& factory)
+      : cfg_(cfg),
+        rng_(cfg.seed),
+        lan_(cfg.net, cfg.group.n, rng_.fork(0x22)),
+        workload_rng_(rng_.fork(0x33)),
+        fd_(cfg.fd, cfg.group.n, events_,
+            [this](ProcessId p) { notify_fd_change(p); }) {
+    build(factory);
+  }
+
+  AbcastRunResult run();
+
+ private:
+  struct Node;
+
+  struct Host final : abcast::AbcastHost {
+    Host(AbcastWorld& world, ProcessId self) : world_(world), self_(self) {}
+    void send(ProcessId to, std::string bytes) override {
+      world_.unicast(self_, to, std::move(bytes));
+    }
+    void broadcast(std::string bytes) override {
+      world_.broadcast(self_, std::move(bytes));
+    }
+    void w_broadcast(InstanceId k, std::string payload) override {
+      world_.wab_broadcast(self_, k, std::move(payload));
+    }
+    void a_deliver(const abcast::AppMessage& m) override {
+      world_.record_delivery(self_, m);
+    }
+    AbcastWorld& world_;
+    ProcessId self_;
+  };
+
+  struct Node {
+    std::unique_ptr<Host> host;
+    std::unique_ptr<abcast::AtomicBroadcast> protocol;
+    bool crashed = false;
+    std::vector<abcast::MsgId> history;  ///< delivery order
+    std::set<abcast::MsgId> delivered;
+    bool duplicate_delivery = false;
+  };
+
+  void build(const SimAbcastFactory& factory);
+  void schedule_workload();
+  void unicast(ProcessId from, ProcessId to, std::string bytes);
+  void broadcast(ProcessId from, std::string bytes);
+  void wab_broadcast(ProcessId from, InstanceId k, std::string payload);
+  void deliver_transport(ProcessId from, ProcessId to, TimePoint tx_end,
+                         const std::shared_ptr<const std::string>& bytes);
+  void record_delivery(ProcessId p, const abcast::AppMessage& m);
+  void notify_fd_change(ProcessId p);
+  void crash(ProcessId p);
+  [[nodiscard]] bool workload_complete() const;
+
+  void trace(TraceKind kind, ProcessId subject, ProcessId peer = kNoProcess,
+             std::string detail = {}) {
+    if (cfg_.trace != nullptr) {
+      cfg_.trace->record(events_.now(), kind, subject, peer, std::move(detail));
+    }
+  }
+
+  const AbcastRunConfig& cfg_;
+  common::Rng rng_;
+  EventQueue events_;
+  LanModel lan_;
+  common::Rng workload_rng_;
+  FdSim fd_;
+  std::vector<Node> nodes_;
+
+  struct Tracked {
+    TimePoint broadcast_time = 0.0;
+    TimePoint first_delivery = -1.0;
+    TimePoint sender_delivery = -1.0;
+    std::uint32_t index = 0;  ///< submission index, for warmup filtering
+  };
+  std::map<abcast::MsgId, Tracked> tracked_;
+  /// Messages every correct process must eventually deliver: everything sent
+  /// by a process that never crashes, plus everything delivered anywhere.
+  std::set<abcast::MsgId> expected_;
+  std::uint32_t submitted_ = 0;
+};
+
+void AbcastWorld::build(const SimAbcastFactory& factory) {
+  const std::uint32_t n = cfg_.group.n;
+  nodes_.resize(n);
+
+  std::vector<bool> initially_crashed(n, false);
+  for (const CrashSpec& c : cfg_.crashes) {
+    ZDC_ASSERT(c.p < n);
+    if (c.initial) initially_crashed[c.p] = true;
+  }
+
+  for (ProcessId p = 0; p < n; ++p) {
+    Node& node = nodes_[p];
+    node.host = std::make_unique<Host>(*this, p);
+    node.crashed = initially_crashed[p];
+  }
+  fd_.initialize(initially_crashed);
+  // Protocols are created after the FD holds its t=0 output: Paxos-Abcast
+  // reads Ω in its constructor.
+  for (ProcessId p = 0; p < n; ++p) {
+    nodes_[p].protocol = factory(p, cfg_.group, *nodes_[p].host,
+                                 fd_.omega_view(p), fd_.suspect_view(p));
+  }
+
+  for (const CrashSpec& c : cfg_.crashes) {
+    ZDC_ASSERT_MSG(c.truncate_broadcast_index == 0,
+                   "broadcast truncation is a ConsensusWorld-only feature");
+    if (!c.initial) {
+      events_.at(c.time, [this, p = c.p] { crash(p); });
+    }
+  }
+
+  schedule_workload();
+}
+
+void AbcastWorld::schedule_workload() {
+  const double mean_gap_ms = 1000.0 / cfg_.throughput_per_s;
+  TimePoint t = 1.0;  // small offset so FD initialization settles first
+  for (std::uint32_t i = 0; i < cfg_.message_count; ++i) {
+    t += workload_rng_.exponential(mean_gap_ms);
+    const std::uint32_t index = i;
+    events_.at(t, [this, index] {
+      // Uniform random sender among the currently-alive eligible processes.
+      std::vector<ProcessId> alive;
+      if (cfg_.workload_senders.empty()) {
+        for (ProcessId p = 0; p < nodes_.size(); ++p) {
+          if (!nodes_[p].crashed) alive.push_back(p);
+        }
+      } else {
+        for (ProcessId p : cfg_.workload_senders) {
+          if (p < nodes_.size() && !nodes_[p].crashed) alive.push_back(p);
+        }
+      }
+      if (alive.empty()) return;
+      const ProcessId sender =
+          alive[workload_rng_.next_below(alive.size())];
+      std::string payload(cfg_.payload_bytes, 'x');
+      trace(TraceKind::kPropose, sender, kNoProcess,
+            "#" + std::to_string(index));
+      const abcast::MsgId id =
+          nodes_[sender].protocol->a_broadcast(std::move(payload));
+      Tracked tr;
+      tr.broadcast_time = events_.now();
+      tr.index = index;
+      tracked_.emplace(id, tr);
+      ++submitted_;
+      // The sender is alive now; if it never crashes the message is owed to
+      // every correct process. Senders with a scheduled future crash are
+      // handled by the "delivered anywhere" rule in record_delivery.
+      bool sender_crashes_later = false;
+      for (const CrashSpec& c : cfg_.crashes) {
+        if (c.p == sender) sender_crashes_later = true;
+      }
+      if (!sender_crashes_later) expected_.insert(id);
+    });
+  }
+}
+
+void AbcastWorld::unicast(ProcessId from, ProcessId to, std::string bytes) {
+  if (nodes_[from].crashed) return;
+  trace(TraceKind::kSend, from, to);
+  auto payload = std::make_shared<const std::string>(std::move(bytes));
+  if (from == to) {
+    const TimePoint sent = lan_.occupy_sender_cpu(from, events_.now());
+    events_.at(lan_.local_delivery(sent), [this, from, to, payload] {
+      if (nodes_[to].crashed) return;
+      trace(TraceKind::kDeliver, to, from);
+      nodes_[to].protocol->on_message(from, *payload);
+    });
+    return;
+  }
+  const TimePoint sent = lan_.occupy_sender_cpu(from, events_.now());
+  const TimePoint tx_end = lan_.occupy_medium(sent, payload->size());
+  deliver_transport(from, to, tx_end, payload);
+}
+
+void AbcastWorld::deliver_transport(
+    ProcessId from, ProcessId to, TimePoint tx_end,
+    const std::shared_ptr<const std::string>& bytes) {
+  const TimePoint arrival = lan_.arrival_time(tx_end);
+  events_.at(arrival, [this, from, to, bytes] {
+    if (nodes_[to].crashed) return;
+    const TimePoint handled = lan_.occupy_receiver_cpu(to, events_.now());
+    events_.at(handled, [this, from, to, bytes] {
+      if (nodes_[to].crashed) return;
+      trace(TraceKind::kDeliver, to, from);
+      nodes_[to].protocol->on_message(from, *bytes);
+    });
+  });
+}
+
+void AbcastWorld::broadcast(ProcessId from, std::string bytes) {
+  if (nodes_[from].crashed) return;
+  auto payload = std::make_shared<const std::string>(std::move(bytes));
+  for (ProcessId to = 0; to < nodes_.size(); ++to) {
+    trace(TraceKind::kSend, from, to);
+    if (to == from) {
+      const TimePoint sent = lan_.occupy_sender_cpu(from, events_.now());
+      events_.at(lan_.local_delivery(sent), [this, from, to, payload] {
+        if (nodes_[to].crashed) return;
+        trace(TraceKind::kDeliver, to, from);
+        nodes_[to].protocol->on_message(from, *payload);
+      });
+    } else {
+      const TimePoint sent = lan_.occupy_sender_cpu(from, events_.now());
+      const TimePoint tx_end = lan_.occupy_medium(sent, payload->size());
+      deliver_transport(from, to, tx_end, payload);
+    }
+  }
+}
+
+void AbcastWorld::wab_broadcast(ProcessId from, InstanceId k,
+                                std::string payload) {
+  if (nodes_[from].crashed) return;
+  trace(TraceKind::kWabSend, from);
+  // The oracle is UDP broadcast: one CPU cost, one medium occupancy, and
+  // independent per-receiver jitter — the jitter is what produces collisions
+  // (different receivers seeing different firsts) under load. The sender
+  // receives its own datagram through the same medium path (multicast echo):
+  // this is what correlates the delivery order across *all* processes, the
+  // physical basis of spontaneous order.
+  auto body = std::make_shared<const std::string>(std::move(payload));
+  const TimePoint sent = lan_.occupy_sender_cpu(from, events_.now());
+  const TimePoint tx_end = lan_.occupy_medium(sent, body->size());
+  for (ProcessId to = 0; to < nodes_.size(); ++to) {
+    if (to != from && lan_.drop_wab_datagram()) continue;  // best-effort
+    const TimePoint arrival = lan_.wab_arrival_time(tx_end);
+    events_.at(arrival, [this, from, to, k, body] {
+      if (nodes_[to].crashed) return;
+      const TimePoint handled = lan_.occupy_receiver_cpu(to, events_.now());
+      events_.at(handled, [this, from, to, k, body] {
+        if (nodes_[to].crashed) return;
+        trace(TraceKind::kWabDeliver, to, from);
+        nodes_[to].protocol->on_w_deliver(k, from, *body);
+      });
+    });
+  }
+}
+
+void AbcastWorld::record_delivery(ProcessId p, const abcast::AppMessage& m) {
+  Node& node = nodes_[p];
+  if (!node.delivered.insert(m.id).second) {
+    node.duplicate_delivery = true;  // Integrity violation
+    return;
+  }
+  node.history.push_back(m.id);
+  trace(TraceKind::kDecide, p, m.id.sender,
+        "s" + std::to_string(m.id.sender) + "/" + std::to_string(m.id.seq));
+  expected_.insert(m.id);  // agreement: once delivered anywhere, owed to all
+
+  auto it = tracked_.find(m.id);
+  if (it != tracked_.end()) {
+    Tracked& tr = it->second;
+    if (tr.first_delivery < 0.0) tr.first_delivery = events_.now();
+    if (m.id.sender == p) tr.sender_delivery = events_.now();
+  }
+}
+
+void AbcastWorld::crash(ProcessId p) {
+  if (nodes_[p].crashed) return;
+  trace(TraceKind::kCrash, p);
+  nodes_[p].crashed = true;
+  fd_.on_crash(p);
+}
+
+void AbcastWorld::notify_fd_change(ProcessId p) {
+  if (nodes_[p].protocol != nullptr && !nodes_[p].crashed) {
+    nodes_[p].protocol->on_fd_change();
+  }
+}
+
+bool AbcastWorld::workload_complete() const {
+  if (submitted_ < cfg_.message_count) return false;
+  for (const Node& node : nodes_) {
+    if (node.crashed) continue;
+    // delivered ⊆ expected always holds, so size equality means coverage.
+    if (node.delivered.size() < expected_.size()) return false;
+  }
+  return true;
+}
+
+AbcastRunResult AbcastWorld::run() {
+  AbcastRunResult result;
+  std::uint64_t executed = 0;
+  while (executed < cfg_.event_limit && !events_.empty() &&
+         events_.now() <= cfg_.time_limit_ms) {
+    events_.run_next();
+    ++executed;
+    if (workload_complete()) break;
+  }
+  result.events_executed = executed;
+  result.duration_ms = events_.now();
+
+  // Latency samples (post-warmup messages that were delivered).
+  const auto warmup_cutoff = static_cast<std::uint32_t>(
+      cfg_.warmup_fraction * static_cast<double>(cfg_.message_count));
+  for (const auto& [id, tr] : tracked_) {
+    if (tr.index < warmup_cutoff) continue;
+    if (tr.first_delivery >= 0.0) {
+      result.latency_ms.add(tr.first_delivery - tr.broadcast_time);
+    }
+    if (tr.sender_delivery >= 0.0) {
+      result.sender_latency_ms.add(tr.sender_delivery - tr.broadcast_time);
+    }
+  }
+
+  // Property checks over the complete histories.
+  std::set<abcast::MsgId> delivered_union;
+  for (Node& node : nodes_) {
+    if (node.duplicate_delivery) result.integrity_ok = false;
+    for (const abcast::MsgId& id : node.history) {
+      if (tracked_.find(id) == tracked_.end()) result.integrity_ok = false;
+      delivered_union.insert(id);
+    }
+  }
+  result.delivered_unique = delivered_union.size();
+
+  // Total order: pairwise prefix consistency of delivery histories.
+  for (std::size_t a = 0; a < nodes_.size(); ++a) {
+    for (std::size_t b = a + 1; b < nodes_.size(); ++b) {
+      const auto& ha = nodes_[a].history;
+      const auto& hb = nodes_[b].history;
+      const std::size_t common_len = std::min(ha.size(), hb.size());
+      for (std::size_t i = 0; i < common_len; ++i) {
+        if (ha[i] != hb[i]) {
+          result.total_order_ok = false;
+          break;
+        }
+      }
+    }
+  }
+
+  // Agreement / validity: every correct process holds every expected message.
+  for (Node& node : nodes_) {
+    if (node.crashed) continue;
+    for (const abcast::MsgId& id : expected_) {
+      if (node.delivered.find(id) == node.delivered.end()) {
+        ++result.undelivered;
+        result.agreement_ok = false;
+      }
+    }
+  }
+
+  for (Node& node : nodes_) {
+    node.protocol->finalize_metrics();
+    const abcast::AbcastMetrics& m = node.protocol->metrics();
+    result.totals.a_broadcasts += m.a_broadcasts;
+    result.totals.a_deliveries += m.a_deliveries;
+    result.totals.w_broadcasts += m.w_broadcasts;
+    result.totals.consensus_instances += m.consensus_instances;
+    result.totals.transport += m.transport;
+  }
+  return result;
+}
+
+}  // namespace
+
+SimAbcastFactory abcast_factory_by_name(const std::string& name) {
+  if (name == "c-l") {
+    return [](ProcessId self, GroupParams group, abcast::AbcastHost& host,
+              const fd::OmegaView& omega, const fd::SuspectView&) {
+      return abcast::make_c_abcast_l(self, group, host, omega);
+    };
+  }
+  if (name == "c-p") {
+    return [](ProcessId self, GroupParams group, abcast::AbcastHost& host,
+              const fd::OmegaView&, const fd::SuspectView& suspects) {
+      return abcast::make_c_abcast_p(self, group, host, suspects);
+    };
+  }
+  if (name == "wabcast") {
+    return [](ProcessId self, GroupParams group, abcast::AbcastHost& host,
+              const fd::OmegaView&, const fd::SuspectView&) {
+      return abcast::make_wabcast(self, group, host);
+    };
+  }
+  if (name == "paxos") {
+    return [](ProcessId self, GroupParams group, abcast::AbcastHost& host,
+              const fd::OmegaView& omega, const fd::SuspectView&) {
+      return std::make_unique<abcast::PaxosAbcast>(self, group, host, omega);
+    };
+  }
+  ZDC_ASSERT_MSG(false, "unknown abcast protocol name");
+  return {};
+}
+
+AbcastRunResult run_abcast(const AbcastRunConfig& cfg,
+                           const SimAbcastFactory& factory) {
+  AbcastWorld world(cfg, factory);
+  return world.run();
+}
+
+}  // namespace zdc::sim

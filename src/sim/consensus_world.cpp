@@ -1,0 +1,487 @@
+#include "sim/consensus_world.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/stable_storage.h"
+#include "common/log.h"
+#include "consensus/brasileiro.h"
+#include "consensus/chandra_toueg.h"
+#include "consensus/ef_consensus.h"
+#include "consensus/fast_paxos.h"
+#include "consensus/l_consensus.h"
+#include "consensus/p_consensus.h"
+#include "consensus/paxos.h"
+#include "consensus/recovering_paxos.h"
+#include "consensus/wab_consensus.h"
+#include "sim/event_queue.h"
+
+namespace zdc::sim {
+
+namespace {
+
+/// The whole simulated deployment for one consensus instance.
+class ConsensusWorld {
+ public:
+  ConsensusWorld(const ConsensusRunConfig& cfg, const SimConsensusFactory& factory)
+      : cfg_(cfg),
+        factory_(factory),
+        rng_(cfg.seed),
+        lan_(cfg.net, cfg.group.n, rng_.fork(0x11)),
+        fd_(cfg.fd, cfg.group.n, events_,
+            [this](ProcessId p) { notify_fd_change(p); }) {
+    build_nodes(factory);
+  }
+
+  ConsensusRunResult run();
+
+ private:
+  struct Node;
+
+  /// ConsensusHost implementation routing into the world.
+  struct Host final : consensus::ConsensusHost {
+    Host(ConsensusWorld& world, ProcessId self) : world_(world), self_(self) {}
+    void send(ProcessId to, std::string bytes) override {
+      world_.unicast(self_, to, std::move(bytes));
+    }
+    void broadcast(std::string bytes) override {
+      world_.broadcast(self_, std::move(bytes));
+    }
+    void deliver_decision(const Value& v) override {
+      world_.record_decision(self_, v);
+    }
+    void w_broadcast(std::uint64_t stage, std::string payload) override {
+      world_.wab_broadcast(self_, stage, std::move(payload));
+    }
+    ConsensusWorld& world_;
+    ProcessId self_;
+  };
+
+  struct Node {
+    std::unique_ptr<Host> host;
+    std::unique_ptr<consensus::Consensus> protocol;
+    bool crashed = false;
+    std::uint32_t broadcasts_done = 0;
+    // Pending mid-broadcast truncation, if any.
+    std::uint32_t truncate_at = 0;
+    std::vector<ProcessId> truncate_targets;
+    ProcessOutcome outcome;
+  };
+
+  void build_nodes(const SimConsensusFactory& factory);
+  void unicast(ProcessId from, ProcessId to, std::string bytes);
+  void broadcast(ProcessId from, std::string bytes);
+  void wab_broadcast(ProcessId from, std::uint64_t stage, std::string payload);
+  void deliver_one(ProcessId from, ProcessId to, TimePoint tx_end,
+                   const std::shared_ptr<const std::string>& bytes);
+  void record_decision(ProcessId p, const Value& v);
+  void notify_fd_change(ProcessId p);
+  void crash(ProcessId p);
+  void restart(ProcessId p);
+  [[nodiscard]] bool all_correct_decided() const;
+
+  void trace(TraceKind kind, ProcessId subject, ProcessId peer = kNoProcess,
+             std::string detail = {}) {
+    if (cfg_.trace != nullptr) {
+      cfg_.trace->record(events_.now(), kind, subject, peer, std::move(detail));
+    }
+  }
+
+  const ConsensusRunConfig& cfg_;
+  const SimConsensusFactory& factory_;
+  common::Rng rng_;
+  EventQueue events_;
+  LanModel lan_;
+  FdSim fd_;
+  std::vector<Node> nodes_;
+  std::size_t undecided_correct_ = 0;
+  bool reincarnation_conflict_ = false;
+};
+
+void ConsensusWorld::build_nodes(const SimConsensusFactory& factory) {
+  const std::uint32_t n = cfg_.group.n;
+  ZDC_ASSERT_MSG(cfg_.proposals.size() == n, "need one proposal per process");
+  nodes_.resize(n);
+
+  std::vector<bool> initially_crashed(n, false);
+  for (const CrashSpec& c : cfg_.crashes) {
+    ZDC_ASSERT(c.p < n);
+    if (c.initial) initially_crashed[c.p] = true;
+  }
+
+  for (ProcessId p = 0; p < n; ++p) {
+    Node& node = nodes_[p];
+    node.host = std::make_unique<Host>(*this, p);
+    node.protocol = factory(p, cfg_.group, *node.host, fd_.omega_view(p),
+                            fd_.suspect_view(p));
+    node.crashed = initially_crashed[p];
+    node.outcome.correct = !initially_crashed[p];
+  }
+
+  fd_.initialize(initially_crashed);
+
+  // Schedule timed crashes and arm broadcast truncations.
+  for (const CrashSpec& c : cfg_.crashes) {
+    if (c.initial) continue;
+    if (c.truncate_broadcast_index > 0) {
+      nodes_[c.p].truncate_at = c.truncate_broadcast_index;
+      nodes_[c.p].truncate_targets = c.partial_targets;
+      nodes_[c.p].outcome.correct = false;
+    } else {
+      nodes_[c.p].outcome.correct = false;
+      events_.at(c.time, [this, p = c.p] { crash(p); });
+      if (c.restart_time >= 0.0) {
+        ZDC_ASSERT_MSG(c.restart_time > c.time,
+                       "restart must come after the crash");
+        events_.at(c.restart_time, [this, p = c.p] { restart(p); });
+      }
+    }
+  }
+
+  // Schedule proposals.
+  for (ProcessId p = 0; p < n; ++p) {
+    if (nodes_[p].crashed) continue;
+    const TimePoint when =
+        p < cfg_.propose_times.size() ? cfg_.propose_times[p] : 0.0;
+    events_.at(when, [this, p] {
+      if (nodes_[p].crashed) return;
+      trace(TraceKind::kPropose, p, kNoProcess, cfg_.proposals[p]);
+      nodes_[p].protocol->propose(cfg_.proposals[p]);
+    });
+  }
+
+  undecided_correct_ = 0;
+  for (const Node& node : nodes_) {
+    if (node.outcome.correct) ++undecided_correct_;
+  }
+}
+
+void ConsensusWorld::unicast(ProcessId from, ProcessId to, std::string bytes) {
+  ZDC_ASSERT(to < nodes_.size());
+  if (nodes_[from].crashed) return;
+  trace(TraceKind::kSend, from, to);
+  auto payload = std::make_shared<const std::string>(std::move(bytes));
+  if (from == to) {
+    const TimePoint sent = lan_.occupy_sender_cpu(from, events_.now());
+    events_.at(lan_.local_delivery(sent), [this, from, to, payload] {
+      if (nodes_[to].crashed) return;
+      trace(TraceKind::kDeliver, to, from);
+      nodes_[to].protocol->on_message(from, *payload);
+    });
+    return;
+  }
+  const TimePoint sent = lan_.occupy_sender_cpu(from, events_.now());
+  const TimePoint tx_end = lan_.occupy_medium(sent, payload->size());
+  deliver_one(from, to, tx_end, payload);
+}
+
+void ConsensusWorld::deliver_one(ProcessId from, ProcessId to, TimePoint tx_end,
+                                 const std::shared_ptr<const std::string>& bytes) {
+  const TimePoint arrival = lan_.arrival_time(tx_end);
+  events_.at(arrival, [this, from, to, bytes] {
+    if (nodes_[to].crashed) return;
+    const TimePoint handled = lan_.occupy_receiver_cpu(to, events_.now());
+    events_.at(handled, [this, from, to, bytes] {
+      if (nodes_[to].crashed) return;
+      trace(TraceKind::kDeliver, to, from);
+      nodes_[to].protocol->on_message(from, *bytes);
+    });
+  });
+}
+
+void ConsensusWorld::broadcast(ProcessId from, std::string bytes) {
+  Node& sender = nodes_[from];
+  if (sender.crashed) return;
+  ++sender.broadcasts_done;
+
+  const bool truncated = sender.truncate_at != 0 &&
+                         sender.broadcasts_done == sender.truncate_at;
+  auto payload = std::make_shared<const std::string>(std::move(bytes));
+
+  for (ProcessId to = 0; to < nodes_.size(); ++to) {
+    if (truncated &&
+        std::find(sender.truncate_targets.begin(), sender.truncate_targets.end(),
+                  to) == sender.truncate_targets.end()) {
+      continue;
+    }
+    if (to == from) {
+      trace(TraceKind::kSend, from, to);
+      const TimePoint sent = lan_.occupy_sender_cpu(from, events_.now());
+      events_.at(lan_.local_delivery(sent), [this, from, to, payload] {
+        if (nodes_[to].crashed) return;
+        trace(TraceKind::kDeliver, to, from);
+        nodes_[to].protocol->on_message(from, *payload);
+      });
+    } else {
+      trace(TraceKind::kSend, from, to);
+      const TimePoint sent = lan_.occupy_sender_cpu(from, events_.now());
+      const TimePoint tx_end = lan_.occupy_medium(sent, payload->size());
+      deliver_one(from, to, tx_end, payload);
+    }
+  }
+
+  if (truncated) crash(from);
+}
+
+void ConsensusWorld::wab_broadcast(ProcessId from, std::uint64_t stage,
+                                   std::string payload) {
+  if (nodes_[from].crashed) return;
+  trace(TraceKind::kWabSend, from);
+  // UDP multicast: one transmission, per-receiver jitter; the sender hears
+  // its own datagram through the medium like everyone else (the order
+  // correlation that spontaneous order rests on).
+  auto body = std::make_shared<const std::string>(std::move(payload));
+  const TimePoint sent = lan_.occupy_sender_cpu(from, events_.now());
+  const TimePoint tx_end = lan_.occupy_medium(sent, body->size());
+  for (ProcessId to = 0; to < nodes_.size(); ++to) {
+    if (to != from && lan_.drop_wab_datagram()) continue;
+    const TimePoint arrival = lan_.wab_arrival_time(tx_end);
+    events_.at(arrival, [this, from, to, stage, body] {
+      if (nodes_[to].crashed) return;
+      const TimePoint handled = lan_.occupy_receiver_cpu(to, events_.now());
+      events_.at(handled, [this, from, to, stage, body] {
+        if (nodes_[to].crashed) return;
+        trace(TraceKind::kWabDeliver, to, from);
+        nodes_[to].protocol->on_w_deliver(stage, from, *body);
+      });
+    });
+  }
+}
+
+void ConsensusWorld::crash(ProcessId p) {
+  if (nodes_[p].crashed) return;
+  trace(TraceKind::kCrash, p);
+  nodes_[p].crashed = true;
+  if (nodes_[p].outcome.correct) {
+    nodes_[p].outcome.correct = false;
+    if (!nodes_[p].outcome.decided) --undecided_correct_;
+  }
+  fd_.on_crash(p);
+}
+
+void ConsensusWorld::record_decision(ProcessId p, const Value& v) {
+  Node& node = nodes_[p];
+  if (node.outcome.decided) {
+    // A restarted incarnation deciding differently from its pre-crash self
+    // is an agreement violation across incarnations.
+    if (node.outcome.decision != v) reincarnation_conflict_ = true;
+    return;
+  }
+  node.outcome.decided = true;
+  node.outcome.decision = v;
+  trace(TraceKind::kDecide, p, kNoProcess, v);
+  node.outcome.steps = node.protocol->decision_steps();
+  node.outcome.path = node.protocol->decision_path();
+  node.outcome.decide_time = events_.now();
+  if (node.outcome.correct) {
+    ZDC_ASSERT(undecided_correct_ > 0);
+    --undecided_correct_;
+  }
+}
+
+void ConsensusWorld::notify_fd_change(ProcessId p) {
+  if (nodes_[p].crashed) return;
+  trace(TraceKind::kFdChange, p);
+  nodes_[p].protocol->on_fd_change();
+}
+
+void ConsensusWorld::restart(ProcessId p) {
+  Node& node = nodes_[p];
+  if (!node.crashed) return;
+  trace(TraceKind::kPropose, p, kNoProcess, "restart");
+  node.crashed = false;
+  // A fresh incarnation: new protocol object (the factory re-injects any
+  // durable state), original proposal re-proposed.
+  node.protocol = factory_(p, cfg_.group, *node.host, fd_.omega_view(p),
+                           fd_.suspect_view(p));
+  node.protocol->propose(cfg_.proposals[p]);
+}
+
+bool ConsensusWorld::all_correct_decided() const {
+  return undecided_correct_ == 0;
+}
+
+ConsensusRunResult ConsensusWorld::run() {
+  ConsensusRunResult result;
+  std::uint64_t executed = 0;
+  while (executed < cfg_.event_limit && !events_.empty() &&
+         events_.now() <= cfg_.time_limit_ms) {
+    events_.run_next();
+    ++executed;
+    if (all_correct_decided()) break;
+  }
+  result.events_executed = executed;
+
+  result.outcomes.reserve(nodes_.size());
+  bool first = true;
+  for (Node& node : nodes_) {
+    result.totals += node.protocol->metrics();
+    result.outcomes.push_back(node.outcome);
+    const ProcessOutcome& o = node.outcome;
+    if (o.decided) {
+      if (first || o.decide_time < result.first_decision_time) {
+        result.first_decision_time = o.decide_time;
+      }
+      result.last_decision_time =
+          std::max(result.last_decision_time, o.decide_time);
+      first = false;
+      if (std::find(cfg_.proposals.begin(), cfg_.proposals.end(), o.decision) ==
+          cfg_.proposals.end()) {
+        result.validity_ok = false;
+      }
+    }
+  }
+
+  // Agreement across every process that decided (crashed ones included).
+  const Value* seen = nullptr;
+  for (const ProcessOutcome& o : result.outcomes) {
+    if (!o.decided) continue;
+    if (seen == nullptr) {
+      seen = &o.decision;
+    } else if (*seen != o.decision) {
+      result.agreement_ok = false;
+    }
+  }
+
+  if (reincarnation_conflict_) result.agreement_ok = false;
+  result.all_correct_decided = all_correct_decided();
+  return result;
+}
+
+}  // namespace
+
+SimConsensusFactory l_consensus_factory() {
+  return [](ProcessId self, GroupParams group, consensus::ConsensusHost& host,
+            const fd::OmegaView& omega, const fd::SuspectView&) {
+    return std::make_unique<consensus::LConsensus>(self, group, host, omega);
+  };
+}
+
+SimConsensusFactory p_consensus_factory() {
+  return [](ProcessId self, GroupParams group, consensus::ConsensusHost& host,
+            const fd::OmegaView&, const fd::SuspectView& suspects) {
+    return std::make_unique<consensus::PConsensus>(self, group, host, suspects);
+  };
+}
+
+SimConsensusFactory paxos_factory() {
+  return [](ProcessId self, GroupParams group, consensus::ConsensusHost& host,
+            const fd::OmegaView& omega, const fd::SuspectView&) {
+    return std::make_unique<consensus::PaxosConsensus>(self, group, host, omega);
+  };
+}
+
+SimConsensusFactory brasileiro_factory(const std::string& underlying) {
+  return [underlying](ProcessId self, GroupParams group,
+                      consensus::ConsensusHost& host, const fd::OmegaView& omega,
+                      const fd::SuspectView& suspects) {
+    // The views are owned by the world and outlive the protocol; capture a
+    // pointer (capturing the reference parameter would dangle once this outer
+    // factory call returns).
+    const fd::OmegaView* omega_ptr = &omega;
+    consensus::ConsensusFactory inner;
+    if (underlying == "paxos") {
+      inner = [omega_ptr](ProcessId s, GroupParams g,
+                          consensus::ConsensusHost& h) {
+        return std::make_unique<consensus::PaxosConsensus>(s, g, h, *omega_ptr);
+      };
+    } else {
+      inner = [omega_ptr](ProcessId s, GroupParams g,
+                          consensus::ConsensusHost& h) {
+        return std::make_unique<consensus::LConsensus>(s, g, h, *omega_ptr);
+      };
+    }
+    (void)suspects;
+    return std::make_unique<consensus::BrasileiroConsensus>(self, group, host,
+                                                            std::move(inner));
+  };
+}
+
+SimConsensusFactory ef_consensus_factory(std::uint32_t e,
+                                         const std::string& underlying) {
+  return [e, underlying](ProcessId self, GroupParams group,
+                         consensus::ConsensusHost& host,
+                         const fd::OmegaView& omega,
+                         const fd::SuspectView& suspects) {
+    (void)suspects;
+    const fd::OmegaView* omega_ptr = &omega;
+    consensus::ConsensusFactory inner;
+    if (underlying == "paxos") {
+      inner = [omega_ptr](ProcessId s, GroupParams g,
+                          consensus::ConsensusHost& h) {
+        return std::make_unique<consensus::PaxosConsensus>(s, g, h, *omega_ptr);
+      };
+    } else {
+      inner = [omega_ptr](ProcessId s, GroupParams g,
+                          consensus::ConsensusHost& h) {
+        return std::make_unique<consensus::LConsensus>(s, g, h, *omega_ptr);
+      };
+    }
+    return std::make_unique<consensus::EfConsensus>(self, group, e, host,
+                                                    std::move(inner));
+  };
+}
+
+SimConsensusFactory ct_consensus_factory() {
+  return [](ProcessId self, GroupParams group, consensus::ConsensusHost& host,
+            const fd::OmegaView&, const fd::SuspectView& suspects) {
+    return std::make_unique<consensus::CtConsensus>(self, group, host,
+                                                    suspects);
+  };
+}
+
+SimConsensusFactory recovering_paxos_factory() {
+  // Each process gets its own stable storage, shared by reference into the
+  // protocol. For restart scenarios build the factory by hand around
+  // externally owned storage (tests/recovery_test.cpp); this canned variant
+  // is for no-restart runs (CLI, sweeps), where the storage's lifetime can
+  // ride along in the closure.
+  auto storages = std::make_shared<
+      std::map<ProcessId, std::shared_ptr<common::InMemoryStableStorage>>>();
+  return [storages](ProcessId self, GroupParams group,
+                    consensus::ConsensusHost& host, const fd::OmegaView& omega,
+                    const fd::SuspectView&) {
+    auto& slot = (*storages)[self];
+    if (slot == nullptr) slot = std::make_shared<common::InMemoryStableStorage>();
+    return std::make_unique<consensus::RecoveringPaxosConsensus>(
+        self, group, host, omega, *slot);
+  };
+}
+
+SimConsensusFactory fast_paxos_factory() {
+  return [](ProcessId self, GroupParams group, consensus::ConsensusHost& host,
+            const fd::OmegaView& omega, const fd::SuspectView&) {
+    return std::make_unique<consensus::FastPaxosConsensus>(self, group, host,
+                                                           omega);
+  };
+}
+
+SimConsensusFactory wab_consensus_factory() {
+  return [](ProcessId self, GroupParams group, consensus::ConsensusHost& host,
+            const fd::OmegaView&, const fd::SuspectView&) {
+    return std::make_unique<consensus::WabConsensus>(self, group, host);
+  };
+}
+
+SimConsensusFactory consensus_factory_by_name(const std::string& name) {
+  if (name == "l") return l_consensus_factory();
+  if (name == "p") return p_consensus_factory();
+  if (name == "paxos") return paxos_factory();
+  if (name == "brasileiro-l") return brasileiro_factory("l");
+  if (name == "brasileiro-paxos") return brasileiro_factory("paxos");
+  if (name == "wab") return wab_consensus_factory();
+  if (name == "ct") return ct_consensus_factory();
+  if (name == "fast-paxos") return fast_paxos_factory();
+  if (name == "rec-paxos") return recovering_paxos_factory();
+  ZDC_ASSERT_MSG(false, "unknown consensus protocol name");
+  return {};
+}
+
+ConsensusRunResult run_consensus(const ConsensusRunConfig& cfg,
+                                 const SimConsensusFactory& factory) {
+  ConsensusWorld world(cfg, factory);
+  return world.run();
+}
+
+}  // namespace zdc::sim

@@ -1,0 +1,115 @@
+// Deterministic single-instance consensus harness.
+//
+// Builds n protocol instances over the LAN model and a simulated failure
+// detector, injects proposals and crashes, runs the event queue to quiescence
+// and checks the consensus properties. Used by the protocol test-suites
+// (hundreds of randomized schedules per protocol) and by the step-count
+// benches (one-step / zero-degradation experiments).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "consensus/consensus.h"
+#include "fd/failure_detector.h"
+#include "sim/fd_sim.h"
+#include "sim/lan_model.h"
+#include "sim/trace.h"
+
+namespace zdc::sim {
+
+/// Crash injection for one process.
+struct CrashSpec {
+  ProcessId p = 0;
+  /// Crash instant; 0 with initial=true means dead before the run starts.
+  TimePoint time = 0.0;
+  bool initial = false;
+  /// If nonzero, instead of crashing at `time`, the process executes until its
+  /// k-th broadcast (1-based), which is delivered only to `partial_targets`,
+  /// and crashes immediately afterwards — the adversarial mid-broadcast crash
+  /// the agreement proofs must survive.
+  std::uint32_t truncate_broadcast_index = 0;
+  std::vector<ProcessId> partial_targets;
+  /// Crash-recovery model: if >= 0, the process restarts at this time — a
+  /// fresh protocol instance is built through the factory (same host, same
+  /// FD views, and crucially the same StableStorage if the factory injects
+  /// one) and re-proposes. Use with FdMode::kStable (the simulated FDs have
+  /// no un-suspect path; crash-recovery failure detection is its own topic).
+  double restart_time = -1.0;
+};
+
+struct ConsensusRunConfig {
+  GroupParams group{4, 1};
+  NetworkConfig net;
+  FdConfig fd;
+  std::uint64_t seed = 1;
+  std::vector<Value> proposals;          ///< size n (entries of crashed procs unused)
+  std::vector<TimePoint> propose_times;  ///< empty = all propose at t=0
+  std::vector<CrashSpec> crashes;
+  TimePoint time_limit_ms = 60'000.0;
+  std::uint64_t event_limit = 10'000'000;
+  /// Optional structured run trace (owned by the caller, outlives the run).
+  TraceRecorder* trace = nullptr;
+};
+
+struct ProcessOutcome {
+  bool correct = true;
+  bool decided = false;
+  Value decision;
+  std::uint32_t steps = 0;
+  consensus::DecisionPath path = consensus::DecisionPath::kNone;
+  TimePoint decide_time = 0.0;
+};
+
+struct ConsensusRunResult {
+  std::vector<ProcessOutcome> outcomes;
+  common::ProtocolMetrics totals;
+  bool all_correct_decided = false;
+  bool agreement_ok = true;  ///< over every process that decided
+  bool validity_ok = true;   ///< decisions are among the proposals
+  TimePoint first_decision_time = 0.0;
+  TimePoint last_decision_time = 0.0;
+  std::uint64_t events_executed = 0;
+
+  [[nodiscard]] bool safe() const { return agreement_ok && validity_ok; }
+};
+
+/// Builds a protocol instance for one process. The views outlive the protocol.
+using SimConsensusFactory = std::function<std::unique_ptr<consensus::Consensus>(
+    ProcessId self, GroupParams group, consensus::ConsensusHost& host,
+    const fd::OmegaView& omega, const fd::SuspectView& suspects)>;
+
+/// Canned factories for the four protocol families.
+SimConsensusFactory l_consensus_factory();
+SimConsensusFactory p_consensus_factory();
+SimConsensusFactory paxos_factory();
+/// Brasileiro's one-step voting over an underlying module ("l" or "paxos").
+SimConsensusFactory brasileiro_factory(const std::string& underlying);
+SimConsensusFactory wab_consensus_factory();
+/// Chandra-Toueg ◇S rotating-coordinator consensus (classic baseline).
+SimConsensusFactory ct_consensus_factory();
+/// Fast Paxos (one-step fast round + Ω-coordinated recovery), f < n/3.
+SimConsensusFactory fast_paxos_factory();
+/// Crash-recovery Paxos with per-process in-memory stable storage owned by
+/// the factory closure (no-restart runs; restart tests inject storage).
+SimConsensusFactory recovering_paxos_factory();
+/// Lamport's generalized (e, f) fast consensus over an underlying module
+/// ("l" or "paxos"); requires n > max(2f, 2e+f).
+SimConsensusFactory ef_consensus_factory(std::uint32_t e,
+                                         const std::string& underlying);
+/// Resolves a factory by protocol name: "l", "p", "paxos", "brasileiro-l",
+/// "brasileiro-paxos", "wab", "ct", "fast-paxos", "rec-paxos". Aborts on
+/// unknown names.
+SimConsensusFactory consensus_factory_by_name(const std::string& name);
+
+/// Runs one consensus instance to quiescence.
+ConsensusRunResult run_consensus(const ConsensusRunConfig& cfg,
+                                 const SimConsensusFactory& factory);
+
+}  // namespace zdc::sim

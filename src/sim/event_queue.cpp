@@ -1,0 +1,33 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace zdc::sim {
+
+void EventQueue::at(TimePoint t, Action fn) {
+  if (t < now_) t = now_;  // no scheduling into the past
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::run_next() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast on the handler
+  // only, which is safe because pop() immediately destroys the slot.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t EventQueue::run(TimePoint time_limit, std::uint64_t event_limit) {
+  std::uint64_t executed = 0;
+  while (executed < event_limit && !queue_.empty() &&
+         queue_.top().time <= time_limit) {
+    run_next();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace zdc::sim

@@ -1,0 +1,55 @@
+// Discrete-event scheduler: the heart of the deterministic simulator.
+//
+// Events fire in (time, insertion-sequence) order, so two events at the same
+// timestamp run in the order they were scheduled — together with the seeded
+// Rng this makes every simulated run exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace zdc::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `t` (>= now, clamped otherwise).
+  void at(TimePoint t, Action fn);
+  /// Schedules `fn` `delay` after now.
+  void after(Duration delay, Action fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Runs the next event; returns false when the queue is empty.
+  bool run_next();
+
+  /// Runs events until the queue drains, `time_limit` is passed, or
+  /// `event_limit` events have run. Returns the number of events executed.
+  std::uint64_t run(TimePoint time_limit, std::uint64_t event_limit);
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimePoint time;
+    std::uint64_t seq;
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  TimePoint now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace zdc::sim

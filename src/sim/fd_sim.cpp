@@ -1,0 +1,136 @@
+#include "sim/fd_sim.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace zdc::sim {
+
+struct FdSim::ProcessView {
+  struct Omega final : fd::OmegaView {
+    [[nodiscard]] ProcessId leader() const override { return current_leader; }
+    ProcessId current_leader = kNoProcess;
+  };
+  struct Suspects final : fd::SuspectView {
+    [[nodiscard]] bool suspects(ProcessId p) const override {
+      return p < flags.size() && flags[p];
+    }
+    std::vector<bool> flags;
+  };
+  Omega omega;
+  Suspects suspects;
+};
+
+FdSim::FdSim(FdConfig cfg, std::uint32_t n, EventQueue& events,
+             std::function<void(ProcessId)> on_change)
+    : cfg_(std::move(cfg)),
+      n_(n),
+      events_(events),
+      on_change_(std::move(on_change)),
+      crashed_(n, false) {
+  views_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto view = std::make_unique<ProcessView>();
+    view->suspects.flags.assign(n, false);
+    views_.push_back(std::move(view));
+  }
+}
+
+FdSim::~FdSim() = default;
+
+void FdSim::initialize(const std::vector<bool>& initially_crashed) {
+  ZDC_ASSERT(initially_crashed.size() == n_);
+  crashed_ = initially_crashed;
+
+  std::vector<ProcessId> suspected;
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (initially_crashed[p]) suspected.push_back(p);
+  }
+  ProcessId lowest_correct = kNoProcess;
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (!initially_crashed[p]) {
+      lowest_correct = p;
+      break;
+    }
+  }
+
+  switch (cfg_.mode) {
+    case FdMode::kStable: {
+      ProcessId leader = cfg_.stable_leader != kNoProcess ? cfg_.stable_leader
+                                                          : lowest_correct;
+      apply(kNoProcess, leader, suspected);
+      break;
+    }
+    case FdMode::kCrashTracking: {
+      // At t=0 nothing is suspected yet; initial crashes are detected after
+      // the detection delay (the paper's "recovery run" shape).
+      apply(kNoProcess, 0, {});
+      for (ProcessId p = 0; p < n_; ++p) {
+        if (initially_crashed[p]) on_crash(p);
+      }
+      break;
+    }
+    case FdMode::kScripted: {
+      // Outputs before the first scripted event: leader 0, nobody suspected.
+      apply(kNoProcess, 0, {});
+      for (const FdScriptEvent& ev : cfg_.script) {
+        events_.at(ev.time, [this, ev] { apply(ev.observer, ev.leader, ev.suspected); });
+      }
+      break;
+    }
+  }
+}
+
+void FdSim::on_crash(ProcessId crashed) {
+  ZDC_ASSERT(crashed < n_);
+  crashed_[crashed] = true;
+  if (cfg_.mode != FdMode::kCrashTracking) return;
+  events_.after(cfg_.detection_delay_ms, [this, crashed] {
+    // Every alive observer adds `crashed` to its suspect set; the leader is
+    // recomputed as the lowest non-suspected process (the Ω reduction).
+    for (ProcessId observer = 0; observer < n_; ++observer) {
+      auto& view = *views_[observer];
+      if (view.suspects.flags[crashed]) continue;
+      view.suspects.flags[crashed] = true;
+      ProcessId leader = kNoProcess;
+      for (ProcessId p = 0; p < n_; ++p) {
+        if (!view.suspects.flags[p]) {
+          leader = p;
+          break;
+        }
+      }
+      view.omega.current_leader = leader;
+      if (on_change_) on_change_(observer);
+    }
+  });
+}
+
+void FdSim::apply(ProcessId observer, ProcessId leader,
+                  const std::vector<ProcessId>& suspected) {
+  std::vector<bool> flags(n_, false);
+  for (ProcessId p : suspected) {
+    if (p < n_) flags[p] = true;
+  }
+  const ProcessId first = observer == kNoProcess ? 0 : observer;
+  const ProcessId last = observer == kNoProcess ? n_ - 1 : observer;
+  for (ProcessId obs = first; obs <= last && obs < n_; ++obs) {
+    auto& view = *views_[obs];
+    const bool changed =
+        view.omega.current_leader != leader || view.suspects.flags != flags;
+    view.omega.current_leader = leader;
+    view.suspects.flags = flags;
+    if (changed && on_change_) on_change_(obs);
+  }
+}
+
+const fd::OmegaView& FdSim::omega_view(ProcessId p) const {
+  ZDC_ASSERT(p < n_);
+  return views_[p]->omega;
+}
+
+const fd::SuspectView& FdSim::suspect_view(ProcessId p) const {
+  ZDC_ASSERT(p < n_);
+  return views_[p]->suspects;
+}
+
+}  // namespace zdc::sim

@@ -1,0 +1,90 @@
+// Simulated failure detectors (Ω and ◇P) with scriptable behaviour.
+//
+// The paper's definitions quantify over *runs* classified by failure-detector
+// behaviour (Def. 2: stable runs). A simulated detector lets tests and
+// benches construct exactly the run they need:
+//
+//   kStable        — the FD is perfect and constant from t=0: Ω outputs the
+//                    same correct process for the whole run, ◇P suspects
+//                    exactly the initially-crashed processes (Def. 2).
+//   kCrashTracking — crashes are detected `detection_delay_ms` after they
+//                    happen; Ω is the lowest non-suspected process. Models a
+//                    well-behaved timeout FD for recovery-run experiments.
+//   kScripted      — arbitrary per-process output changes at given times,
+//                    including asymmetric and plain wrong outputs; used by the
+//                    adversarial safety tests (protocols must stay safe under
+//                    *any* FD behaviour).
+//
+// Each process gets its own OmegaView/SuspectView instance, so outputs may
+// legitimately differ across processes (as they do in real systems).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "fd/failure_detector.h"
+#include "sim/event_queue.h"
+
+namespace zdc::sim {
+
+enum class FdMode : std::uint8_t { kStable, kCrashTracking, kScripted };
+
+/// One scripted output change: at `time`, process `observer` (or every
+/// process if observer == kNoProcess) starts seeing `leader` and `suspected`.
+struct FdScriptEvent {
+  TimePoint time = 0.0;
+  ProcessId observer = kNoProcess;
+  ProcessId leader = 0;
+  std::vector<ProcessId> suspected;
+};
+
+struct FdConfig {
+  FdMode mode = FdMode::kStable;
+  /// kStable: fixed leader; kNoProcess means lowest initially-correct id.
+  ProcessId stable_leader = kNoProcess;
+  /// kCrashTracking: how long after a crash every alive process suspects it.
+  double detection_delay_ms = 5.0;
+  /// kScripted: the full schedule (applied in time order).
+  std::vector<FdScriptEvent> script;
+};
+
+/// Owns the per-process detector outputs and drives changes through the event
+/// queue. The world registers a callback invoked whenever some process's
+/// output changed, so protocols can re-evaluate their FD-dependent waits.
+class FdSim {
+ public:
+  /// `on_change(p)` fires after process p's view changed.
+  FdSim(FdConfig cfg, std::uint32_t n, EventQueue& events,
+        std::function<void(ProcessId)> on_change);
+  ~FdSim();  // out of line: ProcessView is incomplete here
+
+  /// Installs the t=0 outputs. `initially_crashed[p]` marks processes that
+  /// are dead from the start (stable runs suspect exactly these).
+  void initialize(const std::vector<bool>& initially_crashed);
+
+  /// Notifies the detector of a crash at the current time (kCrashTracking
+  /// schedules suspicion after the detection delay; other modes ignore it —
+  /// a stable run by definition has no mid-run output change).
+  void on_crash(ProcessId crashed);
+
+  [[nodiscard]] const fd::OmegaView& omega_view(ProcessId p) const;
+  [[nodiscard]] const fd::SuspectView& suspect_view(ProcessId p) const;
+
+ private:
+  struct ProcessView;
+
+  void apply(ProcessId observer, ProcessId leader,
+             const std::vector<ProcessId>& suspected);
+
+  FdConfig cfg_;
+  std::uint32_t n_;
+  EventQueue& events_;
+  std::function<void(ProcessId)> on_change_;
+  std::vector<std::unique_ptr<ProcessView>> views_;
+  std::vector<bool> crashed_;  ///< kCrashTracking bookkeeping
+};
+
+}  // namespace zdc::sim

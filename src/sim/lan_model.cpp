@@ -1,0 +1,45 @@
+#include "sim/lan_model.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace zdc::sim {
+
+TimePoint LanModel::occupy_sender_cpu(ProcessId from, TimePoint now) {
+  ZDC_ASSERT(from < cpu_free_.size());
+  const TimePoint start = std::max(now, cpu_free_[from]);
+  cpu_free_[from] = start + cfg_.cpu_send_ms;
+  return cpu_free_[from];
+}
+
+TimePoint LanModel::occupy_medium(TimePoint ready, std::size_t payload_bytes) {
+  const double bits =
+      static_cast<double>(payload_bytes + cfg_.framing_bytes) * 8.0;
+  // bandwidth in Mbit/s == bits per microsecond; convert to ms.
+  const double tx_ms = bits / (cfg_.bandwidth_mbps * 1000.0);
+  const TimePoint start = std::max(ready, medium_free_);
+  medium_free_ = start + tx_ms;
+  return medium_free_;
+}
+
+TimePoint LanModel::arrival_time(TimePoint tx_end) {
+  return tx_end + cfg_.base_delay_ms + rng_.exponential(cfg_.jitter_mean_ms);
+}
+
+TimePoint LanModel::wab_arrival_time(TimePoint tx_end) {
+  TimePoint t = arrival_time(tx_end);
+  if (cfg_.wab_extra_jitter_ms > 0.0) {
+    t += rng_.uniform(0.0, cfg_.wab_extra_jitter_ms);
+  }
+  return t;
+}
+
+TimePoint LanModel::occupy_receiver_cpu(ProcessId to, TimePoint arrival) {
+  ZDC_ASSERT(to < cpu_free_.size());
+  const TimePoint start = std::max(arrival, cpu_free_[to]);
+  cpu_free_[to] = start + cfg_.cpu_recv_ms;
+  return cpu_free_[to];
+}
+
+}  // namespace zdc::sim

@@ -1,0 +1,56 @@
+// Repeated-consensus harness: runs a back-to-back *sequence* of consensus
+// instances, the execution pattern that motivates zero-degradation (paper
+// Sec. 1: "failures that occur in one run propagate as initial failures to
+// all subsequent runs, [so] we are interested in algorithms whose
+// performance is not permanently affected by initial failures").
+//
+// Instance i+1 starts (every correct process proposes) as soon as every
+// correct process decided instance i. A crash can be injected at a given
+// instance boundary; the per-instance latency/step series then shows which
+// protocols pay a one-time recovery blip and which degrade permanently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/consensus_world.h"
+
+namespace zdc::sim {
+
+struct SequenceConfig {
+  GroupParams group{4, 1};
+  NetworkConfig net;
+  FdConfig fd;
+  std::uint64_t seed = 1;
+  std::uint32_t instances = 20;
+  /// If instances >= crash_before_instance, crash `crash_process` right
+  /// before that instance starts (kNoProcess = no crash).
+  ProcessId crash_process = kNoProcess;
+  std::uint32_t crash_before_instance = 0;
+  /// Divergent proposals (one distinct value per process) or unanimous.
+  bool divergent_proposals = true;
+  TimePoint time_limit_ms = 600'000.0;
+  std::uint64_t event_limit = 200'000'000;
+};
+
+struct InstanceStats {
+  TimePoint start_time = 0.0;
+  TimePoint first_decision = 0.0;  ///< relative to start_time
+  TimePoint last_decision = 0.0;   ///< relative to start_time
+  double mean_steps = 0.0;         ///< over round-path deciders
+  bool complete = false;
+  bool safe = true;
+};
+
+struct SequenceResult {
+  std::vector<InstanceStats> instances;
+  bool all_complete = true;
+  bool all_safe = true;
+};
+
+SequenceResult run_consensus_sequence(const SequenceConfig& cfg,
+                                      const SimConsensusFactory& factory);
+
+}  // namespace zdc::sim

@@ -1,0 +1,128 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace zdc::sim {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kPropose: return "propose";
+    case TraceKind::kSend: return "send";
+    case TraceKind::kDeliver: return "deliver";
+    case TraceKind::kWabSend: return "w-send";
+    case TraceKind::kWabDeliver: return "w-deliver";
+    case TraceKind::kDecide: return "decide";
+    case TraceKind::kCrash: return "crash";
+    case TraceKind::kFdChange: return "fd-change";
+  }
+  return "?";
+}
+
+void TraceRecorder::record(TimePoint time, TraceKind kind, ProcessId subject,
+                           ProcessId peer, std::string detail) {
+  TraceEvent ev;
+  ev.time = time;
+  ev.kind = kind;
+  ev.subject = subject;
+  ev.peer = peer;
+  ev.detail = std::move(detail);
+  events_.push_back(std::move(ev));
+}
+
+std::size_t TraceRecorder::count(TraceKind kind) const {
+  std::size_t total = 0;
+  for (const TraceEvent& ev : events_) {
+    if (ev.kind == kind) ++total;
+  }
+  return total;
+}
+
+bool TraceRecorder::causally_consistent() const {
+  // Edge -> sorted send / delivery times. A send event's subject is the
+  // sender and peer the destination; a delivery's subject is the receiver
+  // and peer the sender — both map to the same (sender, receiver) edge.
+  std::map<std::pair<ProcessId, ProcessId>, std::vector<TimePoint>> sends;
+  std::map<std::pair<ProcessId, ProcessId>, std::vector<TimePoint>> delivers;
+  for (const TraceEvent& ev : events_) {
+    if (ev.kind == TraceKind::kSend) {
+      sends[{ev.subject, ev.peer}].push_back(ev.time);
+    } else if (ev.kind == TraceKind::kDeliver) {
+      delivers[{ev.peer, ev.subject}].push_back(ev.time);
+    }
+  }
+  for (auto& [edge, times] : sends) std::sort(times.begin(), times.end());
+  for (auto& [edge, dtimes] : delivers) {
+    std::sort(dtimes.begin(), dtimes.end());
+    const auto sit = sends.find(edge);
+    if (sit == sends.end()) return false;  // delivery without any send
+    const auto& stimes = sit->second;
+    if (dtimes.size() > stimes.size()) return false;  // duplication
+    for (std::size_t k = 0; k < dtimes.size(); ++k) {
+      // Sorted matching: the k-th earliest delivery needs a distinct send no
+      // later than it; the earliest k+1 sends are the best candidates.
+      if (dtimes[k] < stimes[k]) return false;
+    }
+  }
+  return true;
+}
+
+std::string TraceRecorder::render_spacetime(
+    std::uint32_t n, std::size_t max_rows,
+    const std::vector<TraceKind>& kinds) const {
+  const std::vector<TraceKind> default_kinds = {
+      TraceKind::kPropose, TraceKind::kDecide, TraceKind::kCrash,
+      TraceKind::kFdChange};
+  const std::vector<TraceKind>& selected =
+      kinds.empty() ? default_kinds : kinds;
+  auto wanted = [&selected](TraceKind k) {
+    return std::find(selected.begin(), selected.end(), k) != selected.end();
+  };
+
+  constexpr std::size_t kLane = 16;
+  std::string out;
+  char buf[64];
+
+  // Header.
+  out += "   time(ms)  ";
+  for (std::uint32_t p = 0; p < n; ++p) {
+    std::snprintf(buf, sizeof buf, "p%-*u", static_cast<int>(kLane - 1), p);
+    out += buf;
+  }
+  out += "\n";
+
+  std::size_t rows = 0;
+  for (const TraceEvent& ev : events_) {
+    if (!wanted(ev.kind) || ev.subject >= n) continue;
+    if (rows++ >= max_rows) {
+      out += "   ... (truncated)\n";
+      break;
+    }
+    std::snprintf(buf, sizeof buf, "%11.3f  ", ev.time);
+    out += buf;
+    for (std::uint32_t p = 0; p < n; ++p) {
+      std::string cell;
+      if (p == ev.subject) {
+        cell = trace_kind_name(ev.kind);
+        if (ev.peer != kNoProcess) {
+          cell += (ev.kind == TraceKind::kSend || ev.kind == TraceKind::kWabSend)
+                      ? "->p" + std::to_string(ev.peer)
+                      : "<-p" + std::to_string(ev.peer);
+        }
+        if (!ev.detail.empty()) {
+          std::string d = ev.detail;
+          if (d.size() > 6) d = d.substr(0, 5) + "~";
+          cell += "(" + d + ")";
+        }
+      } else {
+        cell = ".";
+      }
+      if (cell.size() < kLane) cell.append(kLane - cell.size(), ' ');
+      out += cell;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace zdc::sim

@@ -1,0 +1,73 @@
+// Structured run tracing for the simulator worlds.
+//
+// A TraceRecorder attached to a run config captures every interesting event
+// (proposals, sends, deliveries, oracle traffic, decisions, crashes, FD
+// changes) with its simulated timestamp. Uses:
+//
+//   * debugging: replay a failing seed with tracing on and read the run;
+//   * verification: the causal-consistency checker proves every delivery is
+//     explainable by an earlier send on the same edge (the simulator's
+//     network cannot invent or duplicate messages);
+//   * presentation: render_spacetime() draws the run as an ASCII space-time
+//     diagram, one lane per process (see examples/trace_run.cpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace zdc::sim {
+
+enum class TraceKind : std::uint8_t {
+  kPropose,     ///< subject proposed / a-broadcast (detail = value)
+  kSend,        ///< subject sent a transport message to peer
+  kDeliver,     ///< subject received a transport message from peer
+  kWabSend,     ///< subject w-broadcast an oracle datagram
+  kWabDeliver,  ///< subject w-delivered an oracle datagram from peer
+  kDecide,      ///< subject decided / a-delivered (detail = value)
+  kCrash,       ///< subject crashed
+  kFdChange,    ///< subject's failure-detector output changed
+};
+
+const char* trace_kind_name(TraceKind kind);
+
+struct TraceEvent {
+  TimePoint time = 0.0;
+  TraceKind kind = TraceKind::kSend;
+  ProcessId subject = 0;
+  ProcessId peer = kNoProcess;
+  std::string detail;
+};
+
+class TraceRecorder {
+ public:
+  void record(TimePoint time, TraceKind kind, ProcessId subject,
+              ProcessId peer = kNoProcess, std::string detail = {});
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t count(TraceKind kind) const;
+  void clear() { events_.clear(); }
+
+  /// Every delivery on an edge must be matchable to a distinct earlier send
+  /// on the same edge (checked via the sorted-interval matching criterion:
+  /// deliveries_on_edge <= sends_on_edge and the k-th earliest delivery is
+  /// no earlier than the k-th earliest send).
+  [[nodiscard]] bool causally_consistent() const;
+
+  /// ASCII space-time diagram: one column lane per process, one row per
+  /// event of the selected kinds, in time order. `kinds` empty = the
+  /// high-level kinds (propose/decide/crash/fd-change).
+  [[nodiscard]] std::string render_spacetime(
+      std::uint32_t n, std::size_t max_rows = 200,
+      const std::vector<TraceKind>& kinds = {}) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace zdc::sim

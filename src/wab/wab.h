@@ -1,0 +1,37 @@
+// Weak Atomic Broadcast (WAB) ordering oracle (paper Sec. 3.4).
+//
+// A WAB models the spontaneous total order of LAN broadcasts: per instance k,
+// each process may w-broadcast a message; every correct process eventually
+// w-delivers every message w-broadcast by a correct process (Validity), each
+// (k, m) at most once (Uniform Integrity), and for infinitely many instances
+// the *first* message w-delivered is the same at every process (Spontaneous
+// Order). C-Abcast and WABCast only act on the first message of an instance;
+// later deliveries feed their estimates.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/types.h"
+
+namespace zdc::wab {
+
+/// Per-process endpoint of the WAB oracle.
+class WabOracle {
+ public:
+  using DeliverFn =
+      std::function<void(InstanceId k, ProcessId sender, const std::string& m)>;
+
+  virtual ~WabOracle() = default;
+
+  /// w-broadcast(k, m): best-effort broadcast of m in instance k (including to
+  /// the caller itself).
+  virtual void w_broadcast(InstanceId k, const std::string& m) = 0;
+
+  /// Installs the w-deliver upcall. Deliveries for an instance arrive in the
+  /// oracle's chosen order; the first one carries the spontaneous-order
+  /// guarantee described above.
+  virtual void set_deliver(DeliverFn fn) = 0;
+};
+
+}  // namespace zdc::wab

@@ -1,0 +1,101 @@
+// Randomized atomic-broadcast runs with crash injection: total order,
+// integrity and (for the FD-based stacks) agreement must hold across seeds,
+// throughputs and crash schedules.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "sim/abcast_world.h"
+
+namespace zdc::sim {
+namespace {
+
+class AbcastWithCrashes : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AbcastWithCrashes, SafeAndLiveAcrossSeeds) {
+  const std::string& proto = GetParam();
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    common::Rng rng(seed * 31337);
+    AbcastRunConfig cfg;
+    cfg.group = proto == "paxos" ? GroupParams{3, 1} : GroupParams{4, 1};
+    cfg.seed = seed;
+    cfg.message_count = 120;
+    cfg.throughput_per_s = rng.uniform(50.0, 400.0);
+    cfg.net.jitter_mean_ms = rng.uniform(0.01, 0.1);
+    cfg.fd.mode = FdMode::kCrashTracking;
+    cfg.fd.detection_delay_ms = rng.uniform(1.0, 10.0);
+
+    if (rng.chance(0.6)) {
+      CrashSpec c;
+      c.p = static_cast<ProcessId>(rng.next_below(cfg.group.n));
+      if (rng.chance(0.3)) {
+        c.initial = true;
+      } else {
+        // Mid-workload crash.
+        c.time = rng.uniform(5.0, 500.0);
+      }
+      cfg.crashes.push_back(c);
+    }
+
+    auto r = run_abcast(cfg, abcast_factory_by_name(proto));
+    ASSERT_TRUE(r.total_order_ok) << proto << " total order, seed " << seed;
+    ASSERT_TRUE(r.integrity_ok) << proto << " integrity, seed " << seed;
+    if (proto != "wabcast") {
+      // FD-based stacks must also terminate: every expected message reaches
+      // every correct process.
+      ASSERT_TRUE(r.agreement_ok) << proto << " agreement, seed " << seed;
+      ASSERT_EQ(r.undelivered, 0u) << proto << " liveness, seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, AbcastWithCrashes,
+                         ::testing::Values("c-l", "c-p", "wabcast", "paxos"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// Leader crash under load: the workhorse failover scenario, checked across
+// several crash instants for both paper stacks and Paxos.
+class LeaderCrashSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LeaderCrashSweep, FailoverPreservesEverything) {
+  const std::string& proto = GetParam();
+  for (double crash_at : {2.0, 20.0, 100.0}) {
+    AbcastRunConfig cfg;
+    cfg.group = proto == "paxos" ? GroupParams{3, 1} : GroupParams{4, 1};
+    cfg.seed = 5150;
+    cfg.message_count = 150;
+    cfg.throughput_per_s = 200.0;
+    cfg.fd.mode = FdMode::kCrashTracking;
+    cfg.fd.detection_delay_ms = 4.0;
+    CrashSpec c;
+    c.p = 0;  // the initial Ω leader
+    c.time = crash_at;
+    cfg.crashes.push_back(c);
+
+    auto r = run_abcast(cfg, abcast_factory_by_name(proto));
+    ASSERT_TRUE(r.total_order_ok) << proto << " at " << crash_at;
+    ASSERT_TRUE(r.integrity_ok) << proto << " at " << crash_at;
+    ASSERT_TRUE(r.agreement_ok) << proto << " at " << crash_at;
+    ASSERT_EQ(r.undelivered, 0u) << proto << " at " << crash_at;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, LeaderCrashSweep,
+                         ::testing::Values("c-l", "c-p", "paxos"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace zdc::sim

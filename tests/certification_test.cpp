@@ -1,0 +1,125 @@
+// Certification sweep: the full cross product of protocol × network profile
+// × failure-detector mode × crash pattern, each over several seeds. Broader
+// but shallower than the targeted property suites — its job is to catch
+// interactions between dimensions that the focused tests hold fixed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/consensus_world.h"
+
+namespace zdc::sim {
+namespace {
+
+struct Profile {
+  const char* name;
+  NetworkConfig net;
+};
+
+std::vector<Profile> profiles() {
+  NetworkConfig fast;  // the harness default: sub-0.1ms everything
+  return {
+      {"default", fast},
+      {"lan2006", calibrated_lan_2006()},
+      {"wan", synthetic_wan()},
+  };
+}
+
+struct CrashPattern {
+  const char* name;
+  bool initial;
+  bool timed;
+  bool truncated;
+};
+
+std::vector<CrashPattern> crash_patterns() {
+  return {
+      {"none", false, false, false},
+      {"initial", true, false, false},
+      {"timed", false, true, false},
+      {"mid-broadcast", false, false, true},
+  };
+}
+
+class Certification : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Certification, ProtocolTimesProfileTimesFdTimesCrash) {
+  const std::string proto = GetParam();
+  const bool oracle_based = proto == "wab";
+  const GroupParams group =
+      (proto == "paxos" || proto == "ct") ? GroupParams{5, 2}
+                                          : GroupParams{4, 1};
+
+  for (const Profile& profile : profiles()) {
+    for (const CrashPattern& pattern : crash_patterns()) {
+      for (FdMode fd_mode : {FdMode::kStable, FdMode::kCrashTracking}) {
+        // A stable FD never reports mid-run crashes: protocols that *wait on*
+        // a crashed process (leader/coordinator/quorum member) legitimately
+        // block, so only the crash-free and initial-crash cells demand
+        // termination there.
+        const bool termination_expected =
+            !oracle_based &&
+            (fd_mode == FdMode::kCrashTracking ||
+             (!pattern.timed && !pattern.truncated));
+        for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+          common::Rng rng(seed * 7 + 1);
+          ConsensusRunConfig cfg;
+          cfg.group = group;
+          cfg.net = profile.net;
+          cfg.seed = seed;
+          cfg.fd.mode = fd_mode;
+          cfg.fd.detection_delay_ms = profile.net.base_delay_ms * 4 + 1.0;
+          for (ProcessId p = 0; p < group.n; ++p) {
+            cfg.proposals.push_back("v" + std::to_string(rng.next_below(2)));
+          }
+          if (pattern.initial || pattern.timed || pattern.truncated) {
+            CrashSpec c;
+            c.p = static_cast<ProcessId>(rng.next_below(group.n));
+            if (pattern.initial) {
+              c.initial = true;
+            } else if (pattern.timed) {
+              c.time = rng.uniform(0.0, profile.net.base_delay_ms * 6);
+            } else {
+              c.truncate_broadcast_index = 1;
+              for (ProcessId t = 0; t < group.n; ++t) {
+                if (rng.chance(0.5)) c.partial_targets.push_back(t);
+              }
+            }
+            cfg.crashes.push_back(std::move(c));
+          }
+          cfg.time_limit_ms = 3'600'000.0;
+          cfg.event_limit = 2'000'000;
+
+          auto r = run_consensus(cfg, consensus_factory_by_name(proto));
+          ASSERT_TRUE(r.agreement_ok)
+              << proto << " × " << profile.name << " × " << pattern.name
+              << " × fd" << static_cast<int>(fd_mode) << " seed " << seed;
+          ASSERT_TRUE(r.validity_ok)
+              << proto << " × " << profile.name << " × " << pattern.name;
+          if (termination_expected) {
+            ASSERT_TRUE(r.all_correct_decided)
+                << proto << " × " << profile.name << " × " << pattern.name
+                << " × fd" << static_cast<int>(fd_mode) << " seed " << seed;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, Certification,
+                         ::testing::Values("l", "p", "paxos", "ct",
+                                           "fast-paxos", "brasileiro-l",
+                                           "wab", "rec-paxos"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace zdc::sim

@@ -1,0 +1,140 @@
+// Unit tests for the bounds-checked binary codec.
+#include "common/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace zdc::common {
+namespace {
+
+TEST(Codec, RoundTripsScalars) {
+  Encoder enc;
+  enc.put_u8(0xab);
+  enc.put_u16(0xbeef);
+  enc.put_u32(0xdeadbeef);
+  enc.put_u64(0x0123456789abcdefULL);
+  enc.put_bool(true);
+  enc.put_bool(false);
+  enc.put_f64(3.25);
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u8(), 0xab);
+  EXPECT_EQ(dec.get_u16(), 0xbeef);
+  EXPECT_EQ(dec.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(dec.get_u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(dec.get_bool());
+  EXPECT_FALSE(dec.get_bool());
+  EXPECT_DOUBLE_EQ(dec.get_f64(), 3.25);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Codec, RoundTripsStrings) {
+  Encoder enc;
+  enc.put_string("");
+  enc.put_string("hello");
+  enc.put_string(std::string("\0\x01\xff", 3));  // embedded NUL and high bytes
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_string(), "");
+  EXPECT_EQ(dec.get_string(), "hello");
+  EXPECT_EQ(dec.get_string(), std::string("\0\x01\xff", 3));
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Codec, LittleEndianLayout) {
+  Encoder enc;
+  enc.put_u32(0x01020304);
+  const std::string& b = enc.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(b[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(b[3]), 0x01);
+}
+
+TEST(Codec, UnderflowPoisonsDecoder) {
+  Encoder enc;
+  enc.put_u16(7);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u32(), 0u);  // needs 4 bytes, only 2 available
+  EXPECT_FALSE(dec.ok());
+  // Every further read keeps returning zero values without touching memory.
+  EXPECT_EQ(dec.get_u64(), 0u);
+  EXPECT_EQ(dec.get_string(), "");
+  EXPECT_FALSE(dec.done());
+}
+
+TEST(Codec, StringLengthBeyondBufferPoisons) {
+  Encoder enc;
+  enc.put_u32(1000);  // claims a 1000-byte string
+  enc.put_raw("abc");
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_string(), "");
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(Codec, DoneDetectsTrailingGarbage) {
+  Encoder enc;
+  enc.put_u8(1);
+  enc.put_u8(2);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u8(), 1);
+  EXPECT_TRUE(dec.ok());
+  EXPECT_FALSE(dec.done());  // one byte left over
+}
+
+TEST(Codec, GetRestConsumesRemainder) {
+  Encoder enc;
+  enc.put_u8(9);
+  enc.put_raw("tail-bytes");
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u8(), 9);
+  EXPECT_EQ(dec.get_rest(), "tail-bytes");
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Codec, StringListRoundTrip) {
+  std::vector<std::string> items = {"a", "", "longer value", "z"};
+  Encoder enc;
+  encode_string_list(enc, items);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(decode_string_list(dec), items);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Codec, StringListHostileCountDoesNotOverAllocate) {
+  Encoder enc;
+  enc.put_u32(0xffffffff);  // absurd element count, no payload
+  Decoder dec(enc.bytes());
+  EXPECT_TRUE(decode_string_list(dec).empty());
+  EXPECT_FALSE(dec.ok());
+}
+
+// Truncation fuzz: every proper prefix of a valid message must decode to a
+// poisoned decoder, never crash or read OOB.
+TEST(Codec, EveryTruncationIsDetected) {
+  Encoder enc;
+  enc.put_u8(3);
+  enc.put_u64(0x1122334455667788ULL);
+  enc.put_string("payload");
+  enc.put_u32(42);
+  const std::string full = enc.bytes();
+
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    Decoder dec(std::string_view(full.data(), len));
+    dec.get_u8();
+    dec.get_u64();
+    dec.get_string();
+    dec.get_u32();
+    EXPECT_FALSE(dec.done()) << "prefix length " << len;
+  }
+  Decoder dec(full);
+  dec.get_u8();
+  dec.get_u64();
+  dec.get_string();
+  dec.get_u32();
+  EXPECT_TRUE(dec.done());
+}
+
+}  // namespace
+}  // namespace zdc::common

@@ -1,0 +1,172 @@
+// Basic end-to-end checks for every consensus protocol on the simulator:
+// stable failure-free runs with unanimous and divergent proposals must decide,
+// agree and satisfy validity; the paper's headline step counts must hold.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/consensus_world.h"
+
+namespace zdc::sim {
+namespace {
+
+ConsensusRunConfig base_config(std::uint32_t n, std::uint32_t f) {
+  ConsensusRunConfig cfg;
+  cfg.group = GroupParams{n, f};
+  cfg.seed = 99;
+  cfg.proposals.assign(n, "v");
+  return cfg;
+}
+
+void expect_all_decide_same(const ConsensusRunResult& r) {
+  EXPECT_TRUE(r.all_correct_decided);
+  EXPECT_TRUE(r.agreement_ok);
+  EXPECT_TRUE(r.validity_ok);
+}
+
+class AllProtocols : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllProtocols, UnanimousStableRunDecides) {
+  ConsensusRunConfig cfg = base_config(4, 1);
+  auto r = run_consensus(cfg, consensus_factory_by_name(GetParam()));
+  expect_all_decide_same(r);
+  for (const auto& o : r.outcomes) {
+    EXPECT_TRUE(o.decided);
+    EXPECT_EQ(o.decision, "v");
+  }
+}
+
+TEST_P(AllProtocols, DivergentProposalsStableRunDecides) {
+  ConsensusRunConfig cfg = base_config(4, 1);
+  cfg.proposals = {"a", "b", "c", "d"};
+  auto r = run_consensus(cfg, consensus_factory_by_name(GetParam()));
+  expect_all_decide_same(r);
+}
+
+TEST_P(AllProtocols, StaggeredProposalTimesDecide) {
+  ConsensusRunConfig cfg = base_config(4, 1);
+  cfg.proposals = {"a", "a", "b", "b"};
+  cfg.propose_times = {0.0, 5.0, 1.0, 10.0};
+  auto r = run_consensus(cfg, consensus_factory_by_name(GetParam()));
+  expect_all_decide_same(r);
+}
+
+TEST_P(AllProtocols, LargerGroupDecides) {
+  ConsensusRunConfig cfg = base_config(7, 2);
+  cfg.proposals = {"a", "b", "a", "c", "b", "a", "c"};
+  auto r = run_consensus(cfg, consensus_factory_by_name(GetParam()));
+  expect_all_decide_same(r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, AllProtocols,
+                         ::testing::Values("l", "p", "paxos", "brasileiro-l",
+                                           "brasileiro-paxos", "wab", "ct",
+                                           "rec-paxos"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// --- Paper claims: step counts ---
+
+// L-Consensus: one step when all proposals are equal and the run is stable.
+TEST(LConsensusSteps, OneStepOnUnanimityInStableRun) {
+  ConsensusRunConfig cfg = base_config(4, 1);
+  auto r = run_consensus(cfg, l_consensus_factory());
+  expect_all_decide_same(r);
+  int one_step = 0;
+  for (const auto& o : r.outcomes) {
+    if (o.path == consensus::DecisionPath::kRound) {
+      EXPECT_EQ(o.steps, 1u);
+      ++one_step;
+    }
+  }
+  EXPECT_GE(one_step, 1);
+}
+
+// L-Consensus: two steps in stable runs with divergent proposals
+// (zero-degradation, Def. 3).
+TEST(LConsensusSteps, TwoStepsOnDivergenceInStableRun) {
+  ConsensusRunConfig cfg = base_config(4, 1);
+  cfg.proposals = {"a", "b", "c", "d"};
+  auto r = run_consensus(cfg, l_consensus_factory());
+  expect_all_decide_same(r);
+  for (const auto& o : r.outcomes) {
+    if (o.path == consensus::DecisionPath::kRound) {
+      EXPECT_LE(o.steps, 2u);
+    }
+  }
+}
+
+// P-Consensus: same two headline claims.
+TEST(PConsensusSteps, OneStepOnUnanimityInStableRun) {
+  ConsensusRunConfig cfg = base_config(4, 1);
+  auto r = run_consensus(cfg, p_consensus_factory());
+  expect_all_decide_same(r);
+  for (const auto& o : r.outcomes) {
+    if (o.path == consensus::DecisionPath::kRound) {
+      EXPECT_EQ(o.steps, 1u);
+    }
+  }
+}
+
+TEST(PConsensusSteps, TwoStepsOnDivergenceInStableRun) {
+  ConsensusRunConfig cfg = base_config(4, 1);
+  cfg.proposals = {"a", "b", "c", "d"};
+  auto r = run_consensus(cfg, p_consensus_factory());
+  expect_all_decide_same(r);
+  for (const auto& o : r.outcomes) {
+    if (o.path == consensus::DecisionPath::kRound) {
+      EXPECT_LE(o.steps, 2u);
+    }
+  }
+}
+
+// Brasileiro: one step on unanimity, but >= 3 steps on divergence — the
+// overhead the paper's protocols eliminate.
+TEST(BrasileiroSteps, OneStepOnUnanimity) {
+  ConsensusRunConfig cfg = base_config(4, 1);
+  auto r = run_consensus(cfg, brasileiro_factory("l"));
+  expect_all_decide_same(r);
+  for (const auto& o : r.outcomes) {
+    if (o.path == consensus::DecisionPath::kRound) {
+      EXPECT_EQ(o.steps, 1u);
+    }
+  }
+}
+
+TEST(BrasileiroSteps, ThreeStepsOnDivergence) {
+  ConsensusRunConfig cfg = base_config(4, 1);
+  cfg.proposals = {"a", "b", "c", "d"};
+  auto r = run_consensus(cfg, brasileiro_factory("l"));
+  expect_all_decide_same(r);
+  bool some_three = false;
+  for (const auto& o : r.outcomes) {
+    if (o.path == consensus::DecisionPath::kRound) {
+      EXPECT_GE(o.steps, 3u);
+      some_three = true;
+    }
+  }
+  EXPECT_TRUE(some_three);
+}
+
+// Paxos with leader p0: two steps in the stable run regardless of proposals
+// (zero-degrading, never one-step).
+TEST(PaxosSteps, TwoStepsInStableRun) {
+  ConsensusRunConfig cfg = base_config(3, 1);
+  cfg.proposals = {"a", "b", "c"};
+  auto r = run_consensus(cfg, paxos_factory());
+  expect_all_decide_same(r);
+  for (const auto& o : r.outcomes) {
+    if (o.decided && o.path == consensus::DecisionPath::kRound) {
+      EXPECT_EQ(o.steps, 2u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zdc::sim

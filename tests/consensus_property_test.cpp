@@ -1,0 +1,208 @@
+// Property-based safety and liveness tests for all consensus protocols.
+//
+// Three adversaries, each swept over many seeds:
+//   1. RandomizedCrashRuns — random proposals, propose times, network timing
+//      and up to f crashes (timed or mid-broadcast-truncated) under an
+//      eventually-perfect (crash-tracking) failure detector. Both safety and
+//      termination must hold.
+//   2. HostileFailureDetector — a scripted FD that flaps leaders/suspicions
+//      asymmetrically and never stabilizes. Termination is not required
+//      (indulgent protocols may be delayed forever), but safety must survive
+//      *any* FD behaviour — this is the paper's correctness core (Lemmas 2, 4).
+//   3. PartialBroadcastCrash — a proposer crashes mid-broadcast so that only
+//      a chosen subset receives its round message; the classic adversarial
+//      schedule behind the quorum-intersection arguments.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/consensus_world.h"
+
+namespace zdc::sim {
+namespace {
+
+const std::vector<std::string> kValuePool = {"alpha", "beta", "gamma", "delta"};
+
+NetworkConfig random_net(common::Rng& rng) {
+  NetworkConfig net;
+  net.base_delay_ms = rng.uniform(0.02, 0.3);
+  net.jitter_mean_ms = rng.uniform(0.0, 0.4);
+  net.cpu_send_ms = rng.uniform(0.001, 0.05);
+  net.cpu_recv_ms = rng.uniform(0.001, 0.05);
+  return net;
+}
+
+std::vector<Value> random_proposals(common::Rng& rng, std::uint32_t n) {
+  std::vector<Value> proposals;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    // Bias towards few distinct values so that near-unanimity (the one-step
+    // edge) is exercised often.
+    const std::size_t pool = 1 + rng.next_below(kValuePool.size());
+    proposals.push_back(kValuePool[rng.next_below(pool)]);
+  }
+  return proposals;
+}
+
+std::vector<CrashSpec> random_crashes(common::Rng& rng, GroupParams g) {
+  std::vector<CrashSpec> crashes;
+  const std::uint32_t count = rng.next_below(g.f + 1);  // 0..f crashes
+  std::vector<bool> used(g.n, false);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    CrashSpec c;
+    do {
+      c.p = static_cast<ProcessId>(rng.next_below(g.n));
+    } while (used[c.p]);
+    used[c.p] = true;
+    const std::uint64_t kind = rng.next_below(3);
+    if (kind == 0) {
+      c.initial = true;
+    } else if (kind == 1) {
+      c.time = rng.uniform(0.0, 5.0);
+    } else {
+      // Crash during the k-th broadcast, reaching a random strict subset.
+      c.truncate_broadcast_index = 1 + static_cast<std::uint32_t>(rng.next_below(3));
+      for (ProcessId t = 0; t < g.n; ++t) {
+        if (rng.chance(0.5)) c.partial_targets.push_back(t);
+      }
+    }
+    crashes.push_back(std::move(c));
+  }
+  return crashes;
+}
+
+class RandomizedCrashRuns : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RandomizedCrashRuns, SafeAndLiveUnderEventuallyPerfectFd) {
+  const bool termination_guaranteed = GetParam() != "wab";  // WAB is oracle-based
+  for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+    common::Rng rng(seed * 7919);
+    ConsensusRunConfig cfg;
+    cfg.group = rng.chance(0.3) ? GroupParams{7, 2} : GroupParams{4, 1};
+    cfg.seed = seed;
+    cfg.net = random_net(rng);
+    cfg.fd.mode = FdMode::kCrashTracking;
+    cfg.fd.detection_delay_ms = rng.uniform(0.5, 8.0);
+    cfg.proposals = random_proposals(rng, cfg.group.n);
+    for (std::uint32_t p = 0; p < cfg.group.n; ++p) {
+      cfg.propose_times.push_back(rng.uniform(0.0, 3.0));
+    }
+    cfg.crashes = random_crashes(rng, cfg.group);
+
+    auto r = run_consensus(cfg, consensus_factory_by_name(GetParam()));
+    ASSERT_TRUE(r.agreement_ok) << GetParam() << " agreement, seed " << seed;
+    ASSERT_TRUE(r.validity_ok) << GetParam() << " validity, seed " << seed;
+    if (termination_guaranteed) {
+      ASSERT_TRUE(r.all_correct_decided)
+          << GetParam() << " termination, seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, RandomizedCrashRuns,
+                         ::testing::Values("l", "p", "paxos", "brasileiro-l",
+                                           "brasileiro-paxos", "wab", "ct",
+                                           "rec-paxos"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+class HostileFailureDetector : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(HostileFailureDetector, SafetyHoldsUnderArbitraryFdOutput) {
+  for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+    common::Rng rng(seed * 104729);
+    ConsensusRunConfig cfg;
+    cfg.group = GroupParams{4, 1};
+    cfg.seed = seed;
+    cfg.net = random_net(rng);
+    cfg.proposals = random_proposals(rng, cfg.group.n);
+    cfg.crashes = random_crashes(rng, cfg.group);
+
+    // A never-stabilizing FD script: every observer keeps being fed fresh,
+    // mutually inconsistent leaders and suspicions.
+    cfg.fd.mode = FdMode::kScripted;
+    for (int i = 0; i < 40; ++i) {
+      FdScriptEvent ev;
+      ev.time = rng.uniform(0.0, 20.0);
+      ev.observer = rng.chance(0.3)
+                        ? kNoProcess
+                        : static_cast<ProcessId>(rng.next_below(cfg.group.n));
+      ev.leader = static_cast<ProcessId>(rng.next_below(cfg.group.n));
+      for (ProcessId p = 0; p < cfg.group.n; ++p) {
+        if (rng.chance(0.25)) ev.suspected.push_back(p);
+      }
+      cfg.fd.script.push_back(std::move(ev));
+    }
+    // Bound the run: termination is not expected, safety is.
+    cfg.time_limit_ms = 500.0;
+    cfg.event_limit = 400'000;
+
+    auto r = run_consensus(cfg, consensus_factory_by_name(GetParam()));
+    ASSERT_TRUE(r.agreement_ok) << GetParam() << " agreement, seed " << seed;
+    ASSERT_TRUE(r.validity_ok) << GetParam() << " validity, seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, HostileFailureDetector,
+                         ::testing::Values("l", "p", "paxos", "brasileiro-l", "ct",
+                                           "rec-paxos"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// The classic adversarial schedule: the first-round proposer with the pivotal
+// value crashes while broadcasting, reaching only a subset. Whatever the
+// subset, agreement must hold and the survivors must decide.
+class PartialBroadcastCrash : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PartialBroadcastCrash, EverySubsetIsSafe) {
+  // Enumerate all subsets of receivers for the crashing process p0.
+  for (std::uint32_t mask = 0; mask < 16; ++mask) {
+    ConsensusRunConfig cfg;
+    cfg.group = GroupParams{4, 1};
+    cfg.seed = 1234 + mask;
+    cfg.fd.mode = FdMode::kCrashTracking;
+    cfg.fd.detection_delay_ms = 2.0;
+    // p0 proposes the odd one out; whether the others see it decides whether
+    // its value can win.
+    cfg.proposals = {"x", "y", "y", "y"};
+    CrashSpec c;
+    c.p = 0;
+    c.truncate_broadcast_index = 1;
+    for (ProcessId t = 0; t < 4; ++t) {
+      if ((mask & (1u << t)) != 0) c.partial_targets.push_back(t);
+    }
+    cfg.crashes.push_back(std::move(c));
+
+    auto r = run_consensus(cfg, consensus_factory_by_name(GetParam()));
+    ASSERT_TRUE(r.agreement_ok) << GetParam() << " mask " << mask;
+    ASSERT_TRUE(r.validity_ok) << GetParam() << " mask " << mask;
+    ASSERT_TRUE(r.all_correct_decided) << GetParam() << " mask " << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, PartialBroadcastCrash,
+                         ::testing::Values("l", "p", "paxos", "brasileiro-l",
+                                           "brasileiro-paxos", "ct",
+                                           "rec-paxos"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace zdc::sim

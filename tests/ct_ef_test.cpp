@@ -1,0 +1,243 @@
+// Tests for the two extension protocols: Chandra-Toueg ◇S consensus (the
+// classic baseline) and Lamport's (e, f) generalized fast consensus.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/consensus_world.h"
+
+namespace zdc::sim {
+namespace {
+
+// --- Chandra-Toueg ---
+
+TEST(CtConsensus, DecidesInStableRun) {
+  ConsensusRunConfig cfg;
+  cfg.group = GroupParams{4, 1};
+  cfg.seed = 1;
+  cfg.proposals = {"a", "b", "c", "d"};
+  auto r = run_consensus(cfg, ct_consensus_factory());
+  EXPECT_TRUE(r.all_correct_decided);
+  EXPECT_TRUE(r.safe());
+}
+
+TEST(CtConsensus, CoordinatorDecidesInThreeSteps) {
+  ConsensusRunConfig cfg;
+  cfg.group = GroupParams{4, 1};
+  cfg.seed = 2;
+  cfg.proposals = {"a", "b", "c", "d"};
+  auto r = run_consensus(cfg, ct_consensus_factory());
+  ASSERT_TRUE(r.all_correct_decided);
+  // The round-1 coordinator (p0) decides via its own round logic in exactly
+  // three steps; everyone else learns through the DECIDE flood — CT is never
+  // one-step and never two-step, which is why the paper's protocols beat it.
+  EXPECT_EQ(r.outcomes[0].path, consensus::DecisionPath::kRound);
+  EXPECT_EQ(r.outcomes[0].steps, 3u);
+}
+
+TEST(CtConsensus, NeverOneStepEvenOnUnanimity) {
+  ConsensusRunConfig cfg;
+  cfg.group = GroupParams{4, 1};
+  cfg.seed = 3;
+  cfg.proposals.assign(4, "same");
+  auto r = run_consensus(cfg, ct_consensus_factory());
+  ASSERT_TRUE(r.all_correct_decided);
+  for (const auto& o : r.outcomes) {
+    if (o.path == consensus::DecisionPath::kRound) {
+      EXPECT_GE(o.steps, 3u);
+    }
+  }
+}
+
+TEST(CtConsensus, SurvivesCoordinatorCrash) {
+  ConsensusRunConfig cfg;
+  cfg.group = GroupParams{4, 1};
+  cfg.seed = 4;
+  cfg.fd.mode = FdMode::kCrashTracking;
+  cfg.fd.detection_delay_ms = 2.0;
+  cfg.proposals = {"a", "b", "c", "d"};
+  CrashSpec c;
+  c.p = 0;  // the round-1 coordinator
+  c.initial = true;
+  cfg.crashes.push_back(c);
+  auto r = run_consensus(cfg, ct_consensus_factory());
+  EXPECT_TRUE(r.all_correct_decided);
+  EXPECT_TRUE(r.safe());
+}
+
+TEST(CtConsensus, WorksWithMinorityResilience) {
+  // n=5, f=2: beyond the one-step protocols' f < n/3 bound.
+  ConsensusRunConfig cfg;
+  cfg.group = GroupParams{5, 2};
+  cfg.seed = 5;
+  cfg.fd.mode = FdMode::kCrashTracking;
+  cfg.fd.detection_delay_ms = 2.0;
+  cfg.proposals = {"a", "b", "c", "d", "e"};
+  for (ProcessId p : {0u, 1u}) {
+    CrashSpec c;
+    c.p = p;
+    c.initial = true;
+    cfg.crashes.push_back(c);
+  }
+  auto r = run_consensus(cfg, ct_consensus_factory());
+  EXPECT_TRUE(r.all_correct_decided);
+  EXPECT_TRUE(r.safe());
+}
+
+TEST(CtConsensus, SafeUnderRandomizedCrashes) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    common::Rng rng(seed * 2411);
+    ConsensusRunConfig cfg;
+    cfg.group = GroupParams{5, 2};
+    cfg.seed = seed;
+    cfg.fd.mode = FdMode::kCrashTracking;
+    cfg.fd.detection_delay_ms = rng.uniform(0.5, 6.0);
+    for (ProcessId p = 0; p < 5; ++p) {
+      cfg.proposals.push_back("v" + std::to_string(rng.next_below(3)));
+      cfg.propose_times.push_back(rng.uniform(0.0, 2.0));
+    }
+    const std::uint64_t crash_count = rng.next_below(3);
+    for (std::uint64_t i = 0; i < crash_count; ++i) {
+      CrashSpec c;
+      c.p = static_cast<ProcessId>((i * 2 + 1) % 5);
+      c.time = rng.uniform(0.0, 4.0);
+      cfg.crashes.push_back(c);
+    }
+    auto r = run_consensus(cfg, ct_consensus_factory());
+    ASSERT_TRUE(r.safe()) << "seed " << seed;
+    ASSERT_TRUE(r.all_correct_decided) << "seed " << seed;
+  }
+}
+
+TEST(CtConsensus, SafetyUnderHostileFd) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    common::Rng rng(seed * 7907);
+    ConsensusRunConfig cfg;
+    cfg.group = GroupParams{4, 1};
+    cfg.seed = seed;
+    cfg.proposals = {"a", "b", "a", "b"};
+    cfg.fd.mode = FdMode::kScripted;
+    for (int i = 0; i < 30; ++i) {
+      FdScriptEvent ev;
+      ev.time = rng.uniform(0.0, 15.0);
+      ev.observer = static_cast<ProcessId>(rng.next_below(4));
+      ev.leader = static_cast<ProcessId>(rng.next_below(4));
+      for (ProcessId p = 0; p < 4; ++p) {
+        if (rng.chance(0.3)) ev.suspected.push_back(p);
+      }
+      cfg.fd.script.push_back(std::move(ev));
+    }
+    cfg.time_limit_ms = 300.0;
+    cfg.event_limit = 200'000;
+    auto r = run_consensus(cfg, ct_consensus_factory());
+    ASSERT_TRUE(r.safe()) << "seed " << seed;
+  }
+}
+
+// --- (e, f) generalized fast consensus ---
+
+struct EfCase {
+  std::uint32_t n, e, f;
+};
+
+class EfSweep : public ::testing::TestWithParam<EfCase> {};
+
+TEST_P(EfSweep, FastPathFiresExactlyUpToECrashes) {
+  const EfCase c = GetParam();
+  for (std::uint32_t crashes = 0; crashes <= c.f; ++crashes) {
+    ConsensusRunConfig cfg;
+    cfg.group = GroupParams{c.n, c.f};
+    cfg.seed = 100 + crashes;
+    cfg.fd.mode = FdMode::kStable;
+    cfg.proposals.assign(c.n, "same");
+    for (std::uint32_t i = 0; i < crashes; ++i) {
+      CrashSpec spec;
+      spec.p = i;
+      spec.initial = true;
+      cfg.crashes.push_back(spec);
+    }
+    auto r = run_consensus(cfg, ef_consensus_factory(c.e, "paxos"));
+    ASSERT_TRUE(r.all_correct_decided)
+        << "n=" << c.n << " e=" << c.e << " f=" << c.f << " c=" << crashes;
+    ASSERT_TRUE(r.safe());
+    for (const auto& o : r.outcomes) {
+      if (!o.decided || o.path != consensus::DecisionPath::kRound) continue;
+      if (crashes <= c.e) {
+        EXPECT_EQ(o.steps, 1u) << "fast path must fire for c <= e";
+      } else {
+        EXPECT_GT(o.steps, 1u) << "fast path must not fire for c > e";
+      }
+    }
+  }
+}
+
+TEST_P(EfSweep, SafeOnDivergentProposals) {
+  const EfCase c = GetParam();
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    common::Rng rng(seed * 13007);
+    ConsensusRunConfig cfg;
+    cfg.group = GroupParams{c.n, c.f};
+    cfg.seed = seed;
+    cfg.fd.mode = FdMode::kCrashTracking;
+    for (ProcessId p = 0; p < c.n; ++p) {
+      cfg.proposals.push_back("v" + std::to_string(rng.next_below(2)));
+    }
+    if (rng.chance(0.5) && c.f > 0) {
+      CrashSpec spec;
+      spec.p = static_cast<ProcessId>(rng.next_below(c.n));
+      spec.time = rng.uniform(0.0, 3.0);
+      cfg.crashes.push_back(spec);
+    }
+    auto r = run_consensus(cfg, ef_consensus_factory(c.e, "paxos"));
+    ASSERT_TRUE(r.safe()) << "seed " << seed;
+    ASSERT_TRUE(r.all_correct_decided) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, EfSweep,
+                         ::testing::Values(EfCase{4, 1, 1}, EfCase{5, 1, 2},
+                                           EfCase{6, 2, 1}, EfCase{7, 2, 2}),
+                         [](const auto& param_info) {
+                           const EfCase& c = param_info.param;
+                           return "n" + std::to_string(c.n) + "e" +
+                                  std::to_string(c.e) + "f" +
+                                  std::to_string(c.f);
+                         });
+
+// Partial-broadcast crash of the odd proposer: the quorum-intersection
+// argument for the generalized thresholds.
+TEST(EfConsensus, PartialBroadcastCrashStaysSafe) {
+  for (std::uint32_t mask = 0; mask < 32; ++mask) {
+    ConsensusRunConfig cfg;
+    cfg.group = GroupParams{5, 2};
+    cfg.seed = 500 + mask;
+    cfg.fd.mode = FdMode::kCrashTracking;
+    cfg.fd.detection_delay_ms = 2.0;
+    cfg.proposals = {"x", "y", "y", "y", "y"};
+    CrashSpec c;
+    c.p = 0;
+    c.truncate_broadcast_index = 1;
+    for (ProcessId t = 0; t < 5; ++t) {
+      if ((mask & (1u << t)) != 0) c.partial_targets.push_back(t);
+    }
+    cfg.crashes.push_back(std::move(c));
+    auto r = run_consensus(cfg, ef_consensus_factory(1, "paxos"));
+    ASSERT_TRUE(r.safe()) << "mask " << mask;
+    ASSERT_TRUE(r.all_correct_decided) << "mask " << mask;
+  }
+}
+
+TEST(EfConsensusDeath, RejectsInvalidParameters) {
+  ConsensusRunConfig cfg;
+  cfg.group = GroupParams{5, 1};
+  cfg.seed = 1;
+  cfg.proposals.assign(5, "v");
+  // e=2, f=1 needs n > 2*2+1 = 5: rejected at n=5.
+  EXPECT_DEATH(run_consensus(cfg, ef_consensus_factory(2, "l")),
+               "n > max");
+}
+
+}  // namespace
+}  // namespace zdc::sim

@@ -1,0 +1,163 @@
+// Unit tests for the discrete-event scheduler and the LAN model.
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/lan_model.h"
+
+namespace zdc::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.at(3.0, [&] { order.push_back(3); });
+  q.at(1.0, [&] { order.push_back(1); });
+  q.at(2.0, [&] { order.push_back(2); });
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.at(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) q.after(1.0, chain);
+  };
+  q.at(0.0, chain);
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow) {
+  EventQueue q;
+  double seen = -1;
+  q.at(5.0, [&] {
+    q.at(1.0, [&] { seen = q.now(); });  // in the past, clamps to 5.0
+  });
+  while (q.run_next()) {
+  }
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(EventQueue, RunRespectsLimits) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    q.at(static_cast<double>(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(q.run(9.5, 1000), 10u);  // time limit
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(q.run(1e9, 20), 20u);  // event limit
+  EXPECT_EQ(fired, 30);
+}
+
+TEST(LanModel, SenderCpuSerializesSends) {
+  NetworkConfig cfg;
+  cfg.cpu_send_ms = 1.0;
+  LanModel lan(cfg, 2, common::Rng(1));
+  const TimePoint t1 = lan.occupy_sender_cpu(0, 0.0);
+  const TimePoint t2 = lan.occupy_sender_cpu(0, 0.0);
+  EXPECT_DOUBLE_EQ(t1, 1.0);
+  EXPECT_DOUBLE_EQ(t2, 2.0);
+  // The other process's CPU is independent.
+  EXPECT_DOUBLE_EQ(lan.occupy_sender_cpu(1, 0.0), 1.0);
+}
+
+TEST(LanModel, MediumSerializesTransmissions) {
+  NetworkConfig cfg;
+  cfg.bandwidth_mbps = 100.0;
+  cfg.framing_bytes = 0;
+  LanModel lan(cfg, 2, common::Rng(1));
+  // 1250 bytes = 10000 bits = 0.1 ms at 100 Mbit/s.
+  const TimePoint e1 = lan.occupy_medium(0.0, 1250);
+  const TimePoint e2 = lan.occupy_medium(0.0, 1250);
+  EXPECT_NEAR(e1, 0.1, 1e-9);
+  EXPECT_NEAR(e2, 0.2, 1e-9);
+}
+
+TEST(LanModel, ArrivalAddsBaseDelayAndJitter) {
+  NetworkConfig cfg;
+  cfg.base_delay_ms = 0.5;
+  cfg.jitter_mean_ms = 0.1;
+  LanModel lan(cfg, 2, common::Rng(7));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(lan.arrival_time(10.0), 10.5);
+  }
+}
+
+TEST(LanModel, ReceiverCpuQueuesBackToBackArrivals) {
+  NetworkConfig cfg;
+  cfg.cpu_recv_ms = 0.5;
+  LanModel lan(cfg, 2, common::Rng(1));
+  EXPECT_DOUBLE_EQ(lan.occupy_receiver_cpu(0, 1.0), 1.5);
+  EXPECT_DOUBLE_EQ(lan.occupy_receiver_cpu(0, 1.0), 2.0);  // queued behind
+  EXPECT_DOUBLE_EQ(lan.occupy_receiver_cpu(0, 5.0), 5.5);  // idle gap
+}
+
+TEST(LanModel, WabArrivalAddsDisorderJitter) {
+  NetworkConfig cfg;
+  cfg.base_delay_ms = 0.5;
+  cfg.jitter_mean_ms = 0.0;
+  cfg.wab_extra_jitter_ms = 2.0;
+  LanModel lan(cfg, 2, common::Rng(3));
+  bool saw_extra = false;
+  for (int i = 0; i < 200; ++i) {
+    const double t = lan.wab_arrival_time(1.0);
+    EXPECT_GE(t, 1.5);
+    EXPECT_LE(t, 3.5 + 1e-9);  // base + uniform[0, 2]
+    if (t > 2.0) saw_extra = true;
+  }
+  EXPECT_TRUE(saw_extra) << "disorder jitter never sampled high";
+}
+
+TEST(LanModel, RegularArrivalHasNoDisorderJitter) {
+  NetworkConfig cfg;
+  cfg.base_delay_ms = 0.5;
+  cfg.jitter_mean_ms = 0.0;
+  cfg.wab_extra_jitter_ms = 5.0;
+  LanModel lan(cfg, 2, common::Rng(3));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(lan.arrival_time(1.0), 1.5);
+  }
+}
+
+TEST(LanModel, WabLossProbability) {
+  NetworkConfig cfg;
+  cfg.wab_loss_prob = 0.5;
+  LanModel lan(cfg, 2, common::Rng(9));
+  int dropped = 0;
+  constexpr int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (lan.drop_wab_datagram()) ++dropped;
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / kTrials, 0.5, 0.05);
+}
+
+TEST(LanModel, NoLossWhenDisabled) {
+  NetworkConfig cfg;  // wab_loss_prob = 0 by default
+  LanModel lan(cfg, 2, common::Rng(9));
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(lan.drop_wab_datagram());
+}
+
+}  // namespace
+}  // namespace zdc::sim

@@ -1,0 +1,184 @@
+// Tests for Fast Paxos and its head-to-head with P-Consensus — the
+// comparison behind the paper's closing remark that Fast Paxos's oracle is
+// strictly stronger than Ω while P-Consensus gets the same fast path from ◇P.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "sim/consensus_world.h"
+
+namespace zdc::sim {
+namespace {
+
+TEST(FastPaxos, OneStepOnUnanimity) {
+  ConsensusRunConfig cfg;
+  cfg.group = GroupParams{4, 1};
+  cfg.seed = 1;
+  cfg.proposals.assign(4, "same");
+  auto r = run_consensus(cfg, fast_paxos_factory());
+  ASSERT_TRUE(r.all_correct_decided);
+  ASSERT_TRUE(r.safe());
+  for (const auto& o : r.outcomes) {
+    if (o.path == consensus::DecisionPath::kRound) {
+      EXPECT_EQ(o.steps, 1u);
+    }
+  }
+}
+
+// The fast path consults no oracle at all, so (like P-Consensus, unlike
+// L-Consensus) it survives arbitrary Ω garbage on unanimous proposals.
+TEST(FastPaxos, OneStepDespiteArbitraryOmegaOutput) {
+  ConsensusRunConfig cfg;
+  cfg.group = GroupParams{4, 1};
+  cfg.seed = 2;
+  cfg.proposals.assign(4, "same");
+  cfg.fd.mode = FdMode::kScripted;
+  for (ProcessId obs = 0; obs < 4; ++obs) {
+    FdScriptEvent ev;
+    ev.time = 0.0;
+    ev.observer = obs;
+    ev.leader = (obs + 2) % 4;
+    cfg.fd.script.push_back(std::move(ev));
+  }
+  auto r = run_consensus(cfg, fast_paxos_factory());
+  ASSERT_TRUE(r.all_correct_decided);
+  for (const auto& o : r.outcomes) {
+    if (o.path == consensus::DecisionPath::kRound) {
+      EXPECT_EQ(o.steps, 1u);
+    }
+  }
+}
+
+// Collision recovery: divergent proposals cost 3 steps (fast votes + the
+// coordinated 2a + round-1 votes) — one more than P-Consensus's 2, which is
+// the measured content of Theorem 1's Ω-vs-◇P separation.
+TEST(FastPaxos, ThreeStepsOnDivergenceVsPConsensusTwo) {
+  ConsensusRunConfig cfg;
+  cfg.group = GroupParams{4, 1};
+  cfg.seed = 3;
+  cfg.proposals = {"a", "b", "c", "d"};
+
+  auto fp = run_consensus(cfg, fast_paxos_factory());
+  ASSERT_TRUE(fp.all_correct_decided);
+  ASSERT_TRUE(fp.safe());
+  for (const auto& o : fp.outcomes) {
+    if (o.path == consensus::DecisionPath::kRound) {
+      EXPECT_EQ(o.steps, 3u);
+    }
+  }
+
+  auto p = run_consensus(cfg, p_consensus_factory());
+  ASSERT_TRUE(p.all_correct_decided);
+  for (const auto& o : p.outcomes) {
+    if (o.path == consensus::DecisionPath::kRound) {
+      EXPECT_EQ(o.steps, 2u);
+    }
+  }
+}
+
+TEST(FastPaxos, SurvivesLeaderCrashDuringRecovery) {
+  for (double crash_time : {0.0, 0.5, 1.0, 2.0}) {
+    ConsensusRunConfig cfg;
+    cfg.group = GroupParams{4, 1};
+    cfg.seed = 4;
+    cfg.fd.mode = FdMode::kCrashTracking;
+    cfg.fd.detection_delay_ms = 1.5;
+    cfg.proposals = {"a", "b", "c", "d"};
+    CrashSpec c;
+    c.p = 0;  // the initial Ω leader / recovery coordinator
+    c.time = crash_time;
+    cfg.crashes.push_back(c);
+    auto r = run_consensus(cfg, fast_paxos_factory());
+    ASSERT_TRUE(r.all_correct_decided) << "crash at " << crash_time;
+    ASSERT_TRUE(r.safe()) << "crash at " << crash_time;
+  }
+}
+
+TEST(FastPaxos, SafeAndLiveUnderRandomizedCrashes) {
+  for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+    common::Rng rng(seed * 6151);
+    ConsensusRunConfig cfg;
+    cfg.group = rng.chance(0.3) ? GroupParams{7, 2} : GroupParams{4, 1};
+    cfg.seed = seed;
+    cfg.fd.mode = FdMode::kCrashTracking;
+    cfg.fd.detection_delay_ms = rng.uniform(0.5, 6.0);
+    for (ProcessId p = 0; p < cfg.group.n; ++p) {
+      cfg.proposals.push_back("v" + std::to_string(rng.next_below(3)));
+      cfg.propose_times.push_back(rng.uniform(0.0, 2.0));
+    }
+    const std::uint32_t crashes = rng.next_below(cfg.group.f + 1);
+    for (std::uint32_t i = 0; i < crashes; ++i) {
+      CrashSpec c;
+      c.p = static_cast<ProcessId>((i * 3 + 1) % cfg.group.n);
+      if (rng.chance(0.5)) {
+        c.initial = true;
+      } else {
+        c.time = rng.uniform(0.0, 4.0);
+      }
+      cfg.crashes.push_back(c);
+    }
+    auto r = run_consensus(cfg, fast_paxos_factory());
+    ASSERT_TRUE(r.safe()) << "seed " << seed;
+    ASSERT_TRUE(r.all_correct_decided) << "seed " << seed;
+  }
+}
+
+TEST(FastPaxos, SafetyUnderHostileFd) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    common::Rng rng(seed * 15017);
+    ConsensusRunConfig cfg;
+    cfg.group = GroupParams{4, 1};
+    cfg.seed = seed;
+    cfg.proposals = {"a", "b", "a", "b"};
+    cfg.fd.mode = FdMode::kScripted;
+    for (int i = 0; i < 30; ++i) {
+      FdScriptEvent ev;
+      ev.time = rng.uniform(0.0, 10.0);
+      ev.observer = rng.chance(0.4)
+                        ? kNoProcess
+                        : static_cast<ProcessId>(rng.next_below(4));
+      ev.leader = static_cast<ProcessId>(rng.next_below(4));
+      cfg.fd.script.push_back(std::move(ev));
+    }
+    cfg.time_limit_ms = 300.0;
+    cfg.event_limit = 300'000;
+    auto r = run_consensus(cfg, fast_paxos_factory());
+    ASSERT_TRUE(r.safe()) << "seed " << seed;
+  }
+}
+
+// The critical fast/classic interaction: the pivotal-value proposer crashes
+// mid-broadcast, so some learners may fast-decide while the coordinator
+// recovers — every receiver subset must stay consistent.
+TEST(FastPaxos, PartialBroadcastCrashEverySubset) {
+  for (std::uint32_t mask = 0; mask < 16; ++mask) {
+    ConsensusRunConfig cfg;
+    cfg.group = GroupParams{4, 1};
+    cfg.seed = 600 + mask;
+    cfg.fd.mode = FdMode::kCrashTracking;
+    cfg.fd.detection_delay_ms = 2.0;
+    cfg.proposals = {"x", "y", "y", "y"};
+    CrashSpec c;
+    c.p = 0;
+    c.truncate_broadcast_index = 1;
+    for (ProcessId t = 0; t < 4; ++t) {
+      if ((mask & (1u << t)) != 0) c.partial_targets.push_back(t);
+    }
+    cfg.crashes.push_back(std::move(c));
+    auto r = run_consensus(cfg, fast_paxos_factory());
+    ASSERT_TRUE(r.safe()) << "mask " << mask;
+    ASSERT_TRUE(r.all_correct_decided) << "mask " << mask;
+  }
+}
+
+TEST(FastPaxosDeath, RejectsTooManyFailures) {
+  ConsensusRunConfig cfg;
+  cfg.group = GroupParams{3, 1};
+  cfg.seed = 1;
+  cfg.proposals.assign(3, "v");
+  EXPECT_DEATH(run_consensus(cfg, fast_paxos_factory()), "f < n/3");
+}
+
+}  // namespace
+}  // namespace zdc::sim

@@ -1,0 +1,152 @@
+// Unit tests for the simulated failure detectors (stable / crash-tracking /
+// scripted) and the Ω-from-◇P reduction.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fd/failure_detector.h"
+#include "sim/fd_sim.h"
+
+namespace zdc::sim {
+namespace {
+
+TEST(FdSimStable, SuspectsExactlyInitialCrashesFromTimeZero) {
+  EventQueue events;
+  int changes = 0;
+  FdConfig cfg;
+  cfg.mode = FdMode::kStable;
+  FdSim fd(cfg, 4, events, [&changes](ProcessId) { ++changes; });
+  fd.initialize({true, false, false, false});
+
+  for (ProcessId obs = 1; obs < 4; ++obs) {
+    EXPECT_TRUE(fd.suspect_view(obs).suspects(0));
+    EXPECT_FALSE(fd.suspect_view(obs).suspects(1));
+    EXPECT_FALSE(fd.suspect_view(obs).suspects(2));
+    // The leader is the lowest initially-correct process.
+    EXPECT_EQ(fd.omega_view(obs).leader(), 1u);
+  }
+  // A stable run's FD never changes mid-run: crashes are ignored.
+  fd.on_crash(2);
+  while (events.run_next()) {
+  }
+  EXPECT_FALSE(fd.suspect_view(1).suspects(2));
+}
+
+TEST(FdSimStable, ConfiguredLeaderWins) {
+  EventQueue events;
+  FdConfig cfg;
+  cfg.mode = FdMode::kStable;
+  cfg.stable_leader = 2;
+  FdSim fd(cfg, 4, events, nullptr);
+  fd.initialize(std::vector<bool>(4, false));
+  EXPECT_EQ(fd.omega_view(0).leader(), 2u);
+  EXPECT_EQ(fd.omega_view(3).leader(), 2u);
+}
+
+TEST(FdSimCrashTracking, DetectsAfterConfiguredDelay) {
+  EventQueue events;
+  std::vector<ProcessId> changed;
+  FdConfig cfg;
+  cfg.mode = FdMode::kCrashTracking;
+  cfg.detection_delay_ms = 5.0;
+  FdSim fd(cfg, 3, events, [&changed](ProcessId p) { changed.push_back(p); });
+  fd.initialize(std::vector<bool>(3, false));
+  EXPECT_EQ(fd.omega_view(1).leader(), 0u);
+
+  events.at(10.0, [&fd] { fd.on_crash(0); });
+  events.run(14.9, 1'000'000);
+  EXPECT_FALSE(fd.suspect_view(1).suspects(0)) << "too early";
+  events.run(15.1, 1'000'000);
+  EXPECT_TRUE(fd.suspect_view(1).suspects(0));
+  EXPECT_TRUE(fd.suspect_view(2).suspects(0));
+  // Ω recomputes to the lowest non-suspected id at every observer.
+  EXPECT_EQ(fd.omega_view(1).leader(), 1u);
+  EXPECT_EQ(fd.omega_view(2).leader(), 1u);
+  // Every observer got a change notification.
+  EXPECT_GE(changed.size(), 3u);
+}
+
+TEST(FdSimCrashTracking, InitialCrashesDetectedAfterDelayToo) {
+  EventQueue events;
+  FdConfig cfg;
+  cfg.mode = FdMode::kCrashTracking;
+  cfg.detection_delay_ms = 2.0;
+  FdSim fd(cfg, 3, events, nullptr);
+  fd.initialize({true, false, false});
+  // Recovery-run shape: at t=0 nothing is suspected yet.
+  EXPECT_FALSE(fd.suspect_view(1).suspects(0));
+  EXPECT_EQ(fd.omega_view(1).leader(), 0u);
+  events.run(3.0, 1'000'000);
+  EXPECT_TRUE(fd.suspect_view(1).suspects(0));
+  EXPECT_EQ(fd.omega_view(1).leader(), 1u);
+}
+
+TEST(FdSimScripted, PerObserverAndGlobalEvents) {
+  EventQueue events;
+  FdConfig cfg;
+  cfg.mode = FdMode::kScripted;
+  FdScriptEvent only_p2;
+  only_p2.time = 1.0;
+  only_p2.observer = 2;
+  only_p2.leader = 3;
+  only_p2.suspected = {0, 1};
+  cfg.script.push_back(only_p2);
+  FdScriptEvent everyone;
+  everyone.time = 2.0;
+  everyone.observer = kNoProcess;
+  everyone.leader = 1;
+  cfg.script.push_back(everyone);
+
+  FdSim fd(cfg, 4, events, nullptr);
+  fd.initialize(std::vector<bool>(4, false));
+  EXPECT_EQ(fd.omega_view(2).leader(), 0u);  // pre-script default
+
+  events.run(1.5, 1'000'000);
+  EXPECT_EQ(fd.omega_view(2).leader(), 3u);
+  EXPECT_TRUE(fd.suspect_view(2).suspects(0));
+  EXPECT_EQ(fd.omega_view(0).leader(), 0u);  // other observers untouched
+
+  events.run(2.5, 1'000'000);
+  for (ProcessId obs = 0; obs < 4; ++obs) {
+    EXPECT_EQ(fd.omega_view(obs).leader(), 1u);
+    EXPECT_FALSE(fd.suspect_view(obs).suspects(0));
+  }
+}
+
+TEST(FdSimScripted, ChangeCallbackOnlyOnRealChanges) {
+  EventQueue events;
+  int changes = 0;
+  FdConfig cfg;
+  cfg.mode = FdMode::kScripted;
+  FdScriptEvent same;
+  same.time = 1.0;
+  same.observer = kNoProcess;
+  same.leader = 0;  // identical to the default output
+  cfg.script.push_back(same);
+  FdSim fd(cfg, 3, events, [&changes](ProcessId) { ++changes; });
+  fd.initialize(std::vector<bool>(3, false));
+  const int after_init = changes;
+  while (events.run_next()) {
+  }
+  EXPECT_EQ(changes, after_init) << "no-op script event must not notify";
+}
+
+TEST(OmegaFromSuspects, PicksLowestNonSuspected) {
+  struct Stub final : fd::SuspectView {
+    [[nodiscard]] bool suspects(ProcessId p) const override {
+      return p < flags.size() && flags[p];
+    }
+    std::vector<bool> flags;
+  };
+  Stub stub;
+  stub.flags = {true, true, false, false};
+  fd::OmegaFromSuspects omega(stub, 4);
+  EXPECT_EQ(omega.leader(), 2u);
+  stub.flags = {false, true, false, false};
+  EXPECT_EQ(omega.leader(), 0u);
+  stub.flags = {true, true, true, true};
+  EXPECT_EQ(omega.leader(), kNoProcess);
+}
+
+}  // namespace
+}  // namespace zdc::sim

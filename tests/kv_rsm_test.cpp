@@ -1,0 +1,142 @@
+// Unit tests for the replicated-state-machine glue and the KV state machine.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/kv_store.h"
+#include "core/rsm.h"
+
+namespace zdc::core {
+namespace {
+
+TEST(KvStateMachine, PutGetDel) {
+  KvStateMachine kv;
+  EXPECT_EQ(kv.apply(kv_put("k", "v1")), "ok");
+  EXPECT_EQ(kv.apply(kv_get("k")), "value:v1");
+  EXPECT_EQ(kv.apply(kv_put("k", "v2")), "ok");
+  EXPECT_EQ(kv.apply(kv_get("k")), "value:v2");
+  EXPECT_EQ(kv.apply(kv_del("k")), "ok");
+  EXPECT_EQ(kv.apply(kv_get("k")), "not_found");
+  EXPECT_EQ(kv.apply(kv_del("k")), "not_found");
+}
+
+TEST(KvStateMachine, CasSemantics) {
+  KvStateMachine kv;
+  EXPECT_EQ(kv.apply(kv_cas("k", "x", "y")), "not_found");
+  kv.apply(kv_put("k", "a"));
+  EXPECT_EQ(kv.apply(kv_cas("k", "b", "c")), "mismatch");
+  EXPECT_EQ(*kv.lookup("k"), "a");
+  EXPECT_EQ(kv.apply(kv_cas("k", "a", "b")), "ok");
+  EXPECT_EQ(*kv.lookup("k"), "b");
+}
+
+TEST(KvStateMachine, BinaryKeysAndValues) {
+  KvStateMachine kv;
+  const std::string key("\x00\x01\xff key", 8);
+  const std::string value("\x00value\x00", 7);
+  EXPECT_EQ(kv.apply(kv_put(key, value)), "ok");
+  ASSERT_TRUE(kv.lookup(key).has_value());
+  EXPECT_EQ(*kv.lookup(key), value);
+}
+
+TEST(KvStateMachine, MalformedCommandRejected) {
+  KvStateMachine kv;
+  EXPECT_EQ(kv.apply("garbage"), "error:malformed");
+  EXPECT_EQ(kv.apply(""), "error:malformed");
+  EXPECT_EQ(kv.size(), 0u);
+}
+
+TEST(KvStateMachine, UnknownOpRejected) {
+  common::Encoder enc;
+  enc.put_u8(99);
+  enc.put_string("k");
+  enc.put_string("");
+  enc.put_string("");
+  KvStateMachine kv;
+  EXPECT_EQ(kv.apply(enc.take()), "error:unknown_op");
+}
+
+TEST(KvStateMachine, SnapshotEqualityTracksState) {
+  KvStateMachine a, b;
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+  a.apply(kv_put("k", "v"));
+  EXPECT_NE(a.snapshot(), b.snapshot());
+  b.apply(kv_put("k", "v"));
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+  a.apply(kv_del("k"));
+  EXPECT_NE(a.snapshot(), b.snapshot());
+}
+
+TEST(KvStateMachine, DeterministicUnderSameCommandStream) {
+  // The RSM correctness core: identical command sequences produce identical
+  // state, regardless of which replica executes them.
+  common::Rng rng(99);
+  std::vector<std::string> commands;
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "k" + std::to_string(rng.next_below(20));
+    switch (rng.next_below(3)) {
+      case 0: commands.push_back(kv_put(key, std::to_string(i))); break;
+      case 1: commands.push_back(kv_del(key)); break;
+      default: commands.push_back(kv_cas(key, std::to_string(i - 3),
+                                         std::to_string(i))); break;
+    }
+  }
+  KvStateMachine a, b;
+  for (const auto& cmd : commands) a.apply(cmd);
+  for (const auto& cmd : commands) b.apply(cmd);
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+}
+
+TEST(Rsm, AppliesAndCounts) {
+  ReplicatedStateMachine rsm(std::make_unique<KvStateMachine>());
+  std::vector<std::string> submitted;
+  rsm.bind_submit([&submitted](std::string cmd) {
+    submitted.push_back(std::move(cmd));
+  });
+  rsm.submit(kv_put("a", "1"));
+  rsm.submit(kv_put("b", "2"));
+  ASSERT_EQ(submitted.size(), 2u);
+  EXPECT_EQ(rsm.applied_count(), 0u);  // submission is not application
+
+  abcast::AppMessage m;
+  m.id = abcast::MsgId{0, 1};
+  m.payload = submitted[0];
+  rsm.on_delivered(m);
+  m.id = abcast::MsgId{0, 2};
+  m.payload = submitted[1];
+  rsm.on_delivered(m);
+  EXPECT_EQ(rsm.applied_count(), 2u);
+
+  const auto& kv = static_cast<const KvStateMachine&>(rsm.machine());
+  EXPECT_EQ(*kv.lookup("a"), "1");
+  EXPECT_EQ(*kv.lookup("b"), "2");
+}
+
+TEST(Rsm, AppliedHookSeesIdCommandResult) {
+  ReplicatedStateMachine rsm(std::make_unique<KvStateMachine>());
+  abcast::MsgId seen_id;
+  std::string seen_result;
+  rsm.set_on_applied([&](const abcast::MsgId& id, const std::string& cmd,
+                         const std::string& result) {
+    seen_id = id;
+    (void)cmd;
+    seen_result = result;
+  });
+  abcast::AppMessage m;
+  m.id = abcast::MsgId{3, 7};
+  m.payload = kv_put("x", "y");
+  rsm.on_delivered(m);
+  EXPECT_EQ(seen_id, (abcast::MsgId{3, 7}));
+  EXPECT_EQ(seen_result, "ok");
+}
+
+TEST(RsmDeath, SubmitWithoutBindingAborts) {
+  ReplicatedStateMachine rsm(std::make_unique<KvStateMachine>());
+  EXPECT_DEATH(rsm.submit(kv_put("a", "b")), "bind_submit");
+}
+
+}  // namespace
+}  // namespace zdc::core

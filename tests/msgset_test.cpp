@@ -1,0 +1,92 @@
+// Unit tests for the atomic-broadcast message-batch codec — the canonical
+// serialization whose byte-equality the one-step fast path depends on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "abcast/abcast.h"
+
+namespace zdc::abcast {
+namespace {
+
+TEST(MsgSet, EmptyRoundTrip) {
+  MsgSet out;
+  EXPECT_TRUE(decode_msg_set(encode_msg_set({}), out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MsgSet, RoundTripPreservesEntries) {
+  MsgSet set;
+  set.emplace(MsgId{2, 5}, "payload-a");
+  set.emplace(MsgId{0, 1}, "payload-b");
+  set.emplace(MsgId{2, 4}, std::string("\x00\x01", 2));
+  MsgSet out;
+  ASSERT_TRUE(decode_msg_set(encode_msg_set(set), out));
+  EXPECT_EQ(out, set);
+}
+
+TEST(MsgSet, CanonicalOrderMakesEqualSetsByteIdentical) {
+  // Insert in different orders; std::map canonicalizes, so the encodings —
+  // and hence the consensus proposals — must be byte-identical.
+  MsgSet a, b;
+  a.emplace(MsgId{1, 1}, "x");
+  a.emplace(MsgId{0, 9}, "y");
+  a.emplace(MsgId{3, 2}, "z");
+  b.emplace(MsgId{3, 2}, "z");
+  b.emplace(MsgId{1, 1}, "x");
+  b.emplace(MsgId{0, 9}, "y");
+  EXPECT_EQ(encode_msg_set(a), encode_msg_set(b));
+}
+
+TEST(MsgSet, OrderedBySenderThenSeq) {
+  MsgSet set;
+  set.emplace(MsgId{1, 2}, "");
+  set.emplace(MsgId{0, 7}, "");
+  set.emplace(MsgId{1, 1}, "");
+  auto it = set.begin();
+  EXPECT_EQ(it->first, (MsgId{0, 7}));
+  ++it;
+  EXPECT_EQ(it->first, (MsgId{1, 1}));
+  ++it;
+  EXPECT_EQ(it->first, (MsgId{1, 2}));
+}
+
+TEST(MsgSet, TruncationDetected) {
+  MsgSet set;
+  set.emplace(MsgId{0, 1}, "some payload");
+  set.emplace(MsgId{1, 2}, "other payload");
+  const std::string full = encode_msg_set(set);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    MsgSet out;
+    EXPECT_FALSE(decode_msg_set(std::string_view(full.data(), len), out))
+        << "prefix " << len;
+    EXPECT_TRUE(out.empty());
+  }
+}
+
+TEST(MsgSet, TrailingGarbageDetected) {
+  MsgSet set;
+  set.emplace(MsgId{0, 1}, "p");
+  std::string bytes = encode_msg_set(set);
+  bytes += "junk";
+  MsgSet out;
+  EXPECT_FALSE(decode_msg_set(bytes, out));
+}
+
+TEST(MsgSet, HostileCountRejected) {
+  common::Encoder enc;
+  enc.put_u32(0x7fffffff);  // claims ~2B entries
+  MsgSet out;
+  EXPECT_FALSE(decode_msg_set(enc.bytes(), out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MsgId, OrderingAndEquality) {
+  EXPECT_LT((MsgId{0, 5}), (MsgId{1, 0}));
+  EXPECT_LT((MsgId{1, 1}), (MsgId{1, 2}));
+  EXPECT_EQ((MsgId{2, 3}), (MsgId{2, 3}));
+  EXPECT_NE((MsgId{2, 3}), (MsgId{2, 4}));
+}
+
+}  // namespace
+}  // namespace zdc::abcast

@@ -1,0 +1,238 @@
+// The paper's quantitative claims, as tests.
+//
+//  Def. 1 (one-step):        decide in 1 communication step whenever all
+//                            proposals are equal (f < n/3).
+//  Def. 3 (zero-degradation): decide in 2 steps in *every* stable run — in
+//                            particular runs with initial crashes, which is
+//                            exactly what distinguishes it from mere
+//                            fast-on-failure-free protocols.
+//  Sec. 5: L-Consensus is zero-degrading; one-step only in stable runs.
+//  Sec. 6: P-Consensus is one-step regardless of the FD output, and
+//          zero-degrading.
+//  Sec. 2: Brasileiro's protocol needs 3 steps from divergent configurations.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/consensus_world.h"
+
+namespace zdc::sim {
+namespace {
+
+// --- Zero-degradation: stable runs with initial crashes ---
+
+ConsensusRunConfig stable_run_with_initial_crashes(std::uint32_t n,
+                                                   std::uint32_t f,
+                                                   std::uint32_t crashes) {
+  ConsensusRunConfig cfg;
+  cfg.group = GroupParams{n, f};
+  cfg.seed = 4242;
+  cfg.fd.mode = FdMode::kStable;  // Ω/◇P perfect from t=0 (Def. 2)
+  for (std::uint32_t i = 0; i < crashes; ++i) {
+    CrashSpec c;
+    c.p = i;  // crash the lowest ids: the natural leader is among the dead
+    c.initial = true;
+    cfg.crashes.push_back(c);
+  }
+  for (std::uint32_t p = 0; p < n; ++p) {
+    cfg.proposals.push_back("v" + std::to_string(p));  // fully divergent
+  }
+  return cfg;
+}
+
+class ZeroDegradation : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZeroDegradation, TwoStepsDespiteInitialCrashes) {
+  for (std::uint32_t crashes : {1u}) {
+    auto cfg = stable_run_with_initial_crashes(4, 1, crashes);
+    auto r = run_consensus(cfg, consensus_factory_by_name(GetParam()));
+    ASSERT_TRUE(r.all_correct_decided) << GetParam();
+    ASSERT_TRUE(r.safe()) << GetParam();
+    for (const auto& o : r.outcomes) {
+      if (o.decided && o.path == consensus::DecisionPath::kRound) {
+        EXPECT_LE(o.steps, 2u)
+            << GetParam() << ": not zero-degrading with " << crashes
+            << " initial crash(es)";
+      }
+    }
+  }
+}
+
+TEST_P(ZeroDegradation, TwoStepsWithTwoInitialCrashesN7) {
+  auto cfg = stable_run_with_initial_crashes(7, 2, 2);
+  auto r = run_consensus(cfg, consensus_factory_by_name(GetParam()));
+  ASSERT_TRUE(r.all_correct_decided);
+  ASSERT_TRUE(r.safe());
+  for (const auto& o : r.outcomes) {
+    if (o.decided && o.path == consensus::DecisionPath::kRound) {
+      EXPECT_LE(o.steps, 2u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, ZeroDegradation,
+                         ::testing::Values("l", "p"));
+
+// Brasileiro is NOT zero-degrading: the same stable run costs three steps.
+TEST(BrasileiroNotZeroDegrading, ThreeStepsDespiteStableRun) {
+  auto cfg = stable_run_with_initial_crashes(4, 1, 1);
+  auto r = run_consensus(cfg, brasileiro_factory("l"));
+  ASSERT_TRUE(r.all_correct_decided);
+  ASSERT_TRUE(r.safe());
+  bool saw_round_decider = false;
+  for (const auto& o : r.outcomes) {
+    if (o.decided && o.path == consensus::DecisionPath::kRound) {
+      EXPECT_GE(o.steps, 3u);
+      saw_round_decider = true;
+    }
+  }
+  EXPECT_TRUE(saw_round_decider);
+}
+
+// --- One-step: unanimity, under good and bad failure detectors ---
+
+// P-Consensus decides in one step on unanimity even when ◇P emits garbage:
+// "the ability of P-Consensus to decide in one communication step is
+// regardless of the failure detector output" (Sec. 9).
+TEST(POneStep, OneStepDespiteArbitraryFdOutput) {
+  ConsensusRunConfig cfg;
+  cfg.group = GroupParams{4, 1};
+  cfg.seed = 77;
+  cfg.proposals.assign(4, "same");
+  cfg.fd.mode = FdMode::kScripted;
+  // Garbage from the start: everyone suspects everyone else asymmetrically.
+  for (ProcessId obs = 0; obs < 4; ++obs) {
+    FdScriptEvent ev;
+    ev.time = 0.0;
+    ev.observer = obs;
+    ev.leader = (obs + 1) % 4;
+    for (ProcessId p = 0; p < 4; ++p) {
+      if (p != obs) ev.suspected.push_back(p);
+    }
+    cfg.fd.script.push_back(std::move(ev));
+  }
+
+  auto r = run_consensus(cfg, p_consensus_factory());
+  ASSERT_TRUE(r.all_correct_decided);
+  ASSERT_TRUE(r.safe());
+  for (const auto& o : r.outcomes) {
+    if (o.path == consensus::DecisionPath::kRound) {
+      EXPECT_EQ(o.steps, 1u) << "P-Consensus one-step must not depend on ◇P";
+    }
+  }
+}
+
+// L-Consensus under the same unanimity but with an unstable Ω: the one-step
+// path requires n−f PROP(r, v, ld) naming one majority leader, so asymmetric
+// leader outputs forbid it — one-step holds only in stable runs (Sec. 5).
+TEST(LOneStep, RequiresStability) {
+  ConsensusRunConfig cfg;
+  cfg.group = GroupParams{4, 1};
+  cfg.seed = 78;
+  cfg.proposals.assign(4, "same");
+  cfg.fd.mode = FdMode::kScripted;
+  for (ProcessId obs = 0; obs < 4; ++obs) {
+    FdScriptEvent ev;
+    ev.time = 0.0;
+    ev.observer = obs;
+    ev.leader = obs;  // everyone believes it leads itself
+    cfg.fd.script.push_back(std::move(ev));
+  }
+  // Stabilize on p0 later so the run terminates.
+  FdScriptEvent stabilize;
+  stabilize.time = 10.0;
+  stabilize.observer = kNoProcess;
+  stabilize.leader = 0;
+  cfg.fd.script.push_back(stabilize);
+
+  auto r = run_consensus(cfg, l_consensus_factory());
+  ASSERT_TRUE(r.all_correct_decided);
+  ASSERT_TRUE(r.safe());
+  for (const auto& o : r.outcomes) {
+    if (o.path == consensus::DecisionPath::kRound) {
+      EXPECT_GT(o.steps, 1u)
+          << "L-Consensus must not be one-step when Ω is unstable (Thm. 1)";
+    }
+  }
+}
+
+// In a stable unanimous run, *every* correct process decides in one step with
+// P-Consensus (nobody needs the forwarded-DECIDE path).
+TEST(POneStep, AllProcessesOneStepInStableRun) {
+  ConsensusRunConfig cfg;
+  cfg.group = GroupParams{4, 1};
+  cfg.seed = 79;
+  cfg.proposals.assign(4, "same");
+  auto r = run_consensus(cfg, p_consensus_factory());
+  ASSERT_TRUE(r.all_correct_decided);
+  for (const auto& o : r.outcomes) {
+    EXPECT_EQ(o.path, consensus::DecisionPath::kRound);
+    EXPECT_EQ(o.steps, 1u);
+  }
+}
+
+// One-step still works at the resilience boundary n = 3f+1 for larger groups.
+TEST(OneStepScaling, N7F2Unanimous) {
+  for (const char* name : {"l", "p", "brasileiro-l", "wab"}) {
+    ConsensusRunConfig cfg;
+    cfg.group = GroupParams{7, 2};
+    cfg.seed = 80;
+    cfg.proposals.assign(7, "same");
+    auto r = run_consensus(cfg, consensus_factory_by_name(name));
+    ASSERT_TRUE(r.all_correct_decided) << name;
+    for (const auto& o : r.outcomes) {
+      if (o.path == consensus::DecisionPath::kRound) {
+        EXPECT_EQ(o.steps, 1u) << name;
+      }
+    }
+  }
+}
+
+// One-step with f initial crashes and unanimity among survivors: n−f equal
+// values still arrive (stable ◇P; Ω = lowest correct), so L and P stay
+// one-step — Brasileiro too (his condition is FD-free).
+TEST(OneStepWithCrashes, SurvivorUnanimityStillOneStep) {
+  for (const char* name : {"l", "p", "brasileiro-l"}) {
+    ConsensusRunConfig cfg;
+    cfg.group = GroupParams{4, 1};
+    cfg.seed = 81;
+    cfg.fd.mode = FdMode::kStable;
+    cfg.proposals.assign(4, "same");
+    CrashSpec c;
+    c.p = 3;
+    c.initial = true;
+    cfg.crashes.push_back(c);
+    auto r = run_consensus(cfg, consensus_factory_by_name(name));
+    ASSERT_TRUE(r.all_correct_decided) << name;
+    for (const auto& o : r.outcomes) {
+      if (o.decided && o.path == consensus::DecisionPath::kRound) {
+        EXPECT_EQ(o.steps, 1u) << name;
+      }
+    }
+  }
+}
+
+// --- Resilience preconditions are enforced ---
+
+using ResilienceDeath = ::testing::Test;
+
+TEST(ResilienceDeath, OneStepProtocolsRejectFGeqNThird) {
+  ConsensusRunConfig cfg;
+  cfg.group = GroupParams{3, 1};  // 3 = 3*1: violates f < n/3
+  cfg.seed = 1;
+  cfg.proposals.assign(3, "v");
+  EXPECT_DEATH(run_consensus(cfg, l_consensus_factory()), "f < n/3");
+  EXPECT_DEATH(run_consensus(cfg, p_consensus_factory()), "f < n/3");
+}
+
+TEST(ResilienceDeath, PaxosRejectsMajorityFaulty) {
+  ConsensusRunConfig cfg;
+  cfg.group = GroupParams{4, 2};  // f = n/2: violates f < n/2
+  cfg.seed = 1;
+  cfg.proposals.assign(4, "v");
+  EXPECT_DEATH(run_consensus(cfg, paxos_factory()), "f < n/2");
+}
+
+}  // namespace
+}  // namespace zdc::sim

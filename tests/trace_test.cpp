@@ -1,0 +1,136 @@
+// Tests for the run-trace recorder: completeness of the captured events,
+// the causal-consistency checker (including its ability to fail), and the
+// space-time rendering.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/abcast_world.h"
+#include "sim/consensus_world.h"
+#include "sim/trace.h"
+
+namespace zdc::sim {
+namespace {
+
+TEST(Trace, ConsensusRunProducesConsistentTrace) {
+  TraceRecorder trace;
+  ConsensusRunConfig cfg;
+  cfg.group = GroupParams{4, 1};
+  cfg.seed = 5;
+  cfg.proposals = {"a", "b", "c", "d"};
+  cfg.trace = &trace;
+  auto r = run_consensus(cfg, l_consensus_factory());
+  ASSERT_TRUE(r.all_correct_decided);
+
+  EXPECT_EQ(trace.count(TraceKind::kPropose), 4u);
+  EXPECT_EQ(trace.count(TraceKind::kDecide), 4u);
+  EXPECT_GT(trace.count(TraceKind::kSend), 0u);
+  EXPECT_GT(trace.count(TraceKind::kDeliver), 0u);
+  // The network invents nothing: every delivery matches an earlier send.
+  EXPECT_TRUE(trace.causally_consistent());
+  // Deliveries never exceed sends (crashes and in-flight tails allowed).
+  EXPECT_LE(trace.count(TraceKind::kDeliver), trace.count(TraceKind::kSend));
+
+  // Events are time-ordered as recorded.
+  for (std::size_t i = 1; i < trace.events().size(); ++i) {
+    EXPECT_LE(trace.events()[i - 1].time, trace.events()[i].time);
+  }
+}
+
+TEST(Trace, CrashAndFdChangeAreRecorded) {
+  TraceRecorder trace;
+  ConsensusRunConfig cfg;
+  cfg.group = GroupParams{4, 1};
+  cfg.seed = 6;
+  cfg.fd.mode = FdMode::kCrashTracking;
+  cfg.fd.detection_delay_ms = 1.0;
+  cfg.proposals = {"a", "b", "c", "d"};
+  CrashSpec c;
+  c.p = 0;
+  c.time = 0.2;
+  cfg.crashes.push_back(c);
+  cfg.trace = &trace;
+  auto r = run_consensus(cfg, l_consensus_factory());
+  ASSERT_TRUE(r.all_correct_decided);
+
+  EXPECT_EQ(trace.count(TraceKind::kCrash), 1u);
+  EXPECT_GE(trace.count(TraceKind::kFdChange), 3u);  // three survivors notice
+  EXPECT_TRUE(trace.causally_consistent());
+}
+
+TEST(Trace, AbcastRunRecordsOracleTraffic) {
+  TraceRecorder trace;
+  AbcastRunConfig cfg;
+  cfg.group = GroupParams{4, 1};
+  cfg.seed = 7;
+  cfg.message_count = 10;
+  cfg.throughput_per_s = 100.0;
+  cfg.trace = &trace;
+  auto r = run_abcast(cfg, abcast_factory_by_name("c-l"));
+  ASSERT_EQ(r.undelivered, 0u);
+
+  EXPECT_EQ(trace.count(TraceKind::kPropose), 10u);
+  EXPECT_EQ(trace.count(TraceKind::kDecide), 40u);  // 10 messages × 4 replicas
+  EXPECT_GT(trace.count(TraceKind::kWabSend), 0u);
+  EXPECT_GT(trace.count(TraceKind::kWabDeliver), 0u);
+  EXPECT_TRUE(trace.causally_consistent());
+}
+
+TEST(Trace, CausalCheckerRejectsInventedDelivery) {
+  TraceRecorder trace;
+  trace.record(1.0, TraceKind::kSend, 0, 1);
+  trace.record(2.0, TraceKind::kDeliver, 1, 0);  // fine
+  EXPECT_TRUE(trace.causally_consistent());
+  trace.record(3.0, TraceKind::kDeliver, 2, 0);  // no send on edge 0->2
+  EXPECT_FALSE(trace.causally_consistent());
+}
+
+TEST(Trace, CausalCheckerRejectsDuplication) {
+  TraceRecorder trace;
+  trace.record(1.0, TraceKind::kSend, 0, 1);
+  trace.record(2.0, TraceKind::kDeliver, 1, 0);
+  trace.record(2.5, TraceKind::kDeliver, 1, 0);  // one send, two deliveries
+  EXPECT_FALSE(trace.causally_consistent());
+}
+
+TEST(Trace, CausalCheckerRejectsTimeTravel) {
+  TraceRecorder trace;
+  trace.record(5.0, TraceKind::kSend, 0, 1);
+  trace.record(4.0, TraceKind::kDeliver, 1, 0);  // delivered before sent
+  EXPECT_FALSE(trace.causally_consistent());
+}
+
+TEST(Trace, SpacetimeRenderingShowsLanes) {
+  TraceRecorder trace;
+  ConsensusRunConfig cfg;
+  cfg.group = GroupParams{4, 1};
+  cfg.seed = 8;
+  cfg.proposals.assign(4, "v");
+  cfg.trace = &trace;
+  run_consensus(cfg, p_consensus_factory());
+
+  const std::string art = trace.render_spacetime(4);
+  EXPECT_NE(art.find("p0"), std::string::npos);
+  EXPECT_NE(art.find("p3"), std::string::npos);
+  EXPECT_NE(art.find("propose"), std::string::npos);
+  EXPECT_NE(art.find("decide"), std::string::npos);
+  // Unanimous stable P-Consensus: header + 4 FD initializations + 4
+  // proposals + 4 decisions.
+  std::size_t lines = 0;
+  for (char c : art) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 13u);
+}
+
+TEST(Trace, SpacetimeTruncatesLongRuns) {
+  TraceRecorder trace;
+  for (int i = 0; i < 500; ++i) {
+    trace.record(i, TraceKind::kDecide, 0);
+  }
+  const std::string art = trace.render_spacetime(1, 10);
+  EXPECT_NE(art.find("truncated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zdc::sim

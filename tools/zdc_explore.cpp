@@ -1,0 +1,272 @@
+// zdc_explore — command-line front end to the simulator harnesses: run any
+// protocol under any scenario without writing code.
+//
+//   zdc_explore consensus --protocol l --n 4 --f 1 --proposals a,b,b,b
+//               --fd track --crash 0@0.5 --trace
+//   zdc_explore abcast    --protocol c-p --throughput 300 --messages 500
+//   zdc_explore sequence  --protocol paxos --instances 12 --crash-before 6
+//
+// Run with --help for the full flag reference.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/abcast_world.h"
+#include "sim/consensus_world.h"
+#include "sim/sequence_world.h"
+#include "sim/trace.h"
+
+namespace {
+
+using namespace zdc;
+
+struct Flags {
+  std::map<std::string, std::string> values;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double num(const std::string& key, double fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : std::atof(it->second.c_str());
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values.count(key) != 0;
+  }
+};
+
+Flags parse_flags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags.values[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      flags.values[arg] = argv[++i];
+    } else {
+      flags.values[arg] = "1";
+    }
+  }
+  return flags;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+sim::FdConfig parse_fd(const Flags& flags) {
+  sim::FdConfig fd;
+  const std::string mode = flags.get("fd", "stable");
+  if (mode == "track") {
+    fd.mode = sim::FdMode::kCrashTracking;
+    fd.detection_delay_ms = flags.num("detect-ms", 3.0);
+  } else {
+    fd.mode = sim::FdMode::kStable;
+    if (flags.has("leader")) {
+      fd.stable_leader = static_cast<ProcessId>(flags.num("leader", 0));
+    }
+  }
+  return fd;
+}
+
+std::vector<sim::CrashSpec> parse_crashes(const Flags& flags,
+                                          std::uint32_t n) {
+  std::vector<sim::CrashSpec> crashes;
+  if (!flags.has("crash")) return crashes;
+  // --crash 0@0.5,2@init : process@time or process@init
+  for (const std::string& item : split(flags.get("crash", ""), ',')) {
+    if (item.empty()) continue;
+    const auto at = item.find('@');
+    sim::CrashSpec c;
+    c.p = static_cast<ProcessId>(std::atoi(item.substr(0, at).c_str()));
+    if (c.p >= n) {
+      std::fprintf(stderr, "crash process %u out of range\n", c.p);
+      std::exit(2);
+    }
+    if (at == std::string::npos || item.substr(at + 1) == "init") {
+      c.initial = true;
+    } else {
+      c.time = std::atof(item.substr(at + 1).c_str());
+    }
+    crashes.push_back(std::move(c));
+  }
+  return crashes;
+}
+
+int run_consensus_mode(const Flags& flags) {
+  sim::ConsensusRunConfig cfg;
+  cfg.group.n = static_cast<std::uint32_t>(flags.num("n", 4));
+  cfg.group.f = static_cast<std::uint32_t>(flags.num("f", 1));
+  cfg.seed = static_cast<std::uint64_t>(flags.num("seed", 1));
+  cfg.net = sim::calibrated_lan_2006();
+  cfg.fd = parse_fd(flags);
+  cfg.crashes = parse_crashes(flags, cfg.group.n);
+
+  if (flags.has("proposals")) {
+    cfg.proposals = split(flags.get("proposals", ""), ',');
+    if (cfg.proposals.size() != cfg.group.n) {
+      std::fprintf(stderr, "need exactly n=%u proposals\n", cfg.group.n);
+      return 2;
+    }
+  } else {
+    for (ProcessId p = 0; p < cfg.group.n; ++p) {
+      cfg.proposals.push_back("v" + std::to_string(p));
+    }
+  }
+
+  sim::TraceRecorder trace;
+  if (flags.has("trace")) cfg.trace = &trace;
+
+  const std::string protocol = flags.get("protocol", "l");
+  auto r = sim::run_consensus(cfg, sim::consensus_factory_by_name(protocol));
+
+  std::printf("protocol=%s n=%u f=%u seed=%llu\n", protocol.c_str(),
+              cfg.group.n, cfg.group.f,
+              static_cast<unsigned long long>(cfg.seed));
+  for (ProcessId p = 0; p < r.outcomes.size(); ++p) {
+    const auto& o = r.outcomes[p];
+    if (o.decided) {
+      std::printf("  p%u: decided \"%s\" in %u step%s at %.3f ms (%s)\n", p,
+                  o.decision.c_str(), o.steps, o.steps == 1 ? "" : "s",
+                  o.decide_time,
+                  o.path == consensus::DecisionPath::kRound ? "round"
+                                                            : "forwarded");
+    } else {
+      std::printf("  p%u: %s\n", p, o.correct ? "undecided" : "crashed");
+    }
+  }
+  std::printf("agreement=%s validity=%s termination=%s\n",
+              r.agreement_ok ? "ok" : "VIOLATED",
+              r.validity_ok ? "ok" : "VIOLATED",
+              r.all_correct_decided ? "ok" : "incomplete");
+  if (flags.has("trace")) {
+    std::printf("\n%s", trace.render_spacetime(cfg.group.n).c_str());
+    std::printf("trace: %zu events, causally consistent: %s\n",
+                trace.events().size(),
+                trace.causally_consistent() ? "yes" : "NO");
+  }
+  return r.safe() ? 0 : 1;
+}
+
+int run_abcast_mode(const Flags& flags) {
+  sim::AbcastRunConfig cfg;
+  cfg.group.n = static_cast<std::uint32_t>(flags.num("n", 4));
+  cfg.group.f = static_cast<std::uint32_t>(flags.num("f", 1));
+  cfg.seed = static_cast<std::uint64_t>(flags.num("seed", 1));
+  cfg.net = sim::calibrated_lan_2006();
+  cfg.fd = parse_fd(flags);
+  cfg.crashes = parse_crashes(flags, cfg.group.n);
+  cfg.throughput_per_s = flags.num("throughput", 100);
+  cfg.message_count = static_cast<std::uint32_t>(flags.num("messages", 400));
+
+  const std::string protocol = flags.get("protocol", "c-l");
+  if (protocol == "paxos" && !flags.has("n")) cfg.group = GroupParams{3, 1};
+
+  auto r = sim::run_abcast(cfg, sim::abcast_factory_by_name(protocol));
+  std::printf("protocol=%s n=%u throughput=%.0f/s messages=%u seed=%llu\n",
+              protocol.c_str(), cfg.group.n, cfg.throughput_per_s,
+              cfg.message_count, static_cast<unsigned long long>(cfg.seed));
+  std::printf("latency  mean=%.3f ms  p50=%.3f  p95=%.3f  p99=%.3f  max=%.3f\n",
+              r.latency_ms.mean(), r.latency_ms.percentile(50),
+              r.latency_ms.percentile(95), r.latency_ms.percentile(99),
+              r.latency_ms.max());
+  std::printf("delivered=%llu undelivered=%llu msgs/abcast=%.1f duration=%.1f ms\n",
+              static_cast<unsigned long long>(r.delivered_unique),
+              static_cast<unsigned long long>(r.undelivered),
+              r.messages_per_abcast(), r.duration_ms);
+  std::printf("total-order=%s integrity=%s agreement=%s\n",
+              r.total_order_ok ? "ok" : "VIOLATED",
+              r.integrity_ok ? "ok" : "VIOLATED",
+              r.agreement_ok ? "ok" : "incomplete");
+  return r.safe() ? 0 : 1;
+}
+
+int run_sequence_mode(const Flags& flags) {
+  sim::SequenceConfig cfg;
+  cfg.group.n = static_cast<std::uint32_t>(flags.num("n", 4));
+  cfg.group.f = static_cast<std::uint32_t>(flags.num("f", 1));
+  cfg.seed = static_cast<std::uint64_t>(flags.num("seed", 1));
+  cfg.net = sim::calibrated_lan_2006();
+  cfg.fd.mode = sim::FdMode::kCrashTracking;
+  cfg.fd.detection_delay_ms = flags.num("detect-ms", 3.0);
+  cfg.instances = static_cast<std::uint32_t>(flags.num("instances", 12));
+  cfg.divergent_proposals = !flags.has("unanimous");
+  if (flags.has("crash-before")) {
+    cfg.crash_process = static_cast<ProcessId>(flags.num("crash-process", 0));
+    cfg.crash_before_instance =
+        static_cast<std::uint32_t>(flags.num("crash-before", 0));
+  }
+
+  const std::string protocol = flags.get("protocol", "l");
+  auto r =
+      sim::run_consensus_sequence(cfg, sim::consensus_factory_by_name(protocol));
+  std::printf("protocol=%s instances=%u%s\n", protocol.c_str(), cfg.instances,
+              flags.has("crash-before") ? " (with crash)" : "");
+  for (std::size_t i = 0; i < r.instances.size(); ++i) {
+    const auto& inst = r.instances[i];
+    std::printf("  #%zu%s steps=%.1f first-decision=%.2f ms%s\n", i,
+                flags.has("crash-before") &&
+                        i == static_cast<std::size_t>(
+                                 flags.num("crash-before", 0))
+                    ? "*"
+                    : " ",
+                inst.mean_steps, inst.first_decision,
+                inst.safe ? "" : "  UNSAFE");
+  }
+  std::printf("complete=%s safe=%s\n", r.all_complete ? "yes" : "NO",
+              r.all_safe ? "yes" : "NO");
+  return r.all_safe ? 0 : 1;
+}
+
+void usage() {
+  std::printf(
+      "zdc_explore — run zdc protocols from the command line\n\n"
+      "modes:\n"
+      "  consensus   one consensus instance\n"
+      "  abcast      atomic-broadcast workload (Figure 2/3-style run)\n"
+      "  sequence    repeated consensus (recovery-run experiment)\n\n"
+      "common flags:\n"
+      "  --protocol P   consensus: l p paxos ct fast-paxos rec-paxos\n"
+      "                 brasileiro-l brasileiro-paxos wab\n"
+      "                 abcast:    c-l c-p wabcast paxos\n"
+      "  --n N --f F    group size / tolerated crashes\n"
+      "  --seed S       RNG seed (runs are deterministic per seed)\n"
+      "  --fd MODE      stable (default) | track (crash-tracking)\n"
+      "  --detect-ms X  detection delay for --fd track\n"
+      "  --crash SPEC   e.g. 0@0.5 (p0 at 0.5 ms), 2@init, comma-separated\n\n"
+      "consensus flags: --proposals a,b,c,d   --trace (space-time diagram)\n"
+      "abcast flags:    --throughput R  --messages M\n"
+      "sequence flags:  --instances K  --crash-before I  --crash-process P\n"
+      "                 --unanimous\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
+    usage();
+    return argc < 2 ? 2 : 0;
+  }
+  const std::string mode = argv[1];
+  const Flags flags = parse_flags(argc, argv, 2);
+  if (mode == "consensus") return run_consensus_mode(flags);
+  if (mode == "abcast") return run_abcast_mode(flags);
+  if (mode == "sequence") return run_sequence_mode(flags);
+  usage();
+  return 2;
+}
