@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_batch.dir/bench_ablation_batch.cpp.o"
+  "CMakeFiles/bench_ablation_batch.dir/bench_ablation_batch.cpp.o.d"
+  "bench_ablation_batch"
+  "bench_ablation_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

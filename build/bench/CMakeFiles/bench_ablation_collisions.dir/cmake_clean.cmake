@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_collisions.dir/bench_ablation_collisions.cpp.o"
+  "CMakeFiles/bench_ablation_collisions.dir/bench_ablation_collisions.cpp.o.d"
+  "bench_ablation_collisions"
+  "bench_ablation_collisions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_collisions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ef.dir/bench_ablation_ef.cpp.o"
+  "CMakeFiles/bench_ablation_ef.dir/bench_ablation_ef.cpp.o.d"
+  "bench_ablation_ef"
+  "bench_ablation_ef.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

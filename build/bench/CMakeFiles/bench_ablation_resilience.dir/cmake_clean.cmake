@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_resilience.dir/bench_ablation_resilience.cpp.o"
+  "CMakeFiles/bench_ablation_resilience.dir/bench_ablation_resilience.cpp.o.d"
+  "bench_ablation_resilience"
+  "bench_ablation_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fd_qos.dir/bench_fd_qos.cpp.o"
+  "CMakeFiles/bench_fd_qos.dir/bench_fd_qos.cpp.o.d"
+  "bench_fd_qos"
+  "bench_fd_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fd_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

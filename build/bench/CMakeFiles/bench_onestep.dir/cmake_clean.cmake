@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_onestep.dir/bench_onestep.cpp.o"
+  "CMakeFiles/bench_onestep.dir/bench_onestep.cpp.o.d"
+  "bench_onestep"
+  "bench_onestep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_onestep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

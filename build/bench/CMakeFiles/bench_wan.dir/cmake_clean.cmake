@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wan.dir/bench_wan.cpp.o"
+  "CMakeFiles/bench_wan.dir/bench_wan.cpp.o.d"
+  "bench_wan"
+  "bench_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

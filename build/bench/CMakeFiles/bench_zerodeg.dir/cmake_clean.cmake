@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zerodeg.dir/bench_zerodeg.cpp.o"
+  "CMakeFiles/bench_zerodeg.dir/bench_zerodeg.cpp.o.d"
+  "bench_zerodeg"
+  "bench_zerodeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zerodeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_injection.dir/fault_injection.cpp.o"
+  "CMakeFiles/fault_injection.dir/fault_injection.cpp.o.d"
+  "fault_injection"
+  "fault_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

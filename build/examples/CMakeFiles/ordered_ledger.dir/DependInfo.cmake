@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ordered_ledger.cpp" "examples/CMakeFiles/ordered_ledger.dir/ordered_ledger.cpp.o" "gcc" "examples/CMakeFiles/ordered_ledger.dir/ordered_ledger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zdc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/zdc_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/abcast/CMakeFiles/zdc_abcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zdc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/zdc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/zdc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordered_ledger.dir/ordered_ledger.cpp.o"
+  "CMakeFiles/ordered_ledger.dir/ordered_ledger.cpp.o.d"
+  "ordered_ledger"
+  "ordered_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordered_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_kv.dir/replicated_kv.cpp.o"
+  "CMakeFiles/replicated_kv.dir/replicated_kv.cpp.o.d"
+  "replicated_kv"
+  "replicated_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for replicated_kv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_run.dir/trace_run.cpp.o"
+  "CMakeFiles/trace_run.dir/trace_run.cpp.o.d"
+  "trace_run"
+  "trace_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

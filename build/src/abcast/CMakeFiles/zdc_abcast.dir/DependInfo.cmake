@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abcast/abcast.cpp" "src/abcast/CMakeFiles/zdc_abcast.dir/abcast.cpp.o" "gcc" "src/abcast/CMakeFiles/zdc_abcast.dir/abcast.cpp.o.d"
+  "/root/repo/src/abcast/c_abcast.cpp" "src/abcast/CMakeFiles/zdc_abcast.dir/c_abcast.cpp.o" "gcc" "src/abcast/CMakeFiles/zdc_abcast.dir/c_abcast.cpp.o.d"
+  "/root/repo/src/abcast/paxos_abcast.cpp" "src/abcast/CMakeFiles/zdc_abcast.dir/paxos_abcast.cpp.o" "gcc" "src/abcast/CMakeFiles/zdc_abcast.dir/paxos_abcast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zdc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/zdc_consensus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

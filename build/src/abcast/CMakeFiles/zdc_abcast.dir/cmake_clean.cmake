@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdc_abcast.dir/abcast.cpp.o"
+  "CMakeFiles/zdc_abcast.dir/abcast.cpp.o.d"
+  "CMakeFiles/zdc_abcast.dir/c_abcast.cpp.o"
+  "CMakeFiles/zdc_abcast.dir/c_abcast.cpp.o.d"
+  "CMakeFiles/zdc_abcast.dir/paxos_abcast.cpp.o"
+  "CMakeFiles/zdc_abcast.dir/paxos_abcast.cpp.o.d"
+  "libzdc_abcast.a"
+  "libzdc_abcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdc_abcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for zdc_abcast.
+# This may be replaced when dependencies are built.

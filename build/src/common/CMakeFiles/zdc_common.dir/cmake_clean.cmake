@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdc_common.dir/codec.cpp.o"
+  "CMakeFiles/zdc_common.dir/codec.cpp.o.d"
+  "CMakeFiles/zdc_common.dir/log.cpp.o"
+  "CMakeFiles/zdc_common.dir/log.cpp.o.d"
+  "CMakeFiles/zdc_common.dir/stats.cpp.o"
+  "CMakeFiles/zdc_common.dir/stats.cpp.o.d"
+  "libzdc_common.a"
+  "libzdc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

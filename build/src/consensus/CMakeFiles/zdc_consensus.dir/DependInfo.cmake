@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/brasileiro.cpp" "src/consensus/CMakeFiles/zdc_consensus.dir/brasileiro.cpp.o" "gcc" "src/consensus/CMakeFiles/zdc_consensus.dir/brasileiro.cpp.o.d"
+  "/root/repo/src/consensus/chandra_toueg.cpp" "src/consensus/CMakeFiles/zdc_consensus.dir/chandra_toueg.cpp.o" "gcc" "src/consensus/CMakeFiles/zdc_consensus.dir/chandra_toueg.cpp.o.d"
+  "/root/repo/src/consensus/consensus.cpp" "src/consensus/CMakeFiles/zdc_consensus.dir/consensus.cpp.o" "gcc" "src/consensus/CMakeFiles/zdc_consensus.dir/consensus.cpp.o.d"
+  "/root/repo/src/consensus/ef_consensus.cpp" "src/consensus/CMakeFiles/zdc_consensus.dir/ef_consensus.cpp.o" "gcc" "src/consensus/CMakeFiles/zdc_consensus.dir/ef_consensus.cpp.o.d"
+  "/root/repo/src/consensus/fast_paxos.cpp" "src/consensus/CMakeFiles/zdc_consensus.dir/fast_paxos.cpp.o" "gcc" "src/consensus/CMakeFiles/zdc_consensus.dir/fast_paxos.cpp.o.d"
+  "/root/repo/src/consensus/l_consensus.cpp" "src/consensus/CMakeFiles/zdc_consensus.dir/l_consensus.cpp.o" "gcc" "src/consensus/CMakeFiles/zdc_consensus.dir/l_consensus.cpp.o.d"
+  "/root/repo/src/consensus/p_consensus.cpp" "src/consensus/CMakeFiles/zdc_consensus.dir/p_consensus.cpp.o" "gcc" "src/consensus/CMakeFiles/zdc_consensus.dir/p_consensus.cpp.o.d"
+  "/root/repo/src/consensus/paxos.cpp" "src/consensus/CMakeFiles/zdc_consensus.dir/paxos.cpp.o" "gcc" "src/consensus/CMakeFiles/zdc_consensus.dir/paxos.cpp.o.d"
+  "/root/repo/src/consensus/recovering_paxos.cpp" "src/consensus/CMakeFiles/zdc_consensus.dir/recovering_paxos.cpp.o" "gcc" "src/consensus/CMakeFiles/zdc_consensus.dir/recovering_paxos.cpp.o.d"
+  "/root/repo/src/consensus/wab_consensus.cpp" "src/consensus/CMakeFiles/zdc_consensus.dir/wab_consensus.cpp.o" "gcc" "src/consensus/CMakeFiles/zdc_consensus.dir/wab_consensus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zdc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

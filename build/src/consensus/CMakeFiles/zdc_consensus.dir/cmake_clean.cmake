@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdc_consensus.dir/brasileiro.cpp.o"
+  "CMakeFiles/zdc_consensus.dir/brasileiro.cpp.o.d"
+  "CMakeFiles/zdc_consensus.dir/chandra_toueg.cpp.o"
+  "CMakeFiles/zdc_consensus.dir/chandra_toueg.cpp.o.d"
+  "CMakeFiles/zdc_consensus.dir/consensus.cpp.o"
+  "CMakeFiles/zdc_consensus.dir/consensus.cpp.o.d"
+  "CMakeFiles/zdc_consensus.dir/ef_consensus.cpp.o"
+  "CMakeFiles/zdc_consensus.dir/ef_consensus.cpp.o.d"
+  "CMakeFiles/zdc_consensus.dir/fast_paxos.cpp.o"
+  "CMakeFiles/zdc_consensus.dir/fast_paxos.cpp.o.d"
+  "CMakeFiles/zdc_consensus.dir/l_consensus.cpp.o"
+  "CMakeFiles/zdc_consensus.dir/l_consensus.cpp.o.d"
+  "CMakeFiles/zdc_consensus.dir/p_consensus.cpp.o"
+  "CMakeFiles/zdc_consensus.dir/p_consensus.cpp.o.d"
+  "CMakeFiles/zdc_consensus.dir/paxos.cpp.o"
+  "CMakeFiles/zdc_consensus.dir/paxos.cpp.o.d"
+  "CMakeFiles/zdc_consensus.dir/recovering_paxos.cpp.o"
+  "CMakeFiles/zdc_consensus.dir/recovering_paxos.cpp.o.d"
+  "CMakeFiles/zdc_consensus.dir/wab_consensus.cpp.o"
+  "CMakeFiles/zdc_consensus.dir/wab_consensus.cpp.o.d"
+  "libzdc_consensus.a"
+  "libzdc_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdc_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzdc_consensus.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for zdc_consensus.
+# This may be replaced when dependencies are built.

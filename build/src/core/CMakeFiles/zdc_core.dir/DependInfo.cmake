@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/kv_store.cpp" "src/core/CMakeFiles/zdc_core.dir/kv_store.cpp.o" "gcc" "src/core/CMakeFiles/zdc_core.dir/kv_store.cpp.o.d"
+  "/root/repo/src/core/linearizability.cpp" "src/core/CMakeFiles/zdc_core.dir/linearizability.cpp.o" "gcc" "src/core/CMakeFiles/zdc_core.dir/linearizability.cpp.o.d"
+  "/root/repo/src/core/replicated_log.cpp" "src/core/CMakeFiles/zdc_core.dir/replicated_log.cpp.o" "gcc" "src/core/CMakeFiles/zdc_core.dir/replicated_log.cpp.o.d"
+  "/root/repo/src/core/rsm.cpp" "src/core/CMakeFiles/zdc_core.dir/rsm.cpp.o" "gcc" "src/core/CMakeFiles/zdc_core.dir/rsm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zdc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/abcast/CMakeFiles/zdc_abcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/zdc_consensus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdc_core.dir/kv_store.cpp.o"
+  "CMakeFiles/zdc_core.dir/kv_store.cpp.o.d"
+  "CMakeFiles/zdc_core.dir/linearizability.cpp.o"
+  "CMakeFiles/zdc_core.dir/linearizability.cpp.o.d"
+  "CMakeFiles/zdc_core.dir/replicated_log.cpp.o"
+  "CMakeFiles/zdc_core.dir/replicated_log.cpp.o.d"
+  "CMakeFiles/zdc_core.dir/rsm.cpp.o"
+  "CMakeFiles/zdc_core.dir/rsm.cpp.o.d"
+  "libzdc_core.a"
+  "libzdc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/heartbeat_fd.cpp" "src/runtime/CMakeFiles/zdc_runtime.dir/heartbeat_fd.cpp.o" "gcc" "src/runtime/CMakeFiles/zdc_runtime.dir/heartbeat_fd.cpp.o.d"
+  "/root/repo/src/runtime/inproc_net.cpp" "src/runtime/CMakeFiles/zdc_runtime.dir/inproc_net.cpp.o" "gcc" "src/runtime/CMakeFiles/zdc_runtime.dir/inproc_net.cpp.o.d"
+  "/root/repo/src/runtime/runtime_node.cpp" "src/runtime/CMakeFiles/zdc_runtime.dir/runtime_node.cpp.o" "gcc" "src/runtime/CMakeFiles/zdc_runtime.dir/runtime_node.cpp.o.d"
+  "/root/repo/src/runtime/udp_net.cpp" "src/runtime/CMakeFiles/zdc_runtime.dir/udp_net.cpp.o" "gcc" "src/runtime/CMakeFiles/zdc_runtime.dir/udp_net.cpp.o.d"
+  "/root/repo/src/runtime/workload.cpp" "src/runtime/CMakeFiles/zdc_runtime.dir/workload.cpp.o" "gcc" "src/runtime/CMakeFiles/zdc_runtime.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zdc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/zdc_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/abcast/CMakeFiles/zdc_abcast.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdc_runtime.dir/heartbeat_fd.cpp.o"
+  "CMakeFiles/zdc_runtime.dir/heartbeat_fd.cpp.o.d"
+  "CMakeFiles/zdc_runtime.dir/inproc_net.cpp.o"
+  "CMakeFiles/zdc_runtime.dir/inproc_net.cpp.o.d"
+  "CMakeFiles/zdc_runtime.dir/runtime_node.cpp.o"
+  "CMakeFiles/zdc_runtime.dir/runtime_node.cpp.o.d"
+  "CMakeFiles/zdc_runtime.dir/udp_net.cpp.o"
+  "CMakeFiles/zdc_runtime.dir/udp_net.cpp.o.d"
+  "CMakeFiles/zdc_runtime.dir/workload.cpp.o"
+  "CMakeFiles/zdc_runtime.dir/workload.cpp.o.d"
+  "libzdc_runtime.a"
+  "libzdc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

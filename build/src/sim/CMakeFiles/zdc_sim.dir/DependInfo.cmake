@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/abcast_world.cpp" "src/sim/CMakeFiles/zdc_sim.dir/abcast_world.cpp.o" "gcc" "src/sim/CMakeFiles/zdc_sim.dir/abcast_world.cpp.o.d"
+  "/root/repo/src/sim/consensus_world.cpp" "src/sim/CMakeFiles/zdc_sim.dir/consensus_world.cpp.o" "gcc" "src/sim/CMakeFiles/zdc_sim.dir/consensus_world.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/zdc_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/zdc_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/fd_sim.cpp" "src/sim/CMakeFiles/zdc_sim.dir/fd_sim.cpp.o" "gcc" "src/sim/CMakeFiles/zdc_sim.dir/fd_sim.cpp.o.d"
+  "/root/repo/src/sim/lan_model.cpp" "src/sim/CMakeFiles/zdc_sim.dir/lan_model.cpp.o" "gcc" "src/sim/CMakeFiles/zdc_sim.dir/lan_model.cpp.o.d"
+  "/root/repo/src/sim/sequence_world.cpp" "src/sim/CMakeFiles/zdc_sim.dir/sequence_world.cpp.o" "gcc" "src/sim/CMakeFiles/zdc_sim.dir/sequence_world.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/zdc_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/zdc_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zdc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/zdc_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/abcast/CMakeFiles/zdc_abcast.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

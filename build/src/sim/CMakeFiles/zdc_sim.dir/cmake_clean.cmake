@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdc_sim.dir/abcast_world.cpp.o"
+  "CMakeFiles/zdc_sim.dir/abcast_world.cpp.o.d"
+  "CMakeFiles/zdc_sim.dir/consensus_world.cpp.o"
+  "CMakeFiles/zdc_sim.dir/consensus_world.cpp.o.d"
+  "CMakeFiles/zdc_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/zdc_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/zdc_sim.dir/fd_sim.cpp.o"
+  "CMakeFiles/zdc_sim.dir/fd_sim.cpp.o.d"
+  "CMakeFiles/zdc_sim.dir/lan_model.cpp.o"
+  "CMakeFiles/zdc_sim.dir/lan_model.cpp.o.d"
+  "CMakeFiles/zdc_sim.dir/sequence_world.cpp.o"
+  "CMakeFiles/zdc_sim.dir/sequence_world.cpp.o.d"
+  "CMakeFiles/zdc_sim.dir/trace.cpp.o"
+  "CMakeFiles/zdc_sim.dir/trace.cpp.o.d"
+  "libzdc_sim.a"
+  "libzdc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzdc_sim.a"
+)

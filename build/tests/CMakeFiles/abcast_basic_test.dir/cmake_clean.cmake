@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcast_basic_test.dir/abcast_basic_test.cpp.o"
+  "CMakeFiles/abcast_basic_test.dir/abcast_basic_test.cpp.o.d"
+  "abcast_basic_test"
+  "abcast_basic_test.pdb"
+  "abcast_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcast_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcast_property_test.dir/abcast_property_test.cpp.o"
+  "CMakeFiles/abcast_property_test.dir/abcast_property_test.cpp.o.d"
+  "abcast_property_test"
+  "abcast_property_test.pdb"
+  "abcast_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcast_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c_abcast_unit_test.dir/c_abcast_unit_test.cpp.o"
+  "CMakeFiles/c_abcast_unit_test.dir/c_abcast_unit_test.cpp.o.d"
+  "c_abcast_unit_test"
+  "c_abcast_unit_test.pdb"
+  "c_abcast_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c_abcast_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certification_test.dir/certification_test.cpp.o"
+  "CMakeFiles/certification_test.dir/certification_test.cpp.o.d"
+  "certification_test"
+  "certification_test.pdb"
+  "certification_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

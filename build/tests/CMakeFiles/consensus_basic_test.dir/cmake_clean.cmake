@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_basic_test.dir/consensus_basic_test.cpp.o"
+  "CMakeFiles/consensus_basic_test.dir/consensus_basic_test.cpp.o.d"
+  "consensus_basic_test"
+  "consensus_basic_test.pdb"
+  "consensus_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

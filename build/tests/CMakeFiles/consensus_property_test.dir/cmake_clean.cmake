@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_property_test.dir/consensus_property_test.cpp.o"
+  "CMakeFiles/consensus_property_test.dir/consensus_property_test.cpp.o.d"
+  "consensus_property_test"
+  "consensus_property_test.pdb"
+  "consensus_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_ef_test.dir/ct_ef_test.cpp.o"
+  "CMakeFiles/ct_ef_test.dir/ct_ef_test.cpp.o.d"
+  "ct_ef_test"
+  "ct_ef_test.pdb"
+  "ct_ef_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_ef_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

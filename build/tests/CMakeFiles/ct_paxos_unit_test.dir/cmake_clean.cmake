@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_paxos_unit_test.dir/ct_paxos_unit_test.cpp.o"
+  "CMakeFiles/ct_paxos_unit_test.dir/ct_paxos_unit_test.cpp.o.d"
+  "ct_paxos_unit_test"
+  "ct_paxos_unit_test.pdb"
+  "ct_paxos_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_paxos_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_ef_unit_test.dir/fast_ef_unit_test.cpp.o"
+  "CMakeFiles/fast_ef_unit_test.dir/fast_ef_unit_test.cpp.o.d"
+  "fast_ef_unit_test"
+  "fast_ef_unit_test.pdb"
+  "fast_ef_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_ef_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

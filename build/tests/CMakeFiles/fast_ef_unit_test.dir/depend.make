@@ -1,0 +1,2 @@
+# Empty dependencies file for fast_ef_unit_test.
+# This may be replaced when dependencies are built.

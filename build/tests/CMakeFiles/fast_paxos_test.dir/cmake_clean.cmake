@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_paxos_test.dir/fast_paxos_test.cpp.o"
+  "CMakeFiles/fast_paxos_test.dir/fast_paxos_test.cpp.o.d"
+  "fast_paxos_test"
+  "fast_paxos_test.pdb"
+  "fast_paxos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_paxos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_sim_test.dir/fd_sim_test.cpp.o"
+  "CMakeFiles/fd_sim_test.dir/fd_sim_test.cpp.o.d"
+  "fd_sim_test"
+  "fd_sim_test.pdb"
+  "fd_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inproc_net_test.dir/inproc_net_test.cpp.o"
+  "CMakeFiles/inproc_net_test.dir/inproc_net_test.cpp.o.d"
+  "inproc_net_test"
+  "inproc_net_test.pdb"
+  "inproc_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inproc_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

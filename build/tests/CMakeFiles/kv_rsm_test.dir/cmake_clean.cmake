@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_rsm_test.dir/kv_rsm_test.cpp.o"
+  "CMakeFiles/kv_rsm_test.dir/kv_rsm_test.cpp.o.d"
+  "kv_rsm_test"
+  "kv_rsm_test.pdb"
+  "kv_rsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_rsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kv_rsm_test.
+# This may be replaced when dependencies are built.

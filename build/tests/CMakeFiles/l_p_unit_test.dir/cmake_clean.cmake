@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l_p_unit_test.dir/l_p_unit_test.cpp.o"
+  "CMakeFiles/l_p_unit_test.dir/l_p_unit_test.cpp.o.d"
+  "l_p_unit_test"
+  "l_p_unit_test.pdb"
+  "l_p_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l_p_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for l_p_unit_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linearizability_test.dir/linearizability_test.cpp.o"
+  "CMakeFiles/linearizability_test.dir/linearizability_test.cpp.o.d"
+  "linearizability_test"
+  "linearizability_test.pdb"
+  "linearizability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linearizability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msgset_test.dir/msgset_test.cpp.o"
+  "CMakeFiles/msgset_test.dir/msgset_test.cpp.o.d"
+  "msgset_test"
+  "msgset_test.pdb"
+  "msgset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msgset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

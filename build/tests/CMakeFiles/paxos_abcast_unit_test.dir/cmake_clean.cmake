@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paxos_abcast_unit_test.dir/paxos_abcast_unit_test.cpp.o"
+  "CMakeFiles/paxos_abcast_unit_test.dir/paxos_abcast_unit_test.cpp.o.d"
+  "paxos_abcast_unit_test"
+  "paxos_abcast_unit_test.pdb"
+  "paxos_abcast_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paxos_abcast_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

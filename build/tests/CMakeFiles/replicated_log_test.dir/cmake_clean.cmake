@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_log_test.dir/replicated_log_test.cpp.o"
+  "CMakeFiles/replicated_log_test.dir/replicated_log_test.cpp.o.d"
+  "replicated_log_test"
+  "replicated_log_test.pdb"
+  "replicated_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

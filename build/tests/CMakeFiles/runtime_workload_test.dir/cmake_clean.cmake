@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_workload_test.dir/runtime_workload_test.cpp.o"
+  "CMakeFiles/runtime_workload_test.dir/runtime_workload_test.cpp.o.d"
+  "runtime_workload_test"
+  "runtime_workload_test.pdb"
+  "runtime_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_regression_test.dir/table1_regression_test.cpp.o"
+  "CMakeFiles/table1_regression_test.dir/table1_regression_test.cpp.o.d"
+  "table1_regression_test"
+  "table1_regression_test.pdb"
+  "table1_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_net_test.dir/udp_net_test.cpp.o"
+  "CMakeFiles/udp_net_test.dir/udp_net_test.cpp.o.d"
+  "udp_net_test"
+  "udp_net_test.pdb"
+  "udp_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

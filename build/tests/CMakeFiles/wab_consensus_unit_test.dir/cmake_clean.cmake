@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wab_consensus_unit_test.dir/wab_consensus_unit_test.cpp.o"
+  "CMakeFiles/wab_consensus_unit_test.dir/wab_consensus_unit_test.cpp.o.d"
+  "wab_consensus_unit_test"
+  "wab_consensus_unit_test.pdb"
+  "wab_consensus_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wab_consensus_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

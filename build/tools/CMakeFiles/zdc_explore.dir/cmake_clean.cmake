@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdc_explore.dir/zdc_explore.cpp.o"
+  "CMakeFiles/zdc_explore.dir/zdc_explore.cpp.o.d"
+  "zdc_explore"
+  "zdc_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdc_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

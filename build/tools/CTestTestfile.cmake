@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(zdc_explore_consensus "/root/repo/build/tools/zdc_explore" "consensus" "--protocol" "l" "--proposals" "a,a,a,a" "--trace")
+set_tests_properties(zdc_explore_consensus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(zdc_explore_abcast "/root/repo/build/tools/zdc_explore" "abcast" "--protocol" "c-p" "--throughput" "200" "--messages" "50")
+set_tests_properties(zdc_explore_abcast PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(zdc_explore_sequence "/root/repo/build/tools/zdc_explore" "sequence" "--protocol" "p" "--instances" "4")
+set_tests_properties(zdc_explore_sequence PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(zdc_explore_crash_flags "/root/repo/build/tools/zdc_explore" "consensus" "--protocol" "p" "--fd" "track" "--crash" "0@0.5")
+set_tests_properties(zdc_explore_crash_flags PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(zdc_explore_help "/root/repo/build/tools/zdc_explore" "--help")
+set_tests_properties(zdc_explore_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
