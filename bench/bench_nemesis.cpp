@@ -1,0 +1,117 @@
+// Consensus under the nemesis: decision latency and completion when random
+// survivable fault schedules (partitions, isolation, link degradation,
+// pauses, crashes — see src/fault/) run against the protocol. Every plan
+// settles with a global heal at the horizon, so safety is asserted
+// unconditionally and liveness after the heal.
+//
+// The sweep shows the flip side of the paper's fault-free story: one-step /
+// zero-degradation protocols buy their speed in good runs without giving up
+// resilience in bad ones — under disturbances everyone slows down to the
+// heal point, nobody turns unsafe, and L-/P-Consensus still decide in the
+// same post-heal window as the classics.
+//
+// The second table runs Rec-Paxos under crash→restart bounces (the
+// crash-recovery model): restarted processes reload their write-ahead
+// acceptor state, rejoin, and the group still converges.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "fault/nemesis.h"
+#include "sim/consensus_world.h"
+
+namespace {
+
+using namespace zdc;
+
+constexpr std::uint32_t kSeeds = 40;
+
+struct Cell {
+  double mean_last_decision_ms = 0;
+  std::uint32_t complete = 0;  ///< runs where every correct process decided
+  std::uint32_t unsafe = 0;    ///< agreement or validity violations (must be 0)
+};
+
+Cell run_cell(const std::string& protocol, const fault::NemesisConfig& ncfg) {
+  Cell cell;
+  common::Sampler last;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    sim::ConsensusRunConfig cfg;
+    cfg.group = GroupParams{ncfg.n, ncfg.f};
+    cfg.net = sim::calibrated_lan_2006();
+    cfg.fd.mode = sim::FdMode::kCrashTracking;
+    cfg.fd.detection_delay_ms = 3.0;
+    cfg.seed = seed;
+    for (ProcessId p = 0; p < ncfg.n; ++p) {
+      cfg.proposals.push_back("v" + std::to_string(p));
+    }
+    cfg.fault_plan = fault::random_fault_plan(ncfg, seed * 7919);
+
+    auto r = sim::run_consensus(cfg, sim::consensus_factory_by_name(protocol));
+    if (!r.safe()) ++cell.unsafe;
+    if (r.all_correct_decided) {
+      ++cell.complete;
+      last.add(r.last_decision_time);
+    }
+  }
+  cell.mean_last_decision_ms = last.count() > 0 ? last.mean() : 0.0;
+  return cell;
+}
+
+void print_table(const std::vector<std::string>& protocols,
+                 const fault::NemesisConfig& base) {
+  std::printf("%-14s", "disturbances");
+  for (std::uint32_t d = 0; d <= 4; ++d) std::printf("  %14u", d);
+  std::printf("\n");
+  for (const auto& proto : protocols) {
+    std::printf("%-14s", proto.c_str());
+    for (std::uint32_t d = 0; d <= 4; ++d) {
+      fault::NemesisConfig ncfg = base;
+      ncfg.disturbances = d;
+      const Cell cell = run_cell(proto, ncfg);
+      if (cell.unsafe > 0) {
+        std::printf("  %11s!%02u", "UNSAFE", cell.unsafe);
+      } else {
+        std::printf("  %6.2f ms %2u/%u", cell.mean_last_decision_ms,
+                    cell.complete, kSeeds);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Nemesis sweep: consensus under random fault schedules ===\n");
+  std::printf("n=4 f=1, crash-tracking FD, %u seeded plans per cell; every "
+              "plan heals at 20 ms.\n"
+              "cells: mean last-decision time, completed runs / seeds "
+              "(safety violations would shout)\n\n",
+              kSeeds);
+
+  fault::NemesisConfig ncfg;
+  ncfg.n = 4;
+  ncfg.f = 1;
+  ncfg.horizon_ms = 20.0;
+  ncfg.settle = true;
+
+  print_table({"l", "p", "ct", "paxos"}, ncfg);
+
+  std::printf("\n=== Crash-recovery: Rec-Paxos with crash->restart bounces "
+              "===\n\n");
+  fault::NemesisConfig rcfg = ncfg;
+  rcfg.allow_restart = true;
+  print_table({"rec-paxos"}, rcfg);
+
+  std::printf("\n# Disturbance windows are drawn from partitions, isolation, "
+              "link drop/delay overrides,\n"
+              "# pauses (false-suspicion pressure) and crashes, at most f "
+              "crashed at any point. A run\n"
+              "# that completes before the final heal reports its real "
+              "decision time; one that stalls\n"
+              "# against a partition finishes shortly after the heal "
+              "re-injects the parked traffic.\n");
+  return 0;
+}

@@ -1,8 +1,11 @@
-// Fault injection on the threaded runtime: crash the Ω leader mid-stream and
-// watch the heartbeat failure detector, leader hand-off and total order hold.
+// Fault injection on the threaded runtime: partition the cluster down the
+// middle, heal it, then crash the Ω leader — and watch the heartbeat failure
+// detector, leader hand-off and total order hold throughout.
 //
-// Prints a small timeline: writes land through all replicas, p0 (the leader)
-// is killed, the survivors' ◇P modules detect the silence, Ω moves to p1, and
+// Prints a small timeline: writes land through all replicas; a {0,1}|{2,3}
+// partition leaves neither side with a majority, so replication stalls until
+// the heal re-injects the parked protocol traffic; then p0 (the leader) is
+// killed, the survivors' ◇P modules detect the silence, Ω moves to p1, and
 // replication resumes without losing, duplicating or reordering anything.
 //
 //   ./build/examples/fault_injection
@@ -10,10 +13,12 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/kv_store.h"
 #include "core/rsm.h"
+#include "fault/link_policy.h"
 #include "runtime/runtime_node.h"
 
 using namespace zdc;
@@ -80,7 +85,40 @@ int main() {
   std::printf("[%7.1f ms] phase 1 done: %llu commands applied on every replica\n",
               ms_since(start), static_cast<unsigned long long>(phase1));
 
-  // Kill the leader.
+  // Phase 2: split the cluster {0,1} | {2,3}. With n=4, f=1 a majority is 3,
+  // so neither side can order anything — writes submitted now stall. The
+  // protocol channel has TCP semantics (connections stall, they do not drop),
+  // so the heal releases the parked traffic and every write still lands.
+  cluster.network().links().partition({0, 1});
+  std::printf("[%7.1f ms] >>> partitioned {0,1} | {2,3}: no majority side <<<\n",
+              ms_since(start));
+  for (ProcessId p = 0; p < kReplicas; ++p) {
+    rsms[p]->submit(core::kv_put("mid/" + std::to_string(p), "z"));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  bool stalled = true;
+  for (const auto& rsm : rsms) {
+    stalled = stalled && rsm->applied_count() == phase1;
+  }
+  std::printf("[%7.1f ms] 150 ms later: replication %s\n", ms_since(start),
+              stalled ? "stalled, as it must" : "UNEXPECTEDLY PROGRESSED");
+  cluster.network().links().heal();
+  const std::uint64_t phase2 = phase1 + kReplicas;
+  if (!runtime::RuntimeCluster::wait_until(
+          [&] {
+            for (const auto& rsm : rsms) {
+              if (rsm->applied_count() < phase2) return false;
+            }
+            return true;
+          },
+          30'000.0)) {
+    std::printf("ERROR: the healed cluster never caught up\n");
+    return 1;
+  }
+  std::printf("[%7.1f ms] healed: the parked writes landed on every replica\n",
+              ms_since(start));
+
+  // Phase 3: kill the leader.
   cluster.crash(0);
   std::printf("[%7.1f ms] >>> crashed p0 (the Omega leader) <<<\n",
               ms_since(start));
@@ -97,14 +135,14 @@ int main() {
               ms_since(start),
               cluster.node(1).failure_detector().omega().leader());
 
-  // Phase 2: writes through the survivors.
+  // Phase 4: writes through the survivors.
   for (int i = 0; i < 15; ++i) {
     for (ProcessId p = 1; p < kReplicas; ++p) {
       rsms[p]->submit(core::kv_put(
           "post/" + std::to_string(p) + "/" + std::to_string(i), "y"));
     }
   }
-  const std::uint64_t min_total = phase1 + 15 * (kReplicas - 1);
+  const std::uint64_t min_total = phase2 + 15 * (kReplicas - 1);
   if (!runtime::RuntimeCluster::wait_until(
           [&] {
             for (ProcessId p = 1; p < kReplicas; ++p) {
@@ -114,10 +152,10 @@ int main() {
                    rsms[2]->applied_count() == rsms[3]->applied_count();
           },
           30'000.0)) {
-    std::printf("ERROR: phase 2 stalled after the leader crash\n");
+    std::printf("ERROR: replication stalled after the leader crash\n");
     return 1;
   }
-  std::printf("[%7.1f ms] phase 2 done: survivors each applied %llu commands\n",
+  std::printf("[%7.1f ms] failover done: survivors each applied %llu commands\n",
               ms_since(start),
               static_cast<unsigned long long>(rsms[1]->applied_count()));
   cluster.shutdown();

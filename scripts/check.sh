@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full verification: build + ctest in the plain tree, then the same suite
+# under ThreadSanitizer and AddressSanitizer (-DZDC_SANITIZE=thread|address,
+# each in its own build directory so the trees never mix).
+#
+#   scripts/check.sh              # plain + tsan + asan
+#   scripts/check.sh plain tsan   # just these suites
+set -eu
+cd "$(dirname "$0")/.."
+JOBS=$( (command -v nproc > /dev/null && nproc) || echo 4)
+
+run_suite() {
+  local name=$1 dir=$2
+  shift 2
+  echo "=== $name: configure ($dir)"
+  cmake -B "$dir" -S . "$@" > /dev/null
+  echo "=== $name: build"
+  cmake --build "$dir" -j "$JOBS"
+  echo "=== $name: ctest"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+suites=${*:-plain tsan asan}
+for suite in $suites; do
+  case "$suite" in
+    plain) run_suite plain build ;;
+    tsan)  run_suite tsan build-tsan -DZDC_SANITIZE=thread ;;
+    asan)  run_suite asan build-asan -DZDC_SANITIZE=address ;;
+    *) echo "unknown suite '$suite' (plain|tsan|asan)" >&2; exit 2 ;;
+  esac
+done
+echo "=== all requested suites passed: $suites"

@@ -36,7 +36,7 @@ void Consensus::propose(Value v) {
 }
 
 void Consensus::on_message(ProcessId from, std::string_view bytes) {
-  if (decided()) return;
+  if (decided() && !serves_after_decide()) return;
   if (from >= group_.n) {
     note_malformed();
     return;
@@ -48,7 +48,8 @@ void Consensus::on_message(ProcessId from, std::string_view bytes) {
     return;
   }
   if (tag == kDecideTag) {
-    handle_decide(dec);  // acted on even pre-propose, see header
+    if (decided()) return;  // duplicate floods die here, never re-forwarded
+    handle_decide(dec);     // acted on even pre-propose, see header
     return;
   }
   if (!proposed_) {

@@ -147,7 +147,7 @@ void RecoveringPaxosConsensus::handle_p1b(ProcessId from,
   const Ballot ab = dec.get_u64();
   Value av = dec.get_string();
   if (!dec.done()) return note_malformed();
-  if (b != active_ballot_ || p2a_sent_) return;
+  if (decided() || b != active_ballot_ || p2a_sent_) return;
   Promise promise;
   if (has_accepted) {
     promise.accepted_ballot = ab;

@@ -48,6 +48,12 @@ class RecoveringPaxosConsensus final : public Consensus {
   void handle_message(ProcessId from, std::uint8_t tag,
                       common::Decoder& dec) override;
 
+  /// Deciding quietly ends the proposer role, not the acceptor role: a peer
+  /// that was down during the decisive 2b exchange recovers by driving a new
+  /// ballot, and that ballot stalls forever unless decided acceptors keep
+  /// answering 1a/2a. Proposer-side handlers below gate on decided() instead.
+  [[nodiscard]] bool serves_after_decide() const override { return true; }
+
  private:
   using Ballot = std::uint64_t;
   static constexpr Ballot kNoBallot = ~Ballot{0};

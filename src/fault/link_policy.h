@@ -1,0 +1,98 @@
+// The one table every message crosses: per-link fault state shared by all
+// three fabrics (sim::LanModel, runtime::InprocNetwork, runtime::UdpNetwork).
+//
+// A nemesis (scripted or generated — see fault_plan.h) mutates this table;
+// the fabrics consult it on every send/delivery and translate the state into
+// their own physics:
+//
+//   * blocked      — the link is cut (a partition edge). Reliable-channel
+//                    traffic must *wait out* the cut, not vanish: the
+//                    simulator parks the message and re-injects it on heal,
+//                    the UDP fabric simply keeps the ARQ retransmitting, and
+//                    the mailbox fabric re-queues until the link opens.
+//                    Best-effort traffic (heartbeats, WAB datagrams) is lost.
+//   * drop_prob    — per-message datagram loss. On the UDP fabric this drops
+//                    raw datagrams (the ARQ recovers); fabrics without a
+//                    datagram level surface it as retransmission *delay* on
+//                    the reliable channel and as loss on best-effort traffic.
+//   * extra_delay_ms — a delay spike added to every traversal (asymmetric
+//                    links: set it one direction only).
+//
+// Per-process `paused` models a stopped-but-alive process (SIGSTOP, GC pause,
+// VM migration): its handlers and timers do not run until resume, its inbound
+// traffic queues up, and — crucially — its heartbeats stop, so a real ◇P
+// implementation falsely suspects it. Pause is not crash: no state is lost.
+//
+// Thread safety: mutations and reads are mutex-guarded; a relaxed `active_`
+// flag lets the fabrics skip the lock entirely until the first fault is ever
+// injected, so fault-free runs pay one atomic load per message.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace zdc::fault {
+
+struct LinkState {
+  bool blocked = false;
+  double drop_prob = 0.0;
+  double extra_delay_ms = 0.0;
+
+  [[nodiscard]] bool clean() const {
+    return !blocked && drop_prob == 0.0 && extra_delay_ms == 0.0;
+  }
+};
+
+class LinkPolicy {
+ public:
+  explicit LinkPolicy(std::uint32_t n);
+
+  LinkPolicy(const LinkPolicy&) = delete;
+  LinkPolicy& operator=(const LinkPolicy&) = delete;
+
+  [[nodiscard]] std::uint32_t size() const { return n_; }
+
+  /// Current state of the directed link from -> to. Self-links are never
+  /// faulted (a process can always talk to itself).
+  [[nodiscard]] LinkState link(ProcessId from, ProcessId to) const;
+
+  /// Overrides one directed link.
+  void set_link(ProcessId from, ProcessId to, LinkState state);
+
+  /// Cuts every link crossing the {side_a | rest} cut, both directions.
+  /// Links inside each side are left untouched.
+  void partition(const std::vector<ProcessId>& side_a);
+
+  /// Cuts every link to and from p (p keeps talking to itself).
+  void isolate(ProcessId p);
+
+  /// Clears every link override (partitions, isolations, drop/delay
+  /// overrides). Pause state is NOT touched — heal mends the network, not
+  /// the processes.
+  void heal();
+
+  void pause(ProcessId p);
+  void resume(ProcessId p);
+  [[nodiscard]] bool paused(ProcessId p) const;
+
+  /// True once any fault was ever injected; fabrics use it as a lock-free
+  /// fast path (false => every link clean, nobody paused).
+  [[nodiscard]] bool ever_faulted() const {
+    return active_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void touch() { active_.store(true, std::memory_order_release); }
+
+  const std::uint32_t n_;
+  mutable std::mutex mu_;
+  std::atomic<bool> active_{false};
+  std::vector<LinkState> links_;        ///< n*n, row-major [from*n + to]
+  std::vector<std::uint8_t> paused_;
+};
+
+}  // namespace zdc::fault

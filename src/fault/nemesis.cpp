@@ -1,0 +1,113 @@
+#include "fault/nemesis.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace zdc::fault {
+
+namespace {
+
+FaultAction at(TimePoint t, FaultKind kind, ProcessId p = kNoProcess) {
+  FaultAction a;
+  a.time = t;
+  a.kind = kind;
+  a.p = p;
+  return a;
+}
+
+}  // namespace
+
+FaultPlan random_fault_plan(const NemesisConfig& cfg, std::uint64_t seed) {
+  ZDC_ASSERT(cfg.n >= 2);
+  common::Rng rng(seed ^ 0x6e656d6573697321ULL);  // "nemesis!"
+  FaultPlan plan;
+
+  std::vector<FaultKind> menu;
+  if (cfg.allow_partition) menu.push_back(FaultKind::kPartition);
+  if (cfg.allow_isolate) menu.push_back(FaultKind::kIsolate);
+  if (cfg.allow_pause) menu.push_back(FaultKind::kPause);
+  if (cfg.allow_link_degrade) menu.push_back(FaultKind::kLink);
+  if (cfg.allow_crash) menu.push_back(FaultKind::kCrash);
+  if (menu.empty()) return plan;
+
+  std::uint32_t crashes_used = 0;
+  std::vector<bool> crash_target(cfg.n, false);
+
+  for (std::uint32_t i = 0; i < cfg.disturbances; ++i) {
+    const FaultKind kind = menu[rng.next_below(menu.size())];
+    const TimePoint t0 = rng.uniform(0.0, cfg.horizon_ms * 0.7);
+    const TimePoint t1 =
+        std::min(t0 + rng.uniform(cfg.horizon_ms * 0.1, cfg.horizon_ms * 0.5),
+                 cfg.horizon_ms * 0.95);
+
+    switch (kind) {
+      case FaultKind::kPartition: {
+        // A random nonempty proper subset forms side A.
+        FaultAction a = at(t0, FaultKind::kPartition);
+        for (ProcessId p = 0; p < cfg.n; ++p) {
+          if (rng.chance(0.5)) a.group.push_back(p);
+        }
+        if (a.group.empty()) a.group.push_back(rng.next_below(cfg.n));
+        if (a.group.size() == cfg.n) a.group.pop_back();
+        plan.actions.push_back(std::move(a));
+        plan.actions.push_back(at(t1, FaultKind::kHeal));
+        break;
+      }
+      case FaultKind::kIsolate: {
+        const ProcessId p = rng.next_below(cfg.n);
+        plan.actions.push_back(at(t0, FaultKind::kIsolate, p));
+        plan.actions.push_back(at(t1, FaultKind::kHeal));
+        break;
+      }
+      case FaultKind::kPause: {
+        const ProcessId p = rng.next_below(cfg.n);
+        plan.actions.push_back(at(t0, FaultKind::kPause, p));
+        plan.actions.push_back(at(t1, FaultKind::kResume, p));
+        break;
+      }
+      case FaultKind::kLink: {
+        FaultAction a = at(t0, FaultKind::kLink, rng.next_below(cfg.n));
+        do {
+          a.q = rng.next_below(cfg.n);
+        } while (a.q == a.p);
+        if (rng.chance(0.5)) a.drop_prob = rng.uniform(0.2, 0.9);
+        if (a.drop_prob == 0.0 || rng.chance(0.5)) {
+          a.extra_delay_ms = rng.uniform(0.5, cfg.max_extra_delay_ms);
+        }
+        plan.actions.push_back(std::move(a));
+        plan.actions.push_back(at(t1, FaultKind::kHeal));
+        break;
+      }
+      case FaultKind::kCrash: {
+        // Bound concurrent (and, without restarts, total) crashes by f so
+        // the runs the liveness assertions quantify over stay in-model.
+        if (crashes_used >= cfg.f) break;
+        ProcessId p = rng.next_below(cfg.n);
+        if (crash_target[p]) break;  // one crash window per process
+        crash_target[p] = true;
+        ++crashes_used;
+        plan.actions.push_back(at(t0, FaultKind::kCrash, p));
+        if (cfg.allow_restart) {
+          plan.actions.push_back(at(t1, FaultKind::kRestart, p));
+          --crashes_used;  // the window closes; budget frees up
+        }
+        break;
+      }
+      case FaultKind::kHeal:
+      case FaultKind::kResume:
+      case FaultKind::kRestart:
+        break;  // never drawn
+    }
+  }
+
+  if (cfg.settle && !plan.actions.empty()) {
+    plan.actions.push_back(at(cfg.horizon_ms, FaultKind::kHeal));
+  }
+  plan.normalize();
+  return plan;
+}
+
+}  // namespace zdc::fault

@@ -1,0 +1,51 @@
+// Seeded random nemesis-plan generation for property tests and sweeps.
+//
+// random_fault_plan() draws a handful of fault *windows* — a disturbance
+// opening at t0 and closing at t1 (heal / resume / restart) — entirely from
+// one seeded Rng, so a (config, seed) pair always yields the same plan. The
+// generated plans are adversarial but survivable:
+//
+//   * at most f processes are ever crashed (permanently when restarts are
+//     disabled; bounced crash->restart windows when enabled);
+//   * every pause is matched by a resume, and unless `settle` is cleared the
+//     plan ends with a global heal — so a run that executes the whole plan
+//     re-enters a fault-free period and liveness can be asserted on top of
+//     unconditional safety.
+//
+// Restart windows are only safe for crash-recovery protocols (an amnesiac
+// restart of a volatile protocol is *expected* to be able to violate
+// agreement — see tests/recovery_test.cpp); keep allow_restart=false for
+// L-/P-Consensus and the other volatile stacks.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_plan.h"
+
+namespace zdc::fault {
+
+struct NemesisConfig {
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;
+  /// Disturbance windows all open and close within [0, horizon_ms]; the
+  /// final heal lands at horizon_ms.
+  TimePoint horizon_ms = 30.0;
+  /// Number of fault windows to draw.
+  std::uint32_t disturbances = 3;
+  bool allow_partition = true;
+  bool allow_isolate = true;
+  bool allow_pause = true;
+  bool allow_link_degrade = true;
+  bool allow_crash = true;
+  /// Crashed processes come back (crash-recovery model). Only enable for
+  /// protocols backed by StableStorage.
+  bool allow_restart = false;
+  /// Upper bound of the per-link delay-spike override.
+  double max_extra_delay_ms = 5.0;
+  /// Append a global heal at horizon_ms so the plan settles.
+  bool settle = true;
+};
+
+FaultPlan random_fault_plan(const NemesisConfig& cfg, std::uint64_t seed);
+
+}  // namespace zdc::fault

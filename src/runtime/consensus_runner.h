@@ -1,0 +1,103 @@
+// Crash-recovery consensus on the threaded runtime, plus the wall-clock
+// nemesis driver.
+//
+// ConsensusRunner runs one recovering-Paxos instance per process over a real
+// Transport (InprocNetwork or UdpNetwork): each process gets a heartbeat
+// failure detector (Ω via the suspect-set reduction), an InMemoryStableStorage
+// that survives its crashes, and a protocol object living on its worker
+// thread. crash(p)/restart(p) exercise the full crash-recovery story on real
+// threads — the acceptor state reloads from storage, the transport purges the
+// dead incarnation's queues, and the restarted proposer re-proposes.
+//
+// NemesisDriver replays a fault::FaultPlan against a Transport in wall-clock
+// time (action times are milliseconds from run()): link actions go straight
+// to Transport::links(), crash/restart route through caller hooks so a
+// protocol layer (like ConsensusRunner) can rebuild its stack.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/stable_storage.h"
+#include "common/types.h"
+#include "consensus/consensus.h"
+#include "fault/fault_plan.h"
+#include "runtime/heartbeat_fd.h"
+#include "runtime/transport.h"
+
+namespace zdc::runtime {
+
+class ConsensusRunner {
+ public:
+  /// The transport must outlive the runner; the runner installs all handlers,
+  /// so construct it before any other user of the transport's handler slots.
+  ConsensusRunner(GroupParams group, Transport& net,
+                  HeartbeatFd::Config fd_cfg = {});
+  ~ConsensusRunner();
+
+  ConsensusRunner(const ConsensusRunner&) = delete;
+  ConsensusRunner& operator=(const ConsensusRunner&) = delete;
+
+  /// Starts the transport and the failure detectors.
+  void start();
+
+  /// Thread-safe: marshals the proposal onto p's worker thread. The proposal
+  /// is remembered and re-proposed automatically after every restart(p).
+  void propose(ProcessId p, const Value& v);
+
+  void crash(ProcessId p);
+  /// Rebuilds p's protocol from its surviving stable storage, revives the
+  /// transport endpoint, re-arms the failure detector and re-proposes.
+  void restart(ProcessId p);
+
+  [[nodiscard]] bool decided(ProcessId p) const;
+  [[nodiscard]] Value decision(ProcessId p) const;
+  /// True if any two (incarnations of) processes decided different values.
+  [[nodiscard]] bool agreement_violated() const;
+  /// Polls until every process in `procs` decided or `timeout_ms` elapsed.
+  bool wait_decided(const std::vector<ProcessId>& procs,
+                    double timeout_ms) const;
+
+  [[nodiscard]] Transport& network() { return net_; }
+  [[nodiscard]] common::InMemoryStableStorage& storage(ProcessId p);
+
+ private:
+  struct Node;
+  class Host;
+
+  void handle(ProcessId p, const Delivery& d);
+  void record_decision(ProcessId p, const Value& v);
+  [[nodiscard]] std::unique_ptr<consensus::Consensus> build_protocol(
+      ProcessId p);
+
+  const GroupParams group_;
+  Transport& net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::atomic<bool> conflict_{false};
+};
+
+/// Replays a scripted fault plan against a live transport. Blocking: run()
+/// sleeps between actions and returns after the last one fired.
+class NemesisDriver {
+ public:
+  /// crash/restart actions invoke the hooks when provided (so the protocol
+  /// layer can rebuild its stack), else fall back to the bare transport
+  /// calls. Link and pause actions always apply to net.links().
+  NemesisDriver(Transport& net, fault::FaultPlan plan,
+                std::function<void(ProcessId)> crash_hook = {},
+                std::function<void(ProcessId)> restart_hook = {});
+
+  void run();
+
+ private:
+  Transport& net_;
+  fault::FaultPlan plan_;
+  std::function<void(ProcessId)> crash_hook_;
+  std::function<void(ProcessId)> restart_hook_;
+};
+
+}  // namespace zdc::runtime

@@ -1,5 +1,8 @@
 #include "runtime/heartbeat_fd.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/assert.h"
 #include "common/log.h"
 
@@ -12,13 +15,26 @@ HeartbeatFd::HeartbeatFd(ProcessId self, Transport& net, Config cfg,
       cfg_(cfg),
       on_change_(std::move(on_change)),
       last_seen_(net.size(), Clock::now()),
-      timeout_ms_(net.size(), cfg.initial_timeout_ms),
+      bonus_ms_(net.size(), 0.0),
+      mean_gap_ms_(net.size(), 0.0),
+      dev_gap_ms_(net.size(), 0.0),
+      have_gap_(net.size(), false),
       suspected_(std::make_unique<std::atomic<bool>[]>(net.size())),
       n_(net.size()),
       omega_(*this, net.size()) {
   for (std::uint32_t p = 0; p < n_; ++p) {
     suspected_[p].store(false, std::memory_order_relaxed);
   }
+}
+
+double HeartbeatFd::effective_timeout_ms(ProcessId p) const {
+  if (!cfg_.adaptive || p >= n_ || !have_gap_[p]) {
+    return cfg_.initial_timeout_ms + (p < n_ ? bonus_ms_[p] : 0.0);
+  }
+  const double adaptive = mean_gap_ms_[p] +
+                          cfg_.deviation_factor * dev_gap_ms_[p] +
+                          cfg_.margin_ms + bonus_ms_[p];
+  return std::max(cfg_.min_timeout_ms, adaptive);
 }
 
 void HeartbeatFd::start() {
@@ -29,18 +45,44 @@ void HeartbeatFd::start() {
 
 void HeartbeatFd::on_heartbeat(ProcessId from) {
   if (from >= n_) return;
-  last_seen_[from] = Clock::now();
-  if (suspected_[from].load(std::memory_order_relaxed)) {
+  const Clock::time_point now = Clock::now();
+  const bool was_suspected = suspected_[from].load(std::memory_order_relaxed);
+  if (cfg_.adaptive && from != self_ && !was_suspected) {
+    // Jacobson/Karels estimator over inter-arrival gaps. Gaps spanning a
+    // suspicion are excluded: a pause/crash outage would blow the mean up and
+    // stall completeness for everyone's benefit of one outlier — the
+    // false-suspicion bonus below handles those instead.
+    const double gap_ms =
+        std::chrono::duration<double, std::milli>(now - last_seen_[from])
+            .count();
+    if (!have_gap_[from]) {
+      mean_gap_ms_[from] = gap_ms;
+      dev_gap_ms_[from] = gap_ms / 2.0;
+      have_gap_[from] = true;
+    } else {
+      const double err = gap_ms - mean_gap_ms_[from];
+      mean_gap_ms_[from] += err / 8.0;
+      dev_gap_ms_[from] += (std::abs(err) - dev_gap_ms_[from]) / 4.0;
+    }
+  }
+  last_seen_[from] = now;
+  if (was_suspected) {
     // False suspicion: revoke and back off this peer's timeout so that, once
     // delays stabilize, it is never falsely suspected again.
     suspected_[from].store(false, std::memory_order_release);
-    timeout_ms_[from] += cfg_.timeout_increment_ms;
+    bonus_ms_[from] += cfg_.timeout_increment_ms;
     false_suspicions_.fetch_add(1, std::memory_order_relaxed);
     ZDC_LOG(kDebug, "heartbeat-fd")
         << "p" << self_ << " unsuspects p" << from << ", timeout now "
-        << timeout_ms_[from] << "ms";
+        << effective_timeout_ms(from) << "ms";
     if (on_change_) on_change_();
   }
+}
+
+void HeartbeatFd::restart_on_worker() {
+  const Clock::time_point now = Clock::now();
+  for (ProcessId p = 0; p < n_; ++p) last_seen_[p] = now;
+  tick();
 }
 
 bool HeartbeatFd::suspects(ProcessId p) const {
@@ -57,7 +99,7 @@ void HeartbeatFd::tick() {
     if (p == self_ || suspected_[p].load(std::memory_order_relaxed)) continue;
     const double silent_ms =
         std::chrono::duration<double, std::milli>(now - last_seen_[p]).count();
-    if (silent_ms > timeout_ms_[p]) {
+    if (silent_ms > effective_timeout_ms(p)) {
       suspected_[p].store(true, std::memory_order_release);
       changed = true;
       ZDC_LOG(kDebug, "heartbeat-fd")

@@ -30,9 +30,22 @@ class HeartbeatFd final : public fd::SuspectView {
  public:
   struct Config {
     double interval_ms = 10.0;
+    /// Timeout before the first inter-arrival samples exist (and the fixed
+    /// timeout when `adaptive` is off).
     double initial_timeout_ms = 60.0;
-    /// Added to a peer's timeout on every false suspicion.
+    /// Added to a peer's timeout on every false suspicion — the growth that
+    /// bounds false suspicions in partially-synchronous runs, independent of
+    /// the adaptive estimate below.
     double timeout_increment_ms = 60.0;
+    /// Adaptive timeout (Jacobson/Karels over heartbeat inter-arrival gaps):
+    /// suspect after mean + deviation_factor·dev + margin_ms (+ accumulated
+    /// false-suspicion bonus), floored at min_timeout_ms. Tracks the actual
+    /// load instead of a guess: tight on an idle loopback, slack under
+    /// scheduler noise or nemesis delay spikes.
+    bool adaptive = true;
+    double deviation_factor = 4.0;
+    double margin_ms = 20.0;
+    double min_timeout_ms = 20.0;
   };
 
   /// `on_change` fires (on the worker thread) whenever the suspect set — and
@@ -46,6 +59,12 @@ class HeartbeatFd final : public fd::SuspectView {
   /// Wire-in from the node's kHeartbeat demux.
   void on_heartbeat(ProcessId from);
 
+  /// Call on the worker thread after a Transport::restart(p): the pending
+  /// tick timer died with the old incarnation, so the periodic chain must be
+  /// re-armed. Resets every silence clock first — the outage must not count
+  /// against peers (they were heartbeating into a dead socket).
+  void restart_on_worker();
+
   // SuspectView (the ◇P output). Readable from any thread (atomic flags);
   // protocols read it on the worker, tests poll it from outside.
   [[nodiscard]] bool suspects(ProcessId p) const override;
@@ -57,6 +76,10 @@ class HeartbeatFd final : public fd::SuspectView {
     return false_suspicions_.load(std::memory_order_relaxed);
   }
 
+  /// The silence threshold currently applied to peer p (worker thread only;
+  /// exposed for tests and diagnostics).
+  [[nodiscard]] double effective_timeout_ms(ProcessId p) const;
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -67,8 +90,12 @@ class HeartbeatFd final : public fd::SuspectView {
   const Config cfg_;
   std::function<void()> on_change_;
 
-  std::vector<Clock::time_point> last_seen_;  ///< worker thread only
-  std::vector<double> timeout_ms_;            ///< worker thread only
+  // All per-peer estimator state is worker-thread-only.
+  std::vector<Clock::time_point> last_seen_;
+  std::vector<double> bonus_ms_;     ///< accumulated false-suspicion bonus
+  std::vector<double> mean_gap_ms_;  ///< EWMA of inter-arrival gaps
+  std::vector<double> dev_gap_ms_;   ///< EWMA of gap deviation
+  std::vector<bool> have_gap_;       ///< estimator warmed up for this peer
   std::unique_ptr<std::atomic<bool>[]> suspected_;
   std::uint32_t n_;
   fd::OmegaFromSuspects omega_;

@@ -37,7 +37,7 @@ struct InprocNetwork::Mailbox {
   bool busy = false;  // worker is executing a handler
 };
 
-InprocNetwork::InprocNetwork(Config cfg) : cfg_(cfg) {
+InprocNetwork::InprocNetwork(Config cfg) : cfg_(cfg), links_(cfg.n) {
   ZDC_ASSERT(cfg.n > 0);
   common::Rng seeder(cfg.seed);
   mailboxes_.reserve(cfg.n);
@@ -100,7 +100,24 @@ void InprocNetwork::push(ProcessId to, Item item) {
           cfg_.wab_loss_prob > 0.0 && box.rng.chance(cfg_.wab_loss_prob)) {
         return;  // best-effort datagram lost
       }
-      const double delay = sample_delay(item.delivery.channel, box);
+      double delay = sample_delay(item.delivery.channel, box);
+      const fault::LinkState link = links_.link(item.delivery.from, to);
+      if (!link.clean()) {
+        if (item.delivery.channel != Channel::kProtocol &&
+            (link.blocked ||
+             (link.drop_prob > 0.0 && box.rng.chance(link.drop_prob)))) {
+          return;  // best-effort traffic on a faulty link is simply lost
+        }
+        delay += link.extra_delay_ms;
+        if (item.delivery.channel == Channel::kProtocol &&
+            link.drop_prob > 0.0 && link.drop_prob < 1.0) {
+          // No datagram level here, so loss surfaces as retransmission
+          // delay: one modeled RTO per lost attempt, geometric count.
+          while (box.rng.chance(link.drop_prob)) delay += 1.0;
+        }
+        // A *blocked* reliable message still enters the queue; the worker
+        // re-parks it until the link heals (TCP stalls, it does not lose).
+      }
       item.due = Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                     std::chrono::duration<double, std::milli>(
                                         delay));
@@ -154,6 +171,21 @@ bool InprocNetwork::crashed(ProcessId p) const {
   return crashed_[p]->load();
 }
 
+void InprocNetwork::restart(ProcessId p) {
+  ZDC_ASSERT(p < cfg_.n);
+  if (!crashed(p)) return;
+  Mailbox& box = *mailboxes_[p];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    // The dead incarnation's inbox (messages *and* timers) is gone — a
+    // reboot keeps nothing but stable storage. next_seq keeps counting so
+    // item ordering stays monotonic across incarnations.
+    while (!box.queue.empty()) box.queue.pop();
+  }
+  crashed_[p]->store(false);
+  box.cv.notify_all();
+}
+
 void InprocNetwork::worker_loop(ProcessId p) {
   Mailbox& box = *mailboxes_[p];
   for (;;) {
@@ -162,6 +194,13 @@ void InprocNetwork::worker_loop(ProcessId p) {
       std::unique_lock<std::mutex> lock(box.mu);
       for (;;) {
         if (stopping_.load()) return;
+        if (links_.paused(p)) {
+          // SIGSTOP semantics: the worker is frozen — items (messages and
+          // timers alike) stay queued until resume. Short poll: the policy
+          // table has no wakeup hook.
+          box.cv.wait_for(lock, std::chrono::microseconds(500));
+          continue;
+        }
         if (!box.queue.empty()) {
           const auto due = box.queue.top()->due;
           if (due <= Clock::now()) {
@@ -175,6 +214,19 @@ void InprocNetwork::worker_loop(ProcessId p) {
           box.cv.wait(lock);
         }
       }
+    }
+    // A reliable message that came due while its link is cut goes back into
+    // the queue (TCP stalls across the cut); it retries until the heal.
+    if (!item->is_timer &&
+        links_.link(item->delivery.from, p).blocked) {
+      std::lock_guard<std::mutex> lock(box.mu);
+      if (item->delivery.channel == Channel::kProtocol) {
+        item->seq = box.next_seq++;
+        item->due = Clock::now() + std::chrono::milliseconds(1);
+        box.queue.push(item);
+      }
+      box.busy = false;
+      continue;
     }
     if (!crashed(p)) {
       if (item->is_timer) {

@@ -64,6 +64,8 @@ class InprocNetwork final : public Transport {
   void schedule(ProcessId p, double delay_ms, std::function<void()> fn) override;
   void crash(ProcessId p) override;
   [[nodiscard]] bool crashed(ProcessId p) const override;
+  void restart(ProcessId p) override;
+  [[nodiscard]] fault::LinkPolicy& links() override { return links_; }
   [[nodiscard]] std::uint32_t size() const override { return cfg_.n; }
 
  private:
@@ -75,6 +77,7 @@ class InprocNetwork final : public Transport {
   double sample_delay(Channel channel, Mailbox& to_box);
 
   Config cfg_;
+  fault::LinkPolicy links_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<Handler> handlers_;
   std::vector<std::thread> workers_;

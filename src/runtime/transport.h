@@ -20,6 +20,7 @@
 #include <string>
 
 #include "common/types.h"
+#include "fault/link_policy.h"
 
 namespace zdc::runtime {
 
@@ -54,9 +55,27 @@ class Transport {
   virtual void schedule(ProcessId p, double delay_ms,
                         std::function<void()> fn) = 0;
 
-  /// Simulates a crash: p stops sending and receiving permanently.
+  /// Simulates a crash: p stops sending and receiving until restart(p).
   virtual void crash(ProcessId p) = 0;
   [[nodiscard]] virtual bool crashed(ProcessId p) const = 0;
+
+  /// Crash-recovery: brings a crashed p back up with an empty inbox — traffic
+  /// queued toward the dead incarnation is discarded (a reboot keeps nothing
+  /// but stable storage), while sequence spaces stay monotonic so peers'
+  /// dedupe state remains valid. The handler installed before start() stays;
+  /// the caller is responsible for rebuilding the protocol stack behind it
+  /// (see ConsensusRunner). No-op if p is not crashed.
+  virtual void restart(ProcessId p) = 0;
+
+  /// The nemesis fault table, consulted on every send/delivery:
+  ///   * blocked links stall kProtocol traffic until healed (TCP semantics —
+  ///     no loss, arbitrary delay) and silently eat kHeartbeat/kWab;
+  ///   * drop_prob loses best-effort datagrams outright and costs reliable
+  ///     traffic retransmission delay;
+  ///   * paused processes stop executing handlers and timers (SIGSTOP
+  ///     semantics: a slow process, not a dead one) until resumed.
+  /// Mutate through this reference at any time; thread-safe.
+  [[nodiscard]] virtual fault::LinkPolicy& links() = 0;
 
   [[nodiscard]] virtual std::uint32_t size() const = 0;
 };

@@ -6,9 +6,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <queue>
+#include <thread>
 
 #include "common/assert.h"
 #include "common/codec.h"
@@ -45,6 +47,7 @@ struct UdpNetwork::Endpoint {
     ProcessId to = 0;
     std::string datagram;
     Clock::time_point next_retransmit;
+    double backoff_ms = 0.0;  ///< next retry interval (doubles up to the cap)
   };
   std::map<std::uint64_t, Pending> unacked;
   std::uint64_t next_seq = 1;
@@ -75,7 +78,7 @@ struct UdpNetwork::Endpoint {
   }
 };
 
-UdpNetwork::UdpNetwork(Config cfg) : cfg_(cfg) {
+UdpNetwork::UdpNetwork(Config cfg) : cfg_(cfg), links_(cfg.n) {
   ZDC_ASSERT(cfg.n > 0);
   common::Rng seeder(cfg.seed);
   endpoints_.reserve(cfg.n);
@@ -132,6 +135,30 @@ void UdpNetwork::shutdown() {
 
 void UdpNetwork::raw_send(ProcessId from, ProcessId to,
                           const std::string& datagram) {
+  // The nemesis chokepoint: every datagram — data, ack, retransmission —
+  // passes through here, so a single policy check covers the whole fabric.
+  const fault::LinkState link = links_.link(from, to);
+  if (!link.clean()) {
+    if (link.blocked) return;  // cut link: raw datagrams die (ARQ retries)
+    if (link.drop_prob > 0.0) {
+      Endpoint& ep = *endpoints_[from];
+      std::lock_guard<std::mutex> lock(ep.mu);
+      if (ep.rng.chance(link.drop_prob)) return;
+    }
+    if (link.extra_delay_ms > 0.0 && !crashed(from)) {
+      // Delay spike: hold the datagram on the sender's timer wheel. Bypasses
+      // the policy re-check on fire — the spike was already paid.
+      schedule(from, link.extra_delay_ms, [this, from, to, datagram] {
+        raw_send_now(from, to, datagram);
+      });
+      return;
+    }
+  }
+  raw_send_now(from, to, datagram);
+}
+
+void UdpNetwork::raw_send_now(ProcessId from, ProcessId to,
+                              const std::string& datagram) {
   ZDC_ASSERT_MSG(datagram.size() <= kMaxDatagram, "datagram too large");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -172,6 +199,7 @@ void UdpNetwork::send(Channel channel, ProcessId from, ProcessId to,
     pending.to = to;
     pending.datagram = datagram;
     pending.next_retransmit = after_ms(cfg_.retransmit_interval_ms);
+    pending.backoff_ms = cfg_.retransmit_interval_ms;
     ep.unacked.emplace(seq, std::move(pending));
   }
   raw_send(from, to, datagram);
@@ -212,6 +240,25 @@ void UdpNetwork::crash(ProcessId p) {
 
 bool UdpNetwork::crashed(ProcessId p) const {
   return endpoints_[p]->crashed.load();
+}
+
+void UdpNetwork::restart(ProcessId p) {
+  ZDC_ASSERT(p < cfg_.n);
+  Endpoint& ep = *endpoints_[p];
+  if (!ep.crashed.load()) return;
+  {
+    std::lock_guard<std::mutex> lock(ep.mu);
+    // The dead incarnation's volatile transport state is gone: its pending
+    // retransmissions and timers died with it. next_seq and the per-sender
+    // dedupe maps are kept monotonic across incarnations, so peers' ack
+    // watermarks stay valid and pre-crash stragglers are still rejected.
+    ep.unacked.clear();
+    while (!ep.timers.empty()) ep.timers.pop();
+  }
+  // The recv thread has been draining and discarding the socket while
+  // crashed, so no pre-crash datagrams are waiting. Flip last: from here on
+  // the endpoint receives again.
+  ep.crashed.store(false);
 }
 
 void UdpNetwork::handle_datagram(ProcessId p, const char* data,
@@ -285,14 +332,18 @@ void UdpNetwork::run_due_work(ProcessId p) {
   }
   for (auto& fn : due) fn();
 
-  // ARQ retransmissions.
+  // ARQ retransmissions, with exponential backoff: a datagram that keeps
+  // going unacked (receiver slow, link cut) retries at doubling intervals up
+  // to the cap instead of hammering at the base rate forever.
   std::vector<std::pair<ProcessId, std::string>> resend;
   {
     std::lock_guard<std::mutex> lock(ep.mu);
     for (auto& [seq, pending] : ep.unacked) {
       if (pending.next_retransmit <= now) {
         resend.emplace_back(pending.to, pending.datagram);
-        pending.next_retransmit = after_ms(cfg_.retransmit_interval_ms);
+        pending.backoff_ms =
+            std::min(pending.backoff_ms * 2.0, cfg_.retransmit_cap_ms);
+        pending.next_retransmit = after_ms(pending.backoff_ms);
       }
     }
   }
@@ -308,6 +359,13 @@ void UdpNetwork::recv_loop(ProcessId p) {
   Endpoint& ep = *endpoints_[p];
   std::vector<char> buffer(kMaxDatagram + 1);
   while (!stopping_.load()) {
+    if (links_.paused(p)) {
+      // SIGSTOP semantics: no receiving, no timers, no ARQ retransmissions.
+      // The kernel keeps buffering inbound datagrams (delivered stale after
+      // resume, exactly like a real stopped process).
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+      continue;
+    }
     pollfd pfd{};
     pfd.fd = ep.fd;
     pfd.events = POLLIN;

@@ -41,8 +41,11 @@ class UdpNetwork final : public Transport {
   struct Config {
     std::uint32_t n = 0;
     std::uint64_t seed = 1;
-    /// ARQ retransmission period for unacked reliable datagrams.
+    /// Initial ARQ retransmission period for unacked reliable datagrams;
+    /// doubles per retry (exponential backoff) up to retransmit_cap_ms, so a
+    /// long partition does not keep hammering a dead link at full rate.
     double retransmit_interval_ms = 15.0;
+    double retransmit_cap_ms = 240.0;
     /// Artificial inbound drop probability on every datagram (ARQ stress).
     double drop_prob = 0.0;
   };
@@ -64,6 +67,8 @@ class UdpNetwork final : public Transport {
   void schedule(ProcessId p, double delay_ms, std::function<void()> fn) override;
   void crash(ProcessId p) override;
   [[nodiscard]] bool crashed(ProcessId p) const override;
+  void restart(ProcessId p) override;
+  [[nodiscard]] fault::LinkPolicy& links() override { return links_; }
   [[nodiscard]] std::uint32_t size() const override { return cfg_.n; }
 
   /// The UDP port process p is bound to (tests / diagnostics).
@@ -78,10 +83,12 @@ class UdpNetwork final : public Transport {
 
   void recv_loop(ProcessId p);
   void raw_send(ProcessId from, ProcessId to, const std::string& datagram);
+  void raw_send_now(ProcessId from, ProcessId to, const std::string& datagram);
   void handle_datagram(ProcessId p, const char* data, std::size_t len);
   void run_due_work(ProcessId p);
 
   Config cfg_;
+  fault::LinkPolicy links_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::vector<std::thread> threads_;
   std::atomic<bool> running_{false};

@@ -23,7 +23,11 @@ class AbcastWorld {
         lan_(cfg.net, cfg.group.n, rng_.fork(0x22)),
         workload_rng_(rng_.fork(0x33)),
         fd_(cfg.fd, cfg.group.n, events_,
-            [this](ProcessId p) { notify_fd_change(p); }) {
+            [this](ProcessId p) { notify_fd_change(p); }),
+        policy_(cfg.group.n),
+        blocked_(static_cast<std::size_t>(cfg.group.n) * cfg.group.n),
+        paused_work_(cfg.group.n) {
+    lan_.set_link_policy(&policy_);
     build(factory);
   }
 
@@ -69,6 +73,10 @@ class AbcastWorld {
   void record_delivery(ProcessId p, const abcast::AppMessage& m);
   void notify_fd_change(ProcessId p);
   void crash(ProcessId p);
+  void apply_fault(const fault::FaultAction& a);
+  void run_on_node(ProcessId p, std::function<void()> fn);
+  void release_unblocked();
+  void release_paused(ProcessId p);
   [[nodiscard]] bool workload_complete() const;
 
   void trace(TraceKind kind, ProcessId subject, ProcessId peer = kNoProcess,
@@ -85,6 +93,12 @@ class AbcastWorld {
   common::Rng workload_rng_;
   FdSim fd_;
   std::vector<Node> nodes_;
+  fault::LinkPolicy policy_;
+  std::vector<std::vector<std::shared_ptr<const std::string>>> blocked_;
+  std::vector<std::vector<std::function<void()>>> paused_work_;
+  /// Processes crashed by either CrashSpec or the fault plan — such senders'
+  /// messages are not owed to everyone unless actually delivered somewhere.
+  std::vector<bool> ever_crashes_;
 
   struct Tracked {
     TimePoint broadcast_time = 0.0;
@@ -130,6 +144,15 @@ void AbcastWorld::build(const SimAbcastFactory& factory) {
     }
   }
 
+  ever_crashes_.assign(n, false);
+  for (const CrashSpec& c : cfg_.crashes) ever_crashes_[c.p] = true;
+  for (const fault::FaultAction& a : cfg_.fault_plan.actions) {
+    ZDC_ASSERT_MSG(a.kind != fault::FaultKind::kRestart,
+                   "AbcastWorld is crash-stop; no restart support");
+    if (a.kind == fault::FaultKind::kCrash) ever_crashes_[a.p] = true;
+    events_.at(a.time, [this, a] { apply_fault(a); });
+  }
+
   schedule_workload();
 }
 
@@ -140,15 +163,18 @@ void AbcastWorld::schedule_workload() {
     t += workload_rng_.exponential(mean_gap_ms);
     const std::uint32_t index = i;
     events_.at(t, [this, index] {
-      // Uniform random sender among the currently-alive eligible processes.
+      // Uniform random sender among the currently-alive eligible processes
+      // (paused processes cannot execute, so they cannot originate either).
       std::vector<ProcessId> alive;
       if (cfg_.workload_senders.empty()) {
         for (ProcessId p = 0; p < nodes_.size(); ++p) {
-          if (!nodes_[p].crashed) alive.push_back(p);
+          if (!nodes_[p].crashed && !policy_.paused(p)) alive.push_back(p);
         }
       } else {
         for (ProcessId p : cfg_.workload_senders) {
-          if (p < nodes_.size() && !nodes_[p].crashed) alive.push_back(p);
+          if (p < nodes_.size() && !nodes_[p].crashed && !policy_.paused(p)) {
+            alive.push_back(p);
+          }
         }
       }
       if (alive.empty()) return;
@@ -165,13 +191,10 @@ void AbcastWorld::schedule_workload() {
       tracked_.emplace(id, tr);
       ++submitted_;
       // The sender is alive now; if it never crashes the message is owed to
-      // every correct process. Senders with a scheduled future crash are
-      // handled by the "delivered anywhere" rule in record_delivery.
-      bool sender_crashes_later = false;
-      for (const CrashSpec& c : cfg_.crashes) {
-        if (c.p == sender) sender_crashes_later = true;
-      }
-      if (!sender_crashes_later) expected_.insert(id);
+      // every correct process. Senders with a scheduled future crash (spec or
+      // fault plan) are handled by the "delivered anywhere" rule in
+      // record_delivery.
+      if (!ever_crashes_[sender]) expected_.insert(id);
     });
   }
 }
@@ -183,9 +206,10 @@ void AbcastWorld::unicast(ProcessId from, ProcessId to, std::string bytes) {
   if (from == to) {
     const TimePoint sent = lan_.occupy_sender_cpu(from, events_.now());
     events_.at(lan_.local_delivery(sent), [this, from, to, payload] {
-      if (nodes_[to].crashed) return;
-      trace(TraceKind::kDeliver, to, from);
-      nodes_[to].protocol->on_message(from, *payload);
+      run_on_node(to, [this, from, to, payload] {
+        trace(TraceKind::kDeliver, to, from);
+        nodes_[to].protocol->on_message(from, *payload);
+      });
     });
     return;
   }
@@ -197,14 +221,23 @@ void AbcastWorld::unicast(ProcessId from, ProcessId to, std::string bytes) {
 void AbcastWorld::deliver_transport(
     ProcessId from, ProcessId to, TimePoint tx_end,
     const std::shared_ptr<const std::string>& bytes) {
-  const TimePoint arrival = lan_.arrival_time(tx_end);
+  if (lan_.link_blocked(from, to)) {
+    // TCP semantics: parked across the cut, re-injected on heal.
+    blocked_[static_cast<std::size_t>(from) * nodes_.size() + to].push_back(
+        bytes);
+    return;
+  }
+  const TimePoint arrival =
+      lan_.arrival_time(tx_end) + lan_.reliable_link_penalty_ms(from, to);
   events_.at(arrival, [this, from, to, bytes] {
-    if (nodes_[to].crashed) return;
-    const TimePoint handled = lan_.occupy_receiver_cpu(to, events_.now());
-    events_.at(handled, [this, from, to, bytes] {
-      if (nodes_[to].crashed) return;
-      trace(TraceKind::kDeliver, to, from);
-      nodes_[to].protocol->on_message(from, *bytes);
+    run_on_node(to, [this, from, to, bytes] {
+      const TimePoint handled = lan_.occupy_receiver_cpu(to, events_.now());
+      events_.at(handled, [this, from, to, bytes] {
+        run_on_node(to, [this, from, to, bytes] {
+          trace(TraceKind::kDeliver, to, from);
+          nodes_[to].protocol->on_message(from, *bytes);
+        });
+      });
     });
   });
 }
@@ -217,9 +250,10 @@ void AbcastWorld::broadcast(ProcessId from, std::string bytes) {
     if (to == from) {
       const TimePoint sent = lan_.occupy_sender_cpu(from, events_.now());
       events_.at(lan_.local_delivery(sent), [this, from, to, payload] {
-        if (nodes_[to].crashed) return;
-        trace(TraceKind::kDeliver, to, from);
-        nodes_[to].protocol->on_message(from, *payload);
+        run_on_node(to, [this, from, to, payload] {
+          trace(TraceKind::kDeliver, to, from);
+          nodes_[to].protocol->on_message(from, *payload);
+        });
       });
     } else {
       const TimePoint sent = lan_.occupy_sender_cpu(from, events_.now());
@@ -244,14 +278,18 @@ void AbcastWorld::wab_broadcast(ProcessId from, InstanceId k,
   const TimePoint tx_end = lan_.occupy_medium(sent, body->size());
   for (ProcessId to = 0; to < nodes_.size(); ++to) {
     if (to != from && lan_.drop_wab_datagram()) continue;  // best-effort
-    const TimePoint arrival = lan_.wab_arrival_time(tx_end);
+    if (to != from && lan_.drop_best_effort(from, to)) continue;  // nemesis
+    const TimePoint arrival =
+        lan_.wab_arrival_time(tx_end) + lan_.best_effort_extra_delay_ms(from, to);
     events_.at(arrival, [this, from, to, k, body] {
-      if (nodes_[to].crashed) return;
-      const TimePoint handled = lan_.occupy_receiver_cpu(to, events_.now());
-      events_.at(handled, [this, from, to, k, body] {
-        if (nodes_[to].crashed) return;
-        trace(TraceKind::kWabDeliver, to, from);
-        nodes_[to].protocol->on_w_deliver(k, from, *body);
+      run_on_node(to, [this, from, to, k, body] {
+        const TimePoint handled = lan_.occupy_receiver_cpu(to, events_.now());
+        events_.at(handled, [this, from, to, k, body] {
+          run_on_node(to, [this, from, to, k, body] {
+            trace(TraceKind::kWabDeliver, to, from);
+            nodes_[to].protocol->on_w_deliver(k, from, *body);
+          });
+        });
       });
     });
   }
@@ -284,9 +322,68 @@ void AbcastWorld::crash(ProcessId p) {
 }
 
 void AbcastWorld::notify_fd_change(ProcessId p) {
-  if (nodes_[p].protocol != nullptr && !nodes_[p].crashed) {
-    nodes_[p].protocol->on_fd_change();
+  if (nodes_[p].protocol == nullptr) return;
+  run_on_node(p, [this, p] { nodes_[p].protocol->on_fd_change(); });
+}
+
+void AbcastWorld::apply_fault(const fault::FaultAction& a) {
+  trace(TraceKind::kFault, a.p < nodes_.size() ? a.p : kNoProcess, kNoProcess,
+        fault::to_string(a));
+  switch (a.kind) {
+    case fault::FaultKind::kCrash:
+      crash(a.p);
+      break;
+    case fault::FaultKind::kRestart:
+      ZDC_ASSERT_MSG(false, "AbcastWorld is crash-stop; no restart support");
+      break;
+    case fault::FaultKind::kPause:
+      fault::apply_to_policy(a, policy_);
+      fd_.on_pause(a.p);
+      break;
+    case fault::FaultKind::kResume:
+      fault::apply_to_policy(a, policy_);
+      fd_.on_resume(a.p);
+      release_paused(a.p);
+      break;
+    default:
+      fault::apply_to_policy(a, policy_);
+      release_unblocked();
+      break;
   }
+}
+
+void AbcastWorld::run_on_node(ProcessId p, std::function<void()> fn) {
+  if (nodes_[p].crashed) return;
+  if (policy_.paused(p)) {
+    paused_work_[p].push_back(std::move(fn));
+    return;
+  }
+  fn();
+}
+
+void AbcastWorld::release_unblocked() {
+  const std::uint32_t n = cfg_.group.n;
+  for (ProcessId from = 0; from < n; ++from) {
+    for (ProcessId to = 0; to < n; ++to) {
+      auto& parked = blocked_[static_cast<std::size_t>(from) * n + to];
+      if (parked.empty() || lan_.link_blocked(from, to)) continue;
+      std::vector<std::shared_ptr<const std::string>> batch;
+      batch.swap(parked);
+      for (const auto& bytes : batch) {
+        deliver_transport(from, to, events_.now(), bytes);
+      }
+    }
+  }
+}
+
+void AbcastWorld::release_paused(ProcessId p) {
+  if (paused_work_[p].empty()) return;
+  auto work = std::make_shared<std::vector<std::function<void()>>>(
+      std::move(paused_work_[p]));
+  paused_work_[p] = {};
+  events_.at(events_.now(), [this, p, work] {
+    for (auto& fn : *work) run_on_node(p, fn);
+  });
 }
 
 bool AbcastWorld::workload_complete() const {

@@ -19,6 +19,7 @@
 #include "abcast/abcast.h"
 #include "common/stats.h"
 #include "common/types.h"
+#include "fault/fault_plan.h"
 #include "fd/failure_detector.h"
 #include "sim/consensus_world.h"  // CrashSpec
 #include "sim/fd_sim.h"
@@ -45,6 +46,10 @@ struct AbcastRunConfig {
   double warmup_fraction = 0.1;
 
   std::vector<CrashSpec> crashes;
+  /// Scripted nemesis actions (src/fault/): partitions/link faults/pauses and
+  /// crashes. Restart actions are rejected — this world is crash-stop (the
+  /// crash-recovery abcast path lives in the threaded runtime).
+  fault::FaultPlan fault_plan;
   TimePoint time_limit_ms = 300'000.0;
   std::uint64_t event_limit = 100'000'000;
   /// Optional structured run trace (owned by the caller, outlives the run).

@@ -30,7 +30,11 @@ class ConsensusWorld {
         rng_(cfg.seed),
         lan_(cfg.net, cfg.group.n, rng_.fork(0x11)),
         fd_(cfg.fd, cfg.group.n, events_,
-            [this](ProcessId p) { notify_fd_change(p); }) {
+            [this](ProcessId p) { notify_fd_change(p); }),
+        policy_(cfg.group.n),
+        blocked_(static_cast<std::size_t>(cfg.group.n) * cfg.group.n),
+        paused_work_(cfg.group.n) {
+    lan_.set_link_policy(&policy_);
     build_nodes(factory);
   }
 
@@ -79,6 +83,12 @@ class ConsensusWorld {
   void notify_fd_change(ProcessId p);
   void crash(ProcessId p);
   void restart(ProcessId p);
+  void apply_fault(const fault::FaultAction& a);
+  /// Runs `fn` as node p now — unless p is crashed (dropped) or paused
+  /// (parked until resume). Every entry into protocol code goes through here.
+  void run_on_node(ProcessId p, std::function<void()> fn);
+  void release_unblocked();
+  void release_paused(ProcessId p);
   [[nodiscard]] bool all_correct_decided() const;
 
   void trace(TraceKind kind, ProcessId subject, ProcessId peer = kNoProcess,
@@ -95,6 +105,12 @@ class ConsensusWorld {
   LanModel lan_;
   FdSim fd_;
   std::vector<Node> nodes_;
+  fault::LinkPolicy policy_;
+  /// Reliable messages parked on a cut link, re-injected when it re-opens
+  /// (row-major (from, to) like the policy table).
+  std::vector<std::vector<std::shared_ptr<const std::string>>> blocked_;
+  /// Work frozen while its target process is paused, flushed on resume.
+  std::vector<std::vector<std::function<void()>>> paused_work_;
   std::size_t undecided_correct_ = 0;
   bool reincarnation_conflict_ = false;
 };
@@ -145,10 +161,16 @@ void ConsensusWorld::build_nodes(const SimConsensusFactory& factory) {
     const TimePoint when =
         p < cfg_.propose_times.size() ? cfg_.propose_times[p] : 0.0;
     events_.at(when, [this, p] {
-      if (nodes_[p].crashed) return;
-      trace(TraceKind::kPropose, p, kNoProcess, cfg_.proposals[p]);
-      nodes_[p].protocol->propose(cfg_.proposals[p]);
+      run_on_node(p, [this, p] {
+        trace(TraceKind::kPropose, p, kNoProcess, cfg_.proposals[p]);
+        nodes_[p].protocol->propose(cfg_.proposals[p]);
+      });
     });
+  }
+
+  // Schedule the nemesis plan.
+  for (const fault::FaultAction& a : cfg_.fault_plan.actions) {
+    events_.at(a.time, [this, a] { apply_fault(a); });
   }
 
   undecided_correct_ = 0;
@@ -165,9 +187,10 @@ void ConsensusWorld::unicast(ProcessId from, ProcessId to, std::string bytes) {
   if (from == to) {
     const TimePoint sent = lan_.occupy_sender_cpu(from, events_.now());
     events_.at(lan_.local_delivery(sent), [this, from, to, payload] {
-      if (nodes_[to].crashed) return;
-      trace(TraceKind::kDeliver, to, from);
-      nodes_[to].protocol->on_message(from, *payload);
+      run_on_node(to, [this, from, to, payload] {
+        trace(TraceKind::kDeliver, to, from);
+        nodes_[to].protocol->on_message(from, *payload);
+      });
     });
     return;
   }
@@ -178,14 +201,24 @@ void ConsensusWorld::unicast(ProcessId from, ProcessId to, std::string bytes) {
 
 void ConsensusWorld::deliver_one(ProcessId from, ProcessId to, TimePoint tx_end,
                                  const std::shared_ptr<const std::string>& bytes) {
-  const TimePoint arrival = lan_.arrival_time(tx_end);
+  if (lan_.link_blocked(from, to)) {
+    // TCP semantics: the connection stalls across the cut and resumes after
+    // the heal — the bytes are parked, not lost (release_unblocked).
+    blocked_[static_cast<std::size_t>(from) * nodes_.size() + to].push_back(
+        bytes);
+    return;
+  }
+  const TimePoint arrival =
+      lan_.arrival_time(tx_end) + lan_.reliable_link_penalty_ms(from, to);
   events_.at(arrival, [this, from, to, bytes] {
-    if (nodes_[to].crashed) return;
-    const TimePoint handled = lan_.occupy_receiver_cpu(to, events_.now());
-    events_.at(handled, [this, from, to, bytes] {
-      if (nodes_[to].crashed) return;
-      trace(TraceKind::kDeliver, to, from);
-      nodes_[to].protocol->on_message(from, *bytes);
+    run_on_node(to, [this, from, to, bytes] {
+      const TimePoint handled = lan_.occupy_receiver_cpu(to, events_.now());
+      events_.at(handled, [this, from, to, bytes] {
+        run_on_node(to, [this, from, to, bytes] {
+          trace(TraceKind::kDeliver, to, from);
+          nodes_[to].protocol->on_message(from, *bytes);
+        });
+      });
     });
   });
 }
@@ -209,9 +242,10 @@ void ConsensusWorld::broadcast(ProcessId from, std::string bytes) {
       trace(TraceKind::kSend, from, to);
       const TimePoint sent = lan_.occupy_sender_cpu(from, events_.now());
       events_.at(lan_.local_delivery(sent), [this, from, to, payload] {
-        if (nodes_[to].crashed) return;
-        trace(TraceKind::kDeliver, to, from);
-        nodes_[to].protocol->on_message(from, *payload);
+        run_on_node(to, [this, from, to, payload] {
+          trace(TraceKind::kDeliver, to, from);
+          nodes_[to].protocol->on_message(from, *payload);
+        });
       });
     } else {
       trace(TraceKind::kSend, from, to);
@@ -236,14 +270,20 @@ void ConsensusWorld::wab_broadcast(ProcessId from, std::uint64_t stage,
   const TimePoint tx_end = lan_.occupy_medium(sent, body->size());
   for (ProcessId to = 0; to < nodes_.size(); ++to) {
     if (to != from && lan_.drop_wab_datagram()) continue;
-    const TimePoint arrival = lan_.wab_arrival_time(tx_end);
+    // Best-effort datagrams on a cut or lossy link are simply gone — the
+    // oracle has no retransmission (and does not need one).
+    if (to != from && lan_.drop_best_effort(from, to)) continue;
+    const TimePoint arrival =
+        lan_.wab_arrival_time(tx_end) + lan_.best_effort_extra_delay_ms(from, to);
     events_.at(arrival, [this, from, to, stage, body] {
-      if (nodes_[to].crashed) return;
-      const TimePoint handled = lan_.occupy_receiver_cpu(to, events_.now());
-      events_.at(handled, [this, from, to, stage, body] {
-        if (nodes_[to].crashed) return;
-        trace(TraceKind::kWabDeliver, to, from);
-        nodes_[to].protocol->on_w_deliver(stage, from, *body);
+      run_on_node(to, [this, from, to, stage, body] {
+        const TimePoint handled = lan_.occupy_receiver_cpu(to, events_.now());
+        events_.at(handled, [this, from, to, stage, body] {
+          run_on_node(to, [this, from, to, stage, body] {
+            trace(TraceKind::kWabDeliver, to, from);
+            nodes_[to].protocol->on_w_deliver(stage, from, *body);
+          });
+        });
       });
     });
   }
@@ -281,9 +321,10 @@ void ConsensusWorld::record_decision(ProcessId p, const Value& v) {
 }
 
 void ConsensusWorld::notify_fd_change(ProcessId p) {
-  if (nodes_[p].crashed) return;
-  trace(TraceKind::kFdChange, p);
-  nodes_[p].protocol->on_fd_change();
+  run_on_node(p, [this, p] {
+    trace(TraceKind::kFdChange, p);
+    nodes_[p].protocol->on_fd_change();
+  });
 }
 
 void ConsensusWorld::restart(ProcessId p) {
@@ -291,11 +332,77 @@ void ConsensusWorld::restart(ProcessId p) {
   if (!node.crashed) return;
   trace(TraceKind::kPropose, p, kNoProcess, "restart");
   node.crashed = false;
+  fd_.on_restart(p);
   // A fresh incarnation: new protocol object (the factory re-injects any
   // durable state), original proposal re-proposed.
   node.protocol = factory_(p, cfg_.group, *node.host, fd_.omega_view(p),
                            fd_.suspect_view(p));
   node.protocol->propose(cfg_.proposals[p]);
+}
+
+void ConsensusWorld::apply_fault(const fault::FaultAction& a) {
+  trace(TraceKind::kFault,
+        a.p < nodes_.size() ? a.p : kNoProcess, kNoProcess,
+        fault::to_string(a));
+  switch (a.kind) {
+    case fault::FaultKind::kCrash:
+      crash(a.p);
+      break;
+    case fault::FaultKind::kRestart:
+      restart(a.p);
+      break;
+    case fault::FaultKind::kPause:
+      fault::apply_to_policy(a, policy_);
+      fd_.on_pause(a.p);
+      break;
+    case fault::FaultKind::kResume:
+      fault::apply_to_policy(a, policy_);
+      fd_.on_resume(a.p);
+      release_paused(a.p);
+      break;
+    default:
+      // Link-table edits (partition/heal/isolate/link): apply, then re-inject
+      // any parked traffic whose link just re-opened.
+      fault::apply_to_policy(a, policy_);
+      release_unblocked();
+      break;
+  }
+}
+
+void ConsensusWorld::run_on_node(ProcessId p, std::function<void()> fn) {
+  if (nodes_[p].crashed) return;
+  if (policy_.paused(p)) {
+    paused_work_[p].push_back(std::move(fn));
+    return;
+  }
+  fn();
+}
+
+void ConsensusWorld::release_unblocked() {
+  const std::uint32_t n = cfg_.group.n;
+  for (ProcessId from = 0; from < n; ++from) {
+    for (ProcessId to = 0; to < n; ++to) {
+      auto& parked = blocked_[static_cast<std::size_t>(from) * n + to];
+      if (parked.empty() || lan_.link_blocked(from, to)) continue;
+      // The stalled connection resumes: everything parked goes back on the
+      // wire now, in original send order.
+      std::vector<std::shared_ptr<const std::string>> batch;
+      batch.swap(parked);
+      for (const auto& bytes : batch) {
+        deliver_one(from, to, events_.now(), bytes);
+      }
+    }
+  }
+}
+
+void ConsensusWorld::release_paused(ProcessId p) {
+  if (paused_work_[p].empty()) return;
+  auto work = std::make_shared<std::vector<std::function<void()>>>(
+      std::move(paused_work_[p]));
+  paused_work_[p] = {};
+  events_.at(events_.now(), [this, p, work] {
+    for (auto& fn : *work) run_on_node(p, fn);
+  });
 }
 
 bool ConsensusWorld::all_correct_decided() const {

@@ -17,6 +17,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "consensus/consensus.h"
+#include "fault/fault_plan.h"
 #include "fd/failure_detector.h"
 #include "sim/fd_sim.h"
 #include "sim/lan_model.h"
@@ -54,6 +55,13 @@ struct ConsensusRunConfig {
   std::vector<CrashSpec> crashes;
   TimePoint time_limit_ms = 60'000.0;
   std::uint64_t event_limit = 10'000'000;
+  /// Scripted nemesis actions, applied at their timestamps (src/fault/).
+  /// Partitions park reliable traffic until a heal (TCP semantics: connections
+  /// stall, they do not lose data); best-effort oracle datagrams on a cut link
+  /// are lost. pause/resume freeze a process's event handling without killing
+  /// it — under FdMode::kCrashTracking this manufactures *false* suspicions.
+  /// crash/restart route through the same paths as CrashSpec-driven ones.
+  fault::FaultPlan fault_plan;
   /// Optional structured run trace (owned by the caller, outlives the run).
   TraceRecorder* trace = nullptr;
 };

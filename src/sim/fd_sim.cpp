@@ -27,7 +27,9 @@ FdSim::FdSim(FdConfig cfg, std::uint32_t n, EventQueue& events,
       n_(n),
       events_(events),
       on_change_(std::move(on_change)),
-      crashed_(n, false) {
+      crashed_(n, false),
+      paused_(n, false),
+      pause_epoch_(n, 0) {
   views_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     auto view = std::make_unique<ProcessView>();
@@ -85,24 +87,81 @@ void FdSim::on_crash(ProcessId crashed) {
   ZDC_ASSERT(crashed < n_);
   crashed_[crashed] = true;
   if (cfg_.mode != FdMode::kCrashTracking) return;
-  events_.after(cfg_.detection_delay_ms, [this, crashed] {
-    // Every alive observer adds `crashed` to its suspect set; the leader is
-    // recomputed as the lowest non-suspected process (the Ω reduction).
-    for (ProcessId observer = 0; observer < n_; ++observer) {
-      auto& view = *views_[observer];
-      if (view.suspects.flags[crashed]) continue;
-      view.suspects.flags[crashed] = true;
-      ProcessId leader = kNoProcess;
-      for (ProcessId p = 0; p < n_; ++p) {
-        if (!view.suspects.flags[p]) {
-          leader = p;
-          break;
-        }
-      }
-      view.omega.current_leader = leader;
-      if (on_change_) on_change_(observer);
+  events_.after(cfg_.detection_delay_ms,
+                [this, crashed] { suspect_everywhere(crashed); });
+}
+
+void FdSim::on_pause(ProcessId p) {
+  ZDC_ASSERT(p < n_);
+  paused_[p] = true;
+  if (cfg_.mode != FdMode::kCrashTracking) return;
+  const std::uint64_t epoch = ++pause_epoch_[p];
+  events_.after(cfg_.detection_delay_ms, [this, p, epoch] {
+    // Still paused and no newer pause/resume superseded us: the timeout
+    // expires and the detector *falsely* suspects a live process — exactly
+    // the ◇P misbehaviour indulgent protocols must tolerate.
+    if (paused_[p] && pause_epoch_[p] == epoch) suspect_everywhere(p);
+  });
+}
+
+void FdSim::on_resume(ProcessId p) {
+  ZDC_ASSERT(p < n_);
+  paused_[p] = false;
+  if (cfg_.mode != FdMode::kCrashTracking) return;
+  const std::uint64_t epoch = ++pause_epoch_[p];
+  events_.after(cfg_.detection_delay_ms, [this, p, epoch] {
+    if (!paused_[p] && !crashed_[p] && pause_epoch_[p] == epoch) {
+      unsuspect_everywhere(p);
     }
   });
+}
+
+void FdSim::on_restart(ProcessId p) {
+  ZDC_ASSERT(p < n_);
+  crashed_[p] = false;
+  if (cfg_.mode != FdMode::kCrashTracking) return;
+  const std::uint64_t epoch = ++pause_epoch_[p];
+  events_.after(cfg_.detection_delay_ms, [this, p, epoch] {
+    if (!paused_[p] && !crashed_[p] && pause_epoch_[p] == epoch) {
+      unsuspect_everywhere(p);
+    }
+  });
+}
+
+void FdSim::suspect_everywhere(ProcessId p) {
+  // Every alive observer adds `p` to its suspect set; the leader is
+  // recomputed as the lowest non-suspected process (the Ω reduction).
+  for (ProcessId observer = 0; observer < n_; ++observer) {
+    auto& view = *views_[observer];
+    if (view.suspects.flags[p]) continue;
+    view.suspects.flags[p] = true;
+    ProcessId leader = kNoProcess;
+    for (ProcessId q = 0; q < n_; ++q) {
+      if (!view.suspects.flags[q]) {
+        leader = q;
+        break;
+      }
+    }
+    view.omega.current_leader = leader;
+    if (on_change_) on_change_(observer);
+  }
+}
+
+void FdSim::unsuspect_everywhere(ProcessId p) {
+  for (ProcessId observer = 0; observer < n_; ++observer) {
+    auto& view = *views_[observer];
+    if (!view.suspects.flags[p]) continue;
+    view.suspects.flags[p] = false;
+    ProcessId leader = kNoProcess;
+    for (ProcessId q = 0; q < n_; ++q) {
+      if (!view.suspects.flags[q]) {
+        leader = q;
+        break;
+      }
+    }
+    view.omega.current_leader = leader;
+    if (on_change_) on_change_(observer);
+  }
 }
 
 void FdSim::apply(ProcessId observer, ProcessId leader,

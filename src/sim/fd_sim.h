@@ -70,6 +70,17 @@ class FdSim {
   /// a stable run by definition has no mid-run output change).
   void on_crash(ProcessId crashed);
 
+  /// Nemesis hooks, meaningful in kCrashTracking mode only (the other modes
+  /// keep their scripted/stable outputs — a stable run stays stable even if
+  /// the nemesis misbehaves, which is exactly the indulgence experiments'
+  /// point). A paused process goes silent, so a timeout detector *falsely
+  /// suspects* it after the detection delay; on resume (heartbeats flowing
+  /// again) the suspicion is revoked after the same delay. on_restart marks
+  /// a crashed process alive again and likewise revokes its suspicion.
+  void on_pause(ProcessId p);
+  void on_resume(ProcessId p);
+  void on_restart(ProcessId p);
+
   [[nodiscard]] const fd::OmegaView& omega_view(ProcessId p) const;
   [[nodiscard]] const fd::SuspectView& suspect_view(ProcessId p) const;
 
@@ -78,6 +89,8 @@ class FdSim {
 
   void apply(ProcessId observer, ProcessId leader,
              const std::vector<ProcessId>& suspected);
+  void suspect_everywhere(ProcessId p);
+  void unsuspect_everywhere(ProcessId p);
 
   FdConfig cfg_;
   std::uint32_t n_;
@@ -85,6 +98,10 @@ class FdSim {
   std::function<void(ProcessId)> on_change_;
   std::vector<std::unique_ptr<ProcessView>> views_;
   std::vector<bool> crashed_;  ///< kCrashTracking bookkeeping
+  std::vector<bool> paused_;
+  /// Bumped on every pause/resume so in-flight delayed reactions from a
+  /// superseded pause state cancel themselves.
+  std::vector<std::uint64_t> pause_epoch_;
 };
 
 }  // namespace zdc::sim

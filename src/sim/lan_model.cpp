@@ -42,4 +42,29 @@ TimePoint LanModel::occupy_receiver_cpu(ProcessId to, TimePoint arrival) {
   return cpu_free_[to];
 }
 
+TimePoint LanModel::reliable_link_penalty_ms(ProcessId from, ProcessId to) {
+  if (policy_ == nullptr) return 0.0;
+  const fault::LinkState link = policy_->link(from, to);
+  if (link.clean()) return 0.0;
+  TimePoint penalty = link.extra_delay_ms;
+  if (link.drop_prob > 0.0 && link.drop_prob < 1.0) {
+    // Each lost attempt costs one RTO; the attempt count is geometric.
+    while (rng_.chance(link.drop_prob)) penalty += cfg_.reliable_retransmit_ms;
+  }
+  return penalty;
+}
+
+bool LanModel::drop_best_effort(ProcessId from, ProcessId to) {
+  if (policy_ == nullptr) return false;
+  const fault::LinkState link = policy_->link(from, to);
+  if (link.blocked) return true;
+  return link.drop_prob > 0.0 && rng_.chance(link.drop_prob);
+}
+
+TimePoint LanModel::best_effort_extra_delay_ms(ProcessId from,
+                                               ProcessId to) const {
+  if (policy_ == nullptr) return 0.0;
+  return policy_->link(from, to).extra_delay_ms;
+}
+
 }  // namespace zdc::sim

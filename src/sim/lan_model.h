@@ -26,6 +26,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "fault/link_policy.h"
 
 namespace zdc::sim {
 
@@ -45,6 +46,12 @@ struct NetworkConfig {
   /// rate grows with broadcast concurrency (Pedone & Schiper's observation);
   /// TCP protocol hops keep the tight `jitter_mean_ms` only.
   double wab_extra_jitter_ms = 0.0;
+  /// Modeled retransmission quantum for the reliable (TCP-like) channels
+  /// under nemesis-injected link loss: each lost attempt costs one RTO before
+  /// the next try, so a link with drop probability d adds a geometric number
+  /// of these quanta to the delivery time (the message is never lost — the
+  /// stack keeps retrying, matching real TCP under moderate loss).
+  double reliable_retransmit_ms = 2.0;
 };
 
 /// The constants used by all paper-reproduction benches, in one place:
@@ -122,6 +129,31 @@ class LanModel {
     return cfg_.wab_loss_prob > 0.0 && rng_.chance(cfg_.wab_loss_prob);
   }
 
+  /// Attaches the nemesis link table (not owned; may be null = no faults).
+  /// All link verdict methods below consult it.
+  void set_link_policy(const fault::LinkPolicy* policy) { policy_ = policy; }
+
+  /// True while the (from, to) link is cut by a partition/isolation. Reliable
+  /// traffic must *wait out* the cut (the world parks it and re-injects on
+  /// heal); best-effort oracle datagrams on a cut link are simply lost.
+  [[nodiscard]] bool link_blocked(ProcessId from, ProcessId to) const {
+    return policy_ != nullptr && policy_->link(from, to).blocked;
+  }
+
+  /// Extra delivery delay on a reliable channel from injected degradation:
+  /// the scripted delay spike plus a geometric retransmission penalty for
+  /// drop_prob (TCP retries; the message still arrives). Consumes randomness
+  /// only when the link actually carries a fault, preserving byte-identical
+  /// schedules for fault-free runs of the same seed.
+  [[nodiscard]] TimePoint reliable_link_penalty_ms(ProcessId from,
+                                                   ProcessId to);
+
+  /// Best-effort verdicts for oracle datagrams on a degraded link: loss is
+  /// real loss (no retransmission), delay spikes apply as-is.
+  [[nodiscard]] bool drop_best_effort(ProcessId from, ProcessId to);
+  [[nodiscard]] TimePoint best_effort_extra_delay_ms(ProcessId from,
+                                                     ProcessId to) const;
+
   [[nodiscard]] const NetworkConfig& config() const { return cfg_; }
 
  private:
@@ -129,6 +161,7 @@ class LanModel {
   TimePoint medium_free_ = 0.0;
   std::vector<TimePoint> cpu_free_;
   common::Rng rng_;
+  const fault::LinkPolicy* policy_ = nullptr;
 };
 
 }  // namespace zdc::sim

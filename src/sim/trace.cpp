@@ -15,6 +15,7 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kDecide: return "decide";
     case TraceKind::kCrash: return "crash";
     case TraceKind::kFdChange: return "fd-change";
+    case TraceKind::kFault: return "fault";
   }
   return "?";
 }

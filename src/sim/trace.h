@@ -30,6 +30,7 @@ enum class TraceKind : std::uint8_t {
   kDecide,      ///< subject decided / a-delivered (detail = value)
   kCrash,       ///< subject crashed
   kFdChange,    ///< subject's failure-detector output changed
+  kFault,       ///< nemesis action applied (detail = the action's text form)
 };
 
 const char* trace_kind_name(TraceKind kind);

@@ -10,10 +10,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "sim/abcast_world.h"
 #include "sim/consensus_world.h"
 #include "sim/sequence_world.h"
@@ -108,6 +111,38 @@ std::vector<sim::CrashSpec> parse_crashes(const Flags& flags,
   return crashes;
 }
 
+/// Loads a nemesis plan from --plan FILE or --plan-text "a;b;c" (';' doubles
+/// as a line separator so a whole plan fits in one shell argument). Exits
+/// with a diagnostic on parse errors.
+fault::FaultPlan load_plan(const Flags& flags) {
+  fault::FaultPlan plan;
+  std::string text;
+  if (flags.has("plan")) {
+    const std::string path = flags.get("plan", "");
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open plan file '%s'\n", path.c_str());
+      std::exit(2);
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  } else if (flags.has("plan-text")) {
+    text = flags.get("plan-text", "");
+    for (char& c : text) {
+      if (c == ';') c = '\n';
+    }
+  } else {
+    return plan;
+  }
+  std::string error;
+  if (!fault::parse_fault_plan(text, &plan, &error)) {
+    std::fprintf(stderr, "bad fault plan: %s\n", error.c_str());
+    std::exit(2);
+  }
+  return plan;
+}
+
 int run_consensus_mode(const Flags& flags) {
   sim::ConsensusRunConfig cfg;
   cfg.group.n = static_cast<std::uint32_t>(flags.num("n", 4));
@@ -116,6 +151,7 @@ int run_consensus_mode(const Flags& flags) {
   cfg.net = sim::calibrated_lan_2006();
   cfg.fd = parse_fd(flags);
   cfg.crashes = parse_crashes(flags, cfg.group.n);
+  cfg.fault_plan = load_plan(flags);
 
   if (flags.has("proposals")) {
     cfg.proposals = split(flags.get("proposals", ""), ',');
@@ -138,6 +174,12 @@ int run_consensus_mode(const Flags& flags) {
   std::printf("protocol=%s n=%u f=%u seed=%llu\n", protocol.c_str(),
               cfg.group.n, cfg.group.f,
               static_cast<unsigned long long>(cfg.seed));
+  if (!cfg.fault_plan.empty()) {
+    std::printf("nemesis plan (%zu actions):\n", cfg.fault_plan.actions.size());
+    for (const auto& a : cfg.fault_plan.actions) {
+      std::printf("  %s\n", fault::to_string(a).c_str());
+    }
+  }
   for (ProcessId p = 0; p < r.outcomes.size(); ++p) {
     const auto& o = r.outcomes[p];
     if (o.decided) {
@@ -171,6 +213,7 @@ int run_abcast_mode(const Flags& flags) {
   cfg.net = sim::calibrated_lan_2006();
   cfg.fd = parse_fd(flags);
   cfg.crashes = parse_crashes(flags, cfg.group.n);
+  cfg.fault_plan = load_plan(flags);
   cfg.throughput_per_s = flags.num("throughput", 100);
   cfg.message_count = static_cast<std::uint32_t>(flags.num("messages", 400));
 
@@ -248,7 +291,10 @@ void usage() {
       "  --seed S       RNG seed (runs are deterministic per seed)\n"
       "  --fd MODE      stable (default) | track (crash-tracking)\n"
       "  --detect-ms X  detection delay for --fd track\n"
-      "  --crash SPEC   e.g. 0@0.5 (p0 at 0.5 ms), 2@init, comma-separated\n\n"
+      "  --crash SPEC   e.g. 0@0.5 (p0 at 0.5 ms), 2@init, comma-separated\n"
+      "  --plan FILE    nemesis plan file (see docs/FAULTS.md for the syntax)\n"
+      "  --plan-text T  inline plan, ';' separates actions:\n"
+      "                 \"@0.2 partition 0 1 | 2 3;@6 heal\"\n\n"
       "consensus flags: --proposals a,b,c,d   --trace (space-time diagram)\n"
       "abcast flags:    --throughput R  --messages M\n"
       "sequence flags:  --instances K  --crash-before I  --crash-process P\n"
