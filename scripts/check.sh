@@ -1,13 +1,31 @@
 #!/usr/bin/env bash
-# Full verification: build + ctest in the plain tree, then the same suite
-# under ThreadSanitizer and AddressSanitizer (-DZDC_SANITIZE=thread|address,
-# each in its own build directory so the trees never mix).
+# Full verification: static analysis first (cheapest failures surface
+# earliest), then build + ctest in the plain tree, then the same suite under
+# ThreadSanitizer and AddressSanitizer (-DZDC_SANITIZE=thread|address, each
+# in its own build directory so the trees never mix).
 #
-#   scripts/check.sh              # plain + tsan + asan
-#   scripts/check.sh plain tsan   # just these suites
+#   scripts/check.sh                # static + plain + tsan + asan
+#   scripts/check.sh plain tsan     # just these suites
+#   scripts/check.sh --static       # only the static stage
 set -eu
 cd "$(dirname "$0")/.."
 JOBS=$( (command -v nproc > /dev/null && nproc) || echo 4)
+
+# Static stage: thread-safety annotation build (clang), zdc_lint, clang-tidy.
+# The clang-dependent pieces self-skip where clang isn't installed; zdc_lint
+# always runs (it builds with the project).
+run_static() {
+  echo "=== static: thread-safety annotations"
+  scripts/thread_safety_check.sh "$PWD"
+  echo "=== static: zdc_lint"
+  cmake -B build -S . > /dev/null
+  cmake --build build -j "$JOBS" --target zdc_lint
+  ./build/tools/zdc_lint --root "$PWD"
+  echo "=== static: clang-tidy"
+  scripts/run_clang_tidy.sh "$PWD" "$PWD/build"
+  echo "=== static: format"
+  scripts/format_check.sh "$PWD"
+}
 
 run_suite() {
   local name=$1 dir=$2
@@ -20,13 +38,14 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
-suites=${*:-plain tsan asan}
+suites=${*:-static plain tsan asan}
 for suite in $suites; do
   case "$suite" in
+    static|--static) run_static ;;
     plain) run_suite plain build ;;
     tsan)  run_suite tsan build-tsan -DZDC_SANITIZE=thread ;;
     asan)  run_suite asan build-asan -DZDC_SANITIZE=address ;;
-    *) echo "unknown suite '$suite' (plain|tsan|asan)" >&2; exit 2 ;;
+    *) echo "unknown suite '$suite' (static|plain|tsan|asan)" >&2; exit 2 ;;
   esac
 done
 echo "=== all requested suites passed: $suites"

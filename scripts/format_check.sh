@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Check-only formatting gate: clang-format --dry-run -Werror against the
+# committed .clang-format. Never rewrites files — the tree was not
+# mass-reformatted, so violations should be fixed (or the config adjusted)
+# file by file. Skips with a notice when clang-format isn't installed.
+#
+#   scripts/format_check.sh [repo-root]
+set -eu
+root=${1:-$(cd "$(dirname "$0")/.." && pwd)}
+
+if ! command -v clang-format > /dev/null 2>&1; then
+  echo "SKIP: clang-format not installed"
+  exit 0
+fi
+
+find "$root/src" "$root/tests" "$root/tools" "$root/bench" "$root/examples" \
+     -name '*.h' -o -name '*.cpp' | sort \
+  | xargs clang-format --style=file --dry-run -Werror
+echo "format: clean"

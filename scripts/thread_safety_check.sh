@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds the tree with clang and -DZDC_THREAD_SAFETY=ON so every
+# ZDC_GUARDED_BY/ZDC_REQUIRES annotation is enforced as an error
+# (-Werror=thread-safety). The annotations are no-ops under gcc, so without
+# clang there is nothing to check: we print a SKIP marker (matched by the
+# ctest SKIP_REGULAR_EXPRESSION property) and exit 0.
+#
+#   scripts/thread_safety_check.sh [repo-root]
+set -eu
+root=${1:-$(cd "$(dirname "$0")/.." && pwd)}
+
+if ! command -v clang++ > /dev/null 2>&1; then
+  echo "SKIP: clang++ not installed; thread-safety analysis not available"
+  exit 0
+fi
+
+build_dir="$root/build-tsa"
+jobs=$( (command -v nproc > /dev/null && nproc) || echo 4)
+
+echo "=== thread-safety: configure ($build_dir)"
+cmake -B "$build_dir" -S "$root" \
+  -DCMAKE_CXX_COMPILER=clang++ \
+  -DZDC_THREAD_SAFETY=ON > /dev/null
+echo "=== thread-safety: build (clang, -Werror=thread-safety)"
+cmake --build "$build_dir" -j "$jobs"
+echo "=== thread-safety: clean"

@@ -3,17 +3,74 @@
 // Protocol invariants (agreement, quorum intersection, round monotonicity) are
 // cheap to check relative to message handling, so we keep them enabled in
 // every build type instead of relying on NDEBUG-stripped assert().
+//
+// Failures print the expression, file:line, and — when a deterministic
+// harness registered one — the execution context (which simulated node was
+// running, at what simulated time), so a failing randomized schedule is
+// attributable without re-running under a debugger:
+//
+//   zdc assertion failed: est.has_value()
+//     at src/consensus/l_consensus.cpp:142
+//     while executing node p2 at sim t=13.250ms
+//
+// Harnesses publish the context with the RAII scope (thread-local, so the
+// threaded runtime's workers never see another thread's sim):
+//
+//   detail::AssertContextScope scope(node_id, events_.now());
+//   nodes_[to].protocol->on_message(from, bytes);
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
 namespace zdc::detail {
 
+/// Where execution currently is, for assertion messages. node < 0 or
+/// time_ms < 0 mean "unknown" and are omitted from the output.
+struct AssertContext {
+  std::int64_t node = -1;
+  double time_ms = -1.0;
+};
+
+inline AssertContext& assert_context() {
+  thread_local AssertContext ctx;
+  return ctx;
+}
+
+/// Publishes (node, sim time) for the current thread; restores the previous
+/// context on destruction so nested harnesses compose.
+class AssertContextScope {
+ public:
+  AssertContextScope(std::int64_t node, double time_ms)
+      : saved_(assert_context()) {
+    assert_context() = AssertContext{node, time_ms};
+  }
+  ~AssertContextScope() { assert_context() = saved_; }
+
+  AssertContextScope(const AssertContextScope&) = delete;
+  AssertContextScope& operator=(const AssertContextScope&) = delete;
+
+ private:
+  AssertContext saved_;
+};
+
 [[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
                                      const char* msg) {
-  std::fprintf(stderr, "zdc assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
-               line, msg == nullptr ? "" : msg);
+  std::fprintf(stderr, "zdc assertion failed: %s\n  at %s:%d\n", expr, file,
+               line);
+  const AssertContext& ctx = assert_context();
+  if (ctx.node >= 0 || ctx.time_ms >= 0.0) {
+    std::fprintf(stderr, "  while executing");
+    if (ctx.node >= 0) {
+      std::fprintf(stderr, " node p%lld", static_cast<long long>(ctx.node));
+    }
+    if (ctx.time_ms >= 0.0) {
+      std::fprintf(stderr, " at sim t=%.3fms", ctx.time_ms);
+    }
+    std::fprintf(stderr, "\n");
+  }
+  if (msg != nullptr) std::fprintf(stderr, "  %s\n", msg);
   std::abort();
 }
 

@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace zdc::common {
 
@@ -50,11 +51,15 @@ LogLevel log_level() {
 
 namespace detail {
 
+// One mutex keeps concurrent runtime threads from interleaving lines. File
+// scope (not function-local static) so the thread-safety analysis can name it.
+namespace {
+Mutex g_sink_mu;
+}  // namespace
+
 void log_line(LogLevel level, const char* component, const std::string& message) {
   if (level < log_level()) return;
-  // One mutex keeps concurrent runtime threads from interleaving lines.
-  static std::mutex mu;
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(g_sink_mu);
   std::fprintf(stderr, "[%s] %-14s %s\n", level_name(level), component,
                message.c_str());
 }

@@ -1,0 +1,63 @@
+// Annotated mutex wrappers for Clang Thread Safety Analysis.
+//
+// libstdc++'s std::mutex/std::lock_guard carry no thread-safety attributes,
+// so `-Wthread-safety` cannot see them acquire anything. Mutex and MutexLock
+// are zero-cost annotated shims over std::mutex/std::unique_lock that the
+// analysis understands; all shared mutable state in the threaded runtime is
+// guarded through them (ZDC_GUARDED_BY in the owning class).
+//
+// Condition variables keep using std::condition_variable: wait through the
+// guard's inner() unique_lock —
+//
+//   common::MutexLock lock(box.mu);
+//   while (queue.empty()) cv.wait(lock.inner());
+//
+// The analysis treats the capability as held across the wait, which matches
+// the invariant that matters: wait() reacquires before returning, so guarded
+// data is never touched unlocked.
+#pragma once
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace zdc::common {
+
+/// std::mutex with capability annotations. Same size, same cost.
+class ZDC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ZDC_ACQUIRE() { mu_.lock(); }
+  void unlock() ZDC_RELEASE() { mu_.unlock(); }
+  bool try_lock() ZDC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped mutex, for std::condition_variable wiring only. Do not
+  /// lock it directly — that would be invisible to the analysis.
+  [[nodiscard]] std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard over Mutex (std::lock_guard/unique_lock replacement that the
+/// analysis can follow). Holds for its whole scope; inner() exposes the
+/// underlying unique_lock for condition-variable waits.
+class ZDC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ZDC_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() ZDC_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// For std::condition_variable::wait/wait_for/wait_until only.
+  [[nodiscard]] std::unique_lock<std::mutex>& inner() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace zdc::common

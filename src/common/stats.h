@@ -1,4 +1,10 @@
 // Online statistics and latency histograms for the evaluation harnesses.
+//
+// Threading: deliberately lock-free and unannotated — instances are owned by
+// exactly one harness or bench thread. Cross-thread aggregation (e.g.
+// runtime/workload.cpp) keeps per-thread instances behind the owner's
+// ZDC_GUARDED_BY mutex and merges after join; never share one instance
+// between concurrent writers.
 #pragma once
 
 #include <algorithm>

@@ -1,0 +1,73 @@
+// Portable Clang Thread Safety Analysis annotations.
+//
+// Wrappers over Clang's `capability` attributes (see
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) that expand to
+// nothing on compilers without the attribute, so annotated code builds
+// everywhere while `clang++ -Wthread-safety` (the ZDC_THREAD_SAFETY CMake
+// option) statically checks the locking discipline.
+//
+// The standard library's mutexes carry no annotations on libstdc++, so the
+// analysis cannot see a bare std::lock_guard acquire anything. Use the
+// annotated zdc::common::Mutex / MutexLock pair from common/mutex.h instead;
+// these macros then document which capability guards which data:
+//
+//   class Table {
+//     common::Mutex mu_;
+//     std::vector<Row> rows_ ZDC_GUARDED_BY(mu_);
+//     void compact() ZDC_REQUIRES(mu_);   // caller must hold mu_
+//     Row get(int i) const ZDC_EXCLUDES(mu_);  // caller must NOT hold mu_
+//   };
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ZDC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ZDC_THREAD_ANNOTATION
+#define ZDC_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability (our Mutex wrapper).
+#define ZDC_CAPABILITY(name) ZDC_THREAD_ANNOTATION(capability(name))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define ZDC_SCOPED_CAPABILITY ZDC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define ZDC_GUARDED_BY(x) ZDC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given mutex.
+#define ZDC_PT_GUARDED_BY(x) ZDC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function that may only be called while holding the given mutex(es).
+#define ZDC_REQUIRES(...) \
+  ZDC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that may only be called while NOT holding the given mutex(es)
+/// (deadlock documentation: it acquires them itself).
+#define ZDC_EXCLUDES(...) ZDC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires the given mutex(es) and returns holding them.
+#define ZDC_ACQUIRE(...) \
+  ZDC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the given mutex(es).
+#define ZDC_RELEASE(...) \
+  ZDC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the mutex iff it returns `result`.
+#define ZDC_TRY_ACQUIRE(result, ...) \
+  ZDC_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Asserts (at runtime, to the analysis) that the capability is already held.
+#define ZDC_ASSERT_CAPABILITY(x) \
+  ZDC_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returning a reference to a capability (lock accessors).
+#define ZDC_RETURN_CAPABILITY(x) ZDC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use needs a
+/// comment explaining why the locking is correct but inexpressible.
+#define ZDC_NO_THREAD_SAFETY_ANALYSIS \
+  ZDC_THREAD_ANNOTATION(no_thread_safety_analysis)

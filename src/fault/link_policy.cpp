@@ -14,13 +14,13 @@ LinkPolicy::LinkPolicy(std::uint32_t n)
 LinkState LinkPolicy::link(ProcessId from, ProcessId to) const {
   ZDC_ASSERT(from < n_ && to < n_);
   if (!ever_faulted() || from == to) return LinkState{};
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return links_[static_cast<std::size_t>(from) * n_ + to];
 }
 
 void LinkPolicy::set_link(ProcessId from, ProcessId to, LinkState state) {
   ZDC_ASSERT(from < n_ && to < n_);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   links_[static_cast<std::size_t>(from) * n_ + to] = state;
   touch();
 }
@@ -31,7 +31,7 @@ void LinkPolicy::partition(const std::vector<ProcessId>& side_a) {
     ZDC_ASSERT(p < n_);
     in_a[p] = true;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   for (ProcessId from = 0; from < n_; ++from) {
     for (ProcessId to = 0; to < n_; ++to) {
       if (in_a[from] != in_a[to]) {
@@ -44,7 +44,7 @@ void LinkPolicy::partition(const std::vector<ProcessId>& side_a) {
 
 void LinkPolicy::isolate(ProcessId p) {
   ZDC_ASSERT(p < n_);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   for (ProcessId q = 0; q < n_; ++q) {
     if (q == p) continue;
     links_[static_cast<std::size_t>(p) * n_ + q].blocked = true;
@@ -54,28 +54,28 @@ void LinkPolicy::isolate(ProcessId p) {
 }
 
 void LinkPolicy::heal() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::fill(links_.begin(), links_.end(), LinkState{});
   touch();
 }
 
 void LinkPolicy::pause(ProcessId p) {
   ZDC_ASSERT(p < n_);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   paused_[p] = 1;
   touch();
 }
 
 void LinkPolicy::resume(ProcessId p) {
   ZDC_ASSERT(p < n_);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   paused_[p] = 0;
 }
 
 bool LinkPolicy::paused(ProcessId p) const {
   ZDC_ASSERT(p < n_);
   if (!ever_faulted()) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return paused_[p] != 0;
 }
 

@@ -30,9 +30,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace zdc::fault {
@@ -58,26 +59,28 @@ class LinkPolicy {
 
   /// Current state of the directed link from -> to. Self-links are never
   /// faulted (a process can always talk to itself).
-  [[nodiscard]] LinkState link(ProcessId from, ProcessId to) const;
+  [[nodiscard]] LinkState link(ProcessId from, ProcessId to) const
+      ZDC_EXCLUDES(mu_);
 
   /// Overrides one directed link.
-  void set_link(ProcessId from, ProcessId to, LinkState state);
+  void set_link(ProcessId from, ProcessId to, LinkState state)
+      ZDC_EXCLUDES(mu_);
 
   /// Cuts every link crossing the {side_a | rest} cut, both directions.
   /// Links inside each side are left untouched.
-  void partition(const std::vector<ProcessId>& side_a);
+  void partition(const std::vector<ProcessId>& side_a) ZDC_EXCLUDES(mu_);
 
   /// Cuts every link to and from p (p keeps talking to itself).
-  void isolate(ProcessId p);
+  void isolate(ProcessId p) ZDC_EXCLUDES(mu_);
 
   /// Clears every link override (partitions, isolations, drop/delay
   /// overrides). Pause state is NOT touched — heal mends the network, not
   /// the processes.
-  void heal();
+  void heal() ZDC_EXCLUDES(mu_);
 
-  void pause(ProcessId p);
-  void resume(ProcessId p);
-  [[nodiscard]] bool paused(ProcessId p) const;
+  void pause(ProcessId p) ZDC_EXCLUDES(mu_);
+  void resume(ProcessId p) ZDC_EXCLUDES(mu_);
+  [[nodiscard]] bool paused(ProcessId p) const ZDC_EXCLUDES(mu_);
 
   /// True once any fault was ever injected; fabrics use it as a lock-free
   /// fast path (false => every link clean, nobody paused).
@@ -89,10 +92,11 @@ class LinkPolicy {
   void touch() { active_.store(true, std::memory_order_release); }
 
   const std::uint32_t n_;
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
   std::atomic<bool> active_{false};
-  std::vector<LinkState> links_;        ///< n*n, row-major [from*n + to]
-  std::vector<std::uint8_t> paused_;
+  /// n*n, row-major [from*n + to]
+  std::vector<LinkState> links_ ZDC_GUARDED_BY(mu_);
+  std::vector<std::uint8_t> paused_ ZDC_GUARDED_BY(mu_);
 };
 
 }  // namespace zdc::fault

@@ -16,6 +16,10 @@
 // restart of a volatile protocol is *expected* to be able to violate
 // agreement — see tests/recovery_test.cpp); keep allow_restart=false for
 // L-/P-Consensus and the other volatile stacks.
+//
+// Threading: plan generation is pure (seeded Rng in, FaultPlan out) and holds
+// no locks; concurrency only enters when a driver *applies* a plan to the
+// mutex-guarded fault::LinkPolicy (see link_policy.h for its annotations).
 #pragma once
 
 #include <cstdint>

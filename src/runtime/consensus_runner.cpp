@@ -6,6 +6,8 @@
 
 #include "common/assert.h"
 #include "common/log.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "consensus/recovering_paxos.h"
 
 namespace zdc::runtime {
@@ -47,9 +49,9 @@ struct ConsensusRunner::Node {
   std::atomic<bool> up{true};
   std::atomic<bool> decided{false};
   std::atomic<bool> has_proposal{false};
-  mutable std::mutex mu;  ///< guards decision + proposal (cross-thread reads)
-  Value decision;
-  Value proposal;
+  mutable common::Mutex mu;  ///< guards decision + proposal (cross-thread reads)
+  Value decision ZDC_GUARDED_BY(mu);
+  Value proposal ZDC_GUARDED_BY(mu);
 };
 
 ConsensusRunner::ConsensusRunner(GroupParams group, Transport& net,
@@ -106,7 +108,7 @@ void ConsensusRunner::handle(ProcessId p, const Delivery& d) {
 void ConsensusRunner::propose(ProcessId p, const Value& v) {
   Node& node = *nodes_[p];
   {
-    std::lock_guard<std::mutex> lock(node.mu);
+    common::MutexLock lock(node.mu);
     node.proposal = v;
   }
   node.has_proposal.store(true, std::memory_order_release);
@@ -115,7 +117,7 @@ void ConsensusRunner::propose(ProcessId p, const Value& v) {
     if (!n.up.load(std::memory_order_acquire)) return;
     Value value;
     {
-      std::lock_guard<std::mutex> lock(n.mu);
+      common::MutexLock lock(n.mu);
       value = n.proposal;
     }
     n.protocol->propose(value);
@@ -146,7 +148,7 @@ void ConsensusRunner::restart(ProcessId p) {
     if (n.has_proposal.load(std::memory_order_acquire)) {
       Value value;
       {
-        std::lock_guard<std::mutex> lock(n.mu);
+        common::MutexLock lock(n.mu);
         value = n.proposal;
       }
       n.protocol->propose(value);
@@ -157,7 +159,7 @@ void ConsensusRunner::restart(ProcessId p) {
 void ConsensusRunner::record_decision(ProcessId p, const Value& v) {
   Node& node = *nodes_[p];
   {
-    std::lock_guard<std::mutex> lock(node.mu);
+    common::MutexLock lock(node.mu);
     node.decision = v;
   }
   node.decided.store(true, std::memory_order_release);
@@ -167,7 +169,7 @@ void ConsensusRunner::record_decision(ProcessId p, const Value& v) {
   bool have = false;
   for (const auto& other : nodes_) {
     if (!other->decided.load(std::memory_order_acquire)) continue;
-    std::lock_guard<std::mutex> lock(other->mu);
+    common::MutexLock lock(other->mu);
     if (!have) {
       first = other->decision;
       have = true;
@@ -187,7 +189,7 @@ bool ConsensusRunner::decided(ProcessId p) const {
 Value ConsensusRunner::decision(ProcessId p) const {
   const Node& node = *nodes_[p];
   ZDC_ASSERT(node.decided.load(std::memory_order_acquire));
-  std::lock_guard<std::mutex> lock(node.mu);
+  common::MutexLock lock(node.mu);
   return node.decision;
 }
 

@@ -10,8 +10,13 @@
 // partially-synchronous executions, while Strong Completeness follows from
 // crashed processes staying silent forever.
 //
-// Threading: all calls (ticks, on_heartbeat, view reads) happen on the owning
-// process's worker thread; the module needs no internal locking.
+// Threading: all calls (ticks, on_heartbeat, estimator reads) happen on the
+// owning process's worker thread, so the module needs no internal locking and
+// carries no ZDC_GUARDED_BY annotations — the estimator vectors are
+// thread-confined, not shared. The only cross-thread surface is the
+// SuspectView output, published through the `suspected_` atomics (and the
+// false_suspicions_ counter); anything else read off-worker (e.g.
+// effective_timeout_ms) is test-only and racy by contract.
 #pragma once
 
 #include <atomic>

@@ -1,8 +1,11 @@
 #include "runtime/inproc_net.h"
 
 #include <chrono>
+#include <mutex>
 
 #include "common/assert.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace zdc::runtime {
 
@@ -27,14 +30,23 @@ struct InprocNetwork::Mailbox {
     }
   };
 
-  std::mutex mu;
+  common::Mutex mu;
   std::condition_variable cv;
   std::priority_queue<std::shared_ptr<Item>, std::vector<std::shared_ptr<Item>>,
                       Later>
-      queue;
-  common::Rng rng;  // guarded by mu
-  std::uint64_t next_seq = 0;
-  bool busy = false;  // worker is executing a handler
+      queue ZDC_GUARDED_BY(mu);
+  common::Rng rng ZDC_GUARDED_BY(mu);
+  std::uint64_t next_seq ZDC_GUARDED_BY(mu) = 0;
+  bool busy ZDC_GUARDED_BY(mu) = false;  // worker is executing a handler
+
+  /// Injected delay for one inbound message (this mailbox's rng).
+  double sample_delay(const Config& cfg, Channel channel) ZDC_REQUIRES(mu) {
+    double delay = rng.uniform(cfg.min_delay_ms, cfg.max_delay_ms);
+    if (channel == Channel::kWab) {
+      delay += rng.exponential(cfg.wab_jitter_mean_ms);
+    }
+    return delay;
+  }
 };
 
 InprocNetwork::InprocNetwork(Config cfg) : cfg_(cfg), links_(cfg.n) {
@@ -69,7 +81,7 @@ void InprocNetwork::shutdown() {
   if (!running_.load()) return;
   stopping_.store(true);
   for (auto& box : mailboxes_) {
-    std::lock_guard<std::mutex> lock(box->mu);
+    common::MutexLock lock(box->mu);
     box->cv.notify_all();
   }
   for (auto& worker : workers_) {
@@ -79,19 +91,10 @@ void InprocNetwork::shutdown() {
   running_.store(false);
 }
 
-double InprocNetwork::sample_delay(Channel channel, Mailbox& to_box) {
-  // Caller holds to_box.mu.
-  double delay = to_box.rng.uniform(cfg_.min_delay_ms, cfg_.max_delay_ms);
-  if (channel == Channel::kWab) {
-    delay += to_box.rng.exponential(cfg_.wab_jitter_mean_ms);
-  }
-  return delay;
-}
-
 void InprocNetwork::push(ProcessId to, Item item) {
   Mailbox& box = *mailboxes_[to];
   {
-    std::lock_guard<std::mutex> lock(box.mu);
+    common::MutexLock lock(box.mu);
     item.seq = box.next_seq++;
     if (!item.is_timer) {
       // Sample injected delay with the receiver's RNG (deterministic given
@@ -100,7 +103,7 @@ void InprocNetwork::push(ProcessId to, Item item) {
           cfg_.wab_loss_prob > 0.0 && box.rng.chance(cfg_.wab_loss_prob)) {
         return;  // best-effort datagram lost
       }
-      double delay = sample_delay(item.delivery.channel, box);
+      double delay = box.sample_delay(cfg_, item.delivery.channel);
       const fault::LinkState link = links_.link(item.delivery.from, to);
       if (!link.clean()) {
         if (item.delivery.channel != Channel::kProtocol &&
@@ -176,7 +179,7 @@ void InprocNetwork::restart(ProcessId p) {
   if (!crashed(p)) return;
   Mailbox& box = *mailboxes_[p];
   {
-    std::lock_guard<std::mutex> lock(box.mu);
+    common::MutexLock lock(box.mu);
     // The dead incarnation's inbox (messages *and* timers) is gone — a
     // reboot keeps nothing but stable storage. next_seq keeps counting so
     // item ordering stays monotonic across incarnations.
@@ -191,14 +194,14 @@ void InprocNetwork::worker_loop(ProcessId p) {
   for (;;) {
     std::shared_ptr<Item> item;
     {
-      std::unique_lock<std::mutex> lock(box.mu);
+      common::MutexLock lock(box.mu);
       for (;;) {
         if (stopping_.load()) return;
         if (links_.paused(p)) {
           // SIGSTOP semantics: the worker is frozen — items (messages and
           // timers alike) stay queued until resume. Short poll: the policy
           // table has no wakeup hook.
-          box.cv.wait_for(lock, std::chrono::microseconds(500));
+          box.cv.wait_for(lock.inner(), std::chrono::microseconds(500));
           continue;
         }
         if (!box.queue.empty()) {
@@ -209,9 +212,9 @@ void InprocNetwork::worker_loop(ProcessId p) {
             box.busy = true;
             break;
           }
-          box.cv.wait_until(lock, due);
+          box.cv.wait_until(lock.inner(), due);
         } else {
-          box.cv.wait(lock);
+          box.cv.wait(lock.inner());
         }
       }
     }
@@ -219,7 +222,7 @@ void InprocNetwork::worker_loop(ProcessId p) {
     // the queue (TCP stalls across the cut); it retries until the heal.
     if (!item->is_timer &&
         links_.link(item->delivery.from, p).blocked) {
-      std::lock_guard<std::mutex> lock(box.mu);
+      common::MutexLock lock(box.mu);
       if (item->delivery.channel == Channel::kProtocol) {
         item->seq = box.next_seq++;
         item->due = Clock::now() + std::chrono::milliseconds(1);
@@ -236,7 +239,7 @@ void InprocNetwork::worker_loop(ProcessId p) {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(box.mu);
+      common::MutexLock lock(box.mu);
       box.busy = false;
     }
   }

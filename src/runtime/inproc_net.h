@@ -21,7 +21,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
@@ -30,6 +29,11 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "runtime/transport.h"
+
+// Locking discipline (checked by -Wthread-safety, see Mailbox in the .cpp):
+// each Mailbox owns one common::Mutex guarding its queue/rng/sequence state;
+// senders on any thread push under it, the owning worker pops under it and
+// runs handlers outside it.
 
 namespace zdc::runtime {
 
@@ -74,7 +78,6 @@ class InprocNetwork final : public Transport {
 
   void worker_loop(ProcessId p);
   void push(ProcessId to, Item item);
-  double sample_delay(Channel channel, Mailbox& to_box);
 
   Config cfg_;
   fault::LinkPolicy links_;

@@ -15,6 +15,7 @@
 #include "common/assert.h"
 #include "common/codec.h"
 #include "common/log.h"
+#include "common/mutex.h"
 
 namespace zdc::runtime {
 
@@ -35,12 +36,14 @@ Clock::time_point after_ms(double ms) {
 
 /// Everything one process owns: socket, timers, ARQ state.
 struct UdpNetwork::Endpoint {
-  int fd = -1;
-  std::uint16_t port = 0;
+  int fd = -1;           // immutable after the constructor
+  std::uint16_t port = 0;  // immutable after the constructor
+  /// Written before start(), read only by the recv thread afterwards
+  /// (enforced by the assertion in set_handler — no lock needed).
   Handler handler;
   std::atomic<bool> crashed{false};
 
-  std::mutex mu;  // guards everything below (senders push from other threads)
+  common::Mutex mu;  // guards everything below (senders push from other threads)
 
   // Outbound reliable state: seq -> (destination, encoded datagram, due).
   struct Pending {
@@ -49,15 +52,15 @@ struct UdpNetwork::Endpoint {
     Clock::time_point next_retransmit;
     double backoff_ms = 0.0;  ///< next retry interval (doubles up to the cap)
   };
-  std::map<std::uint64_t, Pending> unacked;
-  std::uint64_t next_seq = 1;
+  std::map<std::uint64_t, Pending> unacked ZDC_GUARDED_BY(mu);
+  std::uint64_t next_seq ZDC_GUARDED_BY(mu) = 1;
 
   // Inbound dedupe per sender: everything <= watermark seen, plus stragglers.
   struct SeenFrom {
     std::uint64_t watermark = 0;
     std::set<std::uint64_t> above;
   };
-  std::map<ProcessId, SeenFrom> seen;
+  std::map<ProcessId, SeenFrom> seen ZDC_GUARDED_BY(mu);
 
   // Timers.
   struct Timer {
@@ -68,10 +71,11 @@ struct UdpNetwork::Endpoint {
       return due != other.due ? due > other.due : ticket > other.ticket;
     }
   };
-  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers;
-  std::uint64_t next_ticket = 0;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers
+      ZDC_GUARDED_BY(mu);
+  std::uint64_t next_ticket ZDC_GUARDED_BY(mu) = 0;
 
-  common::Rng rng{0};
+  common::Rng rng ZDC_GUARDED_BY(mu){0};
 
   ~Endpoint() {
     if (fd >= 0) ::close(fd);
@@ -84,7 +88,12 @@ UdpNetwork::UdpNetwork(Config cfg) : cfg_(cfg), links_(cfg.n) {
   endpoints_.reserve(cfg.n);
   for (std::uint32_t p = 0; p < cfg.n; ++p) {
     auto ep = std::make_unique<Endpoint>();
-    ep->rng = common::Rng(seeder.next_u64());
+    {
+      // No concurrency yet (threads start in start()), but the analysis has
+      // no escape analysis, so seed the guarded rng under its lock.
+      common::MutexLock lock(ep->mu);
+      ep->rng = common::Rng(seeder.next_u64());
+    }
     ep->fd = ::socket(AF_INET, SOCK_DGRAM, 0);
     ZDC_ASSERT_MSG(ep->fd >= 0, "socket() failed");
     sockaddr_in addr{};
@@ -142,7 +151,7 @@ void UdpNetwork::raw_send(ProcessId from, ProcessId to,
     if (link.blocked) return;  // cut link: raw datagrams die (ARQ retries)
     if (link.drop_prob > 0.0) {
       Endpoint& ep = *endpoints_[from];
-      std::lock_guard<std::mutex> lock(ep.mu);
+      common::MutexLock lock(ep.mu);
       if (ep.rng.chance(link.drop_prob)) return;
     }
     if (link.extra_delay_ms > 0.0 && !crashed(from)) {
@@ -179,28 +188,32 @@ void UdpNetwork::send(Channel channel, ProcessId from, ProcessId to,
   enc.put_u8(kTypeData);
   enc.put_u8(static_cast<std::uint8_t>(channel));
   enc.put_u32(from);
-  std::uint64_t seq = 0;
+  std::string datagram;
   if (channel == Channel::kProtocol) {
+    // Sequence allocation and ARQ registration form ONE critical section:
+    // when they were separate, a concurrent restart(from) could clear the
+    // table between them and then inherit the dead incarnation's pending
+    // entry, retransmitting a pre-crash datagram from the new incarnation.
     Endpoint& ep = *endpoints_[from];
-    std::lock_guard<std::mutex> lock(ep.mu);
+    common::MutexLock lock(ep.mu);
     // Sequence space is shared across destinations at the sender (simpler
     // and correct: the receiver dedupes per sender).
-    seq = ep.next_seq++;
-  }
-  enc.put_u64(seq);
-  enc.put_u64(wab_instance);
-  enc.put_raw(bytes);
-  std::string datagram = enc.take();
-
-  if (channel == Channel::kProtocol) {
-    Endpoint& ep = *endpoints_[from];
-    std::lock_guard<std::mutex> lock(ep.mu);
+    const std::uint64_t seq = ep.next_seq++;
+    enc.put_u64(seq);
+    enc.put_u64(wab_instance);
+    enc.put_raw(bytes);
+    datagram = enc.take();
     Endpoint::Pending pending;
     pending.to = to;
     pending.datagram = datagram;
     pending.next_retransmit = after_ms(cfg_.retransmit_interval_ms);
     pending.backoff_ms = cfg_.retransmit_interval_ms;
     ep.unacked.emplace(seq, std::move(pending));
+  } else {
+    enc.put_u64(0);
+    enc.put_u64(wab_instance);
+    enc.put_raw(bytes);
+    datagram = enc.take();
   }
   raw_send(from, to, datagram);
 }
@@ -217,7 +230,7 @@ void UdpNetwork::schedule(ProcessId p, double delay_ms,
   ZDC_ASSERT(p < cfg_.n);
   if (crashed(p)) return;
   Endpoint& ep = *endpoints_[p];
-  std::lock_guard<std::mutex> lock(ep.mu);
+  common::MutexLock lock(ep.mu);
   Endpoint::Timer timer;
   timer.due = after_ms(delay_ms);
   timer.ticket = ep.next_ticket++;
@@ -231,7 +244,7 @@ void UdpNetwork::crash(ProcessId p) {
   // Peers stop retransmitting towards p.
   for (std::uint32_t q = 0; q < cfg_.n; ++q) {
     Endpoint& ep = *endpoints_[q];
-    std::lock_guard<std::mutex> lock(ep.mu);
+    common::MutexLock lock(ep.mu);
     for (auto it = ep.unacked.begin(); it != ep.unacked.end();) {
       it = it->second.to == p ? ep.unacked.erase(it) : std::next(it);
     }
@@ -247,7 +260,7 @@ void UdpNetwork::restart(ProcessId p) {
   Endpoint& ep = *endpoints_[p];
   if (!ep.crashed.load()) return;
   {
-    std::lock_guard<std::mutex> lock(ep.mu);
+    common::MutexLock lock(ep.mu);
     // The dead incarnation's volatile transport state is gone: its pending
     // retransmissions and timers died with it. next_seq and the per-sender
     // dedupe maps are kept monotonic across incarnations, so peers' ack
@@ -272,7 +285,7 @@ void UdpNetwork::handle_datagram(ProcessId p, const char* data,
     const ProcessId acker = dec.get_u32();
     const std::uint64_t seq = dec.get_u64();
     if (!dec.done() || acker >= cfg_.n) return;
-    std::lock_guard<std::mutex> lock(ep.mu);
+    common::MutexLock lock(ep.mu);
     ep.unacked.erase(seq);
     return;
   }
@@ -296,7 +309,7 @@ void UdpNetwork::handle_datagram(ProcessId p, const char* data,
     // Dedupe per sender. Scoped: the handler below may send to self, which
     // re-locks this same mutex.
     {
-      std::lock_guard<std::mutex> lock(ep.mu);
+      common::MutexLock lock(ep.mu);
       auto& seen = ep.seen[from];
       if (seq <= seen.watermark || seen.above.count(seq) != 0) return;
       seen.above.insert(seq);
@@ -324,7 +337,7 @@ void UdpNetwork::run_due_work(ProcessId p) {
   // Timers (run outside the lock; they may send).
   std::vector<std::function<void()>> due;
   {
-    std::lock_guard<std::mutex> lock(ep.mu);
+    common::MutexLock lock(ep.mu);
     while (!ep.timers.empty() && ep.timers.top().due <= now) {
       due.push_back(ep.timers.top().fn);
       ep.timers.pop();
@@ -337,14 +350,24 @@ void UdpNetwork::run_due_work(ProcessId p) {
   // to the cap instead of hammering at the base rate forever.
   std::vector<std::pair<ProcessId, std::string>> resend;
   {
-    std::lock_guard<std::mutex> lock(ep.mu);
-    for (auto& [seq, pending] : ep.unacked) {
+    common::MutexLock lock(ep.mu);
+    for (auto it = ep.unacked.begin(); it != ep.unacked.end();) {
+      auto& pending = it->second;
+      // Entries towards a crashed destination are purged here, not just
+      // skipped: crash(to)'s purge races in-flight send()s, so an entry
+      // registered just after it would otherwise sit in the table (and back
+      // off against a corpse) until the destination restarts and acks.
+      if (crashed(pending.to)) {
+        it = ep.unacked.erase(it);
+        continue;
+      }
       if (pending.next_retransmit <= now) {
         resend.emplace_back(pending.to, pending.datagram);
         pending.backoff_ms =
             std::min(pending.backoff_ms * 2.0, cfg_.retransmit_cap_ms);
         pending.next_retransmit = after_ms(pending.backoff_ms);
       }
+      ++it;
     }
   }
   for (const auto& [to, datagram] : resend) {
@@ -378,7 +401,7 @@ void UdpNetwork::recv_loop(ProcessId p) {
       if (got > 0 && !ep.crashed.load()) {
         bool drop = false;
         if (cfg_.drop_prob > 0.0) {
-          std::lock_guard<std::mutex> lock(ep.mu);
+          common::MutexLock lock(ep.mu);
           drop = ep.rng.chance(cfg_.drop_prob);
         }
         if (!drop) {

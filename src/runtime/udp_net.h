@@ -25,7 +25,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -33,6 +32,11 @@
 
 #include "common/rng.h"
 #include "runtime/transport.h"
+
+// Locking discipline (checked by -Wthread-safety, see Endpoint in the .cpp):
+// each Endpoint owns one common::Mutex guarding its ARQ/dedupe/timer state;
+// senders on any thread and the endpoint's recv thread take it briefly and
+// never call out while holding it.
 
 namespace zdc::runtime {
 

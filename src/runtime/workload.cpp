@@ -2,11 +2,12 @@
 
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace zdc::runtime {
 
@@ -24,20 +25,25 @@ RuntimeWorkloadResult run_runtime_workload(const RuntimeWorkloadConfig& cfg) {
   const std::uint32_t n = cfg.cluster.group.n;
 
   struct Shared {
-    std::mutex mu;
-    std::map<std::string, Clock::time_point> sent;        // key -> submit time
-    std::map<std::string, Clock::time_point> first_seen;  // key -> delivery
-    std::vector<std::vector<std::string>> histories;
-    std::vector<std::uint32_t> counts;
+    common::Mutex mu;
+    /// key -> submit time
+    std::map<std::string, Clock::time_point> sent ZDC_GUARDED_BY(mu);
+    /// key -> first delivery anywhere
+    std::map<std::string, Clock::time_point> first_seen ZDC_GUARDED_BY(mu);
+    std::vector<std::vector<std::string>> histories ZDC_GUARDED_BY(mu);
+    std::vector<std::uint32_t> counts ZDC_GUARDED_BY(mu);
   };
   Shared shared;
-  shared.histories.resize(n);
-  shared.counts.assign(n, 0);
+  {
+    common::MutexLock lock(shared.mu);
+    shared.histories.resize(n);
+    shared.counts.assign(n, 0);
+  }
 
   RuntimeCluster cluster(
       cfg.cluster, [&shared](ProcessId p, const abcast::AppMessage& m) {
         const auto now = Clock::now();
-        std::lock_guard<std::mutex> lock(shared.mu);
+        common::MutexLock lock(shared.mu);
         shared.first_seen.emplace(m.payload, now);  // first delivery wins
         shared.histories[p].push_back(m.payload);
         ++shared.counts[p];
@@ -57,7 +63,7 @@ RuntimeWorkloadResult run_runtime_workload(const RuntimeWorkloadConfig& cfg) {
     const std::string key =
         "w:" + std::to_string(sender) + ":" + std::to_string(i) + ":" + filler;
     {
-      std::lock_guard<std::mutex> lock(shared.mu);
+      common::MutexLock lock(shared.mu);
       shared.sent.emplace(key, Clock::now());
     }
     cluster.node(sender).a_broadcast(key);
@@ -66,7 +72,7 @@ RuntimeWorkloadResult run_runtime_workload(const RuntimeWorkloadConfig& cfg) {
   // Wait until every replica delivered everything (or timeout).
   const bool complete = RuntimeCluster::wait_until(
       [&] {
-        std::lock_guard<std::mutex> lock(shared.mu);
+        common::MutexLock lock(shared.mu);
         for (std::uint32_t p = 0; p < n; ++p) {
           if (shared.counts[p] < cfg.message_count) return false;
         }
@@ -74,7 +80,11 @@ RuntimeWorkloadResult run_runtime_workload(const RuntimeWorkloadConfig& cfg) {
       },
       cfg.timeout_ms);
   const auto end = Clock::now();
-  cluster.shutdown();  // joins workers: shared is safe to read plainly now
+  cluster.shutdown();
+  // Workers are joined, but keep the post-processing reads under the lock
+  // anyway: it is uncontended now, and the guarded-by discipline stays
+  // checkable instead of relying on the join for the happens-before edge.
+  common::MutexLock lock(shared.mu);
 
   RuntimeWorkloadResult result;
   result.complete = complete;

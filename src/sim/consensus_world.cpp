@@ -375,6 +375,9 @@ void ConsensusWorld::run_on_node(ProcessId p, std::function<void()> fn) {
     paused_work_[p].push_back(std::move(fn));
     return;
   }
+  // Tag assertion failures inside the handler with (node, sim time) — every
+  // protocol invocation in this world funnels through here.
+  detail::AssertContextScope scope(p, events_.now());
   fn();
 }
 

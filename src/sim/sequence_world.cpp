@@ -132,7 +132,10 @@ void SequenceWorld::start_instance(std::uint32_t index) {
     // Propose via an event so instance construction never recurses into
     // message delivery.
     events_.after(0.0, [this, index, p, proposal] {
-      if (!crashed_[p]) instances_[index]->procs[p].protocol->propose(proposal);
+      if (!crashed_[p]) {
+        detail::AssertContextScope scope(p, events_.now());
+        instances_[index]->procs[p].protocol->propose(proposal);
+      }
     });
   }
 }
@@ -157,6 +160,7 @@ void SequenceWorld::unicast(ProcessId from, ProcessId to, std::string framed) {
       if (inst.procs.empty()) return;
       auto& pi = inst.procs[to];
       if (pi.protocol != nullptr && !pi.decided) {
+        detail::AssertContextScope scope(to, events_.now());
         pi.protocol->on_message(from, dec.get_rest());
       }
     });

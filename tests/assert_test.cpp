@@ -1,0 +1,49 @@
+// ZDC_ASSERT failure reporting: expression + file:line always, plus the
+// simulated (node, time) context when a harness published one via
+// AssertContextScope — and the scope must restore on exit so nested
+// harnesses and harness-free code never inherit stale context.
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+
+namespace zdc {
+namespace {
+
+TEST(AssertContextTest, ScopePublishesAndRestores) {
+  EXPECT_EQ(detail::assert_context().node, -1);
+  {
+    detail::AssertContextScope outer(2, 13.25);
+    EXPECT_EQ(detail::assert_context().node, 2);
+    EXPECT_DOUBLE_EQ(detail::assert_context().time_ms, 13.25);
+    {
+      detail::AssertContextScope inner(0, 99.0);
+      EXPECT_EQ(detail::assert_context().node, 0);
+    }
+    // Inner scope restored the outer harness's context, not "unknown".
+    EXPECT_EQ(detail::assert_context().node, 2);
+  }
+  EXPECT_EQ(detail::assert_context().node, -1);
+  EXPECT_DOUBLE_EQ(detail::assert_context().time_ms, -1.0);
+}
+
+TEST(AssertDeathTest, PrintsExpressionAndLocation) {
+  EXPECT_DEATH({ ZDC_ASSERT(1 + 1 == 3); },
+               "zdc assertion failed: 1 \\+ 1 == 3\n  at .*assert_test");
+}
+
+TEST(AssertDeathTest, PrintsNodeAndSimTimeContext) {
+  EXPECT_DEATH(
+      {
+        detail::AssertContextScope scope(2, 13.25);
+        ZDC_ASSERT_MSG(false, "quorum lost");
+      },
+      "while executing node p2 at sim t=13\\.250ms\n  quorum lost");
+}
+
+TEST(AssertDeathTest, NoContextLineWithoutHarness) {
+  // Outside any scope the context line is omitted entirely.
+  EXPECT_DEATH({ ZDC_ASSERT(false); }, "at .*assert_test");
+}
+
+}  // namespace
+}  // namespace zdc

@@ -1,0 +1,16 @@
+// Fixture: hygiene rule `bare-assert` — assert() instead of ZDC_ASSERT.
+#include <cassert>
+
+void bad(int x) {
+  assert(x > 0);  // line 5: bare-assert
+}
+
+// Mentioning assert( in a comment must not trip the rule, nor must
+// static_assert or a member named assert.
+static_assert(sizeof(int) >= 4, "ok");
+
+struct Checker {
+  void assert(bool) {}
+};
+
+void fine(Checker& c) { c.assert(true); }

@@ -1,0 +1,28 @@
+// Fixture: a file that is clean under every rule, including the tokenizer
+// traps — banned names inside comments, strings and raw strings, identifiers
+// that merely contain a banned substring, and ordered-container iteration.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+// rand() and std::cout in a comment are not uses; neither is time( here.
+const char* kHelp = "seed defaults to time(nullptr); pipe std::cout to a file";
+const char* kRaw = R"(assert(x) and steady_clock belong to the caller)";
+
+struct Sample {
+  double timestamp = 0;
+  double randomness = 0;  // identifier contains "random"
+};
+
+int ordered_walk(const std::map<int, std::string>& m) {
+  int n = 0;
+  for (const auto& [k, v] : m) n += k;  // std::map: deterministic order
+  return n;
+}
+
+bool lookup(const std::unordered_map<int, Sample>& idx) {
+  return idx.find(3) != idx.end();  // lookup on unordered is fine
+}
+
+std::vector<int> numbers() { return {1, 2, 3}; }

@@ -1,0 +1,17 @@
+// Fixture: determinism rule `raw-random` — unseeded/global randomness.
+#include <cstdlib>
+#include <random>
+
+int bad_device() {
+  std::random_device rd;  // line 6: raw-random
+  return static_cast<int>(rd());
+}
+
+int bad_engine() {
+  std::mt19937 gen(42);  // line 11: raw-random (engine must come via Rng)
+  return static_cast<int>(gen());
+}
+
+int bad_rand() {
+  return rand();  // line 16: raw-random
+}

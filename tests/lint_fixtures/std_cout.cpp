@@ -1,0 +1,12 @@
+// Fixture: hygiene rule `std-cout` — stdout printing from library code.
+#include <iostream>
+
+void bad() {
+  std::cout << "decided\n";  // line 5: std-cout
+}
+
+void fine() {
+  // "std::cout" inside a string literal is not a use:
+  const char* doc = "redirect std::cout before calling";
+  std::cerr << doc;
+}

@@ -1,0 +1,22 @@
+// Fixture: determinism rule `unordered-iter` — iterating an unordered
+// container. Lookups (find/count/operator[]) are fine; walks are not.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int bad_range_for(const std::unordered_map<int, std::string>& pending) {
+  int n = 0;
+  for (const auto& [k, v] : pending) {  // line 9: unordered-iter
+    n += k;
+  }
+  return n;
+}
+
+int bad_begin() {
+  std::unordered_set<int> seen;
+  return *seen.begin();  // line 17: unordered-iter
+}
+
+bool fine_lookup(const std::unordered_map<int, std::string>& pending) {
+  return pending.count(7) != 0;  // lookup, not iteration
+}

@@ -1,0 +1,11 @@
+// Fixture: determinism rule `wall-clock` — chrono clock types.
+#include <chrono>
+
+double bad_now() {
+  auto t = std::chrono::steady_clock::now();  // line 5: wall-clock
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long bad_epoch() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // 10
+}

@@ -1,0 +1,22 @@
+// Fixture: determinism rule `wall-time` — C time calls; member functions and
+// identifiers that merely *end* in "time" must not trip it.
+#include <ctime>
+
+struct Msg {
+  double arrival = 0;
+  double time() const { return arrival; }
+};
+
+long bad_time() {
+  return ::time(nullptr);  // line 11: wall-time
+}
+
+long bad_clock() {
+  return clock();  // line 15: wall-time
+}
+
+double fine(const Msg& m) {
+  double arrival_time(0);       // own identifier, not time(
+  arrival_time += m.time();     // member call, not the C function
+  return arrival_time;
+}

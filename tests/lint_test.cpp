@@ -1,0 +1,130 @@
+// Tests for the zdc_lint scanner itself (tools/lint_core.*): each rule has a
+// fixture with deliberate violations plus near-miss constructs that must NOT
+// fire, and the allow-marker contract (same line / line above, mandatory
+// justification, unknown rule names) is pinned down exactly.
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint_core.h"
+
+namespace zdc::lint {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Lints a fixture under the determinism rule set and returns (line, rule)
+/// pairs, sorted.
+std::vector<std::pair<int, std::string>> hits(const std::string& name,
+                                              bool determinism = true) {
+  Options opts;
+  opts.determinism = determinism;
+  std::vector<std::pair<int, std::string>> out;
+  for (const Violation& v : lint_source(name, read_fixture(name), opts)) {
+    EXPECT_EQ(v.file, name);
+    out.emplace_back(v.line, v.rule);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+using Hits = std::vector<std::pair<int, std::string>>;
+
+TEST(LintTest, WallClock) {
+  EXPECT_EQ(hits("wall_clock.cpp"),
+            (Hits{{5, "wall-clock"}, {10, "wall-clock"}}));
+}
+
+TEST(LintTest, WallTime) {
+  // The member function *declaration* `double time() const`, the member call
+  // `m.time()` and the identifier `arrival_time` must all stay silent.
+  EXPECT_EQ(hits("wall_time.cpp"), (Hits{{11, "wall-time"}, {15, "wall-time"}}));
+}
+
+TEST(LintTest, RawRandom) {
+  EXPECT_EQ(hits("raw_random.cpp"),
+            (Hits{{6, "raw-random"}, {11, "raw-random"}, {16, "raw-random"}}));
+}
+
+TEST(LintTest, UnorderedIter) {
+  // Range-for and .begin() walks fire; the .count() lookup does not.
+  EXPECT_EQ(hits("unordered_iter.cpp"),
+            (Hits{{9, "unordered-iter"}, {17, "unordered-iter"}}));
+}
+
+TEST(LintTest, BareAssert) {
+  // static_assert, a comment mentioning assert(, a member *named* assert and
+  // its member-call use must all stay silent.
+  EXPECT_EQ(hits("bare_assert.cpp"), (Hits{{5, "bare-assert"}}));
+}
+
+TEST(LintTest, StdCout) {
+  EXPECT_EQ(hits("std_cout.cpp"), (Hits{{5, "std-cout"}}));
+}
+
+TEST(LintTest, DeterminismRulesAreScoped) {
+  // Outside the deterministic dirs only the hygiene rules run: the same
+  // fixtures come back clean without opts.determinism.
+  EXPECT_TRUE(hits("wall_clock.cpp", /*determinism=*/false).empty());
+  EXPECT_TRUE(hits("raw_random.cpp", /*determinism=*/false).empty());
+  EXPECT_TRUE(hits("unordered_iter.cpp", /*determinism=*/false).empty());
+}
+
+TEST(LintTest, CleanFile) {
+  // Banned names in comments / strings / raw strings, identifiers merely
+  // containing banned substrings, and ordered-container iteration: no hits.
+  EXPECT_TRUE(hits("clean.cpp").empty());
+}
+
+TEST(LintTest, AllowMarkers) {
+  // Valid same-line and line-above markers suppress (lines 7 and 12);
+  // a marker without justification reports allow-needs-reason AND leaves the
+  // underlying violation live (line 17); an unknown rule name reports
+  // unknown-allow likewise (line 22); a marker for a different rule
+  // suppresses nothing (line 27).
+  EXPECT_EQ(hits("allow_marker.cpp"),
+            (Hits{{17, "allow-needs-reason"},
+                  {17, "wall-time"},
+                  {22, "raw-random"},
+                  {22, "unknown-allow"},
+                  {27, "wall-time"}}));
+}
+
+TEST(LintTest, FormatIsStable) {
+  const Violation v{"src/sim/event_queue.cpp", 42, "wall-clock", "boom"};
+  EXPECT_EQ(format(v), "src/sim/event_queue.cpp:42: [wall-clock] boom");
+}
+
+TEST(LintTest, RunWalksFixtureTree) {
+  // Drive the directory walker itself over the fixture dir: every fixture is
+  // found, output is sorted by path, and det_dirs scoping is honored.
+  RunConfig cfg;
+  cfg.root = LINT_FIXTURE_DIR;
+  cfg.hygiene_dirs = {"."};
+  cfg.det_dirs = {};  // hygiene only
+  std::set<std::string> files;
+  for (const Violation& v : run(cfg)) {
+    files.insert(v.file);
+    EXPECT_TRUE(v.rule == "bare-assert" || v.rule == "std-cout" ||
+                v.rule == "allow-needs-reason" || v.rule == "unknown-allow")
+        << "determinism rule fired without det_dirs: " << format(v);
+  }
+  EXPECT_TRUE(files.count("./bare_assert.cpp") == 1 ||
+              files.count("bare_assert.cpp") == 1)
+      << "walker missed bare_assert.cpp";
+}
+
+}  // namespace
+}  // namespace zdc::lint

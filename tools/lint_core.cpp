@@ -1,0 +1,437 @@
+#include "lint_core.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace zdc::lint {
+
+namespace {
+
+const std::set<std::string>& known_rules() {
+  static const std::set<std::string> rules = {
+      "wall-clock", "wall-time",   "raw-random",
+      "unordered-iter", "bare-assert", "std-cout",
+  };
+  return rules;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer: identifiers and punctuation with line numbers; comments, string
+// literals (including raw strings) and numbers are skipped. "::" and "->" are
+// single tokens so qualification checks stay simple.
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool ident = false;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::vector<Token> tokenize(const std::string& src) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto at = [&](std::size_t k) { return k < n ? src[k] : '\0'; };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && at(i + 1) == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && at(i + 1) == '*') {
+      i += 2;
+      while (i < n && !(src[i] == '*' && at(i + 1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      continue;
+    }
+    // Identifiers (may prefix a raw string: R"delim( ... )delim").
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      std::string word = src.substr(i, j - i);
+      const bool raw_prefix = (word == "R" || word == "u8R" || word == "LR" ||
+                               word == "uR" || word == "UR");
+      if (raw_prefix && at(j) == '"') {
+        std::size_t k = j + 1;
+        std::string delim;
+        while (k < n && src[k] != '(') delim += src[k++];
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t end = src.find(closer, k);
+        const std::size_t stop = end == std::string::npos ? n : end + closer.size();
+        for (std::size_t m = i; m < stop; ++m) {
+          if (src[m] == '\n') ++line;
+        }
+        i = stop;
+        continue;
+      }
+      out.push_back(Token{std::move(word), line, true});
+      i = j;
+      continue;
+    }
+    // Numeric literals (so 1e9f never looks like an identifier).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(at(i + 1))))) {
+      ++i;
+      while (i < n && (ident_char(src[i]) || src[i] == '.' || src[i] == '\'' ||
+                       ((src[i] == '+' || src[i] == '-') &&
+                        (std::tolower(at(i - 1)) == 'e' ||
+                         std::tolower(at(i - 1)) == 'p')))) {
+        ++i;
+      }
+      continue;
+    }
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\') ++i;
+        if (i < n && src[i] == '\n') ++line;
+        ++i;
+      }
+      ++i;
+      continue;
+    }
+    // Multi-char punctuation we care about, then single chars.
+    if (c == ':' && at(i + 1) == ':') {
+      out.push_back(Token{"::", line, false});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && at(i + 1) == '>') {
+      out.push_back(Token{"->", line, false});
+      i += 2;
+      continue;
+    }
+    out.push_back(Token{std::string(1, c), line, false});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Allow-markers: `// zdc-lint: allow(rule): justification`, suppressing the
+// marker's own line and the line below.
+
+struct AllowTable {
+  std::map<int, std::set<std::string>> by_line;
+  std::vector<Violation> marker_violations;
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+AllowTable parse_allows(const std::string& path, const std::string& src) {
+  AllowTable table;
+  std::istringstream stream(src);
+  std::string text;
+  int line = 0;
+  while (std::getline(stream, text)) {
+    ++line;
+    const std::size_t mark = text.find("zdc-lint:");
+    if (mark == std::string::npos) continue;
+    const std::size_t open = text.find("allow(", mark);
+    if (open == std::string::npos) {
+      table.marker_violations.push_back(
+          {path, line, "unknown-allow", "malformed zdc-lint marker (expected "
+                                        "`zdc-lint: allow(<rule>): <why>`)"});
+      continue;
+    }
+    const std::size_t close = text.find(')', open);
+    if (close == std::string::npos) {
+      table.marker_violations.push_back(
+          {path, line, "unknown-allow", "unterminated allow(<rule>) marker"});
+      continue;
+    }
+    const std::string rule = trim(text.substr(open + 6, close - open - 6));
+    if (known_rules().count(rule) == 0) {
+      table.marker_violations.push_back(
+          {path, line, "unknown-allow",
+           "allow() names unknown rule '" + rule + "'"});
+      continue;
+    }
+    std::string reason = trim(text.substr(close + 1));
+    if (!reason.empty() && reason.front() == ':') reason = trim(reason.substr(1));
+    if (reason.empty()) {
+      table.marker_violations.push_back(
+          {path, line, "allow-needs-reason",
+           "allow(" + rule + ") needs a justification after the marker"});
+      continue;
+    }
+    table.by_line[line].insert(rule);
+  }
+  return table;
+}
+
+bool allowed(const AllowTable& table, int line, const std::string& rule) {
+  for (int probe : {line, line - 1}) {
+    const auto it = table.by_line.find(probe);
+    if (it != table.by_line.end() && it->second.count(rule) != 0) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Rule passes over the token stream.
+
+const std::set<std::string>& clock_types() {
+  static const std::set<std::string> s = {
+      "system_clock", "steady_clock", "high_resolution_clock", "file_clock",
+      "utc_clock", "tai_clock", "gps_clock"};
+  return s;
+}
+
+const std::set<std::string>& time_calls() {
+  static const std::set<std::string> s = {
+      "time", "clock", "gettimeofday", "clock_gettime", "localtime",
+      "gmtime", "mktime", "ftime", "timespec_get"};
+  return s;
+}
+
+const std::set<std::string>& random_types() {
+  static const std::set<std::string> s = {
+      "random_device", "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+      "default_random_engine", "knuth_b", "ranlux24", "ranlux48"};
+  return s;
+}
+
+const std::set<std::string>& random_calls() {
+  static const std::set<std::string> s = {"rand", "srand", "drand48",
+                                          "lrand48", "mrand48", "random",
+                                          "random_shuffle"};
+  return s;
+}
+
+const std::set<std::string>& unordered_types() {
+  static const std::set<std::string> s = {"unordered_map", "unordered_set",
+                                          "unordered_multimap",
+                                          "unordered_multiset"};
+  return s;
+}
+
+/// Variable names declared with an unordered container type in this TU.
+std::set<std::string> unordered_vars(const std::vector<Token>& toks) {
+  std::set<std::string> vars;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].ident || unordered_types().count(toks[i].text) == 0) continue;
+    std::size_t j = i + 1;
+    if (j >= toks.size() || toks[j].text != "<") continue;
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "<") ++depth;
+      if (toks[j].text == ">") {
+        if (--depth == 0) break;
+      }
+    }
+    // After the template argument list: skip refs/pointers, take the
+    // declarator name (but not `>::iterator` chains or function calls).
+    for (++j; j < toks.size() && (toks[j].text == "&" || toks[j].text == "*");
+         ++j) {
+    }
+    if (j < toks.size() && toks[j].ident &&
+        (j + 1 >= toks.size() ||
+         (toks[j + 1].text != "(" && toks[j + 1].text != "::"))) {
+      vars.insert(toks[j].text);
+    }
+  }
+  return vars;
+}
+
+struct Emitter {
+  const std::string& path;
+  const AllowTable& allows;
+  std::vector<Violation>& out;
+
+  void operator()(int line, const std::string& rule,
+                  const std::string& message) const {
+    if (allowed(allows, line, rule)) return;
+    out.push_back({path, line, rule, message});
+  }
+};
+
+/// True when tokens[i] followed by '(' is a *call* of a free function rather
+/// than a member call (`x.time(`), a qualified member, or a declaration
+/// (`double time() const`). A preceding identifier means a declaration —
+/// except `return`/`co_return`/`co_yield`, which introduce expressions.
+bool free_call_context(const std::vector<Token>& toks, std::size_t i) {
+  if (i + 1 >= toks.size() || toks[i + 1].text != "(") return false;
+  if (i == 0) return true;
+  const Token& prev = toks[i - 1];
+  if (prev.text == "." || prev.text == "->") return false;
+  if (prev.ident) {
+    return prev.text == "return" || prev.text == "co_return" ||
+           prev.text == "co_yield";
+  }
+  return true;
+}
+
+void determinism_pass(const std::vector<Token>& toks, const Emitter& emit) {
+  const std::set<std::string> vars = unordered_vars(toks);
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (!t.ident) continue;
+    const std::string next = i + 1 < toks.size() ? toks[i + 1].text : "";
+
+    if (clock_types().count(t.text) != 0) {
+      emit(t.line, "wall-clock",
+           "wall clock '" + t.text +
+               "' in deterministic code — simulated time must come from the "
+               "event queue / TimePoint plumbing");
+    } else if (free_call_context(toks, i) && time_calls().count(t.text) != 0) {
+      emit(t.line, "wall-time",
+           "C time call '" + t.text +
+               "()' in deterministic code — wall time breaks seed replay");
+    } else if (random_types().count(t.text) != 0) {
+      emit(t.line, "raw-random",
+           "'" + t.text +
+               "' in deterministic code — all randomness must flow from a "
+               "seeded common::Rng");
+    } else if (free_call_context(toks, i) &&
+               random_calls().count(t.text) != 0) {
+      emit(t.line, "raw-random",
+           "'" + t.text +
+               "()' in deterministic code — all randomness must flow from a "
+               "seeded common::Rng");
+    } else if (t.text == "for" && next == "(") {
+      // Range-for over an unordered container (by declared variable name or a
+      // freshly constructed temporary).
+      int depth = 0;
+      bool in_range = false;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (toks[j].text == "(") ++depth;
+        if (toks[j].text == ")" && --depth == 0) break;
+        if (toks[j].text == ":" && depth == 1) {
+          in_range = true;
+          continue;
+        }
+        if (in_range && toks[j].ident &&
+            (vars.count(toks[j].text) != 0 ||
+             unordered_types().count(toks[j].text) != 0)) {
+          emit(toks[i].line, "unordered-iter",
+               "range-for over unordered container '" + toks[j].text +
+                   "' — iteration order is unspecified; use std::map/std::set "
+                   "in message-ordering paths");
+          break;
+        }
+      }
+    } else if (vars.count(t.text) != 0 && next == "." && i + 2 < toks.size()) {
+      const std::string& method = toks[i + 2].text;
+      if (method == "begin" || method == "cbegin" || method == "rbegin") {
+        emit(t.line, "unordered-iter",
+             "iterator walk over unordered container '" + t.text +
+                 "' — iteration order is unspecified; use std::map/std::set "
+                 "in message-ordering paths");
+      }
+    }
+  }
+}
+
+void hygiene_pass(const std::vector<Token>& toks, const Emitter& emit) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (!t.ident) continue;
+    if (t.text == "assert" && free_call_context(toks, i)) {
+      emit(t.line, "bare-assert",
+           "bare assert() — use ZDC_ASSERT/ZDC_ASSERT_MSG (always on, prints "
+           "node/time context)");
+    } else if (t.text == "cout") {
+      emit(t.line, "std-cout",
+           "std::cout in library code — use ZDC_LOG (leveled, thread-safe)");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Violation> lint_source(const std::string& path,
+                                   const std::string& content,
+                                   const Options& opts) {
+  std::vector<Violation> out;
+  const AllowTable allows = parse_allows(path, content);
+  out.insert(out.end(), allows.marker_violations.begin(),
+             allows.marker_violations.end());
+  const std::vector<Token> toks = tokenize(content);
+  const Emitter emit{path, allows, out};
+  hygiene_pass(toks, emit);
+  if (opts.determinism) determinism_pass(toks, emit);
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+  return out;
+}
+
+std::vector<Violation> run(const RunConfig& cfg) {
+  namespace fs = std::filesystem;
+  std::vector<Violation> out;
+  std::vector<std::pair<std::string, fs::path>> files;  // (relative, full)
+
+  for (const std::string& dir : cfg.hygiene_dirs) {
+    const fs::path base = fs::path(cfg.root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".hpp" && ext != ".cc" && ext != ".cpp") {
+        continue;
+      }
+      const std::string rel =
+          entry.path().lexically_relative(cfg.root).generic_string();
+      files.emplace_back(rel, entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const auto& [rel, full] : files) {
+    Options opts;
+    for (const std::string& det : cfg.det_dirs) {
+      if (rel.rfind(det + "/", 0) == 0) {
+        opts.determinism = true;
+        break;
+      }
+    }
+    std::ifstream in(full, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::vector<Violation> found = lint_source(rel, buf.str(), opts);
+    out.insert(out.end(), found.begin(), found.end());
+  }
+  return out;
+}
+
+std::string format(const Violation& v) {
+  return v.file + ":" + std::to_string(v.line) + ": [" + v.rule + "] " +
+         v.message;
+}
+
+}  // namespace zdc::lint

@@ -1,0 +1,67 @@
+// zdc_lint core: repo-specific determinism and hygiene rules as a plain
+// file/token scanner (no libclang — it must build everywhere the project
+// builds and run as an ordinary ctest).
+//
+// Determinism rules (deterministic code only: src/sim, src/consensus and the
+// other sans-io protocol dirs — every simulator run must replay bit-for-bit
+// from a seed):
+//   wall-clock      std::chrono clock types (steady_clock, system_clock, ...)
+//   wall-time       C time calls: time(), clock(), gettimeofday(), ...
+//   raw-random      unseeded/global randomness: std::random_device, rand(),
+//                   mt19937 & friends — use common::Rng
+//   unordered-iter  iteration over std::unordered_map/set — iteration order
+//                   is unspecified and breaks replayable schedules
+//
+// Hygiene rules (all of src/):
+//   bare-assert     assert( — use ZDC_ASSERT (never compiled out, prints
+//                   node/time context)
+//   std-cout        std::cout — use zdc::log (leveled, thread-safe)
+//
+// Suppression: a line is exempt from rule R when it, or the line directly
+// above, carries `// zdc-lint: allow(R): <justification>`. The justification
+// is mandatory (allow-needs-reason) and the rule name must exist
+// (unknown-allow); both are reported as violations themselves.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace zdc::lint {
+
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  /// Apply the determinism rules (wall-clock, wall-time, raw-random,
+  /// unordered-iter) in addition to the always-on hygiene rules.
+  bool determinism = false;
+};
+
+/// Lints one translation unit. `path` is only used for reporting.
+std::vector<Violation> lint_source(const std::string& path,
+                                   const std::string& content,
+                                   const Options& opts);
+
+struct RunConfig {
+  /// Repository root; all dirs below are relative to it.
+  std::string root = ".";
+  /// Directories whose sources get the hygiene rules.
+  std::vector<std::string> hygiene_dirs = {"src"};
+  /// Directories whose sources additionally get the determinism rules.
+  std::vector<std::string> det_dirs = {"src/sim",     "src/consensus",
+                                       "src/abcast",  "src/wab",
+                                       "src/core",    "src/fd"};
+};
+
+/// Walks the configured directories (sorted, so output order is stable) and
+/// lints every .h/.hpp/.cc/.cpp file.
+std::vector<Violation> run(const RunConfig& cfg);
+
+/// "file:line: [rule] message" — one line per violation.
+std::string format(const Violation& v);
+
+}  // namespace zdc::lint

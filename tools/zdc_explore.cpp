@@ -12,6 +12,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -43,18 +44,30 @@ struct Flags {
 };
 
 Flags parse_flags(int argc, char** argv, int first) {
+  // Every flag any mode reads; a typo'd flag silently falling back to its
+  // default would make a scenario lie about what it ran.
+  static const std::set<std::string> kKnown = {
+      "crash",     "crash-before", "crash-process", "detect-ms", "f",
+      "fd",        "instances",    "leader",        "messages",  "n",
+      "plan",      "plan-text",    "proposals",     "protocol",  "seed",
+      "throughput", "trace",       "unanimous"};
   Flags flags;
   for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) continue;
     arg = arg.substr(2);
     const auto eq = arg.find('=');
+    std::string key = eq == std::string::npos ? arg : arg.substr(0, eq);
+    if (kKnown.count(key) == 0) {
+      std::fprintf(stderr, "unknown flag --%s (see --help)\n", key.c_str());
+      std::exit(2);
+    }
     if (eq != std::string::npos) {
-      flags.values[arg.substr(0, eq)] = arg.substr(eq + 1);
+      flags.values[key] = arg.substr(eq + 1);
     } else if (i + 1 < argc && argv[i + 1][0] != '-') {
-      flags.values[arg] = argv[++i];
+      flags.values[key] = argv[++i];
     } else {
-      flags.values[arg] = "1";
+      flags.values[key] = "1";
     }
   }
   return flags;

@@ -1,0 +1,50 @@
+// zdc_lint CLI: repo-specific determinism & hygiene linter (see lint_core.h
+// for the rule table). Exit 0 when clean, 1 when violations were found,
+// 2 on usage errors.
+//
+//   zdc_lint --root <repo-root>          lint the default directory set
+//   zdc_lint --root <r> src/sim src/fd   lint only the named hygiene dirs
+//
+// Directories named on the command line replace the default hygiene set;
+// determinism dirs stay the built-in list (a named dir gets the determinism
+// rules iff it is one of them).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint_core.h"
+
+int main(int argc, char** argv) {
+  zdc::lint::RunConfig cfg;
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "zdc_lint: --root needs a path\n");
+        return 2;
+      }
+      cfg.root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr, "usage: zdc_lint [--root <repo-root>] [dir...]\n");
+      return 2;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "zdc_lint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (!dirs.empty()) cfg.hygiene_dirs = dirs;
+
+  const std::vector<zdc::lint::Violation> violations = zdc::lint::run(cfg);
+  for (const auto& v : violations) {
+    std::fprintf(stdout, "%s\n", zdc::lint::format(v).c_str());
+  }
+  if (violations.empty()) {
+    std::fprintf(stdout, "zdc_lint: clean\n");
+    return 0;
+  }
+  std::fprintf(stdout, "zdc_lint: %zu violation(s)\n", violations.size());
+  return 1;
+}
