@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "sim/abcast_world.h"
 
 namespace zdc::bench {
@@ -39,7 +40,12 @@ inline SweepPoint run_point(const std::string& protocol, GroupParams group,
     sim::AbcastRunConfig cfg;
     cfg.group = group;
     cfg.net = sim::calibrated_lan_2006();
-    cfg.seed = seed_base + rep * 1000003;
+    // Per-cell seed via splitmix64 over (base, protocol, throughput, rep):
+    // the former additive `seed_base + rep * K` reused the same stream for
+    // every protocol and sweep point and could collide across bases,
+    // silently correlating "independent" repeats (collision regression in
+    // stats_test.cpp).
+    cfg.seed = common::mix_seed(seed_base, protocol, throughput, rep);
     cfg.throughput_per_s = throughput;
     cfg.message_count = message_count;
     if (protocol == "paxos") {

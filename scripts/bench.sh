@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs the hot-path perf-regression harness and emits machine-readable
+# BENCH_hotpath.json (schema documented in docs/PERF.md), then validates the
+# artifact against the schema with the bench's own --validate mode.
+#
+#   scripts/bench.sh                 # full sweep  -> BENCH_hotpath.json
+#   scripts/bench.sh --quick         # tiny smoke sweep (the tier-1 ctest)
+#   scripts/bench.sh --out FILE      # write the JSON elsewhere
+#   BUILD_DIR=build-foo scripts/bench.sh   # use a different build tree
+set -eu
+cd "$(dirname "$0")/.."
+JOBS=$( (command -v nproc > /dev/null && nproc) || echo 4)
+BUILD_DIR=${BUILD_DIR:-build}
+
+QUICK=""
+OUT="BENCH_hotpath.json"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) QUICK="--quick" ;;
+    --out) shift; OUT=$1 ;;
+    *) echo "usage: scripts/bench.sh [--quick] [--out FILE]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+BIN="$BUILD_DIR/bench/bench_hotpath"
+if [ ! -x "$BIN" ]; then
+  cmake -B "$BUILD_DIR" -S . > /dev/null
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_hotpath
+fi
+
+# shellcheck disable=SC2086  # QUICK is deliberately empty-or-one-flag
+"$BIN" $QUICK --out "$OUT"
+"$BIN" --validate "$OUT"
+echo "bench: wrote $OUT"

@@ -7,6 +7,8 @@
 #   scripts/check.sh                # static + plain + tsan + asan
 #   scripts/check.sh plain tsan     # just these suites
 #   scripts/check.sh --static       # only the static stage
+#   scripts/check.sh bench          # opt-in: full hot-path perf sweep
+#                                   # (scripts/bench.sh -> BENCH_hotpath.json)
 set -eu
 cd "$(dirname "$0")/.."
 JOBS=$( (command -v nproc > /dev/null && nproc) || echo 4)
@@ -45,7 +47,10 @@ for suite in $suites; do
     plain) run_suite plain build ;;
     tsan)  run_suite tsan build-tsan -DZDC_SANITIZE=thread ;;
     asan)  run_suite asan build-asan -DZDC_SANITIZE=address ;;
-    *) echo "unknown suite '$suite' (static|plain|tsan|asan)" >&2; exit 2 ;;
+    # Opt-in (never part of the default set): refresh the perf baseline.
+    bench) echo "=== bench: hot-path sweep"; scripts/bench.sh ;;
+    *) echo "unknown suite '$suite' (static|plain|tsan|asan|bench)" >&2
+       exit 2 ;;
   esac
 done
 echo "=== all requested suites passed: $suites"

@@ -3,7 +3,12 @@
 namespace zdc::abcast {
 
 std::string encode_msg_set(const MsgSet& set) {
-  common::Encoder enc;
+  // Size the frame exactly up front: 4 (count) + per message 4 (sender) +
+  // 8 (seq) + 4 (length) + payload. One allocation per batch, not one per
+  // append — this is the hot encode path of every consensus proposal.
+  std::size_t bytes = 4;
+  for (const auto& [id, payload] : set) bytes += 16 + payload.size();
+  common::Encoder enc(bytes);
   enc.put_u32(static_cast<std::uint32_t>(set.size()));
   for (const auto& [id, payload] : set) {  // std::map iterates in MsgId order
     enc.put_u32(id.sender);

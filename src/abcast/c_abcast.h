@@ -105,7 +105,10 @@ class CAbcast final : public AtomicBroadcast {
   void step();
   void complete_round(const Value& decision);
   void prune();
-  [[nodiscard]] MsgSet pending_estimate() const;
+  /// Encodes the pending estimate (not-yet-a-delivered messages, capped by
+  /// max_batch_) directly into msg-set wire format, skipping the intermediate
+  /// MsgSet copy the old batch path built per round. Returns the batch size.
+  std::size_t encode_pending(std::string* out) const;
 
   consensus::ConsensusFactory factory_;
   std::string display_name_;

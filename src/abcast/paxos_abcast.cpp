@@ -105,6 +105,7 @@ void PaxosAbcast::establish_ballot(Ballot b) {
   current_ballot_ = b;
   established_ = false;
   p1b_replies_.clear();
+  inflight_.clear();  // slots of a dead ballot never free the pipeline
   if (b > max_ballot_seen_) max_ballot_seen_ = b;
   if (b == 0) {
     // Globally lowest ballot: phase 1 is a no-op (nothing can have been
@@ -128,16 +129,22 @@ void PaxosAbcast::on_established() {
 
 void PaxosAbcast::flush_pending() {
   if (!leading_ || !established_) return;
+  // Pipeline cap: with the window full, pending messages wait and batch into
+  // the next freed slot (learn() re-invokes this). Without a cap the legacy
+  // path proposes immediately — one slot per client message under load.
+  if (pipeline_window_ != 0 && inflight_.size() >= pipeline_window_) return;
   MsgSet batch;
   for (const auto& [id, payload] : pending_) {
     if (adelivered_.count(id) == 0) batch.emplace(id, payload);
   }
   pending_.clear();
   if (batch.empty()) return;
+  ++proposed_slots_;
   propose_slot(next_slot_++, encode_msg_set(batch));
 }
 
 void PaxosAbcast::propose_slot(Slot slot, const Value& batch) {
+  inflight_.insert(slot);
   common::Encoder enc;
   enc.put_u8(kP2aTag);
   enc.put_u64(current_ballot_);
@@ -286,6 +293,8 @@ void PaxosAbcast::learn(Slot slot, const Value& batch) {
   p2b_votes_.erase(slot);
   if (leading_ && slot >= next_slot_) next_slot_ = slot + 1;
   try_deliver();
+  // A decided slot frees a pipeline seat; drain whatever batched meanwhile.
+  if (inflight_.erase(slot) != 0) flush_pending();
 }
 
 void PaxosAbcast::try_deliver() {

@@ -3,6 +3,9 @@
 namespace zdc::common {
 
 void encode_string_list(Encoder& enc, const std::vector<std::string>& items) {
+  std::size_t bytes = 4;
+  for (const auto& s : items) bytes += 4 + s.size();
+  enc.reserve(enc.size() + bytes);
   enc.put_u32(static_cast<std::uint32_t>(items.size()));
   for (const auto& s : items) {
     enc.put_string(s);
@@ -10,12 +13,17 @@ void encode_string_list(Encoder& enc, const std::vector<std::string>& items) {
 }
 
 std::vector<std::string> decode_string_list(Decoder& dec) {
-  std::uint32_t count = dec.get_u32();
-  std::vector<std::string> out;
-  // Guard against hostile counts: never reserve more entries than bytes left.
-  if (count > dec.remaining() + 1) {
-    count = static_cast<std::uint32_t>(dec.remaining() + 1);
+  const std::uint32_t count = dec.get_u32();
+  if (!dec.ok()) return {};
+  // Validate the count against remaining() *before* any reserve: every
+  // element costs at least its own 4-byte length prefix, so a count claiming
+  // more elements than remaining()/4 is structurally impossible — a crafted
+  // u32 prefix must poison the decoder, not drive a multi-GB allocation.
+  if (static_cast<std::uint64_t>(count) * 4 > dec.remaining()) {
+    dec.poison();
+    return {};
   }
+  std::vector<std::string> out;
   out.reserve(count);
   for (std::uint32_t i = 0; i < count && dec.ok(); ++i) {
     out.push_back(dec.get_string());

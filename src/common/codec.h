@@ -18,9 +18,22 @@
 namespace zdc::common {
 
 /// Serializes integers and strings into a byte buffer.
+///
+/// Allocation-lean by design: fixed-width integers are appended as one
+/// word-wise chunk (not byte-by-byte push_back), callers on hot paths size
+/// the buffer up front with reserve(), and clear() keeps the capacity so one
+/// Encoder can be reused across many frames without churning the allocator.
 class Encoder {
  public:
   Encoder() = default;
+  /// Pre-sizes the buffer for a known frame size.
+  explicit Encoder(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+
+  /// Grows capacity to at least `n` bytes (never shrinks).
+  void reserve(std::size_t n) { buf_.reserve(n); }
+  /// Drops the contents but keeps the capacity — small-buffer reuse for
+  /// encode loops that emit one frame per iteration.
+  void clear() { buf_.clear(); }
 
   void put_u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
 
@@ -54,9 +67,14 @@ class Encoder {
  private:
   template <typename T>
   void put_fixed(T v) {
+    // Compose the little-endian image in a stack word and append it in one
+    // call; the shift loop compiles to a single store on LE targets and the
+    // append to one memcpy — versus sizeof(T) bounds-checked push_backs.
+    char word[sizeof(T)];
     for (std::size_t i = 0; i < sizeof(T); ++i) {
-      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+      word[i] = static_cast<char>((v >> (8 * i)) & 0xff);
     }
+    buf_.append(word, sizeof(T));
   }
 
   std::string buf_;
@@ -87,6 +105,9 @@ class Decoder {
 
   std::string get_string() {
     std::uint32_t len = get_u32();
+    // The length prefix is validated against remaining() *before* any
+    // allocation: a crafted frame claiming a multi-GB string poisons the
+    // decoder instead of driving a huge reserve.
     if (!check(len)) return {};
     std::string out(data_.substr(pos_, len));
     pos_ += len;
@@ -99,6 +120,10 @@ class Decoder {
     pos_ = data_.size();
     return out;
   }
+
+  /// Latches the error flag: callers use this when a structurally impossible
+  /// value (e.g. a hostile count prefix) is detected before any allocation.
+  void poison() { ok_ = false; }
 
   /// True iff no read so far has run past the end of the buffer.
   [[nodiscard]] bool ok() const { return ok_; }

@@ -1,0 +1,112 @@
+// Move-only type-erased `void()` callable with small-buffer storage.
+//
+// The simulator schedules millions of events per run; storing each handler in
+// a std::function heap-allocates whenever the capture exceeds the library's
+// tiny SBO (a single shared_ptr capture already spills on libstdc++). An
+// InlineAction keeps captures up to kInlineBytes in the object itself and
+// only boxes larger callables, so the event-queue hot path allocates nothing
+// per event. Unlike std::function it is move-only, which also admits
+// move-only captures (unique_ptr and friends).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace zdc::common {
+
+class InlineAction {
+ public:
+  /// Large enough for every simulator event handler: a `this` pointer, a few
+  /// ids and a shared_ptr payload fit with room to spare.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  InlineAction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineAction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit like std::function
+  InlineAction(F&& f) {
+    emplace(std::forward<F>(f));
+  }
+
+  InlineAction(InlineAction&& o) noexcept { move_from(o); }
+  InlineAction& operator=(InlineAction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  InlineAction(const InlineAction&) = delete;
+  InlineAction& operator=(const InlineAction&) = delete;
+  ~InlineAction() { reset(); }
+
+  void operator()() { vt_->invoke(&storage_); }
+
+  [[nodiscard]] explicit operator bool() const { return vt_ != nullptr; }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(&storage_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    /// Move-constructs into dst from src, then destroys src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline_v =
+      sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline_v<D>) {
+      ::new (static_cast<void*>(&storage_)) D(std::forward<F>(f));
+      static constexpr VTable vt = {
+          [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+          [](void* dst, void* src) {
+            D* from = std::launder(reinterpret_cast<D*>(src));
+            ::new (dst) D(std::move(*from));
+            from->~D();
+          },
+          [](void* s) { std::launder(reinterpret_cast<D*>(s))->~D(); }};
+      vt_ = &vt;
+    } else {
+      // Heap fallback: the storage holds a single owning pointer.
+      ::new (static_cast<void*>(&storage_)) D*(new D(std::forward<F>(f)));
+      static constexpr VTable vt = {
+          [](void* s) { (**std::launder(reinterpret_cast<D**>(s)))(); },
+          [](void* dst, void* src) {
+            D** from = std::launder(reinterpret_cast<D**>(src));
+            ::new (dst) D*(*from);
+          },
+          [](void* s) { delete *std::launder(reinterpret_cast<D**>(s)); }};
+      vt_ = &vt;
+    }
+  }
+
+  void move_from(InlineAction& o) noexcept {
+    vt_ = o.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(&storage_, &o.storage_);
+      o.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace zdc::common

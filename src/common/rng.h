@@ -7,23 +7,54 @@
 
 #include <cstdint>
 #include <cmath>
+#include <cstring>
+#include <string_view>
 
 #include "common/assert.h"
 
 namespace zdc::common {
 
+/// One round of SplitMix64 (Steele, Lea & Flood) — the standard seed
+/// scrambler: a bijective mix whose outputs for distinct inputs are
+/// decorrelated, used for Rng seeding and for deriving sweep seeds.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Derives an independent per-run seed from (base, label, throughput, rep).
+/// Benches use this for repeat/sweep seeds: the former additive scheme
+/// (`seed_base + rep * K`) reused identical streams across protocols and
+/// sweep points and could collide across bases, silently correlating
+/// "independent" repeats. Chaining every field through splitmix64 gives a
+/// distinct stream per cell (see the collision regression in stats_test).
+inline std::uint64_t mix_seed(std::uint64_t seed_base, std::string_view label,
+                              double throughput, std::uint64_t rep) {
+  std::uint64_t h = splitmix64(seed_base);
+  for (const char c : label) {
+    h = splitmix64(h ^ static_cast<unsigned char>(c));
+  }
+  std::uint64_t tp_bits = 0;
+  static_assert(sizeof(tp_bits) == sizeof(throughput));
+  std::memcpy(&tp_bits, &throughput, sizeof(tp_bits));
+  h = splitmix64(h ^ tp_bits);
+  return splitmix64(h ^ rep);
+}
+
 /// xoshiro256** by Blackman & Vigna — fast, high-quality, 2^256-1 period.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) {
-    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    // SplitMix64 seeding, as recommended by the xoshiro authors: the
+    // generator state advances by the golden-ratio gamma, each output is the
+    // scrambled state. (Byte-for-byte the historical stream — seeds pin
+    // golden traces.)
     std::uint64_t x = seed;
     for (auto& word : s_) {
+      word = splitmix64(x);
       x += 0x9e3779b97f4a7c15ULL;
-      std::uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      word = z ^ (z >> 31);
     }
   }
 

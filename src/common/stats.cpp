@@ -2,8 +2,6 @@
 
 #include <cmath>
 
-#include "common/assert.h"
-
 namespace zdc::common {
 
 void OnlineStats::add(double x) {
@@ -62,9 +60,11 @@ double Sampler::max() const {
 
 double Sampler::percentile(double p) const {
   if (samples_.empty()) return 0.0;
-  ZDC_ASSERT(p >= 0.0 && p <= 100.0);
   sort_if_needed();
+  // Clamp (documented in the header): out-of-range p maps to the extremes.
   if (p <= 0.0) return samples_.front();
+  if (p >= 100.0) return samples_.back();
+  // Nearest-rank: rank = ceil(p/100 * n) in [1, n], 1-indexed.
   const auto rank = static_cast<std::size_t>(
       std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
   return samples_[std::min(samples_.size() - 1, rank == 0 ? 0 : rank - 1)];

@@ -47,7 +47,14 @@ class Sampler {
   [[nodiscard]] double stddev() const;
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
-  /// Exact percentile by nearest-rank, p in [0, 100].
+  /// Exact percentile by nearest-rank (the smallest sample s such that at
+  /// least p% of samples are <= s). Pinned edge semantics:
+  ///   * empty sampler        -> 0.0 (matches mean()/min()/max());
+  ///   * out-of-range p       -> clamped into [0, 100] (never asserts: sweep
+  ///                             code computes p arithmetically);
+  ///   * p <= 0               -> the minimum;
+  ///   * p >= 100             -> the maximum;
+  ///   * single sample        -> that sample, for every p.
   [[nodiscard]] double percentile(double p) const;
 
  private:

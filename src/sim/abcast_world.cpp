@@ -134,6 +134,15 @@ void AbcastWorld::build(const SimAbcastFactory& factory) {
   for (ProcessId p = 0; p < n; ++p) {
     nodes_[p].protocol = factory(p, cfg_.group, *nodes_[p].host,
                                  fd_.omega_view(p), fd_.suspect_view(p));
+    // Batching knobs: the factory signature is protocol-agnostic, so the
+    // world applies them via the concrete types (0 = the legacy defaults).
+    if (auto* paxos =
+            dynamic_cast<abcast::PaxosAbcast*>(nodes_[p].protocol.get())) {
+      paxos->set_pipeline_window(cfg_.paxos_pipeline_window);
+    } else if (auto* cab =
+                   dynamic_cast<abcast::CAbcast*>(nodes_[p].protocol.get())) {
+      cab->set_max_batch(cfg_.c_abcast_max_batch);
+    }
   }
 
   for (const CrashSpec& c : cfg_.crashes) {
@@ -470,6 +479,8 @@ AbcastRunResult AbcastWorld::run() {
     result.totals.consensus_instances += m.consensus_instances;
     result.totals.transport += m.transport;
   }
+  result.histories.reserve(nodes_.size());
+  for (Node& node : nodes_) result.histories.push_back(std::move(node.history));
   return result;
 }
 

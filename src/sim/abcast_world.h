@@ -45,6 +45,15 @@ struct AbcastRunConfig {
   /// Fraction of earliest messages excluded from the latency statistics.
   double warmup_fraction = 0.1;
 
+  /// Leader pipeline cap for the "paxos" stack (see
+  /// abcast::PaxosAbcast::set_pipeline_window): at most this many
+  /// proposed-but-undecided slots, surplus client messages batch into the
+  /// next freed slot. 0 = legacy unlimited (one slot per message under load).
+  std::uint32_t paxos_pipeline_window = 0;
+  /// Per-round batch cap for the C-Abcast stacks (see
+  /// abcast::CAbcast::set_max_batch). 0 = whole estimate per round.
+  std::size_t c_abcast_max_batch = 0;
+
   std::vector<CrashSpec> crashes;
   /// Scripted nemesis actions (src/fault/): partitions/link faults/pauses and
   /// crashes. Restart actions are rejected — this world is crash-stop (the
@@ -71,6 +80,11 @@ struct AbcastRunResult {
   std::uint64_t delivered_unique = 0;
   TimePoint duration_ms = 0.0;
   std::uint64_t events_executed = 0;
+
+  /// Per-process a-delivery order (index = ProcessId) — lets property tests
+  /// assert per-sender FIFO and other order invariants beyond the built-in
+  /// pairwise prefix check.
+  std::vector<std::vector<abcast::MsgId>> histories;
 
   [[nodiscard]] bool safe() const { return total_order_ok && integrity_ok; }
   /// Transport unicasts per unique a-delivered message (Table 1 column).

@@ -6,28 +6,69 @@ namespace zdc::sim {
 
 void EventQueue::at(TimePoint t, Action fn) {
   if (t < now_) t = now_;  // no scheduling into the past
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  std::uint32_t slot;
+  if (free_head_ != kNilSlot) {
+    slot = free_head_;
+    free_head_ = pool_[slot].next_free;
+    pool_[slot].fn = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+    pool_[slot].fn = std::move(fn);
+  }
+  heap_.push_back(HeapEntry{t, next_seq_++, slot});
+  sift_up(heap_.size() - 1);
 }
 
 bool EventQueue::run_next() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast on the handler
-  // only, which is safe because pop() immediately destroys the slot.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.time;
-  ev.fn();
+  if (heap_.empty()) return false;
+  const HeapEntry top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  // Move the handler out and free its slot *before* invoking: the handler may
+  // schedule new events, which must be able to reuse pool storage (and may
+  // reallocate the slab, so no reference into pool_ survives past here).
+  Action fn = std::move(pool_[top.slot].fn);
+  pool_[top.slot].fn.reset();
+  pool_[top.slot].next_free = free_head_;
+  free_head_ = top.slot;
+  now_ = top.time;
+  fn();
   return true;
 }
 
 std::uint64_t EventQueue::run(TimePoint time_limit, std::uint64_t event_limit) {
   std::uint64_t executed = 0;
-  while (executed < event_limit && !queue_.empty() &&
-         queue_.top().time <= time_limit) {
+  while (executed < event_limit && !heap_.empty() &&
+         heap_.front().time <= time_limit) {
     run_next();
     ++executed;
   }
   return executed;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t best = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l < n && earlier(heap_[l], heap_[best])) best = l;
+    if (r < n && earlier(heap_[r], heap_[best])) best = r;
+    if (best == i) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
 }
 
 }  // namespace zdc::sim

@@ -3,20 +3,26 @@
 // Events fire in (time, insertion-sequence) order, so two events at the same
 // timestamp run in the order they were scheduled — together with the seeded
 // Rng this makes every simulated run exactly reproducible.
+//
+// Storage is a pooled/indexed event store: handlers live in a slab of
+// recycled slots (common::InlineAction, so small captures never touch the
+// heap) and the ordering heap holds only 24-byte {time, seq, slot} records.
+// Compared to the former std::priority_queue<std::function> this removes the
+// per-event allocation and shrinks every heap swap to a POD move; scheduling
+// order and tie-breaking are unchanged (see tests/golden_trace_test.cpp).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "common/inline_action.h"
 #include "common/types.h"
 
 namespace zdc::sim {
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = common::InlineAction;
 
   /// Schedules `fn` at absolute time `t` (>= now, clamped otherwise).
   void at(TimePoint t, Action fn);
@@ -31,23 +37,37 @@ class EventQueue {
   std::uint64_t run(TimePoint time_limit, std::uint64_t event_limit);
 
   [[nodiscard]] TimePoint now() const { return now_; }
-  [[nodiscard]] bool empty() const { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  /// Slots ever allocated in the pool (== peak pending, not live events);
+  /// exposed so tests can prove slots are recycled rather than grown.
+  [[nodiscard]] std::size_t pool_capacity() const { return pool_.size(); }
 
  private:
-  struct Event {
+  static constexpr std::uint32_t kNilSlot = ~std::uint32_t{0};
+
+  struct HeapEntry {
     TimePoint time;
     std::uint64_t seq;
-    Action fn;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  struct Slot {
+    Action fn;
+    std::uint32_t next_free = kNilSlot;
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// True iff `a` fires strictly before `b`.
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<Slot> pool_;
+  std::uint32_t free_head_ = kNilSlot;
+  std::vector<HeapEntry> heap_;  ///< binary min-heap over earlier()
   TimePoint now_ = 0.0;
   std::uint64_t next_seq_ = 0;
 };

@@ -110,6 +110,68 @@ TEST(Codec, StringListHostileCountDoesNotOverAllocate) {
   EXPECT_FALSE(dec.ok());
 }
 
+TEST(Codec, StringListTruncatedCountPrefixPoisons) {
+  // Only 2 of the 4 count-prefix bytes present.
+  Decoder dec(std::string_view("\x05\x00", 2));
+  EXPECT_TRUE(decode_string_list(dec).empty());
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(Codec, StringListCountExceedingRemainingPoisonsBeforeAllocation) {
+  // A count that is structurally impossible (each element needs >= 4 bytes of
+  // length prefix) but small enough that the old clamp-to-remaining guard
+  // would have started allocating and parsing: must poison immediately.
+  Encoder enc;
+  enc.put_u32(1000);       // claims 1000 elements
+  enc.put_string("only");  // 8 bytes of actual payload
+  Decoder dec(enc.bytes());
+  EXPECT_TRUE(decode_string_list(dec).empty());
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(Codec, StringListElementLengthBeyondRemainingPoisons) {
+  Encoder enc;
+  enc.put_u32(2);           // two elements claimed
+  enc.put_u32(0x7fffffff);  // first element claims a 2 GB body
+  enc.put_raw("abc");
+  Decoder dec(enc.bytes());
+  EXPECT_TRUE(decode_string_list(dec).empty());
+  EXPECT_FALSE(dec.ok());
+}
+
+TEST(Codec, StringListTrailingGarbageDetectedByDone) {
+  Encoder enc;
+  encode_string_list(enc, {"a", "b"});
+  enc.put_u8(0xcc);  // trailing garbage after a well-formed list
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(decode_string_list(dec), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(dec.ok());     // the list itself parsed fine...
+  EXPECT_FALSE(dec.done());  // ...but the frame has leftover bytes
+}
+
+TEST(Codec, ExplicitPoisonLatches) {
+  Encoder enc;
+  enc.put_u32(7);
+  Decoder dec(enc.bytes());
+  dec.poison();
+  EXPECT_FALSE(dec.ok());
+  EXPECT_EQ(dec.get_u32(), 0u);  // reads after poison return zero values
+  EXPECT_FALSE(dec.done());
+}
+
+TEST(Codec, EncoderReserveAndClearPreserveFormat) {
+  Encoder plain;
+  plain.put_u32(0xdeadbeef);
+  plain.put_string("payload");
+
+  Encoder reused(128);  // pre-sized
+  reused.put_u64(1);    // scribble, then reuse the buffer
+  reused.clear();
+  reused.put_u32(0xdeadbeef);
+  reused.put_string("payload");
+  EXPECT_EQ(plain.bytes(), reused.bytes());
+}
+
 // Truncation fuzz: every proper prefix of a valid message must decode to a
 // poisoned decoder, never crash or read OOB.
 TEST(Codec, EveryTruncationIsDetected) {

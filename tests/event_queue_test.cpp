@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -57,6 +62,92 @@ TEST(EventQueue, PastSchedulingClampsToNow) {
   while (q.run_next()) {
   }
   EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(EventQueue, PoolRecyclesSlotsInsteadOfGrowing) {
+  // A self-rescheduling chain keeps exactly one event pending at a time, so
+  // the pool must stay at one slot no matter how many events run.
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 1000) q.after(1.0, chain);
+  };
+  q.at(0.0, chain);
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(fired, 1000);
+  EXPECT_EQ(q.pool_capacity(), 1u);
+}
+
+TEST(EventQueue, PoolCapacityTracksPeakPending) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 64; ++i) {
+    q.at(static_cast<double>(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(q.pool_capacity(), 64u);
+  while (q.run_next()) {
+  }
+  // Draining frees slots back to the pool; scheduling 64 more reuses them.
+  for (int i = 0; i < 64; ++i) {
+    q.at(100.0 + i, [&] { ++fired; });
+  }
+  EXPECT_EQ(q.pool_capacity(), 64u);
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(fired, 128);
+}
+
+TEST(EventQueue, LargeCaptureFallsBackToHeap) {
+  // Captures beyond InlineAction's inline buffer heap-allocate but must
+  // still run correctly (and exactly once).
+  EventQueue q;
+  std::array<std::uint64_t, 32> big{};  // 256 bytes, > 64-byte inline buffer
+  big.fill(7);
+  std::uint64_t sum = 0;
+  q.at(1.0, [big, &sum] {
+    for (auto v : big) sum += v;
+  });
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(sum, 7u * 32u);
+}
+
+TEST(EventQueue, AcceptsMoveOnlyCaptures) {
+  // std::function requires copyable callables; the pooled store must not.
+  EventQueue q;
+  auto owned = std::make_unique<int>(99);
+  int seen = 0;
+  q.at(1.0, [p = std::move(owned), &seen] { seen = *p; });
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(seen, 99);
+}
+
+TEST(EventQueue, DeterministicOrderUnderSlotReuse) {
+  // Interleave draining and refilling so slots are recycled in a scrambled
+  // order, then check events still fire in (time, insertion-seq) order.
+  auto run_schedule = [] {
+    EventQueue q;
+    std::vector<int> order;
+    int next_id = 0;
+    for (int round = 0; round < 10; ++round) {
+      for (int i = 0; i < 5; ++i) {
+        const int id = next_id++;
+        // Same time within a round: ties must break by insertion.
+        q.at(q.now() + 1.0, [&order, id] { order.push_back(id); });
+      }
+      for (int i = 0; i < 3; ++i) q.run_next();  // partial drain
+    }
+    while (q.run_next()) {
+    }
+    return order;
+  };
+  const std::vector<int> a = run_schedule();
+  const std::vector<int> b = run_schedule();
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
 }
 
 TEST(EventQueue, RunRespectsLimits) {

@@ -1,0 +1,151 @@
+// Golden-trace determinism tests for the hot-path machinery.
+//
+// The pooled event store (sim/event_queue), the allocation-lean codec and the
+// batching knobs must not perturb scheduling or wire bytes: a seeded run is a
+// contract. Two layers of defence:
+//
+//   * pinned fingerprints — FNV-1a over the serialized structured trace of
+//     fixed-seed runs, recorded before the event-store rewrite. Any change to
+//     event ordering, tie-breaking, RNG streams or message encoding shows up
+//     as a different hash. Re-pin ONLY for a deliberate, understood
+//     behaviour change, never to silence a diff you cannot explain.
+//   * run-twice identity — batched configurations (pipeline window, C-Abcast
+//     batch cap) and nemesis fault plans have no pinned history, so we assert
+//     the weaker property that holds for every config: same seed, same bytes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "fault/nemesis.h"
+#include "sim/abcast_world.h"
+#include "sim/trace.h"
+
+namespace zdc::sim {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string serialize(const TraceRecorder& trace) {
+  std::string out;
+  char buf[64];
+  for (const auto& ev : trace.events()) {
+    std::snprintf(buf, sizeof(buf), "%.9f|%s|%u|%u|", ev.time,
+                  trace_kind_name(ev.kind), ev.subject, ev.peer);
+    out += buf;
+    out += ev.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+AbcastRunConfig golden_config(const std::string& protocol,
+                              std::uint64_t seed) {
+  AbcastRunConfig cfg;
+  cfg.group = GroupParams{4, 1};
+  cfg.net = calibrated_lan_2006();
+  cfg.seed = seed;
+  cfg.throughput_per_s = 200.0;
+  cfg.message_count = 60;
+  if (protocol == "paxos") {
+    for (ProcessId p = 1; p < cfg.group.n; ++p) {
+      cfg.workload_senders.push_back(p);
+    }
+  }
+  return cfg;
+}
+
+struct Golden {
+  const char* protocol;
+  std::uint64_t seed;
+  std::size_t events;
+  std::uint64_t hash;
+};
+
+// Recorded from the pre-refactor std::function/std::priority_queue event
+// queue and per-byte encoder: the refactor is required to be byte-neutral.
+constexpr Golden kGolden[] = {
+    {"c-l", 42, 5233, 0xc082056ccfebd7abULL},
+    {"c-l", 7, 5209, 0x675ad2ee65c2f9d8ULL},
+    {"c-p", 42, 5230, 0xf01d0b3ab50daa9cULL},
+    {"c-p", 7, 5179, 0x742defeef6b7df45ULL},
+    {"wabcast", 42, 5230, 0xf01d0b3ab50daa9cULL},
+    {"wabcast", 7, 5398, 0xdd41d62e0efcd2deULL},
+    {"paxos", 42, 2817, 0xdf466385a3e2634cULL},
+    {"paxos", 7, 2816, 0xa2ca9e60e13655fcULL},
+};
+
+TEST(GoldenTrace, PinnedFingerprintsUnchanged) {
+  for (const Golden& g : kGolden) {
+    AbcastRunConfig cfg = golden_config(g.protocol, g.seed);
+    TraceRecorder trace;
+    cfg.trace = &trace;
+    auto r = run_abcast(cfg, abcast_factory_by_name(g.protocol));
+    ASSERT_TRUE(r.safe()) << g.protocol << " seed " << g.seed;
+    ASSERT_TRUE(r.agreement_ok) << g.protocol << " seed " << g.seed;
+    EXPECT_EQ(trace.events().size(), g.events)
+        << g.protocol << " seed " << g.seed;
+    EXPECT_EQ(fnv1a(serialize(trace)), g.hash)
+        << g.protocol << " seed " << g.seed
+        << ": trace bytes diverged from the pinned golden run";
+  }
+}
+
+// Runs `cfg` twice (fresh world each time) and returns both serialized
+// traces via out-params; the caller asserts equality for a readable diff.
+void run_twice(const AbcastRunConfig& base, const std::string& protocol,
+               std::string* first, std::string* second) {
+  for (std::string* out : {first, second}) {
+    AbcastRunConfig cfg = base;
+    TraceRecorder trace;
+    cfg.trace = &trace;
+    auto r = run_abcast(cfg, abcast_factory_by_name(protocol));
+    ASSERT_TRUE(r.safe()) << protocol;
+    *out = serialize(trace);
+  }
+}
+
+TEST(GoldenTrace, BatchedPaxosPipelineIsDeterministic) {
+  AbcastRunConfig cfg = golden_config("paxos", 1234);
+  cfg.paxos_pipeline_window = 4;
+  cfg.throughput_per_s = 500.0;  // saturate the window so batching engages
+  std::string a, b;
+  run_twice(cfg, "paxos", &a, &b);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "pipeline-window batching broke seed determinism";
+}
+
+TEST(GoldenTrace, BatchedCAbcastIsDeterministic) {
+  AbcastRunConfig cfg = golden_config("c-l", 99);
+  cfg.c_abcast_max_batch = 3;
+  std::string a, b;
+  run_twice(cfg, "c-l", &a, &b);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "C-Abcast batch cap broke seed determinism";
+}
+
+TEST(GoldenTrace, NemesisRunIsDeterministic) {
+  AbcastRunConfig cfg = golden_config("c-l", 77);
+  cfg.c_abcast_max_batch = 4;
+  fault::NemesisConfig ncfg;
+  ncfg.n = cfg.group.n;
+  ncfg.f = cfg.group.f;
+  ncfg.horizon_ms = 40.0;
+  ncfg.disturbances = 3;
+  cfg.fault_plan = fault::random_fault_plan(ncfg, 77);
+  std::string a, b;
+  run_twice(cfg, "c-l", &a, &b);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "fault-plan run broke seed determinism";
+}
+
+}  // namespace
+}  // namespace zdc::sim

@@ -4,6 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 
@@ -56,6 +60,43 @@ TEST(Sampler, AddAfterPercentileResorts) {
   EXPECT_DOUBLE_EQ(s.min(), 1.0);
 }
 
+TEST(Sampler, PercentileOfEmptyIsZero) {
+  Sampler s;
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(-5), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(150), 0.0);
+}
+
+TEST(Sampler, PercentileSingleSampleIsThatSampleForAllP) {
+  Sampler s;
+  s.add(42.5);
+  for (double p : {-10.0, 0.0, 0.001, 50.0, 99.9, 100.0, 200.0}) {
+    EXPECT_DOUBLE_EQ(s.percentile(p), 42.5) << "p = " << p;
+  }
+}
+
+TEST(Sampler, PercentileClampsOutOfRangeP) {
+  Sampler s;
+  for (int i = 1; i <= 10; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(-5), 1.0);    // below range -> min
+  EXPECT_DOUBLE_EQ(s.percentile(150), 10.0);  // above range -> max
+}
+
+TEST(Sampler, PercentileNearestRankExactValues) {
+  // Nearest-rank over {1..10}: rank = ceil(p/100 * 10), 1-based.
+  Sampler s;
+  for (int i = 10; i >= 1; --i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(10), 1.0);    // ceil(1.0)  -> rank 1
+  EXPECT_DOUBLE_EQ(s.percentile(10.1), 2.0);  // ceil(1.01) -> rank 2
+  EXPECT_DOUBLE_EQ(s.percentile(25), 3.0);    // ceil(2.5)  -> rank 3
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);    // ceil(5.0)  -> rank 5
+  EXPECT_DOUBLE_EQ(s.percentile(90), 9.0);    // ceil(9.0)  -> rank 9
+  EXPECT_DOUBLE_EQ(s.percentile(90.1), 10.0); // ceil(9.01) -> rank 10
+  EXPECT_DOUBLE_EQ(s.percentile(95), 10.0);   // ceil(9.5)  -> rank 10
+}
+
 TEST(Rng, DeterministicForSeed) {
   Rng a(42), b(42);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
@@ -101,6 +142,43 @@ TEST(Rng, ForkedStreamsAreIndependentOfConsumption) {
   Rng child2 = parent2.fork(3);
   for (int i = 0; i < 10; ++i) parent1.next_u64();  // extra consumption
   for (int i = 0; i < 50; ++i) EXPECT_EQ(child1.next_u64(), child2.next_u64());
+}
+
+TEST(MixSeed, Deterministic) {
+  EXPECT_EQ(mix_seed(1, "paxos", 100.0, 0), mix_seed(1, "paxos", 100.0, 0));
+}
+
+TEST(MixSeed, SensitiveToEveryField) {
+  const std::uint64_t base = mix_seed(1, "paxos", 100.0, 0);
+  EXPECT_NE(mix_seed(2, "paxos", 100.0, 0), base);
+  EXPECT_NE(mix_seed(1, "c-l", 100.0, 0), base);
+  EXPECT_NE(mix_seed(1, "paxos", 150.0, 0), base);
+  EXPECT_NE(mix_seed(1, "paxos", 100.0, 1), base);
+}
+
+TEST(MixSeed, NoCollisionsAcrossSweepGrid) {
+  // Regression for the old `seed_base + rep * 1000003` derivation: every
+  // protocol and throughput shared one stream per rep, and nearby bases
+  // collided across reps (base 1 rep 1 == base 1000004 rep 0). The mixed
+  // derivation must give every sweep cell a distinct seed.
+  std::set<std::uint64_t> seen;
+  std::size_t cells = 0;
+  const std::vector<std::string> protocols = {"c-l", "c-p", "wabcast",
+                                              "paxos"};
+  const std::vector<double> throughputs = {20, 100, 200, 350, 500};
+  for (std::uint64_t base : {1ULL, 2ULL, 1000004ULL, 2000007ULL}) {
+    for (const auto& proto : protocols) {
+      for (double tput : throughputs) {
+        for (std::uint64_t rep = 0; rep < 5; ++rep) {
+          seen.insert(mix_seed(base, proto, tput, rep));
+          ++cells;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), cells);
+  // The specific historical collision: base+rep*K aliasing across bases.
+  EXPECT_NE(mix_seed(1, "paxos", 100.0, 1), mix_seed(1000004, "paxos", 100.0, 0));
 }
 
 TEST(FormatRow, PadsColumns) {
