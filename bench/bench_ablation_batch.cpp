@@ -25,9 +25,8 @@ int main() {
     std::printf("%-10s", cap == 0 ? "unbounded" : std::to_string(cap).c_str());
     for (double tput : throughputs) {
       sim::AbcastRunConfig cfg;
-      cfg.group = GroupParams{4, 1};
-      cfg.net = sim::calibrated_lan_2006();
-      cfg.seed = 17;
+      cfg.with_group(GroupParams{4, 1}).with_net(sim::calibrated_lan_2006());
+      cfg.with_seed(17);
       cfg.throughput_per_s = tput;
       cfg.message_count = 400;
       auto factory = [cap](ProcessId self, GroupParams group,

@@ -33,10 +33,10 @@ int main() {
     std::printf("%-10.1f", jitter);
     for (const auto& proto : protocols) {
       sim::AbcastRunConfig cfg;
-      cfg.group = proto == "paxos" ? GroupParams{3, 1} : GroupParams{4, 1};
-      cfg.net = sim::calibrated_lan_2006();
+      cfg.with_group(proto == "paxos" ? GroupParams{3, 1} : GroupParams{4, 1})
+          .with_net(sim::calibrated_lan_2006());
       cfg.net.wab_extra_jitter_ms = jitter;
-      cfg.seed = 11;
+      cfg.with_seed(11);
       cfg.throughput_per_s = kThroughput;
       cfg.message_count = 500;
       if (proto == "paxos") cfg.workload_senders = {1, 2};

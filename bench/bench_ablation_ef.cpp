@@ -53,9 +53,9 @@ int main() {
       bool ok = true;
       for (std::uint64_t seed = 1; seed <= 20; ++seed) {
         sim::ConsensusRunConfig cfg;
-        cfg.group = GroupParams{conf.n, conf.f};
-        cfg.net = sim::calibrated_lan_2006();
-        cfg.seed = seed;
+        cfg.with_group(GroupParams{conf.n, conf.f})
+            .with_net(sim::calibrated_lan_2006());
+        cfg.with_seed(seed);
         cfg.fd.mode = sim::FdMode::kStable;
         cfg.proposals.assign(conf.n, "agreed");
         for (std::uint32_t c = 0; c < crashes; ++c) {

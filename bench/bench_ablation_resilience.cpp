@@ -43,9 +43,8 @@ int main() {
     };
     for (const auto& [proto, group] : runs) {
       sim::AbcastRunConfig cfg;
-      cfg.group = group;
-      cfg.net = sim::calibrated_lan_2006();
-      cfg.seed = 23;
+      cfg.with_group(group).with_net(sim::calibrated_lan_2006());
+      cfg.with_seed(23);
       cfg.throughput_per_s = kThroughput;
       cfg.message_count = 400;
       if (proto == "paxos") {

@@ -221,14 +221,13 @@ struct Row {
 Row run_e2e(const std::string& protocol, double throughput,
             std::uint32_t message_count, std::uint64_t seed_base) {
   sim::AbcastRunConfig cfg;
-  cfg.group = GroupParams{4, 1};
-  cfg.net = sim::calibrated_lan_2006();
-  cfg.seed = common::mix_seed(seed_base, protocol, throughput, 0);
+  cfg.with_group(GroupParams{4, 1}).with_net(sim::calibrated_lan_2006());
+  cfg.with_seed(common::mix_seed(seed_base, protocol, throughput, 0));
   cfg.throughput_per_s = throughput;
   cfg.message_count = message_count;
   // The batched hot path under test: bounded leader pipeline for Paxos,
   // whole-estimate rounds for C-Abcast (its native batching).
-  cfg.paxos_pipeline_window = 4;
+  cfg.batching.paxos_pipeline_window = 4;
   if (protocol == "paxos") {
     for (ProcessId p = 1; p < cfg.group.n; ++p) {
       cfg.workload_senders.push_back(p);

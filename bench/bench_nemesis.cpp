@@ -38,11 +38,11 @@ Cell run_cell(const std::string& protocol, const fault::NemesisConfig& ncfg) {
   common::Sampler last;
   for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
     sim::ConsensusRunConfig cfg;
-    cfg.group = GroupParams{ncfg.n, ncfg.f};
-    cfg.net = sim::calibrated_lan_2006();
+    cfg.with_group(GroupParams{ncfg.n, ncfg.f})
+        .with_net(sim::calibrated_lan_2006());
     cfg.fd.mode = sim::FdMode::kCrashTracking;
     cfg.fd.detection_delay_ms = 3.0;
-    cfg.seed = seed;
+    cfg.with_seed(seed);
     for (ProcessId p = 0; p < ncfg.n; ++p) {
       cfg.proposals.push_back("v" + std::to_string(p));
     }

@@ -42,9 +42,8 @@ Cell run_cell(const std::string& protocol, double p_unanimous,
 
   for (std::uint32_t i = 0; i < runs; ++i) {
     sim::ConsensusRunConfig cfg;
-    cfg.group = group;
-    cfg.net = sim::calibrated_lan_2006();
-    cfg.seed = 1000 + i;
+    cfg.with_group(group).with_net(sim::calibrated_lan_2006());
+    cfg.with_seed(1000 + i);
     if (rng.chance(p_unanimous)) {
       cfg.proposals.assign(group.n, "agreed");
     } else {

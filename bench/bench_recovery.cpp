@@ -46,11 +46,10 @@ int main() {
 
   for (const auto& proto : protocols) {
     sim::SequenceConfig cfg;
-    cfg.group = GroupParams{4, 1};
-    cfg.net = sim::calibrated_lan_2006();
+    cfg.with_group(GroupParams{4, 1}).with_net(sim::calibrated_lan_2006());
     cfg.fd.mode = sim::FdMode::kCrashTracking;
     cfg.fd.detection_delay_ms = 3.0;
-    cfg.seed = 31;
+    cfg.with_seed(31);
     cfg.instances = kInstances;
     cfg.crash_process = 0;
     cfg.crash_before_instance = kCrashBefore;

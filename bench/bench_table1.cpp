@@ -41,9 +41,8 @@ struct Measured {
 
 Measured measure(const Row& row, double throughput, std::uint64_t seed) {
   sim::AbcastRunConfig cfg;
-  cfg.group = row.group;
-  cfg.net = sim::calibrated_lan_2006();
-  cfg.seed = seed;
+  cfg.with_group(row.group).with_net(sim::calibrated_lan_2006());
+  cfg.with_seed(seed);
   cfg.throughput_per_s = throughput;
   cfg.message_count = throughput < 50 ? 120 : 600;
   if (row.protocol == "paxos") {

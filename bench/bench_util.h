@@ -38,14 +38,13 @@ inline SweepPoint run_point(const std::string& protocol, GroupParams group,
   double msgs_acc = 0;
   for (std::uint32_t rep = 0; rep < repeats; ++rep) {
     sim::AbcastRunConfig cfg;
-    cfg.group = group;
-    cfg.net = sim::calibrated_lan_2006();
+    cfg.with_group(group).with_net(sim::calibrated_lan_2006());
     // Per-cell seed via splitmix64 over (base, protocol, throughput, rep):
     // the former additive `seed_base + rep * K` reused the same stream for
     // every protocol and sweep point and could collide across bases,
     // silently correlating "independent" repeats (collision regression in
     // stats_test.cpp).
-    cfg.seed = common::mix_seed(seed_base, protocol, throughput, rep);
+    cfg.with_seed(common::mix_seed(seed_base, protocol, throughput, rep));
     cfg.throughput_per_s = throughput;
     cfg.message_count = message_count;
     if (protocol == "paxos") {

@@ -39,9 +39,8 @@ int main() {
     std::printf("%10.0f", tput);
     for (std::size_t i = 0; i < protocols.size(); ++i) {
       sim::AbcastRunConfig cfg;
-      cfg.group = groups[i];
-      cfg.net = sim::synthetic_wan();
-      cfg.seed = 9;
+      cfg.with_group(groups[i]).with_net(sim::synthetic_wan());
+      cfg.with_seed(9);
       cfg.throughput_per_s = tput;
       cfg.message_count = 150;
       cfg.time_limit_ms = 3'600'000.0;

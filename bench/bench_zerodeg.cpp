@@ -37,9 +37,8 @@ Cell run_cell(const std::string& protocol, GroupParams group,
   common::OnlineStats latency;
   for (std::uint32_t i = 0; i < runs; ++i) {
     sim::ConsensusRunConfig cfg;
-    cfg.group = group;
-    cfg.net = sim::calibrated_lan_2006();
-    cfg.seed = 9000 + i;
+    cfg.with_group(group).with_net(sim::calibrated_lan_2006());
+    cfg.with_seed(9000 + i);
     cfg.fd.mode = sim::FdMode::kStable;
     for (std::uint32_t c = 0; c < crashes; ++c) {
       sim::CrashSpec spec;

@@ -42,10 +42,9 @@ int main() {
         std::make_unique<core::KvStateMachine>()));
   }
 
-  runtime::RuntimeCluster::Config cfg;
-  cfg.group = GroupParams{kReplicas, 1};
+  auto cfg = runtime::RuntimeCluster::Config::from_options(
+      RunOptions{}.with_group(kReplicas, 1).with_seed(99));
   cfg.kind = runtime::ProtocolKind::kCAbcastL;
-  cfg.net.seed = 99;
   cfg.fd.interval_ms = 5.0;
   cfg.fd.initial_timeout_ms = 50.0;
 

@@ -113,10 +113,9 @@ int main() {
     views.push_back(rsms.back().get());
   }
 
-  runtime::RuntimeCluster::Config cfg;
-  cfg.group = GroupParams{kReplicas, 1};
+  auto cfg = runtime::RuntimeCluster::Config::from_options(
+      RunOptions{}.with_group(kReplicas, 1).with_seed(7));
   cfg.kind = runtime::ProtocolKind::kCAbcastL;  // the paper's Ω stack
-  cfg.net.seed = 7;
 
   runtime::RuntimeCluster cluster(
       cfg, [&views](ProcessId p, const abcast::AppMessage& m) {

@@ -40,12 +40,12 @@ void report(const char* title, const sim::ConsensusRunResult& r) {
 int main() {
   std::printf("zdc quickstart: L-Consensus, n=4, f=1, calibrated LAN\n\n");
 
-  // 1. All processes propose the same value: one-step decision.
+  // 1. All processes propose the same value: one-step decision. The shared
+  //    group/network/seed block is the zdc::RunOptions base of every run
+  //    config; the fluent with_*() builders set it in one expression.
   {
     sim::ConsensusRunConfig cfg;
-    cfg.group = GroupParams{4, 1};
-    cfg.net = sim::calibrated_lan_2006();
-    cfg.seed = 1;
+    cfg.with_group(4, 1).with_net(sim::calibrated_lan_2006()).with_seed(1);
     cfg.proposals.assign(4, "commit-tx-1042");
     auto r = sim::run_consensus(cfg, sim::l_consensus_factory());
     report("[1] unanimous proposals (expect 1 step):", r);
@@ -54,9 +54,7 @@ int main() {
   // 2. Divergent proposals: two steps in a stable run (zero-degradation).
   {
     sim::ConsensusRunConfig cfg;
-    cfg.group = GroupParams{4, 1};
-    cfg.net = sim::calibrated_lan_2006();
-    cfg.seed = 2;
+    cfg.with_group(4, 1).with_net(sim::calibrated_lan_2006()).with_seed(2);
     cfg.proposals = {"apply-a", "apply-b", "apply-c", "apply-d"};
     auto r = sim::run_consensus(cfg, sim::l_consensus_factory());
     report("[2] divergent proposals (expect 2 steps):", r);
@@ -67,9 +65,7 @@ int main() {
   //    two steps — this is what zero-degradation buys.
   {
     sim::ConsensusRunConfig cfg;
-    cfg.group = GroupParams{4, 1};
-    cfg.net = sim::calibrated_lan_2006();
-    cfg.seed = 3;
+    cfg.with_group(4, 1).with_net(sim::calibrated_lan_2006()).with_seed(3);
     cfg.fd.mode = sim::FdMode::kStable;
     cfg.proposals = {"apply-a", "apply-b", "apply-c", "apply-d"};
     sim::CrashSpec crash;

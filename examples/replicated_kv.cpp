@@ -29,10 +29,11 @@ int main() {
         std::make_unique<core::KvStateMachine>()));
   }
 
-  runtime::RuntimeCluster::Config cfg;
-  cfg.group = GroupParams{kReplicas, 1};
+  // The shared group/seed block comes from zdc::RunOptions; runtime-only
+  // knobs (protocol kind, inproc delay range) are set on the mapped config.
+  auto cfg = runtime::RuntimeCluster::Config::from_options(
+      RunOptions{}.with_group(kReplicas, 1).with_seed(2024));
   cfg.kind = runtime::ProtocolKind::kCAbcastP;
-  cfg.net.seed = 2024;
   cfg.net.min_delay_ms = 0.05;
   cfg.net.max_delay_ms = 0.5;
 

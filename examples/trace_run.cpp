@@ -32,27 +32,21 @@ int main() {
 
   {
     sim::ConsensusRunConfig cfg;
-    cfg.group = GroupParams{4, 1};
-    cfg.net = sim::calibrated_lan_2006();
-    cfg.seed = 1;
+    cfg.with_group(4, 1).with_net(sim::calibrated_lan_2006()).with_seed(1);
     cfg.proposals.assign(4, "v");
     run_and_render("[1] L-Consensus, unanimous (one-step fast path):", cfg,
                    sim::l_consensus_factory());
   }
   {
     sim::ConsensusRunConfig cfg;
-    cfg.group = GroupParams{4, 1};
-    cfg.net = sim::calibrated_lan_2006();
-    cfg.seed = 2;
+    cfg.with_group(4, 1).with_net(sim::calibrated_lan_2006()).with_seed(2);
     cfg.proposals = {"a", "b", "c", "d"};
     run_and_render("[2] P-Consensus, divergent (two steps, zero-degradation):",
                    cfg, sim::p_consensus_factory());
   }
   {
     sim::ConsensusRunConfig cfg;
-    cfg.group = GroupParams{4, 1};
-    cfg.net = sim::calibrated_lan_2006();
-    cfg.seed = 3;
+    cfg.with_group(4, 1).with_net(sim::calibrated_lan_2006()).with_seed(3);
     cfg.fd.mode = sim::FdMode::kCrashTracking;
     cfg.fd.detection_delay_ms = 1.0;
     cfg.proposals = {"a", "b", "c", "d"};

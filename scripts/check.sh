@@ -4,8 +4,9 @@
 # ThreadSanitizer and AddressSanitizer (-DZDC_SANITIZE=thread|address, each
 # in its own build directory so the trees never mix).
 #
-#   scripts/check.sh                # static + plain + tsan + asan
+#   scripts/check.sh                # static + plain + metrics + tsan + asan
 #   scripts/check.sh plain tsan     # just these suites
+#   scripts/check.sh metrics        # metrics-JSON schema + byte-identity
 #   scripts/check.sh --static       # only the static stage
 #   scripts/check.sh bench          # opt-in: full hot-path perf sweep
 #                                   # (scripts/bench.sh -> BENCH_hotpath.json)
@@ -29,6 +30,26 @@ run_static() {
   scripts/format_check.sh "$PWD"
 }
 
+# Metrics stage: the exporter determinism contract, end to end. Two
+# fixed-seed sim runs must emit byte-identical metrics JSON, and both the
+# sim and runtime documents must pass the zdc-metrics-v1 schema validator.
+run_metrics() {
+  echo "=== metrics: build zdc_explore"
+  cmake -B build -S . > /dev/null
+  cmake --build build -j "$JOBS" --target zdc_explore
+  local explore=./build/tools/zdc_explore out=build/metrics-check
+  mkdir -p "$out"
+  echo "=== metrics: fixed-seed byte-identity"
+  "$explore" abcast --seed 42 --messages 60 --metrics-out "$out/a.json" > /dev/null
+  "$explore" abcast --seed 42 --messages 60 --metrics-out "$out/b.json" > /dev/null
+  cmp "$out/a.json" "$out/b.json"
+  echo "=== metrics: schema validation (sim + runtime)"
+  "$explore" validate-metrics "$out/a.json"
+  "$explore" runtime c-l --messages 30 --throughput 2000 \
+    --metrics-out "$out/runtime.json" > /dev/null
+  "$explore" validate-metrics "$out/runtime.json"
+}
+
 run_suite() {
   local name=$1 dir=$2
   shift 2
@@ -40,16 +61,17 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
-suites=${*:-static plain tsan asan}
+suites=${*:-static plain metrics tsan asan}
 for suite in $suites; do
   case "$suite" in
     static|--static) run_static ;;
     plain) run_suite plain build ;;
+    metrics) run_metrics ;;
     tsan)  run_suite tsan build-tsan -DZDC_SANITIZE=thread ;;
     asan)  run_suite asan build-asan -DZDC_SANITIZE=address ;;
     # Opt-in (never part of the default set): refresh the perf baseline.
     bench) echo "=== bench: hot-path sweep"; scripts/bench.sh ;;
-    *) echo "unknown suite '$suite' (static|plain|tsan|asan|bench)" >&2
+    *) echo "unknown suite '$suite' (static|plain|metrics|tsan|asan|bench)" >&2
        exit 2 ;;
   esac
 done

@@ -1,0 +1,18 @@
+#include "abcast/batching.h"
+
+#include "abcast/c_abcast.h"
+#include "abcast/paxos_abcast.h"
+
+namespace zdc::abcast {
+
+void configure_batching(AtomicBroadcast& protocol,
+                        const BatchingOptions& opts) {
+  if (auto* paxos = dynamic_cast<PaxosAbcast*>(&protocol)) {
+    paxos->set_pipeline_window(opts.paxos_pipeline_window);
+  }
+  if (auto* c_abcast = dynamic_cast<CAbcast*>(&protocol)) {
+    c_abcast->set_max_batch(opts.c_abcast_max_batch);
+  }
+}
+
+}  // namespace zdc::abcast

@@ -71,6 +71,9 @@ class CAbcast final : public AtomicBroadcast {
   /// 0 = unlimited (the paper's algorithm proposes the whole estimate).
   /// Excess messages stay in the estimate and ride later rounds — a
   /// batching-vs-latency design knob benched in bench_ablation_batch.
+  ///
+  /// Deprecated shim: prefer BatchingOptions::c_abcast_max_batch applied
+  /// through abcast::configure_batching (see abcast/batching.h).
   void set_max_batch(std::size_t max_batch) { max_batch_ = max_batch; }
   /// Aggregates transport metrics of all live consensus instances into
   /// metrics().transport; live instances become inert afterwards.

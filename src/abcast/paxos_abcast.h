@@ -50,6 +50,9 @@ class PaxosAbcast final : public AtomicBroadcast {
   /// paper's Fast Paxos lineage leans on at high throughput. 0 = unlimited
   /// (the legacy behaviour: every client message opens a slot immediately,
   /// one consensus instance per message under load).
+  ///
+  /// Deprecated shim: prefer BatchingOptions::paxos_pipeline_window applied
+  /// through abcast::configure_batching (see abcast/batching.h).
   void set_pipeline_window(std::uint32_t w) { pipeline_window_ = w; }
 
   /// Slots this leader opened with fresh client batches (for tests/benches:

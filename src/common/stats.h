@@ -20,6 +20,11 @@ class OnlineStats {
  public:
   void add(double x);
 
+  /// Parallel Welford combine (Chan et al.): after `a.merge(b)`, `a` holds
+  /// exactly the statistics of the concatenated sample streams. Lets
+  /// per-thread instances be folded after join without re-adding raw samples.
+  void merge(const OnlineStats& other);
+
   [[nodiscard]] std::size_t count() const { return count_; }
   [[nodiscard]] double mean() const { return count_ == 0 ? 0.0 : mean_; }
   [[nodiscard]] double variance() const;

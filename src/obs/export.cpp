@@ -1,0 +1,379 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace zdc::obs {
+namespace {
+
+// %.9g: exact for every bucket bound we emit, deterministic for everything
+// else (same double, same text — the byte-identity contract only needs
+// determinism, not round-tripping).
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string fmt_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void append_labels_json(std::string* out, const Labels& labels) {
+  *out += "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) *out += ", ";
+    *out += "\"" + labels[i].first + "\": \"" + labels[i].second + "\"";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string to_json(const MetricsRegistry::Snapshot& snap) {
+  std::string out = "{\n  \"schema\": \"zdc-metrics-v1\",\n  \"families\": [\n";
+  for (std::size_t fi = 0; fi < snap.size(); ++fi) {
+    const auto& fam = snap[fi];
+    out += "    {\"name\": \"" + fam.name + "\", \"type\": \"";
+    out += metric_kind_name(fam.kind);
+    out += "\", \"points\": [\n";
+    for (std::size_t pi = 0; pi < fam.points.size(); ++pi) {
+      const auto& pt = fam.points[pi];
+      out += "      {\"labels\": ";
+      append_labels_json(&out, pt.labels);
+      switch (fam.kind) {
+        case MetricKind::kCounter:
+          out += ", \"value\": " + fmt_u64(pt.counter);
+          break;
+        case MetricKind::kGauge:
+          out += ", \"value\": " + fmt_double(pt.gauge);
+          break;
+        case MetricKind::kHistogram: {
+          out += ", \"count\": " + fmt_u64(pt.count);
+          out += ", \"sum\": " + fmt_double(pt.sum);
+          out += ", \"bounds\": [";
+          for (std::size_t i = 0; i < pt.bounds.size(); ++i) {
+            if (i != 0) out += ", ";
+            out += fmt_double(pt.bounds[i]);
+          }
+          out += "], \"buckets\": [";
+          for (std::size_t i = 0; i < pt.buckets.size(); ++i) {
+            if (i != 0) out += ", ";
+            out += fmt_u64(pt.buckets[i]);
+          }
+          out += "]";
+          break;
+        }
+      }
+      out += pi + 1 == fam.points.size() ? "}\n" : "},\n";
+    }
+    out += fi + 1 == snap.size() ? "    ]}\n" : "    ]},\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string to_prometheus(const MetricsRegistry::Snapshot& snap) {
+  std::string out;
+  auto render_labels = [](const Labels& labels,
+                          const std::string& extra) -> std::string {
+    if (labels.empty() && extra.empty()) return "";
+    std::string s = "{";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i != 0) s += ",";
+      s += labels[i].first + "=\"" + labels[i].second + "\"";
+    }
+    if (!extra.empty()) {
+      if (!labels.empty()) s += ",";
+      s += extra;
+    }
+    s += "}";
+    return s;
+  };
+
+  for (const auto& fam : snap) {
+    out += "# TYPE " + fam.name + " ";
+    out += metric_kind_name(fam.kind);
+    out += "\n";
+    for (const auto& pt : fam.points) {
+      switch (fam.kind) {
+        case MetricKind::kCounter:
+          out += fam.name + render_labels(pt.labels, "") + " " +
+                 fmt_u64(pt.counter) + "\n";
+          break;
+        case MetricKind::kGauge:
+          out += fam.name + render_labels(pt.labels, "") + " " +
+                 fmt_double(pt.gauge) + "\n";
+          break;
+        case MetricKind::kHistogram: {
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < pt.buckets.size(); ++i) {
+            cumulative += pt.buckets[i];
+            const std::string le =
+                i < pt.bounds.size() ? fmt_double(pt.bounds[i]) : "+Inf";
+            out += fam.name + "_bucket" +
+                   render_labels(pt.labels, "le=\"" + le + "\"") + " " +
+                   fmt_u64(cumulative) + "\n";
+          }
+          out += fam.name + "_sum" + render_labels(pt.labels, "") + " " +
+                 fmt_double(pt.sum) + "\n";
+          out += fam.name + "_count" + render_labels(pt.labels, "") + " " +
+                 fmt_u64(pt.count) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Validation: a minimal parser for the subset to_json emits, strict enough to
+// catch truncated files, missing keys, arity mismatches and type confusion
+// (the same discipline as bench_hotpath's BENCH_hotpath.json validator).
+
+namespace {
+
+struct JsonParser {
+  const char* p;
+  const char* end;
+  bool fail = false;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\n' || *p == '\t' || *p == '\r')) {
+      ++p;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    fail = true;
+    return false;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return p < end && *p == c;
+  }
+  std::string parse_string() {
+    skip_ws();
+    if (p >= end || *p != '"') {
+      fail = true;
+      return {};
+    }
+    ++p;
+    std::string s;
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        fail = true;  // the exporter never emits escapes
+        return {};
+      }
+      s += *p++;
+    }
+    if (!consume('"')) return {};
+    return s;
+  }
+  double parse_number() {
+    skip_ws();
+    char* after = nullptr;
+    const double v = std::strtod(p, &after);
+    if (after == p) {
+      fail = true;
+      return 0;
+    }
+    p = after;
+    return v;
+  }
+};
+
+// Parses {"k": "v", ...}; returns false on malformed input.
+bool parse_labels(JsonParser& j) {
+  if (!j.consume('{')) return false;
+  while (!j.peek('}')) {
+    if (j.parse_string().empty()) return false;
+    if (!j.consume(':')) return false;
+    j.parse_string();
+    if (j.fail) return false;
+    if (!j.peek('}')) {
+      if (!j.consume(',')) return false;
+    }
+  }
+  return j.consume('}');
+}
+
+// Parses [n, n, ...] into `out`; empty arrays are accepted.
+bool parse_number_array(JsonParser& j, std::vector<double>* out) {
+  if (!j.consume('[')) return false;
+  while (!j.peek(']')) {
+    out->push_back(j.parse_number());
+    if (j.fail) return false;
+    if (!j.peek(']')) {
+      if (!j.consume(',')) return false;
+    }
+  }
+  return j.consume(']');
+}
+
+bool is_nonneg_integer(double v) {
+  return v >= 0.0 && v == std::floor(v);
+}
+
+std::string validate_point(JsonParser& j, const std::string& type) {
+  if (!j.consume('{')) return "point is not an object";
+  bool saw_labels = false;
+  bool saw_value = false;
+  bool saw_count = false;
+  bool saw_sum = false;
+  double count = 0.0;
+  std::vector<double> bounds;
+  std::vector<double> buckets;
+  while (!j.peek('}')) {
+    const std::string key = j.parse_string();
+    if (j.fail) return "bad point key";
+    if (!j.consume(':')) return "point missing ':' after " + key;
+    if (key == "labels") {
+      if (!parse_labels(j)) return "malformed labels object";
+      saw_labels = true;
+    } else if (key == "value") {
+      const double v = j.parse_number();
+      if (type == "counter" && !is_nonneg_integer(v)) {
+        return "counter value is not a non-negative integer";
+      }
+      saw_value = true;
+    } else if (key == "count") {
+      count = j.parse_number();
+      if (!is_nonneg_integer(count)) return "count is not an integer";
+      saw_count = true;
+    } else if (key == "sum") {
+      j.parse_number();
+      saw_sum = true;
+    } else if (key == "bounds") {
+      if (!parse_number_array(j, &bounds)) return "malformed bounds array";
+    } else if (key == "buckets") {
+      if (!parse_number_array(j, &buckets)) return "malformed buckets array";
+    } else {
+      return "unknown point key '" + key + "'";
+    }
+    if (j.fail) return "bad value for point key " + key;
+    if (!j.peek('}')) {
+      if (!j.consume(',')) return "point missing ','";
+    }
+  }
+  j.consume('}');
+  if (!saw_labels) return "point missing labels";
+  if (type == "histogram") {
+    if (!saw_count || !saw_sum) return "histogram point missing count/sum";
+    if (buckets.size() != bounds.size() + 1) {
+      return "buckets arity != bounds + 1";
+    }
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      if (!(bounds[i - 1] < bounds[i])) return "bounds not ascending";
+    }
+    double total = 0.0;
+    for (double b : buckets) {
+      if (!is_nonneg_integer(b)) return "bucket count is not an integer";
+      total += b;
+    }
+    if (total != count) return "bucket counts do not sum to count";
+  } else {
+    if (!saw_value) return "point missing value";
+  }
+  return {};
+}
+
+std::string validate_family(JsonParser& j) {
+  if (!j.consume('{')) return "family is not an object";
+  bool saw_name = false;
+  std::string type;
+  bool saw_points = false;
+  while (!j.peek('}')) {
+    const std::string key = j.parse_string();
+    if (j.fail) return "bad family key";
+    if (!j.consume(':')) return "family missing ':' after " + key;
+    if (key == "name") {
+      if (j.parse_string().empty()) return "empty family name";
+      saw_name = true;
+    } else if (key == "type") {
+      type = j.parse_string();
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        return "unknown family type '" + type + "'";
+      }
+    } else if (key == "points") {
+      if (type.empty()) return "points before type";
+      saw_points = true;
+      if (!j.consume('[')) return "points is not an array";
+      while (!j.peek(']')) {
+        const std::string err = validate_point(j, type);
+        if (!err.empty()) return err;
+        if (!j.peek(']')) {
+          if (!j.consume(',')) return "points missing ','";
+        }
+      }
+      j.consume(']');
+    } else {
+      return "unknown family key '" + key + "'";
+    }
+    if (j.fail) return "parse failure after family key " + key;
+    if (!j.peek('}')) {
+      if (!j.consume(',')) return "family missing ','";
+    }
+  }
+  j.consume('}');
+  if (!saw_name) return "family missing name";
+  if (type.empty()) return "family missing type";
+  if (!saw_points) return "family missing points";
+  return {};
+}
+
+}  // namespace
+
+std::string validate_metrics_json(const std::string& text) {
+  JsonParser j{text.data(), text.data() + text.size()};
+  if (!j.consume('{')) return "not a JSON object";
+
+  bool saw_schema = false;
+  bool saw_families = false;
+  std::size_t family_count = 0;
+  for (;;) {
+    const std::string key = j.parse_string();
+    if (j.fail) return "bad key";
+    if (!j.consume(':')) return "missing ':' after " + key;
+    if (key == "schema") {
+      const std::string v = j.parse_string();
+      if (v != "zdc-metrics-v1") return "unknown schema '" + v + "'";
+      saw_schema = true;
+    } else if (key == "families") {
+      saw_families = true;
+      if (!j.consume('[')) return "families is not an array";
+      while (!j.peek(']')) {
+        const std::string err = validate_family(j);
+        if (!err.empty()) return err;
+        ++family_count;
+        if (!j.peek(']')) {
+          if (!j.consume(',')) return "families missing ','";
+        }
+      }
+      j.consume(']');
+    } else {
+      return "unknown key '" + key + "'";
+    }
+    if (j.fail) return "parse failure after key " + key;
+    if (j.peek('}')) break;
+    if (!j.consume(',')) return "missing ',' between keys";
+  }
+  j.consume('}');
+  j.skip_ws();
+  if (j.p != j.end) return "trailing garbage";
+  if (!saw_schema) return "missing schema";
+  if (!saw_families) return "missing families";
+  if (family_count == 0) return "families is empty";
+  return {};
+}
+
+}  // namespace zdc::obs

@@ -1,0 +1,295 @@
+// Thread-safe metrics registry shared by the deterministic sim and the
+// threaded runtime.
+//
+// Design constraints, in order:
+//   * lock-free hot path — instrumented code holds a pre-registered
+//     Counter*/Gauge*/Histogram* and updates it with relaxed atomics; the
+//     registry mutex is touched only at registration and snapshot time;
+//   * stable handles — metrics live in unique_ptrs inside the registry's
+//     maps, so a handle obtained once stays valid for the registry's
+//     lifetime regardless of later registrations;
+//   * deterministic export — snapshot() walks std::maps keyed by family name
+//     and canonical label string, so a fixed-seed sim run serializes to
+//     byte-identical JSON (the determinism contract in docs/OBSERVABILITY.md);
+//   * header-only — the sim library instruments itself against this header
+//     without linking anything beyond zdc_common (the compiled exporters
+//     live in zdc_obs).
+//
+// Instrumented code treats a null registry as "metrics off": harnesses keep
+// nullable handle vectors and guard each update with a pointer check, which
+// costs one predictable branch when disabled.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "common/types.h"
+
+namespace zdc::obs {
+
+/// Unordered (key, value) label pairs; canonicalized by the registry.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter. inc() is a relaxed fetch_add — safe from any thread.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depths, window sizes).
+class Gauge {
+ public:
+  void set(double x) { v_.store(x, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: cumulative-style export, lock-free observe().
+/// Bucket i counts samples <= bounds[i]; one overflow bucket catches the
+/// rest. The bound vector is immutable after construction, so readers never
+/// race with layout changes.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    ZDC_ASSERT_MSG(
+        std::is_sorted(bounds_.begin(), bounds_.end()),
+        "histogram bucket bounds must be ascending");
+    buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+        bounds_.size() + 1);
+  }
+
+  void observe(double x) {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+    const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + x,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) count; index bounds().size() = overflow.
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default latency bucket layout (milliseconds): covers sub-δ LAN hops
+/// through multi-second WAN degradations.
+inline std::vector<double> default_latency_buckets_ms() {
+  return {0.05, 0.1, 0.25, 0.5, 1.0,   2.5,   5.0,   10.0,
+          25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0};
+}
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+inline const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+/// Named metric families with label support. counter()/gauge()/histogram()
+/// register-or-fetch: the first call under a (family, labels) key creates
+/// the metric, later calls return the same handle. Family kinds are sticky —
+/// re-registering a name under a different kind is a programming error and
+/// asserts.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, const Labels& labels = {}) {
+    common::MutexLock lock(mu_);
+    Family& fam = family(name, MetricKind::kCounter);
+    auto& slot = fam.counters[canonical_labels(labels)];
+    if (!slot.metric) slot = {sorted(labels), std::make_unique<Counter>()};
+    return *slot.metric;
+  }
+
+  Gauge& gauge(const std::string& name, const Labels& labels = {}) {
+    common::MutexLock lock(mu_);
+    Family& fam = family(name, MetricKind::kGauge);
+    auto& slot = fam.gauges[canonical_labels(labels)];
+    if (!slot.metric) slot = {sorted(labels), std::make_unique<Gauge>()};
+    return *slot.metric;
+  }
+
+  /// The first registration of a family fixes its bucket layout; later calls
+  /// may pass any bounds (ignored) — pass {} to fetch an existing histogram.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const Labels& labels = {}) {
+    common::MutexLock lock(mu_);
+    Family& fam = family(name, MetricKind::kHistogram);
+    if (fam.bounds.empty()) {
+      fam.bounds = bounds.empty() ? default_latency_buckets_ms()
+                                  : std::move(bounds);
+    }
+    auto& slot = fam.histograms[canonical_labels(labels)];
+    if (!slot.metric) {
+      slot = {sorted(labels), std::make_unique<Histogram>(fam.bounds)};
+    }
+    return *slot.metric;
+  }
+
+  /// One exported point: the sorted label pairs plus the value fields of
+  /// its kind (counter/gauge scalars or the full histogram state).
+  struct Point {
+    Labels labels;  ///< sorted by key; values are plain (no escaping needed)
+    std::uint64_t counter = 0;
+    double gauge = 0.0;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;  ///< size bounds.size() + 1
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  struct FamilySnapshot {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    std::vector<Point> points;
+  };
+
+  /// Families sorted by name, points sorted by canonical label string — the
+  /// deterministic order every exporter relies on.
+  using Snapshot = std::vector<FamilySnapshot>;
+
+  [[nodiscard]] Snapshot snapshot() const {
+    common::MutexLock lock(mu_);
+    Snapshot out;
+    out.reserve(families_.size());
+    for (const auto& [name, fam] : families_) {
+      FamilySnapshot fs;
+      fs.name = name;
+      fs.kind = fam.kind;
+      for (const auto& [key, entry] : fam.counters) {
+        Point pt;
+        pt.labels = entry.labels;
+        pt.counter = entry.metric->value();
+        fs.points.push_back(std::move(pt));
+      }
+      for (const auto& [key, entry] : fam.gauges) {
+        Point pt;
+        pt.labels = entry.labels;
+        pt.gauge = entry.metric->value();
+        fs.points.push_back(std::move(pt));
+      }
+      for (const auto& [key, entry] : fam.histograms) {
+        Point pt;
+        pt.labels = entry.labels;
+        pt.bounds = entry.metric->bounds();
+        pt.buckets.reserve(pt.bounds.size() + 1);
+        for (std::size_t i = 0; i <= pt.bounds.size(); ++i) {
+          pt.buckets.push_back(entry.metric->bucket(i));
+        }
+        pt.count = entry.metric->count();
+        pt.sum = entry.metric->sum();
+        fs.points.push_back(std::move(pt));
+      }
+      out.push_back(std::move(fs));
+    }
+    return out;
+  }
+
+  /// Renders labels in canonical order: sorted by key, `k=v` joined by
+  /// commas (no quoting — label values in this codebase are plain tokens).
+  /// Points within a family export in this key's order.
+  static std::string canonical_labels(const Labels& labels) {
+    std::string out;
+    for (const auto& [k, v] : sorted(labels)) {
+      if (!out.empty()) out += ',';
+      out += k;
+      out += '=';
+      out += v;
+    }
+    return out;
+  }
+
+ private:
+  static Labels sorted(Labels labels) {
+    std::sort(labels.begin(), labels.end());
+    return labels;
+  }
+
+  template <typename T>
+  struct Entry {
+    Labels labels;
+    std::unique_ptr<T> metric;
+  };
+
+  struct Family {
+    MetricKind kind = MetricKind::kCounter;
+    std::vector<double> bounds;  ///< histogram families: shared layout
+    std::map<std::string, Entry<Counter>> counters;
+    std::map<std::string, Entry<Gauge>> gauges;
+    std::map<std::string, Entry<Histogram>> histograms;
+  };
+
+  Family& family(const std::string& name, MetricKind kind)
+      ZDC_REQUIRES(mu_) {
+    auto [it, inserted] = families_.try_emplace(name);
+    if (inserted) {
+      it->second.kind = kind;
+    } else {
+      ZDC_ASSERT_MSG(it->second.kind == kind,
+                     "metric family re-registered under a different kind");
+    }
+    return it->second;
+  }
+
+  mutable common::Mutex mu_;
+  std::map<std::string, Family> families_ ZDC_GUARDED_BY(mu_);
+};
+
+/// Convenience: the per-process label every fabric uses.
+inline Labels process_label(ProcessId p) {
+  return {{"process", std::to_string(p)}};
+}
+
+}  // namespace zdc::obs

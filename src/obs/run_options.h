@@ -1,0 +1,88 @@
+// The shared run-options surface.
+//
+// Every harness — the sim worlds (ConsensusWorld / AbcastWorld /
+// SequenceWorld) and the threaded runtime — used to duplicate the same
+// group/network/failure-detector/seed block. RunOptions is that block,
+// extracted once: sim run configs inherit it (so `cfg.group = ...` keeps
+// working everywhere), the runtime maps it via
+// RuntimeCluster::Config::from_options(), and the observability hooks
+// (metrics registry, sim trace recorder) and the consolidated batching knobs
+// ride along instead of accumulating as scattered per-protocol setters.
+//
+// The fluent with_*() mutators return *this, so configs build in one
+// expression:
+//
+//   auto cfg = zdc::RunOptions{}
+//                  .with_group(4, 1)
+//                  .with_seed(42)
+//                  .with_metrics(&registry);
+//
+// Note the builders return RunOptions& — derived configs (AbcastRunConfig
+// etc.) use them for the shared block and set their own fields afterwards.
+#pragma once
+
+#include <cstdint>
+
+#include "abcast/batching.h"
+#include "common/types.h"
+#include "obs/metrics.h"
+#include "sim/fd_sim.h"
+#include "sim/lan_model.h"
+#include "sim/trace.h"
+
+namespace zdc {
+
+struct RunOptions {
+  GroupParams group{4, 1};
+  sim::NetworkConfig net;
+  sim::FdConfig fd;
+  std::uint64_t seed = 1;
+
+  /// Consolidated abcast batching knobs (defaults = legacy unbatched
+  /// behaviour; the golden traces are pinned at these defaults).
+  abcast::BatchingOptions batching;
+
+  /// Optional metrics sink (owned by the caller, outlives the run).
+  /// nullptr = metrics off; instrumented code pays one branch.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  /// Optional structured run trace (owned by the caller, outlives the run).
+  /// Sim worlds record simulated time; the runtime uses the wall-clock
+  /// obs::RuntimeTraceRecorder instead (see obs/runtime_trace.h).
+  sim::TraceRecorder* trace = nullptr;
+
+  RunOptions& with_group(GroupParams g) {
+    group = g;
+    return *this;
+  }
+  RunOptions& with_group(std::uint32_t n, std::uint32_t f) {
+    group = GroupParams{n, f};
+    return *this;
+  }
+  RunOptions& with_net(const sim::NetworkConfig& c) {
+    net = c;
+    return *this;
+  }
+  RunOptions& with_fd(const sim::FdConfig& c) {
+    fd = c;
+    return *this;
+  }
+  RunOptions& with_seed(std::uint64_t s) {
+    seed = s;
+    return *this;
+  }
+  RunOptions& with_batching(const abcast::BatchingOptions& b) {
+    batching = b;
+    return *this;
+  }
+  RunOptions& with_metrics(obs::MetricsRegistry* m) {
+    metrics = m;
+    return *this;
+  }
+  RunOptions& with_trace(sim::TraceRecorder* t) {
+    trace = t;
+    return *this;
+  }
+};
+
+}  // namespace zdc

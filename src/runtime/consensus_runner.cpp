@@ -52,6 +52,10 @@ struct ConsensusRunner::Node {
   mutable common::Mutex mu;  ///< guards decision + proposal (cross-thread reads)
   Value decision ZDC_GUARDED_BY(mu);
   Value proposal ZDC_GUARDED_BY(mu);
+  // Pre-registered handles (null when fd_cfg.metrics is null).
+  obs::Counter* proposals_ctr = nullptr;
+  obs::Counter* decisions_ctr = nullptr;
+  obs::Counter* restarts_ctr = nullptr;
 };
 
 ConsensusRunner::ConsensusRunner(GroupParams group, Transport& net,
@@ -66,6 +70,14 @@ ConsensusRunner::ConsensusRunner(GroupParams group, Transport& net,
       Node& n = *nodes_[p];
       if (n.up.load(std::memory_order_acquire)) n.protocol->on_fd_change();
     });
+    if (fd_cfg.metrics != nullptr) {
+      node->proposals_ctr = &fd_cfg.metrics->counter(
+          "zdc_runner_proposals_total", obs::process_label(p));
+      node->decisions_ctr = &fd_cfg.metrics->counter(
+          "zdc_runner_decisions_total", obs::process_label(p));
+      node->restarts_ctr = &fd_cfg.metrics->counter(
+          "zdc_runner_restarts_total", obs::process_label(p));
+    }
     nodes_.push_back(std::move(node));
   }
   // Protocols after all fds exist: build_protocol dereferences node->fd.
@@ -112,6 +124,7 @@ void ConsensusRunner::propose(ProcessId p, const Value& v) {
     node.proposal = v;
   }
   node.has_proposal.store(true, std::memory_order_release);
+  if (node.proposals_ctr != nullptr) node.proposals_ctr->inc();
   net_.schedule(p, 0.0, [this, p] {
     Node& n = *nodes_[p];
     if (!n.up.load(std::memory_order_acquire)) return;
@@ -140,6 +153,7 @@ void ConsensusRunner::restart(ProcessId p) {
   net_.schedule(p, 0.0, [this, p] {
     Node& n = *nodes_[p];
     n.protocol = build_protocol(p);  // reloads write-ahead acceptor state
+    if (n.restarts_ctr != nullptr) n.restarts_ctr->inc();
     n.up.store(true, std::memory_order_release);
     n.fd->restart_on_worker();
     ZDC_LOG(kDebug, "consensus-runner")
@@ -163,6 +177,7 @@ void ConsensusRunner::record_decision(ProcessId p, const Value& v) {
     node.decision = v;
   }
   node.decided.store(true, std::memory_order_release);
+  if (node.decisions_ctr != nullptr) node.decisions_ctr->inc();
   // Agreement check across processes (and across incarnations: a process that
   // decided, crashed, restarted and decided again goes through here twice).
   Value first;

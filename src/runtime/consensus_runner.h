@@ -34,6 +34,8 @@ class ConsensusRunner {
  public:
   /// The transport must outlive the runner; the runner installs all handlers,
   /// so construct it before any other user of the transport's handler slots.
+  /// `fd_cfg.metrics` (when set) also receives the runner's own counters
+  /// (proposals, decisions, restarts, labeled by process).
   ConsensusRunner(GroupParams group, Transport& net,
                   HeartbeatFd::Config fd_cfg = {});
   ~ConsensusRunner();

@@ -25,6 +25,12 @@ HeartbeatFd::HeartbeatFd(ProcessId self, Transport& net, Config cfg,
   for (std::uint32_t p = 0; p < n_; ++p) {
     suspected_[p].store(false, std::memory_order_relaxed);
   }
+  if (cfg_.metrics != nullptr) {
+    suspicions_ctr_ = &cfg_.metrics->counter("zdc_fd_suspicions_total",
+                                             obs::process_label(self_));
+    adaptations_ctr_ = &cfg_.metrics->counter(
+        "zdc_fd_timeout_adaptations_total", obs::process_label(self_));
+  }
 }
 
 double HeartbeatFd::effective_timeout_ms(ProcessId p) const {
@@ -72,6 +78,7 @@ void HeartbeatFd::on_heartbeat(ProcessId from) {
     suspected_[from].store(false, std::memory_order_release);
     bonus_ms_[from] += cfg_.timeout_increment_ms;
     false_suspicions_.fetch_add(1, std::memory_order_relaxed);
+    if (adaptations_ctr_ != nullptr) adaptations_ctr_->inc();
     ZDC_LOG(kDebug, "heartbeat-fd")
         << "p" << self_ << " unsuspects p" << from << ", timeout now "
         << effective_timeout_ms(from) << "ms";
@@ -102,6 +109,7 @@ void HeartbeatFd::tick() {
     if (silent_ms > effective_timeout_ms(p)) {
       suspected_[p].store(true, std::memory_order_release);
       changed = true;
+      if (suspicions_ctr_ != nullptr) suspicions_ctr_->inc();
       ZDC_LOG(kDebug, "heartbeat-fd")
           << "p" << self_ << " suspects p" << p << " after " << silent_ms
           << "ms of silence";

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "fd/failure_detector.h"
+#include "obs/metrics.h"
 #include "runtime/transport.h"
 
 namespace zdc::runtime {
@@ -51,6 +52,9 @@ class HeartbeatFd final : public fd::SuspectView {
     double deviation_factor = 4.0;
     double margin_ms = 20.0;
     double min_timeout_ms = 20.0;
+    /// Optional metrics sink (suspicions, timeout adaptations), labeled by
+    /// the owning process. nullptr = metrics off.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   /// `on_change` fires (on the worker thread) whenever the suspect set — and
@@ -106,6 +110,10 @@ class HeartbeatFd final : public fd::SuspectView {
   fd::OmegaFromSuspects omega_;
   std::atomic<std::uint64_t> false_suspicions_{0};
   bool started_ = false;
+  // Pre-registered handles (null when cfg_.metrics is null). Updated on the
+  // worker thread; the counters themselves are thread-safe atomics.
+  obs::Counter* suspicions_ctr_ = nullptr;
+  obs::Counter* adaptations_ctr_ = nullptr;
 };
 
 }  // namespace zdc::runtime

@@ -39,6 +39,13 @@ struct InprocNetwork::Mailbox {
   std::uint64_t next_seq ZDC_GUARDED_BY(mu) = 0;
   bool busy ZDC_GUARDED_BY(mu) = false;  // worker is executing a handler
 
+  // Pre-registered metric handles, labeled by this (receiving) mailbox's
+  // process; null when metrics are off. The metrics themselves are atomics,
+  // so updating them under mu is incidental, not required.
+  obs::Counter* enqueued_ctr = nullptr;
+  obs::Counter* dropped_ctr = nullptr;
+  obs::Gauge* depth_gauge = nullptr;
+
   /// Injected delay for one inbound message (this mailbox's rng).
   double sample_delay(const Config& cfg, Channel channel) ZDC_REQUIRES(mu) {
     double delay = rng.uniform(cfg.min_delay_ms, cfg.max_delay_ms);
@@ -57,6 +64,15 @@ InprocNetwork::InprocNetwork(Config cfg) : cfg_(cfg), links_(cfg.n) {
   for (std::uint32_t p = 0; p < cfg.n; ++p) {
     mailboxes_.push_back(std::make_unique<Mailbox>(seeder.next_u64()));
     crashed_.push_back(std::make_unique<std::atomic<bool>>(false));
+    if (cfg.metrics != nullptr) {
+      Mailbox& box = *mailboxes_.back();
+      box.enqueued_ctr = &cfg.metrics->counter(
+          "zdc_inproc_messages_total", obs::process_label(p));
+      box.dropped_ctr = &cfg.metrics->counter("zdc_inproc_dropped_total",
+                                              obs::process_label(p));
+      box.depth_gauge = &cfg.metrics->gauge("zdc_inproc_queue_depth",
+                                            obs::process_label(p));
+    }
   }
   handlers_.resize(cfg.n);
 }
@@ -101,6 +117,7 @@ void InprocNetwork::push(ProcessId to, Item item) {
       // arrival order is not required here — this is the concurrent runtime).
       if (item.delivery.channel == Channel::kWab &&
           cfg_.wab_loss_prob > 0.0 && box.rng.chance(cfg_.wab_loss_prob)) {
+        if (box.dropped_ctr != nullptr) box.dropped_ctr->inc();
         return;  // best-effort datagram lost
       }
       double delay = box.sample_delay(cfg_, item.delivery.channel);
@@ -109,6 +126,7 @@ void InprocNetwork::push(ProcessId to, Item item) {
         if (item.delivery.channel != Channel::kProtocol &&
             (link.blocked ||
              (link.drop_prob > 0.0 && box.rng.chance(link.drop_prob)))) {
+          if (box.dropped_ctr != nullptr) box.dropped_ctr->inc();
           return;  // best-effort traffic on a faulty link is simply lost
         }
         delay += link.extra_delay_ms;
@@ -126,6 +144,10 @@ void InprocNetwork::push(ProcessId to, Item item) {
                                         delay));
     }
     box.queue.push(std::make_shared<Item>(std::move(item)));
+    if (box.enqueued_ctr != nullptr) {
+      box.enqueued_ctr->inc();
+      box.depth_gauge->set(static_cast<double>(box.queue.size()));
+    }
   }
   box.cv.notify_one();
 }
@@ -210,6 +232,9 @@ void InprocNetwork::worker_loop(ProcessId p) {
             item = box.queue.top();
             box.queue.pop();
             box.busy = true;
+            if (box.depth_gauge != nullptr) {
+              box.depth_gauge->set(static_cast<double>(box.queue.size()));
+            }
             break;
           }
           box.cv.wait_until(lock.inner(), due);

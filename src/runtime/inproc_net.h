@@ -28,6 +28,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "runtime/transport.h"
 
 // Locking discipline (checked by -Wthread-safety, see Mailbox in the .cpp):
@@ -49,6 +50,9 @@ class InprocNetwork final : public Transport {
     double wab_jitter_mean_ms = 0.15;
     /// Per-receiver loss probability of oracle datagrams.
     double wab_loss_prob = 0.0;
+    /// Optional metrics sink (enqueues, drops, queue depth, labeled by the
+    /// receiving process). nullptr = metrics off.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   explicit InprocNetwork(Config cfg);

@@ -7,6 +7,7 @@
 #include "abcast/c_abcast.h"
 #include "abcast/paxos_abcast.h"
 #include "common/assert.h"
+#include "sim/trace.h"
 
 namespace zdc::runtime {
 
@@ -14,16 +15,35 @@ class RuntimeNode::Host final : public abcast::AbcastHost {
  public:
   Host(RuntimeNode& node) : node_(node) {}
 
+  // Trace events for sends are recorded BEFORE the transport push: the
+  // recorder's wall-clock stamp then happens-before the matching delivery
+  // stamp, which keeps the recorded trace causally consistent.
   void send(ProcessId to, std::string bytes) override {
+    if (node_.trace_ != nullptr) {
+      node_.trace_->record(sim::TraceKind::kSend, node_.self_, to);
+    }
     node_.net_.send(Channel::kProtocol, node_.self_, to, std::move(bytes));
   }
   void broadcast(std::string bytes) override {
+    if (node_.trace_ != nullptr) {
+      for (ProcessId to = 0; to < node_.net_.size(); ++to) {
+        node_.trace_->record(sim::TraceKind::kSend, node_.self_, to);
+      }
+    }
     node_.net_.broadcast(Channel::kProtocol, node_.self_, std::move(bytes));
   }
   void w_broadcast(InstanceId k, std::string payload) override {
+    if (node_.trace_ != nullptr) {
+      node_.trace_->record(sim::TraceKind::kWabSend, node_.self_, kNoProcess,
+                           "k=" + std::to_string(k));
+    }
     node_.net_.broadcast(Channel::kWab, node_.self_, std::move(payload), k);
   }
   void a_deliver(const abcast::AppMessage& m) override {
+    if (node_.a_deliveries_ctr_ != nullptr) node_.a_deliveries_ctr_->inc();
+    if (node_.trace_ != nullptr) {
+      node_.trace_->record(sim::TraceKind::kDecide, node_.self_, m.id.sender);
+    }
     if (node_.on_deliver_) node_.on_deliver_(m);
   }
 
@@ -33,8 +53,18 @@ class RuntimeNode::Host final : public abcast::AbcastHost {
 
 RuntimeNode::RuntimeNode(ProcessId self, GroupParams group, Transport& net,
                          ProtocolKind kind, HeartbeatFd::Config fd_cfg,
-                         DeliverFn on_deliver)
-    : self_(self), net_(net), on_deliver_(std::move(on_deliver)) {
+                         DeliverFn on_deliver,
+                         const abcast::BatchingOptions& batching,
+                         obs::MetricsRegistry* metrics,
+                         obs::RuntimeTraceRecorder* trace)
+    : self_(self), net_(net), on_deliver_(std::move(on_deliver)),
+      trace_(trace) {
+  if (metrics != nullptr) {
+    a_broadcasts_ctr_ = &metrics->counter("zdc_node_a_broadcasts_total",
+                                          obs::process_label(self));
+    a_deliveries_ctr_ = &metrics->counter("zdc_node_a_deliveries_total",
+                                          obs::process_label(self));
+  }
   host_ = std::make_unique<Host>(*this);
   fd_ = std::make_unique<HeartbeatFd>(self, net, fd_cfg, [this] {
     if (protocol_ != nullptr) protocol_->on_fd_change();
@@ -55,6 +85,7 @@ RuntimeNode::RuntimeNode(ProcessId self, GroupParams group, Transport& net,
                                                         fd_->omega());
       break;
   }
+  abcast::configure_batching(*protocol_, batching);
 
   net_.set_handler(self, [this](const Delivery& d) { handle(d); });
 }
@@ -64,6 +95,10 @@ RuntimeNode::~RuntimeNode() = default;
 void RuntimeNode::start() { fd_->start(); }
 
 void RuntimeNode::a_broadcast(std::string payload) {
+  if (a_broadcasts_ctr_ != nullptr) a_broadcasts_ctr_->inc();
+  if (trace_ != nullptr) {
+    trace_->record(sim::TraceKind::kPropose, self_);
+  }
   // Marshal onto the worker thread: protocol objects are single-threaded.
   net_.schedule(self_, 0.0, [this, payload = std::move(payload)]() mutable {
     protocol_->a_broadcast(std::move(payload));
@@ -73,27 +108,50 @@ void RuntimeNode::a_broadcast(std::string payload) {
 void RuntimeNode::handle(const Delivery& d) {
   switch (d.channel) {
     case Channel::kProtocol:
+      if (trace_ != nullptr) {
+        trace_->record(sim::TraceKind::kDeliver, self_, d.from);
+      }
       protocol_->on_message(d.from, d.bytes);
       break;
     case Channel::kHeartbeat:
+      // Heartbeats are untraced: they would dwarf protocol traffic in any
+      // spacetime rendering without adding causal information.
       fd_->on_heartbeat(d.from);
       break;
     case Channel::kWab:
+      if (trace_ != nullptr) {
+        trace_->record(sim::TraceKind::kWabDeliver, self_, d.from,
+                       "k=" + std::to_string(d.wab_instance));
+      }
       protocol_->on_w_deliver(d.wab_instance, d.from, d.bytes);
       break;
   }
 }
 
+RuntimeCluster::Config RuntimeCluster::Config::from_options(
+    const zdc::RunOptions& opts) {
+  Config cfg;
+  cfg.group = opts.group;
+  cfg.net.seed = opts.seed;
+  cfg.udp.seed = opts.seed;
+  cfg.batching = opts.batching;
+  cfg.metrics = opts.metrics;
+  return cfg;
+}
+
 RuntimeCluster::RuntimeCluster(
     Config cfg,
     std::function<void(ProcessId, const abcast::AppMessage&)> on_deliver) {
+  cfg.fd.metrics = cfg.metrics;  // one sink feeds every layer
   if (cfg.transport == TransportKind::kUdp) {
     UdpNetwork::Config udp_cfg = cfg.udp;
     udp_cfg.n = cfg.group.n;
+    udp_cfg.metrics = cfg.metrics;
     net_ = std::make_unique<UdpNetwork>(udp_cfg);
   } else {
     InprocNetwork::Config net_cfg = cfg.net;
     net_cfg.n = cfg.group.n;
+    net_cfg.metrics = cfg.metrics;
     net_ = std::make_unique<InprocNetwork>(net_cfg);
   }
   nodes_.reserve(cfg.group.n);
@@ -102,7 +160,8 @@ RuntimeCluster::RuntimeCluster(
         p, cfg.group, *net_, cfg.kind, cfg.fd,
         [on_deliver, p](const abcast::AppMessage& m) {
           if (on_deliver) on_deliver(p, m);
-        }));
+        },
+        cfg.batching, cfg.metrics, cfg.trace));
   }
 }
 

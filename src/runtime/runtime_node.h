@@ -13,6 +13,9 @@
 #include <vector>
 
 #include "abcast/abcast.h"
+#include "abcast/batching.h"
+#include "obs/run_options.h"
+#include "obs/runtime_trace.h"
 #include "runtime/heartbeat_fd.h"
 #include "runtime/inproc_net.h"
 #include "runtime/udp_net.h"
@@ -32,9 +35,16 @@ class RuntimeNode {
   /// the total order.
   using DeliverFn = std::function<void(const abcast::AppMessage&)>;
 
+  /// `batching` is applied to the protocol when it supports it (see
+  /// abcast::configure_batching). `metrics` registers per-node counters
+  /// (a-broadcasts, a-deliveries); `trace` records the node's message events
+  /// in the sim trace schema with wall-clock timestamps. Both may be null.
   RuntimeNode(ProcessId self, GroupParams group, Transport& net,
               ProtocolKind kind, HeartbeatFd::Config fd_cfg,
-              DeliverFn on_deliver);
+              DeliverFn on_deliver,
+              const abcast::BatchingOptions& batching = {},
+              obs::MetricsRegistry* metrics = nullptr,
+              obs::RuntimeTraceRecorder* trace = nullptr);
   ~RuntimeNode();
 
   RuntimeNode(const RuntimeNode&) = delete;
@@ -61,9 +71,13 @@ class RuntimeNode {
   const ProcessId self_;
   Transport& net_;
   DeliverFn on_deliver_;
+  obs::RuntimeTraceRecorder* trace_;
   std::unique_ptr<Host> host_;
   std::unique_ptr<HeartbeatFd> fd_;
   std::unique_ptr<abcast::AtomicBroadcast> protocol_;
+  // Pre-registered handles (null when metrics are off).
+  obs::Counter* a_broadcasts_ctr_ = nullptr;
+  obs::Counter* a_deliveries_ctr_ = nullptr;
 };
 
 /// n replicas over one transport (in-process mailboxes by default, real
@@ -79,6 +93,19 @@ class RuntimeCluster {
     UdpNetwork::Config udp;     ///< kUdp; .n is overwritten with group.n
     ProtocolKind kind = ProtocolKind::kCAbcastL;
     HeartbeatFd::Config fd;
+    abcast::BatchingOptions batching;
+    /// Optional observability sinks; when set they are propagated into the
+    /// transport, failure-detector and node configs. Both must outlive the
+    /// cluster.
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::RuntimeTraceRecorder* trace = nullptr;
+
+    /// Maps the shared run-options bundle onto a cluster config: group, seed,
+    /// batching and metrics carry over. `opts.net`/`opts.fd`/`opts.trace` are
+    /// sim-fabric knobs (LanModel, FdSim, single-threaded TraceRecorder) and
+    /// are deliberately ignored — the runtime has a real network, a real
+    /// heartbeat detector and its own thread-safe RuntimeTraceRecorder.
+    static Config from_options(const zdc::RunOptions& opts);
   };
 
   /// `on_deliver(p, m)` runs on replica p's worker thread.

@@ -77,6 +77,20 @@ struct UdpNetwork::Endpoint {
 
   common::Rng rng ZDC_GUARDED_BY(mu){0};
 
+  // Pre-registered metric handles, labeled by this endpoint's process; null
+  // when metrics are off. Counters/gauges are atomics — safe from the recv
+  // thread and from senders alike.
+  obs::Counter* sent_ctr = nullptr;
+  obs::Counter* retrans_ctr = nullptr;
+  obs::Counter* dropped_ctr = nullptr;
+  obs::Gauge* unacked_gauge = nullptr;
+
+  void note_unacked_depth() ZDC_REQUIRES(mu) {
+    if (unacked_gauge != nullptr) {
+      unacked_gauge->set(static_cast<double>(unacked.size()));
+    }
+  }
+
   ~Endpoint() {
     if (fd >= 0) ::close(fd);
   }
@@ -107,6 +121,16 @@ UdpNetwork::UdpNetwork(Config cfg) : cfg_(cfg), links_(cfg.n) {
     ZDC_ASSERT(::getsockname(ep->fd, reinterpret_cast<sockaddr*>(&addr),
                              &len) == 0);
     ep->port = ntohs(addr.sin_port);
+    if (cfg.metrics != nullptr) {
+      ep->sent_ctr = &cfg.metrics->counter("zdc_udp_datagrams_sent_total",
+                                           obs::process_label(p));
+      ep->retrans_ctr = &cfg.metrics->counter("zdc_udp_retransmissions_total",
+                                              obs::process_label(p));
+      ep->dropped_ctr = &cfg.metrics->counter("zdc_udp_dropped_total",
+                                              obs::process_label(p));
+      ep->unacked_gauge = &cfg.metrics->gauge("zdc_udp_unacked_depth",
+                                              obs::process_label(p));
+    }
     endpoints_.push_back(std::move(ep));
   }
 }
@@ -148,11 +172,22 @@ void UdpNetwork::raw_send(ProcessId from, ProcessId to,
   // passes through here, so a single policy check covers the whole fabric.
   const fault::LinkState link = links_.link(from, to);
   if (!link.clean()) {
-    if (link.blocked) return;  // cut link: raw datagrams die (ARQ retries)
+    Endpoint& sender = *endpoints_[from];
+    if (link.blocked) {
+      // Cut link: raw datagrams die (ARQ retries).
+      if (sender.dropped_ctr != nullptr) sender.dropped_ctr->inc();
+      return;
+    }
     if (link.drop_prob > 0.0) {
-      Endpoint& ep = *endpoints_[from];
-      common::MutexLock lock(ep.mu);
-      if (ep.rng.chance(link.drop_prob)) return;
+      bool drop = false;
+      {
+        common::MutexLock lock(sender.mu);
+        drop = sender.rng.chance(link.drop_prob);
+      }
+      if (drop) {
+        if (sender.dropped_ctr != nullptr) sender.dropped_ctr->inc();
+        return;
+      }
     }
     if (link.extra_delay_ms > 0.0 && !crashed(from)) {
       // Delay spike: hold the datagram on the sender's timer wheel. Bypasses
@@ -177,6 +212,7 @@ void UdpNetwork::raw_send_now(ProcessId from, ProcessId to,
   // treated as loss — the ARQ covers the reliable channel.
   (void)::sendto(endpoints_[from]->fd, datagram.data(), datagram.size(), 0,
                  reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (endpoints_[from]->sent_ctr != nullptr) endpoints_[from]->sent_ctr->inc();
 }
 
 void UdpNetwork::send(Channel channel, ProcessId from, ProcessId to,
@@ -209,6 +245,7 @@ void UdpNetwork::send(Channel channel, ProcessId from, ProcessId to,
     pending.next_retransmit = after_ms(cfg_.retransmit_interval_ms);
     pending.backoff_ms = cfg_.retransmit_interval_ms;
     ep.unacked.emplace(seq, std::move(pending));
+    ep.note_unacked_depth();
   } else {
     enc.put_u64(0);
     enc.put_u64(wab_instance);
@@ -248,6 +285,7 @@ void UdpNetwork::crash(ProcessId p) {
     for (auto it = ep.unacked.begin(); it != ep.unacked.end();) {
       it = it->second.to == p ? ep.unacked.erase(it) : std::next(it);
     }
+    ep.note_unacked_depth();
   }
 }
 
@@ -266,6 +304,7 @@ void UdpNetwork::restart(ProcessId p) {
     // dedupe maps are kept monotonic across incarnations, so peers' ack
     // watermarks stay valid and pre-crash stragglers are still rejected.
     ep.unacked.clear();
+    ep.note_unacked_depth();
     while (!ep.timers.empty()) ep.timers.pop();
   }
   // The recv thread has been draining and discarding the socket while
@@ -287,6 +326,7 @@ void UdpNetwork::handle_datagram(ProcessId p, const char* data,
     if (!dec.done() || acker >= cfg_.n) return;
     common::MutexLock lock(ep.mu);
     ep.unacked.erase(seq);
+    ep.note_unacked_depth();
     return;
   }
   if (type != kTypeData) return;
@@ -369,10 +409,12 @@ void UdpNetwork::run_due_work(ProcessId p) {
       }
       ++it;
     }
+    ep.note_unacked_depth();
   }
   for (const auto& [to, datagram] : resend) {
     if (!crashed(to)) {
       retransmissions_.fetch_add(1, std::memory_order_relaxed);
+      if (ep.retrans_ctr != nullptr) ep.retrans_ctr->inc();
       raw_send(p, to, datagram);
     }
   }
@@ -406,6 +448,8 @@ void UdpNetwork::recv_loop(ProcessId p) {
         }
         if (!drop) {
           handle_datagram(p, buffer.data(), static_cast<std::size_t>(got));
+        } else if (ep.dropped_ctr != nullptr) {
+          ep.dropped_ctr->inc();
         }
       }
     }

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "runtime/transport.h"
 
 // Locking discipline (checked by -Wthread-safety, see Endpoint in the .cpp):
@@ -52,6 +53,9 @@ class UdpNetwork final : public Transport {
     double retransmit_cap_ms = 240.0;
     /// Artificial inbound drop probability on every datagram (ARQ stress).
     double drop_prob = 0.0;
+    /// Optional metrics sink (datagrams sent, retransmissions, drops,
+    /// unacked-queue depth, labeled by process). nullptr = metrics off.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   explicit UdpNetwork(Config cfg);

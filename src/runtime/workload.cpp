@@ -1,5 +1,6 @@
 #include "runtime/workload.h"
 
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <thread>
@@ -8,6 +9,8 @@
 #include "common/mutex.h"
 #include "common/rng.h"
 #include "common/thread_annotations.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace zdc::runtime {
 
@@ -32,24 +35,63 @@ RuntimeWorkloadResult run_runtime_workload(const RuntimeWorkloadConfig& cfg) {
     std::map<std::string, Clock::time_point> first_seen ZDC_GUARDED_BY(mu);
     std::vector<std::vector<std::string>> histories ZDC_GUARDED_BY(mu);
     std::vector<std::uint32_t> counts ZDC_GUARDED_BY(mu);
+    /// One accumulator per replica: each is only ever written by that
+    /// replica's worker thread, then combined after the join with merge().
+    std::vector<common::OnlineStats> per_replica ZDC_GUARDED_BY(mu);
   };
   Shared shared;
   {
     common::MutexLock lock(shared.mu);
     shared.histories.resize(n);
     shared.counts.assign(n, 0);
+    shared.per_replica.resize(n);
   }
 
+  obs::MetricsRegistry* metrics = cfg.cluster.metrics;
+  obs::Histogram* latency_hist =
+      metrics != nullptr ? &metrics->histogram("zdc_workload_latency_ms", {})
+                         : nullptr;
+
   RuntimeCluster cluster(
-      cfg.cluster, [&shared](ProcessId p, const abcast::AppMessage& m) {
+      cfg.cluster,
+      [&shared, latency_hist](ProcessId p, const abcast::AppMessage& m) {
         const auto now = Clock::now();
         common::MutexLock lock(shared.mu);
         shared.first_seen.emplace(m.payload, now);  // first delivery wins
         shared.histories[p].push_back(m.payload);
         ++shared.counts[p];
+        const auto sent_it = shared.sent.find(m.payload);
+        if (sent_it != shared.sent.end()) {
+          const double lat = ms_between(sent_it->second, now);
+          shared.per_replica[p].add(lat);
+          if (latency_hist != nullptr) latency_hist->observe(lat);
+        }
       });
   cluster.start();
   const auto start = Clock::now();
+
+  // Periodic metrics snapshots: a polling thread exports the registry as JSON
+  // every snapshot_period_ms. Polls in 1ms steps so teardown is prompt.
+  std::atomic<bool> snapshots_done{false};
+  std::thread snapshot_thread;
+  const bool snapshots_on = cfg.snapshot_period_ms > 0.0 &&
+                            cfg.on_snapshot != nullptr && metrics != nullptr;
+  if (snapshots_on) {
+    snapshot_thread = std::thread([&cfg, &snapshots_done, metrics] {
+      auto next = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                     std::chrono::duration<double, std::milli>(
+                                         cfg.snapshot_period_ms));
+      while (!snapshots_done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        if (Clock::now() >= next) {
+          cfg.on_snapshot(obs::to_json(metrics->snapshot()));
+          next += std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double, std::milli>(
+                  cfg.snapshot_period_ms));
+        }
+      }
+    });
+  }
 
   // Poisson arrivals from a driver thread; sender chosen uniformly.
   common::Rng rng(cfg.seed);
@@ -81,6 +123,12 @@ RuntimeWorkloadResult run_runtime_workload(const RuntimeWorkloadConfig& cfg) {
       cfg.timeout_ms);
   const auto end = Clock::now();
   cluster.shutdown();
+  if (snapshots_on) {
+    snapshots_done.store(true, std::memory_order_release);
+    snapshot_thread.join();
+    // One final snapshot so short runs always produce at least one export.
+    cfg.on_snapshot(obs::to_json(metrics->snapshot()));
+  }
   // Workers are joined, but keep the post-processing reads under the lock
   // anyway: it is uncontended now, and the guarded-by discipline stays
   // checkable instead of relying on the join for the happens-before edge.
@@ -91,6 +139,10 @@ RuntimeWorkloadResult run_runtime_workload(const RuntimeWorkloadConfig& cfg) {
   result.duration_ms = ms_between(start, end);
   for (const auto& history : shared.histories) {
     result.delivered_total += history.size();
+  }
+  // Parallel-Welford combine of the per-worker accumulators.
+  for (const auto& stats : shared.per_replica) {
+    result.replica_latency_ms.merge(stats);
   }
 
   const auto warmup_cutoff = static_cast<std::uint32_t>(

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/stats.h"
@@ -24,11 +25,20 @@ struct RuntimeWorkloadConfig {
   double warmup_fraction = 0.1;
   double timeout_ms = 60'000.0;
   std::uint64_t seed = 1;
+  /// When > 0 and `cluster.metrics` is set, a snapshot thread invokes
+  /// `on_snapshot` with the registry's JSON export every period (plus one
+  /// final snapshot before run_runtime_workload returns).
+  double snapshot_period_ms = 0.0;
+  std::function<void(const std::string& json)> on_snapshot;
 };
 
 struct RuntimeWorkloadResult {
   /// Wall-clock latency from submission to the first a-delivery anywhere.
   common::Sampler latency_ms;
+  /// Per-delivery latency across ALL replicas: accumulated as one OnlineStats
+  /// per replica worker thread and combined after the join with
+  /// OnlineStats::merge (parallel Welford).
+  common::OnlineStats replica_latency_ms;
   bool total_order_ok = true;
   bool complete = false;  ///< every replica delivered every message
   std::uint64_t delivered_total = 0;

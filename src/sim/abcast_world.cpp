@@ -5,11 +5,13 @@
 #include <set>
 #include <utility>
 
+#include "abcast/batching.h"
 #include "abcast/c_abcast.h"
 #include "abcast/paxos_abcast.h"
 #include "common/assert.h"
 #include "common/log.h"
 #include "sim/event_queue.h"
+#include "sim/sim_metrics.h"
 
 namespace zdc::sim {
 
@@ -84,6 +86,7 @@ class AbcastWorld {
     if (cfg_.trace != nullptr) {
       cfg_.trace->record(events_.now(), kind, subject, peer, std::move(detail));
     }
+    note_kind(kind_counters_, kind, subject);
   }
 
   const AbcastRunConfig& cfg_;
@@ -111,11 +114,14 @@ class AbcastWorld {
   /// by a process that never crashes, plus everything delivered anywhere.
   std::set<abcast::MsgId> expected_;
   std::uint32_t submitted_ = 0;
+  /// Per-(kind, process) counters; empty when cfg_.metrics == nullptr.
+  KindCounters kind_counters_;
 };
 
 void AbcastWorld::build(const SimAbcastFactory& factory) {
   const std::uint32_t n = cfg_.group.n;
   nodes_.resize(n);
+  kind_counters_ = register_kind_counters(cfg_.metrics, n);
 
   std::vector<bool> initially_crashed(n, false);
   for (const CrashSpec& c : cfg_.crashes) {
@@ -135,14 +141,8 @@ void AbcastWorld::build(const SimAbcastFactory& factory) {
     nodes_[p].protocol = factory(p, cfg_.group, *nodes_[p].host,
                                  fd_.omega_view(p), fd_.suspect_view(p));
     // Batching knobs: the factory signature is protocol-agnostic, so the
-    // world applies them via the concrete types (0 = the legacy defaults).
-    if (auto* paxos =
-            dynamic_cast<abcast::PaxosAbcast*>(nodes_[p].protocol.get())) {
-      paxos->set_pipeline_window(cfg_.paxos_pipeline_window);
-    } else if (auto* cab =
-                   dynamic_cast<abcast::CAbcast*>(nodes_[p].protocol.get())) {
-      cab->set_max_batch(cfg_.c_abcast_max_batch);
-    }
+    // world applies them via the concrete types (defaults = legacy).
+    abcast::configure_batching(*nodes_[p].protocol, cfg_.batching);
   }
 
   for (const CrashSpec& c : cfg_.crashes) {
@@ -423,10 +423,19 @@ AbcastRunResult AbcastWorld::run() {
   // Latency samples (post-warmup messages that were delivered).
   const auto warmup_cutoff = static_cast<std::uint32_t>(
       cfg_.warmup_fraction * static_cast<double>(cfg_.message_count));
+  obs::Histogram* latency_hist =
+      cfg_.metrics == nullptr
+          ? nullptr
+          : &cfg_.metrics->histogram("zdc_sim_delivery_latency_ms", {});
   for (const auto& [id, tr] : tracked_) {
     if (tr.index < warmup_cutoff) continue;
     if (tr.first_delivery >= 0.0) {
       result.latency_ms.add(tr.first_delivery - tr.broadcast_time);
+      // tracked_ is an ordered map, so histogram sums accumulate in a
+      // deterministic order — part of the byte-identical-export contract.
+      if (latency_hist != nullptr) {
+        latency_hist->observe(tr.first_delivery - tr.broadcast_time);
+      }
     }
     if (tr.sender_delivery >= 0.0) {
       result.sender_latency_ms.add(tr.sender_delivery - tr.broadcast_time);
@@ -470,6 +479,7 @@ AbcastRunResult AbcastWorld::run() {
     }
   }
 
+  ProcessId metric_p = 0;
   for (Node& node : nodes_) {
     node.protocol->finalize_metrics();
     const abcast::AbcastMetrics& m = node.protocol->metrics();
@@ -478,6 +488,12 @@ AbcastRunResult AbcastWorld::run() {
     result.totals.w_broadcasts += m.w_broadcasts;
     result.totals.consensus_instances += m.consensus_instances;
     result.totals.transport += m.transport;
+    if (cfg_.metrics != nullptr) {
+      cfg_.metrics
+          ->counter("zdc_sim_rounds_total", obs::process_label(metric_p))
+          .inc(m.consensus_instances);
+    }
+    ++metric_p;
   }
   result.histories.reserve(nodes_.size());
   for (Node& node : nodes_) result.histories.push_back(std::move(node.history));

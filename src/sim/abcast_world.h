@@ -28,12 +28,10 @@
 
 namespace zdc::sim {
 
-struct AbcastRunConfig {
-  GroupParams group{4, 1};
-  NetworkConfig net;
-  FdConfig fd;
-  std::uint64_t seed = 1;
-
+/// Inherits the shared group/net/fd/seed block, the consolidated batching
+/// knobs and the observability hooks from zdc::RunOptions — see
+/// obs/run_options.h for the fluent builder.
+struct AbcastRunConfig : RunOptions {
   double throughput_per_s = 100.0;  ///< aggregate a-broadcast rate
   std::uint32_t message_count = 400;
   std::uint32_t payload_bytes = 64;
@@ -45,15 +43,6 @@ struct AbcastRunConfig {
   /// Fraction of earliest messages excluded from the latency statistics.
   double warmup_fraction = 0.1;
 
-  /// Leader pipeline cap for the "paxos" stack (see
-  /// abcast::PaxosAbcast::set_pipeline_window): at most this many
-  /// proposed-but-undecided slots, surplus client messages batch into the
-  /// next freed slot. 0 = legacy unlimited (one slot per message under load).
-  std::uint32_t paxos_pipeline_window = 0;
-  /// Per-round batch cap for the C-Abcast stacks (see
-  /// abcast::CAbcast::set_max_batch). 0 = whole estimate per round.
-  std::size_t c_abcast_max_batch = 0;
-
   std::vector<CrashSpec> crashes;
   /// Scripted nemesis actions (src/fault/): partitions/link faults/pauses and
   /// crashes. Restart actions are rejected — this world is crash-stop (the
@@ -61,8 +50,6 @@ struct AbcastRunConfig {
   fault::FaultPlan fault_plan;
   TimePoint time_limit_ms = 300'000.0;
   std::uint64_t event_limit = 100'000'000;
-  /// Optional structured run trace (owned by the caller, outlives the run).
-  TraceRecorder* trace = nullptr;
 };
 
 struct AbcastRunResult {

@@ -16,6 +16,7 @@
 #include "consensus/recovering_paxos.h"
 #include "consensus/wab_consensus.h"
 #include "sim/event_queue.h"
+#include "sim/sim_metrics.h"
 
 namespace zdc::sim {
 
@@ -96,6 +97,7 @@ class ConsensusWorld {
     if (cfg_.trace != nullptr) {
       cfg_.trace->record(events_.now(), kind, subject, peer, std::move(detail));
     }
+    note_kind(kind_counters_, kind, subject);
   }
 
   const ConsensusRunConfig& cfg_;
@@ -113,12 +115,15 @@ class ConsensusWorld {
   std::vector<std::vector<std::function<void()>>> paused_work_;
   std::size_t undecided_correct_ = 0;
   bool reincarnation_conflict_ = false;
+  /// Per-(kind, process) counters; empty when cfg_.metrics == nullptr.
+  KindCounters kind_counters_;
 };
 
 void ConsensusWorld::build_nodes(const SimConsensusFactory& factory) {
   const std::uint32_t n = cfg_.group.n;
   ZDC_ASSERT_MSG(cfg_.proposals.size() == n, "need one proposal per process");
   nodes_.resize(n);
+  kind_counters_ = register_kind_counters(cfg_.metrics, n);
 
   std::vector<bool> initially_crashed(n, false);
   for (const CrashSpec& c : cfg_.crashes) {
@@ -314,6 +319,24 @@ void ConsensusWorld::record_decision(ProcessId p, const Value& v) {
   node.outcome.steps = node.protocol->decision_steps();
   node.outcome.path = node.protocol->decision_path();
   node.outcome.decide_time = events_.now();
+  if (cfg_.metrics != nullptr) {
+    // Decisions are rare; registering through the registry here (instead of
+    // pre-registered handles) keeps the hot paths untouched.
+    const char* path =
+        node.outcome.path == consensus::DecisionPath::kRound ? "round"
+        : node.outcome.path == consensus::DecisionPath::kForwarded
+            ? "forwarded"
+            : "none";
+    cfg_.metrics
+        ->counter("zdc_sim_decisions_path_total",
+                  {{"process", std::to_string(p)}, {"path", path}})
+        .inc();
+    cfg_.metrics->counter("zdc_sim_decision_steps_total",
+                          obs::process_label(p))
+        .inc(node.outcome.steps);
+    cfg_.metrics->histogram("zdc_sim_decision_latency_ms", {})
+        .observe(node.outcome.decide_time);
+  }
   if (node.outcome.correct) {
     ZDC_ASSERT(undecided_correct_ > 0);
     --undecided_correct_;
@@ -425,8 +448,15 @@ ConsensusRunResult ConsensusWorld::run() {
 
   result.outcomes.reserve(nodes_.size());
   bool first = true;
+  ProcessId metric_p = 0;
   for (Node& node : nodes_) {
     result.totals += node.protocol->metrics();
+    if (cfg_.metrics != nullptr) {
+      cfg_.metrics
+          ->counter("zdc_sim_rounds_total", obs::process_label(metric_p))
+          .inc(node.protocol->metrics().rounds_started);
+    }
+    ++metric_p;
     result.outcomes.push_back(node.outcome);
     const ProcessOutcome& o = node.outcome;
     if (o.decided) {

@@ -19,6 +19,7 @@
 #include "consensus/consensus.h"
 #include "fault/fault_plan.h"
 #include "fd/failure_detector.h"
+#include "obs/run_options.h"
 #include "sim/fd_sim.h"
 #include "sim/lan_model.h"
 #include "sim/trace.h"
@@ -45,11 +46,10 @@ struct CrashSpec {
   double restart_time = -1.0;
 };
 
-struct ConsensusRunConfig {
-  GroupParams group{4, 1};
-  NetworkConfig net;
-  FdConfig fd;
-  std::uint64_t seed = 1;
+/// Inherits the shared group/net/fd/seed block plus the observability hooks
+/// (metrics registry, trace recorder) from zdc::RunOptions — see
+/// obs/run_options.h for the fluent builder.
+struct ConsensusRunConfig : RunOptions {
   std::vector<Value> proposals;          ///< size n (entries of crashed procs unused)
   std::vector<TimePoint> propose_times;  ///< empty = all propose at t=0
   std::vector<CrashSpec> crashes;
@@ -62,8 +62,6 @@ struct ConsensusRunConfig {
   /// it — under FdMode::kCrashTracking this manufactures *false* suspicions.
   /// crash/restart route through the same paths as CrashSpec-driven ones.
   fault::FaultPlan fault_plan;
-  /// Optional structured run trace (owned by the caller, outlives the run).
-  TraceRecorder* trace = nullptr;
 };
 
 struct ProcessOutcome {

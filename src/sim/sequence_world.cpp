@@ -30,6 +30,16 @@ class SequenceWorld {
             [this](ProcessId p) { notify_fd_change(p); }) {
     crashed_.assign(cfg.group.n, false);
     fd_.initialize(std::vector<bool>(cfg.group.n, false));
+    if (cfg_.metrics != nullptr) {
+      for (ProcessId p = 0; p < cfg_.group.n; ++p) {
+        sent_ctrs_.push_back(&cfg_.metrics->counter(
+            "zdc_sim_messages_sent_total", obs::process_label(p)));
+        decision_ctrs_.push_back(&cfg_.metrics->counter(
+            "zdc_sim_decisions_total", obs::process_label(p)));
+      }
+      decision_latency_ =
+          &cfg_.metrics->histogram("zdc_sim_decision_latency_ms", {});
+    }
   }
 
   SequenceResult run();
@@ -94,6 +104,11 @@ class SequenceWorld {
   std::vector<std::unique_ptr<Instance>> instances_;
   std::uint32_t current_ = 0;
   bool finished_ = false;
+  // Pre-registered handles (empty/null when cfg.metrics is null). Counter
+  // bumps never touch the RNG or event queue, so schedules are unchanged.
+  std::vector<obs::Counter*> sent_ctrs_;
+  std::vector<obs::Counter*> decision_ctrs_;
+  obs::Histogram* decision_latency_ = nullptr;
 };
 
 void SequenceWorld::start_instance(std::uint32_t index) {
@@ -142,6 +157,7 @@ void SequenceWorld::start_instance(std::uint32_t index) {
 
 void SequenceWorld::unicast(ProcessId from, ProcessId to, std::string framed) {
   if (crashed_[from]) return;
+  if (!sent_ctrs_.empty()) sent_ctrs_[from]->inc();
   auto payload = std::make_shared<const std::string>(std::move(framed));
   const TimePoint sent = lan_.occupy_sender_cpu(from, events_.now());
   const TimePoint tx_end =
@@ -176,6 +192,10 @@ void SequenceWorld::record_decision(std::uint32_t instance, ProcessId p,
   pi.decision = v;
 
   const TimePoint rel = events_.now() - inst.stats.start_time;
+  if (!decision_ctrs_.empty()) {
+    decision_ctrs_[p]->inc();
+    decision_latency_->observe(rel);
+  }
   if (inst.stats.first_decision == 0.0 || rel < inst.stats.first_decision) {
     inst.stats.first_decision = rel;
   }

@@ -19,11 +19,9 @@
 
 namespace zdc::sim {
 
-struct SequenceConfig {
-  GroupParams group{4, 1};
-  NetworkConfig net;
-  FdConfig fd;
-  std::uint64_t seed = 1;
+/// Inherits the shared group/net/fd/seed block from zdc::RunOptions — see
+/// obs/run_options.h for the fluent builder.
+struct SequenceConfig : RunOptions {
   std::uint32_t instances = 20;
   /// If instances >= crash_before_instance, crash `crash_process` right
   /// before that instance starts (kNoProcess = no crash).

@@ -1,0 +1,67 @@
+// Shared metric registration for the sim worlds.
+//
+// Both worlds funnel every structured event through their trace() helper;
+// instrumentation piggybacks on the same funnel: one pre-registered counter
+// per (TraceKind, process), nullptr when metrics are off. Registration
+// happens once per world build, so the per-event cost is a pointer check
+// plus a relaxed fetch_add — the sim's RNG and event queue are never
+// touched, which is why enabling metrics cannot perturb golden traces.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/metrics.h"
+#include "sim/trace.h"
+
+namespace zdc::sim {
+
+/// Counter handles indexed [kind][process]; empty vectors = metrics off.
+using KindCounters =
+    std::array<std::vector<obs::Counter*>, 9>;  // one slot per TraceKind
+
+/// Metric family for each structured event kind. The names are the sim half
+/// of the catalog in docs/OBSERVABILITY.md.
+inline const char* trace_kind_family(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kPropose: return "zdc_sim_proposals_total";
+    case TraceKind::kSend: return "zdc_sim_messages_sent_total";
+    case TraceKind::kDeliver: return "zdc_sim_messages_delivered_total";
+    case TraceKind::kWabSend: return "zdc_sim_wab_sent_total";
+    case TraceKind::kWabDeliver: return "zdc_sim_wab_delivered_total";
+    case TraceKind::kDecide: return "zdc_sim_decisions_total";
+    case TraceKind::kCrash: return "zdc_sim_crashes_total";
+    case TraceKind::kFdChange: return "zdc_sim_fd_changes_total";
+    case TraceKind::kFault: return "zdc_sim_faults_total";
+  }
+  return "zdc_sim_unknown_total";
+}
+
+/// Pre-registers one counter per (kind, process). Returns empty vectors when
+/// `registry` is null so the per-event hook stays a single branch.
+inline KindCounters register_kind_counters(obs::MetricsRegistry* registry,
+                                           std::uint32_t n) {
+  KindCounters out;
+  if (registry == nullptr) return out;
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    out[k].resize(n);
+    for (ProcessId p = 0; p < n; ++p) {
+      out[k][p] = &registry->counter(
+          trace_kind_family(static_cast<TraceKind>(k)),
+          obs::process_label(p));
+    }
+  }
+  return out;
+}
+
+/// The per-event hook next to trace(): bumps the (kind, subject) counter.
+inline void note_kind(const KindCounters& counters, TraceKind kind,
+                      ProcessId subject) {
+  const auto k = static_cast<std::size_t>(kind);
+  if (counters[k].empty() || subject >= counters[k].size()) return;
+  counters[k][subject]->inc();
+}
+
+}  // namespace zdc::sim

@@ -115,7 +115,7 @@ void run_twice(const AbcastRunConfig& base, const std::string& protocol,
 
 TEST(GoldenTrace, BatchedPaxosPipelineIsDeterministic) {
   AbcastRunConfig cfg = golden_config("paxos", 1234);
-  cfg.paxos_pipeline_window = 4;
+  cfg.batching.paxos_pipeline_window = 4;
   cfg.throughput_per_s = 500.0;  // saturate the window so batching engages
   std::string a, b;
   run_twice(cfg, "paxos", &a, &b);
@@ -125,7 +125,7 @@ TEST(GoldenTrace, BatchedPaxosPipelineIsDeterministic) {
 
 TEST(GoldenTrace, BatchedCAbcastIsDeterministic) {
   AbcastRunConfig cfg = golden_config("c-l", 99);
-  cfg.c_abcast_max_batch = 3;
+  cfg.batching.c_abcast_max_batch = 3;
   std::string a, b;
   run_twice(cfg, "c-l", &a, &b);
   ASSERT_FALSE(a.empty());
@@ -134,7 +134,7 @@ TEST(GoldenTrace, BatchedCAbcastIsDeterministic) {
 
 TEST(GoldenTrace, NemesisRunIsDeterministic) {
   AbcastRunConfig cfg = golden_config("c-l", 77);
-  cfg.c_abcast_max_batch = 4;
+  cfg.batching.c_abcast_max_batch = 4;
   fault::NemesisConfig ncfg;
   ncfg.n = cfg.group.n;
   ncfg.f = cfg.group.f;

@@ -118,7 +118,7 @@ TEST(HotpathBatching, PaxosWindowSafeAndCheaperUnderLoad) {
     std::uint64_t legacy_sent = 0;
     for (std::uint32_t window : {0u, 1u, 4u}) {
       sim::AbcastRunConfig cfg = loaded_config(seed);
-      cfg.paxos_pipeline_window = window;
+      cfg.batching.paxos_pipeline_window = window;
       auto r = sim::run_abcast(cfg, sim::abcast_factory_by_name("paxos"));
       ASSERT_TRUE(r.safe()) << "window " << window << " seed " << seed;
       ASSERT_TRUE(r.agreement_ok) << "window " << window << " seed " << seed;
@@ -164,7 +164,7 @@ TEST(HotpathBatching, BatchedCAbcastSurvivesNemesisPlans) {
         cfg.throughput_per_s = 2000.0;
         cfg.message_count = 120;
         cfg.payload_bytes = 32;
-        cfg.c_abcast_max_batch = max_batch;
+        cfg.batching.c_abcast_max_batch = max_batch;
         cfg.fault_plan = plan;
 
         auto r = sim::run_abcast(cfg, sim::abcast_factory_by_name(protocol));

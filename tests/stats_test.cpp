@@ -40,6 +40,41 @@ TEST(OnlineStats, SingleSample) {
   EXPECT_DOUBLE_EQ(s.max(), 3.5);
 }
 
+TEST(OnlineStats, MergeMatchesSequentialAdds) {
+  OnlineStats all;
+  OnlineStats left;
+  OnlineStats right;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-50.0, 200.0);
+    all.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmptyIsIdentity) {
+  OnlineStats s;
+  s.add(1.0);
+  s.add(3.0);
+  OnlineStats empty;
+  s.merge(empty);  // merging in an empty accumulator changes nothing
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+
+  OnlineStats target;
+  target.merge(s);  // merging into an empty accumulator copies
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(target.min(), 1.0);
+  EXPECT_DOUBLE_EQ(target.max(), 3.0);
+}
+
 TEST(Sampler, ExactPercentiles) {
   Sampler s;
   for (int i = 100; i >= 1; --i) s.add(i);  // 1..100, reverse insert order

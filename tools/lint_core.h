@@ -52,9 +52,13 @@ struct RunConfig {
   /// Directories whose sources get the hygiene rules.
   std::vector<std::string> hygiene_dirs = {"src"};
   /// Directories whose sources additionally get the determinism rules.
+  /// src/obs is included: the metrics registry must stay deterministic (the
+  /// byte-identical-snapshot contract); only the runtime trace recorder reads
+  /// a wall clock, behind an explicit allow marker.
   std::vector<std::string> det_dirs = {"src/sim",     "src/consensus",
                                        "src/abcast",  "src/wab",
-                                       "src/core",    "src/fd"};
+                                       "src/core",    "src/fd",
+                                       "src/obs"};
 };
 
 /// Walks the configured directories (sorted, so output order is stable) and

@@ -5,6 +5,9 @@
 //               --fd track --crash 0@0.5 --trace
 //   zdc_explore abcast    --protocol c-p --throughput 300 --messages 500
 //   zdc_explore sequence  --protocol paxos --instances 12 --crash-before 6
+//   zdc_explore runtime   --protocol c-l --transport udp --messages 100
+//               --metrics
+//   zdc_explore validate-metrics snapshot.json
 //
 // Run with --help for the full flag reference.
 #include <cstdio>
@@ -18,6 +21,11 @@
 #include <vector>
 
 #include "fault/fault_plan.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/run_options.h"
+#include "obs/runtime_trace.h"
+#include "runtime/workload.h"
 #include "sim/abcast_world.h"
 #include "sim/consensus_world.h"
 #include "sim/sequence_world.h"
@@ -47,10 +55,12 @@ Flags parse_flags(int argc, char** argv, int first) {
   // Every flag any mode reads; a typo'd flag silently falling back to its
   // default would make a scenario lie about what it ran.
   static const std::set<std::string> kKnown = {
-      "crash",     "crash-before", "crash-process", "detect-ms", "f",
-      "fd",        "instances",    "leader",        "messages",  "n",
-      "plan",      "plan-text",    "proposals",     "protocol",  "seed",
-      "throughput", "trace",       "unanimous"};
+      "crash",       "crash-before", "crash-process", "detect-ms",
+      "f",           "fd",           "instances",     "leader",
+      "messages",    "metrics",      "metrics-out",   "n",
+      "plan",        "plan-text",    "proposals",     "protocol",
+      "seed",        "throughput",   "trace",         "transport",
+      "unanimous"};
   Flags flags;
   for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
@@ -156,6 +166,39 @@ fault::FaultPlan load_plan(const Flags& flags) {
   return plan;
 }
 
+/// True when any metrics output was requested.
+bool wants_metrics(const Flags& flags) {
+  return flags.has("metrics") || flags.has("metrics-out");
+}
+
+/// Emits the registry per the --metrics/--metrics-out flags: stdout gets the
+/// JSON export followed by the Prometheus text exposition; --metrics-out FILE
+/// writes just the JSON document (the machine-readable artifact).
+int emit_metrics(const obs::MetricsRegistry& registry, const Flags& flags) {
+  const obs::MetricsRegistry::Snapshot snapshot = registry.snapshot();
+  const std::string json = obs::to_json(snapshot);
+  const std::string error = obs::validate_metrics_json(json);
+  if (!error.empty()) {
+    std::fprintf(stderr, "internal error: emitted metrics JSON invalid: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  if (flags.has("metrics-out")) {
+    const std::string path = flags.get("metrics-out", "");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write metrics file '%s'\n", path.c_str());
+      return 2;
+    }
+    out << json;
+  }
+  if (flags.has("metrics")) {
+    std::printf("%s\n", json.c_str());
+    std::printf("%s", obs::to_prometheus(snapshot).c_str());
+  }
+  return 0;
+}
+
 int run_consensus_mode(const Flags& flags) {
   sim::ConsensusRunConfig cfg;
   cfg.group.n = static_cast<std::uint32_t>(flags.num("n", 4));
@@ -180,6 +223,8 @@ int run_consensus_mode(const Flags& flags) {
 
   sim::TraceRecorder trace;
   if (flags.has("trace")) cfg.trace = &trace;
+  obs::MetricsRegistry registry;
+  if (wants_metrics(flags)) cfg.metrics = &registry;
 
   const std::string protocol = flags.get("protocol", "l");
   auto r = sim::run_consensus(cfg, sim::consensus_factory_by_name(protocol));
@@ -215,6 +260,10 @@ int run_consensus_mode(const Flags& flags) {
                 trace.events().size(),
                 trace.causally_consistent() ? "yes" : "NO");
   }
+  if (wants_metrics(flags)) {
+    const int rc = emit_metrics(registry, flags);
+    if (rc != 0) return rc;
+  }
   return r.safe() ? 0 : 1;
 }
 
@@ -229,6 +278,9 @@ int run_abcast_mode(const Flags& flags) {
   cfg.fault_plan = load_plan(flags);
   cfg.throughput_per_s = flags.num("throughput", 100);
   cfg.message_count = static_cast<std::uint32_t>(flags.num("messages", 400));
+
+  obs::MetricsRegistry registry;
+  if (wants_metrics(flags)) cfg.metrics = &registry;
 
   const std::string protocol = flags.get("protocol", "c-l");
   if (protocol == "paxos" && !flags.has("n")) cfg.group = GroupParams{3, 1};
@@ -249,6 +301,10 @@ int run_abcast_mode(const Flags& flags) {
               r.total_order_ok ? "ok" : "VIOLATED",
               r.integrity_ok ? "ok" : "VIOLATED",
               r.agreement_ok ? "ok" : "incomplete");
+  if (wants_metrics(flags)) {
+    const int rc = emit_metrics(registry, flags);
+    if (rc != 0) return rc;
+  }
   return r.safe() ? 0 : 1;
 }
 
@@ -268,6 +324,9 @@ int run_sequence_mode(const Flags& flags) {
         static_cast<std::uint32_t>(flags.num("crash-before", 0));
   }
 
+  obs::MetricsRegistry registry;
+  if (wants_metrics(flags)) cfg.metrics = &registry;
+
   const std::string protocol = flags.get("protocol", "l");
   auto r =
       sim::run_consensus_sequence(cfg, sim::consensus_factory_by_name(protocol));
@@ -286,16 +345,108 @@ int run_sequence_mode(const Flags& flags) {
   }
   std::printf("complete=%s safe=%s\n", r.all_complete ? "yes" : "NO",
               r.all_safe ? "yes" : "NO");
+  if (wants_metrics(flags)) {
+    const int rc = emit_metrics(registry, flags);
+    if (rc != 0) return rc;
+  }
   return r.all_safe ? 0 : 1;
+}
+
+int run_runtime_mode(const Flags& flags) {
+  const std::string protocol = flags.get("protocol", "c-l");
+  runtime::ProtocolKind kind;
+  if (protocol == "c-l") {
+    kind = runtime::ProtocolKind::kCAbcastL;
+  } else if (protocol == "c-p") {
+    kind = runtime::ProtocolKind::kCAbcastP;
+  } else if (protocol == "wabcast") {
+    kind = runtime::ProtocolKind::kWabcast;
+  } else if (protocol == "paxos") {
+    kind = runtime::ProtocolKind::kPaxos;
+  } else {
+    std::fprintf(stderr, "unknown runtime protocol '%s' (c-l c-p wabcast paxos)\n",
+                 protocol.c_str());
+    return 2;
+  }
+
+  zdc::RunOptions opts;
+  opts.with_group(static_cast<std::uint32_t>(flags.num("n", 4)),
+                  static_cast<std::uint32_t>(flags.num("f", 1)))
+      .with_seed(static_cast<std::uint64_t>(flags.num("seed", 1)));
+  obs::MetricsRegistry registry;
+  opts.with_metrics(&registry);  // runtime metrics are always collected
+
+  runtime::RuntimeWorkloadConfig cfg;
+  cfg.cluster = runtime::RuntimeCluster::Config::from_options(opts);
+  cfg.cluster.kind = kind;
+  obs::RuntimeTraceRecorder recorder;
+  if (flags.has("trace")) cfg.cluster.trace = &recorder;
+  const std::string transport = flags.get("transport", "inproc");
+  if (transport == "udp") {
+    cfg.cluster.transport = runtime::RuntimeCluster::TransportKind::kUdp;
+  } else if (transport != "inproc") {
+    std::fprintf(stderr, "unknown transport '%s' (inproc | udp)\n",
+                 transport.c_str());
+    return 2;
+  }
+  cfg.throughput_per_s = flags.num("throughput", 500);
+  cfg.message_count = static_cast<std::uint32_t>(flags.num("messages", 100));
+  cfg.seed = static_cast<std::uint64_t>(flags.num("seed", 1));
+
+  const auto r = runtime::run_runtime_workload(cfg);
+  std::printf("protocol=%s transport=%s n=%u messages=%u\n", protocol.c_str(),
+              transport.c_str(), cfg.cluster.group.n, cfg.message_count);
+  std::printf("latency  mean=%.3f ms  p95=%.3f  max=%.3f  (replica mean=%.3f)\n",
+              r.latency_ms.mean(), r.latency_ms.percentile(95),
+              r.latency_ms.max(), r.replica_latency_ms.mean());
+  std::printf("delivered=%llu duration=%.1f ms total-order=%s complete=%s\n",
+              static_cast<unsigned long long>(r.delivered_total),
+              r.duration_ms, r.total_order_ok ? "ok" : "VIOLATED",
+              r.complete ? "yes" : "NO");
+  if (flags.has("trace")) {
+    const sim::TraceRecorder trace = recorder.freeze();
+    std::printf("\n%s", trace.render_spacetime(cfg.cluster.group.n).c_str());
+    std::printf("trace: %zu events, causally consistent: %s\n",
+                trace.events().size(),
+                trace.causally_consistent() ? "yes" : "NO");
+  }
+  if (wants_metrics(flags)) {
+    const int rc = emit_metrics(registry, flags);
+    if (rc != 0) return rc;
+  }
+  return r.total_order_ok && r.complete ? 0 : 1;
+}
+
+int run_validate_metrics_mode(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: zdc_explore validate-metrics FILE\n");
+    return 2;
+  }
+  std::ifstream in(argv[2]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open '%s'\n", argv[2]);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string error = obs::validate_metrics_json(buf.str());
+  if (!error.empty()) {
+    std::fprintf(stderr, "%s: INVALID: %s\n", argv[2], error.c_str());
+    return 1;
+  }
+  std::printf("%s: ok (schema zdc-metrics-v1)\n", argv[2]);
+  return 0;
 }
 
 void usage() {
   std::printf(
       "zdc_explore — run zdc protocols from the command line\n\n"
       "modes:\n"
-      "  consensus   one consensus instance\n"
-      "  abcast      atomic-broadcast workload (Figure 2/3-style run)\n"
-      "  sequence    repeated consensus (recovery-run experiment)\n\n"
+      "  consensus         one consensus instance\n"
+      "  abcast            atomic-broadcast workload (Figure 2/3-style run)\n"
+      "  sequence          repeated consensus (recovery-run experiment)\n"
+      "  runtime           threaded-runtime workload (real threads/sockets)\n"
+      "  validate-metrics  check a metrics JSON file against zdc-metrics-v1\n\n"
       "common flags:\n"
       "  --protocol P   consensus: l p paxos ct fast-paxos rec-paxos\n"
       "                 brasileiro-l brasileiro-paxos wab\n"
@@ -308,10 +459,14 @@ void usage() {
       "  --plan FILE    nemesis plan file (see docs/FAULTS.md for the syntax)\n"
       "  --plan-text T  inline plan, ';' separates actions:\n"
       "                 \"@0.2 partition 0 1 | 2 3;@6 heal\"\n\n"
+      "  --metrics      print the run's metrics (JSON + Prometheus text)\n"
+      "  --metrics-out F  write the metrics JSON document to file F\n\n"
       "consensus flags: --proposals a,b,c,d   --trace (space-time diagram)\n"
       "abcast flags:    --throughput R  --messages M\n"
       "sequence flags:  --instances K  --crash-before I  --crash-process P\n"
-      "                 --unanimous\n");
+      "                 --unanimous\n"
+      "runtime flags:   --transport inproc|udp  --protocol c-l|c-p|wabcast|paxos\n"
+      "                 --throughput R  --messages M  --trace\n");
 }
 
 }  // namespace
@@ -322,10 +477,12 @@ int main(int argc, char** argv) {
     return argc < 2 ? 2 : 0;
   }
   const std::string mode = argv[1];
+  if (mode == "validate-metrics") return run_validate_metrics_mode(argc, argv);
   const Flags flags = parse_flags(argc, argv, 2);
   if (mode == "consensus") return run_consensus_mode(flags);
   if (mode == "abcast") return run_abcast_mode(flags);
   if (mode == "sequence") return run_sequence_mode(flags);
+  if (mode == "runtime") return run_runtime_mode(flags);
   usage();
   return 2;
 }
