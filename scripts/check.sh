@@ -8,6 +8,8 @@
 #   scripts/check.sh plain tsan     # just these suites
 #   scripts/check.sh metrics        # metrics-JSON schema + byte-identity
 #   scripts/check.sh --static       # only the static stage
+#   scripts/check.sh --explore      # opt-in: slow-labelled deep exploration
+#                                   # (full schedule-space exhaustion, minutes)
 #   scripts/check.sh bench          # opt-in: full hot-path perf sweep
 #                                   # (scripts/bench.sh -> BENCH_hotpath.json)
 set -eu
@@ -61,6 +63,20 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
+# Explore stage: the slow-labelled deep-exploration tests — full bounded
+# schedule-space exhaustion for L/P/Paxos via the model checker (src/check).
+# Deliberately NOT part of the default set: minutes of wall time, and the
+# tier-1 suite already runs the depth-bounded versions. Own build directory
+# because ZDC_SLOW_TESTS changes which tests are registered.
+run_explore() {
+  echo "=== explore: configure (build-explore)"
+  cmake -B build-explore -S . -DZDC_SLOW_TESTS=ON > /dev/null
+  echo "=== explore: build"
+  cmake --build build-explore -j "$JOBS"
+  echo "=== explore: ctest -L slow"
+  ctest --test-dir build-explore --output-on-failure -L slow -j "$JOBS"
+}
+
 suites=${*:-static plain metrics tsan asan}
 for suite in $suites; do
   case "$suite" in
@@ -69,9 +85,11 @@ for suite in $suites; do
     metrics) run_metrics ;;
     tsan)  run_suite tsan build-tsan -DZDC_SANITIZE=thread ;;
     asan)  run_suite asan build-asan -DZDC_SANITIZE=address ;;
+    explore|--explore) run_explore ;;
     # Opt-in (never part of the default set): refresh the perf baseline.
     bench) echo "=== bench: hot-path sweep"; scripts/bench.sh ;;
-    *) echo "unknown suite '$suite' (static|plain|metrics|tsan|asan|bench)" >&2
+    *) echo "unknown suite '$suite'" \
+            "(static|plain|metrics|tsan|asan|explore|bench)" >&2
        exit 2 ;;
   esac
 done

@@ -1,0 +1,173 @@
+// The choice-point model: every nondeterministic decision an asynchronous
+// adversary can make against a direct-drive harness, reified as a small POD
+// so schedules can be recorded, replayed, enumerated and shrunk.
+//
+// A run of a system under check is exactly (scenario spec, choice sequence):
+// the spec fixes the deterministic part (protocol, group, proposals, initial
+// FD outputs), the choice sequence fixes the nondeterminism. Replaying the
+// same pair reproduces the run byte-identically — that is the contract the
+// replay fixtures under tests/check_fixtures/ pin.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace zdc::check {
+
+enum class ChoiceKind : std::uint8_t {
+  /// Deliver the *oldest* pending transport message on edge a→b. "Oldest"
+  /// makes the choice deterministic: the adversary picks the edge, never a
+  /// position within an edge (per-edge FIFO is the channel model everywhere
+  /// in this repo).
+  kDeliver = 0,
+  /// Deliver the oldest pending oracle datagram of process a to everybody
+  /// (the WAB "spontaneous order holds" case).
+  kOracle = 1,
+  /// Deliver the oldest pending oracle datagram of process a to the subset
+  /// encoded in `mask` (bit p set = process p receives it); the datagram is
+  /// re-queued, matching the oracle's eventual-delivery Validity property.
+  kOracleSubset = 2,
+  /// Crash process a (stops participating; queued traffic stays on the wire).
+  kCrash = 3,
+  /// Set process a's Ω output to leader b and notify it.
+  kLeaderFlip = 4,
+  /// Toggle whether process a suspects process b (◇P output) and notify a.
+  kSuspectFlip = 5,
+  /// Perform the a-th scripted a_broadcast submission (abcast scenarios).
+  /// `b` carries the submitting process — redundant with the scenario's
+  /// submission table (and so not serialized) but needed so independence
+  /// can see which process the submission touches.
+  kSubmit = 6,
+};
+
+struct Choice {
+  ChoiceKind kind = ChoiceKind::kDeliver;
+  ProcessId a = 0;
+  ProcessId b = 0;
+  std::uint32_t mask = 0;  ///< kOracleSubset receiver set
+
+  friend bool operator==(const Choice&, const Choice&) = default;
+};
+
+/// Canonical single-token text form, used in replay files and diagnostics:
+///   d<a>-<b>   deliver on edge a→b        o<a>       oracle broadcast from a
+///   s<a>m<m>   oracle subset (hex mask)   c<a>       crash a
+///   l<a>-<b>   a's leader := b            f<a>-<b>   a flips suspicion of b
+///   u<a>       submission #a
+inline std::string format_choice(const Choice& c) {
+  switch (c.kind) {
+    case ChoiceKind::kDeliver:
+      return "d" + std::to_string(c.a) + "-" + std::to_string(c.b);
+    case ChoiceKind::kOracle: return "o" + std::to_string(c.a);
+    case ChoiceKind::kOracleSubset:
+      return "s" + std::to_string(c.a) + "m" + std::to_string(c.mask);
+    case ChoiceKind::kCrash: return "c" + std::to_string(c.a);
+    case ChoiceKind::kLeaderFlip:
+      return "l" + std::to_string(c.a) + "-" + std::to_string(c.b);
+    case ChoiceKind::kSuspectFlip:
+      return "f" + std::to_string(c.a) + "-" + std::to_string(c.b);
+    case ChoiceKind::kSubmit: return "u" + std::to_string(c.a);
+  }
+  return "?";
+}
+
+/// Parses one token produced by format_choice; nullopt on malformed input.
+inline std::optional<Choice> parse_choice(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  const auto number = [](const std::string& s, std::size_t from,
+                         std::size_t to) -> std::optional<std::uint64_t> {
+    if (from >= to) return std::nullopt;
+    std::uint64_t v = 0;
+    for (std::size_t i = from; i < to; ++i) {
+      if (s[i] < '0' || s[i] > '9') return std::nullopt;
+      v = v * 10 + static_cast<std::uint64_t>(s[i] - '0');
+      if (v > 0xffffffffULL) return std::nullopt;
+    }
+    return v;
+  };
+  const auto pair = [&](ChoiceKind kind) -> std::optional<Choice> {
+    const std::size_t dash = token.find('-');
+    if (dash == std::string::npos) return std::nullopt;
+    const auto a = number(token, 1, dash);
+    const auto b = number(token, dash + 1, token.size());
+    if (!a || !b) return std::nullopt;
+    Choice c;
+    c.kind = kind;
+    c.a = static_cast<ProcessId>(*a);
+    c.b = static_cast<ProcessId>(*b);
+    return c;
+  };
+  const auto single = [&](ChoiceKind kind) -> std::optional<Choice> {
+    const auto a = number(token, 1, token.size());
+    if (!a) return std::nullopt;
+    Choice c;
+    c.kind = kind;
+    c.a = static_cast<ProcessId>(*a);
+    return c;
+  };
+  switch (token[0]) {
+    case 'd': return pair(ChoiceKind::kDeliver);
+    case 'o': return single(ChoiceKind::kOracle);
+    case 'c': return single(ChoiceKind::kCrash);
+    case 'l': return pair(ChoiceKind::kLeaderFlip);
+    case 'f': return pair(ChoiceKind::kSuspectFlip);
+    case 'u': return single(ChoiceKind::kSubmit);
+    case 's': {
+      const std::size_t m = token.find('m');
+      if (m == std::string::npos) return std::nullopt;
+      const auto a = number(token, 1, m);
+      const auto mask = number(token, m + 1, token.size());
+      if (!a || !mask) return std::nullopt;
+      Choice c;
+      c.kind = ChoiceKind::kOracleSubset;
+      c.a = static_cast<ProcessId>(*a);
+      c.mask = static_cast<std::uint32_t>(*mask);
+      return c;
+    }
+    default: return std::nullopt;
+  }
+}
+
+/// Conditional independence for the sleep-set reduction: two choices both
+/// enabled in a state commute (either execution order reaches the same
+/// state, with both staying enabled across the other) iff the process state
+/// they touch is disjoint. A delivery touches only its *recipient* (the
+/// sender's queue is popped, but per-edge queues are keyed by (from, to), so
+/// deliveries with distinct recipients never race on a queue); a crash or FD
+/// flip touches the process whose participation/output changes; an oracle
+/// delivery touches every process at once and a submission touches its
+/// sender (which immediately broadcasts). See docs/CHECKING.md for the
+/// commutation argument.
+inline bool choices_independent(const Choice& x, const Choice& y) {
+  const auto touches_all = [](const Choice& c) {
+    return c.kind == ChoiceKind::kOracle ||
+           c.kind == ChoiceKind::kOracleSubset;
+  };
+  if (touches_all(x) || touches_all(y)) return false;
+  const auto touched = [](const Choice& c) -> ProcessId {
+    switch (c.kind) {
+      case ChoiceKind::kDeliver:
+      case ChoiceKind::kSubmit: return c.b;
+      case ChoiceKind::kCrash:
+      case ChoiceKind::kLeaderFlip:
+      case ChoiceKind::kSuspectFlip:
+      default: return c.a;
+    }
+  };
+  return touched(x) != touched(y);
+}
+
+inline std::string format_trace(const std::vector<Choice>& trace) {
+  std::string out;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += format_choice(trace[i]);
+  }
+  return out;
+}
+
+}  // namespace zdc::check

@@ -1,0 +1,202 @@
+#include "check/consensus_system.h"
+
+#include <memory>
+
+#include "common/assert.h"
+#include "consensus/p_consensus.h"
+#include "consensus/paxos.h"
+#include "sim/consensus_world.h"
+
+namespace zdc::check {
+
+DirectNet::Factory consensus_net_factory(const ScenarioSpec& spec) {
+  if (spec.mutant.empty()) {
+    return sim::consensus_factory_by_name(spec.protocol);
+  }
+  if (spec.mutant == "skip-one-step-quorum") {
+    ZDC_ASSERT_MSG(spec.protocol == "p",
+                   "mutant skip-one-step-quorum applies to protocol \"p\"");
+    return [](ProcessId self, GroupParams group, consensus::ConsensusHost& host,
+              const fd::OmegaView&, const fd::SuspectView& suspects) {
+      consensus::PConsensus::Mutations m;
+      m.skip_one_step_quorum = true;
+      return std::make_unique<consensus::PConsensus>(self, group, host,
+                                                     suspects, m);
+    };
+  }
+  if (spec.mutant == "ignore-accepted") {
+    ZDC_ASSERT_MSG(spec.protocol == "paxos",
+                   "mutant ignore-accepted applies to protocol \"paxos\"");
+    return [](ProcessId self, GroupParams group, consensus::ConsensusHost& host,
+              const fd::OmegaView& omega, const fd::SuspectView&) {
+      consensus::PaxosConsensus::Mutations m;
+      m.ignore_accepted = true;
+      return std::make_unique<consensus::PaxosConsensus>(self, group, host,
+                                                         omega, m);
+    };
+  }
+  ZDC_ASSERT_MSG(false, "unknown mutant");
+  return {};
+}
+
+ConsensusSystem::ConsensusSystem(const ScenarioSpec& spec,
+                                 const AdversaryBudgets& budgets)
+    : spec_(spec),
+      budgets_(budgets),
+      bounds_(step_bounds_for(spec.protocol)),
+      net_(spec.group, consensus_net_factory(spec)) {
+  ZDC_ASSERT_MSG(spec_.proposals.size() == spec_.group.n,
+                 "need one proposal per process");
+  // Pin the initial FD outputs *before* any proposal: protocols read their
+  // views in start() (Paxos checks who leads).
+  for (ProcessId p = 0; p < spec_.group.n; ++p) {
+    net_.fd(p).omega.value = spec_.initial_leader_of(p);
+    if (spec_.initial_leader_of(p) != spec_.initial_leader_of(0)) {
+      stable_ = false;  // split Ω outputs: not a stable run from the start
+    }
+  }
+  for (ProcessId p = 0; p < spec_.group.n; ++p) {
+    net_.propose(p, spec_.proposals[p]);
+  }
+}
+
+bool ConsensusSystem::delivery_matters(ProcessId to) const {
+  if (net_.crashed(to)) return false;
+  const consensus::Consensus& proto = net_.protocol(to);
+  return !proto.decided() || proto.serves_after_decide();
+}
+
+bool ConsensusSystem::quiescent() const {
+  const ProcessId n = spec_.group.n;
+  for (ProcessId from = 0; from < n; ++from) {
+    if (net_.pending_wab(from) > 0) return false;
+    for (ProcessId to = 0; to < n; ++to) {
+      if (net_.pending(from, to) > 0 && delivery_matters(to)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Choice> ConsensusSystem::enabled() const {
+  const ProcessId n = spec_.group.n;
+  std::vector<Choice> out;
+  for (ProcessId from = 0; from < n; ++from) {
+    for (ProcessId to = 0; to < n; ++to) {
+      if (net_.pending(from, to) > 0 && delivery_matters(to)) {
+        out.push_back(Choice{ChoiceKind::kDeliver, from, to, 0});
+      }
+    }
+  }
+  const std::uint32_t full_mask = (1u << n) - 1u;
+  for (ProcessId from = 0; from < n; ++from) {
+    if (net_.pending_wab(from) == 0) continue;
+    out.push_back(Choice{ChoiceKind::kOracle, from, 0, 0});
+    if (budgets_.oracle_subsets) {
+      for (std::uint32_t mask = 1; mask < full_mask; ++mask) {
+        out.push_back(Choice{ChoiceKind::kOracleSubset, from, 0, mask});
+      }
+    }
+  }
+  const std::uint32_t crash_cap =
+      budgets_.crashes < spec_.group.f ? budgets_.crashes : spec_.group.f;
+  if (crashes_used_ < crash_cap) {
+    for (ProcessId p = 0; p < n; ++p) {
+      if (!net_.crashed(p)) out.push_back(Choice{ChoiceKind::kCrash, p, 0, 0});
+    }
+  }
+  if (leader_flips_used_ < budgets_.leader_flips) {
+    for (ProcessId p = 0; p < n; ++p) {
+      if (net_.crashed(p)) continue;
+      for (ProcessId leader = 0; leader < n; ++leader) {
+        // "Flip to what it already is" would be a pure stutter; skip it.
+        if (net_.fd(p).omega.value != leader) {
+          out.push_back(Choice{ChoiceKind::kLeaderFlip, p, leader, 0});
+        }
+      }
+    }
+  }
+  if (suspect_flips_used_ < budgets_.suspect_flips) {
+    for (ProcessId p = 0; p < n; ++p) {
+      if (net_.crashed(p)) continue;
+      for (ProcessId q = 0; q < n; ++q) {
+        if (q != p) out.push_back(Choice{ChoiceKind::kSuspectFlip, p, q, 0});
+      }
+    }
+  }
+  return out;
+}
+
+bool ConsensusSystem::apply(const Choice& c) {
+  const ProcessId n = spec_.group.n;
+  switch (c.kind) {
+    case ChoiceKind::kDeliver:
+      if (c.a >= n || c.b >= n || !delivery_matters(c.b)) return false;
+      return net_.deliver_one(c.a, c.b);
+    case ChoiceKind::kOracle:
+      return c.a < n && net_.deliver_wab_broadcast(c.a);
+    case ChoiceKind::kOracleSubset: {
+      if (c.a >= n) return false;
+      const std::uint32_t full_mask = (1u << n) - 1u;
+      if (c.mask == 0 || c.mask >= full_mask) return false;
+      std::vector<ProcessId> targets;
+      for (ProcessId p = 0; p < n; ++p) {
+        if ((c.mask >> p) & 1u) targets.push_back(p);
+      }
+      return net_.deliver_wab_to(c.a, targets);
+    }
+    case ChoiceKind::kCrash:
+      if (c.a >= n || net_.crashed(c.a)) return false;
+      net_.crash(c.a);
+      ++crashes_used_;
+      stable_ = false;
+      return true;
+    case ChoiceKind::kLeaderFlip:
+      if (c.a >= n || c.b >= n || net_.crashed(c.a)) return false;
+      if (net_.fd(c.a).omega.value == c.b) return false;
+      net_.fd(c.a).omega.value = c.b;
+      net_.notify_fd_change(c.a);
+      ++leader_flips_used_;
+      stable_ = false;
+      return true;
+    case ChoiceKind::kSuspectFlip: {
+      if (c.a >= n || c.b >= n || c.a == c.b || net_.crashed(c.a)) return false;
+      auto& flags = net_.fd(c.a).suspects.flags;
+      flags[c.b] = !flags[c.b];
+      net_.notify_fd_change(c.a);
+      ++suspect_flips_used_;
+      stable_ = false;
+      return true;
+    }
+    case ChoiceKind::kSubmit: return false;  // abcast scenarios only
+  }
+  return false;
+}
+
+ConsensusObs ConsensusSystem::observe() const {
+  ConsensusObs obs;
+  obs.group = spec_.group;
+  obs.proposals = spec_.proposals;
+  obs.stable = stable_;
+  obs.quiescent = quiescent();
+  obs.procs.resize(spec_.group.n);
+  for (ProcessId p = 0; p < spec_.group.n; ++p) {
+    ProcessObs& proc = obs.procs[p];
+    const consensus::Consensus& proto = net_.protocol(p);
+    proc.crashed = net_.crashed(p);
+    proc.proposed = proto.proposed();
+    proc.decided = proto.decided();
+    if (proc.decided) {
+      proc.decision = proto.decision();
+      proc.steps = proto.decision_steps();
+      proc.path = proto.decision_path();
+    }
+    proc.decision_deliveries = net_.decision_deliveries(p);
+  }
+  return obs;
+}
+
+std::optional<Violation> ConsensusSystem::violation() const {
+  return check_consensus(observe(), bounds_);
+}
+
+}  // namespace zdc::check

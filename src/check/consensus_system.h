@@ -1,0 +1,49 @@
+// System-under-check adapter wrapping DirectNet: one consensus instance
+// across n processes, with every delivery, crash and FD flip surfaced as an
+// explicit Choice.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "check/direct_net.h"
+#include "check/system.h"
+
+namespace zdc::check {
+
+class ConsensusSystem final : public System {
+ public:
+  ConsensusSystem(const ScenarioSpec& spec, const AdversaryBudgets& budgets);
+
+  [[nodiscard]] std::vector<Choice> enabled() const override;
+  bool apply(const Choice& c) override;
+  [[nodiscard]] std::optional<Violation> violation() const override;
+
+  /// The invariant library's view of the current state (exposed for tests
+  /// and the CLI's violation reports).
+  [[nodiscard]] ConsensusObs observe() const;
+
+ private:
+  /// Whether delivering to `to` can change anything: alive, and either
+  /// undecided or a protocol that keeps serving after deciding. Deliveries
+  /// failing this are pruned from enabled() — on_message drops them anyway,
+  /// so the message may equivalently stay on the wire forever.
+  [[nodiscard]] bool delivery_matters(ProcessId to) const;
+  [[nodiscard]] bool quiescent() const;
+
+  const ScenarioSpec spec_;
+  const AdversaryBudgets budgets_;
+  const StepBounds bounds_;
+  DirectNet net_;
+  bool stable_ = true;
+  std::uint32_t crashes_used_ = 0;
+  std::uint32_t leader_flips_used_ = 0;
+  std::uint32_t suspect_flips_used_ = 0;
+};
+
+/// The protocol factory for a scenario: the sim registry's factory for the
+/// plain protocol, or a knobbed instance when `spec.mutant` is set
+/// ("skip-one-step-quorum" on "p", "ignore-accepted" on "paxos"/"rec-paxos").
+DirectNet::Factory consensus_net_factory(const ScenarioSpec& spec);
+
+}  // namespace zdc::check

@@ -1,0 +1,243 @@
+// Direct-drive harness for consensus protocols: runs protocol instances with
+// *manual* message delivery, so a caller controls exactly which process
+// receives which round message in which order — the level of control the
+// paper's Figure-1 run constructions assume, and the substrate the schedule-
+// space model checker (src/check/explorer.h) enumerates.
+//
+// Unlike the simulator worlds (time-driven), messages here sit in per-edge
+// queues until they are delivered explicitly. Every nondeterministic input —
+// which pending message to deliver, which oracle datagram to release, who
+// crashes, what the failure detectors say — is an explicit call, which is
+// what makes each one a recordable choice point (src/check/choice.h).
+//
+// Historically this lived in tests/direct_harness.h; it moved here so the
+// checking engine and the zdc_check CLI can drive it without reaching into
+// the test tree. tests/direct_harness.h re-exports the old names.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "consensus/consensus.h"
+#include "fd/failure_detector.h"
+
+namespace zdc::check {
+
+/// Settable failure-detector stubs, one pair per process.
+struct StubFd {
+  struct Omega final : fd::OmegaView {
+    [[nodiscard]] ProcessId leader() const override { return value; }
+    ProcessId value = 0;
+  };
+  struct Suspects final : fd::SuspectView {
+    [[nodiscard]] bool suspects(ProcessId p) const override {
+      return p < flags.size() && flags[p];
+    }
+    std::vector<bool> flags;
+  };
+  Omega omega;
+  Suspects suspects;
+};
+
+class DirectNet {
+ public:
+  using Factory = std::function<std::unique_ptr<consensus::Consensus>(
+      ProcessId self, GroupParams group, consensus::ConsensusHost& host,
+      const fd::OmegaView& omega, const fd::SuspectView& suspects)>;
+
+  DirectNet(GroupParams group, const Factory& factory) : group_(group) {
+    fds_.resize(group.n);
+    hosts_.reserve(group.n);
+    decision_deliveries_.assign(group.n, 0);
+    for (ProcessId p = 0; p < group.n; ++p) {
+      fds_[p] = std::make_unique<StubFd>();
+      fds_[p]->suspects.flags.assign(group.n, false);
+      hosts_.push_back(std::make_unique<Host>(*this, p));
+    }
+    for (ProcessId p = 0; p < group.n; ++p) {
+      protocols_.push_back(factory(p, group, *hosts_[p], fds_[p]->omega,
+                                   fds_[p]->suspects));
+    }
+  }
+
+  [[nodiscard]] GroupParams group() const { return group_; }
+
+  consensus::Consensus& protocol(ProcessId p) { return *protocols_[p]; }
+  [[nodiscard]] const consensus::Consensus& protocol(ProcessId p) const {
+    return *protocols_[p];
+  }
+  StubFd& fd(ProcessId p) { return *fds_[p]; }
+  [[nodiscard]] const StubFd& fd(ProcessId p) const { return *fds_[p]; }
+
+  void set_leader_everywhere(ProcessId leader) {
+    for (auto& fd : fds_) fd->omega.value = leader;
+  }
+  void notify_fd_change(ProcessId p) { protocols_[p]->on_fd_change(); }
+  void notify_fd_change_all() {
+    for (auto& proto : protocols_) proto->on_fd_change();
+  }
+
+  void propose(ProcessId p, Value v) { protocols_[p]->propose(std::move(v)); }
+
+  /// Number of undelivered messages queued on edge from→to.
+  [[nodiscard]] std::size_t pending(ProcessId from, ProcessId to) const {
+    const auto it = edges_.find({from, to});
+    return it == edges_.end() ? 0 : it->second.size();
+  }
+  [[nodiscard]] std::size_t pending_total() const {
+    std::size_t total = 0;
+    for (const auto& [edge, q] : edges_) total += q.size();
+    return total;
+  }
+
+  /// Delivers the oldest queued message from→to; returns false if none.
+  bool deliver_one(ProcessId from, ProcessId to) {
+    const auto it = edges_.find({from, to});
+    if (it == edges_.end() || it->second.empty()) return false;
+    std::string bytes = std::move(it->second.front());
+    it->second.pop_front();
+    if (!crashed(to)) protocols_[to]->on_message(from, bytes);
+    return true;
+  }
+
+  /// Delivers every queued message on from→to.
+  void deliver_edge(ProcessId from, ProcessId to) {
+    while (deliver_one(from, to)) {
+    }
+  }
+
+  /// Drains everything (repeatedly, since deliveries generate new traffic).
+  void deliver_all() {
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (ProcessId from = 0; from < group_.n; ++from) {
+        for (ProcessId to = 0; to < group_.n; ++to) {
+          if (deliver_one(from, to)) progressed = true;
+        }
+      }
+    }
+  }
+
+  /// Discards all queued messages from `from` to `to`.
+  void drop_edge(ProcessId from, ProcessId to) {
+    edges_.erase({from, to});
+  }
+
+  // --- ordering-oracle channel (WabConsensus) ---
+
+  /// Oracle datagrams queued by `from` (stage, payload), not yet delivered.
+  [[nodiscard]] std::size_t pending_wab(ProcessId from) const {
+    const auto it = wab_out_.find(from);
+    return it == wab_out_.end() ? 0 : it->second.size();
+  }
+
+  /// Takes the oldest oracle datagram of `from` and delivers it only to
+  /// `targets`; the datagram is re-queued at the back afterwards — the WAB
+  /// oracle's Validity property lets an adversary delay and reorder oracle
+  /// traffic but not destroy it (receivers are idempotent, so the eventual
+  /// re-delivery duplicating at `targets` is harmless).
+  bool deliver_wab_to(ProcessId from, const std::vector<ProcessId>& targets) {
+    const auto it = wab_out_.find(from);
+    if (it == wab_out_.end() || it->second.empty()) return false;
+    auto datagram = it->second.front();
+    it->second.pop_front();
+    for (ProcessId to : targets) {
+      if (to < group_.n && !crashed(to)) {
+        protocols_[to]->on_w_deliver(datagram.first, from, datagram.second);
+      }
+    }
+    it->second.push_back(std::move(datagram));
+    return true;
+  }
+
+  /// Delivers the oldest oracle datagram of `from` to every process — the
+  /// "spontaneous order holds" case.
+  bool deliver_wab_broadcast(ProcessId from) {
+    const auto it = wab_out_.find(from);
+    if (it == wab_out_.end() || it->second.empty()) return false;
+    auto [stage, payload] = it->second.front();
+    it->second.pop_front();
+    for (ProcessId to = 0; to < group_.n; ++to) {
+      if (!crashed(to)) protocols_[to]->on_w_deliver(stage, from, payload);
+    }
+    return true;
+  }
+
+  /// The process stops participating; its queued outbound traffic survives
+  /// unless dropped explicitly (messages already "on the wire").
+  void crash(ProcessId p) { crashed_[p] = true; }
+
+  [[nodiscard]] bool crashed(ProcessId p) const {
+    const auto it = crashed_.find(p);
+    return it != crashed_.end() && it->second;
+  }
+
+  /// Crash-recovery: replaces p's protocol with a fresh incarnation built by
+  /// `factory` (which may re-inject durable state) and marks p alive again.
+  /// Pending inbound traffic survives the restart (it is "on the wire").
+  void replace_protocol(ProcessId p, const Factory& factory) {
+    protocols_[p] = factory(p, group_, *hosts_[p], fds_[p]->omega,
+                            fds_[p]->suspects);
+    crashed_[p] = false;
+  }
+
+  [[nodiscard]] bool decided(ProcessId p) const {
+    return protocols_[p]->decided();
+  }
+  [[nodiscard]] const Value& decision(ProcessId p) const {
+    return protocols_[p]->decision();
+  }
+
+  /// How many times the host's deliver_decision fired at p — the Uniform
+  /// Integrity probe (a correct protocol decides exactly once per
+  /// incarnation; see check::check_integrity).
+  [[nodiscard]] std::uint32_t decision_deliveries(ProcessId p) const {
+    return decision_deliveries_[p];
+  }
+
+ private:
+  struct Host final : consensus::ConsensusHost {
+    Host(DirectNet& net, ProcessId self) : net_(net), self_(self) {}
+    void send(ProcessId to, std::string bytes) override {
+      if (!net_.crashed(self_)) {
+        net_.edges_[{self_, to}].push_back(std::move(bytes));
+      }
+    }
+    void broadcast(std::string bytes) override {
+      if (net_.crashed(self_)) return;
+      for (ProcessId to = 0; to < net_.group_.n; ++to) {
+        net_.edges_[{self_, to}].push_back(bytes);
+      }
+    }
+    void deliver_decision(const Value&) override {
+      ++net_.decision_deliveries_[self_];
+    }
+    void w_broadcast(std::uint64_t stage, std::string payload) override {
+      if (!net_.crashed(self_)) {
+        net_.wab_out_[self_].emplace_back(stage, std::move(payload));
+      }
+    }
+    DirectNet& net_;
+    ProcessId self_;
+  };
+
+  GroupParams group_;
+  std::vector<std::unique_ptr<StubFd>> fds_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<consensus::Consensus>> protocols_;
+  std::vector<std::uint32_t> decision_deliveries_;
+  std::map<std::pair<ProcessId, ProcessId>, std::deque<std::string>> edges_;
+  std::map<ProcessId, std::deque<std::pair<std::uint64_t, std::string>>>
+      wab_out_;
+  std::map<ProcessId, bool> crashed_;
+};
+
+}  // namespace zdc::check

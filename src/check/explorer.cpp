@@ -1,0 +1,150 @@
+#include "check/explorer.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace zdc::check {
+namespace {
+
+struct Dfs {
+  const SystemFactory& factory;
+  const ExploreConfig& cfg;
+  ExploreResult res;
+  std::vector<Choice> path;
+  bool aborted = false;  ///< transition budget exhausted
+
+  bool budget_left() {
+    return cfg.max_transitions == 0 || res.transitions < cfg.max_transitions;
+  }
+
+  /// Rebuilds a system positioned after `path` (stateless backtracking).
+  std::unique_ptr<System> rebuild() {
+    auto sys = factory();
+    for (const Choice& c : path) {
+      const bool ok = sys->apply(c);
+      ZDC_ASSERT_MSG(ok, "re-execution diverged: prefix choice disabled");
+      ++res.transitions;
+    }
+    return sys;
+  }
+
+  /// Explores all extensions of `path`; `sys` is positioned after `path` and
+  /// is consumed (left at an arbitrary descendant state). `sleep` holds the
+  /// choices provably covered by sibling subtrees. Returns true to abort the
+  /// whole search (violation found or budget exhausted).
+  bool visit(System& sys, const std::vector<Choice>& sleep) {
+    if (auto v = sys.violation()) {
+      res.violation = std::move(v);
+      res.trace = path;
+      return true;
+    }
+    const std::vector<Choice> enabled = sys.enabled();
+    if (enabled.empty()) {
+      ++res.paths;  // quiescent leaf
+      return false;
+    }
+    std::vector<Choice> todo;
+    todo.reserve(enabled.size());
+    for (const Choice& c : enabled) {
+      if (std::find(sleep.begin(), sleep.end(), c) == sleep.end()) {
+        todo.push_back(c);
+      }
+    }
+    if (todo.empty()) {
+      // Everything enabled is asleep: each of these transitions was explored
+      // from a sibling, and by independence leads to a state covered there.
+      ++res.paths;
+      return false;
+    }
+    if (cfg.max_depth != 0 && path.size() >= cfg.max_depth) {
+      ++res.paths;
+      ++res.depth_cutoffs;
+      return false;
+    }
+    std::vector<Choice> done;  // siblings already fully explored
+    for (std::size_t i = 0; i < todo.size(); ++i) {
+      if (!budget_left()) {
+        aborted = true;
+        return true;
+      }
+      const Choice& t = todo[i];
+      // Sleep set for the child: inherited + already-done siblings, kept
+      // only while independent of t (a dependent t may re-enable new
+      // behaviour of those choices).
+      std::vector<Choice> child_sleep;
+      if (cfg.sleep_sets) {
+        for (const Choice& u : sleep) {
+          if (choices_independent(u, t)) child_sleep.push_back(u);
+        }
+        for (const Choice& u : done) {
+          if (choices_independent(u, t)) child_sleep.push_back(u);
+        }
+      }
+      std::unique_ptr<System> rebuilt;
+      System* cur = &sys;
+      if (i != 0) {
+        // `sys` was consumed by the first child; re-execute the prefix.
+        rebuilt = rebuild();
+        cur = rebuilt.get();
+      }
+      const bool ok = cur->apply(t);
+      ZDC_ASSERT_MSG(ok, "enabled choice failed to apply");
+      ++res.transitions;
+      path.push_back(t);
+      const bool abort = visit(*cur, child_sleep);
+      path.pop_back();
+      if (abort) return true;
+      done.push_back(t);
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+ExploreResult explore(const SystemFactory& factory, const ExploreConfig& cfg) {
+  Dfs dfs{factory, cfg, {}, {}, false};
+  auto sys = factory();
+  dfs.visit(*sys, {});
+  // "Complete" = the whole bounded space was exhausted: neither stopped at a
+  // violation nor out of transition budget.
+  dfs.res.complete = !dfs.aborted && !dfs.res.violation.has_value();
+  return std::move(dfs.res);
+}
+
+SwarmResult swarm(const SystemFactory& factory, const SwarmConfig& cfg) {
+  SwarmResult res;
+  for (std::uint32_t run = 0; run < cfg.runs; ++run) {
+    common::Rng rng(common::mix_seed(cfg.seed, "zdc_check.swarm", 0.0, run));
+    auto sys = factory();
+    std::vector<Choice> trace;
+    ++res.runs;
+    for (std::uint32_t step = 0; step < cfg.max_steps; ++step) {
+      if (auto v = sys->violation()) {
+        res.violation = std::move(v);
+        res.trace = std::move(trace);
+        res.failing_run = run;
+        return res;
+      }
+      const std::vector<Choice> enabled = sys->enabled();
+      if (enabled.empty()) break;
+      const Choice& c = enabled[rng.next_below(enabled.size())];
+      const bool ok = sys->apply(c);
+      ZDC_ASSERT_MSG(ok, "enabled choice failed to apply");
+      trace.push_back(c);
+      ++res.transitions;
+    }
+    if (auto v = sys->violation()) {
+      res.violation = std::move(v);
+      res.trace = std::move(trace);
+      res.failing_run = run;
+      return res;
+    }
+  }
+  return res;
+}
+
+}  // namespace zdc::check

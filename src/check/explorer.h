@@ -1,0 +1,77 @@
+// Schedule-space exploration over a System (src/check/system.h).
+//
+// Two modes:
+//
+//   explore() — bounded exhaustive DFS with sleep-set partial-order
+//   reduction. Protocol instances are not copyable, so the search is
+//   *stateless*: backtracking rebuilds a fresh system from the factory and
+//   re-applies the choice prefix. Sound for state properties: sleep sets
+//   only prune interleavings that provably reach an already-covered state
+//   (see choices_independent and docs/CHECKING.md).
+//
+//   swarm() — seeded random walks, the budgeted fuzz mode for spaces DFS
+//   cannot exhaust. Each run's schedule flows from one Rng seeded by
+//   mix_seed(seed, "zdc_check.swarm", 0, run), so a failing run is
+//   reproducible from (scenario, seed, run index) alone — and the recorded
+//   trace makes even that unnecessary.
+//
+// Both stop at the first invariant violation and hand back the choice trace
+// that reached it, ready for the shrinker (src/check/shrink.h).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "check/choice.h"
+#include "check/invariants.h"
+#include "check/system.h"
+
+namespace zdc::check {
+
+struct ExploreConfig {
+  /// Paths longer than this are truncated (counted in depth_cutoffs);
+  /// 0 = no depth bound.
+  std::uint32_t max_depth = 0;
+  /// Total apply() budget, including re-execution on backtrack; the search
+  /// aborts with complete=false when it runs out. 0 = unbounded.
+  std::uint64_t max_transitions = 0;
+  /// Disable only to measure what the reduction saves.
+  bool sleep_sets = true;
+};
+
+struct ExploreResult {
+  /// True when the DFS exhausted the (depth-bounded) space within the
+  /// transition budget. A depth-truncated search can still be complete —
+  /// complete *up to the depth bound*; depth_cutoffs says whether the bound
+  /// ever bit.
+  bool complete = false;
+  std::uint64_t transitions = 0;  ///< apply() calls, re-execution included
+  std::uint64_t paths = 0;        ///< maximal (or truncated) paths visited
+  std::uint64_t depth_cutoffs = 0;
+  std::optional<Violation> violation;
+  /// Choice sequence from the initial state to the violating state.
+  std::vector<Choice> trace;
+};
+
+ExploreResult explore(const SystemFactory& factory, const ExploreConfig& cfg);
+
+struct SwarmConfig {
+  std::uint64_t seed = 1;
+  std::uint32_t runs = 256;
+  /// Choices per run; a run also ends early at quiescence.
+  std::uint32_t max_steps = 512;
+};
+
+struct SwarmResult {
+  std::uint64_t runs = 0;  ///< runs actually executed
+  std::uint64_t transitions = 0;
+  std::optional<Violation> violation;
+  std::vector<Choice> trace;
+  /// Run index (0-based) that violated, valid when `violation` is set.
+  std::uint32_t failing_run = 0;
+};
+
+SwarmResult swarm(const SystemFactory& factory, const SwarmConfig& cfg);
+
+}  // namespace zdc::check

@@ -1,0 +1,221 @@
+#include "check/invariants.h"
+
+#include <set>
+#include <sstream>
+
+namespace zdc::check {
+namespace {
+
+std::string step_detail(ProcessId p, const ProcessObs& proc,
+                        std::uint32_t bound) {
+  std::ostringstream os;
+  os << "p" << p << " decided in " << proc.steps << " steps ("
+     << (proc.path == consensus::DecisionPath::kForwarded ? "forwarded"
+                                                          : "round path")
+     << "), bound is " << bound;
+  return os.str();
+}
+
+}  // namespace
+
+StepBounds step_bounds_for(const std::string& protocol) {
+  StepBounds b;
+  if (protocol == "l") {
+    b.one_step_on_equal = true;
+    b.one_step_needs_stable = true;  // Theorem 1: Ω-based ⇒ not both
+    b.two_step_stable = true;
+  } else if (protocol == "p") {
+    b.one_step_on_equal = true;  // ◇P-based: one-step in *every* run
+    b.two_step_stable = true;
+  } else if (protocol == "paxos" || protocol == "rec-paxos") {
+    b.two_step_stable = true;  // ballot 0 skips phase 1
+  }
+  return b;
+}
+
+bool ConsensusObs::equal_proposals() const {
+  for (std::size_t i = 1; i < proposals.size(); ++i) {
+    if (proposals[i] != proposals[0]) return false;
+  }
+  return !proposals.empty();
+}
+
+std::optional<Violation> check_agreement(const ConsensusObs& obs) {
+  const ProcessObs* first = nullptr;
+  ProcessId first_p = kNoProcess;
+  for (ProcessId p = 0; p < obs.procs.size(); ++p) {
+    const ProcessObs& proc = obs.procs[p];
+    if (!proc.decided) continue;
+    if (first == nullptr) {
+      first = &proc;
+      first_p = p;
+    } else if (proc.decision != first->decision) {
+      return Violation{"agreement",
+                       "p" + std::to_string(first_p) + " decided \"" +
+                           first->decision + "\" but p" + std::to_string(p) +
+                           " decided \"" + proc.decision + "\""};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_validity(const ConsensusObs& obs) {
+  for (ProcessId p = 0; p < obs.procs.size(); ++p) {
+    const ProcessObs& proc = obs.procs[p];
+    if (!proc.decided) continue;
+    bool proposed = false;
+    for (const Value& v : obs.proposals) {
+      if (v == proc.decision) proposed = true;
+    }
+    if (!proposed) {
+      return Violation{"validity", "p" + std::to_string(p) + " decided \"" +
+                                       proc.decision +
+                                       "\", which nobody proposed"};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_integrity(const ConsensusObs& obs) {
+  for (ProcessId p = 0; p < obs.procs.size(); ++p) {
+    const ProcessObs& proc = obs.procs[p];
+    if (proc.decided && proc.decision_deliveries != 1) {
+      return Violation{"integrity",
+                       "p" + std::to_string(p) + " delivered its decision " +
+                           std::to_string(proc.decision_deliveries) +
+                           " times (must be exactly once)"};
+    }
+    if (!proc.decided && proc.decision_deliveries != 0) {
+      return Violation{"integrity",
+                       "p" + std::to_string(p) +
+                           " delivered a decision without deciding"};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_one_step(const ConsensusObs& obs,
+                                        const StepBounds& bounds) {
+  if (!bounds.one_step_on_equal || !obs.equal_proposals()) return std::nullopt;
+  if (!obs.group.one_step_resilient()) return std::nullopt;
+  if (bounds.one_step_needs_stable && !obs.stable) return std::nullopt;
+  for (ProcessId p = 0; p < obs.procs.size(); ++p) {
+    const ProcessObs& proc = obs.procs[p];
+    if (!proc.decided) continue;
+    const bool forwarded = proc.path == consensus::DecisionPath::kForwarded;
+    const std::uint32_t bound = forwarded ? 2 : 1;
+    // Round-path decisions must take *exactly* one step: a 0-step decision
+    // would be as much a checker bug (or a protocol that decides without
+    // communicating) as a 2-step one is a degradation.
+    if (forwarded ? proc.steps > bound : proc.steps != bound) {
+      return Violation{"one-step", step_detail(p, proc, bound)};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_zero_degradation(const ConsensusObs& obs,
+                                                const StepBounds& bounds) {
+  if (!bounds.two_step_stable || !obs.stable) return std::nullopt;
+  for (ProcessId p = 0; p < obs.procs.size(); ++p) {
+    const ProcessObs& proc = obs.procs[p];
+    if (!proc.decided) continue;
+    const std::uint32_t bound =
+        proc.path == consensus::DecisionPath::kForwarded ? 3 : 2;
+    if (proc.steps > bound) {
+      return Violation{"zero-degradation", step_detail(p, proc, bound)};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_termination(const ConsensusObs& obs) {
+  if (!obs.quiescent || !obs.stable) return std::nullopt;
+  for (ProcessId p = 0; p < obs.procs.size(); ++p) {
+    const ProcessObs& proc = obs.procs[p];
+    if (proc.proposed && !proc.crashed && !proc.decided) {
+      return Violation{"termination",
+                       "quiescent stable run but p" + std::to_string(p) +
+                           " proposed and never decided"};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_consensus(const ConsensusObs& obs,
+                                         const StepBounds& bounds) {
+  if (auto v = check_agreement(obs)) return v;
+  if (auto v = check_validity(obs)) return v;
+  if (auto v = check_integrity(obs)) return v;
+  if (auto v = check_one_step(obs, bounds)) return v;
+  if (auto v = check_zero_degradation(obs, bounds)) return v;
+  if (auto v = check_termination(obs)) return v;
+  return std::nullopt;
+}
+
+std::optional<Violation> check_total_order(
+    const std::vector<std::vector<abcast::AppMessage>>& histories) {
+  for (std::size_t a = 0; a < histories.size(); ++a) {
+    for (std::size_t b = a + 1; b < histories.size(); ++b) {
+      const auto& ha = histories[a];
+      const auto& hb = histories[b];
+      const std::size_t len = std::min(ha.size(), hb.size());
+      for (std::size_t i = 0; i < len; ++i) {
+        if (!(ha[i] == hb[i])) {
+          return Violation{
+              "total-order",
+              "histories of p" + std::to_string(a) + " and p" +
+                  std::to_string(b) + " diverge at position " +
+                  std::to_string(i) + " (\"" + ha[i].payload + "\" vs \"" +
+                  hb[i].payload + "\")"};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_no_duplicates(
+    const std::vector<std::vector<abcast::AppMessage>>& histories) {
+  for (std::size_t p = 0; p < histories.size(); ++p) {
+    std::set<abcast::MsgId> seen;
+    for (const auto& m : histories[p]) {
+      if (!seen.insert(m.id).second) {
+        return Violation{"duplication",
+                         "p" + std::to_string(p) + " delivered message (" +
+                             std::to_string(m.id.sender) + "," +
+                             std::to_string(m.id.seq) + ") twice"};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_no_creation(
+    const std::vector<std::vector<abcast::AppMessage>>& histories,
+    const std::vector<abcast::MsgId>& submitted) {
+  const std::set<abcast::MsgId> valid(submitted.begin(), submitted.end());
+  for (std::size_t p = 0; p < histories.size(); ++p) {
+    for (const auto& m : histories[p]) {
+      if (valid.count(m.id) == 0) {
+        return Violation{"creation",
+                         "p" + std::to_string(p) + " delivered message (" +
+                             std::to_string(m.id.sender) + "," +
+                             std::to_string(m.id.seq) +
+                             "), which was never a-broadcast"};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_abcast(
+    const std::vector<std::vector<abcast::AppMessage>>& histories,
+    const std::vector<abcast::MsgId>& submitted) {
+  if (auto v = check_total_order(histories)) return v;
+  if (auto v = check_no_duplicates(histories)) return v;
+  if (auto v = check_no_creation(histories, submitted)) return v;
+  return std::nullopt;
+}
+
+}  // namespace zdc::check

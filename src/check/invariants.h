@@ -1,0 +1,130 @@
+// Shared invariant library: every correctness property this repo claims,
+// phrased as a predicate over an *observation* of a run — so the same
+// checkers serve the property tests, the schedule fuzzer, and the
+// schedule-space model checker (src/check/explorer.h).
+//
+// Consensus (the paper's Sec. 3 problem statement):
+//   - Agreement: no two processes decide differently.
+//   - Validity:  every decision was proposed.
+//   - Integrity: a process decides at most once (the host's
+//     deliver_decision fires exactly once per decided process).
+//   - Termination-at-quiescence: with no message in flight, no crash and a
+//     correct constant FD, every proposer must have decided (a quiescent
+//     undecided process can never make progress again — a real deadlock,
+//     not a "not yet").
+//
+// Step bounds (the paper's quantitative claims, universally quantified over
+// schedules — the whole reason the model checker exists):
+//   - One-step (Definition 1): whenever all proposals are equal, every
+//     round-path decision takes exactly 1 communication step (and a
+//     forwarded DECIDE at most 2). P-Consensus promises this in every run,
+//     L-Consensus only in stable runs (Theorem 1 forbids more for an
+//     Ω-based protocol).
+//   - Zero-degradation (Definition 2): in a stable run — failure detector
+//     correct and constant — every round-path decision takes at most 2
+//     steps (forwarded: 3).
+//
+// Atomic broadcast (Sec. 2 of the paper, Uniform variants):
+//   - Uniform Total Order: delivery histories are pairwise prefix-consistent.
+//   - Uniform Integrity: no message delivered twice at one process.
+//   - No creation: every delivered message was a-broadcast.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "abcast/abcast.h"
+#include "common/types.h"
+#include "consensus/consensus.h"
+
+namespace zdc::check {
+
+/// One violated invariant. `invariant` is a stable machine-readable name
+/// ("agreement", "validity", "integrity", "one-step", "zero-degradation",
+/// "termination", "total-order", "duplication", "creation") used by replay
+/// files and --expect-violation; `detail` is for humans.
+struct Violation {
+  std::string invariant;
+  std::string detail;
+};
+
+/// What one process looked like at the observation point.
+struct ProcessObs {
+  bool crashed = false;
+  bool proposed = false;
+  bool decided = false;
+  Value decision;
+  std::uint32_t steps = 0;
+  consensus::DecisionPath path = consensus::DecisionPath::kNone;
+  /// deliver_decision() call count at the host (Integrity probe).
+  std::uint32_t decision_deliveries = 0;
+};
+
+/// Which step-bound claims a protocol makes. Resolved from the protocol
+/// name by step_bounds_for(); protocols without published bounds get the
+/// all-false default (only the safety invariants apply).
+struct StepBounds {
+  bool one_step_on_equal = false;  ///< 1-step when all proposals equal
+  bool one_step_needs_stable = false;  ///< ... but only in stable runs (L)
+  bool two_step_stable = false;    ///< ≤2 steps in stable runs (zero-degr.)
+};
+
+/// "l"/"p"/"paxos"/"rec-paxos" carry the paper's published bounds; anything
+/// else gets no step-bound checking.
+StepBounds step_bounds_for(const std::string& protocol);
+
+/// Snapshot of a consensus run, mid-flight or at quiescence.
+struct ConsensusObs {
+  GroupParams group;
+  std::vector<Value> proposals;  ///< indexed by process, size n
+  std::vector<ProcessObs> procs;
+  /// True while the run is stable in the paper's sense: no crash has
+  /// happened, no FD output has changed, and the initial FD output was
+  /// correct (uniform leader, empty suspect sets).
+  bool stable = true;
+  /// True when no message or oracle datagram is in flight.
+  bool quiescent = false;
+
+  [[nodiscard]] bool equal_proposals() const;
+};
+
+std::optional<Violation> check_agreement(const ConsensusObs& obs);
+std::optional<Violation> check_validity(const ConsensusObs& obs);
+std::optional<Violation> check_integrity(const ConsensusObs& obs);
+/// Applies only when `bounds.one_step_on_equal`, proposals are equal, the
+/// group is one-step resilient, and (if `one_step_needs_stable`) the run is
+/// stable. Round-path deciders must have steps == 1, forwarded ≤ 2.
+std::optional<Violation> check_one_step(const ConsensusObs& obs,
+                                        const StepBounds& bounds);
+/// Applies only when `bounds.two_step_stable` and the run is stable.
+/// Round-path deciders must have steps ≤ 2, forwarded ≤ 3.
+std::optional<Violation> check_zero_degradation(const ConsensusObs& obs,
+                                                const StepBounds& bounds);
+/// Applies only at quiescence of a stable run: every proposer decided.
+std::optional<Violation> check_termination(const ConsensusObs& obs);
+
+/// All of the above in order, stopping at the first violation.
+std::optional<Violation> check_consensus(const ConsensusObs& obs,
+                                         const StepBounds& bounds);
+
+// --- atomic broadcast ---
+
+/// Uniform Total Order: pairwise prefix consistency of delivery histories.
+std::optional<Violation> check_total_order(
+    const std::vector<std::vector<abcast::AppMessage>>& histories);
+/// Uniform Integrity: no (sender, seq) delivered twice at one process.
+std::optional<Violation> check_no_duplicates(
+    const std::vector<std::vector<abcast::AppMessage>>& histories);
+/// No creation: every delivered message id was actually a-broadcast.
+std::optional<Violation> check_no_creation(
+    const std::vector<std::vector<abcast::AppMessage>>& histories,
+    const std::vector<abcast::MsgId>& submitted);
+
+std::optional<Violation> check_abcast(
+    const std::vector<std::vector<abcast::AppMessage>>& histories,
+    const std::vector<abcast::MsgId>& submitted);
+
+}  // namespace zdc::check

@@ -1,0 +1,220 @@
+#include "check/replay.h"
+
+#include <map>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace zdc::check {
+namespace {
+
+constexpr const char* kMagic = "zdc-check-replay-v1";
+/// Stand-in for an empty value — every field always has exactly one token,
+/// which keeps the format canonical (no trailing spaces, no omitted lines).
+constexpr const char* kNone = "-";
+
+bool carryable(const std::string& s) {
+  for (const char c : s) {
+    if (c == ',' || c == ' ' || c == '\n' || c == '\r' || c == ':') {
+      return false;
+    }
+  }
+  return !s.empty();
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::optional<std::uint32_t> parse_u32(const std::string& s) {
+  if (s.empty() || s.size() > 9) return std::nullopt;
+  std::uint32_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  return v;
+}
+
+std::optional<ReplayFile> fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string serialize_replay(const ReplayFile& file) {
+  const ScenarioSpec& spec = file.spec;
+  ZDC_ASSERT_MSG(spec.kind == "consensus" || spec.kind == "abcast",
+                 "unknown scenario kind");
+  std::ostringstream os;
+  os << kMagic << "\n";
+  os << "kind: " << spec.kind << "\n";
+  os << "protocol: " << spec.protocol << "\n";
+  os << "mutant: " << (spec.mutant.empty() ? kNone : spec.mutant) << "\n";
+  os << "n: " << spec.group.n << "\n";
+  os << "f: " << spec.group.f << "\n";
+  if (spec.kind == "consensus") {
+    ZDC_ASSERT_MSG(spec.proposals.size() == spec.group.n,
+                   "need one proposal per process");
+    os << "proposals: ";
+    for (ProcessId p = 0; p < spec.group.n; ++p) {
+      ZDC_ASSERT_MSG(carryable(spec.proposals[p]),
+                     "proposal not representable in a replay file");
+      os << (p == 0 ? "" : ",") << spec.proposals[p];
+    }
+    os << "\n";
+  } else {
+    os << "submissions: ";
+    if (spec.submissions.empty()) {
+      os << kNone;
+    } else {
+      for (std::size_t i = 0; i < spec.submissions.size(); ++i) {
+        const auto& [sender, payload] = spec.submissions[i];
+        ZDC_ASSERT_MSG(carryable(payload),
+                       "payload not representable in a replay file");
+        os << (i == 0 ? "" : ",") << sender << ":" << payload;
+      }
+    }
+    os << "\n";
+  }
+  os << "omega: ";
+  for (ProcessId p = 0; p < spec.group.n; ++p) {
+    os << (p == 0 ? "" : ",") << spec.initial_leader_of(p);
+  }
+  os << "\n";
+  os << "violation: " << (file.violation.empty() ? kNone : file.violation)
+     << "\n";
+  os << "trace: ";
+  if (file.trace.empty()) {
+    os << kNone;
+  } else {
+    os << format_trace(file.trace);
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::optional<ReplayFile> parse_replay(const std::string& text,
+                                       std::string* error) {
+  std::vector<std::string> lines = split(text, '\n');
+  // A canonical file ends in exactly one newline → one trailing empty entry.
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  if (lines.empty() || lines[0] != kMagic) {
+    return fail(error, std::string("missing magic line \"") + kMagic + "\"");
+  }
+  std::map<std::string, std::string> fields;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::size_t sep = lines[i].find(": ");
+    if (sep == std::string::npos || sep == 0) {
+      return fail(error, "malformed line " + std::to_string(i + 1) + ": \"" +
+                             lines[i] + "\"");
+    }
+    const std::string key = lines[i].substr(0, sep);
+    if (!fields.emplace(key, lines[i].substr(sep + 2)).second) {
+      return fail(error, "duplicate field \"" + key + "\"");
+    }
+  }
+  const auto field = [&](const std::string& key) -> std::optional<std::string> {
+    const auto it = fields.find(key);
+    if (it == fields.end()) return std::nullopt;
+    return it->second;
+  };
+
+  ReplayFile out;
+  const auto kind = field("kind");
+  if (!kind || (*kind != "consensus" && *kind != "abcast")) {
+    return fail(error, "kind must be \"consensus\" or \"abcast\"");
+  }
+  out.spec.kind = *kind;
+  const auto protocol = field("protocol");
+  if (!protocol || protocol->empty()) return fail(error, "missing protocol");
+  out.spec.protocol = *protocol;
+  const auto mutant = field("mutant");
+  if (!mutant) return fail(error, "missing mutant (use \"-\" for none)");
+  out.spec.mutant = *mutant == kNone ? "" : *mutant;
+
+  const auto n = field("n");
+  const auto f = field("f");
+  const auto n_val = n ? parse_u32(*n) : std::nullopt;
+  const auto f_val = f ? parse_u32(*f) : std::nullopt;
+  if (!n_val || !f_val || *n_val == 0 || *n_val > 31 || *f_val >= *n_val) {
+    return fail(error, "need 0 < n <= 31 and f < n");
+  }
+  out.spec.group = GroupParams{*n_val, *f_val};
+
+  if (out.spec.kind == "consensus") {
+    const auto proposals = field("proposals");
+    if (!proposals) return fail(error, "consensus file needs proposals");
+    out.spec.proposals = split(*proposals, ',');
+    if (out.spec.proposals.size() != out.spec.group.n) {
+      return fail(error, "need exactly n proposals");
+    }
+    for (const std::string& v : out.spec.proposals) {
+      if (!carryable(v)) return fail(error, "empty or malformed proposal");
+    }
+  } else {
+    const auto submissions = field("submissions");
+    if (!submissions) {
+      return fail(error, "abcast file needs submissions (\"-\" for none)");
+    }
+    if (*submissions != kNone) {
+      for (const std::string& entry : split(*submissions, ',')) {
+        const std::size_t colon = entry.find(':');
+        if (colon == std::string::npos) {
+          return fail(error, "submission must be sender:payload");
+        }
+        const auto sender = parse_u32(entry.substr(0, colon));
+        const std::string payload = entry.substr(colon + 1);
+        if (!sender || *sender >= out.spec.group.n || !carryable(payload)) {
+          return fail(error, "malformed submission \"" + entry + "\"");
+        }
+        out.spec.submissions.emplace_back(*sender, payload);
+      }
+    }
+  }
+
+  const auto omega = field("omega");
+  if (!omega) return fail(error, "missing omega");
+  const std::vector<std::string> leaders = split(*omega, ',');
+  if (leaders.size() != out.spec.group.n) {
+    return fail(error, "need exactly n omega entries");
+  }
+  for (const std::string& l : leaders) {
+    const auto leader = parse_u32(l);
+    if (!leader || *leader >= out.spec.group.n) {
+      return fail(error, "omega entries must name processes");
+    }
+    out.spec.omega.push_back(*leader);
+  }
+
+  const auto violation = field("violation");
+  if (!violation) return fail(error, "missing violation (\"-\" for none)");
+  out.violation = *violation == kNone ? "" : *violation;
+
+  const auto trace = field("trace");
+  if (!trace || trace->empty()) {
+    return fail(error, "missing trace (\"-\" for empty)");
+  }
+  if (*trace != kNone) {
+    for (const std::string& token : split(*trace, ' ')) {
+      const auto choice = parse_choice(token);
+      if (!choice) return fail(error, "malformed choice \"" + token + "\"");
+      out.trace.push_back(*choice);
+    }
+  }
+  return out;
+}
+
+}  // namespace zdc::check

@@ -1,0 +1,40 @@
+// Replay files: the durable form of a counterexample.
+//
+// A replay file is a (scenario spec, choice trace, expected violation)
+// triple in a line-oriented text format, magic `zdc-check-replay-v1`. The
+// serializer is canonical — fixed field order, fixed separators, one
+// trailing newline — so `serialize(parse(text)) == text` for any file the
+// toolchain wrote. `zdc_check repro` verifies exactly that byte-identity
+// before re-running the trace, which is what keeps the committed fixtures
+// under tests/check_fixtures/ from drifting: regenerate or fail, never
+// hand-edit. Full grammar in docs/CHECKING.md.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/choice.h"
+#include "check/system.h"
+
+namespace zdc::check {
+
+struct ReplayFile {
+  ScenarioSpec spec;
+  /// Invariant the trace is expected to violate (stable name, see
+  /// check::Violation); empty = the trace must complete with NO violation
+  /// (useful for pinning known-good schedules).
+  std::string violation;
+  std::vector<Choice> trace;
+};
+
+/// Canonical text form. Aborts (ZDC_ASSERT) on values the format cannot
+/// carry: proposals/payloads containing ',', ' ' or newlines.
+std::string serialize_replay(const ReplayFile& file);
+
+/// Parses a replay file; on failure returns nullopt and, if `error` is
+/// non-null, a one-line description of what is wrong.
+std::optional<ReplayFile> parse_replay(const std::string& text,
+                                       std::string* error = nullptr);
+
+}  // namespace zdc::check

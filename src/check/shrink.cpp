@@ -1,0 +1,112 @@
+#include "check/shrink.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/assert.h"
+
+namespace zdc::check {
+
+ReplayOutcome replay_lenient(const SystemFactory& factory,
+                             const std::vector<Choice>& trace) {
+  ReplayOutcome out;
+  auto sys = factory();
+  if (auto v = sys->violation()) {
+    out.violation = std::move(v);
+    return out;
+  }
+  for (const Choice& c : trace) {
+    if (!sys->apply(c)) {
+      ++out.skipped;
+      continue;
+    }
+    out.applied.push_back(c);
+    if (auto v = sys->violation()) {
+      out.violation = std::move(v);
+      return out;
+    }
+  }
+  return out;
+}
+
+std::optional<ReplayOutcome> replay_strict(const SystemFactory& factory,
+                                           const std::vector<Choice>& trace) {
+  ReplayOutcome out;
+  auto sys = factory();
+  if (auto v = sys->violation()) {
+    out.violation = std::move(v);
+    return out;
+  }
+  for (const Choice& c : trace) {
+    if (!sys->apply(c)) return std::nullopt;
+    out.applied.push_back(c);
+    if (!out.violation) {
+      if (auto v = sys->violation()) out.violation = std::move(v);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Does `candidate` still (leniently) reproduce a violation of the target
+/// invariant? On yes, *candidate is replaced by the applied prefix* — always
+/// no longer than the input, often shorter, and strictly replayable.
+bool still_fails(const SystemFactory& factory, std::vector<Choice>& candidate,
+                 const std::string& target, Violation& violation,
+                 std::uint64_t& replays) {
+  ++replays;
+  ReplayOutcome out = replay_lenient(factory, candidate);
+  if (!out.violation || out.violation->invariant != target) return false;
+  violation = std::move(*out.violation);
+  candidate = std::move(out.applied);
+  return true;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const SystemFactory& factory, std::vector<Choice> trace,
+                    const std::string& target_invariant) {
+  ShrinkResult res;
+  Violation violation;
+  const bool reproduces = still_fails(factory, trace, target_invariant,
+                                      violation, res.replays);
+  ZDC_ASSERT_MSG(reproduces, "shrink() input trace does not reproduce");
+
+  // ddmin proper: try removing chunks of the trace, halving chunk size on a
+  // failed round; trace is already ≤ the original thanks to prefix trimming.
+  std::size_t granularity = 2;
+  while (trace.size() >= 2) {
+    const std::size_t chunk =
+        (trace.size() + granularity - 1) / granularity;  // ceil
+    bool reduced = false;
+    for (std::size_t start = 0; start < trace.size(); start += chunk) {
+      std::vector<Choice> candidate;
+      candidate.reserve(trace.size());
+      candidate.insert(candidate.end(), trace.begin(),
+                       trace.begin() + static_cast<std::ptrdiff_t>(start));
+      const std::size_t end = std::min(start + chunk, trace.size());
+      candidate.insert(candidate.end(),
+                       trace.begin() + static_cast<std::ptrdiff_t>(end),
+                       trace.end());
+      if (candidate.size() == trace.size()) continue;  // empty removal
+      if (still_fails(factory, candidate, target_invariant, violation,
+                      res.replays)) {
+        trace = std::move(candidate);
+        granularity = granularity > 2 ? granularity - 1 : 2;
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= trace.size()) break;  // 1-minimal
+      granularity = std::min(granularity * 2, trace.size());
+    }
+  }
+
+  res.trace = std::move(trace);
+  res.violation = std::move(violation);
+  return res;
+}
+
+}  // namespace zdc::check

@@ -1,0 +1,62 @@
+// Counterexample minimization: delta-debugging (ddmin, Zeller & Hildebrandt)
+// over choice traces.
+//
+// The shrinker replays candidate subsequences *leniently* — a choice that is
+// disabled in the state reached so far is skipped, and the replay stops at
+// the first violation. Lenient semantics are what make ddmin effective here:
+// removing one choice (say a crash) usually disables a few later ones (its
+// follow-up deliveries), and skipping those lets a candidate still exhibit
+// the violation instead of failing on a technicality.
+//
+// Skipped choices leave the state untouched, so the *applied* subsequence of
+// a successful lenient replay is, by construction, strictly replayable:
+// replaying exactly those choices applies every one of them and reaches the
+// same violation. That applied subsequence is what the shrinker returns —
+// the canonical minimized trace the replay fixtures pin byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/choice.h"
+#include "check/invariants.h"
+#include "check/system.h"
+
+namespace zdc::check {
+
+struct ReplayOutcome {
+  std::optional<Violation> violation;  ///< first violation hit, if any
+  std::vector<Choice> applied;         ///< choices actually applied, in order
+  std::uint64_t skipped = 0;           ///< choices that were disabled
+};
+
+/// Lenient replay: apply the trace in order, skipping disabled choices,
+/// stopping at the first violation (`applied` then holds the violating
+/// prefix). With no violation, the full trace is attempted and the final
+/// state discarded.
+ReplayOutcome replay_lenient(const SystemFactory& factory,
+                             const std::vector<Choice>& trace);
+
+/// Strict replay: every choice must be enabled when its turn comes. Returns
+/// nullopt if one is not (the byte-identity contract of `zdc_check repro`
+/// treats that as a failed reproduction). On success, the violation state
+/// after the step that first violated — or after the whole trace.
+std::optional<ReplayOutcome> replay_strict(const SystemFactory& factory,
+                                           const std::vector<Choice>& trace);
+
+struct ShrinkResult {
+  std::vector<Choice> trace;           ///< 1-minimal, strictly replayable
+  Violation violation;                 ///< as produced by the final replay
+  std::uint64_t replays = 0;           ///< lenient replays spent
+};
+
+/// ddmin: minimizes `trace` while it still (leniently) reproduces a
+/// violation of the same invariant as `target` names. The input trace must
+/// reproduce it (asserted). The result is 1-minimal — removing any single
+/// remaining choice loses the violation.
+ShrinkResult shrink(const SystemFactory& factory, std::vector<Choice> trace,
+                    const std::string& target_invariant);
+
+}  // namespace zdc::check

@@ -1,0 +1,22 @@
+#include "check/system.h"
+
+#include "check/abcast_system.h"
+#include "check/consensus_system.h"
+#include "common/assert.h"
+
+namespace zdc::check {
+
+SystemFactory make_system_factory(const ScenarioSpec& spec,
+                                  const AdversaryBudgets& budgets) {
+  if (spec.kind == "consensus") {
+    return [spec, budgets] {
+      return std::unique_ptr<System>(new ConsensusSystem(spec, budgets));
+    };
+  }
+  ZDC_ASSERT_MSG(spec.kind == "abcast", "unknown scenario kind");
+  return [spec, budgets] {
+    return std::unique_ptr<System>(new AbcastSystem(spec, budgets));
+  };
+}
+
+}  // namespace zdc::check

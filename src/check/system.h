@@ -1,0 +1,84 @@
+// The system-under-check abstraction the explorer, swarm driver, shrinker
+// and replayer all share: a deterministic state machine whose transitions
+// are Choices (src/check/choice.h), built fresh from a ScenarioSpec.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/choice.h"
+#include "check/invariants.h"
+#include "common/types.h"
+
+namespace zdc::check {
+
+/// Everything deterministic about a run: which protocol, which group, what
+/// everyone proposes, what the failure detectors initially say, and which
+/// seeded mutant (if any) is armed. (scenario, choice trace) reproduces a
+/// run exactly — this struct is the replay file's header.
+struct ScenarioSpec {
+  std::string kind = "consensus";  ///< "consensus" | "abcast"
+  /// Consensus: "l", "p", "paxos", ... (sim::consensus_factory_by_name).
+  /// Abcast: "c-l", "c-p", "wabcast", "paxos" (sim::abcast_factory_by_name).
+  std::string protocol = "l";
+  GroupParams group{4, 1};
+  /// Consensus scenarios: proposal per process (size n).
+  std::vector<Value> proposals;
+  /// Initial Ω output per process (empty = everyone trusts p0). The spec
+  /// pins the *initial* FD state; FD changes during the run are choices.
+  std::vector<ProcessId> omega;
+  /// Seeded protocol mutant to arm ("" = none): "skip-one-step-quorum"
+  /// (P-Consensus decides on fewer than n−f equal values) or
+  /// "ignore-accepted" (Paxos phase 1 ignores reported acceptances).
+  std::string mutant;
+  /// Abcast scenarios: scripted submissions, performed via kSubmit choices.
+  std::vector<std::pair<ProcessId, std::string>> submissions;
+
+  [[nodiscard]] ProcessId initial_leader_of(ProcessId p) const {
+    return p < omega.size() ? omega[p] : 0;
+  }
+};
+
+/// Which adversary moves the enumeration offers beyond plain deliveries.
+/// These bound the *search space*, not the replay semantics: a replayed
+/// trace may contain any choice regardless of budgets.
+struct AdversaryBudgets {
+  std::uint32_t crashes = 0;        ///< ≤ min(crashes, group.f) kCrash moves
+  std::uint32_t leader_flips = 0;   ///< total kLeaderFlip moves offered
+  std::uint32_t suspect_flips = 0;  ///< total kSuspectFlip moves offered
+  bool oracle_subsets = false;      ///< offer kOracleSubset (else broadcast only)
+};
+
+/// A system under check. Implementations are deterministic: the same
+/// (spec, budgets, choice sequence) always reaches the same state.
+class System {
+ public:
+  virtual ~System() = default;
+
+  /// All choices enabled in the current state, in a canonical deterministic
+  /// order. Empty means quiescent (a leaf).
+  [[nodiscard]] virtual std::vector<Choice> enabled() const = 0;
+
+  /// Applies one choice. Returns false (state unchanged) if the choice is
+  /// not currently enabled — the lenient mode the shrinker relies on.
+  virtual bool apply(const Choice& c) = 0;
+
+  /// Checks every applicable invariant in the current state and returns the
+  /// first violation, if any. Cheap enough to run after every transition.
+  [[nodiscard]] virtual std::optional<Violation> violation() const = 0;
+};
+
+/// Builds a fresh system at its initial state (proposals made, nothing
+/// delivered). Invoked once per explored path — construction must be cheap.
+using SystemFactory = std::function<std::unique_ptr<System>()>;
+
+/// Factory for a ScenarioSpec; aborts via ZDC_ASSERT on unknown protocol
+/// names (same contract as the sim factories it wraps).
+SystemFactory make_system_factory(const ScenarioSpec& spec,
+                                  const AdversaryBudgets& budgets);
+
+}  // namespace zdc::check

@@ -15,6 +15,9 @@
 #include <optional>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
 namespace zdc::common {
 
 class StableStorage {
@@ -30,23 +33,31 @@ class StableStorage {
 };
 
 /// Storage that survives simulated crashes (the harness owns it; protocol
-/// instances come and go).
+/// instances come and go). Internally synchronized: on the threaded runtime
+/// the protocol writes from its delivery thread while harnesses poll
+/// sync_count() from the test thread.
 class InMemoryStableStorage final : public StableStorage {
  public:
   void put(const std::string& key, std::string bytes) override {
+    MutexLock lock(mu_);
     data_[key] = std::move(bytes);
     ++syncs_;
   }
   std::optional<std::string> get(const std::string& key) const override {
+    MutexLock lock(mu_);
     const auto it = data_.find(key);
     if (it == data_.end()) return std::nullopt;
     return it->second;
   }
-  [[nodiscard]] std::uint64_t sync_count() const override { return syncs_; }
+  [[nodiscard]] std::uint64_t sync_count() const override {
+    MutexLock lock(mu_);
+    return syncs_;
+  }
 
  private:
-  std::map<std::string, std::string> data_;
-  std::uint64_t syncs_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, std::string> data_ ZDC_GUARDED_BY(mu_);
+  std::uint64_t syncs_ ZDC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace zdc::common

@@ -105,6 +105,18 @@ class Consensus {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// Whether handle_message() keeps running after this process decided.
+  /// Defaults to false: a decided process drops protocol traffic, which is
+  /// the cheapest behaviour and fine when every process learns the decision
+  /// in the same exchange. Crash-recovery protocols that decide quietly must
+  /// override to true — a process that was down during the decisive exchange
+  /// can only catch up by driving a new ballot, and that ballot makes
+  /// progress only if the decided majority still answers its acceptor-role
+  /// messages. Adds no traffic in fault-free runs, where nothing stimulates
+  /// a decided process. Public so schedule enumerators (src/check) can prune
+  /// deliveries that on_message would drop anyway.
+  [[nodiscard]] virtual bool serves_after_decide() const { return false; }
+
  protected:
   /// Message type tag reserved across all protocols for the T2 DECIDE flood.
   static constexpr std::uint8_t kDecideTag = 0;
@@ -116,17 +128,6 @@ class Consensus {
   /// positioned after the tag byte.
   virtual void handle_message(ProcessId from, std::uint8_t tag,
                               common::Decoder& dec) = 0;
-
-  /// Whether handle_message() keeps running after this process decided.
-  /// Defaults to false: a decided process drops protocol traffic, which is
-  /// the cheapest behaviour and fine when every process learns the decision
-  /// in the same exchange. Crash-recovery protocols that decide quietly must
-  /// override to true — a process that was down during the decisive exchange
-  /// can only catch up by driving a new ballot, and that ballot makes
-  /// progress only if the decided majority still answers its acceptor-role
-  /// messages. Adds no traffic in fault-free runs, where nothing stimulates
-  /// a decided process.
-  [[nodiscard]] virtual bool serves_after_decide() const { return false; }
 
   /// Task-T1 decision (pseudo-code line "∀j do send DECIDE(v); return v"):
   /// floods DECIDE and records the local decision. `steps` is the number of

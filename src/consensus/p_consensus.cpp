@@ -8,8 +8,10 @@
 namespace zdc::consensus {
 
 PConsensus::PConsensus(ProcessId self, GroupParams group, ConsensusHost& host,
-                       const fd::SuspectView& suspects)
-    : Consensus(self, group, host), suspects_(suspects) {
+                       const fd::SuspectView& suspects, Mutations mutations)
+    : Consensus(self, group, host),
+      suspects_(suspects),
+      mutations_(mutations) {
   ZDC_ASSERT_MSG(group.one_step_resilient(), "P-Consensus requires f < n/3");
 }
 
@@ -66,12 +68,16 @@ bool PConsensus::try_complete_round() {
   if (received.size() < group_.quorum()) return false;
 
   // Lines 3-4: n−f identical values decide immediately — this is the one-step
-  // path, taken regardless of the failure detector output.
+  // path, taken regardless of the failure detector output. The seeded mutant
+  // lowers the threshold to 1 (any received value "wins"), the bug the
+  // checker self-tests must catch.
   {
+    const std::uint32_t need =
+        mutations_.skip_one_step_quorum ? 1 : group_.quorum();
     std::map<Value, std::uint32_t> counts;
     for (const auto& [from, v] : received) ++counts[v];
     for (const auto& [v, c] : counts) {
-      if (c >= group_.quorum()) {
+      if (c >= need) {
         decide_from_round(v, static_cast<std::uint32_t>(round_));
         return true;
       }

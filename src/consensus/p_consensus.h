@@ -42,9 +42,23 @@ namespace zdc::consensus {
 
 class PConsensus final : public Consensus {
  public:
+  /// Seeded protocol mutations for checker self-tests (src/check): each knob
+  /// re-introduces a bug the safety argument explicitly rules out, so a
+  /// schedule-space checker that cannot find a counterexample against it is
+  /// itself broken. Never set outside tests.
+  struct Mutations {
+    /// Line 3 decides on *any* value seen among the n−f round messages
+    /// instead of requiring n−f identical ones — discards the quorum
+    /// intersection that Lemma 4's agreement argument rests on.
+    bool skip_one_step_quorum = false;
+  };
+
   /// `suspects` must outlive the protocol instance.
   PConsensus(ProcessId self, GroupParams group, ConsensusHost& host,
-             const fd::SuspectView& suspects);
+             const fd::SuspectView& suspects)
+      : PConsensus(self, group, host, suspects, Mutations{}) {}
+  PConsensus(ProcessId self, GroupParams group, ConsensusHost& host,
+             const fd::SuspectView& suspects, Mutations mutations);
 
   void on_fd_change() override;
 
@@ -64,6 +78,7 @@ class PConsensus final : public Consensus {
   bool try_complete_round();
 
   const fd::SuspectView& suspects_;
+  const Mutations mutations_;
   Round round_ = 0;
   Value est_;
   /// Q of the current round, frozen at the first evaluation after the n−f

@@ -6,8 +6,9 @@
 namespace zdc::consensus {
 
 PaxosConsensus::PaxosConsensus(ProcessId self, GroupParams group,
-                               ConsensusHost& host, const fd::OmegaView& omega)
-    : Consensus(self, group, host), omega_(omega) {
+                               ConsensusHost& host, const fd::OmegaView& omega,
+                               Mutations mutations)
+    : Consensus(self, group, host), omega_(omega), mutations_(mutations) {
   ZDC_ASSERT_MSG(group.majority_resilient(), "Paxos requires f < n/2");
 }
 
@@ -124,6 +125,13 @@ void PaxosConsensus::handle_p1b(ProcessId from, common::Decoder& dec) {
   }
   promises_.emplace(from, std::move(promise));
   if (promises_.size() < group_.majority()) return;
+  if (mutations_.ignore_accepted) {
+    // Seeded mutant: pretend no acceptor reported anything and push our own
+    // value — overwrites a possibly-chosen value, which the checker
+    // self-tests must catch as an agreement violation.
+    send_p2a(*my_value_);
+    return;
+  }
   // Choose the value accepted under the highest ballot, else free choice.
   const Promise* best = nullptr;
   for (const auto& [p, pr] : promises_) {

@@ -27,10 +27,25 @@ namespace zdc::consensus {
 
 class PaxosConsensus final : public Consensus {
  public:
+  /// Seeded protocol mutations for checker self-tests (src/check): each knob
+  /// re-introduces a bug the safety argument explicitly rules out, so a
+  /// schedule-space checker that cannot find a counterexample against it is
+  /// itself broken. Never set outside tests.
+  struct Mutations {
+    /// Phase 1 ignores the accepted (ballot, value) pairs reported in 1b
+    /// promises and always proposes this process's own value — dropping the
+    /// "adopt the highest-ballot accepted value" rule that makes chosen
+    /// values stable across ballots.
+    bool ignore_accepted = false;
+  };
+
   /// Paxos only needs f < n/2; `group.f` expresses the tolerated crash count
   /// but quorums are always strict majorities.
   PaxosConsensus(ProcessId self, GroupParams group, ConsensusHost& host,
-                 const fd::OmegaView& omega);
+                 const fd::OmegaView& omega)
+      : PaxosConsensus(self, group, host, omega, Mutations{}) {}
+  PaxosConsensus(ProcessId self, GroupParams group, ConsensusHost& host,
+                 const fd::OmegaView& omega, Mutations mutations);
 
   void on_fd_change() override;
 
@@ -69,6 +84,7 @@ class PaxosConsensus final : public Consensus {
   void handle_nack(ProcessId from, common::Decoder& dec);
 
   const fd::OmegaView& omega_;
+  const Mutations mutations_;
 
   // --- proposer state ---
   std::optional<Value> my_value_;

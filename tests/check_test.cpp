@@ -1,0 +1,407 @@
+// Tests for the schedule-space model checker (src/check): the choice-token
+// and replay-file formats, the shared invariant library, the sleep-set DFS
+// explorer, the ddmin shrinker, seeded swarm mode — and the committed golden
+// counterexample fixtures under tests/check_fixtures/, which must stay
+// byte-identically canonical and keep reproducing their recorded violation.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/choice.h"
+#include "check/consensus_system.h"
+#include "check/explorer.h"
+#include "check/invariants.h"
+#include "check/replay.h"
+#include "check/shrink.h"
+#include "check/system.h"
+
+namespace zdc::check {
+namespace {
+
+ScenarioSpec consensus_spec(std::string protocol, std::vector<Value> proposals,
+                            std::string mutant = "") {
+  ScenarioSpec spec;
+  spec.kind = "consensus";
+  spec.protocol = std::move(protocol);
+  spec.group = GroupParams{static_cast<std::uint32_t>(proposals.size()), 1};
+  spec.proposals = std::move(proposals);
+  spec.mutant = std::move(mutant);
+  return spec;
+}
+
+// --- choice tokens ---
+
+TEST(ChoiceFormat, RoundtripsEveryKind) {
+  const std::vector<Choice> samples = {
+      {ChoiceKind::kDeliver, 2, 3, 0},    {ChoiceKind::kOracle, 1, 0, 0},
+      {ChoiceKind::kOracleSubset, 0, 0, 11}, {ChoiceKind::kCrash, 3, 0, 0},
+      {ChoiceKind::kLeaderFlip, 1, 2, 0}, {ChoiceKind::kSuspectFlip, 0, 3, 0},
+  };
+  for (const Choice& c : samples) {
+    const std::string token = format_choice(c);
+    const auto parsed = parse_choice(token);
+    ASSERT_TRUE(parsed.has_value()) << token;
+    EXPECT_EQ(*parsed, c) << token;
+    EXPECT_EQ(format_choice(*parsed), token);
+  }
+  // kSubmit's `b` (the submitting process) is derived from the scenario's
+  // submission table, deliberately not serialized.
+  const auto submit = parse_choice(format_choice({ChoiceKind::kSubmit, 4, 1, 0}));
+  ASSERT_TRUE(submit.has_value());
+  EXPECT_EQ(submit->kind, ChoiceKind::kSubmit);
+  EXPECT_EQ(submit->a, 4u);
+  EXPECT_EQ(submit->b, 0u);
+}
+
+TEST(ChoiceFormat, RejectsMalformedTokens) {
+  for (const char* bad : {"", "x1", "d5", "d-1", "d1-", "o", "c", "s3", "s3m",
+                          "l2", "f-", "d1-2-3x", "d99999999999-1", "u"}) {
+    EXPECT_FALSE(parse_choice(bad).has_value()) << bad;
+  }
+}
+
+TEST(ChoiceIndependence, MatchesTouchedProcessModel) {
+  const Choice d01{ChoiceKind::kDeliver, 0, 1, 0};
+  const Choice d21{ChoiceKind::kDeliver, 2, 1, 0};
+  const Choice d23{ChoiceKind::kDeliver, 2, 3, 0};
+  const Choice crash1{ChoiceKind::kCrash, 1, 0, 0};
+  const Choice flip3{ChoiceKind::kLeaderFlip, 3, 0, 0};
+  const Choice oracle{ChoiceKind::kOracle, 0, 0, 0};
+  // Same recipient → dependent; distinct recipients → independent.
+  EXPECT_FALSE(choices_independent(d01, d21));
+  EXPECT_TRUE(choices_independent(d01, d23));
+  // A crash races with anything touching the crashed process.
+  EXPECT_FALSE(choices_independent(crash1, d01));
+  EXPECT_TRUE(choices_independent(crash1, d23));
+  EXPECT_TRUE(choices_independent(crash1, flip3));
+  // Oracle broadcasts touch everybody.
+  EXPECT_FALSE(choices_independent(oracle, d23));
+  EXPECT_FALSE(choices_independent(oracle, crash1));
+}
+
+// --- invariant library ---
+
+ConsensusObs unanimous_obs() {
+  ConsensusObs obs;
+  obs.group = GroupParams{4, 1};
+  obs.proposals = {"a", "a", "a", "a"};
+  obs.procs.resize(4);
+  for (ProcessObs& p : obs.procs) p.proposed = true;
+  return obs;
+}
+
+void decide(ProcessObs& p, const Value& v, std::uint32_t steps) {
+  p.decided = true;
+  p.decision = v;
+  p.steps = steps;
+  p.path = consensus::DecisionPath::kRound;
+  p.decision_deliveries = 1;
+}
+
+TEST(Invariants, AgreementFlagsSplitDecisions) {
+  ConsensusObs obs = unanimous_obs();
+  decide(obs.procs[0], "a", 1);
+  decide(obs.procs[3], "b", 1);
+  const auto v = check_agreement(obs);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->invariant, "agreement");
+  decide(obs.procs[3], "a", 1);
+  EXPECT_FALSE(check_agreement(obs).has_value());
+}
+
+TEST(Invariants, ValidityFlagsInventedValues) {
+  ConsensusObs obs = unanimous_obs();
+  decide(obs.procs[1], "ghost", 1);
+  const auto v = check_validity(obs);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->invariant, "validity");
+}
+
+TEST(Invariants, IntegrityFlagsDoubleDecisionDelivery) {
+  ConsensusObs obs = unanimous_obs();
+  decide(obs.procs[2], "a", 1);
+  obs.procs[2].decision_deliveries = 2;
+  const auto v = check_integrity(obs);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->invariant, "integrity");
+}
+
+TEST(Invariants, TerminationFlagsQuiescentUndecidedProposer) {
+  ConsensusObs obs = unanimous_obs();
+  for (ProcessId p = 0; p < 3; ++p) decide(obs.procs[p], "a", 1);
+  obs.quiescent = true;
+  const auto v = check_termination(obs);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->invariant, "termination");
+  // Mid-flight (not quiescent) the same state is just "not yet".
+  obs.quiescent = false;
+  EXPECT_FALSE(check_termination(obs).has_value());
+}
+
+TEST(Invariants, StepBoundsApplyPerProtocolClaim) {
+  // P promises one-step on equal proposals in *every* run; L only claims it
+  // for stable runs (Theorem 1); Paxos never claims it.
+  ConsensusObs obs = unanimous_obs();
+  decide(obs.procs[0], "a", 2);
+  obs.stable = false;
+  EXPECT_TRUE(check_one_step(obs, step_bounds_for("p")).has_value());
+  EXPECT_FALSE(check_one_step(obs, step_bounds_for("l")).has_value());
+  EXPECT_FALSE(check_one_step(obs, step_bounds_for("paxos")).has_value());
+  obs.stable = true;
+  EXPECT_TRUE(check_one_step(obs, step_bounds_for("l")).has_value());
+  obs.procs[0].steps = 1;
+  EXPECT_FALSE(check_one_step(obs, step_bounds_for("p")).has_value());
+}
+
+TEST(Invariants, TotalOrderAndDuplicationCatchBrokenHistories) {
+  const abcast::AppMessage m0{{0, 1}, "x"};
+  const abcast::AppMessage m1{{1, 1}, "y"};
+  EXPECT_TRUE(check_total_order({{m0, m1}, {m1, m0}}).has_value());
+  EXPECT_FALSE(check_total_order({{m0, m1}, {m0}}).has_value());
+  EXPECT_TRUE(check_no_duplicates({{m0, m0}}).has_value());
+  EXPECT_TRUE(check_no_creation({{m0}}, {m1.id}).has_value());
+  EXPECT_FALSE(check_no_creation({{m0}}, {m0.id, m1.id}).has_value());
+}
+
+// --- replay files ---
+
+TEST(Replay, SerializeParseRoundtripIsByteIdentical) {
+  ReplayFile file;
+  file.spec = consensus_spec("p", {"a", "b", "b", "b"}, "skip-one-step-quorum");
+  file.spec.omega = {0, 0, 0, 0};
+  file.violation = "agreement";
+  file.trace = {{ChoiceKind::kDeliver, 0, 0, 0},
+                {ChoiceKind::kCrash, 2, 0, 0},
+                {ChoiceKind::kOracleSubset, 1, 0, 5}};
+  const std::string text = serialize_replay(file);
+  std::string error;
+  const auto parsed = parse_replay(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(serialize_replay(*parsed), text);
+  EXPECT_EQ(parsed->spec.protocol, "p");
+  EXPECT_EQ(parsed->spec.mutant, "skip-one-step-quorum");
+  EXPECT_EQ(parsed->spec.proposals, file.spec.proposals);
+  EXPECT_EQ(parsed->violation, "agreement");
+  EXPECT_EQ(parsed->trace, file.trace);
+}
+
+TEST(Replay, ParseRejectsMalformedFiles) {
+  ReplayFile file;
+  file.spec = consensus_spec("paxos", {"x", "y", "z"});
+  file.spec.omega = {0, 0, 0};
+  const std::string good = serialize_replay(file);
+
+  const auto expect_bad = [](std::string text, const char* what) {
+    std::string error;
+    EXPECT_FALSE(parse_replay(text, &error).has_value()) << what;
+    EXPECT_FALSE(error.empty()) << what;
+  };
+  expect_bad("not-a-replay\n", "bad magic");
+  expect_bad("", "empty");
+  std::string wrong_count = good;
+  wrong_count.replace(wrong_count.find("n: 3"), 4, "n: 4");
+  expect_bad(wrong_count, "proposal count mismatch");
+  std::string bad_token = good;
+  bad_token.replace(bad_token.find("trace: -"), 8, "trace: zz");
+  expect_bad(bad_token, "malformed trace token");
+}
+
+// --- explorer ---
+
+TEST(Explorer, ExhaustsPaxosSpaceWithNoViolation) {
+  const ScenarioSpec spec = consensus_spec("paxos", {"a", "a", "a"});
+  const auto res = explore(make_system_factory(spec, {}), {});
+  EXPECT_TRUE(res.complete);
+  EXPECT_FALSE(res.violation.has_value());
+  EXPECT_EQ(res.depth_cutoffs, 0u);
+  EXPECT_GT(res.transitions, 0u);
+  EXPECT_GT(res.paths, 0u);
+}
+
+TEST(Explorer, SleepSetsPruneWithoutChangingTheVerdict) {
+  const ScenarioSpec spec = consensus_spec("l", {"a", "a", "a", "a"});
+  ExploreConfig with;
+  with.max_depth = 5;
+  ExploreConfig without = with;
+  without.sleep_sets = false;
+  const auto reduced = explore(make_system_factory(spec, {}), with);
+  const auto full = explore(make_system_factory(spec, {}), without);
+  EXPECT_FALSE(reduced.violation.has_value());
+  EXPECT_FALSE(full.violation.has_value());
+  EXPECT_TRUE(reduced.complete);
+  EXPECT_TRUE(full.complete);
+  // The reduction must strictly prune this space (it has many commuting
+  // delivery pairs) while staying sound.
+  EXPECT_LT(reduced.transitions, full.transitions);
+}
+
+TEST(Explorer, DepthBoundTruncatesAndSaysSo) {
+  const ScenarioSpec spec = consensus_spec("l", {"a", "a", "a", "a"});
+  ExploreConfig cfg;
+  cfg.max_depth = 2;
+  const auto res = explore(make_system_factory(spec, {}), cfg);
+  EXPECT_TRUE(res.complete);  // complete *up to the bound*...
+  EXPECT_GT(res.depth_cutoffs, 0u);  // ...which the result discloses.
+}
+
+TEST(Explorer, TransitionBudgetAbortsAsIncomplete) {
+  const ScenarioSpec spec = consensus_spec("l", {"a", "a", "a", "a"});
+  ExploreConfig cfg;
+  cfg.max_transitions = 10;
+  const auto res = explore(make_system_factory(spec, {}), cfg);
+  EXPECT_FALSE(res.complete);
+  EXPECT_LE(res.transitions, 10u);
+}
+
+// --- mutants: find → shrink → replay, all through the library ---
+
+struct MutantCase {
+  ScenarioSpec spec;
+  std::uint32_t max_depth;
+};
+
+MutantCase p_mutant() {
+  MutantCase c{consensus_spec("p", {"a", "b", "b", "b"},
+                              "skip-one-step-quorum"),
+               12};
+  return c;
+}
+
+MutantCase paxos_mutant() {
+  MutantCase c{consensus_spec("paxos", {"zero", "one", "two"},
+                              "ignore-accepted"),
+               20};
+  c.spec.omega = {0, 0, 2};
+  return c;
+}
+
+void find_shrink_replay(const MutantCase& mutant) {
+  const SystemFactory factory = make_system_factory(mutant.spec, {});
+  ExploreConfig cfg;
+  cfg.max_depth = mutant.max_depth;
+  const auto res = explore(factory, cfg);
+  ASSERT_TRUE(res.violation.has_value())
+      << mutant.spec.mutant << ": a checker that can't fail is not a checker";
+  EXPECT_EQ(res.violation->invariant, "agreement");
+
+  const ShrinkResult shrunk = shrink(factory, res.trace,
+                                     res.violation->invariant);
+  EXPECT_LE(shrunk.trace.size(), res.trace.size());
+  EXPECT_EQ(shrunk.violation.invariant, "agreement");
+
+  // The minimized trace must replay *strictly* — every choice enabled when
+  // its turn comes — and reach the same violation.
+  const auto replayed = replay_strict(factory, shrunk.trace);
+  ASSERT_TRUE(replayed.has_value());
+  ASSERT_TRUE(replayed->violation.has_value());
+  EXPECT_EQ(replayed->violation->invariant, "agreement");
+
+  // 1-minimality: dropping any single choice loses the violation.
+  for (std::size_t i = 0; i < shrunk.trace.size(); ++i) {
+    std::vector<Choice> shorter = shrunk.trace;
+    shorter.erase(shorter.begin() + static_cast<std::ptrdiff_t>(i));
+    const ReplayOutcome out = replay_lenient(factory, shorter);
+    EXPECT_TRUE(!out.violation.has_value() ||
+                out.violation->invariant != "agreement")
+        << "trace is not 1-minimal at choice " << i;
+  }
+}
+
+TEST(Mutants, PSkipOneStepQuorumIsCaughtShrunkAndReplayable) {
+  find_shrink_replay(p_mutant());
+}
+
+TEST(Mutants, PaxosIgnoreAcceptedIsCaughtShrunkAndReplayable) {
+  find_shrink_replay(paxos_mutant());
+}
+
+// --- swarm ---
+
+TEST(Swarm, IsDeterministicPerSeedAndCleanOnSafeProtocols) {
+  ScenarioSpec spec = consensus_spec("p", {"a", "b", "b", "a"});
+  AdversaryBudgets budgets;
+  budgets.crashes = 1;
+  const SystemFactory factory = make_system_factory(spec, budgets);
+  SwarmConfig cfg;
+  cfg.seed = 7;
+  cfg.runs = 32;
+  cfg.max_steps = 200;
+  const auto a = swarm(factory, cfg);
+  const auto b = swarm(factory, cfg);
+  EXPECT_FALSE(a.violation.has_value());
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.runs, b.runs);
+}
+
+TEST(Swarm, FindsTheSeededPaxosMutant) {
+  const MutantCase mutant = paxos_mutant();
+  const SystemFactory factory = make_system_factory(mutant.spec, {});
+  SwarmConfig cfg;
+  cfg.seed = 1;
+  cfg.runs = 512;
+  cfg.max_steps = 128;
+  const auto res = swarm(factory, cfg);
+  ASSERT_TRUE(res.violation.has_value());
+  EXPECT_EQ(res.violation->invariant, "agreement");
+  EXPECT_FALSE(res.trace.empty());
+}
+
+// --- abcast systems ---
+
+TEST(AbcastSystem, SwarmKeepsUniformTotalOrder) {
+  ScenarioSpec spec;
+  spec.kind = "abcast";
+  spec.protocol = "c-l";
+  spec.group = GroupParams{4, 1};
+  spec.submissions = {{0, "alpha"}, {1, "beta"}};
+  const SystemFactory factory = make_system_factory(spec, {});
+  SwarmConfig cfg;
+  cfg.seed = 3;
+  cfg.runs = 24;
+  cfg.max_steps = 300;
+  const auto res = swarm(factory, cfg);
+  EXPECT_FALSE(res.violation.has_value());
+  EXPECT_GT(res.transitions, 0u);
+}
+
+// --- committed golden fixtures ---
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void check_fixture(const std::string& name) {
+  const std::string bytes = read_file(std::string(CHECK_FIXTURE_DIR) + "/" +
+                                      name);
+  ASSERT_FALSE(bytes.empty());
+  std::string error;
+  const auto file = parse_replay(bytes, &error);
+  ASSERT_TRUE(file.has_value()) << error;
+  // Canonical on disk: regenerate or fail, never hand-edit.
+  EXPECT_EQ(serialize_replay(*file), bytes);
+  EXPECT_EQ(file->violation, "agreement");
+  const auto replayed =
+      replay_strict(make_system_factory(file->spec, {}), file->trace);
+  ASSERT_TRUE(replayed.has_value()) << "fixture trace no longer strict";
+  ASSERT_TRUE(replayed->violation.has_value());
+  EXPECT_EQ(replayed->violation->invariant, file->violation);
+}
+
+TEST(Fixtures, PSkipOneStepQuorumStillReproduces) {
+  check_fixture("p_skip_one_step_quorum.replay");
+}
+
+TEST(Fixtures, PaxosIgnoreAcceptedStillReproduces) {
+  check_fixture("paxos_ignore_accepted.replay");
+}
+
+}  // namespace
+}  // namespace zdc::check

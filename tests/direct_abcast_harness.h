@@ -1,191 +1,15 @@
 // Direct-drive harness for atomic-broadcast protocols: like DirectNet for
-// consensus, but with the oracle channel and per-process delivery histories —
-// the tests control exactly which transport message or oracle datagram
-// arrives where and when.
+// consensus, but with the oracle channel and per-process delivery histories.
+//
+// The implementation moved to src/check/direct_abcast_net.h so the
+// schedule-space model checker (src/check) can drive the same harness; this
+// header keeps the historical zdc::testing spelling for the test suites.
 #pragma once
 
-#include <deque>
-#include <functional>
-#include <map>
-#include <memory>
-#include <string>
-#include <utility>
-#include <vector>
-
-#include "abcast/abcast.h"
-#include "common/types.h"
-#include "fd/failure_detector.h"
+#include "check/direct_abcast_net.h"
 
 namespace zdc::testing {
 
-class DirectAbcastNet {
- public:
-  struct Fd {
-    struct Omega final : fd::OmegaView {
-      [[nodiscard]] ProcessId leader() const override { return value; }
-      ProcessId value = 0;
-    };
-    struct Suspects final : fd::SuspectView {
-      [[nodiscard]] bool suspects(ProcessId p) const override {
-        return p < flags.size() && flags[p];
-      }
-      std::vector<bool> flags;
-    };
-    Omega omega;
-    Suspects suspects;
-  };
-
-  using Factory = std::function<std::unique_ptr<abcast::AtomicBroadcast>(
-      ProcessId self, GroupParams group, abcast::AbcastHost& host,
-      const fd::OmegaView& omega, const fd::SuspectView& suspects)>;
-
-  DirectAbcastNet(GroupParams group, const Factory& factory) : group_(group) {
-    fds_.resize(group.n);
-    hosts_.reserve(group.n);
-    delivered_.resize(group.n);
-    for (ProcessId p = 0; p < group.n; ++p) {
-      fds_[p] = std::make_unique<Fd>();
-      fds_[p]->suspects.flags.assign(group.n, false);
-      hosts_.push_back(std::make_unique<Host>(*this, p));
-    }
-    for (ProcessId p = 0; p < group.n; ++p) {
-      protocols_.push_back(factory(p, group, *hosts_[p], fds_[p]->omega,
-                                   fds_[p]->suspects));
-    }
-  }
-
-  abcast::AtomicBroadcast& protocol(ProcessId p) { return *protocols_[p]; }
-  Fd& fd(ProcessId p) { return *fds_[p]; }
-  void set_leader_everywhere(ProcessId leader) {
-    for (auto& fd : fds_) fd->omega.value = leader;
-  }
-  void notify_fd_change_all() {
-    for (ProcessId p = 0; p < group_.n; ++p) {
-      if (!crashed_[p]) protocols_[p]->on_fd_change();
-    }
-  }
-
-  abcast::MsgId a_broadcast(ProcessId p, std::string payload) {
-    return protocols_[p]->a_broadcast(std::move(payload));
-  }
-
-  /// Delivery history at process p, in a-deliver order.
-  [[nodiscard]] const std::vector<abcast::AppMessage>& delivered(
-      ProcessId p) const {
-    return delivered_[p];
-  }
-
-  [[nodiscard]] std::size_t pending(ProcessId from, ProcessId to) const {
-    const auto it = edges_.find({from, to});
-    return it == edges_.end() ? 0 : it->second.size();
-  }
-
-  bool deliver_one(ProcessId from, ProcessId to) {
-    const auto it = edges_.find({from, to});
-    if (it == edges_.end() || it->second.empty()) return false;
-    std::string bytes = std::move(it->second.front());
-    it->second.pop_front();
-    if (!crashed_[to]) protocols_[to]->on_message(from, bytes);
-    return true;
-  }
-
-  /// Takes the oldest oracle datagram of `from` and delivers it to every
-  /// process (spontaneous order), or only to `targets` if given. A partial
-  /// delivery re-queues the datagram at the back: the WAB oracle's Validity
-  /// property promises *eventual* delivery to every correct process, so an
-  /// adversary may delay and reorder oracle traffic but not destroy it
-  /// (duplicates are fine — Uniform Integrity is the receiver's problem and
-  /// every consumer in this codebase is idempotent).
-  bool deliver_wab(ProcessId from,
-                   const std::vector<ProcessId>* targets = nullptr) {
-    const auto it = wab_out_.find(from);
-    if (it == wab_out_.end() || it->second.empty()) return false;
-    auto datagram = it->second.front();
-    it->second.pop_front();
-    for (ProcessId to = 0; to < group_.n; ++to) {
-      if (targets != nullptr &&
-          std::find(targets->begin(), targets->end(), to) == targets->end()) {
-        continue;
-      }
-      if (!crashed_[to]) {
-        protocols_[to]->on_w_deliver(datagram.first, from, datagram.second);
-      }
-    }
-    if (targets != nullptr) it->second.push_back(std::move(datagram));
-    return true;
-  }
-
-  [[nodiscard]] std::size_t pending_wab(ProcessId from) const {
-    const auto it = wab_out_.find(from);
-    return it == wab_out_.end() ? 0 : it->second.size();
-  }
-
-  /// Drains transport edges and oracle datagrams until quiescent.
-  void settle() {
-    bool progressed = true;
-    while (progressed) {
-      progressed = false;
-      for (ProcessId from = 0; from < group_.n; ++from) {
-        while (deliver_wab(from)) progressed = true;
-        for (ProcessId to = 0; to < group_.n; ++to) {
-          if (deliver_one(from, to)) progressed = true;
-        }
-      }
-    }
-  }
-
-  void crash(ProcessId p) { crashed_[p] = true; }
-  void drop_edge(ProcessId from, ProcessId to) { edges_.erase({from, to}); }
-
-  /// Pairwise prefix consistency of the delivery histories (Total Order).
-  [[nodiscard]] bool total_order_ok() const {
-    for (ProcessId a = 0; a < group_.n; ++a) {
-      for (ProcessId b = a + 1; b < group_.n; ++b) {
-        const auto& ha = delivered_[a];
-        const auto& hb = delivered_[b];
-        const std::size_t len = std::min(ha.size(), hb.size());
-        for (std::size_t i = 0; i < len; ++i) {
-          if (!(ha[i] == hb[i])) return false;
-        }
-      }
-    }
-    return true;
-  }
-
- private:
-  struct Host final : abcast::AbcastHost {
-    Host(DirectAbcastNet& net, ProcessId self) : net_(net), self_(self) {}
-    void send(ProcessId to, std::string bytes) override {
-      if (!net_.crashed_[self_]) {
-        net_.edges_[{self_, to}].push_back(std::move(bytes));
-      }
-    }
-    void broadcast(std::string bytes) override {
-      if (net_.crashed_[self_]) return;
-      for (ProcessId to = 0; to < net_.group_.n; ++to) {
-        net_.edges_[{self_, to}].push_back(bytes);
-      }
-    }
-    void w_broadcast(InstanceId k, std::string payload) override {
-      if (!net_.crashed_[self_]) {
-        net_.wab_out_[self_].emplace_back(k, std::move(payload));
-      }
-    }
-    void a_deliver(const abcast::AppMessage& m) override {
-      net_.delivered_[self_].push_back(m);
-    }
-    DirectAbcastNet& net_;
-    ProcessId self_;
-  };
-
-  GroupParams group_;
-  std::vector<std::unique_ptr<Fd>> fds_;
-  std::vector<std::unique_ptr<Host>> hosts_;
-  std::vector<std::unique_ptr<abcast::AtomicBroadcast>> protocols_;
-  std::vector<std::vector<abcast::AppMessage>> delivered_;
-  std::map<std::pair<ProcessId, ProcessId>, std::deque<std::string>> edges_;
-  std::map<ProcessId, std::deque<std::pair<InstanceId, std::string>>> wab_out_;
-  std::map<ProcessId, bool> crashed_;
-};
+using DirectAbcastNet = check::DirectAbcastNet;
 
 }  // namespace zdc::testing

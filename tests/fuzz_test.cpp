@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariants.h"
 #include "common/rng.h"
 #include "direct_abcast_harness.h"
 #include "direct_harness.h"
@@ -194,6 +195,48 @@ TEST(HarnessSelfTest, TotalOrderCheckerCatchesBrokenProtocol) {
   net.settle();
   EXPECT_FALSE(net.total_order_ok())
       << "a broken protocol must be caught by the checker";
+  // The shared invariant library (check/invariants.h) must agree with the
+  // harness's built-in probe on the same histories.
+  EXPECT_TRUE(check::check_abcast(net.histories(), net.submitted()).has_value())
+      << "check_abcast missed a violation total_order_ok() caught";
+}
+
+TEST(HarnessSelfTest, StepBoundCheckersRejectFabricatedThreeStepRun) {
+  // Fabricated observation of a "stable" unanimous run in which p0 took 3
+  // communication steps to a round-path decision. No real protocol produced
+  // it — the point is that the one-step checker (Definition 1: exactly 1
+  // step on equal proposals) and the zero-degradation checker (Definition 2:
+  // at most 2 steps in a stable run) must both flag it, for every protocol
+  // that makes the corresponding claim.
+  check::ConsensusObs obs;
+  obs.group = kGroup;
+  obs.proposals = {"v", "v", "v", "v"};
+  obs.procs.resize(4);
+  for (auto& p : obs.procs) p.proposed = true;
+  obs.procs[0].decided = true;
+  obs.procs[0].decision = "v";
+  obs.procs[0].steps = 3;
+  obs.procs[0].path = consensus::DecisionPath::kRound;
+  obs.procs[0].decision_deliveries = 1;
+  obs.stable = true;
+
+  for (const char* protocol : {"l", "p"}) {
+    const check::StepBounds bounds = check::step_bounds_for(protocol);
+    const auto one_step = check::check_one_step(obs, bounds);
+    ASSERT_TRUE(one_step.has_value())
+        << protocol << ": a checker that can't fail is not a checker";
+    EXPECT_EQ(one_step->invariant, "one-step") << protocol;
+    const auto zero_degradation = check::check_zero_degradation(obs, bounds);
+    ASSERT_TRUE(zero_degradation.has_value()) << protocol;
+    EXPECT_EQ(zero_degradation->invariant, "zero-degradation") << protocol;
+  }
+  // Paxos claims zero-degradation but not one-step: 3 steps still violates
+  // the former, and a legitimate 2-step decision violates nothing.
+  const check::StepBounds paxos = check::step_bounds_for("paxos");
+  EXPECT_FALSE(check::check_one_step(obs, paxos).has_value());
+  EXPECT_TRUE(check::check_zero_degradation(obs, paxos).has_value());
+  obs.procs[0].steps = 2;
+  EXPECT_FALSE(check::check_zero_degradation(obs, paxos).has_value());
 }
 
 }  // namespace

@@ -26,6 +26,7 @@
 #include "sim/abcast_world.h"
 #include "sim/consensus_world.h"
 #include "sim/trace.h"
+#include "test_sync.h"
 
 namespace zdc {
 namespace {
@@ -385,11 +386,18 @@ TEST(RuntimeNemesis, InprocPartitionBlocksThenHealDecides) {
   for (ProcessId p = 0; p < 4; ++p) {
     runner.propose(p, "v" + std::to_string(p));
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(150));
-  for (ProcessId p = 0; p < 4; ++p) {
-    EXPECT_FALSE(runner.decided(p))
-        << "p" << p << " decided across a majority-less partition";
-  }
+  // Watch the whole window instead of sleeping through it: a decision that
+  // appears at any point during the partition is a violation, even one a
+  // later state change would mask.
+  EXPECT_FALSE(testing::ever_within(
+      [&] {
+        for (ProcessId p = 0; p < 4; ++p) {
+          if (runner.decided(p)) return true;
+        }
+        return false;
+      },
+      std::chrono::milliseconds(150)))
+      << "a process decided across a majority-less partition";
 
   fault::FaultPlan healPlan;
   ASSERT_TRUE(fault::parse_fault_plan("@0 heal", &healPlan, &err)) << err;
@@ -486,11 +494,15 @@ TEST(RuntimeNemesis, InprocPauseCausesFalseSuspicionAndRecovers) {
   runtime::NemesisDriver driver(net, plan);
 
   std::thread nemesis([&driver] { driver.run(); });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Proposals must not race the pause: wait until the link policy really
+  // shows p0 paused rather than guessing a sleep long enough. (Assert only
+  // after joining — bailing out with a live thread would terminate.)
+  const bool paused = testing::poll_until([&] { return net.links().paused(0); });
   for (ProcessId p = 0; p < 3; ++p) {
     runner.propose(p, "q" + std::to_string(p));
   }
   nemesis.join();
+  ASSERT_TRUE(paused) << "nemesis never applied the pause";
 
   ASSERT_TRUE(runner.wait_decided({0, 1, 2}, 15000.0));
   EXPECT_FALSE(runner.agreement_violated());

@@ -21,6 +21,7 @@
 #include "runtime/consensus_runner.h"
 #include "runtime/inproc_net.h"
 #include "sim/consensus_world.h"
+#include "test_sync.h"
 
 namespace zdc::sim {
 namespace {
@@ -198,11 +199,19 @@ TEST(RecoveringPaxosRuntime, AcceptorBounceOnRealThreadsStaysSafe) {
   for (ProcessId p = 0; p < 3; ++p) {
     runner.propose(p, "r" + std::to_string(p));
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  // The bounce must land mid-run: wait for evidence the ballot is moving (a
+  // write-ahead sync at the target acceptor) instead of sleeping a fixed
+  // pre-crash interval and hoping the schedule cooperates.
+  testing::poll_until(
+      [&] { return runner.storage(1).sync_count() > 0 || runner.decided(0); });
   runner.crash(1);  // an acceptor bounces mid-run
   ASSERT_TRUE(runner.wait_decided({0, 2}, 15000.0));
   runner.restart(1);
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // The restarted acceptor may or may not learn the decision (the stable
+  // leader never needs it again): a bounded catch-up window, ending early
+  // the moment it does decide.
+  testing::poll_until([&] { return runner.decided(1); },
+                      std::chrono::milliseconds(100));
 
   // The restarted acceptor may stay undecided (the stable leader never needs
   // it again) but safety must hold across its incarnations.
@@ -220,7 +229,10 @@ TEST(RecoveringPaxosRuntime, LeaderBounceOnRealThreadsRejoinsAndDecides) {
   for (ProcessId p = 0; p < 3; ++p) {
     runner.propose(p, "s" + std::to_string(p));
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  // Let the leader drive ballot 0 into the write-ahead log before killing
+  // it, so the restart really has promises to reload.
+  testing::poll_until(
+      [&] { return runner.storage(0).sync_count() > 0 || runner.decided(1); });
   runner.crash(0);
   // The survivors suspect the dead leader and decide without it.
   ASSERT_TRUE(runner.wait_decided({1, 2}, 15000.0));

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariants.h"
 #include "common/rng.h"
 #include "consensus/brasileiro.h"
 #include "consensus/chandra_toueg.h"
@@ -84,6 +85,26 @@ void deliver_oracle(DirectAbcastNet& net, ProcessId from,
   net.deliver_wab(from, targets);
 }
 
+/// Snapshot of the direct-drive net in the shared invariant library's terms.
+/// Random (possibly wrong) FD outputs mean no stability claim, so only the
+/// safety invariants (agreement/validity/integrity) apply — exactly what an
+/// adversarial-schedule run is allowed to promise.
+check::ConsensusObs observe(const DirectNet& net,
+                            const std::vector<Value>& proposals) {
+  check::ConsensusObs obs;
+  obs.group = net.group();
+  obs.proposals = proposals;
+  obs.procs.resize(net.group().n);
+  for (ProcessId p = 0; p < net.group().n; ++p) {
+    obs.procs[p].proposed = true;
+    obs.procs[p].decided = net.decided(p);
+    if (net.decided(p)) obs.procs[p].decision = net.decision(p);
+    obs.procs[p].decision_deliveries = net.decision_deliveries(p);
+  }
+  obs.stable = false;
+  return obs;
+}
+
 struct NamedFactory {
   const char* name;
   DirectNet::Factory factory;
@@ -141,24 +162,21 @@ TEST(ScheduleFuzz, ConsensusSafetyUnderArbitraryInterleavings) {
           net.fd(p).suspects.flags[q] = (q != p) && rng.chance(0.2);
         }
       }
+      std::vector<Value> proposals(4);
       for (ProcessId p = 0; p < 4; ++p) {
-        net.propose(p, values[rng.next_below(values.size())]);
+        proposals[p] = values[rng.next_below(values.size())];
+        net.propose(p, proposals[p]);
       }
 
       // Adversarial phase: bounded random steps.
       for (int step = 0; step < 400; ++step) {
         if (!random_step(net, rng, 4)) break;
       }
-      // Safety check mid-flight.
-      const Value* seen = nullptr;
-      for (ProcessId p = 0; p < 4; ++p) {
-        if (!net.decided(p)) continue;
-        if (seen == nullptr) {
-          seen = &net.decision(p);
-        } else {
-          ASSERT_EQ(net.decision(p), *seen)
-              << nf.name << " agreement violated, seed " << seed;
-        }
+      // Safety check mid-flight, via the shared invariant library: the same
+      // agreement/validity/integrity predicates the model checker applies.
+      if (const auto v = check::check_consensus(observe(net, proposals), {})) {
+        FAIL() << nf.name << " seed " << seed << ": " << v->invariant << " — "
+               << v->detail;
       }
 
       // Stabilization: consistent correct FD everywhere, then drain fully
@@ -180,13 +198,10 @@ TEST(ScheduleFuzz, ConsensusSafetyUnderArbitraryInterleavings) {
         ASSERT_TRUE(net.decided(p))
             << nf.name << " did not terminate after stabilization, seed "
             << seed;
-        ASSERT_EQ(net.decision(p), net.decision(0)) << nf.name;
-        // Validity.
-        bool valid = false;
-        for (const auto& v : values) {
-          if (net.decision(p) == v) valid = true;
-        }
-        ASSERT_TRUE(valid) << nf.name << " decided a non-proposed value";
+      }
+      if (const auto v = check::check_consensus(observe(net, proposals), {})) {
+        FAIL() << nf.name << " seed " << seed << ": " << v->invariant << " — "
+               << v->detail;
       }
     }
   }
@@ -239,7 +254,13 @@ TEST(ScheduleFuzz, AbcastSafetyUnderArbitraryInterleavings) {
         ++submitted;
       }
       net.settle();
-      ASSERT_TRUE(net.total_order_ok()) << name << " seed " << seed;
+      // Full uniform-abcast invariant set: total order, no duplicates, and
+      // no created messages (every delivered id was really a-broadcast).
+      if (const auto v = check::check_abcast(net.histories(),
+                                             net.submitted())) {
+        FAIL() << name << " seed " << seed << ": " << v->invariant << " — "
+               << v->detail;
+      }
       for (ProcessId p = 0; p < 4; ++p) {
         ASSERT_EQ(net.delivered(p).size(), 10u)
             << name << " p" << p << " seed " << seed;

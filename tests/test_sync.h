@@ -1,0 +1,41 @@
+// Shared polling helpers for the threaded suites: wait on a *predicate* with
+// a deadline instead of sleeping a fixed interval. A bare sleep_for is a bet
+// against the scheduler — too short flakes under sanitizers and on loaded
+// CI, too long pads every run. These helpers poll, so a healthy run moves on
+// at the first true poll and the (generous) deadline only bounds failure.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+namespace zdc::testing {
+
+/// Polls `done` (~1ms apart) until it returns true or `timeout` expires;
+/// returns the predicate's final value. Pick a timeout far above the
+/// expected wait — it is a failure bound, not a pace.
+template <typename Predicate>
+bool poll_until(Predicate&& done, std::chrono::milliseconds timeout =
+                                      std::chrono::milliseconds(15000)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    if (done()) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return done();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+/// Negative-condition window: polls for the whole `window` and reports
+/// whether `event` ever held. Equivalent to sleeping the window and checking
+/// once at the end — except the violation is caught at the poll where it
+/// happens, not masked by later state changes.
+template <typename Predicate>
+bool ever_within(Predicate&& event, std::chrono::milliseconds window) {
+  const auto deadline = std::chrono::steady_clock::now() + window;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (event()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return event();
+}
+
+}  // namespace zdc::testing

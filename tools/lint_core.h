@@ -54,11 +54,13 @@ struct RunConfig {
   /// Directories whose sources additionally get the determinism rules.
   /// src/obs is included: the metrics registry must stay deterministic (the
   /// byte-identical-snapshot contract); only the runtime trace recorder reads
-  /// a wall clock, behind an explicit allow marker.
+  /// a wall clock, behind an explicit allow marker. src/check is included
+  /// because replay-file byte-identity rests on the checker itself being
+  /// deterministic (swarm randomness goes through the seeded common::Rng).
   std::vector<std::string> det_dirs = {"src/sim",     "src/consensus",
                                        "src/abcast",  "src/wab",
                                        "src/core",    "src/fd",
-                                       "src/obs"};
+                                       "src/obs",     "src/check"};
 };
 
 /// Walks the configured directories (sorted, so output order is stable) and

@@ -1,0 +1,352 @@
+// zdc_check — schedule-space model checker CLI (src/check).
+//
+//   zdc_check explore --protocol p --n 4 --f 1 --proposals a,a,a,a
+//             [--crashes K --leader-flips K --suspect-flips K]
+//             [--max-depth D --max-transitions T] [--out FILE]
+//   zdc_check swarm   --protocol paxos --n 3 --f 1 --proposals x,y,z
+//             --omega 0,0,2 [--seed S --runs R --max-steps K] [--out FILE]
+//   zdc_check repro   tests/check_fixtures/paxos_ignore_accepted.replay
+//
+// explore exhausts the (bounded) schedule space by DFS with sleep-set
+// reduction; swarm runs seeded random schedules. Both stop at the first
+// invariant violation, minimize the trace with the delta-debugging shrinker
+// and — with --out — write a replay file. repro re-runs a replay file after
+// verifying it is byte-identically canonical. Exit codes: 0 = no violation
+// (or successful repro), 1 = violation found (or failed repro), 2 = usage.
+//
+// Run with --help for the full flag reference; docs/CHECKING.md has the
+// choice-point model and the replay grammar.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/explorer.h"
+#include "check/replay.h"
+#include "check/shrink.h"
+#include "check/system.h"
+
+namespace {
+
+using namespace zdc;
+
+struct Flags {
+  std::map<std::string, std::string> values;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double num(const std::string& key, double fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : std::atof(it->second.c_str());
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values.count(key) != 0;
+  }
+};
+
+Flags parse_flags(int argc, char** argv, int first) {
+  // Every flag any mode reads; a typo'd flag silently falling back to its
+  // default would make a checking run lie about what it covered.
+  static const std::set<std::string> kKnown = {
+      "crashes",     "f",           "kind",        "leader-flips",
+      "max-depth",   "max-steps",   "max-transitions", "mutant",
+      "n",           "no-sleep-sets", "omega",     "oracle-subsets",
+      "out",         "proposals",   "protocol",    "runs",
+      "seed",        "submissions", "suspect-flips"};
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    std::string key = eq == std::string::npos ? arg : arg.substr(0, eq);
+    if (kKnown.count(key) == 0) {
+      std::fprintf(stderr, "unknown flag --%s (see --help)\n", key.c_str());
+      std::exit(2);
+    }
+    if (eq != std::string::npos) {
+      flags.values[key] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      flags.values[key] = argv[++i];
+    } else {
+      flags.values[key] = "1";
+    }
+  }
+  return flags;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+check::ScenarioSpec parse_scenario(const Flags& flags) {
+  check::ScenarioSpec spec;
+  spec.kind = flags.get("kind", "consensus");
+  if (spec.kind != "consensus" && spec.kind != "abcast") {
+    std::fprintf(stderr, "--kind must be consensus or abcast\n");
+    std::exit(2);
+  }
+  spec.protocol = flags.get("protocol", spec.kind == "consensus" ? "l" : "c-l");
+  spec.mutant = flags.get("mutant", "");
+  spec.group.n = static_cast<std::uint32_t>(flags.num("n", 4));
+  spec.group.f = static_cast<std::uint32_t>(flags.num("f", 1));
+  if (spec.group.n == 0 || spec.group.n > 31 || spec.group.f >= spec.group.n) {
+    std::fprintf(stderr, "need 0 < n <= 31 and f < n\n");
+    std::exit(2);
+  }
+  if (spec.kind == "consensus") {
+    if (flags.has("proposals")) {
+      spec.proposals = split(flags.get("proposals", ""), ',');
+    } else {
+      for (ProcessId p = 0; p < spec.group.n; ++p) {
+        spec.proposals.push_back("v" + std::to_string(p));
+      }
+    }
+    if (spec.proposals.size() != spec.group.n) {
+      std::fprintf(stderr, "need exactly n=%u proposals\n", spec.group.n);
+      std::exit(2);
+    }
+  } else if (flags.has("submissions")) {
+    // --submissions 0:alpha,1:beta — sender:payload pairs.
+    for (const std::string& entry : split(flags.get("submissions", ""), ',')) {
+      const auto colon = entry.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "submission must be sender:payload\n");
+        std::exit(2);
+      }
+      const auto sender =
+          static_cast<ProcessId>(std::atoi(entry.substr(0, colon).c_str()));
+      if (sender >= spec.group.n) {
+        std::fprintf(stderr, "submission sender out of range\n");
+        std::exit(2);
+      }
+      spec.submissions.emplace_back(sender, entry.substr(colon + 1));
+    }
+  }
+  if (flags.has("omega")) {
+    for (const std::string& entry : split(flags.get("omega", ""), ',')) {
+      spec.omega.push_back(static_cast<ProcessId>(std::atoi(entry.c_str())));
+    }
+    if (spec.omega.size() != spec.group.n) {
+      std::fprintf(stderr, "need exactly n=%u omega entries\n", spec.group.n);
+      std::exit(2);
+    }
+    for (const ProcessId leader : spec.omega) {
+      if (leader >= spec.group.n) {
+        std::fprintf(stderr, "omega entries must name processes\n");
+        std::exit(2);
+      }
+    }
+  }
+  return spec;
+}
+
+check::AdversaryBudgets parse_budgets(const Flags& flags) {
+  check::AdversaryBudgets budgets;
+  budgets.crashes = static_cast<std::uint32_t>(flags.num("crashes", 0));
+  budgets.leader_flips =
+      static_cast<std::uint32_t>(flags.num("leader-flips", 0));
+  budgets.suspect_flips =
+      static_cast<std::uint32_t>(flags.num("suspect-flips", 0));
+  budgets.oracle_subsets = flags.has("oracle-subsets");
+  return budgets;
+}
+
+/// Minimizes the violating trace, prints the result and optionally writes
+/// the replay file. Returns the process exit code (always 1: a violation).
+int report_violation(const check::ScenarioSpec& spec,
+                     const check::SystemFactory& factory,
+                     const check::Violation& violation,
+                     const std::vector<check::Choice>& trace,
+                     const Flags& flags) {
+  std::printf("VIOLATION: %s — %s\n", violation.invariant.c_str(),
+              violation.detail.c_str());
+  std::printf("  trace (%zu choices): %s\n", trace.size(),
+              check::format_trace(trace).c_str());
+  check::ShrinkResult shrunk =
+      check::shrink(factory, trace, violation.invariant);
+  std::printf("  shrunk to %zu choices in %llu replays: %s\n",
+              shrunk.trace.size(),
+              static_cast<unsigned long long>(shrunk.replays),
+              check::format_trace(shrunk.trace).c_str());
+  std::printf("  minimized detail: %s\n", shrunk.violation.detail.c_str());
+  if (flags.has("out")) {
+    check::ReplayFile file;
+    file.spec = spec;
+    // Replay files pin the *explicit* initial omega even when the scenario
+    // used the all-trust-p0 default, so a fixture is self-describing.
+    if (file.spec.omega.empty()) {
+      file.spec.omega.assign(spec.group.n, 0);
+    }
+    file.violation = shrunk.violation.invariant;
+    file.trace = shrunk.trace;
+    const std::string path = flags.get("out", "");
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+      return 2;
+    }
+    out << check::serialize_replay(file);
+    std::printf("  replay file written to %s\n", path.c_str());
+  }
+  return 1;
+}
+
+int run_explore(const Flags& flags) {
+  const check::ScenarioSpec spec = parse_scenario(flags);
+  const check::AdversaryBudgets budgets = parse_budgets(flags);
+  const check::SystemFactory factory =
+      check::make_system_factory(spec, budgets);
+  check::ExploreConfig cfg;
+  cfg.max_depth = static_cast<std::uint32_t>(flags.num("max-depth", 0));
+  cfg.max_transitions =
+      static_cast<std::uint64_t>(flags.num("max-transitions", 0));
+  cfg.sleep_sets = !flags.has("no-sleep-sets");
+  const check::ExploreResult res = check::explore(factory, cfg);
+  std::printf(
+      "explore %s/%s n=%u f=%u: %llu transitions, %llu paths, "
+      "%llu depth cutoffs, %s\n",
+      spec.kind.c_str(), spec.protocol.c_str(), spec.group.n, spec.group.f,
+      static_cast<unsigned long long>(res.transitions),
+      static_cast<unsigned long long>(res.paths),
+      static_cast<unsigned long long>(res.depth_cutoffs),
+      res.violation ? "stopped at first violation"
+                    : (res.complete ? "space exhausted"
+                                    : "budget exhausted (INCOMPLETE)"));
+  if (!res.violation) {
+    std::printf("no violation\n");
+    return 0;
+  }
+  return report_violation(spec, factory, *res.violation, res.trace, flags);
+}
+
+int run_swarm(const Flags& flags) {
+  const check::ScenarioSpec spec = parse_scenario(flags);
+  const check::AdversaryBudgets budgets = parse_budgets(flags);
+  const check::SystemFactory factory =
+      check::make_system_factory(spec, budgets);
+  check::SwarmConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(flags.num("seed", 1));
+  cfg.runs = static_cast<std::uint32_t>(flags.num("runs", 256));
+  cfg.max_steps = static_cast<std::uint32_t>(flags.num("max-steps", 512));
+  const check::SwarmResult res = check::swarm(factory, cfg);
+  std::printf("swarm %s/%s n=%u f=%u seed=%llu: %llu runs, %llu transitions\n",
+              spec.kind.c_str(), spec.protocol.c_str(), spec.group.n,
+              spec.group.f, static_cast<unsigned long long>(cfg.seed),
+              static_cast<unsigned long long>(res.runs),
+              static_cast<unsigned long long>(res.transitions));
+  if (!res.violation) {
+    std::printf("no violation\n");
+    return 0;
+  }
+  std::printf("failing run: %u\n", res.failing_run);
+  return report_violation(spec, factory, *res.violation, res.trace, flags);
+}
+
+int run_repro(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: zdc_check repro FILE\n");
+    return 2;
+  }
+  const char* path = argv[2];
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open '%s'\n", path);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+  std::string error;
+  const auto file = check::parse_replay(bytes, &error);
+  if (!file) {
+    std::fprintf(stderr, "%s: parse error: %s\n", path, error.c_str());
+    return 2;
+  }
+  // Byte-identity: the file must be exactly what the serializer would write.
+  // This rejects hand-edited fixtures before they can drift from the traces
+  // they claim to pin.
+  if (check::serialize_replay(*file) != bytes) {
+    std::fprintf(stderr, "%s: not canonical (regenerate with --out)\n", path);
+    return 1;
+  }
+  const check::SystemFactory factory =
+      check::make_system_factory(file->spec, check::AdversaryBudgets{});
+  const auto outcome = check::replay_strict(factory, file->trace);
+  if (!outcome) {
+    std::fprintf(stderr,
+                 "%s: trace diverged (a recorded choice was disabled)\n",
+                 path);
+    return 1;
+  }
+  const std::string got =
+      outcome->violation ? outcome->violation->invariant : "";
+  if (got != file->violation) {
+    std::fprintf(stderr, "%s: expected violation \"%s\", got \"%s\"\n", path,
+                 file->violation.empty() ? "-" : file->violation.c_str(),
+                 got.empty() ? "-" : got.c_str());
+    return 1;
+  }
+  if (outcome->violation) {
+    std::printf("%s: reproduced %s — %s\n", path, got.c_str(),
+                outcome->violation->detail.c_str());
+  } else {
+    std::printf("%s: reproduced (no violation, as recorded)\n", path);
+  }
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "zdc_check — schedule-space model checker\n\n"
+      "modes:\n"
+      "  explore   bounded exhaustive DFS with sleep-set reduction\n"
+      "  swarm     seeded random schedules with per-seed budgets\n"
+      "  repro     re-run a replay file (byte-identity enforced)\n\n"
+      "scenario flags (explore, swarm):\n"
+      "  --kind K         consensus (default) | abcast\n"
+      "  --protocol P     consensus: l p paxos ... | abcast: c-l c-p ...\n"
+      "  --n N --f F      group size / tolerated crashes\n"
+      "  --proposals a,b  one per process (consensus)\n"
+      "  --submissions 0:x,1:y  scripted a_broadcasts (abcast)\n"
+      "  --omega 0,0,2    initial leader per process (default: all 0)\n"
+      "  --mutant M       skip-one-step-quorum (p) | ignore-accepted (paxos)\n\n"
+      "adversary budgets (bound the search space, default all 0):\n"
+      "  --crashes K --leader-flips K --suspect-flips K --oracle-subsets\n\n"
+      "explore flags:  --max-depth D  --max-transitions T  --no-sleep-sets\n"
+      "swarm flags:    --seed S  --runs R  --max-steps K\n"
+      "output:         --out FILE   write minimized replay on violation\n\n"
+      "exit codes: 0 no violation / repro ok, 1 violation / repro failed,\n"
+      "            2 usage error\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
+    usage();
+    return argc < 2 ? 2 : 0;
+  }
+  const std::string mode = argv[1];
+  if (mode == "repro") return run_repro(argc, argv);
+  const Flags flags = parse_flags(argc, argv, 2);
+  if (mode == "explore") return run_explore(flags);
+  if (mode == "swarm") return run_swarm(flags);
+  usage();
+  return 2;
+}
