@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Runs the hot-path perf-regression harness and emits machine-readable
-# BENCH_hotpath.json (schema documented in docs/PERF.md), then validates the
-# artifact against the schema with the bench's own --validate mode.
+# Runs a perf harness and emits its machine-readable JSON artifact, then
+# validates the artifact against the schema with the bench's own --validate
+# mode. Default harness is the hot path (BENCH_hotpath.json, docs/PERF.md);
+# --recovery runs the recovery/durable-storage harness instead
+# (BENCH_recovery.json, docs/STORAGE.md).
 #
 #   scripts/bench.sh                 # full sweep  -> BENCH_hotpath.json
+#   scripts/bench.sh --recovery      # storage cost -> BENCH_recovery.json
 #   scripts/bench.sh --quick         # tiny smoke sweep (the tier-1 ctest)
 #   scripts/bench.sh --out FILE      # write the JSON elsewhere
 #   BUILD_DIR=build-foo scripts/bench.sh   # use a different build tree
@@ -13,20 +16,32 @@ JOBS=$( (command -v nproc > /dev/null && nproc) || echo 4)
 BUILD_DIR=${BUILD_DIR:-build}
 
 QUICK=""
-OUT="BENCH_hotpath.json"
+TARGET="bench_hotpath"
+OUT=""
 while [ $# -gt 0 ]; do
   case "$1" in
     --quick) QUICK="--quick" ;;
+    --recovery) TARGET="bench_recovery" ;;
     --out) shift; OUT=$1 ;;
-    *) echo "usage: scripts/bench.sh [--quick] [--out FILE]" >&2; exit 2 ;;
+    *)
+      echo "usage: scripts/bench.sh [--recovery] [--quick] [--out FILE]" >&2
+      exit 2
+      ;;
   esac
   shift
 done
+if [ -z "$OUT" ]; then
+  if [ "$TARGET" = "bench_recovery" ]; then
+    OUT="BENCH_recovery.json"
+  else
+    OUT="BENCH_hotpath.json"
+  fi
+fi
 
-BIN="$BUILD_DIR/bench/bench_hotpath"
+BIN="$BUILD_DIR/bench/$TARGET"
 if [ ! -x "$BIN" ]; then
   cmake -B "$BUILD_DIR" -S . > /dev/null
-  cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_hotpath
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target "$TARGET"
 fi
 
 # shellcheck disable=SC2086  # QUICK is deliberately empty-or-one-flag

@@ -5,8 +5,11 @@
 # in its own build directory so the trees never mix).
 #
 #   scripts/check.sh                # static + plain + metrics + tsan + asan
+#                                   # + storage
 #   scripts/check.sh plain tsan     # just these suites
 #   scripts/check.sh metrics        # metrics-JSON schema + byte-identity
+#   scripts/check.sh storage        # durable-WAL suite under both sanitizers
+#                                   # + long fixed-seed WAL fuzz
 #   scripts/check.sh --static       # only the static stage
 #   scripts/check.sh --explore      # opt-in: slow-labelled deep exploration
 #                                   # (full schedule-space exhaustion, minutes)
@@ -63,6 +66,30 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
+# Storage stage: the durable-WAL suite (`ctest -L storage`) under both
+# sanitizers — lifetime bugs and races in the recovery path are exactly what
+# ASan/TSan have teeth for — plus a longer fixed-seed run of the WAL
+# write/kill/reopen fuzz in the plain tree (the tier-1 run uses the default
+# 64 rounds; this one does 512 at a pinned seed so failures reproduce).
+run_storage() {
+  local dir
+  for dir in build-tsan build-asan; do
+    local flag=-DZDC_SANITIZE=thread
+    [ "$dir" = build-asan ] && flag=-DZDC_SANITIZE=address
+    echo "=== storage: configure ($dir)"
+    cmake -B "$dir" -S . "$flag" > /dev/null
+    echo "=== storage: build ($dir)"
+    cmake --build "$dir" -j "$JOBS"
+    echo "=== storage: ctest -L storage ($dir)"
+    ctest --test-dir "$dir" --output-on-failure -L storage -j "$JOBS"
+  done
+  echo "=== storage: fixed-seed WAL fuzz (512 rounds, seed 7)"
+  cmake -B build -S . > /dev/null
+  cmake --build build -j "$JOBS" --target wal_test
+  ZDC_WAL_FUZZ_ROUNDS=512 ZDC_WAL_FUZZ_SEED=7 \
+    ./build/tests/wal_test --gtest_filter='WalFuzz.*'
+}
+
 # Explore stage: the slow-labelled deep-exploration tests — full bounded
 # schedule-space exhaustion for L/P/Paxos via the model checker (src/check).
 # Deliberately NOT part of the default set: minutes of wall time, and the
@@ -77,7 +104,7 @@ run_explore() {
   ctest --test-dir build-explore --output-on-failure -L slow -j "$JOBS"
 }
 
-suites=${*:-static plain metrics tsan asan}
+suites=${*:-static plain metrics tsan asan storage}
 for suite in $suites; do
   case "$suite" in
     static|--static) run_static ;;
@@ -85,11 +112,12 @@ for suite in $suites; do
     metrics) run_metrics ;;
     tsan)  run_suite tsan build-tsan -DZDC_SANITIZE=thread ;;
     asan)  run_suite asan build-asan -DZDC_SANITIZE=address ;;
+    storage) run_storage ;;
     explore|--explore) run_explore ;;
     # Opt-in (never part of the default set): refresh the perf baseline.
     bench) echo "=== bench: hot-path sweep"; scripts/bench.sh ;;
     *) echo "unknown suite '$suite'" \
-            "(static|plain|metrics|tsan|asan|explore|bench)" >&2
+            "(static|plain|metrics|tsan|asan|storage|explore|bench)" >&2
        exit 2 ;;
   esac
 done

@@ -135,6 +135,9 @@ bool AbcastSystem::apply(const Choice& c) {
       ++suspect_flips_used_;
       return true;
     }
+    // Crash-during-delivery needs storage-backed recovery; the abcast stack
+    // runs over volatile consensus instances, so the choice is never enabled.
+    case ChoiceKind::kCrashDeliver: return false;
   }
   return false;
 }

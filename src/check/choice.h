@@ -42,6 +42,25 @@ enum class ChoiceKind : std::uint8_t {
   /// submission table (and so not serialized) but needed so independence
   /// can see which process the submission touches.
   kSubmit = 6,
+  /// Deliver the oldest message on edge a→b with the *recipient dying* at a
+  /// scripted point inside the handler, then atomically rebooting from its
+  /// stable storage and re-proposing (crash-recovery protocols only; budget
+  /// crash_restarts). `mask` is the crash sub-point m:
+  ///   m=0  die on arrival: the message is consumed, the handler never runs
+  ///        (state-equivalent to dying mid-write — a torn or unsynced last
+  ///        record is truncated by WAL recovery, so "wrote a bit of it"
+  ///        recovers to "never wrote it"; m=1 is accepted in replays as an
+  ///        alias that exercises the revert path);
+  ///   m=1  die mid-write: handler runs, then every put it made is reverted
+  ///        and every send it emitted is dropped;
+  ///   m=2  die between write and send: puts survive (they were synced —
+  ///        the write-ahead order), sends are dropped;
+  ///   m=3  die after send: the full handler survives, then the process
+  ///        reboots.
+  /// The enumeration offers m ∈ {0, 2, 3}; see docs/CHECKING.md for the
+  /// soundness argument (why the crash must interleave *inside* the handler
+  /// rather than revert state between events).
+  kCrashDeliver = 7,
 };
 
 struct Choice {
@@ -57,7 +76,8 @@ struct Choice {
 ///   d<a>-<b>   deliver on edge a→b        o<a>       oracle broadcast from a
 ///   s<a>m<m>   oracle subset (hex mask)   c<a>       crash a
 ///   l<a>-<b>   a's leader := b            f<a>-<b>   a flips suspicion of b
-///   u<a>       submission #a
+///   u<a>       submission #a              k<a>-<b>m<m>  deliver a→b, b dies
+///                                                       at sub-point m
 inline std::string format_choice(const Choice& c) {
   switch (c.kind) {
     case ChoiceKind::kDeliver:
@@ -71,6 +91,9 @@ inline std::string format_choice(const Choice& c) {
     case ChoiceKind::kSuspectFlip:
       return "f" + std::to_string(c.a) + "-" + std::to_string(c.b);
     case ChoiceKind::kSubmit: return "u" + std::to_string(c.a);
+    case ChoiceKind::kCrashDeliver:
+      return "k" + std::to_string(c.a) + "-" + std::to_string(c.b) + "m" +
+             std::to_string(c.mask);
   }
   return "?";
 }
@@ -116,6 +139,23 @@ inline std::optional<Choice> parse_choice(const std::string& token) {
     case 'l': return pair(ChoiceKind::kLeaderFlip);
     case 'f': return pair(ChoiceKind::kSuspectFlip);
     case 'u': return single(ChoiceKind::kSubmit);
+    case 'k': {
+      const std::size_t dash = token.find('-');
+      const std::size_t m = token.find('m');
+      if (dash == std::string::npos || m == std::string::npos || m < dash) {
+        return std::nullopt;
+      }
+      const auto a = number(token, 1, dash);
+      const auto b = number(token, dash + 1, m);
+      const auto mode = number(token, m + 1, token.size());
+      if (!a || !b || !mode || *mode > 3) return std::nullopt;
+      Choice c;
+      c.kind = ChoiceKind::kCrashDeliver;
+      c.a = static_cast<ProcessId>(*a);
+      c.b = static_cast<ProcessId>(*b);
+      c.mask = static_cast<std::uint32_t>(*mode);
+      return c;
+    }
     case 's': {
       const std::size_t m = token.find('m');
       if (m == std::string::npos) return std::nullopt;
@@ -140,8 +180,11 @@ inline std::optional<Choice> parse_choice(const std::string& token) {
 /// deliveries with distinct recipients never race on a queue); a crash or FD
 /// flip touches the process whose participation/output changes; an oracle
 /// delivery touches every process at once and a submission touches its
-/// sender (which immediately broadcasts). See docs/CHECKING.md for the
-/// commutation argument.
+/// sender (which immediately broadcasts). A crash-delivery touches only its
+/// victim b by the same per-edge argument: the trims and re-sends it does
+/// all act on b's own state and b's outbound back-of-queue, which commutes
+/// with another process popping an older message off the front. See
+/// docs/CHECKING.md for the commutation argument.
 inline bool choices_independent(const Choice& x, const Choice& y) {
   const auto touches_all = [](const Choice& c) {
     return c.kind == ChoiceKind::kOracle ||
@@ -151,6 +194,7 @@ inline bool choices_independent(const Choice& x, const Choice& y) {
   const auto touched = [](const Choice& c) -> ProcessId {
     switch (c.kind) {
       case ChoiceKind::kDeliver:
+      case ChoiceKind::kCrashDeliver:
       case ChoiceKind::kSubmit: return c.b;
       case ChoiceKind::kCrash:
       case ChoiceKind::kLeaderFlip:

@@ -1,13 +1,71 @@
 #include "check/consensus_system.h"
 
+#include <map>
 #include <memory>
+#include <string>
 
 #include "common/assert.h"
+#include "common/stable_storage.h"
 #include "consensus/p_consensus.h"
 #include "consensus/paxos.h"
+#include "consensus/recovering_paxos.h"
 #include "sim/consensus_world.h"
 
 namespace zdc::check {
+
+/// Deterministic stable storage for protocols under check: a plain map with
+/// whole-state snapshot/restore. No mutex — the checker is single-threaded
+/// and the state must be copyable so kCrashDeliver can revert a dying
+/// handler's puts (m < 2: the write never became durable).
+class CheckStorage final : public common::StableStorage {
+ public:
+  void put(const std::string& key, std::string bytes) override {
+    data_[key] = std::move(bytes);
+    ++syncs_;
+  }
+  [[nodiscard]] std::optional<std::string> get(
+      const std::string& key) const override {
+    const auto it = data_.find(key);
+    if (it == data_.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] std::uint64_t sync_count() const override { return syncs_; }
+
+  [[nodiscard]] std::map<std::string, std::string> snapshot() const {
+    return data_;
+  }
+  void restore(std::map<std::string, std::string> data) {
+    data_ = std::move(data);
+  }
+
+ private:
+  std::map<std::string, std::string> data_;
+  std::uint64_t syncs_ = 0;
+};
+
+namespace {
+
+/// rec-paxos under check: protocols read/write per-process CheckStorage that
+/// outlives kCrashDeliver reboots. Fills `storages` (one per process) and
+/// returns a factory whose closure co-owns them, so replace_protocol()
+/// rebuilds an incarnation over the state its predecessor persisted.
+DirectNet::Factory storage_backed_factory(
+    GroupParams group, std::vector<std::shared_ptr<CheckStorage>>& storages) {
+  storages.clear();
+  storages.reserve(group.n);
+  for (ProcessId p = 0; p < group.n; ++p) {
+    storages.push_back(std::make_shared<CheckStorage>());
+  }
+  auto shared = storages;
+  return [shared](ProcessId self, GroupParams g,
+                  consensus::ConsensusHost& host, const fd::OmegaView& omega,
+                  const fd::SuspectView&) {
+    return std::make_unique<consensus::RecoveringPaxosConsensus>(
+        self, g, host, omega, *shared[self]);
+  };
+}
+
+}  // namespace
 
 DirectNet::Factory consensus_net_factory(const ScenarioSpec& spec) {
   if (spec.mutant.empty()) {
@@ -44,9 +102,13 @@ ConsensusSystem::ConsensusSystem(const ScenarioSpec& spec,
     : spec_(spec),
       budgets_(budgets),
       bounds_(step_bounds_for(spec.protocol)),
-      net_(spec.group, consensus_net_factory(spec)) {
+      factory_(spec.protocol == "rec-paxos" && spec.mutant.empty()
+                   ? storage_backed_factory(spec.group, storages_)
+                   : consensus_net_factory(spec)),
+      net_(spec.group, factory_) {
   ZDC_ASSERT_MSG(spec_.proposals.size() == spec_.group.n,
                  "need one proposal per process");
+  base_deliveries_.assign(spec_.group.n, 0);
   // Pin the initial FD outputs *before* any proposal: protocols read their
   // views in start() (Paxos checks who leads).
   for (ProcessId p = 0; p < spec_.group.n; ++p) {
@@ -102,6 +164,21 @@ std::vector<Choice> ConsensusSystem::enabled() const {
   if (crashes_used_ < crash_cap) {
     for (ProcessId p = 0; p < n; ++p) {
       if (!net_.crashed(p)) out.push_back(Choice{ChoiceKind::kCrash, p, 0, 0});
+    }
+  }
+  // Crash-during-delivery: only offered for storage-backed protocols (the
+  // rebooted incarnation needs durable state to recover from). m=1
+  // (mid-write) is not offered: an unsynced torn write is truncated by WAL
+  // recovery, so its post-state is identical to m=0 — replay still accepts
+  // m=1 as an alias that exercises the revert path.
+  if (!storages_.empty() && crash_restarts_used_ < budgets_.crash_restarts) {
+    for (ProcessId from = 0; from < n; ++from) {
+      for (ProcessId to = 0; to < n; ++to) {
+        if (net_.pending(from, to) == 0 || !delivery_matters(to)) continue;
+        for (std::uint32_t m : {0u, 2u, 3u}) {
+          out.push_back(Choice{ChoiceKind::kCrashDeliver, from, to, m});
+        }
+      }
     }
   }
   if (leader_flips_used_ < budgets_.leader_flips) {
@@ -167,6 +244,61 @@ bool ConsensusSystem::apply(const Choice& c) {
       stable_ = false;
       return true;
     }
+    case ChoiceKind::kCrashDeliver: {
+      // b dies while receiving the next a→b message, then reboots from
+      // stable storage and re-proposes. Sub-point c.mask: 0 = on arrival
+      // (handler never ran, message consumed), 1 = mid-write (handler ran,
+      // puts reverted, sends dropped — state-equal to 0, replay alias only),
+      // 2 = between write and send (puts kept, sends dropped), 3 = after
+      // send (everything kept, only the incarnation's volatile state dies).
+      // Budgets gate enabled(), not apply() — replay files must re-apply
+      // recorded crash restarts under the default (all-zero) budgets.
+      if (storages_.empty() || c.a >= n || c.b >= n || c.mask > 3) {
+        return false;
+      }
+      if (net_.pending(c.a, c.b) == 0 || !delivery_matters(c.b)) return false;
+      const bool run_handler = c.mask != 0;
+      const bool keep_puts = c.mask >= 2;
+      const bool keep_sends = c.mask == 3;
+      const bool decided_before = net_.protocol(c.b).decided();
+      const Value decision_before =
+          decided_before ? net_.protocol(c.b).decision() : Value{};
+      std::map<std::string, std::string> storage_before;
+      if (run_handler && !keep_puts) {
+        storage_before = storages_[c.b]->snapshot();
+      }
+      std::vector<std::size_t> out_before;
+      if (run_handler && !keep_sends) out_before = net_.out_sizes(c.b);
+      const std::uint32_t deliveries_before = net_.decision_deliveries(c.b);
+      if (run_handler) {
+        net_.deliver_one(c.a, c.b);
+      } else {
+        net_.drop_one(c.a, c.b);
+      }
+      if (run_handler && !keep_puts) {
+        storages_[c.b]->restore(std::move(storage_before));
+      }
+      if (!keep_sends) {
+        if (run_handler) net_.trim_out(c.b, out_before);
+        // The dying handler's own deliver_decision never reached the
+        // application either; rewind it with the sends.
+        net_.set_decision_deliveries(c.b, deliveries_before);
+      }
+      // A decision that escaped to the application before the crash binds
+      // every later incarnation (Uniform Agreement / Validity quantify over
+      // it). For m<3 that is anything decided before this event; at m=3 the
+      // handler's own decision escaped too.
+      if (keep_sends ? net_.protocol(c.b).decided() : decided_before) {
+        prior_decisions_.emplace(c.b, keep_sends ? net_.protocol(c.b).decision()
+                                                 : decision_before);
+      }
+      base_deliveries_[c.b] = net_.decision_deliveries(c.b);
+      net_.replace_protocol(c.b, factory_);
+      net_.propose(c.b, spec_.proposals[c.b]);
+      ++crash_restarts_used_;
+      stable_ = false;
+      return true;
+    }
     case ChoiceKind::kSubmit: return false;  // abcast scenarios only
   }
   return false;
@@ -190,8 +322,12 @@ ConsensusObs ConsensusSystem::observe() const {
       proc.steps = proto.decision_steps();
       proc.path = proto.decision_path();
     }
-    proc.decision_deliveries = net_.decision_deliveries(p);
+    // Integrity is per incarnation: deliveries charged to a crash-restarted
+    // predecessor are subtracted (they are accounted as prior_decisions).
+    proc.decision_deliveries = net_.decision_deliveries(p) -
+                               base_deliveries_[p];
   }
+  obs.prior_decisions.assign(prior_decisions_.begin(), prior_decisions_.end());
   return obs;
 }
 

@@ -3,13 +3,23 @@
 // explicit Choice.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <optional>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "check/direct_net.h"
 #include "check/system.h"
 
 namespace zdc::check {
+
+/// Per-process stable storage for storage-backed protocols under check
+/// (rec-paxos): a plain deterministic key/value map with whole-state
+/// snapshot/restore, which is how kCrashDeliver reverts the puts of a dying
+/// handler. Defined in consensus_system.cpp.
+class CheckStorage;
 
 class ConsensusSystem final : public System {
  public:
@@ -34,11 +44,26 @@ class ConsensusSystem final : public System {
   const ScenarioSpec spec_;
   const AdversaryBudgets budgets_;
   const StepBounds bounds_;
+  /// Non-empty iff the protocol is storage-backed (rec-paxos): one storage
+  /// per process, surviving kCrashDeliver reboots. Declared before net_ and
+  /// factory_ — the factory closure captures the storages.
+  std::vector<std::shared_ptr<CheckStorage>> storages_;
+  /// The factory that built net_'s protocols; kCrashDeliver reuses it to
+  /// build the rebooted incarnation over the surviving storage.
+  DirectNet::Factory factory_;
   DirectNet net_;
   bool stable_ = true;
   std::uint32_t crashes_used_ = 0;
   std::uint32_t leader_flips_used_ = 0;
   std::uint32_t suspect_flips_used_ = 0;
+  std::uint32_t crash_restarts_used_ = 0;
+  /// deliver_decision counts attributed to incarnations that crash-restarted
+  /// (observe() reports the current incarnation's count).
+  std::vector<std::uint32_t> base_deliveries_;
+  /// Decisions delivered by pre-crash incarnations — a set (not a vector) so
+  /// commuting kCrashDeliver interleavings reach identical states, which the
+  /// sleep-set reduction relies on.
+  std::set<std::pair<ProcessId, Value>> prior_decisions_;
 };
 
 /// The protocol factory for a scenario: the sim registry's factory for the

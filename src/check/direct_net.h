@@ -131,6 +131,44 @@ class DirectNet {
     edges_.erase({from, to});
   }
 
+  /// Consumes the oldest message on from→to *without* running the handler —
+  /// the recipient died on arrival (kCrashDeliver m=0). Returns false if
+  /// the edge is empty.
+  bool drop_one(ProcessId from, ProcessId to) {
+    const auto it = edges_.find({from, to});
+    if (it == edges_.end() || it->second.empty()) return false;
+    it->second.pop_front();
+    return true;
+  }
+
+  /// Snapshot of `from`'s outbound queue sizes (n transport edges, then the
+  /// oracle queue) for trim_out() to restore.
+  [[nodiscard]] std::vector<std::size_t> out_sizes(ProcessId from) const {
+    std::vector<std::size_t> sizes(group_.n + 1, 0);
+    for (ProcessId to = 0; to < group_.n; ++to) {
+      sizes[to] = pending(from, to);
+    }
+    sizes[group_.n] = pending_wab(from);
+    return sizes;
+  }
+
+  /// Pops the *back* of `from`'s outbound queues down to a prior out_sizes()
+  /// snapshot: discards exactly what `from` sent since the snapshot (the
+  /// dying event's output), leaving older traffic already on the wire
+  /// intact. Front pops by concurrent deliveries cannot be confused with
+  /// back pushes here because both happen under the single-threaded driver.
+  void trim_out(ProcessId from, const std::vector<std::size_t>& sizes) {
+    for (ProcessId to = 0; to < group_.n; ++to) {
+      auto it = edges_.find({from, to});
+      if (it == edges_.end()) continue;
+      while (it->second.size() > sizes[to]) it->second.pop_back();
+    }
+    const auto wab = wab_out_.find(from);
+    if (wab != wab_out_.end()) {
+      while (wab->second.size() > sizes[group_.n]) wab->second.pop_back();
+    }
+  }
+
   // --- ordering-oracle channel (WabConsensus) ---
 
   /// Oracle datagrams queued by `from` (stage, payload), not yet delivered.
@@ -201,6 +239,13 @@ class DirectNet {
   /// incarnation; see check::check_integrity).
   [[nodiscard]] std::uint32_t decision_deliveries(ProcessId p) const {
     return decision_deliveries_[p];
+  }
+
+  /// Rewinds p's deliver_decision count to a snapshot — kCrashDeliver
+  /// discards a dying handler's local decision delivery along with its
+  /// sends (the process died before either escaped).
+  void set_decision_deliveries(ProcessId p, std::uint32_t count) {
+    decision_deliveries_[p] = count;
   }
 
  private:

@@ -41,36 +41,57 @@ bool ConsensusObs::equal_proposals() const {
 }
 
 std::optional<Violation> check_agreement(const ConsensusObs& obs) {
-  const ProcessObs* first = nullptr;
-  ProcessId first_p = kNoProcess;
+  // Uniform agreement: current incarnations and decisions handed to the
+  // application by incarnations that later crash-restarted all must match.
+  const Value* first = nullptr;
+  std::string first_who;
+  const auto visit = [&](const std::string& who,
+                         const Value& decision) -> std::optional<Violation> {
+    if (first == nullptr) {
+      first = &decision;
+      first_who = who;
+    } else if (decision != *first) {
+      return Violation{"agreement", first_who + " decided \"" + *first +
+                                        "\" but " + who + " decided \"" +
+                                        decision + "\""};
+    }
+    return std::nullopt;
+  };
+  for (const auto& [p, decision] : obs.prior_decisions) {
+    if (auto v = visit("p" + std::to_string(p) + " (pre-crash incarnation)",
+                       decision)) {
+      return v;
+    }
+  }
   for (ProcessId p = 0; p < obs.procs.size(); ++p) {
     const ProcessObs& proc = obs.procs[p];
     if (!proc.decided) continue;
-    if (first == nullptr) {
-      first = &proc;
-      first_p = p;
-    } else if (proc.decision != first->decision) {
-      return Violation{"agreement",
-                       "p" + std::to_string(first_p) + " decided \"" +
-                           first->decision + "\" but p" + std::to_string(p) +
-                           " decided \"" + proc.decision + "\""};
-    }
+    if (auto v = visit("p" + std::to_string(p), proc.decision)) return v;
   }
   return std::nullopt;
 }
 
 std::optional<Violation> check_validity(const ConsensusObs& obs) {
+  const auto was_proposed = [&obs](const Value& decision) {
+    for (const Value& v : obs.proposals) {
+      if (v == decision) return true;
+    }
+    return false;
+  };
   for (ProcessId p = 0; p < obs.procs.size(); ++p) {
     const ProcessObs& proc = obs.procs[p];
     if (!proc.decided) continue;
-    bool proposed = false;
-    for (const Value& v : obs.proposals) {
-      if (v == proc.decision) proposed = true;
-    }
-    if (!proposed) {
+    if (!was_proposed(proc.decision)) {
       return Violation{"validity", "p" + std::to_string(p) + " decided \"" +
                                        proc.decision +
                                        "\", which nobody proposed"};
+    }
+  }
+  for (const auto& [p, decision] : obs.prior_decisions) {
+    if (!was_proposed(decision)) {
+      return Violation{"validity", "p" + std::to_string(p) +
+                                       " (pre-crash incarnation) decided \"" +
+                                       decision + "\", which nobody proposed"};
     }
   }
   return std::nullopt;

@@ -34,6 +34,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "abcast/abcast.h"
@@ -87,6 +88,11 @@ struct ConsensusObs {
   bool stable = true;
   /// True when no message or oracle datagram is in flight.
   bool quiescent = false;
+  /// Decisions delivered by incarnations that subsequently crash-restarted
+  /// (kCrashDeliver runs). Uniform Agreement and Validity quantify over
+  /// them too: a decision handed to the application before the crash counts
+  /// even though the process is now a fresh incarnation.
+  std::vector<std::pair<ProcessId, Value>> prior_decisions;
 
   [[nodiscard]] bool equal_proposals() const;
 };

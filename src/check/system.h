@@ -51,6 +51,11 @@ struct AdversaryBudgets {
   std::uint32_t leader_flips = 0;   ///< total kLeaderFlip moves offered
   std::uint32_t suspect_flips = 0;  ///< total kSuspectFlip moves offered
   bool oracle_subsets = false;      ///< offer kOracleSubset (else broadcast only)
+  /// Total kCrashDeliver moves offered: crash-during-delivery points where
+  /// the recipient dies inside the handler and reboots from stable storage.
+  /// Only storage-backed protocols (rec-paxos) offer them; a crash-restart
+  /// does not count against `crashes` (the process comes back).
+  std::uint32_t crash_restarts = 0;
 };
 
 /// A system under check. Implementations are deterministic: the same

@@ -1,0 +1,47 @@
+// CRC32C (Castagnoli) checksums for on-disk record framing.
+//
+// The write-ahead log (src/storage/wal.h) frames every record with a CRC so
+// that a torn write or a flipped bit is *detected* instead of silently
+// replayed into protocol state. CRC32C is the standard polynomial for
+// storage framing (iSCSI, ext4, LevelDB); the table-driven software
+// implementation here is deterministic and allocation-free, which keeps it
+// usable from the deterministic simulator as well as the real-disk path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace zdc::common {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32c_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0x82f63b78u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// CRC32C of `bytes`, continuing from `seed` (pass a previous result to
+/// checksum data presented in chunks; 0 starts a fresh checksum).
+inline std::uint32_t crc32c(std::string_view bytes, std::uint32_t seed = 0) {
+  const auto& table = detail::crc32c_table();
+  std::uint32_t crc = seed ^ 0xffffffffu;
+  for (const char ch : bytes) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(ch)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace zdc::common

@@ -1,0 +1,158 @@
+#include "fault/storage_fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace zdc::fault {
+
+const char* storage_fault_kind_name(StorageFaultKind kind) {
+  switch (kind) {
+    case StorageFaultKind::kCrashAtWrite: return "write";
+    case StorageFaultKind::kCrashAtSync: return "sync";
+    case StorageFaultKind::kFlipOnRead: return "read";
+  }
+  return "?";
+}
+
+bool StorageFaultPlan::has(StorageFaultKind kind) const {
+  return std::any_of(
+      points.begin(), points.end(),
+      [kind](const StorageFaultPoint& p) { return p.kind == kind; });
+}
+
+std::string to_string(const StorageFaultPoint& point) {
+  std::ostringstream out;
+  out << "@" << storage_fault_kind_name(point.kind) << " " << point.op_index;
+  switch (point.kind) {
+    case StorageFaultKind::kCrashAtWrite:
+      out << " crash";
+      if (point.keep == CrashKeep::kTorn) out << " torn=" << point.torn_bytes;
+      if (point.keep == CrashKeep::kAll) out << " keep=all";
+      break;
+    case StorageFaultKind::kCrashAtSync:
+      out << " crash";
+      if (point.after_sync) out << " after";
+      break;
+    case StorageFaultKind::kFlipOnRead:
+      out << " flip byte=" << point.flip_byte << " bit=" << point.flip_bit;
+      break;
+  }
+  return out.str();
+}
+
+std::string to_string(const StorageFaultPlan& plan) {
+  std::string out;
+  for (const StorageFaultPoint& p : plan.points) {
+    out += to_string(p);
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    if (token[0] == '#') break;
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool fail(std::string* error, int line_no, const std::string& message) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_no) + ": " + message;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool parse_storage_fault_plan(const std::string& text, StorageFaultPlan* plan,
+                              std::string* error) {
+  StorageFaultPlan out;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens[0].size() < 2 || tokens[0][0] != '@') {
+      return fail(error, line_no, "expected @write/@sync/@read");
+    }
+    StorageFaultPoint point;
+    const std::string op = tokens[0].substr(1);
+    if (op == "write") {
+      point.kind = StorageFaultKind::kCrashAtWrite;
+    } else if (op == "sync") {
+      point.kind = StorageFaultKind::kCrashAtSync;
+    } else if (op == "read") {
+      point.kind = StorageFaultKind::kFlipOnRead;
+    } else {
+      return fail(error, line_no, "unknown op '@" + op + "'");
+    }
+    if (tokens.size() < 3 || !parse_u64(tokens[1], &point.op_index) ||
+        point.op_index == 0) {
+      return fail(error, line_no, "expected a 1-based operation count");
+    }
+    const std::string& verb = tokens[2];
+    if (point.kind == StorageFaultKind::kFlipOnRead) {
+      if (verb != "flip") return fail(error, line_no, "expected 'flip'");
+      bool saw_byte = false;
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        std::uint64_t v = 0;
+        if (tokens[i].rfind("byte=", 0) == 0 &&
+            parse_u64(tokens[i].substr(5), &v)) {
+          point.flip_byte = v;
+          saw_byte = true;
+        } else if (tokens[i].rfind("bit=", 0) == 0 &&
+                   parse_u64(tokens[i].substr(4), &v) && v < 8) {
+          point.flip_bit = static_cast<std::uint32_t>(v);
+        } else {
+          return fail(error, line_no, "expected byte=<o> bit=<0..7>");
+        }
+      }
+      if (!saw_byte) return fail(error, line_no, "flip needs byte=<offset>");
+    } else {
+      if (verb != "crash") return fail(error, line_no, "expected 'crash'");
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        std::uint64_t v = 0;
+        if (point.kind == StorageFaultKind::kCrashAtWrite &&
+            tokens[i].rfind("torn=", 0) == 0 &&
+            parse_u64(tokens[i].substr(5), &v)) {
+          point.keep = CrashKeep::kTorn;
+          point.torn_bytes = v;
+        } else if (point.kind == StorageFaultKind::kCrashAtWrite &&
+                   tokens[i] == "keep=all") {
+          point.keep = CrashKeep::kAll;
+        } else if (point.kind == StorageFaultKind::kCrashAtSync &&
+                   tokens[i] == "after") {
+          point.after_sync = true;
+        } else {
+          return fail(error, line_no, "unknown modifier '" + tokens[i] + "'");
+        }
+      }
+    }
+    out.points.push_back(point);
+  }
+  *plan = std::move(out);
+  return true;
+}
+
+}  // namespace zdc::fault

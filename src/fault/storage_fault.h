@@ -1,0 +1,80 @@
+// Scripted *disk* fault schedules — the durability counterpart of the
+// network-facing FaultPlan (fault_plan.h).
+//
+// A StorageFaultPlan is a list of crash / corruption points keyed by
+// storage-operation counts instead of timestamps: "die during the 3rd
+// append", "die right after the 2nd fsync", "flip a bit in the 1st read".
+// Counting operations (not time) makes the points deterministic wherever the
+// plan runs — the same plan fires at the same byte under the simulator, the
+// recovery harness and the fuzz loop. The consumer is storage::FaultyEnv,
+// which sits under the write-ahead log and applies the durability rules.
+//
+// Crash semantics (the adversarial union of kill -9 and power loss): bytes
+// whose sync() completed always survive; at a crash point the *unsynced*
+// tail survives per the scripted mode — all of it (kill -9 with the page
+// cache flushed), none of it (power cut), or a torn prefix (the write was
+// mid-sector). Recovery code must be correct under every mode.
+//
+// Text syntax — one point per line, '#' starts a comment:
+//
+//   @write <k> crash              # die during append #k: unsynced tail lost
+//   @write <k> crash torn=<b>     # ... first b bytes of the tail survive
+//   @write <k> crash keep=all     # ... every buffered byte survives
+//   @sync <k> crash               # die during fsync #k: unsynced tail lost
+//   @sync <k> crash after         # die just after fsync #k completed
+//   @read <k> flip byte=<o> bit=<b>  # flip bit b of byte o of read #k
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zdc::fault {
+
+enum class StorageFaultKind : std::uint8_t {
+  kCrashAtWrite,  ///< die during append #op_index
+  kCrashAtSync,   ///< die during (or, with `after`, just after) fsync #op_index
+  kFlipOnRead,    ///< corrupt file read #op_index in flight
+};
+
+const char* storage_fault_kind_name(StorageFaultKind kind);
+
+/// How much of the unsynced tail survives a crash point.
+enum class CrashKeep : std::uint8_t {
+  kNone,  ///< power-cut pessimism: only synced bytes survive
+  kTorn,  ///< a prefix of the unsynced tail survives (torn final write)
+  kAll,   ///< kill -9 with the page cache flushed: every byte survives
+};
+
+struct StorageFaultPoint {
+  StorageFaultKind kind = StorageFaultKind::kCrashAtWrite;
+  /// 1-based count of the triggering operation (append / sync / read).
+  std::uint64_t op_index = 1;
+  /// Crash points: what survives of the unsynced tail.
+  CrashKeep keep = CrashKeep::kNone;
+  std::uint64_t torn_bytes = 0;  ///< surviving tail prefix when keep == kTorn
+  /// kCrashAtSync: fire after the fsync completed (data durable) instead of
+  /// during it (data lost).
+  bool after_sync = false;
+  /// kFlipOnRead: which bit of which byte of the read contents to flip.
+  std::uint64_t flip_byte = 0;
+  std::uint32_t flip_bit = 0;
+};
+
+struct StorageFaultPlan {
+  std::vector<StorageFaultPoint> points;
+
+  [[nodiscard]] bool empty() const { return points.empty(); }
+  [[nodiscard]] bool has(StorageFaultKind kind) const;
+};
+
+/// Formats a point / plan in the text syntax above.
+std::string to_string(const StorageFaultPoint& point);
+std::string to_string(const StorageFaultPlan& plan);
+
+/// Parses the text syntax. On failure returns false and, if `error` is given,
+/// stores a one-line diagnostic naming the offending line.
+bool parse_storage_fault_plan(const std::string& text, StorageFaultPlan* plan,
+                              std::string* error = nullptr);
+
+}  // namespace zdc::fault

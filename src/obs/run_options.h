@@ -22,8 +22,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
 
 #include "abcast/batching.h"
+#include "common/stable_storage.h"
 #include "common/types.h"
 #include "obs/metrics.h"
 #include "sim/fd_sim.h"
@@ -31,6 +35,12 @@
 #include "sim/trace.h"
 
 namespace zdc {
+
+/// Per-process stable-storage builder (see common/stable_storage.h).
+/// Implementations: the in-memory default, or the WAL-backed
+/// storage::DurableStableStorage (over a MemEnv for determinism, PosixEnv
+/// for real disks, FaultyEnv for scripted crash points).
+using StorageFactory = common::StorageFactory;
 
 struct RunOptions {
   GroupParams group{4, 1};
@@ -50,6 +60,12 @@ struct RunOptions {
   /// Sim worlds record simulated time; the runtime uses the wall-clock
   /// obs::RuntimeTraceRecorder instead (see obs/runtime_trace.h).
   sim::TraceRecorder* trace = nullptr;
+
+  /// Optional per-process stable-storage factory for crash-recovery
+  /// protocols (rec-paxos). Unset = in-memory storage, the legacy default;
+  /// protocols never see the difference — only sync_count() and what
+  /// survives a crash do.
+  StorageFactory storage_factory;
 
   RunOptions& with_group(GroupParams g) {
     group = g;
@@ -81,6 +97,10 @@ struct RunOptions {
   }
   RunOptions& with_trace(sim::TraceRecorder* t) {
     trace = t;
+    return *this;
+  }
+  RunOptions& with_storage(StorageFactory f) {
+    storage_factory = std::move(f);
     return *this;
   }
 };

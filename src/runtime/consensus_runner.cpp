@@ -40,7 +40,7 @@ class ConsensusRunner::Host final : public consensus::ConsensusHost {
 struct ConsensusRunner::Node {
   std::unique_ptr<Host> host;
   std::unique_ptr<HeartbeatFd> fd;
-  common::InMemoryStableStorage storage;  ///< survives crash/restart cycles
+  std::unique_ptr<common::StableStorage> storage;  ///< survives crash/restart
   std::unique_ptr<consensus::Consensus> protocol;
   /// False between crash(p) and restart(p). The handler reads with acquire;
   /// restart() publishes the rebuilt protocol with the matching release while
@@ -59,13 +59,18 @@ struct ConsensusRunner::Node {
 };
 
 ConsensusRunner::ConsensusRunner(GroupParams group, Transport& net,
-                                 HeartbeatFd::Config fd_cfg)
+                                 HeartbeatFd::Config fd_cfg,
+                                 common::StorageFactory storage_factory)
     : group_(group), net_(net) {
   ZDC_ASSERT(net.size() == group.n);
   nodes_.reserve(group.n);
   for (ProcessId p = 0; p < group.n; ++p) {
     auto node = std::make_unique<Node>();
     node->host = std::make_unique<Host>(*this, p);
+    node->storage = storage_factory
+                        ? storage_factory(p)
+                        : std::make_unique<common::InMemoryStableStorage>();
+    ZDC_ASSERT(node->storage != nullptr);
     node->fd = std::make_unique<HeartbeatFd>(p, net_, fd_cfg, [this, p] {
       Node& n = *nodes_[p];
       if (n.up.load(std::memory_order_acquire)) n.protocol->on_fd_change();
@@ -93,7 +98,7 @@ std::unique_ptr<consensus::Consensus> ConsensusRunner::build_protocol(
     ProcessId p) {
   Node& node = *nodes_[p];
   return std::make_unique<consensus::RecoveringPaxosConsensus>(
-      p, group_, *node.host, node.fd->omega(), node.storage);
+      p, group_, *node.host, node.fd->omega(), *node.storage);
 }
 
 void ConsensusRunner::start() {
@@ -232,8 +237,8 @@ bool ConsensusRunner::wait_decided(const std::vector<ProcessId>& procs,
   }
 }
 
-common::InMemoryStableStorage& ConsensusRunner::storage(ProcessId p) {
-  return nodes_[p]->storage;
+common::StableStorage& ConsensusRunner::storage(ProcessId p) {
+  return *nodes_[p]->storage;
 }
 
 NemesisDriver::NemesisDriver(Transport& net, fault::FaultPlan plan,

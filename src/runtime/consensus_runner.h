@@ -3,9 +3,9 @@
 //
 // ConsensusRunner runs one recovering-Paxos instance per process over a real
 // Transport (InprocNetwork or UdpNetwork): each process gets a heartbeat
-// failure detector (Ω via the suspect-set reduction), an InMemoryStableStorage
-// that survives its crashes, and a protocol object living on its worker
-// thread. crash(p)/restart(p) exercise the full crash-recovery story on real
+// failure detector (Ω via the suspect-set reduction), a StableStorage that
+// survives its crashes (in-memory by default, WAL-backed via the storage
+// factory), and a protocol object living on its worker thread. crash(p)/restart(p) exercise the full crash-recovery story on real
 // threads — the acceptor state reloads from storage, the transport purges the
 // dead incarnation's queues, and the restarted proposer re-proposes.
 //
@@ -36,8 +36,12 @@ class ConsensusRunner {
   /// so construct it before any other user of the transport's handler slots.
   /// `fd_cfg.metrics` (when set) also receives the runner's own counters
   /// (proposals, decisions, restarts, labeled by process).
+  /// `storage_factory` (RunOptions::storage_factory) builds each process's
+  /// stable storage; unset = in-memory. The runner owns the storage across
+  /// crash/restart cycles — that is what "stable" means here.
   ConsensusRunner(GroupParams group, Transport& net,
-                  HeartbeatFd::Config fd_cfg = {});
+                  HeartbeatFd::Config fd_cfg = {},
+                  common::StorageFactory storage_factory = {});
   ~ConsensusRunner();
 
   ConsensusRunner(const ConsensusRunner&) = delete;
@@ -64,7 +68,7 @@ class ConsensusRunner {
                     double timeout_ms) const;
 
   [[nodiscard]] Transport& network() { return net_; }
-  [[nodiscard]] common::InMemoryStableStorage& storage(ProcessId p);
+  [[nodiscard]] common::StableStorage& storage(ProcessId p);
 
  private:
   struct Node;

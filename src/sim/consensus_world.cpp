@@ -589,6 +589,25 @@ SimConsensusFactory recovering_paxos_factory() {
   };
 }
 
+SimConsensusFactory recovering_paxos_factory(StorageFactory make_storage) {
+  if (!make_storage) return recovering_paxos_factory();
+  // Storage is built once per process and cached: a restart rebuilds the
+  // protocol object but reads back the same (surviving) storage, which is
+  // the whole crash-recovery contract.
+  auto storages = std::make_shared<
+      std::map<ProcessId, std::shared_ptr<common::StableStorage>>>();
+  return [storages, make_storage](ProcessId self, GroupParams group,
+                                  consensus::ConsensusHost& host,
+                                  const fd::OmegaView& omega,
+                                  const fd::SuspectView&) {
+    auto& slot = (*storages)[self];
+    if (slot == nullptr) slot = make_storage(self);
+    ZDC_ASSERT_MSG(slot != nullptr, "storage factory returned null");
+    return std::make_unique<consensus::RecoveringPaxosConsensus>(
+        self, group, host, omega, *slot);
+  };
+}
+
 SimConsensusFactory fast_paxos_factory() {
   return [](ProcessId self, GroupParams group, consensus::ConsensusHost& host,
             const fd::OmegaView& omega, const fd::SuspectView&) {
@@ -616,6 +635,14 @@ SimConsensusFactory consensus_factory_by_name(const std::string& name) {
   if (name == "rec-paxos") return recovering_paxos_factory();
   ZDC_ASSERT_MSG(false, "unknown consensus protocol name");
   return {};
+}
+
+SimConsensusFactory consensus_factory_by_name(const std::string& name,
+                                              const RunOptions& opts) {
+  if (name == "rec-paxos") {
+    return recovering_paxos_factory(opts.storage_factory);
+  }
+  return consensus_factory_by_name(name);
 }
 
 ConsensusRunResult run_consensus(const ConsensusRunConfig& cfg,

@@ -105,6 +105,11 @@ SimConsensusFactory fast_paxos_factory();
 /// Crash-recovery Paxos with per-process in-memory stable storage owned by
 /// the factory closure (no-restart runs; restart tests inject storage).
 SimConsensusFactory recovering_paxos_factory();
+/// Same protocol, storage built through `make_storage` (RunOptions'
+/// storage_factory — e.g. the WAL-backed durable store). Each process's
+/// storage is built once and cached in the closure, so restart scenarios
+/// rebuild the protocol over the surviving storage object.
+SimConsensusFactory recovering_paxos_factory(StorageFactory make_storage);
 /// Lamport's generalized (e, f) fast consensus over an underlying module
 /// ("l" or "paxos"); requires n > max(2f, 2e+f).
 SimConsensusFactory ef_consensus_factory(std::uint32_t e,
@@ -113,6 +118,10 @@ SimConsensusFactory ef_consensus_factory(std::uint32_t e,
 /// "brasileiro-paxos", "wab", "ct", "fast-paxos", "rec-paxos". Aborts on
 /// unknown names.
 SimConsensusFactory consensus_factory_by_name(const std::string& name);
+/// Same, honouring `opts.storage_factory` for storage-backed protocols
+/// (currently rec-paxos); other names ignore it.
+SimConsensusFactory consensus_factory_by_name(const std::string& name,
+                                              const RunOptions& opts);
 
 /// Runs one consensus instance to quiescence.
 ConsensusRunResult run_consensus(const ConsensusRunConfig& cfg,

@@ -1,0 +1,245 @@
+#include "storage/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace zdc::storage {
+
+std::string join_path(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+// ---------------------------------------------------------------------------
+// MemEnv
+
+class MemEnv::MemFile final : public WritableFile {
+ public:
+  MemFile(MemEnv& env, std::string path) : env_(env), path_(std::move(path)) {}
+
+  Status append(std::string_view bytes) override {
+    common::MutexLock lock(env_.mu_);
+    env_.files_[path_].append(bytes.data(), bytes.size());
+    return Status::ok();
+  }
+  Status sync() override { return Status::ok(); }
+
+ private:
+  MemEnv& env_;
+  const std::string path_;
+};
+
+Status MemEnv::create_dir(const std::string&) { return Status::ok(); }
+
+Status MemEnv::list_dir(const std::string& dir,
+                        std::vector<std::string>* names) {
+  names->clear();
+  const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
+  common::MutexLock lock(mu_);
+  for (const auto& [path, contents] : files_) {
+    if (path.rfind(prefix, 0) != 0) continue;
+    const std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names->push_back(rest);
+  }
+  return Status::ok();  // std::map iteration is already sorted
+}
+
+bool MemEnv::file_exists(const std::string& path) {
+  common::MutexLock lock(mu_);
+  return files_.count(path) != 0;
+}
+
+Status MemEnv::read_file(const std::string& path, std::string* contents) {
+  common::MutexLock lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return Status::not_found(path);
+  *contents = it->second;
+  return Status::ok();
+}
+
+Status MemEnv::new_writable(const std::string& path, bool truncate,
+                            std::unique_ptr<WritableFile>* out) {
+  {
+    common::MutexLock lock(mu_);
+    std::string& contents = files_[path];  // creates if missing
+    if (truncate) contents.clear();
+  }
+  *out = std::make_unique<MemFile>(*this, path);
+  return Status::ok();
+}
+
+Status MemEnv::truncate_file(const std::string& path, std::uint64_t size) {
+  common::MutexLock lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end()) return Status::not_found(path);
+  if (it->second.size() > size) it->second.resize(size);
+  return Status::ok();
+}
+
+Status MemEnv::rename_file(const std::string& from, const std::string& to) {
+  common::MutexLock lock(mu_);
+  const auto it = files_.find(from);
+  if (it == files_.end()) return Status::not_found(from);
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::ok();
+}
+
+Status MemEnv::remove_file(const std::string& path) {
+  common::MutexLock lock(mu_);
+  if (files_.erase(path) == 0) return Status::not_found(path);
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// PosixEnv
+
+namespace {
+
+Status errno_status(const std::string& what) {
+  return Status::io_error(what + ": " + std::strerror(errno));
+}
+
+class PosixFile final : public WritableFile {
+ public:
+  explicit PosixFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  PosixFile(const PosixFile&) = delete;
+  PosixFile& operator=(const PosixFile&) = delete;
+
+  Status append(std::string_view bytes) override {
+    const char* data = bytes.data();
+    std::size_t left = bytes.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, data, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return errno_status("write " + path_);
+      }
+      data += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    return Status::ok();
+  }
+
+  Status sync() override {
+#if defined(__APPLE__)
+    if (::fsync(fd_) != 0) return errno_status("fsync " + path_);
+#else
+    if (::fdatasync(fd_) != 0) return errno_status("fdatasync " + path_);
+#endif
+    return Status::ok();
+  }
+
+ private:
+  int fd_;
+  const std::string path_;
+};
+
+}  // namespace
+
+Status PosixEnv::create_dir(const std::string& dir) {
+  // mkdir -p: create each component, tolerating ones that already exist.
+  std::string partial;
+  for (std::size_t i = 0; i <= dir.size(); ++i) {
+    if (i != dir.size() && dir[i] != '/') continue;
+    partial = dir.substr(0, i);
+    if (partial.empty()) continue;
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return errno_status("mkdir " + partial);
+    }
+  }
+  if (!dir.empty() && ::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return errno_status("mkdir " + dir);
+  }
+  return Status::ok();
+}
+
+Status PosixEnv::list_dir(const std::string& dir,
+                          std::vector<std::string>* names) {
+  names->clear();
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return errno_status("opendir " + dir);
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names->push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names->begin(), names->end());
+  return Status::ok();
+}
+
+bool PosixEnv::file_exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+Status PosixEnv::read_file(const std::string& path, std::string* contents) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::not_found(path);
+    return errno_status("open " + path);
+  }
+  contents->clear();
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return errno_status("read " + path);
+    }
+    if (n == 0) break;
+    contents->append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return Status::ok();
+}
+
+Status PosixEnv::new_writable(const std::string& path, bool truncate,
+                              std::unique_ptr<WritableFile>* out) {
+  const int flags =
+      O_CREAT | O_WRONLY | O_CLOEXEC | (truncate ? O_TRUNC : O_APPEND);
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return errno_status("open " + path);
+  *out = std::make_unique<PosixFile>(fd, path);
+  return Status::ok();
+}
+
+Status PosixEnv::truncate_file(const std::string& path, std::uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return errno_status("truncate " + path);
+  }
+  return Status::ok();
+}
+
+Status PosixEnv::rename_file(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return errno_status("rename " + from);
+  }
+  return Status::ok();
+}
+
+Status PosixEnv::remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) return errno_status("unlink " + path);
+  return Status::ok();
+}
+
+Env& posix_env() {
+  static PosixEnv env;
+  return env;
+}
+
+}  // namespace zdc::storage

@@ -1,0 +1,159 @@
+// Filesystem abstraction under the write-ahead log.
+//
+// Everything the durable-storage layer does to the outside world goes
+// through Env, for two reasons. First, determinism: the simulator and the
+// model checker run the WAL over MemEnv, a purely in-memory filesystem, so
+// recovery logic is exercised byte-for-byte reproducibly from a seed.
+// Second, fault injection: FaultyEnv (faulty_env.h) wraps any base Env and
+// applies scripted crash points — the recovery tests prove the WAL correct
+// against every way a kill -9 or power cut can slice the unsynced tail,
+// which a real filesystem cannot be asked to demonstrate on cue.
+//
+// The durability contract every implementation obeys:
+//   - append() buffers; bytes are guaranteed durable only after sync().
+//   - rename_file() is atomic and immediately durable (journaled-metadata
+//     assumption; this is what makes the snapshot commit protocol safe).
+//   - list_dir() returns names in sorted order (deterministic recovery scan).
+//
+// Error handling is by Status return, never exceptions: a full disk or a
+// crashed (fault-injected) env must surface as a checkable condition on the
+// protocol's write path, not as control flow the protocol never wrote.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace zdc::storage {
+
+class Status {
+ public:
+  enum class Code : std::uint8_t {
+    kOk,
+    kNotFound,
+    kIoError,
+    kCorruption,  ///< CRC mismatch / malformed frame that is NOT a legal torn tail
+    kCrashed,     ///< fault-injected env: the process is dead, writes must fail
+  };
+
+  Status() = default;
+
+  static Status ok() { return Status{}; }
+  static Status not_found(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status io_error(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status crashed(std::string msg) {
+    return Status(Code::kCrashed, std::move(msg));
+  }
+
+  [[nodiscard]] bool is_ok() const { return code_ == Code::kOk; }
+  [[nodiscard]] Code code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    switch (code_) {
+      case Code::kOk: return "ok";
+      case Code::kNotFound: return "not found: " + message_;
+      case Code::kIoError: return "io error: " + message_;
+      case Code::kCorruption: return "corruption: " + message_;
+      case Code::kCrashed: return "crashed: " + message_;
+    }
+    return "?";
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// An append-only file handle. Destroying the handle without sync() leaves
+/// the unsynced tail at the mercy of a crash — that is the point.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status append(std::string_view bytes) = 0;
+  /// Durability barrier (fsync/fdatasync on the posix env).
+  virtual Status sync() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Creates `dir` (and parents) if missing; ok if it already exists.
+  virtual Status create_dir(const std::string& dir) = 0;
+  /// Sorted names (not paths) of the files directly under `dir`.
+  virtual Status list_dir(const std::string& dir,
+                          std::vector<std::string>* names) = 0;
+  [[nodiscard]] virtual bool file_exists(const std::string& path) = 0;
+  virtual Status read_file(const std::string& path, std::string* contents) = 0;
+  /// Opens `path` for appending, creating it if missing; with `truncate`,
+  /// existing contents are discarded first.
+  virtual Status new_writable(const std::string& path, bool truncate,
+                              std::unique_ptr<WritableFile>* out) = 0;
+  virtual Status truncate_file(const std::string& path, std::uint64_t size) = 0;
+  /// Atomic and immediately durable (see header comment).
+  virtual Status rename_file(const std::string& from, const std::string& to) = 0;
+  virtual Status remove_file(const std::string& path) = 0;
+};
+
+/// Purely in-memory filesystem: deterministic, no syscalls, safe inside the
+/// simulator and the model checker. Internally synchronized so the threaded
+/// runtime's recovery tests can share one MemEnv across worker threads.
+class MemEnv final : public Env {
+ public:
+  Status create_dir(const std::string& dir) override;
+  Status list_dir(const std::string& dir,
+                  std::vector<std::string>* names) override;
+  [[nodiscard]] bool file_exists(const std::string& path) override;
+  Status read_file(const std::string& path, std::string* contents) override;
+  Status new_writable(const std::string& path, bool truncate,
+                      std::unique_ptr<WritableFile>* out) override;
+  Status truncate_file(const std::string& path, std::uint64_t size) override;
+  Status rename_file(const std::string& from, const std::string& to) override;
+  Status remove_file(const std::string& path) override;
+
+ private:
+  class MemFile;
+
+  mutable common::Mutex mu_;
+  std::map<std::string, std::string> files_ ZDC_GUARDED_BY(mu_);
+};
+
+/// The real filesystem (open/write/fdatasync). Not used by the simulator —
+/// only the runtime recovery tests and bench_recovery touch real disks.
+class PosixEnv final : public Env {
+ public:
+  Status create_dir(const std::string& dir) override;
+  Status list_dir(const std::string& dir,
+                  std::vector<std::string>* names) override;
+  [[nodiscard]] bool file_exists(const std::string& path) override;
+  Status read_file(const std::string& path, std::string* contents) override;
+  Status new_writable(const std::string& path, bool truncate,
+                      std::unique_ptr<WritableFile>* out) override;
+  Status truncate_file(const std::string& path, std::uint64_t size) override;
+  Status rename_file(const std::string& from, const std::string& to) override;
+  Status remove_file(const std::string& path) override;
+};
+
+/// Process-wide PosixEnv instance.
+Env& posix_env();
+
+/// "dir/name" with exactly one separator.
+std::string join_path(const std::string& dir, const std::string& name);
+
+}  // namespace zdc::storage

@@ -1,0 +1,227 @@
+#include "storage/faulty_env.h"
+
+#include <utility>
+
+namespace zdc::storage {
+
+/// Wraps the base file so every append/sync routes through the env's fault
+/// bookkeeping (counters, unsynced-tail tracking, scripted crash points).
+class FaultyEnv::File final : public WritableFile {
+ public:
+  File(FaultyEnv& env, std::string path, std::unique_ptr<WritableFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status append(std::string_view bytes) override {
+    common::MutexLock lock(env_.mu_);
+    return env_.append_locked(path_, bytes, *base_);
+  }
+  Status sync() override {
+    common::MutexLock lock(env_.mu_);
+    return env_.sync_locked(path_, *base_);
+  }
+
+ private:
+  FaultyEnv& env_;
+  const std::string path_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+void FaultyEnv::arm(fault::StorageFaultPlan plan) {
+  common::MutexLock lock(mu_);
+  plan_ = std::move(plan);
+  appends_ = syncs_ = reads_ = 0;
+}
+
+const fault::StorageFaultPoint* FaultyEnv::point_at(
+    fault::StorageFaultKind kind, std::uint64_t index) const {
+  for (const fault::StorageFaultPoint& p : plan_.points) {
+    if (p.kind == kind && p.op_index == index) return &p;
+  }
+  return nullptr;
+}
+
+Status FaultyEnv::append_locked(const std::string& path,
+                                std::string_view bytes,
+                                WritableFile& base_file) {
+  if (crashed_) return Status::crashed("append " + path);
+  ++appends_;
+  last_write_path_ = path;
+  // The bytes reach the simulated page cache first (reads see them), then
+  // the crash point decides how much of the cache survives.
+  files_[path].unsynced.append(bytes.data(), bytes.size());
+  const Status forward = base_file.append(bytes);
+  if (!forward.is_ok()) return forward;
+  if (const fault::StorageFaultPoint* p =
+          point_at(fault::StorageFaultKind::kCrashAtWrite, appends_)) {
+    crash_locked(p->keep, p->torn_bytes, &path);
+    return Status::crashed("scripted crash during append " + path);
+  }
+  return Status::ok();
+}
+
+Status FaultyEnv::sync_locked(const std::string& path,
+                              WritableFile& base_file) {
+  if (crashed_) return Status::crashed("sync " + path);
+  ++syncs_;
+  const fault::StorageFaultPoint* p =
+      point_at(fault::StorageFaultKind::kCrashAtSync, syncs_);
+  if (p != nullptr && !p->after_sync) {
+    // Died during the fsync: nothing of the unsynced tail is promised.
+    crash_locked(fault::CrashKeep::kNone, 0, nullptr);
+    return Status::crashed("scripted crash during sync " + path);
+  }
+  const Status forward = base_file.sync();
+  if (!forward.is_ok()) return forward;
+  FileState& state = files_[path];
+  state.synced_size += state.unsynced.size();
+  state.unsynced.clear();
+  if (p != nullptr) {  // after_sync: the data is durable, the process is not
+    crash_locked(fault::CrashKeep::kNone, 0, nullptr);
+    return Status::crashed("scripted crash after sync " + path);
+  }
+  return Status::ok();
+}
+
+void FaultyEnv::crash_locked(fault::CrashKeep keep, std::uint64_t torn_bytes,
+                             const std::string* torn_path) {
+  crashed_ = true;
+  for (auto& [path, state] : files_) {
+    if (keep == fault::CrashKeep::kAll) {
+      // Page cache flushed: everything written survives the process.
+      state.synced_size += state.unsynced.size();
+      state.unsynced.clear();
+      continue;
+    }
+    std::uint64_t survive = 0;
+    if (keep == fault::CrashKeep::kTorn && torn_path != nullptr &&
+        path == *torn_path) {
+      survive = std::min<std::uint64_t>(torn_bytes, state.unsynced.size());
+    }
+    base_.truncate_file(path, state.synced_size + survive);
+    state.synced_size += survive;
+    state.unsynced.clear();
+  }
+}
+
+void FaultyEnv::crash_now(fault::CrashKeep keep, std::uint64_t torn_bytes) {
+  common::MutexLock lock(mu_);
+  if (crashed_) return;
+  const std::string torn_path = last_write_path_;
+  crash_locked(keep, torn_bytes, torn_path.empty() ? nullptr : &torn_path);
+}
+
+void FaultyEnv::recover() {
+  common::MutexLock lock(mu_);
+  crashed_ = false;
+  // Whatever the crash left on the media is the new durable baseline; the
+  // FileState entries already reflect it (synced_size updated, tails gone).
+}
+
+bool FaultyEnv::crashed() const {
+  common::MutexLock lock(mu_);
+  return crashed_;
+}
+
+std::uint64_t FaultyEnv::appends() const {
+  common::MutexLock lock(mu_);
+  return appends_;
+}
+std::uint64_t FaultyEnv::syncs() const {
+  common::MutexLock lock(mu_);
+  return syncs_;
+}
+std::uint64_t FaultyEnv::reads() const {
+  common::MutexLock lock(mu_);
+  return reads_;
+}
+
+Status FaultyEnv::create_dir(const std::string& dir) {
+  {
+    common::MutexLock lock(mu_);
+    if (crashed_) return Status::crashed("create_dir " + dir);
+  }
+  return base_.create_dir(dir);
+}
+
+Status FaultyEnv::list_dir(const std::string& dir,
+                           std::vector<std::string>* names) {
+  return base_.list_dir(dir, names);
+}
+
+bool FaultyEnv::file_exists(const std::string& path) {
+  return base_.file_exists(path);
+}
+
+Status FaultyEnv::read_file(const std::string& path, std::string* contents) {
+  const Status s = base_.read_file(path, contents);
+  if (!s.is_ok()) return s;
+  common::MutexLock lock(mu_);
+  ++reads_;
+  if (const fault::StorageFaultPoint* p =
+          point_at(fault::StorageFaultKind::kFlipOnRead, reads_)) {
+    if (p->flip_byte < contents->size()) {
+      (*contents)[p->flip_byte] =
+          static_cast<char>(static_cast<std::uint8_t>((*contents)[p->flip_byte]) ^
+                            (1u << p->flip_bit));
+    }
+  }
+  return Status::ok();
+}
+
+Status FaultyEnv::new_writable(const std::string& path, bool truncate,
+                               std::unique_ptr<WritableFile>* out) {
+  common::MutexLock lock(mu_);
+  if (crashed_) return Status::crashed("open " + path);
+  std::unique_ptr<WritableFile> base_file;
+  const Status s = base_.new_writable(path, truncate, &base_file);
+  if (!s.is_ok()) return s;
+  FileState& state = files_[path];
+  if (truncate) {
+    state = FileState{};
+  } else if (state.synced_size == 0 && state.unsynced.empty()) {
+    // First sighting of a pre-existing file: its on-media bytes are the
+    // durable baseline (they were there before this incarnation).
+    std::string contents;
+    if (base_.read_file(path, &contents).is_ok()) {
+      state.synced_size = contents.size();
+    }
+  }
+  *out = std::make_unique<File>(*this, path, std::move(base_file));
+  return Status::ok();
+}
+
+Status FaultyEnv::truncate_file(const std::string& path, std::uint64_t size) {
+  common::MutexLock lock(mu_);
+  if (crashed_) return Status::crashed("truncate " + path);
+  const Status s = base_.truncate_file(path, size);
+  if (!s.is_ok()) return s;
+  // Truncation during recovery rewrites the baseline: the kept prefix is
+  // what the reopened log builds on.
+  FileState& state = files_[path];
+  state.synced_size = std::min<std::uint64_t>(state.synced_size, size);
+  state.unsynced.clear();
+  return Status::ok();
+}
+
+Status FaultyEnv::rename_file(const std::string& from, const std::string& to) {
+  common::MutexLock lock(mu_);
+  if (crashed_) return Status::crashed("rename " + from);
+  const Status s = base_.rename_file(from, to);
+  if (!s.is_ok()) return s;
+  const auto it = files_.find(from);
+  if (it != files_.end()) {
+    files_[to] = std::move(it->second);
+    files_.erase(it);
+  }
+  return Status::ok();
+}
+
+Status FaultyEnv::remove_file(const std::string& path) {
+  common::MutexLock lock(mu_);
+  if (crashed_) return Status::crashed("remove " + path);
+  const Status s = base_.remove_file(path);
+  if (s.is_ok()) files_.erase(path);
+  return Status::ok();
+}
+
+}  // namespace zdc::storage

@@ -1,0 +1,100 @@
+// Fault-injecting Env: the layer that makes durability failures first-class.
+//
+// FaultyEnv wraps any base Env and models what a kill -9 or power cut leaves
+// on the media: per file it tracks the synced size (bytes whose sync()
+// completed) and the unsynced tail (bytes merely append()ed). A crash —
+// scripted via a fault::StorageFaultPlan or injected directly by the fuzz
+// loop — truncates every file back to its synced size, optionally keeping a
+// torn prefix of the triggering file's unsynced tail, and from then on every
+// mutating operation fails with Status::crashed (the process is dead).
+// recover() models the reboot: whatever survived on the media becomes the
+// new durable baseline and the env accepts writes again.
+//
+// Scripted points fire on deterministic operation counts (append #k, sync
+// #k, read #k — counted across incarnations), so the same plan slices the
+// same byte wherever it runs. See fault/storage_fault.h for the catalog and
+// the text syntax, docs/STORAGE.md for the recovery rules the WAL must
+// uphold under each point.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "fault/storage_fault.h"
+#include "storage/env.h"
+
+namespace zdc::storage {
+
+class FaultyEnv final : public Env {
+ public:
+  /// `base` must outlive this env; it holds the simulated media.
+  explicit FaultyEnv(Env& base) : base_(base) {}
+
+  /// Installs the scripted fault points and resets the operation counters.
+  void arm(fault::StorageFaultPlan plan);
+
+  /// Injects a crash immediately (the fuzz loop's entry point): every file
+  /// loses its unsynced tail per `keep`; with CrashKeep::kTorn the file most
+  /// recently appended to keeps the first `torn_bytes` of its tail.
+  void crash_now(fault::CrashKeep keep, std::uint64_t torn_bytes = 0);
+
+  /// Reboot: the surviving bytes become the durable baseline and the env
+  /// accepts operations again. Scripted points keep counting across the
+  /// recovery (operation indices are per-plan, not per-incarnation).
+  void recover();
+
+  [[nodiscard]] bool crashed() const;
+
+  /// Operation counters (1-based indices the plan grammar refers to).
+  [[nodiscard]] std::uint64_t appends() const;
+  [[nodiscard]] std::uint64_t syncs() const;
+  [[nodiscard]] std::uint64_t reads() const;
+
+  // Env interface. Mutating calls fail with Status::crashed while crashed.
+  Status create_dir(const std::string& dir) override;
+  Status list_dir(const std::string& dir,
+                  std::vector<std::string>* names) override;
+  [[nodiscard]] bool file_exists(const std::string& path) override;
+  Status read_file(const std::string& path, std::string* contents) override;
+  Status new_writable(const std::string& path, bool truncate,
+                      std::unique_ptr<WritableFile>* out) override;
+  Status truncate_file(const std::string& path, std::uint64_t size) override;
+  Status rename_file(const std::string& from, const std::string& to) override;
+  Status remove_file(const std::string& path) override;
+
+ private:
+  class File;
+
+  struct FileState {
+    std::uint64_t synced_size = 0;  ///< bytes guaranteed to survive a crash
+    std::string unsynced;           ///< appended since the last sync
+  };
+
+  Status append_locked(const std::string& path, std::string_view bytes,
+                       WritableFile& base_file) ZDC_REQUIRES(mu_);
+  Status sync_locked(const std::string& path, WritableFile& base_file)
+      ZDC_REQUIRES(mu_);
+  void crash_locked(fault::CrashKeep keep, std::uint64_t torn_bytes,
+                    const std::string* torn_path) ZDC_REQUIRES(mu_);
+  /// First scripted point of `kind` at the given 1-based index, if any.
+  [[nodiscard]] const fault::StorageFaultPoint* point_at(
+      fault::StorageFaultKind kind, std::uint64_t index) const
+      ZDC_REQUIRES(mu_);
+
+  Env& base_;
+  mutable common::Mutex mu_;
+  fault::StorageFaultPlan plan_ ZDC_GUARDED_BY(mu_);
+  bool crashed_ ZDC_GUARDED_BY(mu_) = false;
+  std::uint64_t appends_ ZDC_GUARDED_BY(mu_) = 0;
+  std::uint64_t syncs_ ZDC_GUARDED_BY(mu_) = 0;
+  std::uint64_t reads_ ZDC_GUARDED_BY(mu_) = 0;
+  std::map<std::string, FileState> files_ ZDC_GUARDED_BY(mu_);
+  std::string last_write_path_ ZDC_GUARDED_BY(mu_);
+};
+
+}  // namespace zdc::storage

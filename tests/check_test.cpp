@@ -40,6 +40,8 @@ TEST(ChoiceFormat, RoundtripsEveryKind) {
       {ChoiceKind::kDeliver, 2, 3, 0},    {ChoiceKind::kOracle, 1, 0, 0},
       {ChoiceKind::kOracleSubset, 0, 0, 11}, {ChoiceKind::kCrash, 3, 0, 0},
       {ChoiceKind::kLeaderFlip, 1, 2, 0}, {ChoiceKind::kSuspectFlip, 0, 3, 0},
+      {ChoiceKind::kCrashDeliver, 0, 2, 0},
+      {ChoiceKind::kCrashDeliver, 1, 0, 3},
   };
   for (const Choice& c : samples) {
     const std::string token = format_choice(c);
@@ -59,7 +61,8 @@ TEST(ChoiceFormat, RoundtripsEveryKind) {
 
 TEST(ChoiceFormat, RejectsMalformedTokens) {
   for (const char* bad : {"", "x1", "d5", "d-1", "d1-", "o", "c", "s3", "s3m",
-                          "l2", "f-", "d1-2-3x", "d99999999999-1", "u"}) {
+                          "l2", "f-", "d1-2-3x", "d99999999999-1", "u", "k1",
+                          "k1-2", "k1-2m", "k1-2m9", "k-2m0"}) {
     EXPECT_FALSE(parse_choice(bad).has_value()) << bad;
   }
 }
@@ -255,6 +258,125 @@ TEST(Explorer, TransitionBudgetAbortsAsIncomplete) {
   const auto res = explore(make_system_factory(spec, {}), cfg);
   EXPECT_FALSE(res.complete);
   EXPECT_LE(res.transitions, 10u);
+}
+
+// --- crash-during-delivery (kCrashDeliver, storage-backed rec-paxos) ---
+
+TEST(CrashRestart, RecPaxosSurvivesCrashDuringDelivery) {
+  const ScenarioSpec spec = consensus_spec("rec-paxos", {"a", "b", "c"});
+  AdversaryBudgets budgets;
+  budgets.crash_restarts = 1;
+  ConsensusSystem sys(spec, budgets);
+  // Ballot 0 belongs to p0, so proposing broadcasts a 2a straight away and
+  // the crash-during-delivery choice is enabled on edge 0→1. m=2: p1's
+  // accept hits stable storage, the 2b never leaves, p1 reboots.
+  std::vector<Choice> trace;
+  const Choice crash{ChoiceKind::kCrashDeliver, 0, 1, 2};
+  ASSERT_TRUE(sys.apply(crash));
+  trace.push_back(crash);
+  EXPECT_FALSE(sys.observe().stable);
+  // Drain every remaining delivery; the run must stay safe throughout.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (const Choice& c : sys.enabled()) {
+      if (c.kind != ChoiceKind::kDeliver) continue;
+      ASSERT_TRUE(sys.apply(c));
+      trace.push_back(c);
+      ASSERT_FALSE(sys.violation().has_value());
+      progressed = true;
+      break;
+    }
+  }
+  // p0 and p2's accepts form a majority for ballot 0, so everyone — the
+  // rebooted p1 included — converges on p0's value.
+  const ConsensusObs obs = sys.observe();
+  for (ProcessId p = 0; p < obs.group.n; ++p) {
+    EXPECT_TRUE(obs.procs[p].decided) << "p" << p;
+    EXPECT_EQ(obs.procs[p].decision, "a") << "p" << p;
+  }
+  // The recorded schedule replays strictly and stays clean.
+  const auto replayed = replay_strict(make_system_factory(spec, budgets),
+                                      trace);
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_FALSE(replayed->violation.has_value());
+}
+
+TEST(CrashRestart, MidWriteAliasRevertsThePut) {
+  // m=1 (die mid-write) is never offered by enabled() — the torn record is
+  // truncated on recovery, so its post-state equals m=0 — but replay accepts
+  // it and must actually exercise the revert: the rebooted p1 cannot have
+  // the accept that was "written" by the dying handler.
+  const ScenarioSpec spec = consensus_spec("rec-paxos", {"a", "b", "c"});
+  AdversaryBudgets budgets;
+  budgets.crash_restarts = 1;
+  ConsensusSystem sys(spec, budgets);
+  ASSERT_TRUE(sys.apply({ChoiceKind::kCrashDeliver, 0, 1, 1}));
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (const Choice& c : sys.enabled()) {
+      if (c.kind != ChoiceKind::kDeliver) continue;
+      ASSERT_TRUE(sys.apply(c));
+      ASSERT_FALSE(sys.violation().has_value());
+      progressed = true;
+      break;
+    }
+  }
+  EXPECT_FALSE(sys.violation().has_value());
+}
+
+TEST(CrashRestart, EnabledOnlyWithBudgetAndStorageBackedProtocol) {
+  AdversaryBudgets budgets;
+  budgets.crash_restarts = 1;
+  const auto offers_crash_deliver = [](const ConsensusSystem& sys) {
+    for (const Choice& c : sys.enabled()) {
+      if (c.kind == ChoiceKind::kCrashDeliver) return true;
+    }
+    return false;
+  };
+  ConsensusSystem rec(consensus_spec("rec-paxos", {"a", "b", "c"}), budgets);
+  EXPECT_TRUE(offers_crash_deliver(rec));
+  // Volatile protocols have nothing to reboot from.
+  ConsensusSystem paxos(consensus_spec("paxos", {"a", "b", "c"}), budgets);
+  EXPECT_FALSE(offers_crash_deliver(paxos));
+  // Zero budget: never offered, and enabled() never lists m=1.
+  ConsensusSystem broke(consensus_spec("rec-paxos", {"a", "b", "c"}), {});
+  EXPECT_FALSE(offers_crash_deliver(broke));
+  for (const Choice& c : rec.enabled()) {
+    if (c.kind == ChoiceKind::kCrashDeliver) {
+      EXPECT_NE(c.mask, 1u);
+    }
+  }
+}
+
+TEST(CrashRestart, BoundedExploreWithCrashRestartsFindsNoViolation) {
+  const ScenarioSpec spec = consensus_spec("rec-paxos", {"a", "a", "a"});
+  AdversaryBudgets budgets;
+  budgets.crash_restarts = 1;
+  ExploreConfig cfg;
+  cfg.max_depth = 5;
+  cfg.max_transitions = 60000;
+  const auto res = explore(make_system_factory(spec, budgets), cfg);
+  EXPECT_FALSE(res.violation.has_value());
+  EXPECT_GT(res.transitions, 0u);
+}
+
+TEST(CrashRestart, SwarmWithCrashRestartBudgetIsSafeAndDeterministic) {
+  const ScenarioSpec spec = consensus_spec("rec-paxos", {"x", "y", "z"});
+  AdversaryBudgets budgets;
+  budgets.crash_restarts = 2;
+  budgets.leader_flips = 1;
+  const SystemFactory factory = make_system_factory(spec, budgets);
+  SwarmConfig cfg;
+  cfg.seed = 11;
+  cfg.runs = 128;
+  cfg.max_steps = 160;
+  const auto a = swarm(factory, cfg);
+  const auto b = swarm(factory, cfg);
+  EXPECT_FALSE(a.violation.has_value());
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.runs, b.runs);
 }
 
 // --- mutants: find → shrink → replay, all through the library ---

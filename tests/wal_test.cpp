@@ -1,0 +1,332 @@
+// WAL edge cases (src/storage/wal.h): empty log, torn final record,
+// corrupt-CRC mid-segment (must fail loudly, not truncate), rollover at
+// boundary sizes — plus a seeded write/kill/reopen fuzz loop over FaultyEnv
+// proving the durability contract: synced records always replay, recovered
+// records are always a prefix of what was appended. Rounds/seed come from
+// ZDC_WAL_FUZZ_ROUNDS / ZDC_WAL_FUZZ_SEED (scripts/check.sh pins them).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fault/storage_fault.h"
+#include "storage/env.h"
+#include "storage/faulty_env.h"
+#include "storage/wal.h"
+
+namespace zdc::storage {
+namespace {
+
+constexpr char kDir[] = "db";
+
+/// Opens the log collecting every replayed payload; asserts ok.
+std::unique_ptr<Wal> open_collecting(Env& env, WalOptions options,
+                                     std::vector<std::string>* records,
+                                     WalRecoveryInfo* info = nullptr) {
+  std::unique_ptr<Wal> wal;
+  const Status s = Wal::open(
+      env, kDir, options, 0,
+      [records](std::uint64_t, std::string_view payload) {
+        records->push_back(std::string(payload));
+        return Status::ok();
+      },
+      &wal, info);
+  EXPECT_TRUE(s.is_ok()) << s.to_string();
+  return wal;
+}
+
+Status open_status(Env& env, WalOptions options,
+                   std::vector<std::string>* records) {
+  std::unique_ptr<Wal> wal;
+  return Wal::open(
+      env, kDir, options, 0,
+      [records](std::uint64_t, std::string_view payload) {
+        records->push_back(std::string(payload));
+        return Status::ok();
+      },
+      &wal);
+}
+
+TEST(Wal, EmptyLogOpensCleanAndRoundTrips) {
+  MemEnv env;
+  std::vector<std::string> records;
+  WalRecoveryInfo info;
+  auto wal = open_collecting(env, {}, &records, &info);
+  ASSERT_NE(wal, nullptr);
+  EXPECT_TRUE(records.empty());
+  EXPECT_EQ(info.records_replayed, 0u);
+  EXPECT_FALSE(info.tail_truncated);
+
+  ASSERT_TRUE(wal->append("alpha").is_ok());
+  ASSERT_TRUE(wal->append("").is_ok());  // empty payloads are legal records
+  ASSERT_TRUE(wal->append("gamma").is_ok());
+  ASSERT_TRUE(wal->sync().is_ok());
+  wal.reset();
+
+  records.clear();
+  wal = open_collecting(env, {}, &records, &info);
+  ASSERT_NE(wal, nullptr);
+  EXPECT_EQ(records, (std::vector<std::string>{"alpha", "", "gamma"}));
+  EXPECT_EQ(info.records_replayed, 3u);
+  EXPECT_FALSE(info.tail_truncated);
+}
+
+TEST(Wal, SyncIsGroupCommitAndIdleSyncIsFree) {
+  MemEnv env;
+  std::vector<std::string> records;
+  auto wal = open_collecting(env, {}, &records);
+  ASSERT_NE(wal, nullptr);
+  EXPECT_TRUE(wal->sync().is_ok());  // nothing unsynced: not a real fsync
+  EXPECT_EQ(wal->syncs(), 0u);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(wal->append("r" + std::to_string(i)).is_ok());
+  }
+  ASSERT_TRUE(wal->sync().is_ok());
+  EXPECT_EQ(wal->syncs(), 1u) << "ten appends must ride one fsync";
+  EXPECT_TRUE(wal->sync().is_ok());
+  EXPECT_EQ(wal->syncs(), 1u);
+}
+
+TEST(Wal, TornFinalRecordIsTruncatedNotFatal) {
+  MemEnv env;
+  std::vector<std::string> records;
+  auto wal = open_collecting(env, {}, &records);
+  ASSERT_NE(wal, nullptr);
+  ASSERT_TRUE(wal->append("kept-1").is_ok());
+  ASSERT_TRUE(wal->append("kept-2").is_ok());
+  ASSERT_TRUE(wal->append("torn-away").is_ok());
+  ASSERT_TRUE(wal->sync().is_ok());
+  wal.reset();
+
+  // Slice the final frame mid-payload — what an interrupted append leaves.
+  const std::string path = join_path(kDir, Wal::segment_name(0));
+  std::string contents;
+  ASSERT_TRUE(env.read_file(path, &contents).is_ok());
+  const std::uint64_t intact =
+      Wal::encode_frame("kept-1").size() + Wal::encode_frame("kept-2").size();
+  ASSERT_TRUE(env.truncate_file(path, contents.size() - 4).is_ok());
+
+  records.clear();
+  WalRecoveryInfo info;
+  wal = open_collecting(env, {}, &records, &info);
+  ASSERT_NE(wal, nullptr);
+  EXPECT_EQ(records, (std::vector<std::string>{"kept-1", "kept-2"}));
+  EXPECT_TRUE(info.tail_truncated);
+  EXPECT_EQ(info.torn_bytes_dropped,
+            contents.size() - 4 - intact);
+
+  // The tail was truncated away, so appending resumes cleanly.
+  ASSERT_TRUE(wal->append("after-recovery").is_ok());
+  ASSERT_TRUE(wal->sync().is_ok());
+  wal.reset();
+  records.clear();
+  wal = open_collecting(env, {}, &records);
+  ASSERT_NE(wal, nullptr);
+  EXPECT_EQ(records,
+            (std::vector<std::string>{"kept-1", "kept-2", "after-recovery"}));
+}
+
+TEST(Wal, CorruptCrcMidSegmentFailsLoudly) {
+  MemEnv env;
+  std::vector<std::string> records;
+  auto wal = open_collecting(env, {}, &records);
+  ASSERT_NE(wal, nullptr);
+  ASSERT_TRUE(wal->append("first").is_ok());
+  ASSERT_TRUE(wal->append("second").is_ok());
+  ASSERT_TRUE(wal->sync().is_ok());
+  wal.reset();
+
+  // Flip a payload byte of the *first* frame: a complete valid frame follows,
+  // so this is mid-segment damage — silently truncating it would drop the
+  // durable "second". Recovery must refuse.
+  const std::string path = join_path(kDir, Wal::segment_name(0));
+  std::string contents;
+  ASSERT_TRUE(env.read_file(path, &contents).is_ok());
+  contents[8] ^= 0x01;  // first payload byte (crc:4 + len:4 precede it)
+  std::unique_ptr<WritableFile> rewrite;
+  ASSERT_TRUE(env.new_writable(path, /*truncate=*/true, &rewrite).is_ok());
+  ASSERT_TRUE(rewrite->append(contents).is_ok());
+  rewrite.reset();
+
+  records.clear();
+  const Status s = open_status(env, {}, &records);
+  EXPECT_EQ(s.code(), Status::Code::kCorruption) << s.to_string();
+}
+
+TEST(Wal, DamageInNonFinalSegmentFailsLoudly) {
+  MemEnv env;
+  std::vector<std::string> records;
+  auto wal = open_collecting(env, {}, &records);
+  ASSERT_NE(wal, nullptr);
+  ASSERT_TRUE(wal->append("seg0-record").is_ok());
+  ASSERT_TRUE(wal->roll().is_ok());  // seg0 synced, writer now on seg1
+  ASSERT_TRUE(wal->append("seg1-record").is_ok());
+  ASSERT_TRUE(wal->sync().is_ok());
+  wal.reset();
+
+  // Tearing the *non-final* segment can never be a crash artifact (roll
+  // synced it), so even a would-be torn tail is corruption there.
+  const std::string path = join_path(kDir, Wal::segment_name(0));
+  std::string contents;
+  ASSERT_TRUE(env.read_file(path, &contents).is_ok());
+  ASSERT_TRUE(env.truncate_file(path, contents.size() - 1).is_ok());
+
+  records.clear();
+  const Status s = open_status(env, {}, &records);
+  EXPECT_EQ(s.code(), Status::Code::kCorruption) << s.to_string();
+}
+
+TEST(Wal, RollsAtSegmentBoundaryAndNeverSplitsFrames) {
+  MemEnv env;
+  WalOptions options;
+  options.segment_bytes = 64;
+  std::vector<std::string> records;
+  auto wal = open_collecting(env, options, &records);
+  ASSERT_NE(wal, nullptr);
+
+  // Frame size is 8 + payload. Two 24-byte payloads fill a segment exactly;
+  // the third must land whole in the next segment, not straddle the edge.
+  const std::string p1(24, 'a');
+  const std::string p2(24, 'b');
+  const std::string p3(24, 'c');
+  ASSERT_TRUE(wal->append(p1).is_ok());
+  ASSERT_TRUE(wal->append(p2).is_ok());
+  EXPECT_EQ(wal->current_segment(), 0u);
+  ASSERT_TRUE(wal->append(p3).is_ok());
+  EXPECT_EQ(wal->current_segment(), 1u);
+  ASSERT_TRUE(wal->sync().is_ok());
+
+  std::string seg0;
+  ASSERT_TRUE(
+      env.read_file(join_path(kDir, Wal::segment_name(0)), &seg0).is_ok());
+  EXPECT_EQ(seg0.size(), 64u);
+  std::string seg1;
+  ASSERT_TRUE(
+      env.read_file(join_path(kDir, Wal::segment_name(1)), &seg1).is_ok());
+  EXPECT_EQ(seg1.size(), 32u);
+
+  // An over-sized record still goes down in one piece (its own segment may
+  // exceed segment_bytes; frames are never split).
+  const std::string big(200, 'z');
+  ASSERT_TRUE(wal->append(big).is_ok());
+  ASSERT_TRUE(wal->sync().is_ok());
+  wal.reset();
+
+  records.clear();
+  WalRecoveryInfo info;
+  wal = open_collecting(env, options, &records, &info);
+  ASSERT_NE(wal, nullptr);
+  EXPECT_EQ(records, (std::vector<std::string>{p1, p2, p3, big}));
+  EXPECT_GE(info.segments_scanned, 3u);
+}
+
+TEST(Wal, SegmentNamesRoundTripAndSortByIndex) {
+  EXPECT_EQ(Wal::segment_name(0), "wal-000000.log");
+  std::uint64_t index = 99;
+  ASSERT_TRUE(Wal::parse_segment_name(Wal::segment_name(1234567), &index));
+  EXPECT_EQ(index, 1234567u);
+  EXPECT_FALSE(Wal::parse_segment_name("snap-000001", &index));
+  EXPECT_FALSE(Wal::parse_segment_name("wal-xyz.log", &index));
+  // Zero-padded decimal: lexicographic file order == numeric replay order.
+  EXPECT_LT(Wal::segment_name(9), Wal::segment_name(10));
+}
+
+// --- seeded write/kill/reopen fuzz ---
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+TEST(WalFuzz, WriteKillReopenNeverLosesASyncedRecord) {
+  const std::uint64_t rounds = env_u64("ZDC_WAL_FUZZ_ROUNDS", 64);
+  const std::uint64_t seed_base = env_u64("ZDC_WAL_FUZZ_SEED", 1);
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    common::Rng rng(common::mix_seed(seed_base, "wal_fuzz", 0.0, round));
+    MemEnv mem;
+    FaultyEnv env(mem);
+    WalOptions options;
+    options.segment_bytes = 96;  // small: rollovers happen constantly
+
+    std::vector<std::string> written;  // every append, in order
+    std::size_t synced = 0;            // prefix guaranteed durable
+
+    std::vector<std::string> records;
+    std::unique_ptr<Wal> wal;
+    ASSERT_TRUE(Wal::open(
+                    env, kDir, options, 0,
+                    [&records](std::uint64_t, std::string_view payload) {
+                      records.push_back(std::string(payload));
+                      return Status::ok();
+                    },
+                    &wal)
+                    .is_ok());
+
+    const std::uint64_t kills = 1 + rng.next_below(3);
+    for (std::uint64_t kill = 0; kill < kills; ++kill) {
+      const std::uint64_t ops = 1 + rng.next_below(12);
+      for (std::uint64_t op = 0; op < ops; ++op) {
+        const std::uint64_t dice = rng.next_below(10);
+        if (dice < 7) {
+          std::string payload(rng.next_below(40), ' ');
+          for (char& c : payload) {
+            c = static_cast<char>('a' + rng.next_below(26));
+          }
+          ASSERT_TRUE(wal->append(payload).is_ok());
+          written.push_back(std::move(payload));
+        } else if (dice < 9) {
+          ASSERT_TRUE(wal->sync().is_ok());
+          synced = written.size();
+        } else {
+          ASSERT_TRUE(wal->roll().is_ok());  // roll syncs the old segment...
+          // ...but records already staged on the *new* segment (none, the
+          // roll happens at a record boundary) stay unsynced; everything
+          // up to the roll is durable.
+          synced = written.size();
+        }
+      }
+
+      // kill -9 / power cut: slice the unsynced tail three different ways.
+      const std::uint64_t mode = rng.next_below(3);
+      if (mode == 0) {
+        env.crash_now(fault::CrashKeep::kNone);
+      } else if (mode == 1) {
+        env.crash_now(fault::CrashKeep::kTorn, rng.next_below(64));
+      } else {
+        env.crash_now(fault::CrashKeep::kAll);
+        synced = written.size();  // the page cache happened to be flushed
+      }
+      wal.reset();
+      env.recover();
+
+      records.clear();
+      ASSERT_TRUE(Wal::open(
+                      env, kDir, options, 0,
+                      [&records](std::uint64_t, std::string_view payload) {
+                        records.push_back(std::string(payload));
+                        return Status::ok();
+                      },
+                      &wal)
+                      .is_ok())
+          << "round " << round << " kill " << kill;
+
+      // The durability contract: nothing synced is lost, nothing is
+      // invented or reordered — recovered records are a prefix of written.
+      ASSERT_GE(records.size(), synced) << "round " << round;
+      ASSERT_LE(records.size(), written.size()) << "round " << round;
+      for (std::size_t i = 0; i < records.size(); ++i) {
+        ASSERT_EQ(records[i], written[i])
+            << "round " << round << " record " << i;
+      }
+      // Survivors are the new history; unsynced appends that died stay dead.
+      written.resize(records.size());
+      synced = written.size();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zdc::storage

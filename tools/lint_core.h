@@ -57,10 +57,14 @@ struct RunConfig {
   /// a wall clock, behind an explicit allow marker. src/check is included
   /// because replay-file byte-identity rests on the checker itself being
   /// deterministic (swarm randomness goes through the seeded common::Rng).
+  /// src/storage is included because recovery must be reproducible: the WAL
+  /// scan and the FaultyEnv crash points may consult only bytes and scripted
+  /// fault plans, never a clock or ambient randomness.
   std::vector<std::string> det_dirs = {"src/sim",     "src/consensus",
                                        "src/abcast",  "src/wab",
                                        "src/core",    "src/fd",
-                                       "src/obs",     "src/check"};
+                                       "src/obs",     "src/check",
+                                       "src/storage"};
 };
 
 /// Walks the configured directories (sorted, so output order is stable) and

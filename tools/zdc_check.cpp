@@ -2,6 +2,7 @@
 //
 //   zdc_check explore --protocol p --n 4 --f 1 --proposals a,a,a,a
 //             [--crashes K --leader-flips K --suspect-flips K]
+//             [--crash-restarts K]
 //             [--max-depth D --max-transitions T] [--out FILE]
 //   zdc_check swarm   --protocol paxos --n 3 --f 1 --proposals x,y,z
 //             --omega 0,0,2 [--seed S --runs R --max-steps K] [--out FILE]
@@ -55,11 +56,11 @@ Flags parse_flags(int argc, char** argv, int first) {
   // Every flag any mode reads; a typo'd flag silently falling back to its
   // default would make a checking run lie about what it covered.
   static const std::set<std::string> kKnown = {
-      "crashes",     "f",           "kind",        "leader-flips",
-      "max-depth",   "max-steps",   "max-transitions", "mutant",
-      "n",           "no-sleep-sets", "omega",     "oracle-subsets",
-      "out",         "proposals",   "protocol",    "runs",
-      "seed",        "submissions", "suspect-flips"};
+      "crash-restarts", "crashes",   "f",           "kind",
+      "leader-flips",   "max-depth", "max-steps",   "max-transitions",
+      "mutant",         "n",         "no-sleep-sets", "omega",
+      "oracle-subsets", "out",       "proposals",   "protocol",
+      "runs",           "seed",      "submissions", "suspect-flips"};
   Flags flags;
   for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
@@ -164,6 +165,8 @@ check::AdversaryBudgets parse_budgets(const Flags& flags) {
   budgets.suspect_flips =
       static_cast<std::uint32_t>(flags.num("suspect-flips", 0));
   budgets.oracle_subsets = flags.has("oracle-subsets");
+  budgets.crash_restarts =
+      static_cast<std::uint32_t>(flags.num("crash-restarts", 0));
   return budgets;
 }
 
@@ -327,7 +330,9 @@ void usage() {
       "  --omega 0,0,2    initial leader per process (default: all 0)\n"
       "  --mutant M       skip-one-step-quorum (p) | ignore-accepted (paxos)\n\n"
       "adversary budgets (bound the search space, default all 0):\n"
-      "  --crashes K --leader-flips K --suspect-flips K --oracle-subsets\n\n"
+      "  --crashes K --leader-flips K --suspect-flips K --oracle-subsets\n"
+      "  --crash-restarts K  crash-during-delivery + reboot-from-storage\n"
+      "                      (storage-backed protocols only: rec-paxos)\n\n"
       "explore flags:  --max-depth D  --max-transitions T  --no-sleep-sets\n"
       "swarm flags:    --seed S  --runs R  --max-steps K\n"
       "output:         --out FILE   write minimized replay on violation\n\n"
