@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Full verification: static analysis first (cheapest failures surface
 # earliest), then build + ctest in the plain tree, then the same suite under
-# ThreadSanitizer and AddressSanitizer (-DZDC_SANITIZE=thread|address, each
-# in its own build directory so the trees never mix).
+# ThreadSanitizer, AddressSanitizer and UBSan
+# (-DZDC_SANITIZE=thread|address|undefined, each in its own build directory
+# so the trees never mix).
 #
 #   scripts/check.sh                # static + plain + metrics + tsan + asan
-#                                   # + storage
+#                                   # + ubsan + storage
 #   scripts/check.sh plain tsan     # just these suites
 #   scripts/check.sh metrics        # metrics-JSON schema + byte-identity
 #   scripts/check.sh storage        # durable-WAL suite under both sanitizers
@@ -19,9 +20,10 @@ set -eu
 cd "$(dirname "$0")/.."
 JOBS=$( (command -v nproc > /dev/null && nproc) || echo 4)
 
-# Static stage: thread-safety annotation build (clang), zdc_lint, clang-tidy.
-# The clang-dependent pieces self-skip where clang isn't installed; zdc_lint
-# always runs (it builds with the project).
+# Static stage: thread-safety annotation build (clang), zdc_lint, the
+# zdc_analyze semantic passes, clang-tidy. The clang-dependent pieces
+# self-skip where clang isn't installed; zdc_lint and zdc_analyze always run
+# (they build with the project).
 run_static() {
   echo "=== static: thread-safety annotations"
   scripts/thread_safety_check.sh "$PWD"
@@ -29,6 +31,9 @@ run_static() {
   cmake -B build -S . > /dev/null
   cmake --build build -j "$JOBS" --target zdc_lint
   ./build/tools/zdc_lint --root "$PWD"
+  echo "=== static: zdc_analyze"
+  cmake --build build -j "$JOBS" --target zdc_analyze
+  ./build/tools/zdc_analyze --root "$PWD"
   echo "=== static: clang-tidy"
   scripts/run_clang_tidy.sh "$PWD" "$PWD/build"
   echo "=== static: format"
@@ -104,7 +109,7 @@ run_explore() {
   ctest --test-dir build-explore --output-on-failure -L slow -j "$JOBS"
 }
 
-suites=${*:-static plain metrics tsan asan storage}
+suites=${*:-static plain metrics tsan asan ubsan storage}
 for suite in $suites; do
   case "$suite" in
     static|--static) run_static ;;
@@ -112,12 +117,13 @@ for suite in $suites; do
     metrics) run_metrics ;;
     tsan)  run_suite tsan build-tsan -DZDC_SANITIZE=thread ;;
     asan)  run_suite asan build-asan -DZDC_SANITIZE=address ;;
+    ubsan) run_suite ubsan build-ubsan -DZDC_SANITIZE=undefined ;;
     storage) run_storage ;;
     explore|--explore) run_explore ;;
     # Opt-in (never part of the default set): refresh the perf baseline.
     bench) echo "=== bench: hot-path sweep"; scripts/bench.sh ;;
     *) echo "unknown suite '$suite'" \
-            "(static|plain|metrics|tsan|asan|storage|explore|bench)" >&2
+            "(static|plain|metrics|tsan|asan|ubsan|storage|explore|bench)" >&2
        exit 2 ;;
   esac
 done

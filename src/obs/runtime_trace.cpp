@@ -13,6 +13,7 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 std::chrono::nanoseconds now_ns() {
+  // zdc-analyze: allow(wall-clock-alias): runtime tracing timestamps real threaded runs (same exemption as the zdc-lint wall-clock allow above)
   return Clock::now().time_since_epoch();
 }
 

@@ -206,6 +206,10 @@ void InprocNetwork::restart(ProcessId p) {
     // reboot keeps nothing but stable storage. next_seq keeps counting so
     // item ordering stays monotonic across incarnations.
     while (!box.queue.empty()) box.queue.pop();
+    // The queue-depth gauge must follow the wipe, or metrics report the dead
+    // incarnation's backlog until the next enqueue (udp_net already does
+    // this on restart).
+    if (box.depth_gauge != nullptr) box.depth_gauge->set(0.0);
   }
   crashed_[p]->store(false);
   box.cv.notify_all();

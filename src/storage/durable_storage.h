@@ -54,9 +54,10 @@ class DurableStableStorage final : public common::StableStorage {
   /// snapshot, replays the WAL tail over it per the torn-tail rule, and
   /// sweeps half-committed compaction leftovers. `env` must outlive the
   /// returned object.
-  static Status open(Env& env, std::string dir, DurableStorageOptions options,
-                     std::unique_ptr<DurableStableStorage>* out,
-                     WalRecoveryInfo* info = nullptr);
+  [[nodiscard]] static Status open(Env& env, std::string dir,
+                                   DurableStorageOptions options,
+                                   std::unique_ptr<DurableStableStorage>* out,
+                                   WalRecoveryInfo* info = nullptr);
 
   // common::StableStorage
   void put(const std::string& key, std::string bytes) override;
@@ -68,7 +69,7 @@ class DurableStableStorage final : public common::StableStorage {
 
   /// Snapshot + log truncation (see header comment). Safe to call any time;
   /// sticky-errors like every other mutation.
-  Status compact();
+  [[nodiscard]] Status compact();
 
   /// First error any operation hit, or ok. Mutations after an error are
   /// no-ops — the simulated process is dead and the harness decides when to

@@ -85,9 +85,9 @@ class Status {
 class WritableFile {
  public:
   virtual ~WritableFile() = default;
-  virtual Status append(std::string_view bytes) = 0;
+  [[nodiscard]] virtual Status append(std::string_view bytes) = 0;
   /// Durability barrier (fsync/fdatasync on the posix env).
-  virtual Status sync() = 0;
+  [[nodiscard]] virtual Status sync() = 0;
 };
 
 class Env {
@@ -95,20 +95,24 @@ class Env {
   virtual ~Env() = default;
 
   /// Creates `dir` (and parents) if missing; ok if it already exists.
-  virtual Status create_dir(const std::string& dir) = 0;
+  [[nodiscard]] virtual Status create_dir(const std::string& dir) = 0;
   /// Sorted names (not paths) of the files directly under `dir`.
-  virtual Status list_dir(const std::string& dir,
-                          std::vector<std::string>* names) = 0;
+  [[nodiscard]] virtual Status list_dir(const std::string& dir,
+                                        std::vector<std::string>* names) = 0;
   [[nodiscard]] virtual bool file_exists(const std::string& path) = 0;
-  virtual Status read_file(const std::string& path, std::string* contents) = 0;
+  [[nodiscard]] virtual Status read_file(const std::string& path,
+                                         std::string* contents) = 0;
   /// Opens `path` for appending, creating it if missing; with `truncate`,
   /// existing contents are discarded first.
-  virtual Status new_writable(const std::string& path, bool truncate,
-                              std::unique_ptr<WritableFile>* out) = 0;
-  virtual Status truncate_file(const std::string& path, std::uint64_t size) = 0;
+  [[nodiscard]] virtual Status new_writable(
+      const std::string& path, bool truncate,
+      std::unique_ptr<WritableFile>* out) = 0;
+  [[nodiscard]] virtual Status truncate_file(const std::string& path,
+                                             std::uint64_t size) = 0;
   /// Atomic and immediately durable (see header comment).
-  virtual Status rename_file(const std::string& from, const std::string& to) = 0;
-  virtual Status remove_file(const std::string& path) = 0;
+  [[nodiscard]] virtual Status rename_file(const std::string& from,
+                                           const std::string& to) = 0;
+  [[nodiscard]] virtual Status remove_file(const std::string& path) = 0;
 };
 
 /// Purely in-memory filesystem: deterministic, no syscalls, safe inside the
@@ -116,16 +120,20 @@ class Env {
 /// runtime's recovery tests can share one MemEnv across worker threads.
 class MemEnv final : public Env {
  public:
-  Status create_dir(const std::string& dir) override;
-  Status list_dir(const std::string& dir,
-                  std::vector<std::string>* names) override;
+  [[nodiscard]] Status create_dir(const std::string& dir) override;
+  [[nodiscard]] Status list_dir(const std::string& dir,
+                                std::vector<std::string>* names) override;
   [[nodiscard]] bool file_exists(const std::string& path) override;
-  Status read_file(const std::string& path, std::string* contents) override;
-  Status new_writable(const std::string& path, bool truncate,
-                      std::unique_ptr<WritableFile>* out) override;
-  Status truncate_file(const std::string& path, std::uint64_t size) override;
-  Status rename_file(const std::string& from, const std::string& to) override;
-  Status remove_file(const std::string& path) override;
+  [[nodiscard]] Status read_file(const std::string& path,
+                                 std::string* contents) override;
+  [[nodiscard]] Status new_writable(
+      const std::string& path, bool truncate,
+      std::unique_ptr<WritableFile>* out) override;
+  [[nodiscard]] Status truncate_file(const std::string& path,
+                                     std::uint64_t size) override;
+  [[nodiscard]] Status rename_file(const std::string& from,
+                                   const std::string& to) override;
+  [[nodiscard]] Status remove_file(const std::string& path) override;
 
  private:
   class MemFile;
@@ -138,16 +146,20 @@ class MemEnv final : public Env {
 /// only the runtime recovery tests and bench_recovery touch real disks.
 class PosixEnv final : public Env {
  public:
-  Status create_dir(const std::string& dir) override;
-  Status list_dir(const std::string& dir,
-                  std::vector<std::string>* names) override;
+  [[nodiscard]] Status create_dir(const std::string& dir) override;
+  [[nodiscard]] Status list_dir(const std::string& dir,
+                                std::vector<std::string>* names) override;
   [[nodiscard]] bool file_exists(const std::string& path) override;
-  Status read_file(const std::string& path, std::string* contents) override;
-  Status new_writable(const std::string& path, bool truncate,
-                      std::unique_ptr<WritableFile>* out) override;
-  Status truncate_file(const std::string& path, std::uint64_t size) override;
-  Status rename_file(const std::string& from, const std::string& to) override;
-  Status remove_file(const std::string& path) override;
+  [[nodiscard]] Status read_file(const std::string& path,
+                                 std::string* contents) override;
+  [[nodiscard]] Status new_writable(
+      const std::string& path, bool truncate,
+      std::unique_ptr<WritableFile>* out) override;
+  [[nodiscard]] Status truncate_file(const std::string& path,
+                                     std::uint64_t size) override;
+  [[nodiscard]] Status rename_file(const std::string& from,
+                                   const std::string& to) override;
+  [[nodiscard]] Status remove_file(const std::string& path) override;
 };
 
 /// Process-wide PosixEnv instance.

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/assert.h"
+
 namespace zdc::storage {
 
 /// Wraps the base file so every append/sync routes through the env's fault
@@ -17,6 +19,7 @@ class FaultyEnv::File final : public WritableFile {
   }
   Status sync() override {
     common::MutexLock lock(env_.mu_);
+    // zdc-analyze: allow(blocking-under-lock): the fault harness serializes every storage op under mu_ by design — crash points must see a frozen op stream; harness runs use the in-memory Env, so the "fsync" is a counter bump
     return env_.sync_locked(path_, *base_);
   }
 
@@ -97,7 +100,16 @@ void FaultyEnv::crash_locked(fault::CrashKeep keep, std::uint64_t torn_bytes,
         path == *torn_path) {
       survive = std::min<std::uint64_t>(torn_bytes, state.unsynced.size());
     }
-    base_.truncate_file(path, state.synced_size + survive);
+    // A failed truncate would silently leave more bytes "surviving" the
+    // crash than the fault plan scripted — recovery tests would then pass
+    // against a state no real crash can produce. Found by zdc_analyze
+    // (discarded-status); the base env is in-memory, so failure here is a
+    // harness invariant violation, not an I/O outcome to latch.
+    const Status truncated =
+        base_.truncate_file(path, state.synced_size + survive);
+    ZDC_ASSERT_MSG(truncated.is_ok(),
+                   "FaultyEnv crash point failed to truncate the unsynced "
+                   "tail; simulated crash state would diverge from the plan");
     state.synced_size += survive;
     state.unsynced.clear();
   }

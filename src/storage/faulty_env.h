@@ -56,16 +56,20 @@ class FaultyEnv final : public Env {
   [[nodiscard]] std::uint64_t reads() const;
 
   // Env interface. Mutating calls fail with Status::crashed while crashed.
-  Status create_dir(const std::string& dir) override;
-  Status list_dir(const std::string& dir,
-                  std::vector<std::string>* names) override;
+  [[nodiscard]] Status create_dir(const std::string& dir) override;
+  [[nodiscard]] Status list_dir(const std::string& dir,
+                                std::vector<std::string>* names) override;
   [[nodiscard]] bool file_exists(const std::string& path) override;
-  Status read_file(const std::string& path, std::string* contents) override;
-  Status new_writable(const std::string& path, bool truncate,
-                      std::unique_ptr<WritableFile>* out) override;
-  Status truncate_file(const std::string& path, std::uint64_t size) override;
-  Status rename_file(const std::string& from, const std::string& to) override;
-  Status remove_file(const std::string& path) override;
+  [[nodiscard]] Status read_file(const std::string& path,
+                                 std::string* contents) override;
+  [[nodiscard]] Status new_writable(
+      const std::string& path, bool truncate,
+      std::unique_ptr<WritableFile>* out) override;
+  [[nodiscard]] Status truncate_file(const std::string& path,
+                                     std::uint64_t size) override;
+  [[nodiscard]] Status rename_file(const std::string& from,
+                                   const std::string& to) override;
+  [[nodiscard]] Status remove_file(const std::string& path) override;
 
  private:
   class File;
@@ -75,9 +79,12 @@ class FaultyEnv final : public Env {
     std::string unsynced;           ///< appended since the last sync
   };
 
-  Status append_locked(const std::string& path, std::string_view bytes,
-                       WritableFile& base_file) ZDC_REQUIRES(mu_);
-  Status sync_locked(const std::string& path, WritableFile& base_file)
+  [[nodiscard]] Status append_locked(const std::string& path,
+                                     std::string_view bytes,
+                                     WritableFile& base_file)
+      ZDC_REQUIRES(mu_);
+  [[nodiscard]] Status sync_locked(const std::string& path,
+                                   WritableFile& base_file)
       ZDC_REQUIRES(mu_);
   void crash_locked(fault::CrashKeep keep, std::uint64_t torn_bytes,
                     const std::string* torn_path) ZDC_REQUIRES(mu_);

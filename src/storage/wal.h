@@ -64,24 +64,26 @@ class Wal {
   /// writer at the tail. `min_segment` skips segments below it (the caller's
   /// snapshot already covers them — see durable_storage.h). `env` must
   /// outlive the returned Wal.
-  static Status open(Env& env, std::string dir, WalOptions options,
-                     std::uint64_t min_segment, const ReplayFn& replay,
-                     std::unique_ptr<Wal>* out,
-                     WalRecoveryInfo* info = nullptr);
+  [[nodiscard]] static Status open(Env& env, std::string dir,
+                                   WalOptions options,
+                                   std::uint64_t min_segment,
+                                   const ReplayFn& replay,
+                                   std::unique_ptr<Wal>* out,
+                                   WalRecoveryInfo* info = nullptr);
 
   /// Appends one framed record (rolling first if the segment is full).
   /// Durable only after the next sync().
-  Status append(std::string_view payload);
+  [[nodiscard]] Status append(std::string_view payload);
 
   /// Durability barrier. No-op (and not counted) when nothing is unsynced.
-  Status sync();
+  [[nodiscard]] Status sync();
 
   /// Syncs the current segment and switches the writer to the next index.
-  Status roll();
+  [[nodiscard]] Status roll();
 
   /// Deletes every segment with index < `segment`. The caller must hold a
   /// durable snapshot covering them (wrong order loses data; see compact()).
-  Status drop_segments_below(std::uint64_t segment);
+  [[nodiscard]] Status drop_segments_below(std::uint64_t segment);
 
   [[nodiscard]] std::uint64_t current_segment() const { return segment_; }
   /// Number of fsyncs issued — the recovery-cost metric.
@@ -109,7 +111,7 @@ class Wal {
       : env_(env), dir_(std::move(dir)), options_(options) {}
 
   /// Opens the writer on segment `segment_` (append mode).
-  Status open_writer(bool truncate);
+  [[nodiscard]] Status open_writer(bool truncate);
 
   Env& env_;
   const std::string dir_;

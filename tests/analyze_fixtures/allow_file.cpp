@@ -1,0 +1,19 @@
+// zdc-analyze: allow-file(discarded-status): whole-file marker — every drop in this fixture is deliberate
+namespace zdc {
+
+struct Status {
+  static Status ok();
+  bool is_ok() const;
+};
+
+Status make();
+
+void first() {
+  make();
+}
+
+void second() {
+  make();
+}
+
+}  // namespace zdc

@@ -1,0 +1,38 @@
+// Suppression grammar. A justified allow on the line above suppresses the
+// finding; a marker without a justification reports allow-needs-reason AND
+// leaves the underlying finding live; an unknown rule name reports
+// unknown-allow; a marker for a *different* rule suppresses nothing.
+namespace zdc {
+
+struct Status {
+  static Status ok();
+  bool is_ok() const;
+};
+
+Status make();
+
+void suppressed() {
+  // zdc-analyze: allow(discarded-status): fixture exercises the marker
+  make();
+}
+
+void live() {
+  make();
+}
+
+void reasonless() {
+  // zdc-analyze: allow(discarded-status)
+  make();
+}
+
+void unknown_rule() {
+  // zdc-analyze: allow(no-such-rule): the rule name is checked
+  make();
+}
+
+void wrong_rule() {
+  // zdc-analyze: allow(recursive-lock): wrong family, suppresses nothing
+  make();
+}
+
+}  // namespace zdc

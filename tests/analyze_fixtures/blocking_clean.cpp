@@ -1,0 +1,35 @@
+// True negatives: the guard lives in an inner scope that closes before the
+// fsync; a *comment* and a *string* mentioning fsync( under a lock; and a
+// member function merely *named* fsync-ish called under the lock (blocking
+// calls match exact names, and fsync_meta itself never blocks). None of
+// these may fire.
+namespace zdc {
+
+class QuietLog {
+ public:
+  void write_then_sync() {
+    {
+      common::MutexLock lock(mu_);
+      bytes_ += 1;
+    }
+    fsync(fd_);
+  }
+  void log_about_it() {
+    common::MutexLock lock(mu_);
+    // calling fsync( here would be a bug
+    note_ = "would fsync(fd) next";
+  }
+  void fsync_meta() { bytes_ += 1; }
+  void tidy() {
+    common::MutexLock lock(mu_);
+    fsync_meta();
+  }
+
+ private:
+  common::Mutex mu_;
+  int fd_ = -1;
+  int bytes_ = 0;
+  const char* note_ = "";
+};
+
+}  // namespace zdc

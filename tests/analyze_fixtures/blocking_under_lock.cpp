@@ -1,0 +1,22 @@
+// True positives: fsync directly under a guard (write_direct) and through a
+// callee (write_both holds mu_ when it calls flush, which reaches fsync).
+namespace zdc {
+
+class Log {
+ public:
+  void flush() { fsync(fd_); }
+  void write_direct() {
+    common::MutexLock lock(mu_);
+    fsync(fd_);
+  }
+  void write_both() {
+    common::MutexLock lock(mu_);
+    flush();
+  }
+
+ private:
+  common::Mutex mu_;
+  int fd_ = -1;
+};
+
+}  // namespace zdc

@@ -1,0 +1,24 @@
+// True positive: wait_two enters cv_.wait() with both a_ and b_ held — the
+// wait releases only its own mutex, so the other stays locked while the
+// thread sleeps. wait_one holds a single lock: the normal pattern, silent.
+namespace zdc {
+
+class Box {
+ public:
+  void wait_two() {
+    common::MutexLock first(a_);
+    common::MutexLock second(b_);
+    cv_.wait(second.inner());
+  }
+  void wait_one() {
+    common::MutexLock lock(a_);
+    cv_.wait(lock.inner());
+  }
+
+ private:
+  common::Mutex a_;
+  common::Mutex b_;
+  std::condition_variable cv_;
+};
+
+}  // namespace zdc

@@ -1,0 +1,44 @@
+// Discarded-error family. Fires: a bare Status-returning call in statement
+// position (careless) and a wrapper whose own Status is dropped even though
+// the inner call's is consumed (the second latch in wrap). Silent:
+// assignment, (void) cast, use inside a condition, `return`, and a void
+// method reached through a receiver whose static type resolves the call to
+// the void variant (quiet).
+namespace zdc {
+
+struct Status {
+  static Status ok();
+  bool is_ok() const;
+};
+
+class Wal {
+ public:
+  Status sync();
+  void careless() { sync(); }
+  void careful() {
+    const Status s = sync();
+    if (!s.is_ok()) return;
+    (void)sync();
+    if (!sync().is_ok()) return;
+  }
+  Status forward() { return sync(); }
+};
+
+Status latch(Status s);
+
+void wrap(Wal& wal) {
+  const Status kept = latch(wal.sync());
+  (void)kept;
+  latch(wal.sync());
+}
+
+class QuietStore {
+ public:
+  void sync();
+};
+
+void quiet(QuietStore& store) {
+  store.sync();
+}
+
+}  // namespace zdc

@@ -1,0 +1,45 @@
+// True positive: A::step acquires A::mu_ then B::mu_ (via poke); B::kick
+// acquires B::mu_ then A::mu_ (via jab). The two edges close a cycle.
+namespace zdc {
+
+class B;
+
+class A {
+ public:
+  explicit A(B& b) : b_(b) {}
+  void step();
+  void jab() {
+    common::MutexLock lock(mu_);
+    ++hits_;
+  }
+
+ private:
+  common::Mutex mu_;
+  int hits_ = 0;
+  B& b_;
+};
+
+class B {
+ public:
+  explicit B(A& a) : a_(a) {}
+  void poke() {
+    common::MutexLock lock(mu_);
+    ++hits_;
+  }
+  void kick() {
+    common::MutexLock lock(mu_);
+    a_.jab();
+  }
+
+ private:
+  common::Mutex mu_;
+  int hits_ = 0;
+  A& a_;
+};
+
+void A::step() {
+  common::MutexLock lock(mu_);
+  b_.poke();
+}
+
+}  // namespace zdc

@@ -1,0 +1,37 @@
+// True negative: same two-class shape as lock_cycle.cpp but every path
+// acquires Lo::mu_ strictly before Hi::mu_ — a consistent order, no cycle.
+// (Distinct class names from lock_cycle.cpp: the analyzer merges same-named
+// classes across files, and these fixtures are analyzed together by the
+// directory-walk test.)
+namespace zdc {
+
+class Hi {
+ public:
+  void poke() {
+    common::MutexLock lock(mu_);
+    ++hits_;
+  }
+
+ private:
+  common::Mutex mu_;
+  int hits_ = 0;
+};
+
+class Lo {
+ public:
+  explicit Lo(Hi& hi) : hi_(hi) {}
+  void step() {
+    common::MutexLock lock(mu_);
+    hi_.poke();
+  }
+  void stride() {
+    common::MutexLock lock(mu_);
+    hi_.poke();
+  }
+
+ private:
+  common::Mutex mu_;
+  Hi& hi_;
+};
+
+}  // namespace zdc

@@ -1,0 +1,34 @@
+// True positives: a direct re-acquisition in one scope (twice) and a
+// re-acquisition through a call (outer holds mu_ when it calls helper, which
+// acquires mu_ again). The sibling() call is fine: outer's guard lives in an
+// inner scope that has closed by then.
+namespace zdc {
+
+class R {
+ public:
+  void twice() {
+    common::MutexLock a(mu_);
+    common::MutexLock b(mu_);
+  }
+  void helper() {
+    common::MutexLock lock(mu_);
+    ++count_;
+  }
+  void outer() {
+    {
+      common::MutexLock lock(mu_);
+      helper();
+    }
+    sibling();
+  }
+  void sibling() {
+    common::MutexLock lock(mu_);
+    --count_;
+  }
+
+ private:
+  common::Mutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace zdc

@@ -1,0 +1,51 @@
+// Unordered-container flow. In a deterministic file, a range-for over an
+// *alias* of an unordered container fires unordered-alias-iter (walk_alias);
+// the direct spelling is zdc_lint's unordered-iter domain and stays silent
+// here (walk_direct). Feeding an Encoder or a fingerprint from inside the
+// loop fires unordered-encode-flow in every file, deterministic or not
+// (encode_unordered, fingerprint_unordered); an ordered map feeding the same
+// Encoder, or an unordered walk feeding a plain counter, stays silent
+// (encode_ordered, count_unordered).
+namespace zdc {
+
+using Table = std::unordered_map<int, int>;
+
+class Encoder {
+ public:
+  void put_u32(unsigned v);
+};
+
+void walk_alias(Table& t) {
+  long n = 0;
+  for (auto& kv : t) n += kv.second;
+}
+
+void walk_direct(std::unordered_map<int, int>& m) {
+  long n = 0;
+  for (auto& kv : m) n += kv.second;
+}
+
+void encode_unordered(std::unordered_map<int, int>& m, Encoder& enc) {
+  for (auto& kv : m) {
+    enc.put_u32(static_cast<unsigned>(kv.second));
+  }
+}
+
+void encode_ordered(std::map<int, int>& m, Encoder& enc) {
+  for (auto& kv : m) {
+    enc.put_u32(static_cast<unsigned>(kv.second));
+  }
+}
+
+void update_fingerprint(int v);
+
+void fingerprint_unordered(std::unordered_set<int>& s) {
+  for (int v : s) update_fingerprint(v);
+}
+
+void count_unordered(std::unordered_set<int>& s) {
+  long n = 0;
+  for (int v : s) n += v;
+}
+
+}  // namespace zdc

@@ -1,0 +1,8 @@
+// Header half of the cross-file alias test: the banned ground types hide
+// behind aliases declared here, in a *different* file from their uses.
+namespace zdc {
+
+using WireClock = std::chrono::system_clock;
+using WireTable = std::unordered_map<int, int>;
+
+}  // namespace zdc

@@ -1,0 +1,16 @@
+// Source half of the cross-file alias test: both uses resolve through the
+// aliases declared in wire_alias.h, so neither banned type appears literally
+// in this (deterministic) file.
+namespace zdc {
+
+long stamp() {
+  return WireClock::now().time_since_epoch().count();
+}
+
+long walk(WireTable& t) {
+  long n = 0;
+  for (auto& kv : t) n += kv.second;
+  return n;
+}
+
+}  // namespace zdc

@@ -1,0 +1,141 @@
+// zdc_analyze core: whole-program semantic static analysis, one step up from
+// the zdc_lint token scanner (lint_core.h). Where zdc_lint looks at one token
+// stream at a time, zdc_analyze lexes every translation unit, recovers a
+// lightweight structural model (classes, members, methods, local/parameter
+// types, using/typedef aliases) and runs three cross-file check families:
+//
+// Lock-graph family (rules: recursive-lock, lock-order-cycle,
+// blocking-under-lock, cv-wait-multi-lock):
+//   Every `common::MutexLock guard(expr)` acquisition site is harvested and
+//   the guarded mutex is resolved to a declaration-level identity
+//   ("Class::member" or "::global") through the structural model, the
+//   ZDC_GUARDED_BY/ZDC_REQUIRES/ZDC_ACQUIRE annotations, and local/member
+//   types. Acquisition order is propagated through the call graph (virtual
+//   calls fan out over the recorded class hierarchy) into a lock-order graph;
+//   cycles are potential deadlocks. Calls that can block (fsync, sendto,
+//   sleeps, poll — directly or through callees) made while a mutex is held
+//   are reported, as is a condition-variable wait entered with more than one
+//   lock held (the wait releases only its own lock).
+//
+// Discarded-error family (rule: discarded-status):
+//   Call sites that drop a must-use result (storage::Status,
+//   WalRecoveryInfo) in statement position. Unlike [[nodiscard]], the check
+//   sees through wrappers: `latch(wal->sync());` as a whole statement drops
+//   latch()'s Status even though sync()'s was consumed. Receiver types are
+//   resolved where possible so `store->sync()` (void override) is not
+//   confused with `wal->sync()` (Status).
+//
+// Determinism-flow family (rules: wall-clock-alias, raw-random-alias,
+// unordered-alias-iter, unordered-encode-flow):
+//   using/typedef chains are resolved so a wall clock or raw RNG cannot hide
+//   behind an alias in deterministic code (zdc_lint only sees the literal
+//   banned token). Iteration over an unordered container — directly or via
+//   an alias — whose loop body feeds an Encoder or a trace fingerprint is
+//   flagged everywhere: unspecified iteration order must never reach wire
+//   bytes or fingerprints.
+//
+// Suppression grammar (extends zdc_lint's allow markers; docs/ANALYSIS.md):
+//   // zdc-analyze: allow(<rule>): <justification>        this/next line
+//   // zdc-analyze: allow-file(<rule>): <justification>   whole file
+// The justification is mandatory (allow-needs-reason) and the rule must
+// exist (unknown-allow); violations of the grammar are findings themselves.
+//
+// Like zdc_lint there is no clang dependency: the analyzer builds with the
+// project and runs as an ordinary ctest (zdc_analyze_src). clang-tidy and
+// the -Werror=thread-safety build remain the self-skipping complements.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace zdc::analyze {
+
+// ---------------------------------------------------------------------------
+// Lexer. Exposed so the unit tests can pin its behavior on comments, string
+// and raw-string literals, numbers, preprocessor lines and multi-char
+// punctuation.
+
+enum class Tok {
+  kIdent,
+  kPunct,
+  kNumber,
+  kString,  ///< string literal (ordinary or raw), contents dropped
+  kChar,    ///< character literal, contents dropped
+};
+
+struct Token {
+  std::string text;  ///< empty for kString/kChar
+  int line = 0;
+  Tok kind = Tok::kPunct;
+};
+
+/// Lexes one translation unit: comments, preprocessor directives (with line
+/// continuations) and literal contents are consumed; "::" and "->" are single
+/// tokens so qualification stays one token wide.
+std::vector<Token> lex(const std::string& src);
+
+// ---------------------------------------------------------------------------
+// Analysis input / output.
+
+struct SourceFile {
+  std::string path;     ///< as reported in findings
+  std::string content;  ///< raw bytes of the file
+  /// Apply the determinism-flow rules (alias-resolved wall-clock/raw-random
+  /// bans). The unordered-encode-flow rule runs everywhere.
+  bool deterministic = false;
+};
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// One directed edge of the inferred lock-order graph: `from` was held when
+/// `to` was acquired (directly, or through the call named in `via`).
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string file;
+  int line = 0;
+  std::string via;  ///< empty for a direct acquisition
+};
+
+struct LockGraph {
+  std::vector<LockEdge> edges;            ///< deduplicated, stable order
+  std::vector<std::string> mutexes;       ///< every resolved mutex identity
+};
+
+/// Whole-program analysis over a set of sources (tests drive this directly;
+/// run() feeds it a directory walk). Findings come back sorted by
+/// (file, line, rule) with suppressed ones already removed. `graph`, when
+/// non-null, receives the lock-order graph for --dump-lock-graph.
+std::vector<Finding> analyze(const std::vector<SourceFile>& files,
+                             LockGraph* graph = nullptr);
+
+struct RunConfig {
+  /// Repository root; the directory lists below are relative to it.
+  std::string root = ".";
+  /// Directories whose .h/.hpp/.cc/.cpp files are analyzed. tools/ is
+  /// included: the analyzer must keep its own error handling honest.
+  std::vector<std::string> analyze_dirs = {"src", "tools"};
+  /// Directories that additionally get the determinism-flow rules — the same
+  /// replay-bit-for-bit set zdc_lint uses (lint_core.h documents each entry).
+  std::vector<std::string> det_dirs = {"src/sim",     "src/consensus",
+                                       "src/abcast",  "src/wab",
+                                       "src/core",    "src/fd",
+                                       "src/obs",     "src/check",
+                                       "src/storage"};
+};
+
+/// Walks the configured directories (sorted, stable output) and analyzes
+/// every C++ source file as one program.
+std::vector<Finding> run(const RunConfig& cfg, LockGraph* graph = nullptr);
+
+/// "file:line: [rule] message" — one line per finding, zdc_lint-compatible.
+std::string format(const Finding& f);
+
+}  // namespace zdc::analyze
