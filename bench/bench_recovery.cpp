@@ -28,6 +28,14 @@
 // survive a kill -9. Emits machine-readable BENCH_recovery.json
 // (schema zdc-bench-recovery-v1); --validate schema-checks an artifact.
 //
+// Part 3 (the catch-up protocol, docs/RECOVERY.md): catch-up time vs lag.
+// A restarted replica pulls the commands it missed from a live peer through
+// recovery::CatchupService — entry resends while the peer's DeliveryLog
+// retains them, one snapshot transfer plus the log suffix once retention GC
+// outran the lag. The rows price both regimes: wall time to converge,
+// wire messages, entries applied and snapshots installed, as the lag grows
+// past the retention cap ("catchup_rows" in the JSON artifact).
+//
 // Usage:
 //   bench_recovery [--quick] [--out FILE] [--seed N]   # run + emit JSON
 //   bench_recovery --validate FILE                     # schema-check a JSON
@@ -40,8 +48,12 @@
 #include <string>
 #include <vector>
 
+#include "abcast/delivery_log.h"
 #include "common/rng.h"
 #include "common/stable_storage.h"
+#include "core/kv_store.h"
+#include "recovery/catchup.h"
+#include "recovery/durable_rsm.h"
 #include "sim/sequence_world.h"
 #include "storage/durable_storage.h"
 #include "storage/env.h"
@@ -245,9 +257,118 @@ void run_storage_table(std::vector<StorageRow>* rows, bool quick,
 }
 
 // ---------------------------------------------------------------------------
+// Part 3: catch-up time vs lag through recovery::CatchupService.
+
+struct CatchupRow {
+  std::uint64_t lag = 0;           ///< commands the dead replica missed
+  std::uint64_t max_retained = 0;  ///< peer's DeliveryLog retention cap
+  std::uint64_t entries = 0;       ///< commands resent over the entry path
+  std::uint64_t snapshots = 0;     ///< snapshot transfers (0 or 1 here)
+  std::uint64_t messages = 0;      ///< total catch-up datagrams both ways
+  double catchup_ms = 0;           ///< wall time from first pull to caught up
+};
+
+/// One server at `lag` applied commands (retention-capped log, already
+/// GC'd), one empty client pulling over a direct in-process wire — the
+/// deterministic core of what ReplicaGroup does over the transport, so the
+/// row prices protocol work, not network jitter.
+CatchupRow run_catchup(std::uint64_t lag, std::uint64_t max_retained,
+                       common::Rng& rng) {
+  CatchupRow row;
+  row.lag = lag;
+  row.max_retained = max_retained;
+
+  abcast::DeliveryLog::Config retention;
+  retention.max_retained = max_retained;
+
+  struct Node {
+    std::unique_ptr<recovery::DurableRsm> rsm;
+    std::unique_ptr<abcast::DeliveryLog> log;
+    std::unique_ptr<recovery::CatchupService> catchup;
+  };
+  Node nodes[2];
+  struct Packet {
+    ProcessId from;
+    ProcessId to;
+    std::string bytes;
+  };
+  std::vector<Packet> queue;
+  for (ProcessId p = 0; p < 2; ++p) {
+    nodes[p].rsm = std::make_unique<recovery::DurableRsm>(
+        std::make_unique<core::KvStateMachine>(), nullptr);
+    nodes[p].log = std::make_unique<abcast::DeliveryLog>(2, retention);
+    nodes[p].catchup = std::make_unique<recovery::CatchupService>(
+        p, 2, nodes[p].rsm.get(), nodes[p].log.get(),
+        [p, &queue, &row](ProcessId to, std::string bytes) {
+          ++row.messages;
+          queue.push_back(Packet{p, to, std::move(bytes)});
+        });
+  }
+
+  for (std::uint64_t i = 1; i <= lag; ++i) {
+    const std::string cmd = core::kv_put("key-" + std::to_string(i % 64),
+                                         std::to_string(rng.next_below(1000)));
+    nodes[0].rsm->apply(i, cmd);
+    nodes[0].log->append(cmd);
+  }
+  nodes[0].log->gc();  // enforce the cap, as the live ack ticks would
+
+  const double t0 = now_s();
+  nodes[1].catchup->start_recovery();
+  nodes[1].catchup->poll_once();
+  while (!queue.empty()) {
+    Packet pkt = std::move(queue.front());
+    queue.erase(queue.begin());
+    nodes[pkt.to].catchup->on_message(pkt.from, pkt.bytes);
+  }
+  row.catchup_ms = (now_s() - t0) * 1e3;
+
+  if (!nodes[1].catchup->caught_up() || nodes[1].rsm->applied() != lag) {
+    std::fprintf(stderr, "catch-up failed to converge at lag %llu\n",
+                 static_cast<unsigned long long>(lag));
+    std::exit(1);
+  }
+  row.entries = nodes[1].catchup->entries_applied();
+  row.snapshots = nodes[1].catchup->snapshots_installed();
+  return row;
+}
+
+void run_catchup_table(std::vector<CatchupRow>* rows, bool quick,
+                       std::uint64_t seed) {
+  const std::uint64_t cap = quick ? 256 : 1024;
+  const std::vector<std::uint64_t> lags =
+      quick ? std::vector<std::uint64_t>{64, 256, 1024}
+            : std::vector<std::uint64_t>{256, 1024, 4096, 16384, 65536};
+  common::Rng rng(common::mix_seed(seed, "bench_recovery.catchup", 0.0, 0));
+
+  std::printf("\n=== Catch-up: restarted replica vs lag (retention cap %llu) "
+              "===\n",
+              static_cast<unsigned long long>(cap));
+  std::printf("%-10s %10s %10s %10s %12s\n", "lag", "entries", "snapshots",
+              "messages", "catchup ms");
+  for (const std::uint64_t lag : lags) {
+    const CatchupRow row = run_catchup(lag, cap, rng);
+    std::printf("%-10llu %10llu %10llu %10llu %12.3f\n",
+                static_cast<unsigned long long>(row.lag),
+                static_cast<unsigned long long>(row.entries),
+                static_cast<unsigned long long>(row.snapshots),
+                static_cast<unsigned long long>(row.messages), row.catchup_ms);
+    rows->push_back(row);
+  }
+  std::printf(
+      "\n# While the lag fits the peer's retention window, catch-up is pure "
+      "entry resend (cost\n"
+      "# linear in the lag). Past the cap it flips to one snapshot transfer "
+      "plus the retained\n"
+      "# suffix — cost proportional to live state, not to how long the "
+      "replica was dead.\n");
+}
+
+// ---------------------------------------------------------------------------
 // JSON emission + validation (same shape as bench_hotpath's artifact).
 
-std::string to_json(const std::vector<StorageRow>& rows, bool quick,
+std::string to_json(const std::vector<StorageRow>& rows,
+                    const std::vector<CatchupRow>& catchup_rows, bool quick,
                     std::uint64_t seed) {
   std::string out = "{\n  \"schema\": \"zdc-bench-recovery-v1\",\n";
   char buf[512];
@@ -269,6 +390,21 @@ std::string to_json(const std::vector<StorageRow>& rows, bool quick,
         static_cast<unsigned long long>(r.records_recovered),
         static_cast<unsigned long long>(r.seed),
         i + 1 == rows.size() ? "" : ",");
+    out += buf;
+  }
+  out += "  ],\n  \"catchup_rows\": [\n";
+  for (std::size_t i = 0; i < catchup_rows.size(); ++i) {
+    const CatchupRow& r = catchup_rows[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"lag\": %llu, \"max_retained\": %llu, \"entries\": %llu, "
+        "\"snapshots\": %llu, \"messages\": %llu, \"catchup_ms\": %.4f}%s\n",
+        static_cast<unsigned long long>(r.lag),
+        static_cast<unsigned long long>(r.max_retained),
+        static_cast<unsigned long long>(r.entries),
+        static_cast<unsigned long long>(r.snapshots),
+        static_cast<unsigned long long>(r.messages), r.catchup_ms,
+        i + 1 == catchup_rows.size() ? "" : ",");
     out += buf;
   }
   out += "  ]\n}\n";
@@ -400,6 +536,38 @@ std::string validate_json(const std::string& text) {
         }
       }
       j.consume(']');
+    } else if (key == "catchup_rows") {
+      // Optional (pre-catch-up artifacts lack it): catch-up time vs lag.
+      if (!j.consume('[')) return "catchup_rows is not an array";
+      while (!j.peek(']')) {
+        if (!j.consume('{')) return "catchup row is not an object";
+        static const char* kKeys[6] = {"lag",       "max_retained",
+                                       "entries",   "snapshots",
+                                       "messages",  "catchup_ms"};
+        bool has[6] = {};
+        while (!j.peek('}')) {
+          const std::string rk = j.parse_string();
+          if (!j.consume(':')) return "catchup row missing ':'";
+          j.parse_number();
+          if (j.fail) return "bad value for catchup row key " + rk;
+          for (int i = 0; i < 6; ++i) {
+            if (rk == kKeys[i]) has[i] = true;
+          }
+          if (!j.peek('}')) {
+            if (!j.consume(',')) return "catchup row missing ','";
+          }
+        }
+        j.consume('}');
+        for (int i = 0; i < 6; ++i) {
+          if (!has[i]) {
+            return std::string("catchup row missing key ") + kKeys[i];
+          }
+        }
+        if (!j.peek(']')) {
+          if (!j.consume(',')) return "catchup_rows missing ','";
+        }
+      }
+      j.consume(']');
     } else {
       return "unknown key '" + key + "'";
     }
@@ -464,8 +632,10 @@ int run(int argc, char** argv) {
 
   std::vector<StorageRow> rows;
   run_storage_table(&rows, quick, seed);
+  std::vector<CatchupRow> catchup_rows;
+  run_catchup_table(&catchup_rows, quick, seed);
 
-  const std::string json = to_json(rows, quick, seed);
+  const std::string json = to_json(rows, catchup_rows, quick, seed);
   const std::string err = validate_json(json);
   if (!err.empty()) {
     std::fprintf(stderr, "emitted JSON fails own validation: %s\n",

@@ -81,6 +81,37 @@ class LedgerStateMachine final : public core::StateMachine {
     return enc.take();
   }
 
+  [[nodiscard]] std::string serialize() const override {
+    common::Encoder enc;
+    enc.put_u64(balances_.size());
+    for (const auto& [account, balance] : balances_) {
+      enc.put_string(account);
+      enc.put_u64(static_cast<std::uint64_t>(balance));
+    }
+    enc.put_u64(accepted_);
+    enc.put_u64(rejected_);
+    return enc.take();
+  }
+
+  [[nodiscard]] bool restore(const std::string& image) override {
+    common::Decoder dec(image);
+    const std::uint64_t count = dec.get_u64();
+    std::map<std::string, std::int64_t> next;
+    for (std::uint64_t i = 0; i < count && dec.ok(); ++i) {
+      std::string account = dec.get_string();
+      const auto balance = static_cast<std::int64_t>(dec.get_u64());
+      if (!dec.ok()) break;
+      next.emplace(std::move(account), balance);
+    }
+    const std::uint64_t accepted = dec.get_u64();
+    const std::uint64_t rejected = dec.get_u64();
+    if (!dec.done() || next.size() != count) return false;
+    balances_ = std::move(next);
+    accepted_ = accepted;
+    rejected_ = rejected;
+    return true;
+  }
+
   [[nodiscard]] std::int64_t total() const {
     std::int64_t sum = 0;
     for (const auto& [account, balance] : balances_) sum += balance;

@@ -9,7 +9,8 @@
 #                                   # + ubsan + storage
 #   scripts/check.sh plain tsan     # just these suites
 #   scripts/check.sh metrics        # metrics-JSON schema + byte-identity
-#   scripts/check.sh storage        # durable-WAL suite under both sanitizers
+#   scripts/check.sh storage        # durable-WAL + catch-up recovery suites
+#                                   # under both sanitizers
 #                                   # + long fixed-seed WAL fuzz
 #   scripts/check.sh --static       # only the static stage
 #   scripts/check.sh --explore      # opt-in: slow-labelled deep exploration
@@ -71,9 +72,11 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
-# Storage stage: the durable-WAL suite (`ctest -L storage`) under both
-# sanitizers — lifetime bugs and races in the recovery path are exactly what
-# ASan/TSan have teeth for — plus a longer fixed-seed run of the WAL
+# Storage stage: every `storage`-labelled test under both sanitizers — the
+# durable-WAL suite plus the catch-up recovery suite (catchup_test: the
+# src/recovery stack through the kill-9 → restart → snapshot-transfer e2e,
+# whose replica swaps and cross-thread watermarks are exactly what ASan/TSan
+# have teeth for) — plus a longer fixed-seed run of the WAL
 # write/kill/reopen fuzz in the plain tree (the tier-1 run uses the default
 # 64 rounds; this one does 512 at a pinned seed so failures reproduce).
 run_storage() {

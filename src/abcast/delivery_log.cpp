@@ -1,0 +1,61 @@
+#include "abcast/delivery_log.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace zdc::abcast {
+
+DeliveryLog::DeliveryLog(std::uint32_t n, Config cfg)
+    : cfg_(cfg), acked_(n, 0) {
+  ZDC_ASSERT(n > 0);
+}
+
+std::uint64_t DeliveryLog::append(std::string command) {
+  entries_.push_back(std::move(command));
+  return next_++;
+}
+
+void DeliveryLog::reset_to(std::uint64_t next_index) {
+  ZDC_ASSERT(next_index >= 1);
+  entries_.clear();
+  first_ = next_ = next_index;
+}
+
+void DeliveryLog::ack(ProcessId p, std::uint64_t applied) {
+  ZDC_ASSERT(p < acked_.size());
+  acked_[p] = std::max(acked_[p], applied);
+}
+
+std::uint64_t DeliveryLog::min_acked() const {
+  return *std::min_element(acked_.begin(), acked_.end());
+}
+
+std::uint64_t DeliveryLog::gc() {
+  std::uint64_t dropped = 0;
+  // Commit tracking: entries everyone applied can never be requested again
+  // over the entry path (requests always start at applied + 1).
+  const std::uint64_t all_acked = min_acked();
+  while (first_ <= all_acked && first_ < next_) {
+    entries_.pop_front();
+    ++first_;
+    ++dropped;
+  }
+  // Retention cap: forced GC. A replica that still needed a dropped entry
+  // gets the snapshot fallback instead, so this only costs bandwidth.
+  if (cfg_.max_retained > 0) {
+    while (next_ - first_ > cfg_.max_retained) {
+      entries_.pop_front();
+      ++first_;
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+const std::string* DeliveryLog::entry(std::uint64_t index) const {
+  if (index < first_ || index >= next_) return nullptr;
+  return &entries_[index - first_];
+}
+
+}  // namespace zdc::abcast

@@ -1,0 +1,75 @@
+// Retention buffer of a-delivered commands, kept so peers can catch a
+// restarted or lagging replica up by resending decided instances
+// (recovery::CatchupService pulls from it over Channel::kCatchup).
+//
+// GC follows lightning-style commit tracking: every replica periodically
+// broadcasts its applied watermark, and entries every replica has
+// acknowledged are dropped — they can never be needed again over the entry
+// path. A retention cap bounds memory regardless of acks (a crashed replica
+// acknowledges nothing forever); entries forced out by the cap are exactly
+// the case the snapshot-transfer fallback covers, so capping is safe (see
+// docs/RECOVERY.md for the safety argument).
+//
+// Indices are the 1-based positions in the a-delivery total order, aligned
+// with recovery::DurableRsm::applied(): entry i is the i-th command the
+// owning replica applied. Not internally synchronized — owned by one
+// replica and driven from its worker thread, like the protocol objects.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace zdc::abcast {
+
+class DeliveryLog {
+ public:
+  struct Config {
+    /// Hard bound on retained entries; 0 = unbounded (acks alone GC).
+    std::uint64_t max_retained = 1024;
+  };
+
+  explicit DeliveryLog(std::uint32_t n) : DeliveryLog(n, Config()) {}
+  DeliveryLog(std::uint32_t n, Config cfg);
+
+  /// Appends the next command in the delivery order; returns its index.
+  std::uint64_t append(std::string command);
+
+  /// Restarts the sequence at `next_index` with an empty window (a rebooted
+  /// replica resumes appending right after its recovered prefix; everything
+  /// older is only reachable via a peer's log or snapshot).
+  void reset_to(std::uint64_t next_index);
+
+  /// Records that process p has applied everything up to `applied`
+  /// (watermarks only move forward). Call gc() afterwards to act on it.
+  void ack(ProcessId p, std::uint64_t applied);
+
+  /// Drops entries no longer needed: everything all replicas acknowledged,
+  /// plus the oldest entries beyond the retention cap. Returns the number
+  /// dropped.
+  std::uint64_t gc();
+
+  [[nodiscard]] std::uint64_t min_acked() const;
+  [[nodiscard]] std::uint64_t acked(ProcessId p) const { return acked_[p]; }
+
+  /// Oldest retained index; equals next() when the window is empty.
+  [[nodiscard]] std::uint64_t first() const { return first_; }
+  /// Index the next append receives (== owner's applied + 1).
+  [[nodiscard]] std::uint64_t next() const { return next_; }
+  [[nodiscard]] std::uint64_t retained() const { return next_ - first_; }
+
+  /// The command at `index`, or nullptr if outside the retained window.
+  [[nodiscard]] const std::string* entry(std::uint64_t index) const;
+
+ private:
+  const Config cfg_;
+  std::deque<std::string> entries_;
+  std::uint64_t first_ = 1;  ///< index of entries_.front()
+  std::uint64_t next_ = 1;   ///< index the next append receives
+  std::vector<std::uint64_t> acked_;
+};
+
+}  // namespace zdc::abcast

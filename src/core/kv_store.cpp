@@ -86,6 +86,33 @@ std::string KvStateMachine::snapshot() const {
   return enc.take();
 }
 
+std::string KvStateMachine::serialize() const {
+  // Canonical: entry count followed by the (key, value) pairs in key order
+  // (std::map iteration order), so equal states serialize to equal bytes.
+  common::Encoder enc;
+  enc.put_u64(data_.size());
+  for (const auto& [k, v] : data_) {
+    enc.put_string(k);
+    enc.put_string(v);
+  }
+  return enc.take();
+}
+
+bool KvStateMachine::restore(const std::string& image) {
+  common::Decoder dec(image);
+  const std::uint64_t count = dec.get_u64();
+  std::map<std::string, std::string> next;
+  for (std::uint64_t i = 0; i < count && dec.ok(); ++i) {
+    std::string key = dec.get_string();
+    std::string value = dec.get_string();
+    if (!dec.ok()) break;
+    next.emplace(std::move(key), std::move(value));
+  }
+  if (!dec.done() || next.size() != count) return false;
+  data_ = std::move(next);
+  return true;
+}
+
 std::optional<std::string> KvStateMachine::lookup(const std::string& key) const {
   const auto it = data_.find(key);
   if (it == data_.end()) return std::nullopt;

@@ -1,13 +1,16 @@
 // Replicated key-value store: the canonical StateMachine shipped with the
 // library (used by the replicated_kv example and the integration tests).
 //
-// Commands are binary-encoded (key/value bytes are arbitrary, including NUL):
+// Commands are binary-encoded (key/value bytes are arbitrary, including NUL).
+// Reply grammar (pinned by kv_rsm_test):
 //   PUT key value        -> "ok"
-//   GET key              -> value, or "" with found=false
+//   GET key              -> "value:<bytes>" / "not_found"
 //   DEL key              -> "ok" / "not_found"
 //   CAS key expect value -> "ok" / "mismatch" / "not_found"
-// GET going through the log gives linearizable reads (it is ordered against
-// every write); lookup() reads the local replica without ordering.
+// Any command that fails to decode replies "error:malformed"; an undecodable
+// opcode replies "error:unknown_op". GET going through the log gives
+// linearizable reads (it is ordered against every write); lookup() reads the
+// local replica without ordering.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +35,8 @@ class KvStateMachine final : public StateMachine {
  public:
   std::string apply(const std::string& command) override;
   [[nodiscard]] std::string snapshot() const override;
+  [[nodiscard]] std::string serialize() const override;
+  [[nodiscard]] bool restore(const std::string& image) override;
 
   /// Local (not linearizable) read.
   [[nodiscard]] std::optional<std::string> lookup(const std::string& key) const;

@@ -74,6 +74,31 @@ std::string ReplicatedLogStateMachine::snapshot() const {
   return enc.take();
 }
 
+std::string ReplicatedLogStateMachine::serialize() const {
+  // Canonical: the index window followed by the live entries in order.
+  common::Encoder enc;
+  enc.put_u64(first_index_);
+  enc.put_u64(next_index_);
+  for (const auto& entry : entries_) enc.put_string(entry);
+  return enc.take();
+}
+
+bool ReplicatedLogStateMachine::restore(const std::string& image) {
+  common::Decoder dec(image);
+  const std::uint64_t first = dec.get_u64();
+  const std::uint64_t next = dec.get_u64();
+  if (!dec.ok() || next < first) return false;
+  std::deque<std::string> entries;
+  for (std::uint64_t i = first; i < next && dec.ok(); ++i) {
+    entries.push_back(dec.get_string());
+  }
+  if (!dec.done() || entries.size() != next - first) return false;
+  entries_ = std::move(entries);
+  first_index_ = first;
+  next_index_ = next;
+  return true;
+}
+
 std::optional<std::string> ReplicatedLogStateMachine::entry(
     std::uint64_t index) const {
   if (index < first_index_ || index >= next_index_) return std::nullopt;

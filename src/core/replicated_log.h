@@ -3,11 +3,21 @@
 // result-bearing commands whose outcome depends on the total order —
 // append returns the index the entry landed at, identical on every replica).
 //
-// Commands:
+// Commands (reply grammar pinned by replicated_log_test):
 //   APPEND data          -> "idx:<n>"
 //   READ   index         -> "data:<bytes>" or "out_of_range"
 //   LEN                  -> "len:<n>"
 //   TRIM   up_to_index   -> "ok" (drops entries below; indices stay stable)
+//
+// Index contract: entries occupy the half-open window
+// [first_index(), end_index()). APPEND assigns end_index() and advances it;
+// TRIM advances first_index() without renumbering anything. READ replies
+// "data:..." exactly for indices inside the window — first_index() is the
+// oldest readable entry, end_index() (and anything trimmed away) is
+// "out_of_range". LEN reports end_index(), the *logical* length: the total
+// number of entries ever appended, deliberately unchanged by TRIM so that
+// "idx:<n>" results stay meaningful against it. size() is the *live* count,
+// end_index() - first_index(), i.e. how many entries READ can still serve.
 #pragma once
 
 #include <cstdint>
@@ -30,10 +40,17 @@ class ReplicatedLogStateMachine final : public StateMachine {
  public:
   std::string apply(const std::string& command) override;
   [[nodiscard]] std::string snapshot() const override;
+  [[nodiscard]] std::string serialize() const override;
+  [[nodiscard]] bool restore(const std::string& image) override;
 
   /// Local (not linearizable) accessors.
-  [[nodiscard]] std::uint64_t size() const { return next_index_; }
+  /// Live entry count: end_index() - first_index() (shrinks on TRIM).
+  [[nodiscard]] std::uint64_t size() const {
+    return next_index_ - first_index_;
+  }
   [[nodiscard]] std::uint64_t first_index() const { return first_index_; }
+  /// Index the next APPEND receives; also the logical length LEN reports.
+  [[nodiscard]] std::uint64_t end_index() const { return next_index_; }
   [[nodiscard]] std::optional<std::string> entry(std::uint64_t index) const;
 
  private:

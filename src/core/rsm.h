@@ -30,6 +30,17 @@ class StateMachine {
   virtual std::string apply(const std::string& command) = 0;
   /// Canonical digest of the full state; equal digests <=> equal state.
   [[nodiscard]] virtual std::string snapshot() const = 0;
+
+  /// Full-state serialization for snapshot transfer and durable snapshots:
+  /// restore(serialize()) on a fresh machine must reproduce a state with an
+  /// equal snapshot() digest AND equal results for every subsequent apply()
+  /// (the round-trip contract pinned by rsm_snapshot_test). The encoding is
+  /// canonical — two machines with equal state serialize to equal bytes.
+  [[nodiscard]] virtual std::string serialize() const = 0;
+  /// Replaces the machine's entire state with a serialize() image. Returns
+  /// false (leaving the state unspecified) on a malformed image; callers
+  /// treat that as corruption, not as a state.
+  [[nodiscard]] virtual bool restore(const std::string& image) = 0;
 };
 
 class ReplicatedStateMachine {

@@ -1,0 +1,213 @@
+#include "recovery/catchup.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/codec.h"
+
+namespace zdc::recovery {
+
+CatchupService::CatchupService(ProcessId self, std::uint32_t n,
+                               DurableRsm* rsm, abcast::DeliveryLog* log,
+                               SendFn send, Config cfg)
+    : self_(self), n_(n), rsm_(rsm), log_(log), send_(std::move(send)),
+      cfg_(std::move(cfg)) {
+  ZDC_ASSERT(n_ > 0 && self_ < n_);
+  ZDC_ASSERT(rsm_ != nullptr && log_ != nullptr && send_ != nullptr);
+  next_peer_ = (self_ + 1) % n_;
+  if (cfg_.metrics != nullptr) {
+    const obs::Labels labels = obs::process_label(self_);
+    requests_ctr_ =
+        &cfg_.metrics->counter("zdc_catchup_requests_total", labels);
+    entries_served_ctr_ =
+        &cfg_.metrics->counter("zdc_catchup_entries_served_total", labels);
+    entries_applied_ctr_ =
+        &cfg_.metrics->counter("zdc_catchup_entries_applied_total", labels);
+    snapshots_served_ctr_ =
+        &cfg_.metrics->counter("zdc_catchup_snapshots_served_total", labels);
+    snapshots_installed_ctr_ = &cfg_.metrics->counter(
+        "zdc_catchup_snapshots_installed_total", labels);
+    gc_dropped_ctr_ =
+        &cfg_.metrics->counter("zdc_catchup_gc_dropped_total", labels);
+    latency_hist_ =
+        &cfg_.metrics->histogram("zdc_catchup_latency_ms", {}, labels);
+  }
+}
+
+void CatchupService::on_message(ProcessId from, const std::string& bytes) {
+  common::Decoder dec(bytes);
+  const std::uint8_t type = dec.get_u8();
+  if (!dec.ok()) return;
+  switch (type) {
+    case kRequest: {
+      const std::uint64_t from_index = dec.get_u64();
+      if (dec.done()) on_request(from, from_index);
+      return;
+    }
+    case kEntries:
+      on_entries(from, bytes);
+      return;
+    case kSnapshot:
+      on_snapshot(from, bytes);
+      return;
+    case kAck: {
+      const std::uint64_t applied = dec.get_u64();
+      if (!dec.done()) return;
+      log_->ack(from, applied);
+      const std::uint64_t dropped = log_->gc();
+      if (dropped > 0 && gc_dropped_ctr_ != nullptr) {
+        gc_dropped_ctr_->inc(dropped);
+      }
+      // Acks double as frontier beacons for anyone recovering.
+      if (recovering()) {
+        note_frontier(applied);
+        maybe_record_caught_up();
+      }
+      return;
+    }
+    default:
+      return;  // unknown type: a newer peer; ignore
+  }
+}
+
+void CatchupService::on_request(ProcessId from, std::uint64_t from_index) {
+  if (requests_ctr_ != nullptr) requests_ctr_->inc();
+  const std::uint64_t applied = rsm_->applied();
+  if (from_index > applied || log_->first() <= from_index) {
+    // Entry path: what was asked for is still retained (or the requester is
+    // already at/above our frontier — an empty reply still carries it).
+    common::Encoder enc;
+    enc.put_u8(kEntries);
+    enc.put_u64(applied);
+    enc.put_u64(from_index);
+    std::uint32_t count = 0;
+    const std::uint64_t last =
+        std::min(applied, from_index + cfg_.max_entries_per_reply - 1);
+    std::vector<const std::string*> chunk;
+    for (std::uint64_t i = from_index; i <= last; ++i) {
+      const std::string* cmd = log_->entry(i);
+      if (cmd == nullptr) break;  // GC raced ahead; ship what we have
+      chunk.push_back(cmd);
+      ++count;
+    }
+    enc.put_u32(count);
+    for (const std::string* cmd : chunk) enc.put_string(*cmd);
+    if (entries_served_ctr_ != nullptr && count > 0) {
+      entries_served_ctr_->inc(count);
+    }
+    send_(from, enc.take());
+    return;
+  }
+  // Snapshot fallback: GC dropped the suffix the requester needs. Ship the
+  // whole machine at our applied index; the requester resumes the entry
+  // path from there.
+  common::Encoder enc;
+  enc.put_u8(kSnapshot);
+  enc.put_u64(applied);
+  enc.put_u64(applied);
+  enc.put_string(rsm_->machine().serialize());
+  if (snapshots_served_ctr_ != nullptr) snapshots_served_ctr_->inc();
+  send_(from, enc.take());
+}
+
+void CatchupService::on_entries(ProcessId from, const std::string& bytes) {
+  common::Decoder dec(bytes);
+  static_cast<void>(dec.get_u8());  // type, already dispatched
+  const std::uint64_t peer_applied = dec.get_u64();
+  const std::uint64_t first = dec.get_u64();
+  const std::uint32_t count = dec.get_u32();
+  if (!dec.ok()) return;
+  note_frontier(peer_applied);
+  bool progressed = false;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string command = dec.get_string();
+    if (!dec.ok()) return;
+    const std::uint64_t index = first + i;
+    if (index != rsm_->applied() + 1) continue;  // duplicate or gap
+    static_cast<void>(rsm_->apply(index, command));
+    const std::uint64_t assigned = log_->append(std::move(command));
+    ZDC_ASSERT(assigned == index);
+    entries_applied_.fetch_add(1, std::memory_order_relaxed);
+    if (entries_applied_ctr_ != nullptr) entries_applied_ctr_->inc();
+    progressed = true;
+  }
+  maybe_record_caught_up();
+  // Keep pulling from the same peer while it is ahead and feeding us —
+  // chunked transfer without waiting out a poll interval per chunk.
+  if (recovering() && progressed && rsm_->applied() < frontier_seen()) {
+    request_from(from, rsm_->applied() + 1);
+  }
+}
+
+void CatchupService::on_snapshot(ProcessId from, const std::string& bytes) {
+  common::Decoder dec(bytes);
+  static_cast<void>(dec.get_u8());  // type, already dispatched
+  const std::uint64_t peer_applied = dec.get_u64();
+  const std::uint64_t index = dec.get_u64();
+  const std::string state = dec.get_string();
+  if (!dec.done()) return;
+  note_frontier(peer_applied);
+  if (index > rsm_->applied()) {
+    if (!rsm_->install_snapshot(index, state)) return;  // corrupt image
+    // The pre-snapshot entry range is now unreachable locally; resume the
+    // sequence right after the installed state.
+    log_->reset_to(index + 1);
+    snapshots_installed_.fetch_add(1, std::memory_order_relaxed);
+    if (snapshots_installed_ctr_ != nullptr) snapshots_installed_ctr_->inc();
+  }
+  maybe_record_caught_up();
+  if (recovering() && rsm_->applied() < frontier_seen()) {
+    request_from(from, rsm_->applied() + 1);
+  }
+}
+
+void CatchupService::start_recovery() {
+  if (recovering_.exchange(true, std::memory_order_acq_rel)) return;
+  latency_recorded_ = false;
+  recovery_started_ms_ = cfg_.now_ms ? cfg_.now_ms() : 0.0;
+}
+
+void CatchupService::poll_once() {
+  if (!recovering()) return;
+  // Round-robin over peers: a crashed or lagging peer only costs one tick.
+  ProcessId peer = next_peer_;
+  if (peer == self_) peer = (peer + 1) % n_;
+  next_peer_ = (peer + 1) % n_;
+  if (peer == self_) return;  // n == 1: nobody to pull from
+  request_from(peer, rsm_->applied() + 1);
+}
+
+void CatchupService::announce_ack() {
+  common::Encoder enc;
+  enc.put_u8(kAck);
+  enc.put_u64(rsm_->applied());
+  const std::string bytes = enc.take();
+  for (ProcessId p = 0; p < n_; ++p) send_(p, bytes);
+}
+
+void CatchupService::request_from(ProcessId peer, std::uint64_t from_index) {
+  common::Encoder enc;
+  enc.put_u8(kRequest);
+  enc.put_u64(from_index);
+  send_(peer, enc.take());
+}
+
+void CatchupService::note_frontier(std::uint64_t peer_applied) {
+  std::uint64_t seen = frontier_seen_.load(std::memory_order_relaxed);
+  while (peer_applied > seen &&
+         !frontier_seen_.compare_exchange_weak(seen, peer_applied,
+                                               std::memory_order_acq_rel)) {
+  }
+}
+
+void CatchupService::maybe_record_caught_up() {
+  if (!recovering() || latency_recorded_ || !caught_up()) return;
+  latency_recorded_ = true;
+  if (latency_hist_ != nullptr && cfg_.now_ms) {
+    latency_hist_->observe(cfg_.now_ms() - recovery_started_ms_);
+  }
+}
+
+}  // namespace zdc::recovery

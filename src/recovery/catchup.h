@@ -1,0 +1,143 @@
+// Peer catch-up protocol: brings a restarted or lagging replica's DurableRsm
+// up to the live frontier over Channel::kCatchup.
+//
+// Pull-based. The recovering replica repeatedly asks a peer for the decided
+// commands from its applied + 1; the peer answers from its DeliveryLog with
+// an entry chunk, or — when GC already dropped what was asked for — with a
+// full serialized snapshot of its machine (snapshot-plus-log-suffix: the
+// requester installs the snapshot, then pulls the remaining suffix as
+// entries). Every reply carries the responder's applied frontier, and every
+// replica periodically broadcasts its applied watermark as an ack, which is
+// both the GC signal for DeliveryLog commit tracking and a frontier beacon
+// for anyone recovering.
+//
+// Wire messages (Channel::kCatchup, reliable):
+//   kRequest  u64 from_index
+//   kEntries  u64 responder_applied, u64 first, u32 count, count x string
+//   kSnapshot u64 responder_applied, u64 index, string state
+//   kAck      u64 applied
+//
+// Threading: on_message/poll_once/announce_ack run on the owning replica's
+// worker thread (the harness drives them via transport handlers and
+// timers — the service owns no timers itself, so a crashed replica's
+// closures die with its queue). recovering()/caught_up()/frontier_seen()
+// are safe from any thread.
+//
+// The latency clock is injected (Config::now_ms): this directory is under
+// the determinism lint, and the one legitimate wall-clock consumer — the
+// catch-up latency histogram — takes its readings from whatever clock the
+// harness provides (nullable; no clock, no histogram samples).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "abcast/delivery_log.h"
+#include "common/types.h"
+#include "obs/metrics.h"
+#include "recovery/durable_rsm.h"
+
+namespace zdc::recovery {
+
+class CatchupService {
+ public:
+  /// Sends one catch-up datagram to `to` (the harness binds this to
+  /// Transport::send on Channel::kCatchup).
+  using SendFn = std::function<void(ProcessId to, std::string bytes)>;
+
+  struct Config {
+    /// Entry-chunk size per kEntries reply (bounds reply datagrams).
+    std::uint32_t max_entries_per_reply = 32;
+    obs::MetricsRegistry* metrics = nullptr;
+    /// Monotonic milliseconds for the catch-up latency histogram; null
+    /// disables latency samples (counters still work).
+    std::function<double()> now_ms;
+  };
+
+  /// `rsm` and `log` are the owning replica's; both outlive the service.
+  CatchupService(ProcessId self, std::uint32_t n, DurableRsm* rsm,
+                 abcast::DeliveryLog* log, SendFn send)
+      : CatchupService(self, n, rsm, log, std::move(send), Config()) {}
+  CatchupService(ProcessId self, std::uint32_t n, DurableRsm* rsm,
+                 abcast::DeliveryLog* log, SendFn send, Config cfg);
+
+  /// Feed every Channel::kCatchup delivery here.
+  void on_message(ProcessId from, const std::string& bytes);
+
+  /// Enters recovery mode: poll_once() starts pulling. Idempotent.
+  void start_recovery();
+  [[nodiscard]] bool recovering() const {
+    return recovering_.load(std::memory_order_acquire);
+  }
+  /// Highest peer frontier seen so far (0 until any peer answered).
+  [[nodiscard]] std::uint64_t frontier_seen() const {
+    return frontier_seen_.load(std::memory_order_acquire);
+  }
+  /// Applied has reached every frontier any peer reported. Only meaningful
+  /// once frontier_seen() > 0; the live frontier may still advance.
+  [[nodiscard]] bool caught_up() const {
+    const std::uint64_t frontier = frontier_seen();
+    return frontier > 0 && rsm_->applied() >= frontier;
+  }
+
+  /// One pull tick: requests entries from the next peer (round-robin).
+  /// No-op unless recovering.
+  void poll_once();
+
+  /// Broadcasts this replica's applied watermark (to every process,
+  /// including self — the loopback ack keeps the own log's watermark row
+  /// honest). All replicas do this periodically; it drives GC.
+  void announce_ack();
+
+  /// Cross-thread counters for harness assertions.
+  [[nodiscard]] std::uint64_t entries_applied() const {
+    return entries_applied_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t snapshots_installed() const {
+    return snapshots_installed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum MsgType : std::uint8_t {
+    kRequest = 1,
+    kEntries = 2,
+    kSnapshot = 3,
+    kAck = 4,
+  };
+
+  void on_request(ProcessId from, std::uint64_t from_index);
+  void on_entries(ProcessId from, const std::string& bytes);
+  void on_snapshot(ProcessId from, const std::string& bytes);
+  void request_from(ProcessId peer, std::uint64_t from_index);
+  void note_frontier(std::uint64_t peer_applied);
+  void maybe_record_caught_up();
+
+  const ProcessId self_;
+  const std::uint32_t n_;
+  DurableRsm* rsm_;
+  abcast::DeliveryLog* log_;
+  SendFn send_;
+  const Config cfg_;
+
+  std::atomic<bool> recovering_{false};
+  std::atomic<std::uint64_t> frontier_seen_{0};
+  std::atomic<std::uint64_t> entries_applied_{0};
+  std::atomic<std::uint64_t> snapshots_installed_{0};
+  ProcessId next_peer_ = 0;      ///< round-robin cursor (worker thread)
+  double recovery_started_ms_ = 0.0;
+  bool latency_recorded_ = false;
+
+  // Pre-registered metric handles; null when metrics are off.
+  obs::Counter* requests_ctr_ = nullptr;
+  obs::Counter* entries_served_ctr_ = nullptr;
+  obs::Counter* entries_applied_ctr_ = nullptr;
+  obs::Counter* snapshots_served_ctr_ = nullptr;
+  obs::Counter* snapshots_installed_ctr_ = nullptr;
+  obs::Counter* gc_dropped_ctr_ = nullptr;
+  obs::Histogram* latency_hist_ = nullptr;
+};
+
+}  // namespace zdc::recovery

@@ -1,0 +1,91 @@
+// Write-ahead durable state machine: the bridge between src/core's
+// StateMachine and common::StableStorage (durably: storage::
+// DurableStableStorage over its segmented WAL).
+//
+// Every apply is written ahead — the (index, command) record is staged and
+// synced *before* the machine executes it — so a kill -9 between the sync
+// and the apply replays the command on recovery instead of losing it.
+// Command records live in a fixed ring of storage keys (an apply overwrites
+// the slot `index % log_window`; StableStorage has no delete, a ring needs
+// none), and every `snapshot_every` applies the full serialized machine
+// state is checkpointed under one key, which bounds both recovery work and
+// the ring span that ever matters: recovery loads the checkpoint, then
+// replays the contiguous run of newer ring records. `log_window >=
+// snapshot_every` guarantees no record newer than the checkpoint has been
+// overwritten.
+//
+// Crash model: a crash discards this object; the harness reopens the
+// storage (for DurableStableStorage, from the same Env — that is the WAL
+// replay) and builds a fresh DurableRsm over it, whose recover() returns
+// the applied prefix that survived. A null storage degrades to a plain
+// in-memory RSM (recover() finds nothing) — protocols never see the
+// difference, exactly like RunOptions::storage_factory elsewhere.
+//
+// Threading: apply()/recover()/install_snapshot() and machine() belong to
+// the owning replica's worker thread; applied() is safe from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/stable_storage.h"
+#include "core/rsm.h"
+
+namespace zdc::recovery {
+
+class DurableRsm {
+ public:
+  struct Config {
+    /// Checkpoint the full serialized state every this many applies.
+    std::uint64_t snapshot_every = 64;
+    /// Ring slots for write-ahead command records; must be >=
+    /// snapshot_every so the post-checkpoint suffix is always intact.
+    std::uint64_t log_window = 256;
+  };
+
+  /// `storage` may be null (in-memory mode) and must otherwise outlive
+  /// this object.
+  DurableRsm(std::unique_ptr<core::StateMachine> machine,
+             common::StableStorage* storage)
+      : DurableRsm(std::move(machine), storage, Config()) {}
+  DurableRsm(std::unique_ptr<core::StateMachine> machine,
+             common::StableStorage* storage, Config cfg);
+
+  /// Replays the storage into the machine: loads the newest checkpoint,
+  /// then applies the contiguous run of newer write-ahead records. Returns
+  /// false on a corrupt checkpoint image (recovery fails loudly rather
+  /// than inventing state); the applied prefix is then in applied().
+  [[nodiscard]] bool recover();
+
+  /// Executes command `index` (must be applied() + 1) with the write-ahead
+  /// barrier; returns the machine's result.
+  std::string apply(std::uint64_t index, const std::string& command);
+
+  /// Jumps the machine to a peer's serialized state at `index` (snapshot
+  /// transfer). Stale installs (index <= applied()) are ignored and
+  /// succeed; a malformed image returns false and leaves state untouched.
+  [[nodiscard]] bool install_snapshot(std::uint64_t index,
+                                      const std::string& state);
+
+  /// Index of the last applied command (0 = nothing applied). Any thread.
+  [[nodiscard]] std::uint64_t applied() const {
+    return applied_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] const core::StateMachine& machine() const { return *machine_; }
+  [[nodiscard]] core::StateMachine& machine() { return *machine_; }
+  [[nodiscard]] common::StableStorage* storage() { return storage_; }
+
+ private:
+  void checkpoint(std::uint64_t index);
+
+  const Config cfg_;
+  std::unique_ptr<core::StateMachine> machine_;
+  common::StableStorage* storage_;
+  std::atomic<std::uint64_t> applied_{0};
+};
+
+}  // namespace zdc::recovery

@@ -119,6 +119,9 @@ void ConsensusRunner::handle(ProcessId p, const Delivery& d) {
     case Channel::kWab:
       node.protocol->on_w_deliver(d.wab_instance, d.from, d.bytes);
       break;
+    case Channel::kCatchup:
+      // Single-shot consensus has no recovery service; nothing to feed.
+      break;
   }
 }
 

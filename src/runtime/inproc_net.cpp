@@ -123,14 +123,14 @@ void InprocNetwork::push(ProcessId to, Item item) {
       double delay = box.sample_delay(cfg_, item.delivery.channel);
       const fault::LinkState link = links_.link(item.delivery.from, to);
       if (!link.clean()) {
-        if (item.delivery.channel != Channel::kProtocol &&
+        if (!is_reliable(item.delivery.channel) &&
             (link.blocked ||
              (link.drop_prob > 0.0 && box.rng.chance(link.drop_prob)))) {
           if (box.dropped_ctr != nullptr) box.dropped_ctr->inc();
           return;  // best-effort traffic on a faulty link is simply lost
         }
         delay += link.extra_delay_ms;
-        if (item.delivery.channel == Channel::kProtocol &&
+        if (is_reliable(item.delivery.channel) &&
             link.drop_prob > 0.0 && link.drop_prob < 1.0) {
           // No datagram level here, so loss surfaces as retransmission
           // delay: one modeled RTO per lost attempt, geometric count.
@@ -252,7 +252,7 @@ void InprocNetwork::worker_loop(ProcessId p) {
     if (!item->is_timer &&
         links_.link(item->delivery.from, p).blocked) {
       common::MutexLock lock(box.mu);
-      if (item->delivery.channel == Channel::kProtocol) {
+      if (is_reliable(item->delivery.channel)) {
         item->seq = box.next_seq++;
         item->due = Clock::now() + std::chrono::milliseconds(1);
         box.queue.push(item);

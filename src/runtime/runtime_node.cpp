@@ -125,17 +125,35 @@ void RuntimeNode::handle(const Delivery& d) {
       }
       protocol_->on_w_deliver(d.wab_instance, d.from, d.bytes);
       break;
+    case Channel::kCatchup:
+      // Recovery traffic bypasses the protocol: the recovery layer (e.g.
+      // recovery::ReplicaGroup) installs this hook per node. Untraced, like
+      // heartbeats: state transfer adds no causal information to the
+      // protocol's spacetime rendering.
+      if (on_catchup_) on_catchup_(d);
+      break;
   }
 }
 
 RuntimeCluster::Config RuntimeCluster::Config::from_options(
     const zdc::RunOptions& opts) {
+  // Structured binding = compile-time exhaustive mapping: every RunOptions
+  // field must be named here, so adding one without deciding its runtime
+  // fate is a build error instead of a silent drop (which is exactly how
+  // storage_factory got lost by the old field-by-field copy).
+  const auto& [group, net, fd, seed, batching, metrics, trace,
+               storage_factory] = opts;
   Config cfg;
-  cfg.group = opts.group;
-  cfg.net.seed = opts.seed;
-  cfg.udp.seed = opts.seed;
-  cfg.batching = opts.batching;
-  cfg.metrics = opts.metrics;
+  cfg.group = group;
+  cfg.net.seed = seed;
+  cfg.udp.seed = seed;
+  cfg.batching = batching;
+  cfg.metrics = metrics;
+  cfg.storage_factory = storage_factory;
+  // Sim-fabric knobs with no runtime counterpart (see the header comment).
+  static_cast<void>(net);
+  static_cast<void>(fd);
+  static_cast<void>(trace);
   return cfg;
 }
 
@@ -154,6 +172,13 @@ RuntimeCluster::RuntimeCluster(
     net_cfg.metrics = cfg.metrics;
     net_ = std::make_unique<InprocNetwork>(net_cfg);
   }
+  storage_factory_ = cfg.storage_factory;
+  if (storage_factory_) {
+    storages_.reserve(cfg.group.n);
+    for (ProcessId p = 0; p < cfg.group.n; ++p) {
+      storages_.push_back(storage_factory_(p));
+    }
+  }
   nodes_.reserve(cfg.group.n);
   for (ProcessId p = 0; p < cfg.group.n; ++p) {
     nodes_.push_back(std::make_unique<RuntimeNode>(
@@ -163,6 +188,12 @@ RuntimeCluster::RuntimeCluster(
         },
         cfg.batching, cfg.metrics, cfg.trace));
   }
+}
+
+common::StableStorage* RuntimeCluster::reopen_storage(ProcessId p) {
+  if (!storage_factory_ || p >= storages_.size()) return nullptr;
+  storages_[p] = storage_factory_(p);
+  return storages_[p].get();
 }
 
 RuntimeCluster::~RuntimeCluster() { shutdown(); }

@@ -14,6 +14,7 @@
 
 #include "abcast/abcast.h"
 #include "abcast/batching.h"
+#include "common/stable_storage.h"
 #include "obs/run_options.h"
 #include "obs/runtime_trace.h"
 #include "runtime/heartbeat_fd.h"
@@ -56,6 +57,14 @@ class RuntimeNode {
   /// Thread-safe: marshals the a-broadcast onto the node's worker thread.
   void a_broadcast(std::string payload);
 
+  /// Installs the Channel::kCatchup dispatch hook (recovery state transfer,
+  /// see recovery::CatchupService). Like Transport::set_handler, must be
+  /// called before the transport starts; the hook then runs on this node's
+  /// worker thread. Without a hook, catch-up traffic is dropped.
+  void set_catchup_handler(std::function<void(const Delivery&)> fn) {
+    on_catchup_ = std::move(fn);
+  }
+
   [[nodiscard]] ProcessId id() const { return self_; }
   [[nodiscard]] const HeartbeatFd& failure_detector() const { return *fd_; }
   /// Only read after the cluster quiesced (worker-thread data).
@@ -71,6 +80,7 @@ class RuntimeNode {
   const ProcessId self_;
   Transport& net_;
   DeliverFn on_deliver_;
+  std::function<void(const Delivery&)> on_catchup_;
   obs::RuntimeTraceRecorder* trace_;
   std::unique_ptr<Host> host_;
   std::unique_ptr<HeartbeatFd> fd_;
@@ -99,12 +109,20 @@ class RuntimeCluster {
     /// cluster.
     obs::MetricsRegistry* metrics = nullptr;
     obs::RuntimeTraceRecorder* trace = nullptr;
+    /// Optional per-process stable-storage factory
+    /// (RunOptions::storage_factory maps here). When set, the cluster
+    /// instantiates one storage per process at construction and keeps it
+    /// across crash()/restart — see storage(p)/reopen_storage(p).
+    common::StorageFactory storage_factory;
 
     /// Maps the shared run-options bundle onto a cluster config: group, seed,
-    /// batching and metrics carry over. `opts.net`/`opts.fd`/`opts.trace` are
-    /// sim-fabric knobs (LanModel, FdSim, single-threaded TraceRecorder) and
-    /// are deliberately ignored — the runtime has a real network, a real
-    /// heartbeat detector and its own thread-safe RuntimeTraceRecorder.
+    /// batching, metrics and storage_factory carry over.
+    /// `opts.net`/`opts.fd`/`opts.trace` are sim-fabric knobs (LanModel,
+    /// FdSim, single-threaded TraceRecorder) and are deliberately ignored —
+    /// the runtime has a real network, a real heartbeat detector and its own
+    /// thread-safe RuntimeTraceRecorder. The mapping is exhaustive by
+    /// construction (structured binding over RunOptions): adding a RunOptions
+    /// field without deciding its fate here fails to compile.
     static Config from_options(const zdc::RunOptions& opts);
   };
 
@@ -120,6 +138,19 @@ class RuntimeCluster {
   RuntimeNode& node(ProcessId p) { return *nodes_[p]; }
   Transport& network() { return *net_; }
   void crash(ProcessId p) { net_->crash(p); }
+
+  /// Per-process stable storage, built from Config::storage_factory at
+  /// construction (null when no factory is configured). The object survives
+  /// crash(p) — stable storage is exactly what a reboot keeps.
+  [[nodiscard]] common::StableStorage* storage(ProcessId p) {
+    return p < storages_.size() ? storages_[p].get() : nullptr;
+  }
+  /// Models the kill-9 reboot of p's disk stack: re-invokes the factory for
+  /// p (a DurableStableStorage factory over a persistent Env replays its WAL
+  /// here) and swaps the slot. The old storage handle is destroyed — callers
+  /// must drop references first. Returns the fresh storage (null when no
+  /// factory is configured).
+  common::StableStorage* reopen_storage(ProcessId p);
   [[nodiscard]] std::uint32_t size() const {
     return static_cast<std::uint32_t>(nodes_.size());
   }
@@ -132,6 +163,8 @@ class RuntimeCluster {
  private:
   std::unique_ptr<Transport> net_;
   std::vector<std::unique_ptr<RuntimeNode>> nodes_;
+  common::StorageFactory storage_factory_;
+  std::vector<std::unique_ptr<common::StableStorage>> storages_;
 };
 
 }  // namespace zdc::runtime

@@ -9,8 +9,8 @@
 // Contract (both implementations):
 //   * handlers and scheduled callbacks of process p run on p's dedicated
 //     thread — protocol objects need no locking;
-//   * kProtocol is reliable between correct processes (no loss, no
-//     duplication); kHeartbeat and kWab are best-effort;
+//   * kProtocol and kCatchup are reliable between correct processes (no
+//     loss, no duplication); kHeartbeat and kWab are best-effort;
 //   * broadcast() delivers to every process including the sender;
 //   * after crash(p), p neither sends nor receives.
 #pragma once
@@ -24,7 +24,20 @@
 
 namespace zdc::runtime {
 
-enum class Channel : std::uint8_t { kProtocol = 0, kHeartbeat = 1, kWab = 2 };
+enum class Channel : std::uint8_t {
+  kProtocol = 0,   ///< consensus/abcast traffic (reliable)
+  kHeartbeat = 1,  ///< failure-detector heartbeats (best-effort)
+  kWab = 2,        ///< WAB ordering-oracle datagrams (best-effort)
+  kCatchup = 3,    ///< recovery state transfer (reliable; src/recovery)
+};
+
+/// Reliable channels get TCP semantics: no loss or duplication between
+/// correct processes, blocked links stall them instead of dropping, and the
+/// UDP transport runs them through its ARQ. Best-effort channels are raw
+/// datagrams.
+[[nodiscard]] constexpr bool is_reliable(Channel channel) {
+  return channel == Channel::kProtocol || channel == Channel::kCatchup;
+}
 
 struct Delivery {
   Channel channel = Channel::kProtocol;

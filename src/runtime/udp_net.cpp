@@ -225,7 +225,7 @@ void UdpNetwork::send(Channel channel, ProcessId from, ProcessId to,
   enc.put_u8(static_cast<std::uint8_t>(channel));
   enc.put_u32(from);
   std::string datagram;
-  if (channel == Channel::kProtocol) {
+  if (is_reliable(channel)) {
     // Sequence allocation and ARQ registration form ONE critical section:
     // when they were separate, a concurrent restart(from) could clear the
     // table between them and then inherit the dead incarnation's pending
@@ -338,7 +338,7 @@ void UdpNetwork::handle_datagram(ProcessId p, const char* data,
   std::string payload = dec.get_rest();
   if (from >= cfg_.n) return;
 
-  if (channel == Channel::kProtocol) {
+  if (is_reliable(channel)) {
     // Ack unconditionally (duplicates included: the ack may have been lost).
     common::Encoder ack;
     ack.put_u8(kTypeAck);

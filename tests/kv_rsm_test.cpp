@@ -59,6 +59,33 @@ TEST(KvStateMachine, UnknownOpRejected) {
   EXPECT_EQ(kv.apply(enc.take()), "error:unknown_op");
 }
 
+// The full reply grammar documented in kv_store.h, pinned in one place so a
+// drift in either direction (code or doc) fails here. Clients parse these
+// strings; "value:<bytes>" vs a bare "" for misses is a wire contract, not
+// an implementation detail.
+TEST(KvStateMachine, ReplyGrammarPinned) {
+  KvStateMachine kv;
+  EXPECT_EQ(kv.apply(kv_put("k", "v")), "ok");
+  EXPECT_EQ(kv.apply(kv_get("k")), "value:v");
+  EXPECT_EQ(kv.apply(kv_get("absent")), "not_found");
+  EXPECT_EQ(kv.apply(kv_put("empty", "")), "ok");
+  EXPECT_EQ(kv.apply(kv_get("empty")), "value:")
+      << "an empty value is \"value:\" — distinguishable from not_found";
+  EXPECT_EQ(kv.apply(kv_del("k")), "ok");
+  EXPECT_EQ(kv.apply(kv_del("k")), "not_found");
+  EXPECT_EQ(kv.apply(kv_cas("absent", "a", "b")), "not_found");
+  kv.apply(kv_put("c", "x"));
+  EXPECT_EQ(kv.apply(kv_cas("c", "wrong", "y")), "mismatch");
+  EXPECT_EQ(kv.apply(kv_cas("c", "x", "y")), "ok");
+  EXPECT_EQ(kv.apply("not-a-command"), "error:malformed");
+  common::Encoder enc;
+  enc.put_u8(42);
+  enc.put_string("k");
+  enc.put_string("");
+  enc.put_string("");
+  EXPECT_EQ(kv.apply(enc.take()), "error:unknown_op");
+}
+
 TEST(KvStateMachine, SnapshotEqualityTracksState) {
   KvStateMachine a, b;
   EXPECT_EQ(a.snapshot(), b.snapshot());

@@ -41,6 +41,48 @@ TEST(ReplicatedLog, TrimKeepsIndicesStable) {
   EXPECT_EQ(log.apply(log_append("e5")), "idx:5");    // numbering continues
 }
 
+// The index contract from replicated_log.h, pinned: LEN is the *logical*
+// length (end_index(), unchanged by TRIM) while size() is the *live* count
+// (end_index() - first_index(), shrinks on TRIM). They only coincide before
+// the first trim.
+TEST(ReplicatedLog, LenIsLogicalLengthSizeIsLiveCountAfterTrim) {
+  ReplicatedLogStateMachine log;
+  for (int i = 0; i < 6; ++i) log.apply(log_append("e" + std::to_string(i)));
+  EXPECT_EQ(log.apply(log_len()), "len:6");
+  EXPECT_EQ(log.size(), 6u);
+
+  EXPECT_EQ(log.apply(log_trim(4)), "ok");
+  EXPECT_EQ(log.apply(log_len()), "len:6") << "LEN must survive TRIM";
+  EXPECT_EQ(log.size(), 2u) << "size() is the live count";
+  EXPECT_EQ(log.first_index(), 4u);
+  EXPECT_EQ(log.end_index(), 6u);
+
+  // Appends keep numbering from the logical length, so "idx:<n>" results
+  // stay meaningful against LEN.
+  EXPECT_EQ(log.apply(log_append("e6")), "idx:6");
+  EXPECT_EQ(log.apply(log_len()), "len:7");
+  EXPECT_EQ(log.size(), 3u);
+}
+
+// READ serves exactly the half-open window [first_index(), end_index()).
+TEST(ReplicatedLog, ReadBoundariesPinnedToWindow) {
+  ReplicatedLogStateMachine log;
+  EXPECT_EQ(log.apply(log_read(0)), "out_of_range");  // empty log
+  for (int i = 0; i < 5; ++i) log.apply(log_append("e" + std::to_string(i)));
+  log.apply(log_trim(2));
+  ASSERT_EQ(log.first_index(), 2u);
+  ASSERT_EQ(log.end_index(), 5u);
+  EXPECT_EQ(log.apply(log_read(1)), "out_of_range");  // below first_index()
+  EXPECT_EQ(log.apply(log_read(2)), "data:e2");       // oldest readable
+  EXPECT_EQ(log.apply(log_read(4)), "data:e4");       // newest readable
+  EXPECT_EQ(log.apply(log_read(5)), "out_of_range");  // end_index() excluded
+  // Trimming everything leaves an empty window at a nonzero position.
+  log.apply(log_trim(5));
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.apply(log_read(4)), "out_of_range");
+  EXPECT_EQ(log.apply(log_len()), "len:5");
+}
+
 TEST(ReplicatedLog, MalformedRejected) {
   ReplicatedLogStateMachine log;
   EXPECT_EQ(log.apply("junk"), "error:malformed");

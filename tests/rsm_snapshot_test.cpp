@@ -1,0 +1,204 @@
+// Round-trip property tests for StateMachine::serialize()/restore() — the
+// contract in core/rsm.h that snapshot transfer and durable checkpoints
+// (src/recovery) both lean on: restore(serialize()) on a fresh machine must
+// reproduce an equal snapshot() digest AND equal results for every
+// subsequent apply, and the encoding is canonical (equal state <=> equal
+// bytes). Both shipped machines are exercised over seeded command streams.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/rng.h"
+#include "core/kv_store.h"
+#include "core/replicated_log.h"
+
+namespace zdc::core {
+namespace {
+
+std::vector<std::string> random_kv_commands(std::uint64_t seed, int count) {
+  common::Rng rng(seed);
+  std::vector<std::string> commands;
+  commands.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const std::string key = "k" + std::to_string(rng.next_below(16));
+    switch (rng.next_below(4)) {
+      case 0: commands.push_back(kv_put(key, "v" + std::to_string(i))); break;
+      case 1: commands.push_back(kv_del(key)); break;
+      case 2: commands.push_back(kv_get(key)); break;
+      default:
+        commands.push_back(
+            kv_cas(key, "v" + std::to_string(i - 2), "v" + std::to_string(i)));
+        break;
+    }
+  }
+  return commands;
+}
+
+std::vector<std::string> random_log_commands(std::uint64_t seed, int count) {
+  common::Rng rng(seed);
+  std::vector<std::string> commands;
+  commands.reserve(static_cast<std::size_t>(count));
+  std::uint64_t appended = 0;
+  for (int i = 0; i < count; ++i) {
+    switch (rng.next_below(5)) {
+      case 0:
+      case 1:
+        commands.push_back(log_append("data-" + std::to_string(i)));
+        ++appended;
+        break;
+      case 2: commands.push_back(log_read(rng.next_below(appended + 2))); break;
+      case 3: commands.push_back(log_len()); break;
+      default:
+        // Trim somewhere inside (or just past) the current content.
+        commands.push_back(log_trim(rng.next_below(appended + 1)));
+        break;
+    }
+  }
+  return commands;
+}
+
+// The round-trip property for one machine pair: drive `original` with
+// `history`, restore its image into `fresh`, then check equal digests and
+// equal replies for the whole `probes` tail applied to both.
+template <typename Machine>
+void expect_round_trip(const std::vector<std::string>& history,
+                       const std::vector<std::string>& probes) {
+  Machine original;
+  for (const auto& cmd : history) original.apply(cmd);
+
+  Machine fresh;
+  ASSERT_TRUE(fresh.restore(original.serialize()));
+  EXPECT_EQ(fresh.snapshot(), original.snapshot())
+      << "restore(serialize()) must reproduce the digest";
+
+  for (const auto& cmd : probes) {
+    EXPECT_EQ(fresh.apply(cmd), original.apply(cmd))
+        << "post-restore applies must be indistinguishable";
+  }
+  EXPECT_EQ(fresh.snapshot(), original.snapshot());
+}
+
+TEST(RsmSnapshot, KvRoundTripOverSeededStreams) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    expect_round_trip<KvStateMachine>(random_kv_commands(seed, 200),
+                                      random_kv_commands(seed + 100, 60));
+  }
+}
+
+TEST(RsmSnapshot, ReplicatedLogRoundTripOverSeededStreams) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    expect_round_trip<ReplicatedLogStateMachine>(
+        random_log_commands(seed, 200), random_log_commands(seed + 100, 60));
+  }
+}
+
+TEST(RsmSnapshot, EmptyMachinesRoundTrip) {
+  expect_round_trip<KvStateMachine>({}, random_kv_commands(7, 40));
+  expect_round_trip<ReplicatedLogStateMachine>({}, random_log_commands(7, 40));
+}
+
+// The log's serialized image must carry the index *frame*, not just the
+// bytes: a trimmed log and an untrimmed log with the same live entries are
+// different states.
+TEST(RsmSnapshot, LogImageCarriesTheIndexFrame) {
+  ReplicatedLogStateMachine trimmed;
+  for (int i = 0; i < 5; ++i) trimmed.apply(log_append("e" + std::to_string(i)));
+  trimmed.apply(log_trim(3));
+
+  ReplicatedLogStateMachine fresh;
+  ASSERT_TRUE(fresh.restore(trimmed.serialize()));
+  EXPECT_EQ(fresh.first_index(), 3u);
+  EXPECT_EQ(fresh.end_index(), 5u);
+  EXPECT_EQ(fresh.apply(log_len()), "len:5");
+  EXPECT_EQ(fresh.apply(log_read(2)), "out_of_range");
+  EXPECT_EQ(fresh.apply(log_read(3)), "data:e3");
+  EXPECT_EQ(fresh.apply(log_append("e5")), "idx:5");
+}
+
+// Canonical encoding: machines that reached equal state along different
+// command paths serialize to equal bytes (snapshot digests may prove state
+// equality, but snapshot *transfer* additionally wants byte determinism so
+// checkpoints and wire images are comparable).
+TEST(RsmSnapshot, EqualStateSerializesToEqualBytes) {
+  KvStateMachine a, b;
+  a.apply(kv_put("x", "1"));
+  a.apply(kv_put("y", "2"));
+  a.apply(kv_del("x"));
+  b.apply(kv_put("y", "wrong"));
+  b.apply(kv_put("y", "2"));
+  ASSERT_EQ(a.snapshot(), b.snapshot());
+  EXPECT_EQ(a.serialize(), b.serialize());
+
+  ReplicatedLogStateMachine c, d;
+  for (int i = 0; i < 4; ++i) {
+    c.apply(log_append("e" + std::to_string(i)));
+    d.apply(log_append("e" + std::to_string(i)));
+  }
+  c.apply(log_trim(2));
+  d.apply(log_trim(1));
+  d.apply(log_trim(2));
+  ASSERT_EQ(c.snapshot(), d.snapshot());
+  EXPECT_EQ(c.serialize(), d.serialize());
+}
+
+// Malformed images are corruption, not state: restore() returns false. A
+// failed restore on a *fresh* machine leaves it unusable by contract
+// (state unspecified), so each probe uses a new instance.
+TEST(RsmSnapshot, MalformedImagesRejected) {
+  KvStateMachine reference;
+  reference.apply(kv_put("k", "v"));
+  const std::string image = reference.serialize();
+
+  const auto reject_kv = [](const std::string& bad) {
+    KvStateMachine m;
+    EXPECT_FALSE(m.restore(bad)) << "image of " << bad.size() << " bytes";
+  };
+  reject_kv(image.substr(0, image.size() - 1));  // truncated
+  reject_kv(image + "x");                        // trailing garbage
+  reject_kv(std::string("\xff\xff\xff", 3));     // junk header
+
+  // A count field larger than the payload must not allocate-and-trust.
+  common::Encoder enc;
+  enc.put_u64(1000000);
+  enc.put_string("k");
+  enc.put_string("v");
+  reject_kv(enc.take());
+
+  ReplicatedLogStateMachine log;
+  log.apply(log_append("a"));
+  const std::string log_image = log.serialize();
+  const auto reject_log = [](const std::string& bad) {
+    ReplicatedLogStateMachine m;
+    EXPECT_FALSE(m.restore(bad));
+  };
+  reject_log(log_image.substr(0, log_image.size() - 1));
+  reject_log(log_image + "x");
+
+  // An inverted window (next < first) is structurally valid but semantic
+  // nonsense; restore must refuse it.
+  common::Encoder frame;
+  frame.put_u64(5);  // first_index
+  frame.put_u64(2);  // next_index < first_index
+  reject_log(frame.take());
+}
+
+// restore() replaces state wholesale — pre-existing content must not bleed
+// through into the restored image.
+TEST(RsmSnapshot, RestoreReplacesExistingState) {
+  KvStateMachine source;
+  source.apply(kv_put("only", "this"));
+
+  KvStateMachine target;
+  target.apply(kv_put("stale", "gone"));
+  target.apply(kv_put("only", "overwritten"));
+  ASSERT_TRUE(target.restore(source.serialize()));
+  EXPECT_EQ(target.snapshot(), source.snapshot());
+  EXPECT_EQ(target.apply(kv_get("stale")), "not_found");
+  EXPECT_EQ(target.apply(kv_get("only")), "value:this");
+}
+
+}  // namespace
+}  // namespace zdc::core

@@ -128,7 +128,7 @@ struct RunConfig {
                                        "src/abcast",  "src/wab",
                                        "src/core",    "src/fd",
                                        "src/obs",     "src/check",
-                                       "src/storage"};
+                                       "src/storage", "src/recovery"};
 };
 
 /// Walks the configured directories (sorted, stable output) and analyzes

@@ -59,12 +59,15 @@ struct RunConfig {
   /// deterministic (swarm randomness goes through the seeded common::Rng).
   /// src/storage is included because recovery must be reproducible: the WAL
   /// scan and the FaultyEnv crash points may consult only bytes and scripted
-  /// fault plans, never a clock or ambient randomness.
+  /// fault plans, never a clock or ambient randomness. src/recovery is
+  /// included for the same reason — catch-up replay and snapshot install
+  /// must depend only on storage bytes and peer messages (its one latency
+  /// histogram reads an injected clock, not a wall clock).
   std::vector<std::string> det_dirs = {"src/sim",     "src/consensus",
                                        "src/abcast",  "src/wab",
                                        "src/core",    "src/fd",
                                        "src/obs",     "src/check",
-                                       "src/storage"};
+                                       "src/storage", "src/recovery"};
 };
 
 /// Walks the configured directories (sorted, so output order is stable) and
