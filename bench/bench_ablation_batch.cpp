@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "abcast/batching.h"
 #include "abcast/c_abcast.h"
 #include "sim/abcast_world.h"
 
@@ -33,7 +34,8 @@ int main() {
                            abcast::AbcastHost& host, const fd::OmegaView& omega,
                            const fd::SuspectView&) {
         auto proto = abcast::make_c_abcast_l(self, group, host, omega);
-        proto->set_max_batch(cap);
+        abcast::configure_batching(*proto,
+                                   abcast::BatchingOptions{.c_abcast_max_batch = cap});
         return proto;
       };
       auto r = sim::run_abcast(cfg, factory);

@@ -1,22 +1,29 @@
 // A replicated bank ledger with a custom state machine — shows how to extend
-// the public API beyond the shipped KV store.
+// the rsm service API beyond the shipped KV store, including the
+// apply_read() hook that lets the service answer balance queries through
+// the read-index fast path (no consensus round) while transfers replicate
+// through the total order.
 //
 // The LedgerStateMachine applies `transfer from to amount` commands with a
-// no-overdraft rule. Conflicting transfers race from different replicas; the
-// atomic-broadcast total order makes every replica accept/reject exactly the
-// same subset, so balances match everywhere and the global sum is conserved
-// (the classic state-machine-replication invariant demo).
+// no-overdraft rule. Conflicting transfers race from different replicas;
+// the atomic-broadcast total order makes every replica accept/reject
+// exactly the same subset, so balances match everywhere and the global sum
+// is conserved (the classic state-machine-replication invariant demo).
 //
 //   ./build/examples/ordered_ledger
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/codec.h"
 #include "core/rsm.h"
+#include "obs/run_options.h"
 #include "runtime/runtime_node.h"
+#include "service/service_group.h"
 
 using namespace zdc;
 
@@ -71,6 +78,18 @@ class LedgerStateMachine final : public core::StateMachine {
     return "malformed";
   }
 
+  /// Text queries served by Client::read — via the lease gate when it
+  /// holds, or as an ordered consensus read when it does not; both paths
+  /// land here, so the client sees one answer either way.
+  [[nodiscard]] std::string apply_read(
+      const std::string& query) const override {
+    if (query == "total") return std::to_string(total());
+    if (query.rfind("balance:", 0) == 0) {
+      return std::to_string(balance(query.substr(8)));
+    }
+    return "error:unsupported_read";
+  }
+
   [[nodiscard]] std::string snapshot() const override {
     common::Encoder enc;
     enc.put_u64(balances_.size());
@@ -121,8 +140,6 @@ class LedgerStateMachine final : public core::StateMachine {
     auto it = balances_.find(account);
     return it == balances_.end() ? 0 : it->second;
   }
-  [[nodiscard]] std::uint64_t accepted() const { return accepted_; }
-  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
 
  private:
   std::map<std::string, std::int64_t> balances_;
@@ -135,88 +152,96 @@ class LedgerStateMachine final : public core::StateMachine {
 int main() {
   constexpr std::uint32_t kReplicas = 4;
   constexpr std::int64_t kOpening = 100;
+  constexpr int kConflictWaves = 5;
 
-  std::vector<core::ReplicatedStateMachine*> views;
-  std::vector<std::unique_ptr<core::ReplicatedStateMachine>> rsms;
-  for (std::uint32_t i = 0; i < kReplicas; ++i) {
-    rsms.push_back(std::make_unique<core::ReplicatedStateMachine>(
-        std::make_unique<LedgerStateMachine>()));
-    views.push_back(rsms.back().get());
-  }
-
-  auto cfg = runtime::RuntimeCluster::Config::from_options(
-      RunOptions{}.with_group(kReplicas, 1).with_seed(7));
-  cfg.kind = runtime::ProtocolKind::kCAbcastL;  // the paper's Ω stack
-
-  runtime::RuntimeCluster cluster(
-      cfg, [&views](ProcessId p, const abcast::AppMessage& m) {
-        views[p]->on_delivered(m);
-      });
-  for (ProcessId p = 0; p < kReplicas; ++p) {
-    rsms[p]->bind_submit([&cluster, p](std::string cmd) {
-      cluster.node(p).a_broadcast(std::move(cmd));
-    });
-  }
-  cluster.start();
+  rsm::ServiceGroup svc(
+      RunOptions{}
+          .with_group(kReplicas, 1)
+          .with_seed(7)
+          .with_sessions()
+          .with_read_index(),
+      [] { return std::make_unique<LedgerStateMachine>(); });
+  svc.start();
 
   // Open three accounts, then fire deliberately conflicting transfers from
-  // every replica: alice holds 100, and each replica tries to move 60 out of
-  // alice — at most one of the four can be accepted per "round" of spends.
-  rsms[0]->submit(cmd_open("alice", kOpening));
-  rsms[1]->submit(cmd_open("bob", kOpening));
-  rsms[2]->submit(cmd_open("carol", kOpening));
-
-  constexpr int kConflictWaves = 5;
-  for (int wave = 0; wave < kConflictWaves; ++wave) {
-    for (ProcessId p = 0; p < kReplicas; ++p) {
-      rsms[p]->submit(cmd_transfer("alice", p % 2 == 0 ? "bob" : "carol", 60));
-    }
-    // Refill so later waves have something to fight over.
-    rsms[0]->submit(cmd_transfer("bob", "alice", 30));
-    rsms[1]->submit(cmd_transfer("carol", "alice", 30));
+  // clients homed at every replica: alice holds 100, and each client tries
+  // to move 60 out of alice — at most one spend per refill wave can be
+  // accepted, and which one wins is decided by the total order alone.
+  {
+    rsm::Client setup = svc.client();
+    setup.execute(cmd_open("alice", kOpening));
+    setup.execute(cmd_open("bob", kOpening));
+    setup.execute(cmd_open("carol", kOpening));
+    setup.close_session();
   }
 
-  const std::uint64_t expected =
-      3 + static_cast<std::uint64_t>(kConflictWaves) * (kReplicas + 2);
-  const bool done = runtime::RuntimeCluster::wait_until(
+  std::vector<std::thread> racers;
+  for (std::uint32_t c = 0; c < kReplicas; ++c) {
+    racers.emplace_back([&svc, c] {
+      rsm::Client client = svc.client(/*home=*/c);
+      for (int wave = 0; wave < kConflictWaves; ++wave) {
+        client.execute(
+            cmd_transfer("alice", c % 2 == 0 ? "bob" : "carol", 60));
+      }
+      client.close_session();
+    });
+  }
+  racers.emplace_back([&svc] {
+    // Refills so later waves have something to fight over.
+    rsm::Client client = svc.client(/*home=*/1);
+    for (int wave = 0; wave < kConflictWaves; ++wave) {
+      client.execute(cmd_transfer("bob", "alice", 30));
+      client.execute(cmd_transfer("carol", "alice", 30));
+    }
+    client.close_session();
+  });
+  for (std::thread& racer : racers) racer.join();
+
+  // Linearizable queries through apply_read — fast (no consensus) once the
+  // lease holds, ordered otherwise; the answer is the same either way.
+  rsm::Client reader = svc.client();
+  const std::string alice = reader.read("balance:alice");
+  const std::string total = reader.read("total");
+  reader.close_session();
+
+  // Replies come from the lease holder; give the other replicas a moment
+  // to apply the tail of the log before comparing digests.
+  const bool settled = runtime::RuntimeCluster::wait_until(
       [&] {
-        for (const auto& rsm : rsms) {
-          if (rsm->applied_count() < expected) return false;
+        std::uint64_t hi = 0;
+        for (ProcessId p = 0; p < kReplicas; ++p) {
+          hi = std::max(hi, svc.replicas().applied(p));
+        }
+        for (ProcessId p = 0; p < kReplicas; ++p) {
+          if (svc.replicas().applied(p) < hi) return false;
         }
         return true;
       },
       30'000.0);
-  cluster.shutdown();
-  if (!done) {
+  const rsm::ServiceGroup::PathStats stats = svc.stats();
+  svc.shutdown();
+  if (!settled) {
     std::printf("ERROR: ledger did not settle in time\n");
     return 1;
   }
 
-  const std::string reference = rsms[0]->machine().snapshot();
   bool identical = true;
   for (ProcessId p = 0; p < kReplicas; ++p) {
-    const auto& ledger =
-        static_cast<const LedgerStateMachine&>(rsms[p]->machine());
-    const bool same = rsms[p]->machine().snapshot() == reference;
+    const bool same = svc.replicas().digest(p) == svc.replicas().digest(0);
     identical = identical && same;
-    std::printf(
-        "replica %u: alice=%lld bob=%lld carol=%lld total=%lld "
-        "(accepted=%llu rejected=%llu) %s\n",
-        p, static_cast<long long>(ledger.balance("alice")),
-        static_cast<long long>(ledger.balance("bob")),
-        static_cast<long long>(ledger.balance("carol")),
-        static_cast<long long>(ledger.total()),
-        static_cast<unsigned long long>(ledger.accepted()),
-        static_cast<unsigned long long>(ledger.rejected()),
-        same ? "" : "DIVERGED");
+    std::printf("replica %u: applied=%llu digest %s\n", p,
+                static_cast<unsigned long long>(svc.replicas().applied(p)),
+                same ? "== reference" : "!= reference (DIVERGED)");
   }
 
-  const auto& ledger0 =
-      static_cast<const LedgerStateMachine&>(rsms[0]->machine());
-  const bool conserved = ledger0.total() == 3 * kOpening;
-  std::printf("\nmoney conserved: %s (total %lld, opened %lld)\n",
-              conserved ? "yes" : "NO", static_cast<long long>(ledger0.total()),
-              static_cast<long long>(3 * kOpening));
+  const bool conserved = total == std::to_string(3 * kOpening);
+  std::printf("\nalice=%s total=%s (opened %lld); money conserved: %s\n",
+              alice.c_str(), total.c_str(),
+              static_cast<long long>(3 * kOpening), conserved ? "yes" : "NO");
+  std::printf("paths: writes=%llu fast_reads=%llu ordered_reads=%llu\n",
+              static_cast<unsigned long long>(stats.writes),
+              static_cast<unsigned long long>(stats.fast_reads),
+              static_cast<unsigned long long>(stats.ordered_reads));
   std::printf("%s\n", identical && conserved
                           ? "SUCCESS: identical ledgers, invariant holds"
                           : "FAILURE");

@@ -1,103 +1,109 @@
-// Replicated key-value store on the threaded runtime.
+// Replicated key-value store through the rsm service API.
 //
-// Four replicas run C-Abcast over P-Consensus (the paper's ◇P stack) above a
-// heartbeat failure detector and an in-process network with injected delays.
-// Concurrent writers hit different replicas; atomic broadcast gives every
-// replica the same command order, so all four KV state machines converge to
-// byte-identical state — demonstrated by comparing snapshots at the end.
+// Four replicas run the full service stack — client sessions with
+// exactly-once dedup, atomic broadcast for ordering, and the read-index
+// lease gate so linearizable GETs skip consensus once the leader's lease is
+// established. Concurrent clients hit different home replicas; the
+// broadcast total order resolves their write races identically everywhere,
+// demonstrated by comparing replica digests at the end.
 //
 //   ./build/examples/replicated_kv
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/kv_store.h"
-#include "core/rsm.h"
+#include "obs/run_options.h"
 #include "runtime/runtime_node.h"
+#include "service/service_group.h"
 
 using namespace zdc;
 
 int main() {
   constexpr std::uint32_t kReplicas = 4;
-  constexpr int kWritesPerReplica = 25;
+  constexpr int kWritesPerClient = 25;
 
-  // One ReplicatedStateMachine + KvStateMachine per replica.
-  std::vector<std::unique_ptr<core::ReplicatedStateMachine>> rsms;
-  for (std::uint32_t i = 0; i < kReplicas; ++i) {
-    rsms.push_back(std::make_unique<core::ReplicatedStateMachine>(
-        std::make_unique<core::KvStateMachine>()));
-  }
-
-  // The shared group/seed block comes from zdc::RunOptions; runtime-only
-  // knobs (protocol kind, inproc delay range) are set on the mapped config.
-  auto cfg = runtime::RuntimeCluster::Config::from_options(
-      RunOptions{}.with_group(kReplicas, 1).with_seed(2024));
-  cfg.kind = runtime::ProtocolKind::kCAbcastP;
-  cfg.net.min_delay_ms = 0.05;
-  cfg.net.max_delay_ms = 0.5;
-
-  runtime::RuntimeCluster cluster(
-      cfg, [&rsms](ProcessId p, const abcast::AppMessage& m) {
-        rsms[p]->on_delivered(m);
-      });
-  for (ProcessId p = 0; p < kReplicas; ++p) {
-    rsms[p]->bind_submit([&cluster, p](std::string cmd) {
-      cluster.node(p).a_broadcast(std::move(cmd));
-    });
-  }
-  cluster.start();
-  std::printf("started %u replicas (C-Abcast over P-Consensus, heartbeat ◇P)\n",
+  // The whole stack — cluster, durable RSMs, session tables, lease gate —
+  // comes up from one options block; no abcast wiring in sight.
+  rsm::ServiceGroup svc(
+      RunOptions{}
+          .with_group(kReplicas, 1)
+          .with_seed(2024)
+          .with_sessions()
+          .with_read_index(),
+      [] { return std::make_unique<core::KvStateMachine>(); });
+  svc.start();
+  std::printf("started %u replicas (sessions + read-index lease reads)\n",
               kReplicas);
 
-  // Concurrent writers: every replica issues PUTs against shared keys, so the
-  // final value of each key is decided purely by the broadcast total order.
-  for (int i = 0; i < kWritesPerReplica; ++i) {
-    for (ProcessId p = 0; p < kReplicas; ++p) {
-      rsms[p]->submit(core::kv_put("shared-" + std::to_string(i),
-                                   "written-by-p" + std::to_string(p)));
-      rsms[p]->submit(core::kv_put(
-          "own-p" + std::to_string(p) + "-" + std::to_string(i), "v"));
-    }
+  // Concurrent clients, one homed at each replica: every client PUTs the
+  // shared keys, so each key's final value is decided purely by the
+  // broadcast total order. execute() blocks until the reply is known and
+  // retries internally — the session layer makes retries exactly-once.
+  std::vector<std::thread> writers;
+  for (std::uint32_t c = 0; c < kReplicas; ++c) {
+    writers.emplace_back([&svc, c] {
+      rsm::Client client = svc.client(/*home=*/c);
+      for (int i = 0; i < kWritesPerClient; ++i) {
+        client.execute(core::kv_put("shared-" + std::to_string(i),
+                                    "written-by-c" + std::to_string(c)));
+        client.execute(core::kv_put(
+            "own-c" + std::to_string(c) + "-" + std::to_string(i), "v"));
+      }
+      client.close_session();
+    });
   }
+  for (std::thread& w : writers) w.join();
 
-  const std::uint64_t expected =
-      static_cast<std::uint64_t>(kWritesPerReplica) * kReplicas * 2;
-  const bool done = runtime::RuntimeCluster::wait_until(
+  // Linearizable reads: the race winners, identical from any client.
+  rsm::Client reader = svc.client();
+  std::printf("\nrace winners (identical on every replica):\n");
+  for (int i = 0; i < 3; ++i) {
+    const std::string key = "shared-" + std::to_string(i);
+    std::printf("  %s = %s\n", key.c_str(),
+                reader.read(core::kv_get(key)).c_str());
+  }
+  reader.close_session();
+
+  // Replies come from the lease holder; give the other replicas a moment
+  // to apply the tail of the log before comparing digests.
+  const bool settled = runtime::RuntimeCluster::wait_until(
       [&] {
-        for (const auto& rsm : rsms) {
-          if (rsm->applied_count() < expected) return false;
+        std::uint64_t hi = 0;
+        for (ProcessId p = 0; p < kReplicas; ++p) {
+          hi = std::max(hi, svc.replicas().applied(p));
+        }
+        for (ProcessId p = 0; p < kReplicas; ++p) {
+          if (svc.replicas().applied(p) < hi) return false;
         }
         return true;
       },
       30'000.0);
-  cluster.shutdown();
-
-  if (!done) {
-    std::printf("ERROR: replicas did not converge in time\n");
+  const rsm::ServiceGroup::PathStats stats = svc.stats();
+  svc.shutdown();
+  if (!settled) {
+    std::printf("ERROR: replicas did not settle in time\n");
     return 1;
   }
 
-  const std::string reference = rsms[0]->machine().snapshot();
   bool identical = true;
   for (ProcessId p = 0; p < kReplicas; ++p) {
-    const auto& kv = static_cast<const core::KvStateMachine&>(rsms[p]->machine());
-    const bool same = rsms[p]->machine().snapshot() == reference;
+    const bool same = svc.replicas().digest(p) == svc.replicas().digest(0);
     identical = identical && same;
-    std::printf("replica %u: applied=%llu keys=%zu snapshot %s\n", p,
-                static_cast<unsigned long long>(rsms[p]->applied_count()),
-                kv.size(), same ? "== reference" : "!= reference (DIVERGED)");
+    std::printf("replica %u: applied=%llu digest %s\n", p,
+                static_cast<unsigned long long>(svc.replicas().applied(p)),
+                same ? "== reference" : "!= reference (DIVERGED)");
   }
-
-  // The shared keys show the total order in action: every replica resolved
-  // the write races identically.
-  const auto& kv0 = static_cast<const core::KvStateMachine&>(rsms[0]->machine());
-  std::printf("\nrace winners (identical on every replica):\n");
-  for (int i = 0; i < 3; ++i) {
-    const std::string key = "shared-" + std::to_string(i);
-    std::printf("  %s = %s\n", key.c_str(), kv0.lookup(key)->c_str());
-  }
-  std::printf("\n%s\n", identical ? "SUCCESS: all replicas converged"
-                                  : "FAILURE: divergence detected");
+  std::printf(
+      "\npaths: writes=%llu fast_reads=%llu ordered_reads=%llu retries=%llu\n",
+      static_cast<unsigned long long>(stats.writes),
+      static_cast<unsigned long long>(stats.fast_reads),
+      static_cast<unsigned long long>(stats.ordered_reads),
+      static_cast<unsigned long long>(stats.retries));
+  std::printf("%s\n", identical ? "SUCCESS: all replicas converged"
+                                : "FAILURE: divergence detected");
   return identical ? 0 : 1;
 }

@@ -3,10 +3,12 @@
 # validates the artifact against the schema with the bench's own --validate
 # mode. Default harness is the hot path (BENCH_hotpath.json, docs/PERF.md);
 # --recovery runs the recovery/durable-storage harness instead
-# (BENCH_recovery.json, docs/STORAGE.md).
+# (BENCH_recovery.json, docs/STORAGE.md); --service runs the session/
+# read-index service harness (BENCH_service.json, docs/SERVICE.md).
 #
 #   scripts/bench.sh                 # full sweep  -> BENCH_hotpath.json
 #   scripts/bench.sh --recovery      # storage cost -> BENCH_recovery.json
+#   scripts/bench.sh --service      # service paths -> BENCH_service.json
 #   scripts/bench.sh --quick         # tiny smoke sweep (the tier-1 ctest)
 #   scripts/bench.sh --out FILE      # write the JSON elsewhere
 #   BUILD_DIR=build-foo scripts/bench.sh   # use a different build tree
@@ -22,9 +24,11 @@ while [ $# -gt 0 ]; do
   case "$1" in
     --quick) QUICK="--quick" ;;
     --recovery) TARGET="bench_recovery" ;;
+    --service) TARGET="bench_service" ;;
     --out) shift; OUT=$1 ;;
     *)
-      echo "usage: scripts/bench.sh [--recovery] [--quick] [--out FILE]" >&2
+      echo "usage: scripts/bench.sh [--recovery|--service] [--quick]" \
+           "[--out FILE]" >&2
       exit 2
       ;;
   esac
@@ -33,6 +37,8 @@ done
 if [ -z "$OUT" ]; then
   if [ "$TARGET" = "bench_recovery" ]; then
     OUT="BENCH_recovery.json"
+  elif [ "$TARGET" = "bench_service" ]; then
+    OUT="BENCH_service.json"
   else
     OUT="BENCH_hotpath.json"
   fi

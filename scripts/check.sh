@@ -6,12 +6,14 @@
 # so the trees never mix).
 #
 #   scripts/check.sh                # static + plain + metrics + tsan + asan
-#                                   # + ubsan + storage
+#                                   # + ubsan + storage + service
 #   scripts/check.sh plain tsan     # just these suites
 #   scripts/check.sh metrics        # metrics-JSON schema + byte-identity
 #   scripts/check.sh storage        # durable-WAL + catch-up recovery suites
 #                                   # under both sanitizers
 #                                   # + long fixed-seed WAL fuzz
+#   scripts/check.sh service        # session/lock/read-index suites under
+#                                   # both sanitizers + service bench smoke
 #   scripts/check.sh --static       # only the static stage
 #   scripts/check.sh --explore      # opt-in: slow-labelled deep exploration
 #                                   # (full schedule-space exhaustion, minutes)
@@ -98,6 +100,28 @@ run_storage() {
     ./build/tests/wal_test --gtest_filter='WalFuzz.*'
 }
 
+# Service stage: every `service`-labelled test under both sanitizers — the
+# session dedup/GC suite, the lock-server cache suite, the deterministic
+# whole-service sim (1e5 sessions + nemesis) and the threaded ServiceGroup
+# end-to-end tests (lease-gate acks and the client router are cross-thread
+# hot spots — exactly what TSan has teeth for) — plus the quick service
+# bench to keep BENCH_service.json's schema and per-path invariants honest.
+run_service() {
+  local dir
+  for dir in build-tsan build-asan; do
+    local flag=-DZDC_SANITIZE=thread
+    [ "$dir" = build-asan ] && flag=-DZDC_SANITIZE=address
+    echo "=== service: configure ($dir)"
+    cmake -B "$dir" -S . "$flag" > /dev/null
+    echo "=== service: build ($dir)"
+    cmake --build "$dir" -j "$JOBS"
+    echo "=== service: ctest -L service ($dir)"
+    ctest --test-dir "$dir" --output-on-failure -L service -j "$JOBS"
+  done
+  echo "=== service: bench smoke"
+  scripts/bench.sh --service --quick --out build/BENCH_service_check.json
+}
+
 # Explore stage: the slow-labelled deep-exploration tests — full bounded
 # schedule-space exhaustion for L/P/Paxos via the model checker (src/check).
 # Deliberately NOT part of the default set: minutes of wall time, and the
@@ -112,7 +136,7 @@ run_explore() {
   ctest --test-dir build-explore --output-on-failure -L slow -j "$JOBS"
 }
 
-suites=${*:-static plain metrics tsan asan ubsan storage}
+suites=${*:-static plain metrics tsan asan ubsan storage service}
 for suite in $suites; do
   case "$suite" in
     static|--static) run_static ;;
@@ -122,11 +146,13 @@ for suite in $suites; do
     asan)  run_suite asan build-asan -DZDC_SANITIZE=address ;;
     ubsan) run_suite ubsan build-ubsan -DZDC_SANITIZE=undefined ;;
     storage) run_storage ;;
+    service) run_service ;;
     explore|--explore) run_explore ;;
     # Opt-in (never part of the default set): refresh the perf baseline.
     bench) echo "=== bench: hot-path sweep"; scripts/bench.sh ;;
     *) echo "unknown suite '$suite'" \
-            "(static|plain|metrics|tsan|asan|ubsan|storage|explore|bench)" >&2
+            "(static|plain|metrics|tsan|asan|ubsan|storage|service|explore|" \
+            "bench)" >&2
        exit 2 ;;
   esac
 done

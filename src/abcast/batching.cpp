@@ -8,10 +8,10 @@ namespace zdc::abcast {
 void configure_batching(AtomicBroadcast& protocol,
                         const BatchingOptions& opts) {
   if (auto* paxos = dynamic_cast<PaxosAbcast*>(&protocol)) {
-    paxos->set_pipeline_window(opts.paxos_pipeline_window);
+    paxos->pipeline_window_ = opts.paxos_pipeline_window;
   }
   if (auto* c_abcast = dynamic_cast<CAbcast*>(&protocol)) {
-    c_abcast->set_max_batch(opts.c_abcast_max_batch);
+    c_abcast->max_batch_ = opts.c_abcast_max_batch;
   }
 }
 

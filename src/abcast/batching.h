@@ -1,10 +1,9 @@
-// Consolidated batching knobs for the abcast stacks.
-//
-// PR 3 grew per-protocol setters (PaxosAbcast::set_pipeline_window,
-// CAbcast::set_max_batch); this header folds them into one options struct so
-// run configs — sim AbcastRunConfig, the runtime cluster config and the shared
-// zdc::RunOptions surface — carry a single `batching` member instead of loose
-// protocol-specific fields. Defaults reproduce the legacy (unbatched)
+// Consolidated batching knobs for the abcast stacks — the ONLY way to set
+// them. Run configs (sim AbcastRunConfig, the runtime cluster config and the
+// shared zdc::RunOptions surface) carry a single `batching` member, and
+// configure_batching() writes the protocol internals as a friend; the old
+// per-protocol setters (PaxosAbcast::set_pipeline_window,
+// CAbcast::set_max_batch) are gone. Defaults reproduce the legacy (unbatched)
 // behaviour byte-for-byte: the golden-trace fingerprints are pinned at these
 // defaults.
 #pragma once

@@ -49,6 +49,9 @@
 
 namespace zdc::abcast {
 
+struct BatchingOptions;
+void configure_batching(AtomicBroadcast& protocol, const BatchingOptions& opts);
+
 class CAbcast final : public AtomicBroadcast {
  public:
   /// `factory` stamps one consensus instance per round; `display_name` keeps
@@ -67,14 +70,11 @@ class CAbcast final : public AtomicBroadcast {
   /// Round currently executed (1-based); for tests.
   [[nodiscard]] InstanceId current_round() const { return round_; }
 
-  /// Caps the number of messages w-broadcast (and hence ordered) per round;
-  /// 0 = unlimited (the paper's algorithm proposes the whole estimate).
-  /// Excess messages stay in the estimate and ride later rounds — a
-  /// batching-vs-latency design knob benched in bench_ablation_batch.
-  ///
-  /// Deprecated shim: prefer BatchingOptions::c_abcast_max_batch applied
-  /// through abcast::configure_batching (see abcast/batching.h).
-  void set_max_batch(std::size_t max_batch) { max_batch_ = max_batch; }
+  /// The per-round batch cap is configured exclusively through
+  /// BatchingOptions::c_abcast_max_batch via abcast::configure_batching
+  /// (see abcast/batching.h for the knob's semantics).
+  friend void configure_batching(AtomicBroadcast& protocol,
+                                 const BatchingOptions& opts);
   /// Aggregates transport metrics of all live consensus instances into
   /// metrics().transport; live instances become inert afterwards.
   void finalize_metrics() override;
@@ -119,7 +119,11 @@ class CAbcast final : public AtomicBroadcast {
   InstanceId round_ = 1;
   Phase phase_ = Phase::kIdle;
   bool driving_ = false;  ///< re-entrancy guard for step()
-  std::size_t max_batch_ = 0;  ///< 0 = whole estimate per round
+  /// Per-round cap on messages w-broadcast (and hence ordered); 0 = whole
+  /// estimate per round (the paper's algorithm). Excess messages stay in the
+  /// estimate and ride later rounds — a batching-vs-latency design knob
+  /// benched in bench_ablation_batch. Set via configure_batching.
+  std::size_t max_batch_ = 0;
 
   MsgSet estimate_;
   std::set<MsgId> adelivered_;

@@ -31,6 +31,9 @@
 
 namespace zdc::abcast {
 
+struct BatchingOptions;
+void configure_batching(AtomicBroadcast& protocol, const BatchingOptions& opts);
+
 class PaxosAbcast final : public AtomicBroadcast {
  public:
   PaxosAbcast(ProcessId self, GroupParams group, AbcastHost& host,
@@ -44,20 +47,15 @@ class PaxosAbcast final : public AtomicBroadcast {
   /// Next slot to a-deliver (for tests).
   [[nodiscard]] std::uint64_t next_deliver_slot() const { return next_deliver_; }
 
-  /// Caps the leader's pipeline at `w` proposed-but-undecided slots; client
-  /// messages arriving while the window is full accumulate in pending_ and
-  /// ride the next freed slot as one batch — the load-adaptive batching the
-  /// paper's Fast Paxos lineage leans on at high throughput. 0 = unlimited
-  /// (the legacy behaviour: every client message opens a slot immediately,
-  /// one consensus instance per message under load).
-  ///
-  /// Deprecated shim: prefer BatchingOptions::paxos_pipeline_window applied
-  /// through abcast::configure_batching (see abcast/batching.h).
-  void set_pipeline_window(std::uint32_t w) { pipeline_window_ = w; }
-
   /// Slots this leader opened with fresh client batches (for tests/benches:
   /// message_count / proposed_slots is the achieved batching factor).
   [[nodiscard]] std::uint64_t proposed_slots() const { return proposed_slots_; }
+
+  /// The pipeline window is configured exclusively through
+  /// BatchingOptions::paxos_pipeline_window via abcast::configure_batching
+  /// (see abcast/batching.h for the knob's semantics).
+  friend void configure_batching(AtomicBroadcast& protocol,
+                                 const BatchingOptions& opts);
 
  protected:
   void submit(AppMessage m) override;
@@ -118,7 +116,10 @@ class PaxosAbcast final : public AtomicBroadcast {
   Ballot current_ballot_ = kNoBallot;
   Slot next_slot_ = 1;
   MsgSet pending_;  ///< client messages awaiting a slot
-  /// Pipeline cap (0 = unlimited); see set_pipeline_window().
+  /// Pipeline cap (0 = unlimited): at most this many proposed-but-undecided
+  /// slots; surplus client messages accumulate in pending_ and ride the next
+  /// freed slot as one batch — the load-adaptive batching the paper's Fast
+  /// Paxos lineage leans on at high throughput. Set via configure_batching.
   std::uint32_t pipeline_window_ = 0;
   /// Slots proposed under the current ballot and not yet learned.
   std::set<Slot> inflight_;

@@ -113,6 +113,20 @@ bool KvStateMachine::restore(const std::string& image) {
   return true;
 }
 
+std::string KvStateMachine::apply_read(const std::string& query) const {
+  common::Decoder dec(query);
+  const auto op = static_cast<KvOp>(dec.get_u8());
+  const std::string key = dec.get_string();
+  const std::string a = dec.get_string();
+  const std::string b = dec.get_string();
+  if (!dec.done()) return "error:malformed";
+  static_cast<void>(a);
+  static_cast<void>(b);
+  if (op != KvOp::kGet) return "error:unsupported_read";
+  const auto it = data_.find(key);
+  return it == data_.end() ? "not_found" : "value:" + it->second;
+}
+
 std::optional<std::string> KvStateMachine::lookup(const std::string& key) const {
   const auto it = data_.find(key);
   if (it == data_.end()) return std::nullopt;

@@ -37,6 +37,9 @@ class KvStateMachine final : public StateMachine {
   [[nodiscard]] std::string snapshot() const override;
   [[nodiscard]] std::string serialize() const override;
   [[nodiscard]] bool restore(const std::string& image) override;
+  /// Read-index serving: GET (and only GET) answered without ordering,
+  /// byte-equal with what apply() would reply for the same command.
+  [[nodiscard]] std::string apply_read(const std::string& query) const override;
 
   /// Local (not linearizable) read.
   [[nodiscard]] std::optional<std::string> lookup(const std::string& key) const;

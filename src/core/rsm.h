@@ -41,6 +41,18 @@ class StateMachine {
   /// false (leaving the state unspecified) on a malformed image; callers
   /// treat that as corruption, not as a state.
   [[nodiscard]] virtual bool restore(const std::string& image) = 0;
+
+  /// Optional read-only query hook for read-index serving (rsm::ServiceGroup
+  /// routes lease-protected reads here instead of through consensus). Must
+  /// not mutate state, and for any query q, apply_read(q) must equal what
+  /// apply(q) would return when q names a read-only command — that equality
+  /// is what lets a service downgrade an unsafe lease read to a full
+  /// consensus round without the client seeing a different answer. Machines
+  /// that serve no reads keep the default.
+  [[nodiscard]] virtual std::string apply_read(const std::string& query) const {
+    static_cast<void>(query);
+    return "error:unsupported_read";
+  }
 };
 
 class ReplicatedStateMachine {

@@ -42,6 +42,22 @@ namespace zdc {
 /// for real disks, FaultyEnv for scripted crash points).
 using StorageFactory = common::StorageFactory;
 
+/// Service-layer knobs (src/service): client sessions with request dedup
+/// and lease-protected read-index reads. Plain data here — the rsm layer
+/// reads it off RunOptions; the sim fabric and raw runtime clusters ignore
+/// it (from_options drops it deliberately, like the sim-only fields).
+struct ServiceOptions {
+  /// Frame commands in (client id, seqno) session envelopes with
+  /// server-side dedup tables (retried commands apply exactly once).
+  bool sessions = false;
+  /// Serve reads from the lease-holding leader's applied state without a
+  /// consensus round; unsafe leases downgrade to ordered reads.
+  bool read_index = false;
+  /// A leader's lease is fresh while its failure detector saw a majority
+  /// of peers within this window; stale => block or downgrade the read.
+  double lease_ms = 80.0;
+};
+
 struct RunOptions {
   GroupParams group{4, 1};
   sim::NetworkConfig net;
@@ -66,6 +82,9 @@ struct RunOptions {
   /// protocols never see the difference — only sync_count() and what
   /// survives a crash do.
   StorageFactory storage_factory;
+
+  /// Service-layer knobs, consumed by rsm::ServiceGroup (src/service).
+  ServiceOptions service;
 
   RunOptions& with_group(GroupParams g) {
     group = g;
@@ -101,6 +120,18 @@ struct RunOptions {
   }
   RunOptions& with_storage(StorageFactory f) {
     storage_factory = std::move(f);
+    return *this;
+  }
+  RunOptions& with_service(const ServiceOptions& s) {
+    service = s;
+    return *this;
+  }
+  RunOptions& with_sessions(bool on = true) {
+    service.sessions = on;
+    return *this;
+  }
+  RunOptions& with_read_index(bool on = true) {
+    service.read_index = on;
     return *this;
   }
 };

@@ -99,6 +99,16 @@ std::string ReplicaGroup::digest(ProcessId p) const {
   return r->rsm->machine().snapshot();
 }
 
+core::StateMachine* ReplicaGroup::machine(ProcessId p) const {
+  const std::shared_ptr<Replica> r = replica(p);
+  return r == nullptr ? nullptr : &r->rsm->machine();
+}
+
+DurableRsm* ReplicaGroup::rsm(ProcessId p) const {
+  const std::shared_ptr<Replica> r = replica(p);
+  return r == nullptr ? nullptr : r->rsm.get();
+}
+
 std::shared_ptr<ReplicaGroup::Replica> ReplicaGroup::replica(
     ProcessId p) const {
   common::MutexLock lock(mu_);
@@ -108,7 +118,7 @@ std::shared_ptr<ReplicaGroup::Replica> ReplicaGroup::replica(
 std::shared_ptr<ReplicaGroup::Replica> ReplicaGroup::build_replica(
     ProcessId p, common::StableStorage* storage) {
   auto r = std::make_shared<Replica>();
-  r->rsm = std::make_unique<DurableRsm>(make_machine_(), storage, cfg_.rsm);
+  r->rsm = std::make_unique<DurableRsm>(make_machine_(p), storage, cfg_.rsm);
   ZDC_ASSERT_MSG(r->rsm->recover(), "corrupt checkpoint on recovery");
   r->log = std::make_unique<abcast::DeliveryLog>(n_, cfg_.retention);
   r->log->reset_to(r->rsm->applied() + 1);

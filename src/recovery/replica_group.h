@@ -42,8 +42,11 @@ namespace zdc::recovery {
 class ReplicaGroup {
  public:
   /// Builds one replica's (empty) state machine; called n times at
-  /// construction and once per restart.
-  using MachineFactory = std::function<std::unique_ptr<core::StateMachine>()>;
+  /// construction and once per restart. Receives the owning replica's id so
+  /// layers above (rsm::ServiceGroup) can hang per-replica hooks — state
+  /// must NOT depend on it (every replica applies the same stream).
+  using MachineFactory =
+      std::function<std::unique_ptr<core::StateMachine>(ProcessId)>;
 
   struct Config {
     runtime::ProtocolKind kind = runtime::ProtocolKind::kCAbcastL;
@@ -88,6 +91,15 @@ class ReplicaGroup {
 
   /// Machine digest / full state; only once delivery has quiesced.
   [[nodiscard]] std::string digest(ProcessId p) const;
+
+  /// Replica p's live state machine. Read-only access is safe from p's own
+  /// worker thread (where applies happen) or once delivery has quiesced;
+  /// the pointer itself is stable until the next restart(p).
+  [[nodiscard]] core::StateMachine* machine(ProcessId p) const;
+
+  /// Replica p's applied-index watermark source (same threading contract
+  /// as machine(p)); null while p has no incarnation.
+  [[nodiscard]] DurableRsm* rsm(ProcessId p) const;
 
   [[nodiscard]] runtime::RuntimeCluster& cluster() { return *cluster_; }
   [[nodiscard]] std::uint32_t size() const { return n_; }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/assert.h"
+#include "common/codec.h"
 #include "common/log.h"
 
 namespace zdc::runtime {
@@ -15,6 +17,10 @@ HeartbeatFd::HeartbeatFd(ProcessId self, Transport& net, Config cfg,
       cfg_(cfg),
       on_change_(std::move(on_change)),
       last_seen_(net.size(), Clock::now()),
+      last_endorsed_me_(net.size(), Clock::now()),
+      endorses_me_(net.size(), false),
+      endorse_since_(net.size(), Clock::now()),
+      epoch_(Clock::now()),
       bonus_ms_(net.size(), 0.0),
       mean_gap_ms_(net.size(), 0.0),
       dev_gap_ms_(net.size(), 0.0),
@@ -43,15 +49,96 @@ double HeartbeatFd::effective_timeout_ms(ProcessId p) const {
   return std::max(cfg_.min_timeout_ms, adaptive);
 }
 
+double HeartbeatFd::ms_since_quorum_endorsement() const {
+  // Majority endorsement freshness: collect each process's "age of its last
+  // heartbeat naming me leader" (self = 0, a peer currently naming someone
+  // else = +inf) and take the (⌈n/2⌉)-th smallest — the youngest age such
+  // that a majority endorses this process within it.
+  const Clock::time_point now = Clock::now();
+  std::vector<double> ages;
+  ages.reserve(n_);
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (p == self_) {
+      ages.push_back(0.0);
+    } else if (!endorses_me_[p]) {
+      ages.push_back(std::numeric_limits<double>::infinity());
+    } else {
+      ages.push_back(std::chrono::duration<double, std::milli>(
+                         now - last_endorsed_me_[p])
+                         .count());
+    }
+  }
+  const std::size_t majority = n_ / 2 + 1;
+  std::nth_element(ages.begin(), ages.begin() + (majority - 1), ages.end());
+  return ages[majority - 1];
+}
+
+double HeartbeatFd::quorum_endorsement_streak_ms() const {
+  if (ms_since_quorum_endorsement() >= cfg_.endorsement_stale_ms) return 0.0;
+  // Each process's "endorsing continuously since" clock: self from
+  // construction, an endorsing peer from the start of its unbroken run
+  // (on_heartbeat resets endorse_since_ across any >= stale gap), a
+  // non-endorsing or stale peer never. A member with held-since h was fresh
+  // at every instant of [h, now] — its endorsing heartbeats since h are
+  // less than one stale-bound apart — so the (⌈n/2⌉)-th smallest held-since
+  // H gives a FIXED majority that has endorsed throughout [H, now]. That is
+  // the continuity a new leader's pre-serve wait is measured against;
+  // taking the k-th smallest of per-member starts is conservative (a
+  // rotating quorum could have held longer), which only delays serving.
+  const Clock::time_point now = Clock::now();
+  std::vector<double> held_ms;
+  held_ms.reserve(n_);
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (p == self_) {
+      held_ms.push_back(
+          std::chrono::duration<double, std::milli>(now - epoch_).count());
+    } else if (!endorses_me_[p] ||
+               std::chrono::duration<double, std::milli>(
+                   now - last_endorsed_me_[p])
+                       .count() >= cfg_.endorsement_stale_ms) {
+      held_ms.push_back(0.0);
+    } else {
+      held_ms.push_back(std::chrono::duration<double, std::milli>(
+                            now - endorse_since_[p])
+                            .count());
+    }
+  }
+  const std::size_t majority = n_ / 2 + 1;
+  // k-th LONGEST held duration == duration held by the k-th best member.
+  std::nth_element(held_ms.begin(), held_ms.begin() + (majority - 1),
+                   held_ms.end(), std::greater<>());
+  return held_ms[majority - 1];
+}
+
 void HeartbeatFd::start() {
   ZDC_ASSERT(!started_);
   started_ = true;
   net_.schedule(self_, 0.0, [this] { tick(); });
 }
 
-void HeartbeatFd::on_heartbeat(ProcessId from) {
+void HeartbeatFd::on_heartbeat(ProcessId from, ProcessId endorsed_leader) {
   if (from >= n_) return;
   const Clock::time_point now = Clock::now();
+  if (from != self_) {
+    // Endorsement tracking: a heartbeat naming self refreshes the peer's
+    // endorsement; one naming anyone else revokes it on the spot (the
+    // conservative direction — a revoked endorsement can only downgrade a
+    // read to consensus, never serve a stale one).
+    const bool endorsing_now = (endorsed_leader == self_);
+    if (endorsing_now) {
+      // A run is unbroken only while consecutive endorsing heartbeats are
+      // less than one stale-bound apart; otherwise the streak restarts here
+      // (the peer's endorsement had lapsed in between).
+      const double gap_ms = std::chrono::duration<double, std::milli>(
+                                now - last_endorsed_me_[from])
+                                .count();
+      if (!endorses_me_[from] || gap_ms >= cfg_.endorsement_stale_ms) {
+        endorse_since_[from] = now;
+      }
+      last_endorsed_me_[from] = now;
+    }
+    endorses_me_[from] = endorsing_now;
+  }
   const bool was_suspected = suspected_[from].load(std::memory_order_relaxed);
   if (cfg_.adaptive && from != self_ && !was_suspected) {
     // Jacobson/Karels estimator over inter-arrival gaps. Gaps spanning a
@@ -88,7 +175,14 @@ void HeartbeatFd::on_heartbeat(ProcessId from) {
 
 void HeartbeatFd::restart_on_worker() {
   const Clock::time_point now = Clock::now();
-  for (ProcessId p = 0; p < n_; ++p) last_seen_[p] = now;
+  for (ProcessId p = 0; p < n_; ++p) {
+    last_seen_[p] = now;
+    // Endorsements from before the outage are void: peers may have moved to
+    // another leader while this socket was dead. Invalidate (not refresh) —
+    // the lease gate must start from scratch.
+    endorses_me_[p] = false;
+  }
+  epoch_ = now;  // self's held-since restarts with the incarnation
   tick();
 }
 
@@ -97,7 +191,11 @@ bool HeartbeatFd::suspects(ProcessId p) const {
 }
 
 void HeartbeatFd::tick() {
-  net_.broadcast(Channel::kHeartbeat, self_, "");
+  // The payload carries this process's current Ω estimate — the endorsement
+  // that read-index leases are built from (see ms_since_quorum_endorsement).
+  common::Encoder hb;
+  hb.put_u32(omega_.leader());
+  net_.broadcast(Channel::kHeartbeat, self_, hb.take());
   last_seen_[self_] = Clock::now();  // never suspect yourself
 
   bool changed = false;

@@ -52,6 +52,12 @@ class HeartbeatFd final : public fd::SuspectView {
     double deviation_factor = 4.0;
     double margin_ms = 20.0;
     double min_timeout_ms = 20.0;
+    /// Staleness bound for leader-lease endorsements: a peer's endorsement
+    /// only counts while its latest endorsing heartbeat is younger than
+    /// this, and a gap of at least this long breaks its endorsement streak.
+    /// Must equal the lease length the service layer serves reads under
+    /// (runtime_node wires RunOptions::service.lease_ms in here).
+    double endorsement_stale_ms = 80.0;
     /// Optional metrics sink (suspicions, timeout adaptations), labeled by
     /// the owning process. nullptr = metrics off.
     obs::MetricsRegistry* metrics = nullptr;
@@ -65,8 +71,12 @@ class HeartbeatFd final : public fd::SuspectView {
   /// Schedules the periodic tick. Call once, before traffic starts.
   void start();
 
-  /// Wire-in from the node's kHeartbeat demux.
-  void on_heartbeat(ProcessId from);
+  /// Wire-in from the node's kHeartbeat demux. `endorsed_leader` is the
+  /// sender's current Ω estimate, carried in the heartbeat payload — the
+  /// lease-endorsement input for read-index serving (kNoProcess when the
+  /// payload is absent or malformed: liveness still counts, endorsement
+  /// does not).
+  void on_heartbeat(ProcessId from, ProcessId endorsed_leader = kNoProcess);
 
   /// Call on the worker thread after a Transport::restart(p): the pending
   /// tick timer died with the old incarnation, so the periodic chain must be
@@ -89,6 +99,28 @@ class HeartbeatFd final : public fd::SuspectView {
   /// exposed for tests and diagnostics).
   [[nodiscard]] double effective_timeout_ms(ProcessId p) const;
 
+  /// Milliseconds since a majority of the group last *endorsed* this
+  /// process as leader — the (⌈n/2⌉)-th freshest age among heartbeats whose
+  /// payload named self as the sender's Ω estimate (self counts as age 0; a
+  /// peer whose latest heartbeat named someone else counts as +inf, i.e.
+  /// endorsements are revoked the moment the peer switches). Worker thread
+  /// only. This is the lease-freshness input for read-index serving: a
+  /// leader a majority no longer endorses cannot rule out another replica
+  /// replying to writes under its own fresh lease.
+  [[nodiscard]] double ms_since_quorum_endorsement() const;
+
+  /// Milliseconds this process has CONTINUOUSLY held a majority
+  /// endorsement: there is a fixed majority whose members have each
+  /// endorsed self in heartbeats with no gap of `endorsement_stale_ms` or
+  /// more since the streak began (per-peer `endorse_since_` clocks; self
+  /// counts from construction). 0 whenever the endorsement is not
+  /// currently fresh. Worker thread only. The service layer requires a
+  /// streak of at least one full lease before a NEW leader may reply to
+  /// clients — that wait is what lets the previous holder's lease expire
+  /// everywhere before this one starts serving (the no-two-lease-holders
+  /// half of the read-index argument; see service_group.h).
+  [[nodiscard]] double quorum_endorsement_streak_ms() const;
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -101,6 +133,12 @@ class HeartbeatFd final : public fd::SuspectView {
 
   // All per-peer estimator state is worker-thread-only.
   std::vector<Clock::time_point> last_seen_;
+  std::vector<Clock::time_point> last_endorsed_me_;
+  std::vector<bool> endorses_me_;  ///< peer's latest heartbeat named self
+  /// Start of peer p's current unbroken endorsement run (reset whenever the
+  /// peer stopped endorsing or left a >= endorsement_stale_ms gap).
+  std::vector<Clock::time_point> endorse_since_;
+  Clock::time_point epoch_;  ///< construction time (self's held-since)
   std::vector<double> bonus_ms_;     ///< accumulated false-suspicion bonus
   std::vector<double> mean_gap_ms_;  ///< EWMA of inter-arrival gaps
   std::vector<double> dev_gap_ms_;   ///< EWMA of gap deviation

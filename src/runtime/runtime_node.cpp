@@ -7,6 +7,7 @@
 #include "abcast/c_abcast.h"
 #include "abcast/paxos_abcast.h"
 #include "common/assert.h"
+#include "common/codec.h"
 #include "sim/trace.h"
 
 namespace zdc::runtime {
@@ -113,11 +114,16 @@ void RuntimeNode::handle(const Delivery& d) {
       }
       protocol_->on_message(d.from, d.bytes);
       break;
-    case Channel::kHeartbeat:
+    case Channel::kHeartbeat: {
       // Heartbeats are untraced: they would dwarf protocol traffic in any
-      // spacetime rendering without adding causal information.
-      fd_->on_heartbeat(d.from);
+      // spacetime rendering without adding causal information. The payload
+      // is the sender's Ω estimate (lease endorsement); an empty or
+      // malformed payload still counts for liveness, never for leases.
+      common::Decoder dec(d.bytes);
+      const ProcessId endorsed = dec.get_u32();
+      fd_->on_heartbeat(d.from, dec.done() ? endorsed : kNoProcess);
       break;
+    }
     case Channel::kWab:
       if (trace_ != nullptr) {
         trace_->record(sim::TraceKind::kWabDeliver, self_, d.from,
@@ -142,7 +148,7 @@ RuntimeCluster::Config RuntimeCluster::Config::from_options(
   // fate is a build error instead of a silent drop (which is exactly how
   // storage_factory got lost by the old field-by-field copy).
   const auto& [group, net, fd, seed, batching, metrics, trace,
-               storage_factory] = opts;
+               storage_factory, service] = opts;
   Config cfg;
   cfg.group = group;
   cfg.net.seed = seed;
@@ -154,6 +160,11 @@ RuntimeCluster::Config RuntimeCluster::Config::from_options(
   static_cast<void>(net);
   static_cast<void>(fd);
   static_cast<void>(trace);
+  // Service-layer knobs are mostly consumed one level up (rsm::ServiceGroup
+  // wraps the cluster), but the lease length must reach the failure
+  // detector: endorsement freshness/streaks are measured against the SAME
+  // bound the service serves reads under.
+  cfg.fd.endorsement_stale_ms = service.lease_ms;
   return cfg;
 }
 

@@ -48,13 +48,25 @@ RuntimeWorkloadResult run_runtime_workload(const RuntimeWorkloadConfig& cfg) {
   }
 
   obs::MetricsRegistry* metrics = cfg.cluster.metrics;
-  obs::Histogram* latency_hist =
-      metrics != nullptr ? &metrics->histogram("zdc_workload_latency_ms", {})
-                         : nullptr;
+  // Two histograms instead of the old single zdc_workload_latency_ms:
+  // `adeliver` is submit → a-deliver at each replica (ordering latency),
+  // `reply` is submit → the submitting node's own delivery — the moment a
+  // client of that node would see its reply. The split keeps the exported
+  // numbers honest next to service paths that never a-deliver at all
+  // (read-index reads report under zdc_service_client_latency_ms instead).
+  obs::Histogram* adeliver_hist =
+      metrics != nullptr
+          ? &metrics->histogram("zdc_workload_adeliver_latency_ms", {})
+          : nullptr;
+  obs::Histogram* reply_hist =
+      metrics != nullptr
+          ? &metrics->histogram("zdc_workload_reply_latency_ms", {})
+          : nullptr;
 
   RuntimeCluster cluster(
       cfg.cluster,
-      [&shared, latency_hist](ProcessId p, const abcast::AppMessage& m) {
+      [&shared, adeliver_hist, reply_hist](ProcessId p,
+                                           const abcast::AppMessage& m) {
         const auto now = Clock::now();
         common::MutexLock lock(shared.mu);
         shared.first_seen.emplace(m.payload, now);  // first delivery wins
@@ -64,7 +76,10 @@ RuntimeWorkloadResult run_runtime_workload(const RuntimeWorkloadConfig& cfg) {
         if (sent_it != shared.sent.end()) {
           const double lat = ms_between(sent_it->second, now);
           shared.per_replica[p].add(lat);
-          if (latency_hist != nullptr) latency_hist->observe(lat);
+          if (adeliver_hist != nullptr) adeliver_hist->observe(lat);
+          if (reply_hist != nullptr && p == m.id.sender) {
+            reply_hist->observe(lat);
+          }
         }
       });
   cluster.start();

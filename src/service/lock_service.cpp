@@ -1,0 +1,223 @@
+#include "service/lock_service.h"
+
+#include <string_view>
+#include <utility>
+
+#include "common/codec.h"
+
+namespace zdc::rsm {
+
+namespace {
+
+std::string make_lock_command(LockOp op, const std::string& lock,
+                              ClientId client) {
+  common::Encoder enc;
+  enc.put_u8(static_cast<std::uint8_t>(op));
+  enc.put_string(lock);
+  enc.put_u64(client);
+  return enc.take();
+}
+
+}  // namespace
+
+std::string lock_acquire(const std::string& lock, ClientId client) {
+  return make_lock_command(LockOp::kAcquire, lock, client);
+}
+
+std::string lock_release(const std::string& lock, ClientId client) {
+  return make_lock_command(LockOp::kRelease, lock, client);
+}
+
+std::string lock_holder(const std::string& lock) {
+  return make_lock_command(LockOp::kHolder, lock, 0);
+}
+
+std::string LockStateMachine::apply(const std::string& command) {
+  common::Decoder dec(command);
+  const auto op = static_cast<LockOp>(dec.get_u8());
+  const std::string name = dec.get_string();
+  const ClientId client = dec.get_u64();
+  if (!dec.done()) return "error:malformed";
+
+  switch (op) {
+    case LockOp::kAcquire: {
+      Lock& lock = locks_[name];
+      if (lock.owner == 0) {
+        lock.owner = client;
+        // Waiters can exist on a free lock only transiently (a release
+        // hands off directly), so a fresh grant is revoke-free.
+        return "granted";
+      }
+      if (lock.owner == client) return "error:already_held";
+      for (const ClientId w : lock.waiters) {
+        if (w == client) return "wait";  // already queued; don't re-enqueue
+      }
+      lock.waiters.push_back(client);
+      // First waiter triggers the revoke; later waiters know the holder was
+      // already asked.
+      return lock.waiters.size() == 1
+                 ? "wait:revoke:" + std::to_string(lock.owner)
+                 : "wait";
+    }
+    case LockOp::kRelease: {
+      const auto it = locks_.find(name);
+      if (it == locks_.end() || it->second.owner != client) {
+        return "error:not_holder";
+      }
+      Lock& lock = it->second;
+      if (lock.waiters.empty()) {
+        locks_.erase(it);  // fully free locks leave no state behind
+        return "ok";
+      }
+      const ClientId next = lock.waiters.front();
+      lock.waiters.pop_front();
+      lock.owner = next;
+      // Direct handoff: the new owner learns (via the routed grant event)
+      // whether still more clients wait — if so it must hand back promptly.
+      return lock.waiters.empty()
+                 ? "ok:granted:" + std::to_string(next)
+                 : "ok:granted:" + std::to_string(next) + ":revoke";
+    }
+    case LockOp::kHolder: {
+      const auto it = locks_.find(name);
+      return it == locks_.end() ? "free"
+                                : "holder:" + std::to_string(it->second.owner);
+    }
+  }
+  return "error:unknown_op";
+}
+
+std::string LockStateMachine::apply_read(const std::string& query) const {
+  common::Decoder dec(query);
+  const auto op = static_cast<LockOp>(dec.get_u8());
+  const std::string name = dec.get_string();
+  const ClientId client = dec.get_u64();
+  static_cast<void>(client);
+  if (!dec.done()) return "error:malformed";
+  if (op != LockOp::kHolder) return "error:unsupported_read";
+  const auto it = locks_.find(name);
+  return it == locks_.end() ? "free"
+                            : "holder:" + std::to_string(it->second.owner);
+}
+
+std::string LockStateMachine::snapshot() const {
+  // Hash of the canonical serialization: equal states <=> equal digests.
+  const std::string image = serialize();
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : image) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  common::Encoder enc;
+  enc.put_u64(h);
+  enc.put_u64(locks_.size());
+  return enc.take();
+}
+
+std::string LockStateMachine::serialize() const {
+  common::Encoder enc;
+  enc.put_u64(locks_.size());
+  for (const auto& [name, lock] : locks_) {
+    enc.put_string(name);
+    enc.put_u64(lock.owner);
+    enc.put_u64(lock.waiters.size());
+    for (const ClientId w : lock.waiters) enc.put_u64(w);
+  }
+  return enc.take();
+}
+
+bool LockStateMachine::restore(const std::string& image) {
+  common::Decoder dec(image);
+  const std::uint64_t count = dec.get_u64();
+  std::map<std::string, Lock> next;
+  for (std::uint64_t i = 0; i < count && dec.ok(); ++i) {
+    std::string name = dec.get_string();
+    Lock lock;
+    lock.owner = dec.get_u64();
+    const std::uint64_t waiters = dec.get_u64();
+    for (std::uint64_t w = 0; w < waiters && dec.ok(); ++w) {
+      lock.waiters.push_back(dec.get_u64());
+    }
+    if (!dec.ok()) break;
+    next.emplace(std::move(name), std::move(lock));
+  }
+  if (!dec.done() || next.size() != count) return false;
+  locks_ = std::move(next);
+  return true;
+}
+
+LockEvents parse_lock_reply(const std::string& reply) {
+  LockEvents ev;
+  auto parse_id = [](const std::string& s, std::size_t pos,
+                     std::size_t* end) -> ClientId {
+    ClientId v = 0;
+    while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+      v = v * 10 + static_cast<ClientId>(s[pos] - '0');
+      ++pos;
+    }
+    *end = pos;
+    return v;
+  };
+  constexpr std::string_view kWaitRevoke = "wait:revoke:";
+  constexpr std::string_view kOkGranted = "ok:granted:";
+  if (reply.rfind(kWaitRevoke, 0) == 0) {
+    std::size_t end = 0;
+    ev.revokee = parse_id(reply, kWaitRevoke.size(), &end);
+  } else if (reply.rfind(kOkGranted, 0) == 0) {
+    std::size_t end = 0;
+    ev.grantee = parse_id(reply, kOkGranted.size(), &end);
+    ev.grantee_must_return = reply.compare(end, std::string::npos, ":revoke") == 0;
+  }
+  return ev;
+}
+
+bool LockClient::acquire(const std::string& lock) {
+  CacheState& st = locks_[lock];
+  if (st == CacheState::kCached) {
+    // The caching payoff: re-acquire without any server traffic.
+    st = CacheState::kHeld;
+    ++cache_hits_;
+    return true;
+  }
+  st = CacheState::kAcquiring;
+  ++server_round_trips_;
+  send_(lock_acquire(lock, id_));
+  return false;
+}
+
+void LockClient::release(const std::string& lock) {
+  const auto it = locks_.find(lock);
+  if (it == locks_.end()) return;
+  if (it->second == CacheState::kRevokePending) {
+    // Someone is waiting: give the lock back to the server now.
+    it->second = CacheState::kNone;
+    ++server_round_trips_;
+    send_(lock_release(lock, id_));
+    return;
+  }
+  if (it->second == CacheState::kHeld) it->second = CacheState::kCached;
+}
+
+void LockClient::on_granted(const std::string& lock, bool must_return) {
+  locks_[lock] = must_return ? CacheState::kRevokePending : CacheState::kHeld;
+}
+
+void LockClient::on_revoke(const std::string& lock) {
+  const auto it = locks_.find(lock);
+  if (it == locks_.end()) return;
+  if (it->second == CacheState::kCached) {
+    // Not in use: comply immediately.
+    it->second = CacheState::kNone;
+    ++server_round_trips_;
+    send_(lock_release(lock, id_));
+  } else if (it->second == CacheState::kHeld) {
+    it->second = CacheState::kRevokePending;
+  }
+}
+
+LockClient::CacheState LockClient::state(const std::string& lock) const {
+  const auto it = locks_.find(lock);
+  return it == locks_.end() ? CacheState::kNone : it->second;
+}
+
+}  // namespace zdc::rsm

@@ -1,0 +1,127 @@
+// Caching lock service over the session RSM (the yfs
+// lock_server_cache / lock_client_cache split, replicated).
+//
+// Server side: LockStateMachine is an ordinary deterministic StateMachine —
+// ACQUIRE/RELEASE commands ordered by atomic broadcast, one owner per lock,
+// FIFO waiter queues. Because an RSM cannot push messages, the server's
+// revoke/grant notifications are *encoded in the replies* ("wait:revoke:7"
+// = caller must wait, and client 7 should be told to give the lock back);
+// the service layer parses them with parse_lock_reply() and routes the
+// events to the affected clients.
+//
+// Client side: LockClient caches a granted lock across release/re-acquire.
+// release() is LOCAL (state held -> cached) unless a revoke arrived; only a
+// revoked lock goes back to the server. A cached lock is re-acquired with
+// zero server traffic — the whole point of the caching protocol: lock
+// traffic scales with *contention*, not with acquire/release rate.
+//
+// Cache-state machine (per lock, per client):
+//   kNone      --acquire-->  kAcquiring  --granted-->  kHeld
+//   kHeld      --release-->  kCached     --acquire-->  kHeld      (no I/O)
+//   kHeld      --revoke-->   kRevokePending --release--> kNone    (RELEASE)
+//   kCached    --revoke-->   kNone                                (RELEASE)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "core/rsm.h"
+#include "service/session.h"
+
+namespace zdc::rsm {
+
+enum class LockOp : std::uint8_t { kAcquire = 1, kRelease = 2, kHolder = 3 };
+
+/// Command constructors (binary, codec-framed like kv_store commands).
+std::string lock_acquire(const std::string& lock, ClientId client);
+std::string lock_release(const std::string& lock, ClientId client);
+/// Read-only holder query, servable via apply_read (read-index path).
+std::string lock_holder(const std::string& lock);
+
+/// Reply grammar (pinned by lock_service_test):
+///   ACQUIRE -> "granted" | "granted:revoke"        (got it; revoke = others
+///                                                   already wait, hand back
+///                                                   after use)
+///            | "wait" | "wait:revoke:<holder>"     (enqueued; second form
+///                                                   names who must be told
+///                                                   to release)
+///            | "error:already_held"
+///   RELEASE -> "ok" | "ok:granted:<next>" | "ok:granted:<next>:revoke"
+///            | "error:not_holder"
+///   HOLDER  -> "holder:<id>" | "free"              (also via apply_read)
+class LockStateMachine final : public core::StateMachine {
+ public:
+  std::string apply(const std::string& command) override;
+  [[nodiscard]] std::string snapshot() const override;
+  [[nodiscard]] std::string serialize() const override;
+  [[nodiscard]] bool restore(const std::string& image) override;
+  [[nodiscard]] std::string apply_read(const std::string& query) const override;
+
+  [[nodiscard]] std::size_t lock_count() const { return locks_.size(); }
+
+ private:
+  struct Lock {
+    ClientId owner = 0;  ///< 0 = free (client ids start at 1)
+    std::deque<ClientId> waiters;
+  };
+
+  std::map<std::string, Lock> locks_;
+};
+
+/// Notification events parsed out of a lock reply: who (if anyone) was just
+/// granted the lock, whether the grant arrives with revoke-pending, and who
+/// (if anyone) must be asked to give the lock back. 0 = no such event.
+struct LockEvents {
+  ClientId grantee = 0;
+  bool grantee_must_return = false;
+  ClientId revokee = 0;
+};
+[[nodiscard]] LockEvents parse_lock_reply(const std::string& reply);
+
+/// Client-side lock cache (single client, single thread — the service/sim
+/// layer drives one per simulated client). Pure cache-state bookkeeping:
+/// the `send` hook is invoked with the command bytes whenever real server
+/// traffic is required; everything else is local.
+class LockClient {
+ public:
+  enum class CacheState : std::uint8_t {
+    kNone = 0,
+    kAcquiring = 1,
+    kHeld = 2,
+    kCached = 3,         ///< granted but not in use: free to reuse locally
+    kRevokePending = 4,  ///< held, must RELEASE to the server when done
+  };
+
+  LockClient(ClientId id, std::function<void(std::string command)> send)
+      : id_(id), send_(std::move(send)) {}
+
+  /// Returns true if the lock is held after the call (cache hit); false
+  /// means an ACQUIRE was sent and the caller waits for on_granted().
+  bool acquire(const std::string& lock);
+  /// Local unless a revoke is pending (then a RELEASE goes to the server).
+  void release(const std::string& lock);
+  /// Grant notification (from an ACQUIRE reply or a routed grant event).
+  /// `must_return` = the grant carried revoke-pending.
+  void on_granted(const std::string& lock, bool must_return);
+  /// Revoke notification routed from another client's "wait:revoke:me".
+  void on_revoke(const std::string& lock);
+
+  [[nodiscard]] CacheState state(const std::string& lock) const;
+  [[nodiscard]] ClientId id() const { return id_; }
+  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
+  [[nodiscard]] std::uint64_t server_round_trips() const {
+    return server_round_trips_;
+  }
+
+ private:
+  const ClientId id_;
+  std::function<void(std::string command)> send_;
+  std::map<std::string, CacheState> locks_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t server_round_trips_ = 0;
+};
+
+}  // namespace zdc::rsm

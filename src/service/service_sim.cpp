@@ -1,0 +1,767 @@
+#include "service/service_sim.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/codec.h"
+#include "common/rng.h"
+#include "common/stable_storage.h"
+#include "common/types.h"
+#include "core/rsm.h"
+#include "recovery/durable_rsm.h"
+#include "service/session.h"
+#include "sim/event_queue.h"
+
+namespace zdc::rsm {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string tally_command(ClientId client, std::uint64_t seqno) {
+  common::Encoder enc;
+  enc.put_u64(client);
+  enc.put_u64(seqno);
+  return enc.take();
+}
+
+/// The sim's inner machine: a write counter that makes BOTH acceptance
+/// checks cheap. Every write reply carries the write's global apply index
+/// ("ok:N" — its position in the total order of writes), every read reply
+/// the frontier it observed ("seen:M"); and a per-client applied-seqno
+/// high-water mark turns any upstream dedup failure into a counted
+/// double-apply (a session-layer retry that leaks through necessarily
+/// re-presents a seqno at or below the mark). The mark is serialized, so
+/// detection keeps working across checkpoint/restore and WAL replay.
+class TallyMachine final : public core::StateMachine {
+ public:
+  std::string apply(const std::string& command) override {
+    common::Decoder dec(command);
+    const ClientId client = dec.get_u64();
+    const std::uint64_t seqno = dec.get_u64();
+    if (!dec.done()) return "error:malformed";
+    const auto [it, inserted] = applied_seqno_.try_emplace(client, seqno);
+    if (!inserted) {
+      if (seqno <= it->second) {
+        ++double_applies_;
+      } else {
+        it->second = seqno;
+      }
+    }
+    ++total_;
+    return "ok:" + std::to_string(total_);
+  }
+
+  [[nodiscard]] std::string apply_read(const std::string&) const override {
+    return "seen:" + std::to_string(total_);
+  }
+
+  [[nodiscard]] std::string snapshot() const override {
+    std::uint64_t h = 1469598103934665603ULL;
+    const std::string image = serialize();
+    for (const char c : image) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 1099511628211ULL;
+    }
+    common::Encoder enc;
+    enc.put_u64(h);
+    return enc.take();
+  }
+
+  [[nodiscard]] std::string serialize() const override {
+    common::Encoder enc;
+    enc.put_u64(total_);
+    enc.put_u64(double_applies_);
+    enc.put_u64(applied_seqno_.size());
+    for (const auto& [client, seqno] : applied_seqno_) {
+      enc.put_u64(client);
+      enc.put_u64(seqno);
+    }
+    return enc.take();
+  }
+
+  [[nodiscard]] bool restore(const std::string& image) override {
+    common::Decoder dec(image);
+    const std::uint64_t total = dec.get_u64();
+    const std::uint64_t doubles = dec.get_u64();
+    const std::uint64_t count = dec.get_u64();
+    std::map<ClientId, std::uint64_t> next;
+    for (std::uint64_t i = 0; i < count && dec.ok(); ++i) {
+      const ClientId client = dec.get_u64();
+      const std::uint64_t seqno = dec.get_u64();
+      next.emplace(client, seqno);
+    }
+    if (!dec.done() || next.size() != count) return false;
+    total_ = total;
+    double_applies_ = doubles;
+    applied_seqno_ = std::move(next);
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t double_applies() const {
+    return double_applies_;
+  }
+
+ private:
+  std::uint64_t total_ = 0;
+  std::uint64_t double_applies_ = 0;
+  std::map<ClientId, std::uint64_t> applied_seqno_;
+};
+
+/// Parses the numeric suffix of "ok:N" / "seen:M"; false on any other
+/// shape.
+bool parse_suffix(const std::string& reply, const char* prefix,
+                  std::uint64_t* out) {
+  const std::string_view p(prefix);
+  if (reply.size() <= p.size() || reply.compare(0, p.size(), p) != 0) {
+    return false;
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = p.size(); i < reply.size(); ++i) {
+    if (reply[i] < '0' || reply[i] > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(reply[i] - '0');
+  }
+  *out = v;
+  return true;
+}
+
+class World {
+ public:
+  explicit World(const ServiceSimConfig& cfg)
+      : cfg_(cfg), n_(cfg.replicas), rng_(cfg.seed) {
+    ZDC_ASSERT(n_ >= 1 && cfg_.sessions >= 1);
+    ZDC_ASSERT_MSG(cfg_.crashes == 0 || cfg_.downtime_ms < cfg_.crash_every_ms,
+                   "nemesis keeps at most one replica down at a time");
+    replicas_.resize(n_);
+    for (ProcessId p = 0; p < n_; ++p) boot_replica(p, /*recover=*/false);
+    sessions_.resize(cfg_.sessions);
+    if (cfg_.metrics != nullptr) {
+      write_lat_ = &cfg_.metrics->histogram("zdc_service_client_latency_ms",
+                                            {}, {{"path", "write"}});
+      fast_lat_ = &cfg_.metrics->histogram("zdc_service_client_latency_ms",
+                                           {}, {{"path", "fast_read"}});
+      ordered_lat_ = &cfg_.metrics->histogram(
+          "zdc_service_client_latency_ms", {}, {{"path", "ordered_read"}});
+    }
+  }
+
+  ServiceSimReport run() {
+    // Initial leadership: everyone starts believing the lowest replica, but
+    // serving waits for its barrier + settle like any later reign.
+    for (ProcessId p = 0; p < n_; ++p) schedule_view_update(p);
+    schedule_arrivals();
+    for (std::uint32_t k = 0; k < cfg_.crashes; ++k) {
+      const double when = cfg_.crash_start_ms + k * cfg_.crash_every_ms;
+      const ProcessId victim = k % n_;
+      q_.at(when, [this, victim] { crash(victim); });
+      q_.at(when + cfg_.downtime_ms, [this, victim] { restart(victim); });
+    }
+    q_.run(cfg_.time_limit_ms, ~std::uint64_t{0});
+    return finish();
+  }
+
+ private:
+  enum class Phase : std::uint8_t { kWrite, kRead, kClose, kDone };
+
+  struct Session {
+    std::uint64_t seqno = 0;
+    std::uint64_t op_nonce = 0;  ///< bumped per attempt; stale-event filter
+    std::uint32_t writes_done = 0;
+    std::uint32_t reads_done = 0;
+    std::uint32_t attempt = 0;
+    Phase phase = Phase::kWrite;
+    bool waiting = false;
+    double invoke_t = 0.0;
+    std::uint64_t frontier_at_invoke = 0;
+    ProcessId home = 0;
+  };
+
+  struct Replica {
+    /// Behind a pointer so Replica stays movable (the storage owns a
+    /// Mutex); the object itself survives crash/restart like a disk.
+    std::unique_ptr<common::InMemoryStableStorage> storage =
+        std::make_unique<common::InMemoryStableStorage>();
+    std::unique_ptr<recovery::DurableRsm> rsm;
+    SessionStateMachine* session = nullptr;  ///< borrowed from rsm
+    TallyMachine* tally = nullptr;           ///< borrowed
+    bool crashed = false;
+    bool pump_scheduled = false;
+    // Believed-leader view + lease-gate model (mirrors ServiceGroup::Gate).
+    ProcessId believed = kNoProcess;
+    ProcessId last_barrier_owner = kNoProcess;
+    std::uint64_t token = 0;  ///< reign token while self-asserting
+    std::uint64_t barrier_applied_token = 0;
+    double assert_t = -kInf;
+    double majority_since = kInf;
+    double lost_majority_t = kInf;
+    bool has_majority = false;
+  };
+
+  struct CompletedWrite {
+    std::uint64_t index;  ///< global write index N from "ok:N"
+    double invoke_t;
+    double response_t;
+  };
+
+  double hop() { return cfg_.delay_ms + rng_.uniform(0.0, cfg_.jitter_ms); }
+
+  void boot_replica(ProcessId p, bool recover) {
+    Replica& r = replicas_[p];
+    auto tally = std::make_unique<TallyMachine>();
+    TallyMachine* tally_raw = tally.get();
+    auto session =
+        std::make_unique<SessionStateMachine>(std::move(tally), cfg_.gc_window);
+    SessionStateMachine* session_raw = session.get();
+    recovery::DurableRsm::Config rcfg;
+    rcfg.snapshot_every = cfg_.snapshot_every;
+    rcfg.log_window = cfg_.log_window;
+    r.rsm = std::make_unique<recovery::DurableRsm>(std::move(session),
+                                                   r.storage.get(), rcfg);
+    r.session = session_raw;
+    r.tally = tally_raw;
+    if (recover) {
+      // The kill-9 reboot: WAL replay happens here, observer-less, exactly
+      // like recovery::ReplicaGroup::restart does it.
+      ZDC_ASSERT_MSG(r.rsm->recover(), "sim replica recovery failed");
+    }
+    r.session->set_observer(
+        [this, p](const Envelope& e, const std::string& reply) {
+          on_applied(p, e, reply);
+        });
+  }
+
+  // ---- ordering core (modeled consensus fabric) ----
+
+  void submit_to_core(std::string envelope) {
+    q_.after(hop(), [this, env = std::move(envelope)]() mutable {
+      const double t = q_.now();
+      // The paper's collision rule, reduced to its timing signature: a
+      // submission with no competitor inside the collision window decides
+      // one-step (2 message delays); contended submissions fall back to
+      // two-step (3 delays). Zero-degradation = the fallback costs exactly
+      // the classic protocol, never more.
+      const bool two_step = (t - last_submit_t_) < cfg_.collision_window_ms;
+      last_submit_t_ = t;
+      double commit_delay = 0.0;
+      const int steps = two_step ? 3 : 2;
+      for (int s = 0; s < steps; ++s) commit_delay += hop();
+      if (two_step) {
+        ++two_step_commits_;
+      } else {
+        ++one_step_commits_;
+      }
+      q_.after(commit_delay, [this, env = std::move(env)]() mutable {
+        log_.push_back(std::move(env));
+        for (ProcessId p = 0; p < n_; ++p) schedule_pump(p);
+      });
+    });
+  }
+
+  void schedule_pump(ProcessId p) {
+    Replica& r = replicas_[p];
+    if (r.crashed || r.pump_scheduled) return;
+    r.pump_scheduled = true;
+    q_.after(rng_.uniform(0.0, cfg_.apply_jitter_ms), [this, p] { pump(p); });
+  }
+
+  void pump(ProcessId p) {
+    Replica& r = replicas_[p];
+    r.pump_scheduled = false;
+    if (r.crashed) return;
+    while (r.rsm->applied() < log_.size()) {
+      const std::uint64_t next = r.rsm->applied() + 1;
+      r.rsm->apply(next, log_[next - 1]);  // observer fires inline
+      if (r.crashed) return;  // a crash event cannot preempt, but be safe
+    }
+    if (p == 0) {
+      max_open_sessions_ =
+          std::max<std::uint64_t>(max_open_sessions_, r.session->open_sessions());
+    }
+  }
+
+  // ---- leadership / lease model ----
+
+  void schedule_view_update(ProcessId p) {
+    q_.after(cfg_.detect_ms * rng_.uniform(0.5, 1.5),
+             [this, p] { update_view(p); });
+  }
+
+  void update_view(ProcessId p) {
+    Replica& r = replicas_[p];
+    if (r.crashed) return;
+    ProcessId lowest = kNoProcess;
+    for (ProcessId x = 0; x < n_; ++x) {
+      if (!replicas_[x].crashed) {
+        lowest = x;
+        break;
+      }
+    }
+    if (r.believed == lowest) return;
+    r.believed = lowest;
+    if (lowest == p) {
+      // Leadership acquisition: open a reign, broadcast its barrier. The
+      // settle wait runs from here (the model's endorsement-streak stand-in).
+      r.token = ++reign_counter_;
+      r.assert_t = q_.now();
+      submit_to_core(frame_barrier(p, r.token));
+    }
+    recompute_majorities();
+  }
+
+  void recompute_majorities() {
+    const double t = q_.now();
+    const std::uint32_t majority = n_ / 2 + 1;
+    for (ProcessId lead = 0; lead < n_; ++lead) {
+      Replica& r = replicas_[lead];
+      std::uint32_t count = 0;
+      for (ProcessId x = 0; x < n_; ++x) {
+        if (!replicas_[x].crashed && replicas_[x].believed == lead) ++count;
+      }
+      const bool has = count >= majority && !r.crashed;
+      if (has && !r.has_majority) {
+        r.has_majority = true;
+        r.majority_since = t;
+        r.lost_majority_t = kInf;
+      } else if (!has && r.has_majority) {
+        r.has_majority = false;
+        r.lost_majority_t = t;
+      }
+    }
+  }
+
+  /// ServiceGroup::holds_lease, modeled: believes self, own barrier latest
+  /// in the applied prefix, endorsement fresh (majority now, or within the
+  /// lease grace of losing it), and held since settle_ms.
+  bool holds_lease(ProcessId p, double t) {
+    const Replica& r = replicas_[p];
+    if (r.crashed || r.believed != p) return false;
+    if (r.last_barrier_owner != p) return false;
+    const bool fresh =
+        r.has_majority || t < r.lost_majority_t + cfg_.lease_ms;
+    if (!fresh) return false;
+    const double held_since = std::max(r.assert_t, r.majority_since);
+    return t >= held_since + cfg_.settle_ms;
+  }
+
+  // ---- nemesis ----
+
+  void crash(ProcessId p) {
+    Replica& r = replicas_[p];
+    if (r.crashed) return;
+    ++crash_events_;
+    r.crashed = true;
+    r.pump_scheduled = false;
+    r.believed = kNoProcess;
+    r.has_majority = false;
+    r.lost_majority_t = q_.now();
+    // The per-incarnation dedup counter dies with the machine (it is
+    // deliberately not serialized); bank it so the report keeps the hits
+    // this incarnation absorbed. A restarted replica recounts whatever
+    // suffix it replays past its checkpoint — acceptable for a diagnostic
+    // whose acceptance use is "strictly positive under nemesis".
+    duplicates_harvested_ += r.session->duplicates_suppressed();
+    // kill -9: staged-but-unsynced storage writes are gone. Everything the
+    // write-ahead discipline synced survives in r.storage.
+    r.storage->drop_unsynced();
+    r.rsm.reset();
+    r.session = nullptr;
+    r.tally = nullptr;
+    recompute_majorities();
+    for (ProcessId x = 0; x < n_; ++x) {
+      if (!replicas_[x].crashed) schedule_view_update(x);
+    }
+  }
+
+  void restart(ProcessId p) {
+    Replica& r = replicas_[p];
+    if (!r.crashed) return;
+    ++restart_events_;
+    boot_replica(p, /*recover=*/true);
+    r.crashed = false;
+    r.last_barrier_owner = kNoProcess;  // observer-less replay, like runtime
+    r.barrier_applied_token = 0;
+    r.assert_t = -kInf;
+    schedule_pump(p);  // catch up from the committed log
+    for (ProcessId x = 0; x < n_; ++x) {
+      if (!replicas_[x].crashed) schedule_view_update(x);
+    }
+  }
+
+  // ---- server->client path ----
+
+  void on_applied(ProcessId p, const Envelope& e, const std::string& reply) {
+    Replica& r = replicas_[p];
+    if (e.kind == EnvelopeKind::kBarrier) {
+      ProcessId owner = kNoProcess;
+      std::uint64_t token = 0;
+      if (decode_barrier_token(e.command, &owner, &token)) {
+        r.last_barrier_owner = owner;
+        if (owner == p && token == r.token) r.barrier_applied_token = token;
+      }
+      return;
+    }
+    if (e.kind == EnvelopeKind::kBare) return;
+    if (cfg_.read_index && !holds_lease(p, q_.now())) return;
+    // Deliver the reply to the client one hop later. With read-index off
+    // every replica acks and the client keeps the first; duplicates are
+    // filtered by (seqno, kind) matching in on_client_reply.
+    q_.after(hop(), [this, client = e.client, seqno = e.seqno, kind = e.kind,
+                     reply] { on_client_reply(client, seqno, kind, reply); });
+  }
+
+  void on_client_reply(ClientId client, std::uint64_t seqno,
+                       EnvelopeKind kind, const std::string& reply) {
+    if (client == 0 || client > sessions_.size()) return;
+    Session& s = sessions_[client - 1];
+    if (!s.waiting) return;
+    const double now = q_.now();
+    switch (kind) {
+      case EnvelopeKind::kRequest: {
+        if (s.phase != Phase::kWrite || s.seqno != seqno) return;
+        std::uint64_t index = 0;
+        if (!parse_suffix(reply, "ok:", &index)) {
+          note_violation("write " + std::to_string(client) + ":" +
+                         std::to_string(seqno) + " got reply '" + reply + "'");
+          ++lin_violations_;
+        } else {
+          completed_writes_.push_back(
+              CompletedWrite{index, s.invoke_t, now});
+          frontier_ = std::max(frontier_, index);
+        }
+        ++writes_acked_;
+        write_lat_sum_ += now - s.invoke_t;
+        if (write_lat_ != nullptr) write_lat_->observe(now - s.invoke_t);
+        ++s.writes_done;
+        break;
+      }
+      case EnvelopeKind::kRead: {
+        if (s.phase != Phase::kRead || s.seqno != seqno) return;
+        accept_read_reply(s, client, reply, /*fast=*/false, now);
+        break;
+      }
+      case EnvelopeKind::kClose: {
+        if (s.phase != Phase::kClose) return;
+        s.waiting = false;
+        s.phase = Phase::kDone;
+        ++sessions_completed_;
+        --open_sessions_;
+        maybe_open_next();
+        return;
+      }
+      default:
+        return;
+    }
+    s.waiting = false;
+    next_op(client);
+  }
+
+  void accept_read_reply(Session& s, ClientId client, const std::string& reply,
+                         bool fast, double now) {
+    std::uint64_t seen = 0;
+    if (!parse_suffix(reply, "seen:", &seen)) {
+      note_violation("read " + std::to_string(client) + ":" +
+                     std::to_string(s.seqno) + " got reply '" + reply + "'");
+      ++lin_violations_;
+    } else {
+      // THE real-time check for reads: every write (or read) completed
+      // before this read was invoked had pushed the frontier to
+      // frontier_at_invoke; a linearizable read must observe at least that
+      // much state.
+      if (seen < s.frontier_at_invoke) {
+        ++lin_violations_;
+        note_violation("read " + std::to_string(client) + ":" +
+                       std::to_string(s.seqno) + " saw " +
+                       std::to_string(seen) + " < frontier " +
+                       std::to_string(s.frontier_at_invoke) +
+                       (fast ? " (fast)" : " (ordered)"));
+      }
+      frontier_ = std::max(frontier_, seen);
+    }
+    ++reads_acked_;
+    const double lat = now - s.invoke_t;
+    if (fast) {
+      ++fast_reads_;
+      fast_lat_sum_ += lat;
+      if (fast_lat_ != nullptr) fast_lat_->observe(lat);
+    } else {
+      ++ordered_reads_;
+      ordered_lat_sum_ += lat;
+      if (ordered_lat_ != nullptr) ordered_lat_->observe(lat);
+    }
+    ++s.reads_done;
+  }
+
+  // ---- client sessions ----
+
+  void schedule_arrivals() {
+    if (cfg_.open_loop) {
+      schedule_next_arrival();
+    } else {
+      const std::uint64_t window =
+          std::min<std::uint64_t>(cfg_.concurrency, cfg_.sessions);
+      for (std::uint64_t i = 0; i < window; ++i) open_session();
+    }
+  }
+
+  void schedule_next_arrival() {
+    if (sessions_opened_ >= cfg_.sessions) return;
+    q_.after(rng_.exponential(1.0 / cfg_.arrivals_per_ms), [this] {
+      if (sessions_opened_ < cfg_.sessions) {
+        open_session();
+        schedule_next_arrival();
+      }
+    });
+  }
+
+  void maybe_open_next() {
+    if (!cfg_.open_loop && sessions_opened_ < cfg_.sessions) open_session();
+  }
+
+  void open_session() {
+    const ClientId client = ++sessions_opened_;  // ids are 1-based
+    Session& s = sessions_[client - 1];
+    s.home = static_cast<ProcessId>(client % n_);
+    ++open_sessions_;
+    next_op(client);
+  }
+
+  void next_op(ClientId client) {
+    Session& s = sessions_[client - 1];
+    // Interleave writes and reads, then close. The mix across thousands of
+    // concurrent sessions is what stresses the collision window and the
+    // read paths simultaneously.
+    const std::uint32_t done = s.writes_done + s.reads_done;
+    const bool want_write =
+        s.writes_done < cfg_.writes_per_session &&
+        (done % 2 == 0 || s.reads_done >= cfg_.reads_per_session);
+    const bool want_read = s.reads_done < cfg_.reads_per_session;
+    s.attempt = 0;
+    ++s.op_nonce;
+    s.waiting = true;
+    s.invoke_t = q_.now();
+    s.frontier_at_invoke = frontier_;
+    if (want_write) {
+      s.phase = Phase::kWrite;
+      ++s.seqno;
+      send_attempt(client);
+    } else if (want_read) {
+      s.phase = Phase::kRead;
+      ++s.seqno;
+      send_attempt(client);
+    } else {
+      s.phase = Phase::kClose;
+      send_attempt(client);
+    }
+  }
+
+  void send_attempt(ClientId client) {
+    Session& s = sessions_[client - 1];
+    if (s.attempt > 0) ++retries_;
+    switch (s.phase) {
+      case Phase::kWrite:
+        submit_to_core(
+            frame_request(client, s.seqno, tally_command(client, s.seqno)));
+        break;
+      case Phase::kRead:
+        if (cfg_.read_index) {
+          send_fast_read(client);
+        } else {
+          submit_to_core(frame_read(client, s.seqno, ""));
+        }
+        break;
+      case Phase::kClose:
+        submit_to_core(frame_close(client));
+        break;
+      case Phase::kDone:
+        return;
+    }
+    q_.after(cfg_.client_timeout_ms,
+             [this, client, nonce = s.op_nonce] { on_timeout(client, nonce); });
+  }
+
+  void send_fast_read(ClientId client) {
+    Session& s = sessions_[client - 1];
+    // Ask a (rotating) replica who it believes leads and aim there — the
+    // model of "client tracks the leader hint".
+    const ProcessId via = (s.home + s.attempt) % n_;
+    ProcessId candidate =
+        replicas_[via].crashed ? via : replicas_[via].believed;
+    if (candidate == kNoProcess) candidate = via;
+    q_.after(hop(), [this, client, candidate, nonce = s.op_nonce] {
+      Session& s2 = sessions_[client - 1];
+      if (!s2.waiting || s2.op_nonce != nonce) return;  // stale attempt
+      Replica& r = replicas_[candidate];
+      const bool lease_ok = !r.crashed && holds_lease(candidate, q_.now()) &&
+                            r.barrier_applied_token == r.token &&
+                            r.token != 0;
+      if (lease_ok) {
+        // THE fast path: answered from the replica's applied state; no
+        // consensus round, total cost two message hops.
+        std::string reply = r.session->apply_read("");
+        q_.after(hop(), [this, client, nonce, reply = std::move(reply)] {
+          Session& s3 = sessions_[client - 1];
+          if (!s3.waiting || s3.op_nonce != nonce) return;
+          accept_read_reply(s3, client, reply, /*fast=*/true, q_.now());
+          s3.waiting = false;
+          next_op(client);
+        });
+      } else {
+        // Downgrade: order the read through consensus like a write.
+        submit_to_core(frame_read(client, s2.seqno, ""));
+      }
+    });
+  }
+
+  void on_timeout(ClientId client, std::uint64_t nonce) {
+    Session& s = sessions_[client - 1];
+    if (!s.waiting || s.op_nonce != nonce) return;
+    if (s.attempt + 1 >= cfg_.max_attempts) {
+      s.waiting = false;  // starved; finish() reports the incompleteness
+      return;
+    }
+    ++s.attempt;
+    ++s.op_nonce;
+    send_attempt(client);
+  }
+
+  // ---- final checks ----
+
+  ServiceSimReport finish() {
+    // Drain every replica to the end of the committed log, then compare
+    // digests (a restarted replica must have converged byte-for-byte).
+    for (ProcessId p = 0; p < n_; ++p) {
+      Replica& r = replicas_[p];
+      if (r.crashed) continue;
+      while (r.rsm->applied() < log_.size()) {
+        const std::uint64_t next = r.rsm->applied() + 1;
+        r.rsm->apply(next, log_[next - 1]);
+      }
+    }
+    ServiceSimReport rep;
+    rep.digests_converged = true;
+    std::string digest;
+    for (ProcessId p = 0; p < n_; ++p) {
+      Replica& r = replicas_[p];
+      if (r.crashed) continue;
+      const std::string d = r.session->snapshot();
+      if (digest.empty()) {
+        digest = d;
+      } else if (d != digest) {
+        rep.digests_converged = false;
+      }
+      rep.double_applies += r.tally->double_applies();
+      rep.duplicates_suppressed += r.session->duplicates_suppressed();
+    }
+    rep.duplicates_suppressed += duplicates_harvested_;
+    // Real-time order over completed writes: sort by global apply index and
+    // scan with the running max of invocation times — op j is misordered
+    // iff some i ordered before it was invoked after j completed. O(n log n)
+    // total, which is what lets the checker ride along at 10^5+ sessions.
+    std::sort(completed_writes_.begin(), completed_writes_.end(),
+              [](const CompletedWrite& a, const CompletedWrite& b) {
+                return a.index < b.index;
+              });
+    double max_invoke = -kInf;
+    for (std::size_t j = 0; j < completed_writes_.size(); ++j) {
+      const CompletedWrite& w = completed_writes_[j];
+      if (j > 0 && completed_writes_[j - 1].index == w.index) {
+        ++lin_violations_;
+        note_violation("two completed writes share apply index " +
+                       std::to_string(w.index));
+      }
+      if (w.response_t < max_invoke) {
+        ++lin_violations_;
+        note_violation("write at index " + std::to_string(w.index) +
+                       " completed before an earlier-ordered write was "
+                       "invoked");
+      }
+      max_invoke = std::max(max_invoke, w.invoke_t);
+    }
+    rep.completed = sessions_completed_ == cfg_.sessions;
+    rep.sessions_completed = sessions_completed_;
+    rep.writes_acked = writes_acked_;
+    rep.reads_acked = reads_acked_;
+    rep.fast_reads = fast_reads_;
+    rep.ordered_reads = ordered_reads_;
+    rep.one_step_commits = one_step_commits_;
+    rep.two_step_commits = two_step_commits_;
+    rep.retries = retries_;
+    rep.crash_events = crash_events_;
+    rep.restart_events = restart_events_;
+    rep.max_open_sessions = max_open_sessions_;
+    rep.lin_violations = lin_violations_;
+    rep.first_violation = first_violation_;
+    rep.sim_ms = q_.now();
+    if (writes_acked_ > 0) {
+      rep.write_mean_ms = write_lat_sum_ / static_cast<double>(writes_acked_);
+    }
+    if (fast_reads_ > 0) {
+      rep.fast_read_mean_ms =
+          fast_lat_sum_ / static_cast<double>(fast_reads_);
+    }
+    if (ordered_reads_ > 0) {
+      rep.ordered_read_mean_ms =
+          ordered_lat_sum_ / static_cast<double>(ordered_reads_);
+    }
+    return rep;
+  }
+
+  void note_violation(const std::string& what) {
+    if (first_violation_.empty()) first_violation_ = what;
+  }
+
+  const ServiceSimConfig cfg_;
+  const std::uint32_t n_;
+  common::Rng rng_;
+  sim::EventQueue q_;
+
+  std::vector<Replica> replicas_;
+  std::vector<Session> sessions_;
+  std::vector<std::string> log_;  ///< the global committed order
+
+  double last_submit_t_ = -kInf;
+  std::uint64_t reign_counter_ = 0;
+
+  std::uint64_t sessions_opened_ = 0;
+  std::uint64_t sessions_completed_ = 0;
+  std::uint64_t open_sessions_ = 0;
+  std::uint64_t writes_acked_ = 0;
+  std::uint64_t reads_acked_ = 0;
+  std::uint64_t fast_reads_ = 0;
+  std::uint64_t ordered_reads_ = 0;
+  std::uint64_t one_step_commits_ = 0;
+  std::uint64_t two_step_commits_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t crash_events_ = 0;
+  std::uint64_t restart_events_ = 0;
+  /// Dedup hits banked from crashed incarnations (see crash()).
+  std::uint64_t duplicates_harvested_ = 0;
+  std::uint64_t max_open_sessions_ = 0;
+  std::uint64_t lin_violations_ = 0;
+  std::uint64_t frontier_ = 0;
+  std::vector<CompletedWrite> completed_writes_;
+  std::string first_violation_;
+
+  double write_lat_sum_ = 0.0;
+  double fast_lat_sum_ = 0.0;
+  double ordered_lat_sum_ = 0.0;
+  obs::Histogram* write_lat_ = nullptr;
+  obs::Histogram* fast_lat_ = nullptr;
+  obs::Histogram* ordered_lat_ = nullptr;
+};
+
+}  // namespace
+
+ServiceSimReport run_service_sim(const ServiceSimConfig& cfg) {
+  World world(cfg);
+  return world.run();
+}
+
+}  // namespace zdc::rsm

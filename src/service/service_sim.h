@@ -1,0 +1,125 @@
+// Deterministic whole-service simulation: the session/read-index protocol
+// stack of src/service driven at six-figure session counts through a
+// modeled consensus fabric, with built-in exactly-once and linearizability
+// checking.
+//
+// What is real and what is modeled: the SessionStateMachine dedup layer,
+// the envelope framing, recovery::DurableRsm write-ahead applies over
+// common::InMemoryStableStorage (kill-9 = drop_unsynced at the crash
+// point) and the client retry discipline are the REAL production classes.
+// The consensus fabric is modeled: an ordering core stamps every
+// submission one-step (2 message delays — the paper's zero-degradation
+// fast path, taken when no other submission lands within the collision
+// window) or two-step (3 delays), appends to one global committed log, and
+// per-replica apply pumps consume that log with jittered lag. Leadership
+// is modeled as per-replica believed-leader views that converge on the
+// lowest live replica after a per-replica detection delay; the lease gate
+// (own barrier latest + settle wait + majority-endorsement grace) mirrors
+// rsm::ServiceGroup::holds_lease with `settle_ms` standing in for the
+// endorsement-streak wait, so `settle_ms >= lease_ms` is the safe
+// configuration (see docs/SERVICE.md).
+//
+// The checkers are O(total ops): every write's reply carries its global
+// apply index N ("ok:N") and every read's reply the apply frontier M it
+// observed ("seen:M"), so real-time order violations reduce to (a) a
+// running-max-invoke scan over completed writes sorted by N and (b) a
+// frontier-threshold check per read (M must reach the largest index whose
+// completion preceded the read's invocation). Double applies are counted
+// inside the inner machine itself (a per-client applied-seqno high-water
+// mark that survives serialize/restore, so replayed-from-WAL state keeps
+// detecting retries that cross a crash).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace zdc::rsm {
+
+struct ServiceSimConfig {
+  std::uint32_t replicas = 3;
+  /// Total client sessions to run to completion.
+  std::uint64_t sessions = 1000;
+  /// Closed-loop window: sessions open concurrently (ignored in open loop).
+  std::uint32_t concurrency = 256;
+  /// Open-loop mode: sessions arrive in a Poisson stream instead of a
+  /// fixed window.
+  bool open_loop = false;
+  double arrivals_per_ms = 4.0;  ///< open-loop session arrival rate
+  std::uint32_t writes_per_session = 2;
+  std::uint32_t reads_per_session = 2;
+  bool read_index = true;
+  std::uint64_t seed = 1;
+
+  // Fabric model.
+  double delay_ms = 1.0;             ///< mean one-way message delay
+  double jitter_ms = 0.3;            ///< uniform delay jitter width
+  double collision_window_ms = 0.2;  ///< closer submissions fall to two-step
+  double apply_jitter_ms = 0.5;      ///< per-replica apply lag
+  double client_timeout_ms = 50.0;   ///< retry timer
+  std::uint32_t max_attempts = 200;
+
+  // Lease model (mirrors ServiceOptions + the believed-leader views).
+  double lease_ms = 8.0;
+  double detect_ms = 3.0;  ///< mean failure-detection delay per replica
+  /// New-leader quiet period before acking/serving; the model's stand-in
+  /// for the endorsement-streak wait. Safe iff >= lease_ms + detection
+  /// spread.
+  double settle_ms = 16.0;
+
+  // Nemesis: crash/restart cycles, one replica down at a time.
+  std::uint32_t crashes = 0;
+  double crash_start_ms = 40.0;
+  double crash_every_ms = 400.0;  ///< must exceed downtime_ms
+  double downtime_ms = 150.0;
+
+  // Durability model (DurableRsm over InMemoryStableStorage).
+  std::uint64_t snapshot_every = 4096;
+  std::uint64_t log_window = 8192;
+  /// Session-close tombstone GC window (applies; see session.h).
+  std::uint64_t gc_window = 8192;
+
+  double time_limit_ms = 600000.0;
+  /// Optional sink for client-latency histograms
+  /// (zdc_service_client_latency_ms{path=write|fast_read|ordered_read}).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct ServiceSimReport {
+  bool completed = false;  ///< every session ran to close before the limit
+  std::uint64_t sessions_completed = 0;
+  std::uint64_t writes_acked = 0;
+  std::uint64_t reads_acked = 0;
+  std::uint64_t fast_reads = 0;     ///< reads answered without a consensus
+                                    ///< round (accepted replies)
+  std::uint64_t ordered_reads = 0;  ///< downgraded/ordered reads (accepted)
+  std::uint64_t one_step_commits = 0;
+  std::uint64_t two_step_commits = 0;
+  std::uint64_t retries = 0;
+  /// Dedup hits across all replica incarnations (a restarted replica
+  /// recounts the suffix it replays past its checkpoint).
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t crash_events = 0;
+  std::uint64_t restart_events = 0;
+  /// Peak dedup-table size observed (the GC bound: stays near the open-
+  /// session window, not total session count).
+  std::uint64_t max_open_sessions = 0;
+
+  // Acceptance checks — all must be zero / true.
+  std::uint64_t double_applies = 0;
+  std::uint64_t lin_violations = 0;
+  bool digests_converged = false;
+  std::string first_violation;  ///< human-readable description, else empty
+
+  double sim_ms = 0.0;  ///< simulated time consumed
+  double write_mean_ms = 0.0;
+  double fast_read_mean_ms = 0.0;
+  double ordered_read_mean_ms = 0.0;
+};
+
+/// Runs one fully deterministic simulation: (seed, config) reproduces the
+/// run bit-for-bit.
+ServiceSimReport run_service_sim(const ServiceSimConfig& cfg);
+
+}  // namespace zdc::rsm

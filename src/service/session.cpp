@@ -1,0 +1,235 @@
+#include "service/session.h"
+
+#include <utility>
+
+#include "common/codec.h"
+
+namespace zdc::rsm {
+
+std::string encode_envelope(const Envelope& e) {
+  common::Encoder enc(1 + 8 + 8 + 4 + e.command.size());
+  enc.put_u8(static_cast<std::uint8_t>(e.kind));
+  enc.put_u64(e.client);
+  enc.put_u64(e.seqno);
+  enc.put_string(e.command);
+  return enc.take();
+}
+
+bool decode_envelope(const std::string& bytes, Envelope* out) {
+  common::Decoder dec(bytes);
+  const std::uint8_t kind = dec.get_u8();
+  out->client = dec.get_u64();
+  out->seqno = dec.get_u64();
+  out->command = dec.get_string();
+  if (!dec.done()) return false;
+  if (kind > static_cast<std::uint8_t>(EnvelopeKind::kBarrier)) return false;
+  out->kind = static_cast<EnvelopeKind>(kind);
+  return true;
+}
+
+std::string frame_request(ClientId client, std::uint64_t seqno,
+                          std::string command) {
+  return encode_envelope(
+      Envelope{EnvelopeKind::kRequest, client, seqno, std::move(command)});
+}
+
+std::string frame_read(ClientId client, std::uint64_t seqno,
+                       std::string query) {
+  return encode_envelope(
+      Envelope{EnvelopeKind::kRead, client, seqno, std::move(query)});
+}
+
+std::string frame_close(ClientId client) {
+  return encode_envelope(Envelope{EnvelopeKind::kClose, client, 0, ""});
+}
+
+std::string frame_barrier(ProcessId replica, std::uint64_t reign) {
+  common::Encoder tok;
+  tok.put_u32(replica);
+  tok.put_u64(reign);
+  return encode_envelope(Envelope{EnvelopeKind::kBarrier, 0, 0, tok.take()});
+}
+
+bool decode_barrier_token(const std::string& token, ProcessId* replica,
+                          std::uint64_t* reign) {
+  common::Decoder dec(token);
+  *replica = dec.get_u32();
+  *reign = dec.get_u64();
+  return dec.done();
+}
+
+SessionStateMachine::SessionStateMachine(
+    std::unique_ptr<core::StateMachine> inner, std::uint64_t gc_window)
+    : inner_(std::move(inner)), gc_window_(gc_window) {}
+
+std::string SessionStateMachine::apply(const std::string& command) {
+  ++applies_;
+  Envelope e;
+  std::string reply;
+  if (!decode_envelope(command, &e)) {
+    // Refused identically on every replica (the reply is a pure function of
+    // the bytes), so convergence is unaffected.
+    e = Envelope{};
+    reply = kReplyBadEnvelope;
+  } else {
+    reply = apply_envelope(e);
+  }
+  // Order-based tombstone GC: erase closes that aged past the window. Runs
+  // on the applies_ clock, so every replica erases at the same point in the
+  // stream. Compact the drained prefix once it dominates the vector.
+  while (gc_head_ < pending_gc_.size() &&
+         pending_gc_[gc_head_].first + gc_window_ <= applies_) {
+    const auto it = sessions_.find(pending_gc_[gc_head_].second);
+    if (it != sessions_.end() && it->second.closed) sessions_.erase(it);
+    ++gc_head_;
+  }
+  if (gc_head_ > 64 && gc_head_ * 2 > pending_gc_.size()) {
+    pending_gc_.erase(pending_gc_.begin(),
+                      pending_gc_.begin() +
+                          static_cast<std::ptrdiff_t>(gc_head_));
+    gc_head_ = 0;
+  }
+  if (observer_) observer_(e, reply);
+  return reply;
+}
+
+std::string SessionStateMachine::apply_envelope(const Envelope& e) {
+  switch (e.kind) {
+    case EnvelopeKind::kBare:
+      return inner_->apply(e.command);
+    case EnvelopeKind::kRequest:
+    case EnvelopeKind::kRead: {
+      const auto it = sessions_.find(e.client);
+      if (it != sessions_.end()) {
+        if (e.seqno == it->second.last_seqno) {
+          // The retry of the in-flight command: executed already, replay
+          // the remembered reply. THE exactly-once moment. (Holds for
+          // tombstoned sessions too — that is what the tombstone is for.)
+          duplicates_.fetch_add(1, std::memory_order_relaxed);
+          return it->second.last_reply;
+        }
+        if (e.seqno < it->second.last_seqno) {
+          // Per-session ordering means the client moved on; the old reply
+          // has been dropped and can never be legitimately needed again.
+          return kReplyStale;
+        }
+      }
+      std::string reply = e.kind == EnvelopeKind::kRequest
+                              ? inner_->apply(e.command)
+                              : inner_->apply_read(e.command);
+      sessions_[e.client] = SessionEntry{e.seqno, reply, false};
+      return reply;
+    }
+    case EnvelopeKind::kClose: {
+      const auto it = sessions_.find(e.client);
+      if (it != sessions_.end() && !it->second.closed) {
+        // Tombstone, don't erase: the final command's cached reply keeps
+        // deduping late in-flight retries until the GC window passes.
+        it->second.closed = true;
+        pending_gc_.emplace_back(applies_, e.client);
+      }
+      return kReplyClosed;
+    }
+    case EnvelopeKind::kBarrier:
+      return kReplyBarrier;
+  }
+  return kReplyBadEnvelope;
+}
+
+std::string SessionStateMachine::apply_read(const std::string& query) const {
+  return inner_->apply_read(query);
+}
+
+std::string SessionStateMachine::snapshot() const {
+  // Digest = FNV-1a over (dedup table, inner digest): two replicas agree
+  // iff both the application state and the session table agree.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix_bytes = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 1099511628211ULL;
+    }
+    h ^= 0xff;
+    h *= 1099511628211ULL;
+  };
+  auto mix_u64 = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix_u64(applies_);
+  mix_u64(sessions_.size());
+  for (const auto& [client, entry] : sessions_) {
+    mix_u64(client);
+    mix_u64(entry.last_seqno);
+    mix_bytes(entry.last_reply);
+    mix_u64(entry.closed ? 1 : 0);
+  }
+  mix_u64(pending_gc_.size() - gc_head_);
+  for (std::size_t i = gc_head_; i < pending_gc_.size(); ++i) {
+    mix_u64(pending_gc_[i].first);
+    mix_u64(pending_gc_[i].second);
+  }
+  mix_bytes(inner_->snapshot());
+  common::Encoder enc;
+  enc.put_u64(h);
+  return enc.take();
+}
+
+std::string SessionStateMachine::serialize() const {
+  // Canonical: the drained pending_gc_ prefix is excluded, so two machines
+  // with equal logical state serialize equally regardless of when each
+  // compacted.
+  common::Encoder enc;
+  enc.put_u64(applies_);
+  enc.put_u64(sessions_.size());
+  for (const auto& [client, entry] : sessions_) {
+    enc.put_u64(client);
+    enc.put_u64(entry.last_seqno);
+    enc.put_string(entry.last_reply);
+    enc.put_u8(entry.closed ? 1 : 0);
+  }
+  enc.put_u64(pending_gc_.size() - gc_head_);
+  for (std::size_t i = gc_head_; i < pending_gc_.size(); ++i) {
+    enc.put_u64(pending_gc_[i].first);
+    enc.put_u64(pending_gc_[i].second);
+  }
+  enc.put_string(inner_->serialize());
+  return enc.take();
+}
+
+bool SessionStateMachine::restore(const std::string& image) {
+  common::Decoder dec(image);
+  const std::uint64_t applies = dec.get_u64();
+  const std::uint64_t count = dec.get_u64();
+  std::map<ClientId, SessionEntry> next;
+  for (std::uint64_t i = 0; i < count && dec.ok(); ++i) {
+    const ClientId client = dec.get_u64();
+    SessionEntry entry;
+    entry.last_seqno = dec.get_u64();
+    entry.last_reply = dec.get_string();
+    entry.closed = dec.get_u8() != 0;
+    if (!dec.ok()) break;
+    next.emplace(client, std::move(entry));
+  }
+  const std::uint64_t gc_count = dec.get_u64();
+  std::vector<std::pair<std::uint64_t, ClientId>> next_gc;
+  for (std::uint64_t i = 0; i < gc_count && dec.ok(); ++i) {
+    const std::uint64_t at = dec.get_u64();
+    const ClientId client = dec.get_u64();
+    next_gc.emplace_back(at, client);
+  }
+  const std::string inner_image = dec.get_string();
+  if (!dec.done() || next.size() != count || next_gc.size() != gc_count) {
+    return false;
+  }
+  if (!inner_->restore(inner_image)) return false;
+  applies_ = applies;
+  sessions_ = std::move(next);
+  pending_gc_ = std::move(next_gc);
+  gc_head_ = 0;
+  return true;
+}
+
+}  // namespace zdc::rsm

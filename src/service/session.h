@@ -1,0 +1,165 @@
+// Client-session request framing and server-side dedup for exactly-once
+// command application (the rsm_client discipline: every request carries a
+// client id and a per-client sequence number; the replicated state machine
+// remembers, per client, the last seqno it executed and that command's
+// reply).
+//
+// Why this gives exactly-once: a client retries a request (same client id,
+// same seqno) until it hears a reply, so the same envelope may enter the
+// a-delivery total order many times. Every replica applies the stream
+// through a SessionStateMachine, which executes a (client, seqno) pair at
+// most once — later copies return the cached reply without touching the
+// inner machine. Because the dedup table is ordinary machine state, it is
+// carried by serialize()/restore() and therefore survives crash/restart
+// through DurableRsm snapshots and WAL replay: a replica that reboots
+// mid-retry still refuses the duplicate.
+//
+// Dedup GC rule: the table holds ONE entry per open session (last seqno +
+// last reply — per-session ordering means a client has at most one
+// outstanding command, so nothing older can ever be asked for again). A
+// session close TOMBSTONES the entry rather than erasing it: even though
+// the client only closes after its final reply arrived, a timed-out retry
+// of that final command may still be in flight and be ordered AFTER the
+// close — erasing eagerly would let that duplicate re-apply. Tombstones
+// are erased once the apply index has advanced `gc_window` entries past
+// the close (an order-based rule, so every replica GCs identically), which
+// keeps the table bounded by open sessions plus the closes inside one
+// window while preserving exactly-once for any duplicate ordered within
+// it. gc_window is the deterministic stand-in for "no retry stays in
+// flight across that much committed traffic"; docs/SERVICE.md discusses
+// the bound.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "core/rsm.h"
+
+namespace zdc::rsm {
+
+/// Session identifier. Client ids must be unique across the system's
+/// lifetime (the sim and ServiceGroup hand them out from a counter).
+using ClientId = std::uint64_t;
+
+enum class EnvelopeKind : std::uint8_t {
+  kBare = 0,     ///< unframed passthrough: no session, no dedup
+  kRequest = 1,  ///< session write: dedup on (client, seqno), apply()
+  kRead = 2,     ///< consensus-ordered read: dedup like kRequest, apply_read()
+  kClose = 3,    ///< session close: dedup GC for this client
+  kBarrier = 4,  ///< leader reign barrier no-op (see service_group.h)
+};
+
+struct Envelope {
+  EnvelopeKind kind = EnvelopeKind::kBare;
+  ClientId client = 0;
+  std::uint64_t seqno = 0;
+  std::string command;  ///< command bytes / read query / barrier token
+};
+
+/// Wire format (canonical): u8 kind, u64 client, u64 seqno, string command.
+std::string encode_envelope(const Envelope& e);
+/// Returns false on malformed bytes (out is unspecified).
+[[nodiscard]] bool decode_envelope(const std::string& bytes, Envelope* out);
+
+/// Convenience constructors for the four framed kinds.
+std::string frame_request(ClientId client, std::uint64_t seqno,
+                          std::string command);
+std::string frame_read(ClientId client, std::uint64_t seqno,
+                       std::string query);
+std::string frame_close(ClientId client);
+/// The barrier token encodes who opened the reign ((replica, reign) pair);
+/// ServiceGroup matches its own barriers by decoding the token back.
+std::string frame_barrier(ProcessId replica, std::uint64_t reign);
+[[nodiscard]] bool decode_barrier_token(const std::string& token,
+                                        ProcessId* replica,
+                                        std::uint64_t* reign);
+
+/// Control-reply grammar (inner-machine replies pass through verbatim):
+///   duplicate with an older seqno      -> "error:stale"
+///   undecodable envelope               -> "error:bad_envelope"
+///   kClose                             -> "ok:closed"
+///   kBarrier                           -> "ok:barrier"
+inline constexpr const char* kReplyStale = "error:stale";
+inline constexpr const char* kReplyBadEnvelope = "error:bad_envelope";
+inline constexpr const char* kReplyClosed = "ok:closed";
+inline constexpr const char* kReplyBarrier = "ok:barrier";
+
+/// The session-dedup wrapper. Deterministic by construction: its state is
+/// (inner machine state, dedup table), both driven only by the command
+/// stream, so it composes with DurableRsm / snapshot transfer exactly like
+/// any other StateMachine.
+///
+/// Threading: a plain StateMachine — all apply/serialize/restore calls on
+/// the owning replica's delivery thread. The observer fires synchronously
+/// inside apply(), in delivery order, and is NOT fired by restore() or by
+/// WAL replay performed before the observer is attached (ServiceGroup
+/// attaches it only after recovery completes, which is what keeps replayed
+/// commands from producing spurious client replies).
+class SessionStateMachine final : public core::StateMachine {
+ public:
+  /// (envelope, reply) for every applied command, including duplicates
+  /// (reply = cached) and control envelopes.
+  using Observer = std::function<void(const Envelope&, const std::string&)>;
+
+  /// `gc_window`: applies a close-tombstone survives before its entry is
+  /// erased (see the header GC rule). Part of the replicated state-machine
+  /// definition — every replica must use the same value.
+  explicit SessionStateMachine(std::unique_ptr<core::StateMachine> inner,
+                               std::uint64_t gc_window = 8192);
+
+  std::string apply(const std::string& command) override;
+  [[nodiscard]] std::string snapshot() const override;
+  [[nodiscard]] std::string serialize() const override;
+  [[nodiscard]] bool restore(const std::string& image) override;
+  /// Raw (unframed) read-only query against the inner machine — the
+  /// read-index fast path; never touches the dedup table.
+  [[nodiscard]] std::string apply_read(const std::string& query) const override;
+
+  void set_observer(Observer fn) { observer_ = std::move(fn); }
+
+  [[nodiscard]] const core::StateMachine& inner() const { return *inner_; }
+  [[nodiscard]] core::StateMachine& inner() { return *inner_; }
+
+  /// Open-session count == dedup-table size (the GC bound).
+  [[nodiscard]] std::size_t open_sessions() const { return sessions_.size(); }
+  /// Duplicates suppressed on THIS replica (diagnostic; deliberately not
+  /// part of serialized state — replicas may replay different prefixes).
+  /// Atomic so harness threads may poll it mid-run.
+  [[nodiscard]] std::uint64_t duplicates_suppressed() const {
+    return duplicates_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct SessionEntry {
+    std::uint64_t last_seqno = 0;
+    std::string last_reply;
+    /// Close tombstone: still deduping, awaiting order-based GC.
+    bool closed = false;
+  };
+
+  std::string apply_envelope(const Envelope& e);
+
+  std::unique_ptr<core::StateMachine> inner_;
+  const std::uint64_t gc_window_;
+  /// std::map (not unordered): deterministic serialize() iteration order is
+  /// part of the canonical-encoding contract.
+  std::map<ClientId, SessionEntry> sessions_;
+  /// Commands applied so far — the clock the GC rule is measured on.
+  std::uint64_t applies_ = 0;
+  /// (apply index of the close, client) in close order; drained by apply()
+  /// once aged past gc_window_. Deque semantics but kept as a vector with a
+  /// head cursor for trivial canonical serialization.
+  std::vector<std::pair<std::uint64_t, ClientId>> pending_gc_;
+  std::size_t gc_head_ = 0;
+  Observer observer_;
+  std::atomic<std::uint64_t> duplicates_{0};
+};
+
+}  // namespace zdc::rsm

@@ -513,7 +513,7 @@ TEST(ReplicaGroupE2E, WithStorageWritesThroughTheWal) {
       zdc::RunOptions{}.with_group(4, 1).with_seed(7).with_storage(
           disks.factory());
   ReplicaGroup group(
-      opts, [] { return std::make_unique<core::KvStateMachine>(); },
+      opts, [](ProcessId) { return std::make_unique<core::KvStateMachine>(); },
       small_windows());
   group.start();
   for (std::uint64_t i = 1; i <= 10; ++i) group.submit(0, workload_cmd(i));
@@ -552,7 +552,7 @@ TEST(ReplicaGroupE2E, Kill9RestartCatchesUpViaSnapshotAndConverges) {
       zdc::RunOptions{}.with_group(4, 1).with_seed(42).with_storage(
           disks.factory());
   ReplicaGroup group(
-      opts, [] { return std::make_unique<core::KvStateMachine>(); },
+      opts, [](ProcessId) { return std::make_unique<core::KvStateMachine>(); },
       small_windows());
   group.start();
 
@@ -617,7 +617,8 @@ TEST(ReplicaGroupE2E, ShortOutageCatchesUpViaEntriesAlone) {
       zdc::RunOptions{}.with_group(4, 1).with_seed(9).with_storage(
           disks.factory());
   ReplicaGroup group(
-      opts, [] { return std::make_unique<core::KvStateMachine>(); }, cfg);
+      opts, [](ProcessId) { return std::make_unique<core::KvStateMachine>(); },
+      cfg);
   group.start();
 
   for (std::uint64_t i = 1; i <= 10; ++i) group.submit(0, workload_cmd(i));

@@ -2,10 +2,11 @@
 //
 // Two independent mechanisms are exercised:
 //
-//   * PaxosAbcast::set_pipeline_window — caps proposed-but-undecided slots;
-//     surplus client messages accumulate and batch into the next freed slot.
-//   * CAbcast::set_max_batch — caps how much of the pending estimate one
-//     consensus round proposes.
+//   * BatchingOptions::paxos_pipeline_window — caps proposed-but-undecided
+//     slots; surplus client messages accumulate and batch into the next
+//     freed slot.
+//   * BatchingOptions::c_abcast_max_batch — caps how much of the pending
+//     estimate one consensus round proposes.
 //
 // Batching must never buy throughput with correctness: total order,
 // integrity, agreement and per-sender FIFO have to hold at every cap value,
@@ -19,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "abcast/batching.h"
 #include "abcast/paxos_abcast.h"
 #include "common/rng.h"
 #include "direct_abcast_harness.h"
@@ -56,7 +58,8 @@ TEST(HotpathBatching, PipelineWindowCoalescesBackloggedMessages) {
   DirectAbcastNet net(kGroup, paxos_factory());
   auto* leader = dynamic_cast<abcast::PaxosAbcast*>(&net.protocol(0));
   ASSERT_NE(leader, nullptr);
-  leader->set_pipeline_window(2);
+  abcast::configure_batching(*leader,
+                             abcast::BatchingOptions{.paxos_pipeline_window = 2});
 
   // The leader sequences its own submissions immediately, so the first two
   // fill the window; the remaining 18 pile up in pending_ until slots free.

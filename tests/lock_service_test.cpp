@@ -1,0 +1,200 @@
+// Unit tests for the caching lock service: LockStateMachine semantics
+// (grant / queue / handoff / revoke encodings), reply-event parsing, the
+// LockClient cache-state machine (local release + zero-traffic re-acquire,
+// revoke compliance), and serialize/restore round-trips.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/lock_service.h"
+#include "service/session.h"
+
+namespace zdc::rsm {
+namespace {
+
+TEST(LockMachine, GrantQueueHandoff) {
+  LockStateMachine m;
+  EXPECT_EQ(m.apply(lock_acquire("a", 1)), "granted");
+  // First waiter names the holder to revoke; later waiters just wait.
+  EXPECT_EQ(m.apply(lock_acquire("a", 2)), "wait:revoke:1");
+  EXPECT_EQ(m.apply(lock_acquire("a", 3)), "wait");
+  // Handoff is direct; ":revoke" because client 3 still waits behind 2.
+  EXPECT_EQ(m.apply(lock_release("a", 1)), "ok:granted:2:revoke");
+  EXPECT_EQ(m.apply(lock_release("a", 2)), "ok:granted:3");
+  // Last release with no waiters frees the lock and drops its state.
+  EXPECT_EQ(m.apply(lock_release("a", 3)), "ok");
+  EXPECT_EQ(m.lock_count(), 0u);
+}
+
+TEST(LockMachine, ErrorsAndIdempotence) {
+  LockStateMachine m;
+  m.apply(lock_acquire("a", 1));
+  EXPECT_EQ(m.apply(lock_acquire("a", 1)), "error:already_held");
+  EXPECT_EQ(m.apply(lock_release("a", 2)), "error:not_holder");
+  EXPECT_EQ(m.apply(lock_release("missing", 1)), "error:not_holder");
+  // Re-acquiring while already queued does not double-enqueue.
+  EXPECT_EQ(m.apply(lock_acquire("a", 2)), "wait:revoke:1");
+  EXPECT_EQ(m.apply(lock_acquire("a", 2)), "wait");
+  m.apply(lock_release("a", 1));
+  m.apply(lock_release("a", 2));
+  EXPECT_EQ(m.lock_count(), 0u);
+  EXPECT_EQ(m.apply("garbage"), "error:malformed");
+}
+
+TEST(LockMachine, HolderQueryAndReadIndexAgree) {
+  LockStateMachine m;
+  EXPECT_EQ(m.apply(lock_holder("a")), "free");
+  m.apply(lock_acquire("a", 7));
+  // apply() and apply_read() must answer byte-equal for the same query —
+  // the downgrade-transparency contract.
+  EXPECT_EQ(m.apply(lock_holder("a")), "holder:7");
+  EXPECT_EQ(m.apply_read(lock_holder("a")), "holder:7");
+  EXPECT_EQ(m.apply_read(lock_holder("b")), "free");
+  EXPECT_EQ(m.apply_read(lock_acquire("a", 1)), "error:unsupported_read");
+}
+
+TEST(LockMachine, SerializeRestoreRoundTrips) {
+  LockStateMachine m;
+  m.apply(lock_acquire("a", 1));
+  m.apply(lock_acquire("a", 2));
+  m.apply(lock_acquire("a", 3));
+  m.apply(lock_acquire("b", 9));
+
+  LockStateMachine fresh;
+  ASSERT_TRUE(fresh.restore(m.serialize()));
+  EXPECT_EQ(fresh.snapshot(), m.snapshot());
+  // Waiter FIFO order survives: the restored machine hands off to 2 first.
+  EXPECT_EQ(fresh.apply(lock_release("a", 1)), "ok:granted:2:revoke");
+  EXPECT_FALSE(fresh.restore("bad"));
+}
+
+TEST(LockEventsParse, AllShapes) {
+  LockEvents ev = parse_lock_reply("granted");
+  EXPECT_EQ(ev.grantee, 0u);
+  EXPECT_EQ(ev.revokee, 0u);
+
+  ev = parse_lock_reply("wait:revoke:17");
+  EXPECT_EQ(ev.revokee, 17u);
+  EXPECT_EQ(ev.grantee, 0u);
+
+  ev = parse_lock_reply("ok:granted:4");
+  EXPECT_EQ(ev.grantee, 4u);
+  EXPECT_FALSE(ev.grantee_must_return);
+
+  ev = parse_lock_reply("ok:granted:4:revoke");
+  EXPECT_EQ(ev.grantee, 4u);
+  EXPECT_TRUE(ev.grantee_must_return);
+
+  ev = parse_lock_reply("ok");
+  EXPECT_EQ(ev.grantee, 0u);
+}
+
+TEST(LockClientCache, ReacquireAfterReleaseIsLocal) {
+  std::vector<std::string> sent;
+  LockClient c(1, [&sent](std::string cmd) { sent.push_back(std::move(cmd)); });
+
+  EXPECT_FALSE(c.acquire("a"));  // cold: goes to the server
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0], lock_acquire("a", 1));
+  c.on_granted("a", /*must_return=*/false);
+  EXPECT_EQ(c.state("a"), LockClient::CacheState::kHeld);
+
+  // release -> cached, re-acquire -> held, with ZERO server traffic.
+  c.release("a");
+  EXPECT_EQ(c.state("a"), LockClient::CacheState::kCached);
+  EXPECT_TRUE(c.acquire("a"));
+  EXPECT_EQ(c.state("a"), LockClient::CacheState::kHeld);
+  EXPECT_EQ(sent.size(), 1u);
+  EXPECT_EQ(c.cache_hits(), 1u);
+  EXPECT_EQ(c.server_round_trips(), 1u);
+}
+
+TEST(LockClientCache, RevokeWhileHeldReleasesOnUnlock) {
+  std::vector<std::string> sent;
+  LockClient c(1, [&sent](std::string cmd) { sent.push_back(std::move(cmd)); });
+  c.acquire("a");
+  c.on_granted("a", false);
+  sent.clear();
+
+  c.on_revoke("a");
+  EXPECT_EQ(c.state("a"), LockClient::CacheState::kRevokePending);
+  EXPECT_TRUE(sent.empty());  // still in use: nothing sent yet
+
+  c.release("a");  // now the RELEASE goes out and the cache entry dies
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0], lock_release("a", 1));
+  EXPECT_EQ(c.state("a"), LockClient::CacheState::kNone);
+}
+
+TEST(LockClientCache, RevokeWhileCachedReleasesImmediately) {
+  std::vector<std::string> sent;
+  LockClient c(1, [&sent](std::string cmd) { sent.push_back(std::move(cmd)); });
+  c.acquire("a");
+  c.on_granted("a", false);
+  c.release("a");  // cached
+  sent.clear();
+
+  c.on_revoke("a");
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0], lock_release("a", 1));
+  EXPECT_EQ(c.state("a"), LockClient::CacheState::kNone);
+}
+
+TEST(LockClientCache, GrantWithRevokeFlagsPendingReturn) {
+  std::vector<std::string> sent;
+  LockClient c(2, [&sent](std::string cmd) { sent.push_back(std::move(cmd)); });
+  c.acquire("a");
+  // Grant arrives with revoke-pending (others wait): release must go to
+  // the server, not to the local cache.
+  c.on_granted("a", /*must_return=*/true);
+  EXPECT_EQ(c.state("a"), LockClient::CacheState::kRevokePending);
+  sent.clear();
+  c.release("a");
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0], lock_release("a", 2));
+}
+
+// Integration: two cached clients contending through the replicated
+// machine with the reply-event routing the service layer performs.
+TEST(LockService, ContentionProtocolEndToEnd) {
+  LockStateMachine server;
+  std::vector<std::string> wire1, wire2;
+  LockClient c1(1, [&wire1](std::string c) { wire1.push_back(std::move(c)); });
+  LockClient c2(2, [&wire2](std::string c) { wire2.push_back(std::move(c)); });
+
+  // c1 takes and releases the lock: all local after the first grant.
+  c1.acquire("a");
+  LockEvents ev = parse_lock_reply(server.apply(wire1.back()));
+  c1.on_granted("a", ev.grantee_must_return);
+  c1.release("a");
+  EXPECT_EQ(c1.state("a"), LockClient::CacheState::kCached);
+
+  // c2 contends: server says wait + revoke c1; c1 (cached) releases at
+  // once, whose reply grants c2.
+  c2.acquire("a");
+  ev = parse_lock_reply(server.apply(wire2.back()));
+  EXPECT_EQ(ev.revokee, 1u);
+  c1.on_revoke("a");
+  ASSERT_EQ(wire1.size(), 2u);  // the routed revoke triggered a RELEASE
+  ev = parse_lock_reply(server.apply(wire1.back()));
+  EXPECT_EQ(ev.grantee, 2u);
+  c2.on_granted("a", ev.grantee_must_return);
+  EXPECT_EQ(c2.state("a"), LockClient::CacheState::kHeld);
+  EXPECT_EQ(server.apply_read(lock_holder("a")), "holder:2");
+}
+
+// The lock machine composes with the session layer like any inner machine:
+// retried ACQUIREs are deduped, holder queries ride the read path.
+TEST(LockService, SessionWrappedDedup) {
+  SessionStateMachine m(std::make_unique<LockStateMachine>());
+  const std::string granted = m.apply(frame_request(1, 1, lock_acquire("a", 1)));
+  EXPECT_EQ(granted, "granted");
+  // The retry must NOT reach the machine (it would say already_held).
+  EXPECT_EQ(m.apply(frame_request(1, 1, lock_acquire("a", 1))), "granted");
+  EXPECT_EQ(m.apply_read(lock_holder("a")), "holder:1");
+}
+
+}  // namespace
+}  // namespace zdc::rsm

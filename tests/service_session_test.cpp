@@ -1,0 +1,284 @@
+// Unit tests for the client-session layer: envelope framing round-trips,
+// the exactly-once dedup discipline (duplicate / stale / advance), the
+// order-based tombstone GC rule, and serialize/restore round-trips that
+// carry the dedup table across a simulated crash.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/kv_store.h"
+#include "core/rsm.h"
+#include "service/session.h"
+
+namespace zdc::rsm {
+namespace {
+
+// Inner machine that counts real applies — the probe for "the retry never
+// reached the application".
+class CountingMachine final : public core::StateMachine {
+ public:
+  std::string apply(const std::string& command) override {
+    ++applies_;
+    last_ = command;
+    return "applied:" + std::to_string(applies_);
+  }
+  [[nodiscard]] std::string snapshot() const override {
+    return std::to_string(applies_) + ":" + last_;
+  }
+  [[nodiscard]] std::string serialize() const override { return snapshot(); }
+  [[nodiscard]] bool restore(const std::string& image) override {
+    const auto colon = image.find(':');
+    if (colon == std::string::npos) return false;
+    applies_ = std::stoull(image.substr(0, colon));
+    last_ = image.substr(colon + 1);
+    return true;
+  }
+  [[nodiscard]] std::string apply_read(const std::string& query) const override {
+    return "read:" + query + ":" + std::to_string(applies_);
+  }
+  [[nodiscard]] std::uint64_t applies() const { return applies_; }
+
+ private:
+  std::uint64_t applies_ = 0;
+  std::string last_;
+};
+
+SessionStateMachine make_session(std::uint64_t gc_window = 8192) {
+  return SessionStateMachine(std::make_unique<CountingMachine>(), gc_window);
+}
+
+const CountingMachine& counter(const SessionStateMachine& m) {
+  return static_cast<const CountingMachine&>(m.inner());
+}
+
+TEST(Envelope, RoundTripsAllKinds) {
+  const std::vector<Envelope> cases = {
+      {EnvelopeKind::kBare, 0, 0, "raw bytes"},
+      {EnvelopeKind::kRequest, 7, 42, std::string("bin\0ary", 7)},
+      {EnvelopeKind::kRead, 1, 1, ""},
+      {EnvelopeKind::kClose, 99, 0, ""},
+  };
+  for (const Envelope& in : cases) {
+    Envelope out;
+    ASSERT_TRUE(decode_envelope(encode_envelope(in), &out));
+    EXPECT_EQ(out.kind, in.kind);
+    EXPECT_EQ(out.client, in.client);
+    EXPECT_EQ(out.seqno, in.seqno);
+    EXPECT_EQ(out.command, in.command);
+  }
+}
+
+TEST(Envelope, RejectsMalformedBytes) {
+  Envelope out;
+  EXPECT_FALSE(decode_envelope("", &out));
+  EXPECT_FALSE(decode_envelope("x", &out));
+  // Valid frame with trailing garbage must be refused, not truncated.
+  std::string frame = frame_request(1, 1, "cmd");
+  EXPECT_TRUE(decode_envelope(frame, &out));
+  frame.push_back('!');
+  EXPECT_FALSE(decode_envelope(frame, &out));
+  // Out-of-range kind byte.
+  std::string bad = encode_envelope({EnvelopeKind::kBarrier, 0, 0, ""});
+  bad[0] = 17;
+  EXPECT_FALSE(decode_envelope(bad, &out));
+}
+
+TEST(Envelope, BarrierTokenRoundTrips) {
+  const std::string framed = frame_barrier(3, 12);
+  Envelope e;
+  ASSERT_TRUE(decode_envelope(framed, &e));
+  EXPECT_EQ(e.kind, EnvelopeKind::kBarrier);
+  ProcessId replica = 0;
+  std::uint64_t reign = 0;
+  ASSERT_TRUE(decode_barrier_token(e.command, &replica, &reign));
+  EXPECT_EQ(replica, 3u);
+  EXPECT_EQ(reign, 12u);
+  EXPECT_FALSE(decode_barrier_token("short", &replica, &reign));
+}
+
+TEST(SessionDedup, DuplicateReturnsCachedReplyWithoutReapplying) {
+  SessionStateMachine m = make_session();
+  const std::string first = m.apply(frame_request(1, 1, "cmd"));
+  EXPECT_EQ(first, "applied:1");
+  // The retry: identical envelope, must replay the cached reply.
+  EXPECT_EQ(m.apply(frame_request(1, 1, "cmd")), first);
+  EXPECT_EQ(counter(m).applies(), 1u);
+  EXPECT_EQ(m.duplicates_suppressed(), 1u);
+}
+
+TEST(SessionDedup, StaleSeqnoRefused) {
+  SessionStateMachine m = make_session();
+  m.apply(frame_request(1, 5, "a"));
+  EXPECT_EQ(m.apply(frame_request(1, 4, "b")), kReplyStale);
+  EXPECT_EQ(counter(m).applies(), 1u);
+}
+
+TEST(SessionDedup, AdvancingSeqnoAppliesAndReplacesCache) {
+  SessionStateMachine m = make_session();
+  m.apply(frame_request(1, 1, "a"));
+  const std::string second = m.apply(frame_request(1, 2, "b"));
+  EXPECT_EQ(second, "applied:2");
+  // Only the LATEST reply is cached (per-session ordering: seqno 1 can
+  // only come back as stale now).
+  EXPECT_EQ(m.apply(frame_request(1, 1, "a")), kReplyStale);
+  EXPECT_EQ(m.apply(frame_request(1, 2, "b")), second);
+  EXPECT_EQ(counter(m).applies(), 2u);
+}
+
+TEST(SessionDedup, SessionsAreIndependent) {
+  SessionStateMachine m = make_session();
+  m.apply(frame_request(1, 1, "a"));
+  EXPECT_EQ(m.apply(frame_request(2, 1, "b")), "applied:2");
+  EXPECT_EQ(m.open_sessions(), 2u);
+}
+
+TEST(SessionDedup, OrderedReadDedupsLikeWrite) {
+  SessionStateMachine m = make_session();
+  const std::string reply = m.apply(frame_read(1, 1, "q"));
+  EXPECT_EQ(reply, "read:q:0");
+  EXPECT_EQ(m.apply(frame_read(1, 1, "q")), reply);
+  // apply_read is const — no inner applies happened.
+  EXPECT_EQ(counter(m).applies(), 0u);
+  EXPECT_EQ(m.duplicates_suppressed(), 1u);
+}
+
+TEST(SessionDedup, BareEnvelopePassesThroughUnframed) {
+  SessionStateMachine m = make_session();
+  EXPECT_EQ(m.apply(encode_envelope({EnvelopeKind::kBare, 0, 0, "raw"})),
+            "applied:1");
+  EXPECT_EQ(m.open_sessions(), 0u);
+}
+
+TEST(SessionDedup, UndecodableCommandRefusedDeterministically) {
+  SessionStateMachine m = make_session();
+  EXPECT_EQ(m.apply("garbage"), kReplyBadEnvelope);
+  EXPECT_EQ(counter(m).applies(), 0u);
+}
+
+TEST(SessionGc, CloseTombstonesAndKeepsDeduping) {
+  SessionStateMachine m = make_session(/*gc_window=*/4);
+  const std::string last = m.apply(frame_request(1, 3, "final"));
+  EXPECT_EQ(m.apply(frame_close(1)), kReplyClosed);
+  // The entry survives as a tombstone: a late in-flight retry of the final
+  // command, ordered AFTER the close, must still hit the cache.
+  EXPECT_EQ(m.open_sessions(), 1u);
+  EXPECT_EQ(m.apply(frame_request(1, 3, "final")), last);
+  EXPECT_EQ(counter(m).applies(), 1u);
+  EXPECT_EQ(m.apply(frame_close(1)), kReplyClosed);  // idempotent
+}
+
+TEST(SessionGc, TombstoneErasedAfterWindow) {
+  SessionStateMachine m = make_session(/*gc_window=*/3);
+  m.apply(frame_request(1, 1, "a"));
+  m.apply(frame_close(1));  // close at apply index 2
+  EXPECT_EQ(m.open_sessions(), 1u);
+  // Unrelated traffic advances the apply clock past close + window.
+  m.apply(frame_request(2, 1, "b"));  // index 3
+  m.apply(frame_request(2, 2, "c"));  // index 4
+  EXPECT_EQ(m.open_sessions(), 2u);
+  m.apply(frame_request(2, 3, "d"));  // index 5 = 2 + 3: GC fires
+  EXPECT_EQ(m.open_sessions(), 1u);
+}
+
+TEST(SessionGc, ReopenBeforeGcClearsTombstone) {
+  SessionStateMachine m = make_session(/*gc_window=*/3);
+  m.apply(frame_request(1, 1, "a"));
+  m.apply(frame_close(1));  // close at index 2
+  // The client id comes back with fresh traffic before the window passes:
+  // the entry is live again and must NOT be erased when the old close ages.
+  EXPECT_EQ(m.apply(frame_request(1, 2, "b")), "applied:2");
+  m.apply(frame_request(2, 1, "x"));
+  m.apply(frame_request(2, 2, "y"));
+  m.apply(frame_request(2, 3, "z"));  // old close aged out by now
+  EXPECT_EQ(m.open_sessions(), 2u);
+  EXPECT_EQ(m.apply(frame_request(1, 2, "b")), "applied:2");
+}
+
+TEST(SessionGc, TableBoundedByWindowUnderChurn) {
+  const std::uint64_t kWindow = 16;
+  SessionStateMachine m = make_session(kWindow);
+  std::size_t peak = 0;
+  // 500 sessions, each: one request + one close. Without GC the table
+  // would grow to 500; with the order-based rule it stays near the window.
+  for (ClientId c = 1; c <= 500; ++c) {
+    m.apply(frame_request(c, 1, "w"));
+    m.apply(frame_close(c));
+    peak = std::max(peak, m.open_sessions());
+  }
+  EXPECT_LE(peak, kWindow + 2);
+  EXPECT_LE(m.open_sessions(), kWindow + 2);
+}
+
+TEST(SessionSnapshot, SerializeRestoreRoundTripsDedupState) {
+  SessionStateMachine m = make_session(/*gc_window=*/4);
+  const std::string r1 = m.apply(frame_request(1, 2, "a"));
+  m.apply(frame_request(2, 1, "b"));
+  m.apply(frame_close(2));
+
+  SessionStateMachine fresh = make_session(/*gc_window=*/4);
+  ASSERT_TRUE(fresh.restore(m.serialize()));
+  EXPECT_EQ(fresh.snapshot(), m.snapshot());
+  EXPECT_EQ(fresh.serialize(), m.serialize());
+
+  // The crash-survival property: the restored replica still refuses the
+  // in-flight retry and still GCs the old tombstone on schedule.
+  EXPECT_EQ(fresh.apply(frame_request(1, 2, "a")), r1);
+  EXPECT_EQ(counter(fresh).applies(), 2u);
+  fresh.apply(frame_request(1, 3, "c"));
+  fresh.apply(frame_request(1, 4, "d"));
+  fresh.apply(frame_request(1, 5, "e"));  // index 7 = close(3) + window(4)
+  EXPECT_EQ(fresh.open_sessions(), 1u);
+}
+
+TEST(SessionSnapshot, RestoreRejectsCorruptImage) {
+  SessionStateMachine m = make_session();
+  m.apply(frame_request(1, 1, "a"));
+  std::string image = m.serialize();
+  SessionStateMachine fresh = make_session();
+  EXPECT_FALSE(fresh.restore(image + "x"));
+  EXPECT_FALSE(fresh.restore("short"));
+}
+
+TEST(SessionSnapshot, CanonicalAcrossGcCompaction) {
+  // Two machines reach the same logical state along different paths (one
+  // compacted its drained GC prefix, one did not): equal bytes either way.
+  SessionStateMachine a = make_session(/*gc_window=*/1);
+  SessionStateMachine b = make_session(/*gc_window=*/1);
+  for (ClientId c = 1; c <= 100; ++c) {
+    a.apply(frame_request(c, 1, "w"));
+    a.apply(frame_close(c));
+    b.apply(frame_request(c, 1, "w"));
+    b.apply(frame_close(c));
+  }
+  EXPECT_EQ(a.serialize(), b.serialize());
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+}
+
+TEST(SessionObserver, FiresInOrderWithReplies) {
+  SessionStateMachine m = make_session();
+  std::vector<std::pair<std::uint64_t, std::string>> seen;
+  m.set_observer([&seen](const Envelope& e, const std::string& reply) {
+    seen.emplace_back(e.seqno, reply);
+  });
+  m.apply(frame_request(1, 1, "a"));
+  m.apply(frame_request(1, 1, "a"));  // duplicate also observed
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<std::uint64_t, std::string>{1, "applied:1"}));
+  EXPECT_EQ(seen[1], seen[0]);
+}
+
+TEST(SessionKv, WrapsKvStoreEndToEnd) {
+  SessionStateMachine m(std::make_unique<core::KvStateMachine>());
+  EXPECT_EQ(m.apply(frame_request(1, 1, core::kv_put("k", "v"))), "ok");
+  EXPECT_EQ(m.apply(frame_request(1, 2, core::kv_get("k"))), "value:v");
+  // Fast-path read never touches the dedup table.
+  EXPECT_EQ(m.apply_read(core::kv_get("k")), "value:v");
+  EXPECT_EQ(m.open_sessions(), 1u);
+}
+
+}  // namespace
+}  // namespace zdc::rsm

@@ -128,7 +128,8 @@ struct RunConfig {
                                        "src/abcast",  "src/wab",
                                        "src/core",    "src/fd",
                                        "src/obs",     "src/check",
-                                       "src/storage", "src/recovery"};
+                                       "src/storage", "src/recovery",
+                                       "src/service"};
 };
 
 /// Walks the configured directories (sorted, stable output) and analyzes

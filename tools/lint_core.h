@@ -67,7 +67,8 @@ struct RunConfig {
                                        "src/abcast",  "src/wab",
                                        "src/core",    "src/fd",
                                        "src/obs",     "src/check",
-                                       "src/storage", "src/recovery"};
+                                       "src/storage", "src/recovery",
+                                       "src/service"};
 };
 
 /// Walks the configured directories (sorted, so output order is stable) and
