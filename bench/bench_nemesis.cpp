@@ -1,6 +1,7 @@
 // Consensus under the nemesis: decision latency and completion when random
 // survivable fault schedules (partitions, isolation, link degradation,
-// pauses, crashes — see src/fault/) run against the protocol. Every plan
+// pauses, crashes and — in the third table — wire corruption; see
+// src/fault/) run against the protocol. Every plan
 // settles with a global heal at the horizon, so safety is asserted
 // unconditionally and liveness after the heal.
 //
@@ -104,6 +105,20 @@ int main() {
   fault::NemesisConfig rcfg = ncfg;
   rcfg.allow_restart = true;
   print_table({"rec-paxos"}, rcfg);
+
+  std::printf("\n=== Corruption: byte-flips, equivocation, transient state "
+              "corruption in the mix ===\n\n");
+  fault::NemesisConfig ccfg = ncfg;
+  ccfg.allow_corrupt = true;
+  print_table({"l", "p", "ct", "paxos"}, ccfg);
+  std::printf("\n# Corruption windows arm per-delivery budgets: flipped "
+              "frames fail the CRC32C seal\n"
+              "# and surface as detectable drops (the clean copy still "
+              "arrives), equivocated copies\n"
+              "# carry valid seals over divergent bytes. Either way the cells "
+              "must read like the\n"
+              "# fault-free column: detectable corruption costs "
+              "retransmissions, never safety.\n");
 
   std::printf("\n# Disturbance windows are drawn from partitions, isolation, "
               "link drop/delay overrides,\n"

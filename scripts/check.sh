@@ -134,6 +134,19 @@ run_explore() {
   cmake --build build-explore -j "$JOBS"
   echo "=== explore: ctest -L slow"
   ctest --test-dir build-explore --output-on-failure -L slow -j "$JOBS"
+  # The parallel engine's work-stealing pool under TSan, driven hard: a
+  # fixed-seed corruption swarm (flip + equivocation budgets) and a
+  # parallel DFS over the same scenario. Fixed seeds so a TSan report
+  # reproduces; exit status is the check (no violation expected — detectable
+  # drops must stay safe).
+  echo "=== explore: parallel corruption swarm under TSan"
+  cmake -B build-tsan -S . -DZDC_SANITIZE=thread > /dev/null
+  cmake --build build-tsan -j "$JOBS" --target zdc_check_cli
+  ./build-tsan/tools/zdc_check swarm --protocol paxos \
+    --n 3 --f 1 --proposals a,b,c --flips 2 --equivocations 1 \
+    --seed 7 --runs 64 --max-steps 200 --threads 4
+  ./build-tsan/tools/zdc_check explore --protocol paxos --n 3 --f 1 \
+    --proposals a,a,a --flips 1 --max-depth 6 --threads 4
 }
 
 suites=${*:-static plain metrics tsan asan ubsan storage service}

@@ -6,14 +6,17 @@
 namespace zdc::check {
 
 DirectAbcastNet::Factory abcast_net_factory(const ScenarioSpec& spec) {
-  ZDC_ASSERT_MSG(spec.mutant.empty(),
-                 "abcast scenarios do not support mutants");
+  // "equivocating-sender" is a *net*-level mutant (armed on the harness in
+  // the AbcastSystem constructor), so any protocol factory serves it.
+  ZDC_ASSERT_MSG(spec.mutant.empty() || spec.mutant == "equivocating-sender",
+                 "unknown abcast mutant");
   return sim::abcast_factory_by_name(spec.protocol);
 }
 
 AbcastSystem::AbcastSystem(const ScenarioSpec& spec,
                            const AdversaryBudgets& budgets)
     : spec_(spec), budgets_(budgets), net_(spec.group, abcast_net_factory(spec)) {
+  if (spec_.mutant == "equivocating-sender") net_.arm_equivocation(0);
   performed_.assign(spec_.submissions.size(), false);
   for (ProcessId p = 0; p < spec_.group.n; ++p) {
     net_.fd(p).omega.value = spec_.initial_leader_of(p);
@@ -138,6 +141,10 @@ bool AbcastSystem::apply(const Choice& c) {
     // Crash-during-delivery needs storage-backed recovery; the abcast stack
     // runs over volatile consensus instances, so the choice is never enabled.
     case ChoiceKind::kCrashDeliver: return false;
+    // Corruption choice points target the sealed consensus channel; abcast
+    // scenarios model corruption via the equivocating-sender mutant instead.
+    case ChoiceKind::kFlip:
+    case ChoiceKind::kEquivocate: return false;
   }
   return false;
 }

@@ -61,6 +61,17 @@ enum class ChoiceKind : std::uint8_t {
   /// soundness argument (why the crash must interleave *inside* the handler
   /// rather than revert state between events).
   kCrashDeliver = 7,
+  /// Deliver a byte-flipped COPY of the oldest message on edge a→b; the
+  /// clean original stays queued (the reliable channel's checksummed
+  /// retransmission still carries it). `mask` selects the flipped byte
+  /// position m ∈ {0, 1, 2} — first, middle or last byte of the frame
+  /// (byte = m·(len−1)/2), bit 0. With frame checksums on this must be a
+  /// detectable drop; with --no-frame-crc it is silent wire corruption.
+  kFlip = 8,
+  /// Sender a equivocates towards b: deliver a divergent duplicate of the
+  /// oldest a→b message (middle byte, bit b mod 8 — so duplicates to
+  /// different receivers differ), original stays queued.
+  kEquivocate = 9,
 };
 
 struct Choice {
@@ -78,6 +89,8 @@ struct Choice {
 ///   l<a>-<b>   a's leader := b            f<a>-<b>   a flips suspicion of b
 ///   u<a>       submission #a              k<a>-<b>m<m>  deliver a→b, b dies
 ///                                                       at sub-point m
+///   x<a>-<b>m<m>  corrupt-deliver a→b     e<a>-<b>   a equivocates to b
+///                 (byte position m)
 inline std::string format_choice(const Choice& c) {
   switch (c.kind) {
     case ChoiceKind::kDeliver:
@@ -94,6 +107,11 @@ inline std::string format_choice(const Choice& c) {
     case ChoiceKind::kCrashDeliver:
       return "k" + std::to_string(c.a) + "-" + std::to_string(c.b) + "m" +
              std::to_string(c.mask);
+    case ChoiceKind::kFlip:
+      return "x" + std::to_string(c.a) + "-" + std::to_string(c.b) + "m" +
+             std::to_string(c.mask);
+    case ChoiceKind::kEquivocate:
+      return "e" + std::to_string(c.a) + "-" + std::to_string(c.b);
   }
   return "?";
 }
@@ -139,6 +157,24 @@ inline std::optional<Choice> parse_choice(const std::string& token) {
     case 'l': return pair(ChoiceKind::kLeaderFlip);
     case 'f': return pair(ChoiceKind::kSuspectFlip);
     case 'u': return single(ChoiceKind::kSubmit);
+    case 'e': return pair(ChoiceKind::kEquivocate);
+    case 'x': {
+      const std::size_t dash = token.find('-');
+      const std::size_t m = token.find('m');
+      if (dash == std::string::npos || m == std::string::npos || m < dash) {
+        return std::nullopt;
+      }
+      const auto a = number(token, 1, dash);
+      const auto b = number(token, dash + 1, m);
+      const auto pos = number(token, m + 1, token.size());
+      if (!a || !b || !pos || *pos > 2) return std::nullopt;
+      Choice c;
+      c.kind = ChoiceKind::kFlip;
+      c.a = static_cast<ProcessId>(*a);
+      c.b = static_cast<ProcessId>(*b);
+      c.mask = static_cast<std::uint32_t>(*pos);
+      return c;
+    }
     case 'k': {
       const std::size_t dash = token.find('-');
       const std::size_t m = token.find('m');
@@ -195,6 +231,10 @@ inline bool choices_independent(const Choice& x, const Choice& y) {
     switch (c.kind) {
       case ChoiceKind::kDeliver:
       case ChoiceKind::kCrashDeliver:
+      // A corrupt-delivery/equivocation acts on the a→b queue front and b's
+      // protocol state only — same per-edge commutation argument as kDeliver.
+      case ChoiceKind::kFlip:
+      case ChoiceKind::kEquivocate:
       case ChoiceKind::kSubmit: return c.b;
       case ChoiceKind::kCrash:
       case ChoiceKind::kLeaderFlip:

@@ -117,6 +117,13 @@ ConsensusSystem::ConsensusSystem(const ScenarioSpec& spec,
       stable_ = false;  // split Ω outputs: not a stable run from the start
     }
   }
+  // Checksum knob before any proposal: sealing is decided at send time, and
+  // propose() sends.
+  if (!spec_.frame_checksums) {
+    for (ProcessId p = 0; p < spec_.group.n; ++p) {
+      net_.protocol(p).set_frame_checksums(false);
+    }
+  }
   for (ProcessId p = 0; p < spec_.group.n; ++p) {
     net_.propose(p, spec_.proposals[p]);
   }
@@ -178,6 +185,29 @@ std::vector<Choice> ConsensusSystem::enabled() const {
         for (std::uint32_t m : {0u, 2u, 3u}) {
           out.push_back(Choice{ChoiceKind::kCrashDeliver, from, to, m});
         }
+      }
+    }
+  }
+  // Corruption choice points (budgets flips/equivocations): the adversary
+  // may deliver a byte-flipped copy (three byte positions) or a divergent
+  // equivocation duplicate of any queued frame. The clean original always
+  // stays queued — corruption never destroys messages (detectable-drop
+  // model), so liveness invariants are unaffected.
+  if (flips_used_ < budgets_.flips) {
+    for (ProcessId from = 0; from < n; ++from) {
+      for (ProcessId to = 0; to < n; ++to) {
+        if (net_.pending(from, to) == 0 || !delivery_matters(to)) continue;
+        for (std::uint32_t m : {0u, 1u, 2u}) {
+          out.push_back(Choice{ChoiceKind::kFlip, from, to, m});
+        }
+      }
+    }
+  }
+  if (equivocations_used_ < budgets_.equivocations) {
+    for (ProcessId from = 0; from < n; ++from) {
+      for (ProcessId to = 0; to < n; ++to) {
+        if (net_.pending(from, to) == 0 || !delivery_matters(to)) continue;
+        out.push_back(Choice{ChoiceKind::kEquivocate, from, to, 0});
       }
     }
   }
@@ -294,9 +324,46 @@ bool ConsensusSystem::apply(const Choice& c) {
       }
       base_deliveries_[c.b] = net_.decision_deliveries(c.b);
       net_.replace_protocol(c.b, factory_);
+      if (!spec_.frame_checksums) {
+        net_.protocol(c.b).set_frame_checksums(false);
+      }
       net_.propose(c.b, spec_.proposals[c.b]);
       ++crash_restarts_used_;
       stable_ = false;
+      return true;
+    }
+    case ChoiceKind::kFlip: {
+      // Byte position m ∈ {0,1,2} → first/middle/last byte of the frame.
+      if (c.a >= n || c.b >= n || c.mask > 2 || !delivery_matters(c.b)) {
+        return false;
+      }
+      const std::size_t len = net_.front_size(c.a, c.b);
+      if (len == 0) return false;
+      // m ∈ {0,1,2} → first/middle/last byte: byte = m·(len−1)/2.
+      const std::uint64_t byte =
+          (static_cast<std::uint64_t>(c.mask) * (len - 1)) / 2;
+      const std::uint64_t before =
+          net_.protocol(c.b).corrupt_frames_dropped();
+      if (!net_.deliver_corrupt(c.a, c.b, byte, 0)) return false;
+      ++flips_used_;
+      ++frames_corrupted_;
+      corrupt_frames_dropped_ +=
+          net_.protocol(c.b).corrupt_frames_dropped() - before;
+      return true;
+    }
+    case ChoiceKind::kEquivocate: {
+      if (c.a >= n || c.b >= n || !delivery_matters(c.b)) return false;
+      const std::uint64_t before =
+          net_.protocol(c.b).corrupt_frames_dropped();
+      // The divergent duplicate's flipped bit varies by receiver, so the
+      // same equivocation towards two receivers yields different bytes.
+      if (!net_.deliver_corrupt(c.a, c.b, fault::kMiddleByte, c.b % 8u)) {
+        return false;
+      }
+      ++equivocations_used_;
+      ++frames_corrupted_;
+      corrupt_frames_dropped_ +=
+          net_.protocol(c.b).corrupt_frames_dropped() - before;
       return true;
     }
     case ChoiceKind::kSubmit: return false;  // abcast scenarios only
@@ -332,7 +399,17 @@ ConsensusObs ConsensusSystem::observe() const {
 }
 
 std::optional<Violation> ConsensusSystem::violation() const {
-  return check_consensus(observe(), bounds_);
+  const ConsensusObs obs = observe();
+  if (auto v = check_consensus(obs, bounds_)) return v;
+  if (obs.quiescent) {
+    CorruptionObs corrupt;
+    corrupt.frames_corrupted = frames_corrupted_;
+    corrupt.corrupt_frames_dropped = corrupt_frames_dropped_;
+    corrupt.checksums_enabled = spec_.frame_checksums;
+    // Every corrupt-delivery here targets the sealed consensus channel.
+    if (auto v = check_corruption(corrupt)) return v;
+  }
+  return std::nullopt;
 }
 
 }  // namespace zdc::check

@@ -57,6 +57,14 @@ class ConsensusSystem final : public System {
   std::uint32_t leader_flips_used_ = 0;
   std::uint32_t suspect_flips_used_ = 0;
   std::uint32_t crash_restarts_used_ = 0;
+  std::uint32_t flips_used_ = 0;
+  std::uint32_t equivocations_used_ = 0;
+  /// Corruption accounting for the detectable-drop oracle
+  /// (check_corruption): corrupted frames delivered vs frames the
+  /// recipients' frame-CRC rejected, accumulated at apply() time so
+  /// kCrashDeliver protocol replacement cannot lose counts.
+  std::uint64_t frames_corrupted_ = 0;
+  std::uint64_t corrupt_frames_dropped_ = 0;
   /// deliver_decision counts attributed to incarnations that crash-restarted
   /// (observe() reports the current incarnation's count).
   std::vector<std::uint32_t> base_deliveries_;

@@ -17,6 +17,7 @@
 #include "abcast/abcast.h"
 #include "check/invariants.h"
 #include "common/types.h"
+#include "fault/corrupt.h"
 #include "fd/failure_detector.h"
 
 namespace zdc::check {
@@ -152,6 +153,15 @@ class DirectAbcastNet {
     }
   }
 
+  /// Arms the equivocating-sender mutant: every transport broadcast by p
+  /// delivers per-receiver *divergent* bytes — the last byte of each remote
+  /// copy is flipped in a receiver-specific bit (the last byte of a
+  /// PaxosAbcast p2a/p2b frame is payload tail, so divergent copies decode
+  /// fine and smuggle different app payloads into the same slot). The
+  /// sender's own copy stays clean. This is the planted byzantine fault the
+  /// Uniform Total Order oracle must catch.
+  void arm_equivocation(ProcessId p) { equivocating_ = p; }
+
   void crash(ProcessId p) { crashed_[p] = true; }
   [[nodiscard]] bool crashed(ProcessId p) const {
     const auto it = crashed_.find(p);
@@ -175,8 +185,15 @@ class DirectAbcastNet {
     }
     void broadcast(std::string bytes) override {
       if (net_.crashed(self_)) return;
+      const bool equivocate =
+          net_.equivocating_ == self_ && !bytes.empty();
       for (ProcessId to = 0; to < net_.group_.n; ++to) {
-        net_.edges_[{self_, to}].push_back(bytes);
+        if (equivocate && to != self_) {
+          net_.edges_[{self_, to}].push_back(fault::bit_flip_copy(
+              bytes, bytes.size() - 1, to % 8u));
+        } else {
+          net_.edges_[{self_, to}].push_back(bytes);
+        }
       }
     }
     void w_broadcast(InstanceId k, std::string payload) override {
@@ -200,6 +217,8 @@ class DirectAbcastNet {
   std::map<std::pair<ProcessId, ProcessId>, std::deque<std::string>> edges_;
   std::map<ProcessId, std::deque<std::pair<InstanceId, std::string>>> wab_out_;
   std::map<ProcessId, bool> crashed_;
+  /// kNoProcess = honest run; otherwise the armed equivocating sender.
+  ProcessId equivocating_ = kNoProcess;
 };
 
 }  // namespace zdc::check

@@ -26,6 +26,7 @@
 
 #include "common/types.h"
 #include "consensus/consensus.h"
+#include "fault/corrupt.h"
 #include "fd/failure_detector.h"
 
 namespace zdc::check {
@@ -104,6 +105,30 @@ class DirectNet {
     std::string bytes = std::move(it->second.front());
     it->second.pop_front();
     if (!crashed(to)) protocols_[to]->on_message(from, bytes);
+    return true;
+  }
+
+  /// Size of the oldest queued message on from→to (0 when the edge is
+  /// empty) — lets a caller aim a byte flip at a frame position.
+  [[nodiscard]] std::size_t front_size(ProcessId from, ProcessId to) const {
+    const auto it = edges_.find({from, to});
+    return it == edges_.end() || it->second.empty() ? 0
+                                                    : it->second.front().size();
+  }
+
+  /// Delivers a byte-flipped COPY of the oldest queued message from→to; the
+  /// clean original stays queued — the reliable channel's checksummed
+  /// retransmission still carries the real bytes, so corruption can never
+  /// destroy a message, only precede it with garbage. `byte` accepts
+  /// fault::kMiddleByte; positions past the end are clamped by resolve.
+  /// Returns false if the edge is empty or the recipient is crashed.
+  bool deliver_corrupt(ProcessId from, ProcessId to, std::uint64_t byte,
+                       std::uint32_t bit) {
+    const auto it = edges_.find({from, to});
+    if (it == edges_.end() || it->second.empty() || crashed(to)) return false;
+    std::string copy = it->second.front();
+    fault::bit_flip(copy, fault::resolve_flip_byte(byte, copy.size()), bit);
+    protocols_[to]->on_message(from, copy);
     return true;
   }
 

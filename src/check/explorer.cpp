@@ -1,13 +1,26 @@
 #include "check/explorer.h"
 
 #include <algorithm>
+#include <atomic>
+#include <deque>
 #include <memory>
+#include <thread>
 
 #include "common/assert.h"
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace zdc::check {
 namespace {
+
+// Depth at which the parallel engine stops expanding and turns every
+// remaining subtree into an independent work unit. A fixed constant — NOT a
+// function of the thread count — so the task decomposition (and with it the
+// transition totals, the reported violation and its trace) is byte-identical
+// no matter how many workers execute it. Depth 3 with typical branching
+// yields hundreds of units: plenty of load-balance slack for any core count.
+constexpr std::size_t kSplitDepth = 3;
 
 struct Dfs {
   const SystemFactory& factory;
@@ -15,9 +28,17 @@ struct Dfs {
   ExploreResult res;
   std::vector<Choice> path;
   bool aborted = false;  ///< transition budget exhausted
+  /// Transitions spent by *other* units (parallel mode); budget checks add
+  /// it to the local count. nullptr in the classic sequential mode.
+  const std::atomic<std::uint64_t>* spent_elsewhere = nullptr;
 
   bool budget_left() {
-    return cfg.max_transitions == 0 || res.transitions < cfg.max_transitions;
+    if (cfg.max_transitions == 0) return true;
+    const std::uint64_t other =
+        spent_elsewhere == nullptr
+            ? 0
+            : spent_elsewhere->load(std::memory_order_relaxed);
+    return other + res.transitions < cfg.max_transitions;
   }
 
   /// Rebuilds a system positioned after `path` (stateless backtracking).
@@ -103,10 +124,283 @@ struct Dfs {
   }
 };
 
+// --- the parallel engine (cfg.threads >= 1) ---
+
+/// One independent subtree: the choice prefix reaching its root and the
+/// sleep set the sequential DFS would have carried there. `index` is the
+/// root's DFS-preorder rank among all units — because DFS preorder nests,
+/// everything inside unit j precedes everything inside unit k when j < k,
+/// so "lowest unit index with a violation, that unit's DFS-first violation"
+/// is exactly the violation the sequential search reports first.
+struct Unit {
+  std::size_t index = 0;
+  std::vector<Choice> prefix;
+  std::vector<Choice> sleep;
+};
+
+/// What executing one unit (or hitting a violating node during expansion)
+/// produced. Units run to completion independently; results merge by index.
+struct UnitOutcome {
+  std::size_t index = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t paths = 0;
+  std::uint64_t depth_cutoffs = 0;
+  std::optional<Violation> violation;
+  std::vector<Choice> trace;
+  bool aborted = false;
+};
+
+/// Replays the sequential DFS — same sibling order, same sleep-set algebra,
+/// same rebuild accounting — down to kSplitDepth, where each pending subtree
+/// becomes a Unit instead of being descended into. Runs single-threaded
+/// before the pool starts, so the unit list is one deterministic artifact.
+struct Expander {
+  const SystemFactory& factory;
+  const ExploreConfig& cfg;
+  std::vector<Unit> units;
+  std::uint64_t transitions = 0;
+  std::uint64_t paths = 0;
+  std::uint64_t depth_cutoffs = 0;
+  std::vector<Choice> path;
+
+  std::unique_ptr<System> rebuild() {
+    auto sys = factory();
+    for (const Choice& c : path) {
+      const bool ok = sys->apply(c);
+      ZDC_ASSERT_MSG(ok, "re-execution diverged: prefix choice disabled");
+      ++transitions;
+    }
+    return sys;
+  }
+
+  void expand(System& sys, const std::vector<Choice>& sleep) {
+    if (path.size() >= kSplitDepth) {
+      // Frontier: the unit's own DFS re-runs the violation / quiescence /
+      // sleep / depth checks for this node, so hand it over untouched.
+      units.push_back(Unit{units.size(), path, sleep});
+      return;
+    }
+    if (auto v = sys.violation()) {
+      // A violating shallow node is a zero-length unit: its subtree is never
+      // entered (matching the sequential search), but siblings still run.
+      UnitOutcome hit;
+      hit.index = units.size();
+      hit.violation = std::move(v);
+      hit.trace = path;
+      units.push_back(Unit{units.size(), {}, {}});
+      shallow_hits.push_back(std::move(hit));
+      return;
+    }
+    const std::vector<Choice> enabled = sys.enabled();
+    if (enabled.empty()) {
+      ++paths;
+      return;
+    }
+    std::vector<Choice> todo;
+    todo.reserve(enabled.size());
+    for (const Choice& c : enabled) {
+      if (std::find(sleep.begin(), sleep.end(), c) == sleep.end()) {
+        todo.push_back(c);
+      }
+    }
+    if (todo.empty()) {
+      ++paths;
+      return;
+    }
+    if (cfg.max_depth != 0 && path.size() >= cfg.max_depth) {
+      ++paths;
+      ++depth_cutoffs;
+      return;
+    }
+    std::vector<Choice> done;
+    for (std::size_t i = 0; i < todo.size(); ++i) {
+      const Choice& t = todo[i];
+      std::vector<Choice> child_sleep;
+      if (cfg.sleep_sets) {
+        for (const Choice& u : sleep) {
+          if (choices_independent(u, t)) child_sleep.push_back(u);
+        }
+        for (const Choice& u : done) {
+          if (choices_independent(u, t)) child_sleep.push_back(u);
+        }
+      }
+      std::unique_ptr<System> rebuilt;
+      System* cur = &sys;
+      if (i != 0) {
+        rebuilt = rebuild();
+        cur = rebuilt.get();
+      }
+      const bool ok = cur->apply(t);
+      ZDC_ASSERT_MSG(ok, "enabled choice failed to apply");
+      ++transitions;
+      path.push_back(t);
+      expand(*cur, child_sleep);
+      path.pop_back();
+      done.push_back(t);
+    }
+  }
+
+  /// Violations found at shallow (pre-frontier) nodes, carrying the unit
+  /// index reserved for them so they merge by preorder like everything else.
+  std::vector<UnitOutcome> shallow_hits;
+};
+
+/// Executes one unit to completion: replay the prefix (counted — same rule
+/// as backtrack re-execution), then the classic DFS seeded with the
+/// inherited sleep set. The unit stops at its own first violation; other
+/// units are unaffected (no cross-task cancellation — that is what makes
+/// the result independent of execution order, hence of the thread count).
+UnitOutcome run_unit(const SystemFactory& factory, const ExploreConfig& cfg,
+                     const Unit& u,
+                     std::atomic<std::uint64_t>& spent_total) {
+  Dfs dfs{factory, cfg, {}, {}, false, &spent_total};
+  dfs.path = u.prefix;
+  auto sys = dfs.rebuild();
+  dfs.visit(*sys, u.sleep);
+  spent_total.fetch_add(dfs.res.transitions, std::memory_order_relaxed);
+  UnitOutcome out;
+  out.index = u.index;
+  out.transitions = dfs.res.transitions;
+  out.paths = dfs.res.paths;
+  out.depth_cutoffs = dfs.res.depth_cutoffs;
+  out.violation = std::move(dfs.res.violation);
+  out.trace = std::move(dfs.res.trace);
+  out.aborted = dfs.aborted;
+  return out;
+}
+
+/// Work-stealing pool over a fixed unit list: units are dealt round-robin
+/// into per-worker deques; an owner pops its own front (preserving rough
+/// preorder locality), a thief steals another's back. No unit spawns more
+/// units, so a worker finding every deque empty can simply retire.
+void run_units_on_pool(const SystemFactory& factory, const ExploreConfig& cfg,
+                       const std::vector<Unit>& units, std::uint32_t threads,
+                       std::vector<UnitOutcome>& out) {
+  std::atomic<std::uint64_t> spent_total{0};
+  out.resize(units.size());
+  const std::size_t workers = std::min<std::size_t>(
+      threads == 0 ? 1 : threads, units.empty() ? 1 : units.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < units.size(); ++i) {
+      out[i] = run_unit(factory, cfg, units[i], spent_total);
+    }
+    return;
+  }
+  struct WorkDeque {
+    common::Mutex mu;
+    std::deque<std::size_t> q ZDC_GUARDED_BY(mu);
+  };
+  std::vector<WorkDeque> deques(workers);
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    deques[i % workers].q.push_back(i);
+  }
+  const auto worker = [&](std::size_t self) {
+    for (;;) {
+      std::size_t job = units.size();  // sentinel: nothing found
+      {
+        common::MutexLock lock(deques[self].mu);
+        if (!deques[self].q.empty()) {
+          job = deques[self].q.front();
+          deques[self].q.pop_front();
+        }
+      }
+      if (job == units.size()) {
+        for (std::size_t v = 0; v < workers && job == units.size(); ++v) {
+          if (v == self) continue;
+          common::MutexLock lock(deques[v].mu);
+          if (!deques[v].q.empty()) {
+            job = deques[v].q.back();  // steal the cold end
+            deques[v].q.pop_back();
+          }
+        }
+      }
+      if (job == units.size()) return;  // all deques drained: no more work
+      // Distinct workers write distinct indices; no lock needed.
+      out[job] = run_unit(factory, cfg, units[job], spent_total);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker, w);
+  for (auto& t : pool) t.join();
+}
+
+ExploreResult explore_parallel(const SystemFactory& factory,
+                               const ExploreConfig& cfg) {
+  Expander exp{factory, cfg, {}, 0, 0, 0, {}, {}};
+  {
+    auto sys = factory();
+    exp.expand(*sys, {});
+  }
+  std::vector<UnitOutcome> outcomes;
+  run_units_on_pool(factory, cfg, exp.units, cfg.threads, outcomes);
+  for (auto& hit : exp.shallow_hits) {
+    // A shallow violation overwrites its placeholder unit's (empty) result.
+    outcomes[hit.index] = std::move(hit);
+  }
+  ExploreResult res;
+  res.transitions = exp.transitions;
+  res.paths = exp.paths;
+  res.depth_cutoffs = exp.depth_cutoffs;
+  bool aborted = false;
+  const UnitOutcome* first_violation = nullptr;
+  for (const UnitOutcome& o : outcomes) {
+    res.transitions += o.transitions;
+    res.paths += o.paths;
+    res.depth_cutoffs += o.depth_cutoffs;
+    aborted = aborted || o.aborted;
+    if (o.violation.has_value() &&
+        (first_violation == nullptr || o.index < first_violation->index)) {
+      first_violation = &o;
+    }
+  }
+  if (first_violation != nullptr) {
+    res.violation = first_violation->violation;
+    res.trace = first_violation->trace;
+  }
+  res.complete = !aborted && !res.violation.has_value();
+  return res;
+}
+
+/// One swarm run, fully determined by (factory, cfg.seed, run index).
+struct SwarmRunOutcome {
+  std::uint64_t transitions = 0;
+  std::optional<Violation> violation;
+  std::vector<Choice> trace;
+};
+
+SwarmRunOutcome swarm_run(const SystemFactory& factory, const SwarmConfig& cfg,
+                          std::uint32_t run) {
+  SwarmRunOutcome out;
+  common::Rng rng(common::mix_seed(cfg.seed, "zdc_check.swarm", 0.0, run));
+  auto sys = factory();
+  std::vector<Choice> trace;
+  for (std::uint32_t step = 0; step < cfg.max_steps; ++step) {
+    if (auto v = sys->violation()) {
+      out.violation = std::move(v);
+      out.trace = std::move(trace);
+      return out;
+    }
+    const std::vector<Choice> enabled = sys->enabled();
+    if (enabled.empty()) break;
+    const Choice& c = enabled[rng.next_below(enabled.size())];
+    const bool ok = sys->apply(c);
+    ZDC_ASSERT_MSG(ok, "enabled choice failed to apply");
+    trace.push_back(c);
+    ++out.transitions;
+  }
+  if (auto v = sys->violation()) {
+    out.violation = std::move(v);
+    out.trace = std::move(trace);
+  }
+  return out;
+}
+
 }  // namespace
 
 ExploreResult explore(const SystemFactory& factory, const ExploreConfig& cfg) {
-  Dfs dfs{factory, cfg, {}, {}, false};
+  if (cfg.threads >= 1) return explore_parallel(factory, cfg);
+  Dfs dfs{factory, cfg, {}, {}, false, nullptr};
   auto sys = factory();
   dfs.visit(*sys, {});
   // "Complete" = the whole bounded space was exhausted: neither stopped at a
@@ -117,29 +411,48 @@ ExploreResult explore(const SystemFactory& factory, const ExploreConfig& cfg) {
 
 SwarmResult swarm(const SystemFactory& factory, const SwarmConfig& cfg) {
   SwarmResult res;
-  for (std::uint32_t run = 0; run < cfg.runs; ++run) {
-    common::Rng rng(common::mix_seed(cfg.seed, "zdc_check.swarm", 0.0, run));
-    auto sys = factory();
-    std::vector<Choice> trace;
-    ++res.runs;
-    for (std::uint32_t step = 0; step < cfg.max_steps; ++step) {
-      if (auto v = sys->violation()) {
-        res.violation = std::move(v);
-        res.trace = std::move(trace);
-        res.failing_run = run;
-        return res;
+  if (cfg.threads >= 1) {
+    // Parallel mode runs ALL runs (each independently seeded by its run
+    // index) and reports the lowest failing index — the same failure a
+    // sequential sweep would stop at, independent of the thread count.
+    std::vector<SwarmRunOutcome> outcomes(cfg.runs);
+    std::atomic<std::uint32_t> next{0};
+    const auto worker = [&] {
+      for (;;) {
+        const std::uint32_t run =
+            next.fetch_add(1, std::memory_order_relaxed);
+        if (run >= cfg.runs) return;
+        outcomes[run] = swarm_run(factory, cfg, run);
       }
-      const std::vector<Choice> enabled = sys->enabled();
-      if (enabled.empty()) break;
-      const Choice& c = enabled[rng.next_below(enabled.size())];
-      const bool ok = sys->apply(c);
-      ZDC_ASSERT_MSG(ok, "enabled choice failed to apply");
-      trace.push_back(c);
-      ++res.transitions;
+    };
+    const std::uint32_t workers =
+        std::min(cfg.threads, cfg.runs == 0 ? 1u : cfg.runs);
+    if (workers <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (std::uint32_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+      for (auto& t : pool) t.join();
     }
-    if (auto v = sys->violation()) {
-      res.violation = std::move(v);
-      res.trace = std::move(trace);
+    res.runs = cfg.runs;
+    for (std::uint32_t run = 0; run < cfg.runs; ++run) {
+      res.transitions += outcomes[run].transitions;
+      if (!res.violation.has_value() && outcomes[run].violation.has_value()) {
+        res.violation = std::move(outcomes[run].violation);
+        res.trace = std::move(outcomes[run].trace);
+        res.failing_run = run;
+      }
+    }
+    return res;
+  }
+  for (std::uint32_t run = 0; run < cfg.runs; ++run) {
+    ++res.runs;
+    SwarmRunOutcome out = swarm_run(factory, cfg, run);
+    res.transitions += out.transitions;
+    if (out.violation.has_value()) {
+      res.violation = std::move(out.violation);
+      res.trace = std::move(out.trace);
       res.failing_run = run;
       return res;
     }

@@ -38,6 +38,18 @@ struct ExploreConfig {
   std::uint64_t max_transitions = 0;
   /// Disable only to measure what the reduction saves.
   bool sleep_sets = true;
+  /// 0 = classic in-place sequential DFS (stops at the first violation).
+  /// >= 1 = the deterministic task-decomposed engine on that many worker
+  /// threads: the tree is expanded in DFS preorder to a fixed split depth,
+  /// every frontier subtree becomes an independent work unit, and ALL units
+  /// run to completion on a work-stealing pool — so the transition total,
+  /// the reported violation (the preorder-first one) and its trace are
+  /// byte-identical for every thread count, 1 included. Unit prefix replay
+  /// is counted in `transitions` (same rule as backtrack re-execution).
+  /// max_transitions is enforced via a shared counter, so under threads > 1
+  /// a budget-aborted search may overshoot slightly; determinism is
+  /// guaranteed for searches that finish within the budget.
+  std::uint32_t threads = 0;
 };
 
 struct ExploreResult {
@@ -61,6 +73,11 @@ struct SwarmConfig {
   std::uint32_t runs = 256;
   /// Choices per run; a run also ends early at quiescence.
   std::uint32_t max_steps = 512;
+  /// 0 = sequential (stops at the first failing run). >= 1 = run ALL runs
+  /// on that many workers; each run's schedule depends only on (seed, run
+  /// index), the reported failure is the lowest failing run index and
+  /// `transitions` sums over every run — identical for every thread count.
+  std::uint32_t threads = 0;
 };
 
 struct SwarmResult {

@@ -174,6 +174,32 @@ std::optional<Violation> check_consensus(const ConsensusObs& obs,
   return std::nullopt;
 }
 
+std::optional<Violation> check_corruption(const CorruptionObs& obs) {
+  if (!obs.checksums_enabled || !obs.all_on_sealed_channel) {
+    return std::nullopt;
+  }
+  if (obs.corrupt_frames_dropped != obs.frames_corrupted) {
+    std::ostringstream os;
+    os << obs.frames_corrupted << " frame(s) corrupted on the wire but "
+       << obs.corrupt_frames_dropped
+       << " detected and dropped (every corruption must be a detectable "
+          "drop when frame checksums are on)";
+    return Violation{"undetected-corruption", os.str()};
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_convergence(const ConvergenceObs& obs) {
+  if (obs.corrupt_injected == 0 || obs.legal_state) return std::nullopt;
+  if (obs.steps_since_last_injection < obs.step_bound) return std::nullopt;
+  std::ostringstream os;
+  os << "system not back in a legal state "
+     << obs.steps_since_last_injection << " step(s) after the last of "
+     << obs.corrupt_injected << " transient corruption(s) (bound "
+     << obs.step_bound << ")";
+  return Violation{"convergence", os.str()};
+}
+
 std::optional<Violation> check_total_order(
     const std::vector<std::vector<abcast::AppMessage>>& histories) {
   for (std::size_t a = 0; a < histories.size(); ++a) {

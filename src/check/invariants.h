@@ -116,6 +116,58 @@ std::optional<Violation> check_termination(const ConsensusObs& obs);
 std::optional<Violation> check_consensus(const ConsensusObs& obs,
                                          const StepBounds& bounds);
 
+// --- safety under corruption (the detectable-drop model) ---
+
+/// Corruption accounting at quiescence. With frame checksums on, a byte
+/// flipped on the wire must surface as a *detectable drop*: the receiver's
+/// CRC rejects the frame and the reliable channel's retransmission carries
+/// the clean bytes through. The observation counts both sides of that
+/// contract.
+struct CorruptionObs {
+  /// Frames the fabric corrupted (flip/scorrupt budgets drawn down), plus
+  /// per-receiver divergent equivocation copies put on the wire.
+  std::uint64_t frames_corrupted = 0;
+  /// Frames the protocols' frame-CRC verification rejected.
+  std::uint64_t corrupt_frames_dropped = 0;
+  /// False when the run deliberately disabled frame checksums (the mutant
+  /// configuration: corruption is then *undetectable* and only the safety
+  /// oracles can catch what it does).
+  bool checksums_enabled = true;
+  /// True when every corrupted frame targeted the sealed consensus channel
+  /// (so the drop counter is expected to account for all of them). Runs
+  /// that corrupt unsealed traffic (oracle datagrams, abcast-internal
+  /// frames) must leave this false.
+  bool all_on_sealed_channel = true;
+};
+
+/// At quiescence with checksums on and all corruption on the sealed channel:
+/// every injected corruption must have been detected and dropped
+/// ("undetected-corruption" otherwise). With checksums off this check is
+/// vacuous — the agreement/validity/integrity oracles carry the burden.
+std::optional<Violation> check_corruption(const CorruptionObs& obs);
+
+/// Self-stabilization oracle: after the last transient corruption was
+/// injected, the system must return to (and stay in) a legal state within a
+/// bounded number of steps.
+struct ConvergenceObs {
+  /// Total transient corruptions injected so far.
+  std::uint64_t corrupt_injected = 0;
+  /// Steps (scheduler transitions / delivered messages — the caller picks
+  /// the unit and keeps it consistent with `step_bound`) executed since the
+  /// last injection.
+  std::uint64_t steps_since_last_injection = 0;
+  /// True when the system is back in a legal state: every safety oracle
+  /// passes and no protocol instance is wedged (e.g. all correct proposers
+  /// decided, or the service made progress past the burst).
+  bool legal_state = false;
+  /// Convergence bound, in the same unit as steps_since_last_injection.
+  std::uint64_t step_bound = 0;
+};
+
+/// "convergence" violation iff corruption was injected, the bound has
+/// elapsed, and the system still is not back in a legal state.
+std::optional<Violation> check_convergence(const ConvergenceObs& obs);
+
 // --- atomic broadcast ---
 
 /// Uniform Total Order: pairwise prefix consistency of delivery histories.

@@ -63,6 +63,9 @@ std::string serialize_replay(const ReplayFile& file) {
   os << "kind: " << spec.kind << "\n";
   os << "protocol: " << spec.protocol << "\n";
   os << "mutant: " << (spec.mutant.empty() ? kNone : spec.mutant) << "\n";
+  // Emitted only when off: files from checksum-on runs (everything that
+  // existed before the knob) stay byte-identical.
+  if (!spec.frame_checksums) os << "checksums: off\n";
   os << "n: " << spec.group.n << "\n";
   os << "f: " << spec.group.f << "\n";
   if (spec.kind == "consensus") {
@@ -144,6 +147,13 @@ std::optional<ReplayFile> parse_replay(const std::string& text,
   const auto mutant = field("mutant");
   if (!mutant) return fail(error, "missing mutant (use \"-\" for none)");
   out.spec.mutant = *mutant == kNone ? "" : *mutant;
+  const auto checksums = field("checksums");
+  if (checksums) {
+    if (*checksums != "off" && *checksums != "on") {
+      return fail(error, "checksums must be \"on\" or \"off\"");
+    }
+    out.spec.frame_checksums = *checksums == "on";
+  }
 
   const auto n = field("n");
   const auto f = field("f");

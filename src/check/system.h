@@ -34,9 +34,15 @@ struct ScenarioSpec {
   /// Seeded protocol mutant to arm ("" = none): "skip-one-step-quorum"
   /// (P-Consensus decides on fewer than n−f equal values) or
   /// "ignore-accepted" (Paxos phase 1 ignores reported acceptances).
+  /// Abcast scenarios accept "equivocating-sender": p0's broadcasts carry
+  /// per-receiver divergent bytes — the total-order oracle's prey.
   std::string mutant;
   /// Abcast scenarios: scripted submissions, performed via kSubmit choices.
   std::vector<std::pair<ProcessId, std::string>> submissions;
+  /// False disables the per-frame CRC seal on consensus wire frames (the
+  /// --no-frame-crc mutant configuration): wire corruption is then
+  /// *undetectable* and only the safety oracles can catch its effects.
+  bool frame_checksums = true;
 
   [[nodiscard]] ProcessId initial_leader_of(ProcessId p) const {
     return p < omega.size() ? omega[p] : 0;
@@ -56,6 +62,12 @@ struct AdversaryBudgets {
   /// Only storage-backed protocols (rec-paxos) offer them; a crash-restart
   /// does not count against `crashes` (the process comes back).
   std::uint32_t crash_restarts = 0;
+  /// Total kFlip moves offered: corrupt-deliver a byte-flipped copy of a
+  /// queued frame (three byte positions per pending edge).
+  std::uint32_t flips = 0;
+  /// Total kEquivocate moves offered: deliver a divergent duplicate of a
+  /// queued frame (sender-equivocation towards one receiver).
+  std::uint32_t equivocations = 0;
 };
 
 /// A system under check. Implementations are deterministic: the same

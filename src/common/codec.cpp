@@ -1,6 +1,34 @@
 #include "common/codec.h"
 
+#include "common/crc32.h"
+
 namespace zdc::common {
+
+std::string seal_frame(std::string body) {
+  const std::uint32_t crc = crc32c(body);
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + body.size());
+  frame.push_back(static_cast<char>(kFrameVersion));
+  for (std::size_t i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+  }
+  frame.append(body);
+  return frame;
+}
+
+bool open_frame(std::string_view frame, std::string_view* body) {
+  if (frame.size() < kFrameHeaderBytes) return false;
+  if (static_cast<std::uint8_t>(frame[0]) != kFrameVersion) return false;
+  std::uint32_t crc = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    crc |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(frame[1 + i]))
+           << (8 * i);
+  }
+  const std::string_view rest = frame.substr(kFrameHeaderBytes);
+  if (crc32c(rest) != crc) return false;
+  *body = rest;
+  return true;
+}
 
 void encode_string_list(Encoder& enc, const std::vector<std::string>& items) {
   std::size_t bytes = 4;

@@ -157,6 +157,29 @@ class Decoder {
   bool ok_ = true;
 };
 
+/// Consensus wire-frame version. Version 2 introduced the sealed frame
+/// below; version-1 frames (bare body, no header) are rejected by
+/// open_frame — the bump is deliberate, there is no mixed-version decode
+/// (every deployment ships both ends of the wire).
+inline constexpr std::uint8_t kFrameVersion = 2;
+
+/// Bytes prepended by seal_frame: [version u8][crc32c u32 of body].
+inline constexpr std::size_t kFrameHeaderBytes = 5;
+
+/// Wraps a protocol message body in the integrity header. With the header in
+/// place a flipped byte anywhere in the frame — header or body — is a
+/// *detectable drop*: open_frame fails, the receiver discards the frame, and
+/// the transport's reliability layer (ARQ / parked retransmission) delivers
+/// the clean original. Without it a flip is silent garbage handed to the
+/// protocol decoder.
+[[nodiscard]] std::string seal_frame(std::string body);
+
+/// Verifies and strips the header written by seal_frame. On success stores
+/// the body view (aliasing `frame`) in `*body` and returns true; on any
+/// mismatch — short frame, wrong version, checksum failure — returns false
+/// and leaves `*body` untouched.
+[[nodiscard]] bool open_frame(std::string_view frame, std::string_view* body);
+
 /// Encodes a list of strings with a count prefix.
 void encode_string_list(Encoder& enc, const std::vector<std::string>& items);
 

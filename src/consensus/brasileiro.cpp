@@ -112,10 +112,16 @@ void BrasileiroConsensus::evaluate_first_round() {
   start_inner(std::move(inner_proposal));
 }
 
+void BrasileiroConsensus::set_frame_checksums(bool on) {
+  Consensus::set_frame_checksums(on);
+  if (inner_ != nullptr) inner_->set_frame_checksums(on);
+}
+
 void BrasileiroConsensus::start_inner(Value proposal) {
   ZDC_ASSERT(inner_ == nullptr);
   inner_host_ = std::make_unique<InnerHost>(*this);
   inner_ = underlying_factory_(self_, group_, *inner_host_);
+  inner_->set_frame_checksums(frame_checksums());
   inner_->propose(std::move(proposal));
   auto buffered = std::move(inner_buffer_);
   inner_buffer_.clear();

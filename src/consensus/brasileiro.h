@@ -30,6 +30,10 @@ class BrasileiroConsensus final : public Consensus {
 
   void on_fd_change() override;
 
+  /// Propagates the toggle to the tunneled inner module (which seals its own
+  /// frames inside the kInnerTag envelope); see Consensus::set_frame_checksums.
+  void set_frame_checksums(bool on) override;
+
   [[nodiscard]] std::string name() const override { return "Brasileiro-OS"; }
 
  protected:

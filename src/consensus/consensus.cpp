@@ -29,18 +29,37 @@ void Consensus::propose(Value v) {
   // already have decided (e.g. a buffered DECIDE), so re-check each step.
   auto buffered = std::move(pre_propose_buffer_);
   pre_propose_buffer_.clear();
-  for (auto& [from, bytes] : buffered) {
+  for (auto& [from, body] : buffered) {
     if (decided()) break;
-    on_message(from, bytes);
+    dispatch(from, body);
   }
 }
 
 void Consensus::on_message(ProcessId from, std::string_view bytes) {
-  if (decided() && !serves_after_decide()) return;
   if (from >= group_.n) {
     note_malformed();
     return;
   }
+  std::string_view body = bytes;
+  if (frame_checksums_) {
+    // Integrity gate: a frame whose seal does not verify was corrupted in
+    // flight (or framed by a pre-checksum sender). It is dropped here — a
+    // *detectable* drop the reliability layer repairs by retransmission —
+    // and never reaches the protocol decoder. The gate runs before the
+    // decided() fast-path so the corruption ledger (frames corrupted ==
+    // frames dropped, check/invariants.h) stays exact even for frames that
+    // arrive after this process stopped caring.
+    if (!common::open_frame(bytes, &body)) {
+      ++corrupt_frames_dropped_;
+      return;
+    }
+  }
+  if (decided() && !serves_after_decide()) return;
+  dispatch(from, body);
+}
+
+void Consensus::dispatch(ProcessId from, std::string_view bytes) {
+  if (decided() && !serves_after_decide()) return;
   common::Decoder dec(bytes);
   const std::uint8_t tag = dec.get_u8();
   if (!dec.ok()) {
@@ -104,16 +123,23 @@ void Consensus::finish(const Value& v, DecisionPath path, std::uint32_t steps) {
   host_.deliver_decision(decision_);
 }
 
+std::string Consensus::seal(std::string body) const {
+  return frame_checksums_ ? common::seal_frame(std::move(body))
+                          : std::move(body);
+}
+
 void Consensus::send_counted(ProcessId to, std::string bytes) {
+  // Metrics count *protocol* bytes; the 5-byte wire seal added below is
+  // transport overhead, kept out so Table-1 byte accounting is unchanged.
   ++metrics_.messages_sent;
   metrics_.bytes_sent += bytes.size();
-  host_.send(to, std::move(bytes));
+  host_.send(to, seal(std::move(bytes)));
 }
 
 void Consensus::broadcast_counted(std::string bytes) {
   metrics_.messages_sent += group_.n;
   metrics_.bytes_sent += bytes.size() * group_.n;
-  host_.broadcast(std::move(bytes));
+  host_.broadcast(seal(std::move(bytes)));
 }
 
 void Consensus::host_w_broadcast(std::uint64_t stage, std::string payload) {

@@ -103,6 +103,24 @@ class Consensus {
   [[nodiscard]] const common::ProtocolMetrics& metrics() const { return metrics_; }
   [[nodiscard]] std::uint64_t malformed_messages() const { return malformed_; }
 
+  /// Frames failing the wire checksum (see common::seal_frame). Counted
+  /// separately from malformed_messages(): a corrupt frame is a *transport*
+  /// casualty the integrity layer detected and dropped, a malformed message
+  /// is a well-checksummed body the protocol decoder rejected.
+  [[nodiscard]] std::uint64_t corrupt_frames_dropped() const {
+    return corrupt_frames_dropped_;
+  }
+
+  /// Toggles the per-frame CRC32C seal on the point-to-point consensus wire
+  /// (default on). Off exists only for the adversarial test harness: it
+  /// demonstrates what a single undetected flip does to agreement (the
+  /// checker's --no-frame-crc mode). Must be set identically on every
+  /// process before any traffic flows. Virtual so wrapper protocols
+  /// (Brasileiro, EfConsensus) propagate the toggle to the module they
+  /// tunnel — the inner instance seals its own frames.
+  virtual void set_frame_checksums(bool on) { frame_checksums_ = on; }
+  [[nodiscard]] bool frame_checksums() const { return frame_checksums_; }
+
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Whether handle_message() keeps running after this process decided.
@@ -156,16 +174,24 @@ class Consensus {
  private:
   void handle_decide(common::Decoder& dec);
   void finish(const Value& v, DecisionPath path, std::uint32_t steps);
+  /// Tag dispatch over an already-verified (unsealed) message body; the
+  /// pre-propose buffer stores bodies, so replay re-enters here, not
+  /// on_message (a second open_frame on an unsealed body would reject it).
+  void dispatch(ProcessId from, std::string_view body);
+  /// Applies the wire seal iff frame checksums are on.
+  [[nodiscard]] std::string seal(std::string body) const;
 
   ConsensusHost& host_;
   bool proposed_ = false;
   bool started_ = false;
+  bool frame_checksums_ = true;
   std::vector<std::pair<ProcessId, std::string>> pre_propose_buffer_;
   Value decision_;
   DecisionPath path_ = DecisionPath::kNone;
   std::uint32_t decision_steps_ = 0;
   common::ProtocolMetrics metrics_;
   std::uint64_t malformed_ = 0;
+  std::uint64_t corrupt_frames_dropped_ = 0;
 };
 
 /// Factory used by C-Abcast to stamp out one consensus instance per round.

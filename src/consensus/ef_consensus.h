@@ -39,6 +39,10 @@ class EfConsensus final : public Consensus {
 
   void on_fd_change() override;
 
+  /// Propagates the toggle to the tunneled inner module (which seals its own
+  /// frames inside the kInnerTag envelope); see Consensus::set_frame_checksums.
+  void set_frame_checksums(bool on) override;
+
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::uint32_t fast_threshold() const { return group_.n - e_; }
 

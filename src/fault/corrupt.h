@@ -1,0 +1,51 @@
+// The one bit-flip primitive every corruption fault routes through.
+//
+// Storage faults (`FaultyEnv` `@read ... flip`), the network byte-flip fault
+// (`FaultPlan` `flip`/`scorrupt`, LinkPolicy corruption budgets) and the
+// model checker's corruption choice points all corrupt bytes the same way:
+// XOR one bit at one offset. Keeping the primitive in one place means the
+// semantics — out-of-range offsets corrupt nothing, bit indices wrap into
+// 0..7 — are tested once (corrupt_test.cpp) and cannot drift between the
+// storage and network fault paths.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace zdc::fault {
+
+/// Sentinel byte offset meaning "the middle byte of the buffer" — used by
+/// fault plans that want a payload flip without knowing frame sizes. The
+/// middle lands inside the body of any realistic frame (never only in a
+/// header), which is what a "corrupt the message" plan means.
+inline constexpr std::uint64_t kMiddleByte = ~std::uint64_t{0};
+
+/// Resolves a requested flip offset against a buffer of `size` bytes:
+/// kMiddleByte picks size/2. Returns the concrete offset (which may still be
+/// out of range for size 0 — bit_flip treats that as a no-op).
+[[nodiscard]] inline std::uint64_t resolve_flip_byte(std::uint64_t byte,
+                                                     std::size_t size) {
+  return byte == kMiddleByte ? size / 2 : byte;
+}
+
+/// Flips bit `bit` (masked into 0..7) of `bytes[byte]` in place. An offset at
+/// or past the end is a no-op: corrupting past a short frame corrupts
+/// nothing, it does not widen the frame.
+inline void bit_flip(std::string& bytes, std::uint64_t byte,
+                     std::uint32_t bit) {
+  if (byte >= bytes.size()) return;
+  bytes[byte] = static_cast<char>(static_cast<std::uint8_t>(bytes[byte]) ^
+                                  (1u << (bit & 7u)));
+}
+
+/// Copying form for fabrics that must keep the clean original around (the
+/// reliable channel re-delivers it after the corrupted copy is dropped).
+[[nodiscard]] inline std::string bit_flip_copy(std::string bytes,
+                                               std::uint64_t byte,
+                                               std::uint32_t bit) {
+  bit_flip(bytes, resolve_flip_byte(byte, bytes.size()), bit);
+  return bytes;
+}
+
+}  // namespace zdc::fault

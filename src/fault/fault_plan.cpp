@@ -19,6 +19,9 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kResume: return "resume";
     case FaultKind::kCrash: return "crash";
     case FaultKind::kRestart: return "restart";
+    case FaultKind::kFlip: return "flip";
+    case FaultKind::kEquivocate: return "equivocate";
+    case FaultKind::kStateCorrupt: return "scorrupt";
   }
   return "?";
 }
@@ -66,6 +69,12 @@ bool FaultPlan::settles() const {
       case FaultKind::kCrash:
       case FaultKind::kRestart:
         break;
+      case FaultKind::kFlip:
+      case FaultKind::kEquivocate:
+      case FaultKind::kStateCorrupt:
+        // Transient by construction: a finite corruption budget drains on
+        // its own, the network is mended once it does.
+        break;
     }
   }
   return !links_faulted && paused.empty();
@@ -95,6 +104,17 @@ bool apply_to_policy(const FaultAction& action, LinkPolicy& policy) {
     case FaultKind::kResume:
       policy.resume(action.p);
       return true;
+    case FaultKind::kFlip:
+      policy.corrupt_link(action.p, action.q, action.count,
+                          CorruptSpec{action.byte, action.bit});
+      return true;
+    case FaultKind::kEquivocate:
+      policy.equivocate(action.p, action.count);
+      return true;
+    case FaultKind::kStateCorrupt:
+      policy.corrupt_inbound(action.p, action.count,
+                             CorruptSpec{action.byte, action.bit});
+      return true;
     case FaultKind::kCrash:
     case FaultKind::kRestart:
       return false;
@@ -108,6 +128,14 @@ std::string format_ms(double ms) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%g", ms);
   return buf;
+}
+
+/// Emits the non-default [count=] [byte=] [bit=] options of a corruption
+/// action, so to_string(parse(text)) round-trips minimal plans minimally.
+void append_corrupt_opts(std::ostringstream& out, const FaultAction& a) {
+  if (a.count != 1) out << " count=" << a.count;
+  if (a.byte != ~std::uint64_t{0}) out << " byte=" << a.byte;
+  if (a.bit != 0) out << " bit=" << a.bit;
 }
 
 }  // namespace
@@ -127,6 +155,18 @@ std::string to_string(const FaultAction& a) {
       out << " " << a.p << " " << a.q;
       if (a.drop_prob > 0.0) out << " drop=" << format_ms(a.drop_prob);
       if (a.extra_delay_ms > 0.0) out << " delay=" << format_ms(a.extra_delay_ms);
+      break;
+    case FaultKind::kFlip:
+      out << " " << a.p << " " << a.q;
+      append_corrupt_opts(out, a);
+      break;
+    case FaultKind::kEquivocate:
+      out << " " << a.p;
+      if (a.count != 1) out << " count=" << a.count;
+      break;
+    case FaultKind::kStateCorrupt:
+      out << " " << a.p;
+      append_corrupt_opts(out, a);
       break;
     case FaultKind::kIsolate:
     case FaultKind::kPause:
@@ -168,6 +208,18 @@ bool parse_number(const std::string& token, double* out) {
   }
 }
 
+bool parse_u64(const std::string& token, std::uint64_t* out) {
+  try {
+    std::size_t consumed = 0;
+    const unsigned long long v = std::stoull(token, &consumed);
+    if (consumed != token.size()) return false;
+    *out = v;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
 bool parse_pid(const std::string& token, ProcessId* out) {
   try {
     std::size_t consumed = 0;
@@ -178,6 +230,33 @@ bool parse_pid(const std::string& token, ProcessId* out) {
   } catch (...) {
     return false;
   }
+}
+
+/// Consumes the trailing [count=] [byte=] [bit=] options of a corruption
+/// verb. On failure stores the diagnostic in *why.
+bool parse_corrupt_opts(std::istringstream& in, FaultAction* a,
+                        std::string* why) {
+  std::string opt;
+  while (in >> opt) {
+    bool ok = false;
+    std::uint64_t v = 0;
+    if (opt.rfind("count=", 0) == 0) {
+      ok = parse_u64(opt.substr(6), &a->count) && a->count > 0;
+    } else if (opt.rfind("byte=", 0) == 0) {
+      ok = parse_u64(opt.substr(5), &a->byte);
+    } else if (opt.rfind("bit=", 0) == 0) {
+      ok = parse_u64(opt.substr(4), &v) && v < 8;
+      a->bit = static_cast<std::uint32_t>(v);
+    } else {
+      *why = "unknown corruption option '" + opt + "'";
+      return false;
+    }
+    if (!ok) {
+      *why = "bad corruption option '" + opt + "'";
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -252,6 +331,33 @@ bool parse_fault_plan(const std::string& text, FaultPlan* plan,
         if (!ok) {
           return fail(error, line_no, "bad link option '" + opt + "'");
         }
+      }
+    } else if (verb == "flip") {
+      a.kind = FaultKind::kFlip;
+      unsigned long from = 0;
+      unsigned long to = 0;
+      if (!(in >> from >> to)) {
+        return fail(error, line_no, "flip needs '<from> <to>'");
+      }
+      a.p = static_cast<ProcessId>(from);
+      a.q = static_cast<ProcessId>(to);
+      std::string why;
+      if (!parse_corrupt_opts(in, &a, &why)) return fail(error, line_no, why);
+    } else if (verb == "equivocate" || verb == "scorrupt") {
+      a.kind = verb == "equivocate" ? FaultKind::kEquivocate
+                                    : FaultKind::kStateCorrupt;
+      unsigned long p = 0;
+      if (!(in >> p)) {
+        return fail(error, line_no, verb + " needs a process id");
+      }
+      a.p = static_cast<ProcessId>(p);
+      std::string why;
+      if (!parse_corrupt_opts(in, &a, &why)) return fail(error, line_no, why);
+      if (a.kind == FaultKind::kEquivocate &&
+          (a.byte != ~std::uint64_t{0} || a.bit != 0)) {
+        return fail(error, line_no,
+                    "equivocate takes no byte=/bit= (the fabric varies the "
+                    "divergent copy per receiver)");
       }
     } else {
       if (verb == "isolate") {

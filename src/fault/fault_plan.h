@@ -18,10 +18,23 @@
 //   @<time_ms> crash <p>                      # process failure, state lost
 //   @<time_ms> restart <p>                    # new incarnation (StableStorage
 //                                             #   is what survives, if any)
+//   @<time_ms> flip <from> <to> [count=<k>] [byte=<o>] [bit=<b>]
+//                                             # corrupt the next k frames on
+//                                             #   the link (default middle
+//                                             #   byte, bit 0, k=1)
+//   @<time_ms> equivocate <p> [count=<k>]     # p's next k broadcasts also
+//                                             #   deliver a divergent copy
+//   @<time_ms> scorrupt <p> [count=<k>] [byte=<o>] [bit=<b>]
+//                                             # transient state corruption:
+//                                             #   p's next k inbound frames
+//                                             #   are corrupted, any sender
 //
-// Link-shaped actions (partition/heal/isolate/link) and pause/resume apply
-// directly to a LinkPolicy via apply_to_policy(); crash/restart are executor
-// business (the sim worlds and the runtime transports own crash state).
+// Link-shaped actions (partition/heal/isolate/link), pause/resume and the
+// corruption kinds (flip/equivocate/scorrupt arm finite LinkPolicy budgets)
+// apply directly to a LinkPolicy via apply_to_policy(); crash/restart are
+// executor business (the sim worlds and the runtime transports own crash
+// state). Corruption faults are transient by construction — the budget runs
+// out, no heal needed — so they never unsettle a plan (see settles()).
 #pragma once
 
 #include <cstdint>
@@ -42,6 +55,9 @@ enum class FaultKind : std::uint8_t {
   kResume,
   kCrash,
   kRestart,
+  kFlip,        ///< byte-flip the next `count` frames on link p -> q
+  kEquivocate,  ///< divergent duplicate of p's next `count` broadcasts
+  kStateCorrupt,  ///< byte-flip the next `count` frames inbound to p
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -58,6 +74,11 @@ struct FaultAction {
   /// kLink overrides.
   double drop_prob = 0.0;
   double extra_delay_ms = 0.0;
+  /// Corruption-kind budget and flip target (kFlip/kEquivocate/kStateCorrupt).
+  /// `byte` defaults to corrupt.h's kMiddleByte sentinel (middle of frame).
+  std::uint64_t count = 1;
+  std::uint64_t byte = ~std::uint64_t{0};
+  std::uint32_t bit = 0;
 };
 
 struct FaultPlan {

@@ -7,7 +7,12 @@
 namespace zdc::fault {
 
 LinkPolicy::LinkPolicy(std::uint32_t n)
-    : n_(n), links_(static_cast<std::size_t>(n) * n), paused_(n, 0) {
+    : n_(n),
+      links_(static_cast<std::size_t>(n) * n),
+      paused_(n, 0),
+      corrupt_links_(static_cast<std::size_t>(n) * n),
+      corrupt_inbound_(n),
+      equivocate_(n, 0) {
   ZDC_ASSERT(n > 0);
 }
 
@@ -77,6 +82,56 @@ bool LinkPolicy::paused(ProcessId p) const {
   if (!ever_faulted()) return false;
   common::MutexLock lock(mu_);
   return paused_[p] != 0;
+}
+
+void LinkPolicy::corrupt_link(ProcessId from, ProcessId to,
+                              std::uint64_t count, CorruptSpec spec) {
+  ZDC_ASSERT(from < n_ && to < n_);
+  common::MutexLock lock(mu_);
+  CorruptBudget& budget = corrupt_links_[static_cast<std::size_t>(from) * n_ + to];
+  budget.count += count;
+  budget.spec = spec;
+  touch();
+}
+
+void LinkPolicy::corrupt_inbound(ProcessId to, std::uint64_t count,
+                                 CorruptSpec spec) {
+  ZDC_ASSERT(to < n_);
+  common::MutexLock lock(mu_);
+  corrupt_inbound_[to].count += count;
+  corrupt_inbound_[to].spec = spec;
+  touch();
+}
+
+void LinkPolicy::equivocate(ProcessId from, std::uint64_t count) {
+  ZDC_ASSERT(from < n_);
+  common::MutexLock lock(mu_);
+  equivocate_[from] += count;
+  touch();
+}
+
+bool LinkPolicy::consume_corruption(ProcessId from, ProcessId to,
+                                    CorruptSpec* spec) const {
+  ZDC_ASSERT(from < n_ && to < n_);
+  // Self-links are never faulted (same rule as link()): a process's loopback
+  // is a memory move, not a wire.
+  if (!ever_faulted() || from == to) return false;
+  common::MutexLock lock(mu_);
+  CorruptBudget& link = corrupt_links_[static_cast<std::size_t>(from) * n_ + to];
+  CorruptBudget& budget = link.count > 0 ? link : corrupt_inbound_[to];
+  if (budget.count == 0) return false;
+  --budget.count;
+  *spec = budget.spec;
+  return true;
+}
+
+bool LinkPolicy::consume_equivocation(ProcessId from) const {
+  ZDC_ASSERT(from < n_);
+  if (!ever_faulted()) return false;
+  common::MutexLock lock(mu_);
+  if (equivocate_[from] == 0) return false;
+  --equivocate_[from];
+  return true;
 }
 
 }  // namespace zdc::fault

@@ -48,6 +48,13 @@ struct LinkState {
   }
 };
 
+/// One armed byte-flip: which byte (corrupt.h's kMiddleByte = middle of the
+/// frame) and which bit the fabric must flip in the next frame it carries.
+struct CorruptSpec {
+  std::uint64_t byte = 0;
+  std::uint32_t bit = 0;
+};
+
 class LinkPolicy {
  public:
   explicit LinkPolicy(std::uint32_t n);
@@ -82,6 +89,41 @@ class LinkPolicy {
   void resume(ProcessId p) ZDC_EXCLUDES(mu_);
   [[nodiscard]] bool paused(ProcessId p) const ZDC_EXCLUDES(mu_);
 
+  // --- Corruption budgets (FaultPlan flip / scorrupt / equivocate) ---
+  //
+  // Unlike the LinkState overrides above, corruption faults are *transient*:
+  // each armer grants a finite budget of corrupted frames, and the fabrics
+  // draw the budget down via the consume_* calls on the delivery path. A
+  // fault plan never needs to "heal" corruption — the budget running out is
+  // the end of the burst, which is exactly the transient-fault model the
+  // self-stabilization oracle (check/invariants.h) reasons about.
+
+  /// Arms `count` byte-flips on the directed link from -> to.
+  void corrupt_link(ProcessId from, ProcessId to, std::uint64_t count,
+                    CorruptSpec spec) ZDC_EXCLUDES(mu_);
+
+  /// Arms `count` byte-flips on *every* frame inbound to p regardless of the
+  /// sender — the transient-state-corruption fault: p's receive path is
+  /// briefly garbage, whatever the source.
+  void corrupt_inbound(ProcessId to, std::uint64_t count, CorruptSpec spec)
+      ZDC_EXCLUDES(mu_);
+
+  /// Arms `count` equivocations at sender p: the fabric delivers a divergent
+  /// duplicate of p's next `count` broadcasts alongside the originals.
+  void equivocate(ProcessId from, std::uint64_t count) ZDC_EXCLUDES(mu_);
+
+  /// Draws one corruption from the from->to link budget, falling back to the
+  /// receiver's inbound budget. Returns true and fills `*spec` iff a budget
+  /// was armed and non-empty. const because fabrics hold const views; the
+  /// budgets are mutable state guarded by mu_.
+  [[nodiscard]] bool consume_corruption(ProcessId from, ProcessId to,
+                                        CorruptSpec* spec) const
+      ZDC_EXCLUDES(mu_);
+
+  /// Draws one equivocation from sender p's budget.
+  [[nodiscard]] bool consume_equivocation(ProcessId from) const
+      ZDC_EXCLUDES(mu_);
+
   /// True once any fault was ever injected; fabrics use it as a lock-free
   /// fast path (false => every link clean, nobody paused).
   [[nodiscard]] bool ever_faulted() const {
@@ -97,6 +139,16 @@ class LinkPolicy {
   /// n*n, row-major [from*n + to]
   std::vector<LinkState> links_ ZDC_GUARDED_BY(mu_);
   std::vector<std::uint8_t> paused_ ZDC_GUARDED_BY(mu_);
+
+  struct CorruptBudget {
+    std::uint64_t count = 0;
+    CorruptSpec spec;
+  };
+  /// mutable: consumed on the (const) fabric delivery path, see header note.
+  /// n*n row-major link budgets; n inbound budgets; n equivocation budgets.
+  mutable std::vector<CorruptBudget> corrupt_links_ ZDC_GUARDED_BY(mu_);
+  mutable std::vector<CorruptBudget> corrupt_inbound_ ZDC_GUARDED_BY(mu_);
+  mutable std::vector<std::uint64_t> equivocate_ ZDC_GUARDED_BY(mu_);
 };
 
 }  // namespace zdc::fault

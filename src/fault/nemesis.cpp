@@ -31,6 +31,11 @@ FaultPlan random_fault_plan(const NemesisConfig& cfg, std::uint64_t seed) {
   if (cfg.allow_pause) menu.push_back(FaultKind::kPause);
   if (cfg.allow_link_degrade) menu.push_back(FaultKind::kLink);
   if (cfg.allow_crash) menu.push_back(FaultKind::kCrash);
+  if (cfg.allow_corrupt) {
+    menu.push_back(FaultKind::kFlip);
+    menu.push_back(FaultKind::kEquivocate);
+    menu.push_back(FaultKind::kStateCorrupt);
+  }
   if (menu.empty()) return plan;
 
   std::uint32_t crashes_used = 0;
@@ -94,6 +99,32 @@ FaultPlan random_fault_plan(const NemesisConfig& cfg, std::uint64_t seed) {
           plan.actions.push_back(at(t1, FaultKind::kRestart, p));
           --crashes_used;  // the window closes; budget frees up
         }
+        break;
+      }
+      // Corruption budgets drain on delivery, so a window is one action —
+      // no close needed. `byte` keeps its kMiddleByte default; a random bit
+      // varies what the flip actually hits.
+      case FaultKind::kFlip: {
+        FaultAction a = at(t0, FaultKind::kFlip, rng.next_below(cfg.n));
+        do {
+          a.q = rng.next_below(cfg.n);
+        } while (a.q == a.p);
+        a.count = 1 + rng.next_below(3);
+        a.bit = static_cast<std::uint32_t>(rng.next_below(8));
+        plan.actions.push_back(std::move(a));
+        break;
+      }
+      case FaultKind::kEquivocate: {
+        FaultAction a = at(t0, FaultKind::kEquivocate, rng.next_below(cfg.n));
+        a.count = 1 + rng.next_below(2);
+        plan.actions.push_back(std::move(a));
+        break;
+      }
+      case FaultKind::kStateCorrupt: {
+        FaultAction a = at(t0, FaultKind::kStateCorrupt, rng.next_below(cfg.n));
+        a.count = 1 + rng.next_below(3);
+        a.bit = static_cast<std::uint32_t>(rng.next_below(8));
+        plan.actions.push_back(std::move(a));
         break;
       }
       case FaultKind::kHeal:

@@ -44,6 +44,12 @@ struct NemesisConfig {
   /// Crashed processes come back (crash-recovery model). Only enable for
   /// protocols backed by StableStorage.
   bool allow_restart = false;
+  /// Draw corruption windows too: link byte-flips, sender equivocation and
+  /// transient inbound-state corruption (per-delivery budgets, so they
+  /// drain whenever traffic next flows — no close action needed). With
+  /// frame checksums on these are detectable drops and must not cost
+  /// safety; see docs/FAULTS.md.
+  bool allow_corrupt = false;
   /// Upper bound of the per-link delay-spike override.
   double max_extra_delay_ms = 5.0;
   /// Append a global heal at horizon_ms so the plan settles.

@@ -6,6 +6,7 @@
 #include "common/assert.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "fault/corrupt.h"
 
 namespace zdc::runtime {
 
@@ -152,10 +153,28 @@ void InprocNetwork::push(ProcessId to, Item item) {
   box.cv.notify_one();
 }
 
+void InprocNetwork::deliver_corrupt(Channel channel, ProcessId from,
+                                    ProcessId to, const std::string& bytes,
+                                    InstanceId wab_instance,
+                                    const fault::CorruptSpec& spec) {
+  // Surface-then-retransmit: the receiver sees the corrupted copy AND the
+  // clean original (TCP's checksummed retransmission eventually carries the
+  // real bytes through), so corruption costs work/latency, never liveness.
+  Item item;
+  item.delivery = Delivery{channel, from,
+                           fault::bit_flip_copy(bytes, spec.byte, spec.bit),
+                           wab_instance};
+  push(to, std::move(item));
+}
+
 void InprocNetwork::send(Channel channel, ProcessId from, ProcessId to,
                          std::string bytes, InstanceId wab_instance) {
   ZDC_ASSERT(from < cfg_.n && to < cfg_.n);
   if (crashed(from) || crashed(to)) return;
+  fault::CorruptSpec spec;
+  if (is_reliable(channel) && links_.consume_corruption(from, to, &spec)) {
+    deliver_corrupt(channel, from, to, bytes, wab_instance, spec);
+  }
   Item item;
   item.delivery = Delivery{channel, from, std::move(bytes), wab_instance};
   push(to, std::move(item));
@@ -165,8 +184,21 @@ void InprocNetwork::broadcast(Channel channel, ProcessId from,
                               std::string bytes, InstanceId wab_instance) {
   ZDC_ASSERT(from < cfg_.n);
   if (crashed(from)) return;
+  // Equivocation (duplicate-divergent-send): this broadcast also carries a
+  // divergent duplicate to every remote receiver, each copy flipped in a
+  // different bit so no two receivers see the same corrupted frame.
+  const bool equivocating =
+      is_reliable(channel) && links_.consume_equivocation(from);
   for (ProcessId to = 0; to < cfg_.n; ++to) {
     if (crashed(to)) continue;
+    fault::CorruptSpec spec;
+    if (is_reliable(channel) && links_.consume_corruption(from, to, &spec)) {
+      deliver_corrupt(channel, from, to, bytes, wab_instance, spec);
+    }
+    if (equivocating && to != from) {
+      deliver_corrupt(channel, from, to, bytes, wab_instance,
+                      fault::CorruptSpec{fault::kMiddleByte, to % 8u});
+    }
     Item item;
     item.delivery = Delivery{channel, from, bytes, wab_instance};
     push(to, std::move(item));

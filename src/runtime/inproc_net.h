@@ -82,6 +82,11 @@ class InprocNetwork final : public Transport {
 
   void worker_loop(ProcessId p);
   void push(ProcessId to, Item item);
+  /// Pushes a byte-flipped copy of `bytes` to `to` (the clean original still
+  /// follows — corruption is surfaced, then "retransmitted").
+  void deliver_corrupt(Channel channel, ProcessId from, ProcessId to,
+                       const std::string& bytes, InstanceId wab_instance,
+                       const fault::CorruptSpec& spec);
 
   Config cfg_;
   fault::LinkPolicy links_;

@@ -14,6 +14,7 @@
 
 #include "common/assert.h"
 #include "common/codec.h"
+#include "fault/corrupt.h"
 #include "common/log.h"
 #include "common/mutex.h"
 
@@ -257,8 +258,20 @@ void UdpNetwork::send(Channel channel, ProcessId from, ProcessId to,
 
 void UdpNetwork::broadcast(Channel channel, ProcessId from, std::string bytes,
                            InstanceId wab_instance) {
+  // Equivocation (duplicate-divergent-send): the broadcast also carries a
+  // divergent duplicate to every remote receiver, each copy flipped in a
+  // different bit. The duplicate gets its own fresh sequence number and ARQ
+  // entry — reusing the original's seq would let the receiver's dedupe
+  // record the corrupted copy and reject the clean original as a duplicate.
+  const bool equivocating = is_reliable(channel) && !crashed(from) &&
+                            links_.consume_equivocation(from);
   for (ProcessId to = 0; to < cfg_.n; ++to) {
     send(channel, from, to, bytes, wab_instance);
+    if (equivocating && to != from) {
+      send(channel, from, to,
+           fault::bit_flip_copy(bytes, fault::kMiddleByte, to % 8u),
+           wab_instance);
+    }
   }
 }
 
@@ -339,6 +352,26 @@ void UdpNetwork::handle_datagram(ProcessId p, const char* data,
   if (from >= cfg_.n) return;
 
   if (is_reliable(channel)) {
+    fault::CorruptSpec spec;
+    if (links_.consume_corruption(from, p, &spec)) {
+      // Byte-flip on the wire (flip/scorrupt budget): the receiver sees the
+      // corrupted payload now, but neither acks nor dedupe-records the
+      // sequence number — so the sender's ARQ retransmits and the clean
+      // original still arrives. Detectable corruption costs one
+      // retransmission interval, never the message.
+      fault::bit_flip(payload, fault::resolve_flip_byte(spec.byte,
+                                                        payload.size()),
+                      spec.bit);
+      if (ep.handler) {
+        Delivery d;
+        d.channel = channel;
+        d.from = from;
+        d.bytes = std::move(payload);
+        d.wab_instance = wab_instance;
+        ep.handler(d);
+      }
+      return;
+    }
     // Ack unconditionally (duplicates included: the ack may have been lost).
     common::Encoder ack;
     ack.put_u8(kTypeAck);

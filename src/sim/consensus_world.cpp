@@ -5,6 +5,7 @@
 
 #include "common/assert.h"
 #include "common/stable_storage.h"
+#include "fault/corrupt.h"
 #include "common/log.h"
 #include "consensus/brasileiro.h"
 #include "consensus/chandra_toueg.h"
@@ -80,6 +81,8 @@ class ConsensusWorld {
   void wab_broadcast(ProcessId from, std::uint64_t stage, std::string payload);
   void deliver_one(ProcessId from, ProcessId to, TimePoint tx_end,
                    const std::shared_ptr<const std::string>& bytes);
+  void schedule_arrival(ProcessId from, ProcessId to, TimePoint tx_end,
+                        const std::shared_ptr<const std::string>& bytes);
   void record_decision(ProcessId p, const Value& v);
   void notify_fd_change(ProcessId p);
   void crash(ProcessId p);
@@ -115,6 +118,8 @@ class ConsensusWorld {
   std::vector<std::vector<std::function<void()>>> paused_work_;
   std::size_t undecided_correct_ = 0;
   bool reincarnation_conflict_ = false;
+  std::uint64_t frames_corrupted_ = 0;
+  std::uint64_t equivocations_ = 0;
   /// Per-(kind, process) counters; empty when cfg_.metrics == nullptr.
   KindCounters kind_counters_;
 };
@@ -213,6 +218,26 @@ void ConsensusWorld::deliver_one(ProcessId from, ProcessId to, TimePoint tx_end,
         bytes);
     return;
   }
+  fault::CorruptSpec spec;
+  if (lan_.consume_corruption(from, to, &spec)) {
+    // Surface-then-retransmit: the corrupted frame arrives first (the
+    // receiver's integrity layer sees — and drops — real garbage), and the
+    // clean original follows one retransmission quantum later. The reliable
+    // channel never loses data, so corruption costs latency, not liveness.
+    ++frames_corrupted_;
+    auto corrupted = std::make_shared<const std::string>(
+        fault::bit_flip_copy(*bytes, spec.byte, spec.bit));
+    schedule_arrival(from, to, tx_end, corrupted);
+    schedule_arrival(from, to, tx_end + lan_.config().reliable_retransmit_ms,
+                     bytes);
+    return;
+  }
+  schedule_arrival(from, to, tx_end, bytes);
+}
+
+void ConsensusWorld::schedule_arrival(
+    ProcessId from, ProcessId to, TimePoint tx_end,
+    const std::shared_ptr<const std::string>& bytes) {
   const TimePoint arrival =
       lan_.arrival_time(tx_end) + lan_.reliable_link_penalty_ms(from, to);
   events_.at(arrival, [this, from, to, bytes] {
@@ -236,6 +261,12 @@ void ConsensusWorld::broadcast(ProcessId from, std::string bytes) {
   const bool truncated = sender.truncate_at != 0 &&
                          sender.broadcasts_done == sender.truncate_at;
   auto payload = std::make_shared<const std::string>(std::move(bytes));
+  // Equivocation (duplicate-divergent-send): this broadcast also puts a
+  // divergent duplicate on the wire to every remote receiver, each copy
+  // corrupted differently (the flipped bit varies by receiver). With frame
+  // checksums on, every duplicate is a detectable drop; the total-order and
+  // agreement oracles confirm the originals still carry the run.
+  const bool equivocating = lan_.consume_equivocation(from);
 
   for (ProcessId to = 0; to < nodes_.size(); ++to) {
     if (truncated &&
@@ -257,6 +288,13 @@ void ConsensusWorld::broadcast(ProcessId from, std::string bytes) {
       const TimePoint sent = lan_.occupy_sender_cpu(from, events_.now());
       const TimePoint tx_end = lan_.occupy_medium(sent, payload->size());
       deliver_one(from, to, tx_end, payload);
+      if (equivocating) {
+        ++equivocations_;
+        auto divergent = std::make_shared<const std::string>(
+            fault::bit_flip_copy(*payload, fault::kMiddleByte, to % 8u));
+        const TimePoint tx2 = lan_.occupy_medium(tx_end, divergent->size());
+        deliver_one(from, to, tx2, divergent);
+      }
     }
   }
 
@@ -449,8 +487,11 @@ ConsensusRunResult ConsensusWorld::run() {
   result.outcomes.reserve(nodes_.size());
   bool first = true;
   ProcessId metric_p = 0;
+  result.frames_corrupted = frames_corrupted_;
+  result.equivocations = equivocations_;
   for (Node& node : nodes_) {
     result.totals += node.protocol->metrics();
+    result.corrupt_frames_dropped += node.protocol->corrupt_frames_dropped();
     if (cfg_.metrics != nullptr) {
       cfg_.metrics
           ->counter("zdc_sim_rounds_total", obs::process_label(metric_p))

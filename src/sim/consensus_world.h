@@ -82,6 +82,17 @@ struct ConsensusRunResult {
   TimePoint first_decision_time = 0.0;
   TimePoint last_decision_time = 0.0;
   std::uint64_t events_executed = 0;
+  /// Corruption-fault accounting (FaultPlan flip/scorrupt/equivocate): frames
+  /// the fabric corrupted, divergent duplicates delivered, and frames the
+  /// protocols' CRC seal rejected. With checksums on, every corrupted frame
+  /// that *arrives* is a detectable drop, so corrupt_frames_dropped <=
+  /// frames_corrupted + equivocations — with equality once every injected
+  /// copy has landed (the run ends at all-decided, so the tail of the ledger
+  /// may still be in flight; the model checker asserts exact equality at
+  /// true quiescence).
+  std::uint64_t frames_corrupted = 0;
+  std::uint64_t equivocations = 0;
+  std::uint64_t corrupt_frames_dropped = 0;
 
   [[nodiscard]] bool safe() const { return agreement_ok && validity_ok; }
 };

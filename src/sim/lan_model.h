@@ -154,6 +154,22 @@ class LanModel {
   [[nodiscard]] TimePoint best_effort_extra_delay_ms(ProcessId from,
                                                      ProcessId to) const;
 
+  /// Corruption verdicts (FaultPlan flip/scorrupt budgets), drawn on the
+  /// reliable-channel delivery path: true iff the next frame on (from, to)
+  /// must be byte-flipped per `*spec`. Draws down the finite LinkPolicy
+  /// budget — at most `count` frames per armed fault are ever corrupted.
+  [[nodiscard]] bool consume_corruption(ProcessId from, ProcessId to,
+                                        fault::CorruptSpec* spec) const {
+    return policy_ != nullptr && policy_->consume_corruption(from, to, spec);
+  }
+
+  /// Equivocation verdict (FaultPlan equivocate budget), drawn once per
+  /// broadcast at the sender: true iff this broadcast must also deliver a
+  /// divergent duplicate to every remote receiver.
+  [[nodiscard]] bool consume_equivocation(ProcessId from) const {
+    return policy_ != nullptr && policy_->consume_equivocation(from);
+  }
+
   [[nodiscard]] const NetworkConfig& config() const { return cfg_; }
 
  private:

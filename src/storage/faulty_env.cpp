@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/assert.h"
+#include "fault/corrupt.h"
 
 namespace zdc::storage {
 
@@ -171,11 +172,7 @@ Status FaultyEnv::read_file(const std::string& path, std::string* contents) {
   ++reads_;
   if (const fault::StorageFaultPoint* p =
           point_at(fault::StorageFaultKind::kFlipOnRead, reads_)) {
-    if (p->flip_byte < contents->size()) {
-      (*contents)[p->flip_byte] =
-          static_cast<char>(static_cast<std::uint8_t>((*contents)[p->flip_byte]) ^
-                            (1u << p->flip_bit));
-    }
+    fault::bit_flip(*contents, p->flip_byte, p->flip_bit);
   }
   return Status::ok();
 }

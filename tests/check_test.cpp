@@ -42,6 +42,9 @@ TEST(ChoiceFormat, RoundtripsEveryKind) {
       {ChoiceKind::kLeaderFlip, 1, 2, 0}, {ChoiceKind::kSuspectFlip, 0, 3, 0},
       {ChoiceKind::kCrashDeliver, 0, 2, 0},
       {ChoiceKind::kCrashDeliver, 1, 0, 3},
+      {ChoiceKind::kFlip, 0, 1, 2},
+      {ChoiceKind::kFlip, 2, 0, 0},
+      {ChoiceKind::kEquivocate, 1, 2, 0},
   };
   for (const Choice& c : samples) {
     const std::string token = format_choice(c);
@@ -62,7 +65,8 @@ TEST(ChoiceFormat, RoundtripsEveryKind) {
 TEST(ChoiceFormat, RejectsMalformedTokens) {
   for (const char* bad : {"", "x1", "d5", "d-1", "d1-", "o", "c", "s3", "s3m",
                           "l2", "f-", "d1-2-3x", "d99999999999-1", "u", "k1",
-                          "k1-2", "k1-2m", "k1-2m9", "k-2m0"}) {
+                          "k1-2", "k1-2m", "k1-2m9", "k-2m0", "x1-2",
+                          "x1-2m", "x1-2m3", "x-2m0", "e1", "e1-"}) {
     EXPECT_FALSE(parse_choice(bad).has_value()) << bad;
   }
 }
@@ -84,6 +88,16 @@ TEST(ChoiceIndependence, MatchesTouchedProcessModel) {
   // Oracle broadcasts touch everybody.
   EXPECT_FALSE(choices_independent(oracle, d23));
   EXPECT_FALSE(choices_independent(oracle, crash1));
+  // Corrupt-delivery and equivocation commute like deliveries: dependent on
+  // a shared recipient, independent across disjoint edges.
+  const Choice x01{ChoiceKind::kFlip, 0, 1, 1};
+  const Choice e23{ChoiceKind::kEquivocate, 2, 3, 0};
+  EXPECT_FALSE(choices_independent(x01, d01));
+  EXPECT_FALSE(choices_independent(x01, d21));
+  EXPECT_TRUE(choices_independent(x01, d23));
+  EXPECT_TRUE(choices_independent(x01, e23));
+  EXPECT_FALSE(choices_independent(e23, d23));
+  EXPECT_FALSE(choices_independent(e23, Choice{ChoiceKind::kCrash, 3, 0, 0}));
 }
 
 // --- invariant library ---
@@ -172,6 +186,49 @@ TEST(Invariants, TotalOrderAndDuplicationCatchBrokenHistories) {
 
 // --- replay files ---
 
+TEST(Invariants, CorruptionLedgerMustBalanceWhenChecksumsOn) {
+  CorruptionObs obs;
+  obs.frames_corrupted = 3;
+  obs.corrupt_frames_dropped = 3;
+  EXPECT_FALSE(check_corruption(obs).has_value());
+
+  obs.corrupt_frames_dropped = 2;
+  const auto v = check_corruption(obs);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->invariant, "undetected-corruption");
+
+  // With checksums off the check is vacuous (corruption is *expected* to be
+  // undetectable; the safety oracles carry the burden)...
+  obs.checksums_enabled = false;
+  EXPECT_FALSE(check_corruption(obs).has_value());
+  // ...as it is when some corruption targeted an unsealed channel.
+  obs.checksums_enabled = true;
+  obs.all_on_sealed_channel = false;
+  EXPECT_FALSE(check_corruption(obs).has_value());
+}
+
+TEST(Invariants, ConvergenceFlagsOnlyAfterTheBoundElapses) {
+  ConvergenceObs obs;
+  obs.corrupt_injected = 2;
+  obs.step_bound = 10;
+  obs.steps_since_last_injection = 9;
+  obs.legal_state = false;
+  // Bound not yet elapsed: the system is allowed to still be converging.
+  EXPECT_FALSE(check_convergence(obs).has_value());
+
+  obs.steps_since_last_injection = 10;
+  const auto v = check_convergence(obs);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->invariant, "convergence");
+
+  obs.legal_state = true;
+  EXPECT_FALSE(check_convergence(obs).has_value()) << "converged in time";
+  obs.legal_state = false;
+  obs.corrupt_injected = 0;
+  EXPECT_FALSE(check_convergence(obs).has_value())
+      << "vacuous without injections";
+}
+
 TEST(Replay, SerializeParseRoundtripIsByteIdentical) {
   ReplayFile file;
   file.spec = consensus_spec("p", {"a", "b", "b", "b"}, "skip-one-step-quorum");
@@ -258,6 +315,188 @@ TEST(Explorer, TransitionBudgetAbortsAsIncomplete) {
   const auto res = explore(make_system_factory(spec, {}), cfg);
   EXPECT_FALSE(res.complete);
   EXPECT_LE(res.transitions, 10u);
+}
+
+// --- corruption choice points (kFlip / kEquivocate) ---
+
+TEST(Corruption, DetectableDropsKeepEveryExploredScheduleSafe) {
+  // With frame checksums on, the corrupt-delivery choice points must never
+  // produce a violation: the flipped copy is CRC-dropped (the corruption
+  // ledger is checked at every quiescent leaf via check_corruption) and the
+  // clean original still goes through. The budgets must also visibly widen
+  // the search space.
+  const ScenarioSpec spec = consensus_spec("paxos", {"a", "a", "a"});
+  ExploreConfig cfg;
+  cfg.max_depth = 6;
+  const auto baseline = explore(make_system_factory(spec, {}), cfg);
+  AdversaryBudgets flips;
+  flips.flips = 1;
+  const auto flipped = explore(make_system_factory(spec, flips), cfg);
+  AdversaryBudgets equiv;
+  equiv.equivocations = 1;
+  const auto equivocated = explore(make_system_factory(spec, equiv), cfg);
+  for (const auto* res : {&baseline, &flipped, &equivocated}) {
+    EXPECT_TRUE(res->complete);
+    EXPECT_FALSE(res->violation.has_value())
+        << res->violation->invariant << " — " << res->violation->detail;
+  }
+  EXPECT_GT(flipped.transitions, baseline.transitions);
+  EXPECT_GT(equivocated.transitions, baseline.transitions);
+}
+
+TEST(Corruption, FlipChoicesDisabledWithoutPendingFrames) {
+  const ScenarioSpec spec = consensus_spec("paxos", {"a", "a", "a"});
+  AdversaryBudgets budgets;
+  budgets.flips = 1;
+  budgets.equivocations = 1;
+  ConsensusSystem sys(spec, budgets);
+  // Proposals are made in the constructor, so frames are pending and both
+  // corruption kinds are offered (three byte positions per edge for kFlip).
+  bool saw_flip = false;
+  bool saw_equivocate = false;
+  for (const Choice& c : sys.enabled()) {
+    saw_flip = saw_flip || c.kind == ChoiceKind::kFlip;
+    saw_equivocate = saw_equivocate || c.kind == ChoiceKind::kEquivocate;
+  }
+  EXPECT_TRUE(saw_flip);
+  EXPECT_TRUE(saw_equivocate);
+  // Lenient replay of a flip on a drained edge must refuse, not corrupt
+  // air. (Right after the constructor every edge holds the broadcast
+  // proposals — self-edges included — so drain 0→1 first; p0 handles
+  // nothing here, so nothing refills it.)
+  ConsensusSystem fresh(spec, budgets);
+  while (fresh.apply(Choice{ChoiceKind::kDeliver, 0, 1, 0})) {
+  }
+  EXPECT_FALSE(fresh.apply(Choice{ChoiceKind::kFlip, 0, 1, 1}));
+  EXPECT_FALSE(fresh.apply(Choice{ChoiceKind::kEquivocate, 0, 1, 0}));
+}
+
+// --- the parallel engine: deterministic task-decomposed DFS ---
+
+struct MutantCase {
+  ScenarioSpec spec;
+  std::uint32_t max_depth;
+};
+
+MutantCase p_mutant() {
+  MutantCase c{consensus_spec("p", {"a", "b", "b", "b"},
+                              "skip-one-step-quorum"),
+               12};
+  return c;
+}
+
+MutantCase paxos_mutant() {
+  MutantCase c{consensus_spec("paxos", {"zero", "one", "two"},
+                              "ignore-accepted"),
+               20};
+  c.spec.omega = {0, 0, 2};
+  return c;
+}
+
+TEST(ParallelExplore, TotalsAreByteIdenticalForEveryThreadCount) {
+  const ScenarioSpec spec = consensus_spec("paxos", {"a", "a", "a"});
+  ExploreConfig cfg;
+  cfg.max_depth = 6;
+  cfg.threads = 1;
+  const auto one = explore(make_system_factory(spec, {}), cfg);
+  EXPECT_TRUE(one.complete);
+  EXPECT_FALSE(one.violation.has_value());
+  for (const std::uint32_t threads : {2u, 4u, 8u}) {
+    cfg.threads = threads;
+    const auto many = explore(make_system_factory(spec, {}), cfg);
+    EXPECT_EQ(many.transitions, one.transitions) << threads << " threads";
+    EXPECT_EQ(many.paths, one.paths) << threads << " threads";
+    EXPECT_EQ(many.depth_cutoffs, one.depth_cutoffs) << threads << " threads";
+    EXPECT_EQ(many.complete, one.complete) << threads << " threads";
+  }
+  // The sequential engine prunes the same space (identical verdict); only
+  // its transition total differs (units pay an extra prefix replay).
+  cfg.threads = 0;
+  const auto seq = explore(make_system_factory(spec, {}), cfg);
+  EXPECT_TRUE(seq.complete);
+  EXPECT_EQ(seq.paths, one.paths);
+  EXPECT_EQ(seq.depth_cutoffs, one.depth_cutoffs);
+  EXPECT_LE(seq.transitions, one.transitions);
+}
+
+// A violating scenario whose *full* bounded space stays small: the parallel
+// engine runs every unit to completion (no cross-task cancellation — that is
+// what buys determinism), so hunting the paxos mutant at depth 20 would
+// exhaust millions of schedules. The undetected-flip scenario violates at
+// depth 5, where exhaustion is ~1.7 M transitions.
+MutantCase flip_violation_case() {
+  MutantCase c{consensus_spec("l", {"a", "a", "a", "a"}), 5};
+  c.spec.frame_checksums = false;
+  return c;
+}
+
+AdversaryBudgets one_flip() {
+  AdversaryBudgets b;
+  b.flips = 1;
+  return b;
+}
+
+TEST(ParallelExplore, ViolationAndTraceIdenticalAtOneFourEightThreads) {
+  const MutantCase mutant = flip_violation_case();
+  const SystemFactory factory = make_system_factory(mutant.spec, one_flip());
+  ExploreConfig cfg;
+  cfg.max_depth = mutant.max_depth;
+  const auto seq = explore(factory, cfg);
+  ASSERT_TRUE(seq.violation.has_value());
+  for (const std::uint32_t threads : {1u, 4u, 8u}) {
+    cfg.threads = threads;
+    const auto par = explore(factory, cfg);
+    ASSERT_TRUE(par.violation.has_value()) << threads << " threads";
+    // The parallel engine reports the preorder-first violation — exactly the
+    // one the sequential DFS stops at, trace and all.
+    EXPECT_EQ(par.violation->invariant, seq.violation->invariant);
+    EXPECT_EQ(par.violation->detail, seq.violation->detail);
+    EXPECT_EQ(format_trace(par.trace), format_trace(seq.trace))
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelExplore, ParallelTraceReplaysByteIdenticallySingleThreaded) {
+  const MutantCase mutant = flip_violation_case();
+  const SystemFactory factory = make_system_factory(mutant.spec, one_flip());
+  ExploreConfig cfg;
+  cfg.max_depth = mutant.max_depth;
+  cfg.threads = 4;
+  const auto par = explore(factory, cfg);
+  ASSERT_TRUE(par.violation.has_value());
+  const auto replayed = replay_strict(factory, par.trace);
+  ASSERT_TRUE(replayed.has_value())
+      << "parallel-found trace not strictly replayable";
+  ASSERT_TRUE(replayed->violation.has_value());
+  EXPECT_EQ(replayed->violation->invariant, par.violation->invariant);
+  EXPECT_EQ(replayed->violation->detail, par.violation->detail);
+}
+
+TEST(ParallelSwarm, RunsEverythingAndReportsTheLowestFailingRun) {
+  const MutantCase mutant = paxos_mutant();
+  const SystemFactory factory = make_system_factory(mutant.spec, {});
+  SwarmConfig cfg;
+  cfg.seed = 3;
+  cfg.runs = 48;
+  cfg.max_steps = 200;
+  const auto seq = swarm(factory, cfg);
+  ASSERT_TRUE(seq.violation.has_value()) << "pick a seed that fails";
+  cfg.threads = 1;
+  const auto par1 = swarm(factory, cfg);
+  cfg.threads = 4;
+  const auto par4 = swarm(factory, cfg);
+  ASSERT_TRUE(par1.violation.has_value());
+  ASSERT_TRUE(par4.violation.has_value());
+  // Parallel mode executes ALL runs; the failing run and its trace match the
+  // sequential sweep (which stops there), and totals are thread-invariant.
+  EXPECT_EQ(par1.failing_run, seq.failing_run);
+  EXPECT_EQ(par4.failing_run, seq.failing_run);
+  EXPECT_EQ(format_trace(par1.trace), format_trace(seq.trace));
+  EXPECT_EQ(format_trace(par4.trace), format_trace(par1.trace));
+  EXPECT_EQ(par1.runs, cfg.runs);
+  EXPECT_EQ(par4.runs, cfg.runs);
+  EXPECT_EQ(par1.transitions, par4.transitions);
+  EXPECT_GE(par1.transitions, seq.transitions);
 }
 
 // --- crash-during-delivery (kCrashDeliver, storage-backed rec-paxos) ---
@@ -381,26 +620,6 @@ TEST(CrashRestart, SwarmWithCrashRestartBudgetIsSafeAndDeterministic) {
 
 // --- mutants: find → shrink → replay, all through the library ---
 
-struct MutantCase {
-  ScenarioSpec spec;
-  std::uint32_t max_depth;
-};
-
-MutantCase p_mutant() {
-  MutantCase c{consensus_spec("p", {"a", "b", "b", "b"},
-                              "skip-one-step-quorum"),
-               12};
-  return c;
-}
-
-MutantCase paxos_mutant() {
-  MutantCase c{consensus_spec("paxos", {"zero", "one", "two"},
-                              "ignore-accepted"),
-               20};
-  c.spec.omega = {0, 0, 2};
-  return c;
-}
-
 void find_shrink_replay(const MutantCase& mutant) {
   const SystemFactory factory = make_system_factory(mutant.spec, {});
   ExploreConfig cfg;
@@ -500,7 +719,8 @@ std::string read_file(const std::string& path) {
   return buf.str();
 }
 
-void check_fixture(const std::string& name) {
+void check_fixture(const std::string& name,
+                   const std::string& expected_violation = "agreement") {
   const std::string bytes = read_file(std::string(CHECK_FIXTURE_DIR) + "/" +
                                       name);
   ASSERT_FALSE(bytes.empty());
@@ -509,7 +729,7 @@ void check_fixture(const std::string& name) {
   ASSERT_TRUE(file.has_value()) << error;
   // Canonical on disk: regenerate or fail, never hand-edit.
   EXPECT_EQ(serialize_replay(*file), bytes);
-  EXPECT_EQ(file->violation, "agreement");
+  EXPECT_EQ(file->violation, expected_violation);
   const auto replayed =
       replay_strict(make_system_factory(file->spec, {}), file->trace);
   ASSERT_TRUE(replayed.has_value()) << "fixture trace no longer strict";
@@ -523,6 +743,20 @@ TEST(Fixtures, PSkipOneStepQuorumStillReproduces) {
 
 TEST(Fixtures, PaxosIgnoreAcceptedStillReproduces) {
   check_fixture("paxos_ignore_accepted.replay");
+}
+
+TEST(Fixtures, AbcastEquivocatingSenderStillReproduces) {
+  // Net-level equivocation (per-receiver divergent p2a/p2b payload bytes)
+  // splits PaxosAbcast learners and the total-order oracle catches it.
+  check_fixture("abcast_equivocating_sender.replay", "total-order");
+}
+
+TEST(Fixtures, UndetectedFlipStillReproduces) {
+  // With `checksums: off` a single wire flip (the x0-1m2 choice) corrupts a
+  // forwarded DECIDE's step count undetected — the one-step oracle flags the
+  // impossible step total. With checksums on the same trace is a clean
+  // detectable drop; this fixture pins the *mutant configuration's* failure.
+  check_fixture("l_undetected_flip.replay", "one-step");
 }
 
 }  // namespace

@@ -1,0 +1,99 @@
+// The one shared corruption primitive (fault/corrupt.h) and its contract
+// with the frame integrity seal (common/codec.h): every fabric — simulator,
+// in-process bus, UDP — and the FaultyEnv storage layer flip bits through
+// the same helper, so its edge cases are tested exactly once, here.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+#include "common/codec.h"
+#include "fault/corrupt.h"
+
+namespace zdc {
+namespace {
+
+TEST(BitFlip, FlipsExactlyOneBitInPlace) {
+  std::string bytes = "hello";
+  fault::bit_flip(bytes, 1, 3);
+  EXPECT_EQ(bytes[0], 'h');
+  EXPECT_EQ(bytes[1], static_cast<char>('e' ^ (1 << 3)));
+  EXPECT_EQ(bytes.substr(2), "llo");
+  // Flipping the same bit again restores the original (involution).
+  fault::bit_flip(bytes, 1, 3);
+  EXPECT_EQ(bytes, "hello");
+}
+
+TEST(BitFlip, OutOfRangeByteIsANoOp) {
+  std::string bytes = "abc";
+  fault::bit_flip(bytes, 3, 0);
+  fault::bit_flip(bytes, 100, 5);
+  EXPECT_EQ(bytes, "abc");
+  std::string empty;
+  fault::bit_flip(empty, 0, 0);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(BitFlip, BitIndexWrapsModuloEight) {
+  std::string a = "x";
+  std::string b = "x";
+  fault::bit_flip(a, 0, 2);
+  fault::bit_flip(b, 0, 10);  // 10 & 7 == 2
+  EXPECT_EQ(a, b);
+}
+
+TEST(ResolveFlipByte, SentinelMeansMiddle) {
+  EXPECT_EQ(fault::resolve_flip_byte(fault::kMiddleByte, 10), 5u);
+  EXPECT_EQ(fault::resolve_flip_byte(fault::kMiddleByte, 1), 0u);
+  EXPECT_EQ(fault::resolve_flip_byte(fault::kMiddleByte, 0), 0u);
+  // Explicit offsets pass through untouched.
+  EXPECT_EQ(fault::resolve_flip_byte(3, 10), 3u);
+  EXPECT_EQ(fault::resolve_flip_byte(0, 10), 0u);
+}
+
+TEST(BitFlipCopy, ResolvesSentinelAndLeavesOriginalAlone) {
+  const std::string original = "abcdef";
+  const std::string flipped =
+      fault::bit_flip_copy(original, fault::kMiddleByte, 0);
+  EXPECT_EQ(original, "abcdef");
+  EXPECT_EQ(flipped[3], static_cast<char>('d' ^ 1));  // size 6 -> middle byte 3
+  EXPECT_EQ(flipped.substr(0, 3), "abc");
+  EXPECT_EQ(flipped.substr(4), "ef");
+}
+
+// --- the seal contract: any single-bit flip is a detectable drop ---
+
+TEST(SealedFrame, RoundTripsClean) {
+  const std::string body = "consensus payload";
+  const std::string sealed = common::seal_frame(body);
+  EXPECT_GT(sealed.size(), body.size());
+  std::string_view out;
+  ASSERT_TRUE(common::open_frame(sealed, &out));
+  EXPECT_EQ(out, body);
+}
+
+TEST(SealedFrame, EverySingleBitFlipIsDetected) {
+  const std::string sealed = common::seal_frame("abc");
+  for (std::uint64_t byte = 0; byte < sealed.size(); ++byte) {
+    for (std::uint32_t bit = 0; bit < 8; ++bit) {
+      std::string corrupted = sealed;
+      fault::bit_flip(corrupted, byte, bit);
+      std::string_view out;
+      EXPECT_FALSE(common::open_frame(corrupted, &out))
+          << "flip at byte " << byte << " bit " << bit << " went undetected";
+    }
+  }
+}
+
+TEST(SealedFrame, DoubleFlipRestoresValidity) {
+  std::string sealed = common::seal_frame("payload");
+  fault::bit_flip(sealed, 4, 6);
+  std::string_view out;
+  EXPECT_FALSE(common::open_frame(sealed, &out));
+  fault::bit_flip(sealed, 4, 6);
+  ASSERT_TRUE(common::open_frame(sealed, &out));
+  EXPECT_EQ(out, "payload");
+}
+
+}  // namespace
+}  // namespace zdc

@@ -66,7 +66,7 @@ TEST(CtUnit, CoordinatorPicksHighestTimestampEstimate) {
     enc.put_u64(round);
     enc.put_string(v);
     enc.put_u64(ts);
-    return enc.take();
+    return common::seal_frame(enc.take());
   };
   net.protocol(1).on_message(2, est(2, "locked", 1));
   net.protocol(1).on_message(3, est(2, "stale", 0));
@@ -106,9 +106,9 @@ TEST(CtUnit, MalformedMessagesCounted) {
   DirectNet net(kGroup, ct_factory());
   net.propose(1, "v");
   auto& proto = net.protocol(1);
-  proto.on_message(0, "");
-  proto.on_message(0, std::string("\x01\x02", 2));  // truncated EST
-  proto.on_message(0, std::string("\x09" "xxxxxxxx", 9));
+  proto.on_message(0, common::seal_frame(""));
+  proto.on_message(0, common::seal_frame(std::string("\x01\x02", 2)));  // truncated EST
+  proto.on_message(0, common::seal_frame(std::string("\x09" "xxxxxxxx", 9)));
   EXPECT_EQ(proto.malformed_messages(), 3u);
 }
 
@@ -191,8 +191,8 @@ TEST(PaxosUnit, MalformedMessagesCounted) {
   DirectNet net(kGroup, paxos_factory());
   net.propose(0, "v");
   auto& proto = net.protocol(0);
-  proto.on_message(1, std::string("\x03\x01", 2));  // truncated 2a
-  proto.on_message(1, std::string("\x2a", 1));      // unknown tag
+  proto.on_message(1, common::seal_frame(std::string("\x03\x01", 2)));  // truncated 2a
+  proto.on_message(1, common::seal_frame(std::string("\x2a", 1)));      // unknown tag
   EXPECT_EQ(proto.malformed_messages(), 2u);
 }
 

@@ -104,9 +104,9 @@ TEST(FastPaxosUnit, MalformedMessagesCounted) {
   DirectNet net(kGroup, fast_paxos_factory());
   net.propose(0, "v");
   auto& proto = net.protocol(0);
-  proto.on_message(1, "");
-  proto.on_message(1, std::string("\x01\x05", 2));  // truncated vote
-  proto.on_message(1, std::string("\x1f", 1));      // unknown tag
+  proto.on_message(1, common::seal_frame(""));
+  proto.on_message(1, common::seal_frame(std::string("\x01\x05", 2)));  // truncated vote
+  proto.on_message(1, common::seal_frame(std::string("\x1f", 1)));      // unknown tag
   EXPECT_EQ(proto.malformed_messages(), 3u);
 }
 
@@ -175,7 +175,7 @@ TEST(EfUnit, InnerTrafficBufferedUntilFallbackCommits) {
   common::Encoder enc;
   enc.put_u8(2);  // kInnerTag
   enc.put_raw("garbage-inner-bytes");
-  net.protocol(0).on_message(1, enc.bytes());
+  net.protocol(0).on_message(1, common::seal_frame(enc.bytes()));
   EXPECT_FALSE(net.decided(0));
   // The run still completes normally.
   net.propose(1, "b");

@@ -72,13 +72,19 @@ struct Golden {
 
 // Recorded from the pre-refactor std::function/std::priority_queue event
 // queue and per-byte encoder: the refactor is required to be byte-neutral.
+// Deliberately re-pinned when the consensus wire gained its 5-byte integrity
+// seal ([version u8][crc32c u32], common::seal_frame): bigger frames occupy
+// the shared medium longer, so fixed-seed schedules shift. The Paxos rows
+// are unchanged because the seal covers Consensus-layer point-to-point
+// frames only, and PaxosAbcast is a monolithic abcast protocol with its own
+// wire format — none of its traffic crosses the sealed seam.
 constexpr Golden kGolden[] = {
-    {"c-l", 42, 5233, 0xc082056ccfebd7abULL},
-    {"c-l", 7, 5209, 0x675ad2ee65c2f9d8ULL},
-    {"c-p", 42, 5230, 0xf01d0b3ab50daa9cULL},
-    {"c-p", 7, 5179, 0x742defeef6b7df45ULL},
-    {"wabcast", 42, 5230, 0xf01d0b3ab50daa9cULL},
-    {"wabcast", 7, 5398, 0xdd41d62e0efcd2deULL},
+    {"c-l", 42, 5233, 0x949bab2bbe9a9b42ULL},
+    {"c-l", 7, 5181, 0xd44cc5c63a8567a1ULL},
+    {"c-p", 42, 5230, 0x9d07985b7af831ceULL},
+    {"c-p", 7, 5161, 0x1f7b02785ed9f1bULL},
+    {"wabcast", 42, 5230, 0x9d07985b7af831ceULL},
+    {"wabcast", 7, 5231, 0x8f9b30494c942845ULL},
     {"paxos", 42, 2817, 0xdf466385a3e2634cULL},
     {"paxos", 7, 2816, 0xa2ca9e60e13655fcULL},
 };

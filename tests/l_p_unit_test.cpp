@@ -104,7 +104,7 @@ TEST(LConsensusUnit, StaleRoundMessagesIgnored) {
   enc.put_u64(1);
   enc.put_string("other");
   enc.put_u32(0);
-  net.protocol(0).on_message(2, enc.bytes());
+  net.protocol(0).on_message(2, common::seal_frame(enc.bytes()));
   EXPECT_EQ(net.decision(0), decided_value);
 }
 
@@ -112,11 +112,14 @@ TEST(LConsensusUnit, MalformedMessagesCounted) {
   DirectNet net(kGroup, l_factory());
   net.propose(0, "v");
   auto& proto = net.protocol(0);
-  proto.on_message(1, "");
-  proto.on_message(1, std::string("\x01\x01", 2));       // truncated PROP
-  proto.on_message(1, std::string("\x09zzzz", 5));       // unknown tag
+  proto.on_message(1, common::seal_frame(""));
+  proto.on_message(1, common::seal_frame(std::string("\x01\x01", 2)));  // truncated PROP
+  proto.on_message(1, common::seal_frame(std::string("\x09zzzz", 5)));   // unknown tag
   proto.on_message(9, "from out-of-range process");      // bad sender id
+  // A frame whose seal fails is a corrupt drop, not a malformed message.
+  proto.on_message(1, "unsealed garbage");
   EXPECT_EQ(proto.malformed_messages(), 4u);
+  EXPECT_EQ(proto.corrupt_frames_dropped(), 1u);
   EXPECT_FALSE(proto.decided());
 }
 
@@ -213,7 +216,7 @@ TEST(PConsensusUnit, DuplicatePropsFromOneSenderCountOnce) {
   enc.put_u8(1);
   enc.put_u64(1);
   enc.put_string("v");
-  const std::string prop = enc.bytes();
+  const std::string prop = common::seal_frame(enc.bytes());
   // The same sender's round-1 PROP three times must not fake a quorum.
   net.protocol(3).on_message(0, prop);
   net.protocol(3).on_message(0, prop);

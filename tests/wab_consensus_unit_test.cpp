@@ -154,9 +154,9 @@ TEST(WabConsensusUnit, MalformedMessagesAreCountedAndIgnored) {
   DirectNet net(kGroup, wab_factory());
   propose_all(net, {"v", "v", "v", "v"});
   auto& proto = net.protocol(0);
-  proto.on_message(1, "");                        // empty
-  proto.on_message(1, std::string("\x07", 1));    // unknown tag
-  proto.on_message(2, std::string("\x01\x00", 2));  // truncated vote
+  proto.on_message(1, common::seal_frame(""));                        // empty
+  proto.on_message(1, common::seal_frame(std::string("\x07", 1)));    // unknown tag
+  proto.on_message(2, common::seal_frame(std::string("\x01\x00", 2)));  // truncated vote
   EXPECT_EQ(proto.malformed_messages(), 3u);
   EXPECT_FALSE(proto.decided());
   net.deliver_all();

@@ -129,7 +129,7 @@ struct RunConfig {
                                        "src/core",    "src/fd",
                                        "src/obs",     "src/check",
                                        "src/storage", "src/recovery",
-                                       "src/service"};
+                                       "src/service", "src/fault"};
 };
 
 /// Walks the configured directories (sorted, stable output) and analyzes

@@ -56,11 +56,12 @@ Flags parse_flags(int argc, char** argv, int first) {
   // Every flag any mode reads; a typo'd flag silently falling back to its
   // default would make a checking run lie about what it covered.
   static const std::set<std::string> kKnown = {
-      "crash-restarts", "crashes",   "f",           "kind",
-      "leader-flips",   "max-depth", "max-steps",   "max-transitions",
-      "mutant",         "n",         "no-sleep-sets", "omega",
-      "oracle-subsets", "out",       "proposals",   "protocol",
-      "runs",           "seed",      "submissions", "suspect-flips"};
+      "crash-restarts", "crashes",      "equivocations", "f",
+      "flips",          "kind",         "leader-flips",  "max-depth",
+      "max-steps",      "max-transitions", "mutant",     "n",
+      "no-frame-crc",   "no-sleep-sets", "omega",        "oracle-subsets",
+      "out",            "proposals",    "protocol",      "runs",
+      "seed",           "submissions",  "suspect-flips", "threads"};
   Flags flags;
   for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
@@ -104,6 +105,7 @@ check::ScenarioSpec parse_scenario(const Flags& flags) {
   }
   spec.protocol = flags.get("protocol", spec.kind == "consensus" ? "l" : "c-l");
   spec.mutant = flags.get("mutant", "");
+  spec.frame_checksums = !flags.has("no-frame-crc");
   spec.group.n = static_cast<std::uint32_t>(flags.num("n", 4));
   spec.group.f = static_cast<std::uint32_t>(flags.num("f", 1));
   if (spec.group.n == 0 || spec.group.n > 31 || spec.group.f >= spec.group.n) {
@@ -167,6 +169,9 @@ check::AdversaryBudgets parse_budgets(const Flags& flags) {
   budgets.oracle_subsets = flags.has("oracle-subsets");
   budgets.crash_restarts =
       static_cast<std::uint32_t>(flags.num("crash-restarts", 0));
+  budgets.flips = static_cast<std::uint32_t>(flags.num("flips", 0));
+  budgets.equivocations =
+      static_cast<std::uint32_t>(flags.num("equivocations", 0));
   return budgets;
 }
 
@@ -220,6 +225,7 @@ int run_explore(const Flags& flags) {
   cfg.max_transitions =
       static_cast<std::uint64_t>(flags.num("max-transitions", 0));
   cfg.sleep_sets = !flags.has("no-sleep-sets");
+  cfg.threads = static_cast<std::uint32_t>(flags.num("threads", 0));
   const check::ExploreResult res = check::explore(factory, cfg);
   std::printf(
       "explore %s/%s n=%u f=%u: %llu transitions, %llu paths, "
@@ -247,6 +253,7 @@ int run_swarm(const Flags& flags) {
   cfg.seed = static_cast<std::uint64_t>(flags.num("seed", 1));
   cfg.runs = static_cast<std::uint32_t>(flags.num("runs", 256));
   cfg.max_steps = static_cast<std::uint32_t>(flags.num("max-steps", 512));
+  cfg.threads = static_cast<std::uint32_t>(flags.num("threads", 0));
   const check::SwarmResult res = check::swarm(factory, cfg);
   std::printf("swarm %s/%s n=%u f=%u seed=%llu: %llu runs, %llu transitions\n",
               spec.kind.c_str(), spec.protocol.c_str(), spec.group.n,
@@ -328,13 +335,20 @@ void usage() {
       "  --proposals a,b  one per process (consensus)\n"
       "  --submissions 0:x,1:y  scripted a_broadcasts (abcast)\n"
       "  --omega 0,0,2    initial leader per process (default: all 0)\n"
-      "  --mutant M       skip-one-step-quorum (p) | ignore-accepted (paxos)\n\n"
+      "  --mutant M       skip-one-step-quorum (p) | ignore-accepted (paxos)\n"
+      "                   | equivocating-sender (abcast)\n"
+      "  --no-frame-crc   disable the per-frame CRC seal (corruption becomes\n"
+      "                   undetectable; only the safety oracles catch it)\n\n"
       "adversary budgets (bound the search space, default all 0):\n"
       "  --crashes K --leader-flips K --suspect-flips K --oracle-subsets\n"
       "  --crash-restarts K  crash-during-delivery + reboot-from-storage\n"
-      "                      (storage-backed protocols only: rec-paxos)\n\n"
+      "                      (storage-backed protocols only: rec-paxos)\n"
+      "  --flips K           corrupt-deliver byte-flipped frame copies\n"
+      "  --equivocations K   divergent-duplicate (equivocating) deliveries\n\n"
       "explore flags:  --max-depth D  --max-transitions T  --no-sleep-sets\n"
-      "swarm flags:    --seed S  --runs R  --max-steps K\n"
+      "                --threads T  deterministic parallel DFS (same\n"
+      "                counterexample and totals for every thread count)\n"
+      "swarm flags:    --seed S  --runs R  --max-steps K  --threads T\n"
       "output:         --out FILE   write minimized replay on violation\n\n"
       "exit codes: 0 no violation / repro ok, 1 violation / repro failed,\n"
       "            2 usage error\n");
